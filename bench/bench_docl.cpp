@@ -1,0 +1,84 @@
+// dOpenCL benchmark (paper Section V): the same SkelCL workload on (a) a
+// local 4-GPU machine, (b) the same 4 GPUs behind Gigabit Ethernet, and
+// (c) the full 8-GPU laboratory aggregation.  Shows the drop-in property and
+// where the network hop costs.
+#include <cstdio>
+#include <functional>
+
+#include "core/skelcl.hpp"
+#include "docl/docl.hpp"
+
+using namespace skelcl;
+
+namespace {
+
+struct Workload {
+  double mapSeconds = 0.0;
+  double reduceSeconds = 0.0;
+};
+
+Workload runWorkload() {
+  Workload w;
+  constexpr std::size_t kSize = 1 << 18;
+  Map<float(float)> heavy(
+      "float func(float x) { float s = x;"
+      " for (int i = 0; i < 48; ++i) s = s * 0.5f + 1.0f; return s; }");
+  Reduce<float> sum("float func(float a, float b) { return a + b; }");
+  Vector<float> v(kSize);
+  for (std::size_t i = 0; i < kSize; ++i) v[i] = static_cast<float>(i % 9);
+
+  heavy(v);  // warm-up: compile
+  finish();
+  v.dataOnHostModified();
+  resetSimClock();
+  Vector<float> mapped = heavy(v);
+  finish();
+  w.mapSeconds = simTimeSeconds();
+
+  resetSimClock();
+  sum(mapped);
+  finish();
+  w.reduceSeconds = simTimeSeconds();
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  struct Setup {
+    const char* name;
+    std::function<void()> initFn;
+  };
+  const Setup setups[] = {
+      {"local 4 GPUs", [] { init(sim::SystemConfig::teslaS1070(4)); }},
+      {"dOpenCL 1 node x 4 GPUs",
+       [] {
+         docl::DistributedConfig cfg;
+         cfg.servers.push_back(sim::SystemConfig::teslaS1070(4));
+         docl::initSkelCL(cfg);
+       }},
+      {"dOpenCL 2 nodes x 2 GPUs",
+       [] {
+         docl::DistributedConfig cfg;
+         cfg.servers.push_back(sim::SystemConfig::dualGpuServer());
+         cfg.servers.push_back(sim::SystemConfig::dualGpuServer());
+         docl::initSkelCL(cfg);
+       }},
+      {"dOpenCL lab (8 GPUs)", [] { docl::initSkelCL(docl::laboratorySetup()); }},
+  };
+
+  std::printf("identical SkelCL program on local vs distributed devices\n");
+  std::printf("(map: compute-heavy with one upload; reduce: transfer-light)\n\n");
+  std::printf("%-28s %8s %14s %14s\n", "setup", "devices", "map (s)", "reduce (s)");
+  for (const Setup& setup : setups) {
+    setup.initFn();
+    const int devices = deviceCount();
+    const Workload w = runWorkload();
+    terminate();
+    std::printf("%-28s %8d %14.6f %14.6f\n", setup.name, devices, w.mapSeconds,
+                w.reduceSeconds);
+  }
+  std::printf("\nthe network hop costs where data moves (uploads, partial downloads);\n"
+              "the programming model is unchanged -- dOpenCL is a drop-in replacement\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 4a: program size (lines of code) of the parallel list-mode OSEM
+// implementations — host code and GPU (kernel) code, for SkelCL, OpenCL and
+// CUDA in single- and multi-GPU versions.
+//
+// The numbers are counted from this repository's own implementations (the
+// same six the equivalence tests exercise), so the comparison is live: edit
+// an implementation and the figure regenerates.
+#include <cstdio>
+#include <string>
+
+#include "loc_counter.hpp"
+
+int main() {
+  using skelcl::bench::countLoc;
+  const std::string dir = SKELCL_OSEM_SOURCE_DIR;
+
+  // All implementations share the device algorithm (as the paper's versions
+  // share one); the kernel-side LOC is therefore identical.
+  const int kernelLoc = countLoc(dir + "/osem_kernels.cpp", "kernel");
+
+  struct Row {
+    const char* name;
+    int host;
+    int kernel;
+  };
+  const Row rows[] = {
+      {"SkelCL  single", countLoc(dir + "/osem_skelcl.cpp", "skelcl-single-host"), kernelLoc},
+      {"SkelCL  multi ", countLoc(dir + "/osem_skelcl.cpp", "skelcl-host"), kernelLoc},
+      {"OpenCL  single", countLoc(dir + "/osem_ocl.cpp", "ocl-single-host"), kernelLoc},
+      {"OpenCL  multi ", countLoc(dir + "/osem_ocl.cpp", "ocl-multi-host"), kernelLoc},
+      {"CUDA    single", countLoc(dir + "/osem_cuda.cpp", "cuda-single-host"), kernelLoc},
+      {"CUDA    multi ", countLoc(dir + "/osem_cuda.cpp", "cuda-multi-host"), kernelLoc},
+  };
+
+  std::printf("Figure 4a -- program size of list-mode OSEM (lines of code)\n");
+  std::printf("%-16s %8s %8s %8s\n", "implementation", "host", "kernel", "total");
+  for (const Row& r : rows) {
+    std::printf("%-16s %8d %8d %8d\n", r.name, r.host, r.kernel, r.host + r.kernel);
+  }
+
+  const double oclOverSkelclSingle =
+      static_cast<double>(rows[2].host) / static_cast<double>(rows[0].host);
+  const double cudaOverSkelclSingle =
+      static_cast<double>(rows[4].host) / static_cast<double>(rows[0].host);
+  const int skelclMultiExtra = rows[1].host - rows[0].host;
+  const int oclMultiExtra = rows[3].host - rows[2].host;
+  const int cudaMultiExtra = rows[5].host - rows[4].host;
+
+  std::printf("\npaper-shape checks:\n");
+  std::printf("  OpenCL host / SkelCL host (single)     : %.1fx   (paper: ~11x)\n",
+              oclOverSkelclSingle);
+  std::printf("  CUDA host   / SkelCL host (single)     : %.1fx   (paper: ~5x)\n",
+              cudaOverSkelclSingle);
+  std::printf("  (single-GPU ratios are compressed: the simulated OpenCL host API is\n"
+              "   RAII C++, so discovery/compile boilerplate is ~10 lines where real\n"
+              "   OpenCL C needs ~100; the ordering and the multi-GPU deltas hold)\n");
+  std::printf("  extra host LOC for multi-GPU -- SkelCL : %d      (paper: 8)\n",
+              skelclMultiExtra);
+  std::printf("  extra host LOC for multi-GPU -- OpenCL : %d     (paper: 37)\n",
+              oclMultiExtra);
+  std::printf("  extra host LOC for multi-GPU -- CUDA   : %d     (paper: 42)\n",
+              cudaMultiExtra);
+  std::printf("  kernel code is shared/similar across implementations (paper: ~200 LOC)\n");
+  return 0;
+}

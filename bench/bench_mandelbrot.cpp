@@ -1,0 +1,54 @@
+// The Mandelbrot benchmark the paper's conclusion refers to ([6]): runtime of
+// SkelCL / OpenCL / CUDA on 1, 2 and 4 GPUs, plus the LOC flavor of the
+// comparison (SkelCL needs one skeleton; the others need explicit device
+// management).
+#include <cstdio>
+
+#include "mandel/mandel.hpp"
+
+using namespace skelcl::mandel;
+
+int main() {
+  MandelConfig cfg;
+  cfg.width = 512;
+  cfg.height = 384;
+  cfg.maxIterations = 64;
+
+  std::printf("Mandelbrot %dx%d, %d max iterations -- simulated seconds\n", cfg.width,
+              cfg.height, cfg.maxIterations);
+  std::printf("%-10s %12s %12s %12s\n", "impl", "1 GPU", "2 GPUs", "4 GPUs");
+
+  double skelcl1 = 0.0;
+  double ocl1 = 0.0;
+  double cuda1 = 0.0;
+  const auto reference = mandelSeq(cfg);
+
+  for (const char* impl : {"SkelCL", "OpenCL", "CUDA"}) {
+    std::printf("%-10s", impl);
+    for (int gpus : {1, 2, 4}) {
+      MandelResult r;
+      if (impl[0] == 'S') {
+        r = mandelSkelCL(cfg, gpus);
+        if (gpus == 1) skelcl1 = r.simSeconds;
+      } else if (impl[0] == 'O') {
+        r = mandelOcl(cfg, gpus);
+        if (gpus == 1) ocl1 = r.simSeconds;
+      } else {
+        r = mandelCuda(cfg, gpus);
+        if (gpus == 1) cuda1 = r.simSeconds;
+      }
+      if (r.iterations != reference.iterations) {
+        std::fprintf(stderr, "%s result mismatch on %d GPUs\n", impl, gpus);
+        return 1;
+      }
+      std::printf(" %12.6f", r.simSeconds);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\npaper-shape checks:\n");
+  std::printf("  OpenCL/CUDA  (1 GPU): %.3f (paper ~1.2)\n", ocl1 / cuda1);
+  std::printf("  SkelCL/OpenCL (1 GPU): %.3f (paper: similar results as OSEM, <1.05)\n",
+              skelcl1 / ocl1);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Heterogeneous static scheduling benchmark (paper Section V): even vs
+// model-proportional block distribution on a machine with one multi-core CPU
+// and two different GPUs, for user functions of different weight; plus the
+// CPU-vs-GPU crossover for the final reduction step.
+#include <cstdio>
+
+#include "core/skelcl.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace skelcl;
+
+namespace {
+
+double timedMap(const char* userFunc, bool scheduled) {
+  init(sim::SystemConfig::heterogeneousLab());
+  double t = 0.0;
+  {
+    if (scheduled) sched::autoSchedule(userFunc);
+    Map<float(float)> map(userFunc);
+    constexpr std::size_t kSize = 1 << 18;
+    Vector<float> v(kSize);
+    for (std::size_t i = 0; i < kSize; ++i) v[i] = static_cast<float>(i % 11);
+    map(v);  // warm-up
+    finish();
+    v.dataOnHostModified();
+    resetSimClock();
+    map(v);
+    finish();
+    t = simTimeSeconds();
+    setPartitionWeights({});
+  }
+  terminate();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  struct Func {
+    const char* name;
+    const char* source;
+  };
+  const Func funcs[] = {
+      {"light (x+1)", "float func(float x) { return x + 1.0f; }"},
+      {"medium (16 fma)",
+       "float func(float x) { float s = x;"
+       " for (int i = 0; i < 16; ++i) s = s * 0.5f + 1.0f; return s; }"},
+      {"heavy (64 fma)",
+       "float func(float x) { float s = x;"
+       " for (int i = 0; i < 64; ++i) s = s * 0.5f + 1.0f; return s; }"},
+  };
+
+  std::printf("map over 262144 floats on the heterogeneous lab machine\n");
+  std::printf("(Xeon E5520 + GTX480-class + GT240-class)\n\n");
+  std::printf("%-18s %12s %14s %9s\n", "user function", "even (s)", "scheduled (s)",
+              "speedup");
+  for (const Func& f : funcs) {
+    const double even = timedMap(f.source, false);
+    const double scheduled = timedMap(f.source, true);
+    std::printf("%-18s %12.6f %14.6f %8.2fx\n", f.name, even, scheduled, even / scheduled);
+  }
+
+  std::printf("\nreduce finalization crossover (Section V: GPUs are poor at reducing\n"
+              "few elements; the host should fold small partial vectors):\n");
+  const auto cost = sched::measureUserFunction("float func(float a, float b) { return a + b; }");
+  const auto gpu = sim::SystemConfig::teslaS1070(1).devices[0];
+  const double hostRate = 4.0 * 2.26e9 * 0.5;
+  std::printf("%-14s %s\n", "elements", "final fold runs on");
+  for (std::uint64_t n : {64ull, 1024ull, 65536ull, 1048576ull, 100000000ull}) {
+    std::printf("%-14llu %s\n", static_cast<unsigned long long>(n),
+                sched::hostShouldFinishReduce(gpu, n, cost, hostRate) ? "CPU" : "GPU");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helper for the Figure 4a benchmark: count effective lines of code
+// between OSEM-LOC-BEGIN(tag) / OSEM-LOC-END markers in a source file.
+#pragma once
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "base/strings.hpp"
+
+namespace skelcl::bench {
+
+/// Lines that are non-empty and not pure comments, between the markers.
+inline int countLoc(const std::string& path, const std::string& tag) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  const std::string begin = "OSEM-LOC-BEGIN(" + tag + ")";
+  const std::string end = "OSEM-LOC-END";
+  bool active = false;
+  int count = 0;
+  bool inBlockComment = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(begin) != std::string::npos) {
+      active = true;
+      continue;
+    }
+    if (active && line.find(end) != std::string::npos) break;
+    if (!active) continue;
+
+    std::string_view t = str::trim(line);
+    if (t.empty()) continue;
+    if (inBlockComment) {
+      if (t.find("*/") != std::string_view::npos) inBlockComment = false;
+      continue;
+    }
+    if (str::startsWith(t, "//")) continue;
+    if (str::startsWith(t, "/*")) {
+      if (t.find("*/") == std::string_view::npos) inBlockComment = true;
+      continue;
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace skelcl::bench

@@ -1,0 +1,47 @@
+// Full list-mode OSEM reconstruction (paper Section IV) on synthetic PET
+// data: generates a phantom + events, reconstructs with the SkelCL
+// implementation on multiple GPUs, and reports image quality per pass.
+#include <cstdio>
+#include <cstdlib>
+
+#include "osem/osem.hpp"
+
+int main(int argc, char** argv) {
+  using namespace skelcl::osem;
+
+  OsemConfig cfg;
+  cfg.volume.nx = 32;
+  cfg.volume.ny = 32;
+  cfg.volume.nz = 32;
+  cfg.eventsPerSubset = 8000;
+  cfg.numSubsets = 4;
+  const int gpus = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int passes = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  std::printf("generating synthetic PET data: %d^3 volume, %d subsets x %zu events\n",
+              cfg.volume.nx, cfg.numSubsets, cfg.eventsPerSubset);
+  const OsemData data = OsemData::generate(cfg);
+
+  std::printf("%-6s %-24s %-12s\n", "pass", "correlation w/ phantom", "s/subset (sim)");
+  double first = 0.0;
+  double last = 0.0;
+  for (int pass = 1; pass <= passes; ++pass) {
+    OsemConfig passCfg = cfg;
+    passCfg.iterations = pass;
+    OsemData passData{passCfg, Phantom(passCfg.volume), data.events};
+    const OsemResult result = runOsemSkelCL(passData, gpus);
+    last = imageCorrelation(result.image, data.phantom.image());
+    if (pass == 1) first = last;
+    std::printf("%-6d %-24.4f %-12.6f\n", pass, last, result.secondsPerSubset);
+  }
+  if (last >= first) {
+    std::printf("(correlation rises with the passes: the reconstruction converges)\n");
+  } else {
+    std::printf(
+        "(the first pass already converges; later passes amplify noise -- the\n"
+        " classic OSEM behaviour with low statistics, which is why clinical\n"
+        " reconstructions iterate a fixed, small number of times.  Increase\n"
+        " events per subset to see multi-pass improvement.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: the paper's Listing 1 — BLAS SAXPY as a zip skeleton with an
+// additional scalar argument.
+//
+//   Y = a * X + Y
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+
+#include "core/skelcl.hpp"
+
+int main() {
+  using namespace skelcl;
+
+  // A machine with two simulated Tesla GPUs.
+  init(sim::SystemConfig::teslaS1070(2));
+  {
+    /* create skeleton Y <- a * X + Y */
+    Zip<float> saxpy(
+        "float func(float x, float y, float a)"
+        "{ return a*x+y; }");
+
+    /* create input vectors */
+    constexpr std::size_t kSize = 1 << 20;
+    Vector<float> X(kSize);
+    Vector<float> Y(kSize);
+    for (std::size_t i = 0; i < kSize; ++i) {
+      X[i] = static_cast<float>(i % 100) * 0.01f;
+      Y[i] = 1.0f;
+    }
+    const float a = 2.5f;
+
+    Y = saxpy(X, Y, a); /* execute skeleton */
+
+    /* print results (the access below downloads implicitly) */
+    std::printf("Y[0]      = %.4f\n", Y[0]);
+    std::printf("Y[42]     = %.4f  (expect %.4f)\n", Y[42], 2.5f * 0.42f + 1.0f);
+    std::printf("Y[%zu] = %.4f\n", kSize - 1, Y[kSize - 1]);
+    finish();
+    std::printf("simulated time: %.3f ms on %d GPUs\n", simTimeSeconds() * 1e3,
+                deviceCount());
+  }
+  terminate();
+  return 0;
+}

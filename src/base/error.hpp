@@ -1,0 +1,44 @@
+// Common error types and check macros shared by all SkelCL-repro modules.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace skelcl {
+
+/// Root of all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violated API contract (bad argument, wrong usage order, ...).
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// Resource exhaustion (device memory, ...).
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throwUsage(const char* cond, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check `" << cond << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw UsageError(os.str());
+}
+}  // namespace detail
+
+}  // namespace skelcl
+
+/// Contract check that throws skelcl::UsageError (always on, cheap conditions only).
+#define SKELCL_CHECK(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) ::skelcl::detail::throwUsage(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

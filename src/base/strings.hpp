@@ -1,0 +1,54 @@
+// Small string helpers used across modules (kernel source generation, logs).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skelcl::str {
+
+/// Concatenate all arguments via operator<<.
+template <typename... Ts>
+std::string cat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+/// Join the range with a separator.
+inline std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+/// Replace every occurrence of `from` in `s` by `to`.
+inline std::string replaceAll(std::string s, std::string_view from, std::string_view to) {
+  if (from.empty()) return s;
+  std::size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+/// True if `s` starts with `prefix`.
+inline bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// Trim ASCII whitespace from both ends.
+inline std::string_view trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  auto b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  auto e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace skelcl::str

@@ -1,0 +1,60 @@
+#include "core/detail/runtime.hpp"
+
+#include "kernelc/program.hpp"
+
+namespace skelcl::detail {
+
+std::unique_ptr<Runtime> Runtime::instance_;
+
+Runtime::Runtime(sim::SystemConfig config) {
+  platform_ = std::make_unique<ocl::Platform>(std::move(config));
+  context_ = std::make_unique<ocl::Context>(platform_->devices());
+  for (int d = 0; d < platform_->deviceCount(); ++d) {
+    queues_.push_back(
+        std::make_unique<ocl::CommandQueue>(*context_, platform_->device(d), ocl::Api::OpenCL));
+  }
+}
+
+void Runtime::init(sim::SystemConfig config) {
+  SKELCL_CHECK(instance_ == nullptr, "skelcl::init called twice without terminate");
+  instance_.reset(new Runtime(std::move(config)));
+}
+
+void Runtime::terminate() { instance_.reset(); }
+
+bool Runtime::initialized() { return instance_ != nullptr; }
+
+Runtime& Runtime::instance() {
+  SKELCL_CHECK(instance_ != nullptr, "call skelcl::init(...) first");
+  return *instance_;
+}
+
+ocl::CommandQueue& Runtime::queue(int device) {
+  SKELCL_CHECK(device >= 0 && device < deviceCount(), "device index out of range");
+  return *queues_[static_cast<std::size_t>(device)];
+}
+
+std::shared_ptr<ocl::Program> Runtime::programForSource(const std::string& source) {
+  auto it = programCache_.find(source);
+  if (it != programCache_.end()) return it->second;
+  auto program = std::make_shared<ocl::Program>(*context_, source);
+  program->build();
+  programCache_.emplace(source, program);
+  return program;
+}
+
+std::shared_ptr<const kc::CompiledProgram> Runtime::hostProgram(const std::string& userSource) {
+  auto it = hostFnCache_.find(userSource);
+  if (it != hostFnCache_.end()) return it->second;
+  auto program = kc::compileProgram(userSource);
+  SKELCL_CHECK(program->findFunction("func") >= 0,
+               "user operation must define a function named 'func'");
+  hostFnCache_.emplace(userSource, program);
+  return program;
+}
+
+void Runtime::setPartitionWeights(std::vector<double> weights) {
+  weights_ = std::move(weights);
+}
+
+}  // namespace skelcl::detail

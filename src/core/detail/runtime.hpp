@@ -1,0 +1,59 @@
+// The SkelCL runtime singleton: device discovery, per-device command queues,
+// the program cache, and the host-side executor for user operations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernelc/value.hpp"
+#include "ocl/ocl.hpp"
+
+namespace skelcl::detail {
+
+class Runtime {
+ public:
+  /// Create the singleton over a simulated machine.  Called by skelcl::init.
+  static void init(sim::SystemConfig config);
+  static void terminate();
+  static bool initialized();
+  static Runtime& instance();
+
+  ocl::Platform& platform() { return *platform_; }
+  ocl::Context& context() { return *context_; }
+  sim::System& system() { return platform_->system(); }
+  int deviceCount() const { return platform_->deviceCount(); }
+  ocl::Device& device(int id) { return platform_->device(id); }
+  ocl::CommandQueue& queue(int device);
+
+  /// Compile-or-reuse: generated skeleton programs are cached by source so
+  /// the runtime-compilation cost is paid once per distinct program (the
+  /// paper excludes compilation from measurements for the same reason).
+  std::shared_ptr<ocl::Program> programForSource(const std::string& source);
+
+  /// Compile (and cache) a user operation for host-side execution through
+  /// the kernel VM — the final fold of the reduce skeleton, the offset scan
+  /// between devices in the scan skeleton, and the combine step when leaving
+  /// copy distribution all run the user's `func` on the host.
+  std::shared_ptr<const kc::CompiledProgram> hostProgram(const std::string& userSource);
+
+  /// Default block-partition weights used when a vector does not specify its
+  /// own (set by the static scheduler of Section V; empty = even split).
+  void setPartitionWeights(std::vector<double> weights);
+  const std::vector<double>& partitionWeights() const { return weights_; }
+
+ private:
+  explicit Runtime(sim::SystemConfig config);
+
+  std::unique_ptr<ocl::Platform> platform_;
+  std::unique_ptr<ocl::Context> context_;
+  std::vector<std::unique_ptr<ocl::CommandQueue>> queues_;
+  std::unordered_map<std::string, std::shared_ptr<ocl::Program>> programCache_;
+  std::unordered_map<std::string, std::shared_ptr<const kc::CompiledProgram>> hostFnCache_;
+  std::vector<double> weights_;
+
+  static std::unique_ptr<Runtime> instance_;
+};
+
+}  // namespace skelcl::detail

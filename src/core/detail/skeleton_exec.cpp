@@ -1,0 +1,510 @@
+#include "core/detail/skeleton_exec.hpp"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "base/strings.hpp"
+#include "core/detail/runtime.hpp"
+#include "kernelc/vm.hpp"
+
+namespace skelcl::detail {
+
+namespace {
+
+Distribution effectiveDist(const Distribution& d) {
+  if (d.kind() == Distribution::Kind::Block && d.weights().empty()) {
+    const auto& w = Runtime::instance().partitionWeights();
+    if (!w.empty()) return Distribution::block(w);
+  }
+  return d;
+}
+
+/// Deduplicated struct typedefs needed by the extra arguments.
+std::string gatherTypedefs(const std::vector<ExtraArg>& extras) {
+  std::string out;
+  std::unordered_set<std::string> seen;
+  for (const ExtraArg& e : extras) {
+    if (!e.typeDefinition.empty() && seen.insert(e.typeDefinition).second) {
+      out += e.typeDefinition;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+/// ", TYPE skelcl_a0, __global U* skelcl_a1, ..." for the kernel signature.
+std::string extraParams(const std::vector<ExtraArg>& extras) {
+  std::string out;
+  for (std::size_t i = 0; i < extras.size(); ++i) {
+    const ExtraArg& e = extras[i];
+    out += ", ";
+    switch (e.kind) {
+      case ExtraArg::Kind::Scalar:
+        out += e.typeName + " skelcl_a" + std::to_string(i);
+        break;
+      case ExtraArg::Kind::VectorRef:
+        out += "__global " + e.typeName + "* skelcl_a" + std::to_string(i);
+        break;
+      case ExtraArg::Kind::Sizes:
+      case ExtraArg::Kind::Offsets:
+        out += "int skelcl_a" + std::to_string(i);
+        break;
+    }
+  }
+  return out;
+}
+
+/// ", skelcl_a0, skelcl_a1, ..." for the user-function call.
+std::string extraNames(const std::vector<ExtraArg>& extras) {
+  std::string out;
+  for (std::size_t i = 0; i < extras.size(); ++i) {
+    out += ", skelcl_a" + std::to_string(i);
+  }
+  return out;
+}
+
+/// Prepare all extra-argument vectors (they must carry an explicit
+/// distribution, paper Section III-B) and bind extras to a kernel starting at
+/// parameter `firstIndex` for `device`.
+void prepareExtras(std::vector<ExtraArg>& extras) {
+  for (const ExtraArg& e : extras) {
+    if (e.kind == ExtraArg::Kind::Scalar) continue;
+    SKELCL_CHECK(e.vector != nullptr, "extra argument vector missing");
+    if (!e.vector->distribution().isSet()) {
+      throw UsageError(
+          "no meaningful default distribution exists for vectors passed as "
+          "additional arguments; set one explicitly (paper Section III-B)");
+    }
+    if (e.kind == ExtraArg::Kind::VectorRef) e.vector->ensureOnDevices();
+  }
+}
+
+void bindExtras(ocl::Kernel& kernel, std::size_t firstIndex,
+                const std::vector<ExtraArg>& extras, int device) {
+  for (std::size_t i = 0; i < extras.size(); ++i) {
+    const std::size_t arg = firstIndex + i;
+    const ExtraArg& e = extras[i];
+    switch (e.kind) {
+      case ExtraArg::Kind::Scalar:
+        if (e.scalarIsFloat) {
+          kernel.setArg(arg, e.scalarF);
+        } else {
+          kernel.setArg(arg, static_cast<std::int32_t>(e.scalarI));
+        }
+        break;
+      case ExtraArg::Kind::VectorRef: {
+        const VectorData::DevicePart* part = e.vector->partOn(device);
+        if (part == nullptr || part->buffer == nullptr) {
+          throw UsageError(
+              "additional-argument vector has no data on device " + std::to_string(device) +
+              "; give it copy distribution or a block distribution matching the input");
+        }
+        kernel.setArg(arg, *part->buffer);
+        break;
+      }
+      case ExtraArg::Kind::Sizes:
+        kernel.setArg(arg, static_cast<std::int32_t>(e.vector->partSizeOn(device)));
+        break;
+      case ExtraArg::Kind::Offsets:
+        kernel.setArg(arg, static_cast<std::int32_t>(e.vector->partOffsetOn(device)));
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+kc::Slot slotFromBytes(ElemKind kind, const std::byte* src) {
+  switch (kind) {
+    case ElemKind::F32: {
+      float v;
+      std::memcpy(&v, src, 4);
+      return kc::Slot::fromFloat(v);
+    }
+    case ElemKind::F64: {
+      double v;
+      std::memcpy(&v, src, 8);
+      return kc::Slot::fromFloat(v);
+    }
+    case ElemKind::I32:
+    case ElemKind::U32: {
+      std::int32_t v;
+      std::memcpy(&v, src, 4);
+      return kc::Slot::fromInt(v);
+    }
+    case ElemKind::Other:
+      break;
+  }
+  throw UsageError("scalar element type required");
+}
+
+void slotToBytes(ElemKind kind, kc::Slot value, std::byte* dst) {
+  switch (kind) {
+    case ElemKind::F32: {
+      const float v = static_cast<float>(value.f);
+      std::memcpy(dst, &v, 4);
+      return;
+    }
+    case ElemKind::F64:
+      std::memcpy(dst, &value.f, 8);
+      return;
+    case ElemKind::I32:
+    case ElemKind::U32: {
+      const std::int32_t v = static_cast<std::int32_t>(value.i);
+      std::memcpy(dst, &v, 4);
+      return;
+    }
+    case ElemKind::Other:
+      break;
+  }
+  throw UsageError("scalar element type required");
+}
+
+// ---------------------------------------------------------------------------
+// Map / Zip
+// ---------------------------------------------------------------------------
+
+void runElementwise(const std::string& userSource, VectorData* input1, VectorData* input2,
+                    std::size_t indexCount, const Distribution& indexDist,
+                    VectorData& output,
+                    const std::string& inType1, const std::string& inType2,
+                    const std::string& outType, std::vector<ExtraArg>& extras) {
+  auto& rt = Runtime::instance();
+  const std::size_t n = input1 != nullptr ? input1->count() : indexCount;
+
+  // --- distribution resolution (paper III-C) -------------------------------
+  Distribution dist;
+  if (input1 != nullptr && input2 != nullptr) {
+    SKELCL_CHECK(input2->count() == n, "zip inputs must have the same size");
+    const Distribution& d1 = input1->distribution();
+    const Distribution& d2 = input2->distribution();
+    if (d1.isSet() && d2.isSet()) {
+      // Must match (same kind, same device for single); otherwise SkelCL
+      // changes both inputs to block distribution.
+      dist = (d1 == d2) ? d1 : Distribution::block();
+    } else if (d1.isSet()) {
+      dist = d1;
+    } else if (d2.isSet()) {
+      dist = d2;
+    } else {
+      dist = Distribution::block();  // default for unset inputs
+    }
+    input1->setDistribution(dist);
+    input2->setDistribution(dist);
+  } else if (input1 != nullptr) {
+    input1->defaultDistribution(Distribution::block());
+    dist = input1->distribution();
+  } else {
+    dist = indexDist.isSet() ? indexDist : Distribution::block();
+  }
+
+  // --- materialize inputs / output -----------------------------------------
+  const bool inPlace = (&output == input1) || (&output == input2);
+  if (input1 != nullptr) input1->ensureOnDevices();
+  if (input2 != nullptr) input2->ensureOnDevices();
+  output.setDistribution(dist);
+  if (!inPlace) output.ensureOnDevicesNoUpload();
+  prepareExtras(extras);
+
+  // --- generate, compile (cached), run --------------------------------------
+  const bool indexInput = input1 == nullptr;
+  std::string source = gatherTypedefs(extras);
+  source += userSource;
+  source += "\n";
+  if (input2 != nullptr) {
+    source += "__kernel void skelcl_kernel(__global " + inType1 + "* skelcl_in1, __global " +
+              inType2 + "* skelcl_in2, __global " + outType +
+              "* skelcl_out, int skelcl_n, int skelcl_base" + extraParams(extras) +
+              ") {\n"
+              "  int skelcl_i = get_global_id(0);\n"
+              "  if (skelcl_i < skelcl_n) skelcl_out[skelcl_i] = "
+              "func(skelcl_in1[skelcl_i], skelcl_in2[skelcl_i]" +
+              extraNames(extras) + ");\n}\n";
+  } else if (!indexInput) {
+    source += "__kernel void skelcl_kernel(__global " + inType1 + "* skelcl_in1, __global " +
+              outType + "* skelcl_out, int skelcl_n, int skelcl_base" + extraParams(extras) +
+              ") {\n"
+              "  int skelcl_i = get_global_id(0);\n"
+              "  if (skelcl_i < skelcl_n) skelcl_out[skelcl_i] = func(skelcl_in1[skelcl_i]" +
+              extraNames(extras) + ");\n}\n";
+  } else {
+    source += "__kernel void skelcl_kernel(__global " + outType +
+              "* skelcl_out, int skelcl_n, int skelcl_base" + extraParams(extras) +
+              ") {\n"
+              "  int skelcl_i = get_global_id(0);\n"
+              "  if (skelcl_i < skelcl_n) skelcl_out[skelcl_i] = "
+              "func(skelcl_base + skelcl_i" +
+              extraNames(extras) + ");\n}\n";
+  }
+
+  auto program = rt.programForSource(source);
+  ocl::Kernel kernel(*program, "skelcl_kernel");
+
+  const auto ranges = effectiveDist(dist).partition(n, rt.deviceCount());
+  bool launched = false;
+  for (const PartRange& r : ranges) {
+    if (r.size == 0) continue;
+    std::size_t arg = 0;
+    if (input1 != nullptr) {
+      kernel.setArg(arg++, *input1->partOn(r.device)->buffer);
+    }
+    if (input2 != nullptr) {
+      kernel.setArg(arg++, *input2->partOn(r.device)->buffer);
+    }
+    const VectorData::DevicePart* outPart =
+        inPlace ? (&output == input1 ? input1 : input2)->partOn(r.device)
+                : output.partOn(r.device);
+    kernel.setArg(arg++, *outPart->buffer);
+    kernel.setArg(arg++, static_cast<std::int32_t>(r.size));
+    kernel.setArg(arg++, static_cast<std::int32_t>(r.offset));
+    bindExtras(kernel, arg, extras, r.device);
+    rt.queue(r.device).enqueueNDRangeKernel(kernel, r.size);
+    launched = true;
+  }
+  if (launched) output.markDevicesModified();
+}
+
+// ---------------------------------------------------------------------------
+// Reduce (paper III-C, three steps)
+// ---------------------------------------------------------------------------
+
+kc::Slot runReduce(const std::string& userSource, VectorData& input,
+                   const std::string& typeName, std::vector<ExtraArg>& extras) {
+  auto& rt = Runtime::instance();
+  SKELCL_CHECK(input.count() > 0, "reduce of an empty vector");
+
+  input.defaultDistribution(Distribution::block());
+  input.ensureOnDevices();
+  prepareExtras(extras);
+
+  std::string source = gatherTypedefs(extras);
+  source += userSource;
+  source +=
+      "\n__kernel void skelcl_reduce(__global " + typeName + "* skelcl_in, __global " +
+      typeName + "* skelcl_partials, int skelcl_n, int skelcl_chunk" + extraParams(extras) +
+      ") {\n"
+      "  int skelcl_w = get_global_id(0);\n"
+      "  int skelcl_begin = skelcl_w * skelcl_chunk;\n"
+      "  int skelcl_end = min(skelcl_begin + skelcl_chunk, skelcl_n);\n"
+      "  " + typeName + " skelcl_acc = skelcl_in[skelcl_begin];\n"
+      "  for (int skelcl_i = skelcl_begin + 1; skelcl_i < skelcl_end; ++skelcl_i)\n"
+      "    skelcl_acc = func(skelcl_acc, skelcl_in[skelcl_i]" + extraNames(extras) + ");\n"
+      "  skelcl_partials[skelcl_w] = skelcl_acc;\n}\n";
+
+  auto program = rt.programForSource(source);
+  ocl::Kernel kernel(*program, "skelcl_reduce");
+
+  // Step 1: device-local reductions to small intermediate vectors
+  // (Section V explains why a single value per GPU would be wasteful).
+  struct Pending {
+    int device;
+    std::size_t numPartials;
+    std::unique_ptr<ocl::Buffer> partials;
+  };
+  std::vector<Pending> pending;
+
+  auto ranges = effectiveDist(input.distribution()).partition(input.count(), rt.deviceCount());
+  if (input.distribution().kind() == Distribution::Kind::Copy) {
+    // Every device holds the full data; reducing each copy would multiply
+    // the result.  Reduce the first copy only.
+    ranges.resize(1);
+  }
+  for (const PartRange& r : ranges) {
+    if (r.size == 0) continue;
+    const auto cores = static_cast<std::size_t>(rt.device(r.device).spec().cores);
+    const std::size_t chunk = (r.size + 4 * cores - 1) / (4 * cores);
+    const std::size_t numPartials = (r.size + chunk - 1) / chunk;
+
+    Pending p;
+    p.device = r.device;
+    p.numPartials = numPartials;
+    p.partials = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
+                                               numPartials * input.elemSize());
+    kernel.setArg(0, *input.partOn(r.device)->buffer);
+    kernel.setArg(1, *p.partials);
+    kernel.setArg(2, static_cast<std::int32_t>(r.size));
+    kernel.setArg(3, static_cast<std::int32_t>(chunk));
+    bindExtras(kernel, 4, extras, r.device);
+    rt.queue(r.device).enqueueNDRangeKernel(kernel, numPartials);
+    pending.push_back(std::move(p));
+  }
+
+  // Step 2: gather the intermediate results on the CPU.
+  std::vector<std::byte> gathered;
+  for (const Pending& p : pending) {
+    const std::size_t offset = gathered.size();
+    gathered.resize(offset + p.numPartials * input.elemSize());
+    rt.queue(p.device).enqueueReadBuffer(*p.partials, 0, p.numPartials * input.elemSize(),
+                                         gathered.data() + offset, /*blocking=*/true);
+  }
+
+  // Step 3: the CPU folds the intermediate results (order preserved, so a
+  // non-commutative but associative operator is fine, paper II-A).
+  const auto hostProgram = rt.hostProgram(userSource);
+  const int fn = hostProgram->findFunction("func");
+  kc::Vm vm(*hostProgram, {});
+  const std::size_t total = gathered.size() / input.elemSize();
+  kc::Slot acc = slotFromBytes(input.elemKind(), gathered.data());
+  for (std::size_t i = 1; i < total; ++i) {
+    const kc::Slot x = slotFromBytes(input.elemKind(), gathered.data() + i * input.elemSize());
+    // Extra arguments are device-scoped; the host fold applies the bare
+    // binary operator (scalars are re-bound below if present).
+    if (extras.empty()) {
+      acc = vm.callFunction(fn, std::array<kc::Slot, 2>{acc, x});
+    } else {
+      std::vector<kc::Slot> args = {acc, x};
+      for (const ExtraArg& e : extras) {
+        SKELCL_CHECK(e.kind == ExtraArg::Kind::Scalar,
+                     "reduce supports only scalar additional arguments");
+        args.push_back(e.scalarIsFloat ? kc::Slot::fromFloat(e.scalarF)
+                                       : kc::Slot::fromInt(e.scalarI));
+      }
+      acc = vm.callFunction(fn, args);
+    }
+  }
+  rt.system().reserveHostCompute(gathered.size(), vm.instructionsExecuted());
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Scan (paper III-C, Figure 2)
+// ---------------------------------------------------------------------------
+
+void runScan(const std::string& userSource, VectorData& input, VectorData& output,
+             const std::string& typeName) {
+  auto& rt = Runtime::instance();
+  SKELCL_CHECK(output.count() == input.count(), "scan output size mismatch");
+  if (input.count() == 0) return;
+
+  input.defaultDistribution(Distribution::block());
+  const Distribution dist = input.distribution();
+  input.ensureOnDevices();
+  const bool inPlace = &output == &input;
+  output.setDistribution(dist);
+  if (!inPlace) output.ensureOnDevicesNoUpload();
+
+  std::string source = userSource;
+  source +=
+      "\n__kernel void skelcl_scan_chunks(__global " + typeName + "* skelcl_in, __global " +
+      typeName + "* skelcl_out, __global " + typeName +
+      "* skelcl_sums, int skelcl_chunk, int skelcl_n) {\n"
+      "  int skelcl_w = get_global_id(0);\n"
+      "  int skelcl_begin = skelcl_w * skelcl_chunk;\n"
+      "  int skelcl_end = min(skelcl_begin + skelcl_chunk, skelcl_n);\n"
+      "  " + typeName + " skelcl_acc = skelcl_in[skelcl_begin];\n"
+      "  skelcl_out[skelcl_begin] = skelcl_acc;\n"
+      "  for (int skelcl_i = skelcl_begin + 1; skelcl_i < skelcl_end; ++skelcl_i) {\n"
+      "    skelcl_acc = func(skelcl_acc, skelcl_in[skelcl_i]);\n"
+      "    skelcl_out[skelcl_i] = skelcl_acc;\n"
+      "  }\n"
+      "  skelcl_sums[skelcl_w] = skelcl_acc;\n}\n"
+      "__kernel void skelcl_scan_add(__global " + typeName + "* skelcl_data, __global " +
+      typeName +
+      "* skelcl_offsets, int skelcl_chunk, int skelcl_n, int skelcl_skip_first) {\n"
+      "  int skelcl_w = get_global_id(0);\n"
+      "  if (skelcl_skip_first && skelcl_w == 0) return;\n"
+      "  int skelcl_begin = skelcl_w * skelcl_chunk;\n"
+      "  int skelcl_end = min(skelcl_begin + skelcl_chunk, skelcl_n);\n"
+      "  " + typeName + " skelcl_off = skelcl_offsets[skelcl_w];\n"
+      "  for (int skelcl_i = skelcl_begin; skelcl_i < skelcl_end; ++skelcl_i)\n"
+      "    skelcl_data[skelcl_i] = func(skelcl_off, skelcl_data[skelcl_i]);\n}\n";
+
+  auto program = rt.programForSource(source);
+  ocl::Kernel scanChunks(*program, "skelcl_scan_chunks");
+  ocl::Kernel scanAdd(*program, "skelcl_scan_add");
+
+  const auto hostProgram = rt.hostProgram(userSource);
+  const int fn = hostProgram->findFunction("func");
+  kc::Vm vm(*hostProgram, {});
+  const ElemKind kind = input.elemKind();
+  const std::size_t elem = input.elemSize();
+
+  const auto ranges = effectiveDist(dist).partition(input.count(), rt.deviceCount());
+  const bool crossDevice = dist.kind() == Distribution::Kind::Block;
+
+  bool haveDeviceOffset = false;
+  kc::Slot deviceOffset{};  // fold of the totals of all previous devices
+
+  for (const PartRange& r : ranges) {
+    if (r.size == 0) continue;
+    const auto cores = static_cast<std::size_t>(rt.device(r.device).spec().cores);
+    const std::size_t chunk = (r.size + 4 * cores - 1) / (4 * cores);
+    const std::size_t numChunks = (r.size + chunk - 1) / chunk;
+
+    // Step 1: every GPU scans its local part independently.
+    ocl::Buffer sums(rt.context(), rt.device(r.device), numChunks * elem);
+    const VectorData::DevicePart* inPart = input.partOn(r.device);
+    const VectorData::DevicePart* outPart = inPlace ? inPart : output.partOn(r.device);
+    scanChunks.setArg(0, *inPart->buffer);
+    scanChunks.setArg(1, *outPart->buffer);
+    scanChunks.setArg(2, sums);
+    scanChunks.setArg(3, static_cast<std::int32_t>(chunk));
+    scanChunks.setArg(4, static_cast<std::int32_t>(r.size));
+    rt.queue(r.device).enqueueNDRangeKernel(scanChunks, numChunks);
+
+    // Step 2: download the block sums.
+    std::vector<std::byte> hostSums(numChunks * elem);
+    rt.queue(r.device).enqueueReadBuffer(sums, 0, hostSums.size(), hostSums.data(),
+                                         /*blocking=*/true);
+
+    // Step 3: compute combined offsets on the host (device offset folded with
+    // the exclusive prefix of the chunk sums).
+    std::vector<std::byte> hostOffsets(numChunks * elem);
+    bool haveChunkOffset = false;
+    kc::Slot chunkOffset{};
+    for (std::size_t w = 0; w < numChunks; ++w) {
+      kc::Slot combined{};
+      bool haveCombined = false;
+      if (crossDevice && haveDeviceOffset && haveChunkOffset) {
+        combined = vm.callFunction(fn, std::array<kc::Slot, 2>{deviceOffset, chunkOffset});
+        haveCombined = true;
+      } else if (crossDevice && haveDeviceOffset) {
+        combined = deviceOffset;
+        haveCombined = true;
+      } else if (haveChunkOffset) {
+        combined = chunkOffset;
+        haveCombined = true;
+      }
+      if (haveCombined) {
+        slotToBytes(kind, combined, hostOffsets.data() + w * elem);
+      } else {
+        // chunk 0 of the first device: no offset (skipped by the kernel)
+        std::memset(hostOffsets.data(), 0, elem);
+      }
+      // fold this chunk's total into the running chunk offset
+      const kc::Slot sum = slotFromBytes(kind, hostSums.data() + w * elem);
+      chunkOffset = haveChunkOffset
+                        ? vm.callFunction(fn, std::array<kc::Slot, 2>{chunkOffset, sum})
+                        : sum;
+      haveChunkOffset = true;
+    }
+
+    // Step 4: an implicitly created map combines the offsets in (paper
+    // Figure 2, bottom); it runs on every device, skipping only the very
+    // first chunk of the first device.
+    const bool skipFirst = !(crossDevice && haveDeviceOffset);
+    ocl::Buffer offsets(rt.context(), rt.device(r.device), hostOffsets.size());
+    rt.queue(r.device).enqueueWriteBuffer(offsets, 0, hostOffsets.size(), hostOffsets.data());
+    scanAdd.setArg(0, *outPart->buffer);
+    scanAdd.setArg(1, offsets);
+    scanAdd.setArg(2, static_cast<std::int32_t>(chunk));
+    scanAdd.setArg(3, static_cast<std::int32_t>(r.size));
+    scanAdd.setArg(4, static_cast<std::int32_t>(skipFirst ? 1 : 0));
+    rt.queue(r.device).enqueueNDRangeKernel(scanAdd, numChunks);
+    rt.queue(r.device).finish();
+
+    // the device's total feeds the next device's offset
+    if (crossDevice) {
+      const kc::Slot total = chunkOffset;  // fold of all chunk sums
+      deviceOffset = haveDeviceOffset
+                         ? vm.callFunction(fn, std::array<kc::Slot, 2>{deviceOffset, total})
+                         : total;
+      haveDeviceOffset = true;
+    }
+  }
+
+  rt.system().reserveHostCompute(input.count() / 64 + 64, vm.instructionsExecuted());
+  output.markDevicesModified();
+}
+
+}  // namespace skelcl::detail

@@ -1,0 +1,58 @@
+// Untyped skeleton execution engine: kernel source generation (merging the
+// user-defined function source into skeleton templates, paper Section II-A)
+// and the multi-GPU execution plans of Section III-C.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detail/vector_data.hpp"
+#include "kernelc/value.hpp"
+
+namespace skelcl::detail {
+
+/// One additional skeleton argument (the paper's novel "additional
+/// arguments" feature): a scalar, a vector, or a per-device size token.
+struct ExtraArg {
+  enum class Kind { Scalar, VectorRef, Sizes, Offsets };
+  Kind kind = Kind::Scalar;
+
+  // Scalar
+  std::string typeName;     ///< kernel-language type ("float", "int", ...)
+  bool scalarIsFloat = false;
+  double scalarF = 0.0;
+  std::int64_t scalarI = 0;
+
+  // VectorRef / Sizes
+  VectorData* vector = nullptr;
+  std::string typeDefinition;  ///< struct typedef to prepend ("" for builtins)
+};
+
+/// Element-wise skeletons (map & zip share one engine).
+/// `input2` is null for map; `input1` is null for an IndexVector input, in
+/// which case `indexCount`/`indexDist` describe the virtual input.
+/// `output` may alias an input (in-place execution via Out<>).
+void runElementwise(const std::string& userSource,
+                    VectorData* input1, VectorData* input2,
+                    std::size_t indexCount, const Distribution& indexDist,
+                    VectorData& output,
+                    const std::string& inType1, const std::string& inType2,
+                    const std::string& outType,
+                    std::vector<ExtraArg>& extras);
+
+/// Reduce (paper III-C): device-local reductions into small partial vectors,
+/// gather on the host, final host-side fold.  Returns the result slot.
+kc::Slot runReduce(const std::string& userSource, VectorData& input,
+                   const std::string& typeName, std::vector<ExtraArg>& extras);
+
+/// Scan (paper III-C, Figure 2): device-local scans, download of block sums,
+/// implicit offset-combining maps on every device but the first.
+void runScan(const std::string& userSource, VectorData& input, VectorData& output,
+             const std::string& typeName);
+
+/// Slot <-> raw element conversions for scalar element kinds.
+kc::Slot slotFromBytes(ElemKind kind, const std::byte* src);
+void slotToBytes(ElemKind kind, kc::Slot value, std::byte* dst);
+
+}  // namespace skelcl::detail

@@ -1,0 +1,256 @@
+#include "core/detail/vector_data.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "core/detail/runtime.hpp"
+#include "kernelc/vm.hpp"
+
+namespace skelcl::detail {
+
+VectorData::VectorData(std::size_t count, std::size_t elemSize, ElemKind kind)
+    : count_(count), elem_size_(elemSize), elem_kind_(kind), host_(count * elemSize) {
+  SKELCL_CHECK(elemSize > 0, "element size must be positive");
+}
+
+Distribution VectorData::effective(const Distribution& d) const {
+  // An unweighted block distribution picks up the scheduler's weights, if any
+  // (Section V: proportional workloads on heterogeneous devices).
+  if (d.kind() == Distribution::Kind::Block && d.weights().empty()) {
+    const auto& w = Runtime::instance().partitionWeights();
+    if (!w.empty()) return Distribution::block(w);
+  }
+  return d;
+}
+
+std::vector<PartRange> VectorData::plannedPartition() {
+  SKELCL_CHECK(requested_.isSet(), "vector has no distribution");
+  return effective(requested_).partition(count_, Runtime::instance().deviceCount());
+}
+
+std::size_t VectorData::partSizeOn(int device) {
+  for (const PartRange& p : plannedPartition()) {
+    if (p.device == device) return p.size;
+  }
+  return 0;
+}
+
+std::size_t VectorData::partOffsetOn(int device) {
+  for (const PartRange& p : plannedPartition()) {
+    if (p.device == device) return p.offset;
+  }
+  return 0;
+}
+
+const std::byte* VectorData::hostRead() {
+  ensureHostValid();
+  return host_.data();
+}
+
+std::byte* VectorData::hostWrite() {
+  ensureHostValid();
+  markHostModified();
+  return host_.data();
+}
+
+void VectorData::setDistribution(Distribution dist) {
+  SKELCL_CHECK(dist.isSet(), "cannot set an empty distribution");
+  requested_ = std::move(dist);
+}
+
+void VectorData::defaultDistribution(const Distribution& dist) {
+  if (!requested_.isSet()) requested_ = dist;
+}
+
+bool VectorData::partsMatchRequested() {
+  if (!devices_valid_) return false;
+  const auto want = effective(requested_).partition(count_, Runtime::instance().deviceCount());
+  if (want.size() != parts_.size()) return false;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (want[i].device != parts_[i].device || want[i].offset != parts_[i].offset ||
+        want[i].size != parts_[i].size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevices() {
+  SKELCL_CHECK(requested_.isSet(), "vector has no distribution");
+  if (partsMatchRequested()) return parts_;
+  // Redistribution goes through the host (pre-peer-access hardware; this is
+  // exactly the download/upload sequence of paper Figure 3).
+  ensureHostValid();
+  materializeParts(/*upload=*/true);
+  return parts_;
+}
+
+const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevicesNoUpload() {
+  SKELCL_CHECK(requested_.isSet(), "vector has no distribution");
+  if (partsMatchRequested()) return parts_;
+  materializeParts(/*upload=*/false);
+  host_valid_ = false;  // the kernel will produce the data
+  return parts_;
+}
+
+void VectorData::materializeParts(bool upload) {
+  auto& rt = Runtime::instance();
+  parts_.clear();
+  const auto ranges = effective(requested_).partition(count_, rt.deviceCount());
+  for (const PartRange& r : ranges) {
+    DevicePart part;
+    part.device = r.device;
+    part.offset = r.offset;
+    part.size = r.size;
+    if (r.size > 0) {
+      part.buffer = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
+                                                  r.size * elem_size_);
+      if (upload) {
+        rt.queue(r.device).enqueueWriteBuffer(*part.buffer, 0, r.size * elem_size_,
+                                              host_.data() + r.offset * elem_size_);
+      }
+    }
+    parts_.push_back(std::move(part));
+  }
+  // Uploads are asynchronous in simulated time; correctness of later kernel
+  // launches is preserved by the in-order per-device queues.
+  current_ = requested_;
+  devices_valid_ = true;
+}
+
+void VectorData::downloadParts() {
+  auto& rt = Runtime::instance();
+  for (const DevicePart& part : parts_) {
+    if (part.size == 0) continue;
+    rt.queue(part.device)
+        .enqueueReadBuffer(*part.buffer, 0, part.size * elem_size_,
+                           host_.data() + part.offset * elem_size_, /*blocking=*/true);
+  }
+}
+
+void VectorData::ensureHostValid() {
+  if (host_valid_) return;
+  SKELCL_CHECK(devices_valid_, "vector holds no valid data");
+  if (current_.kind() == Distribution::Kind::Copy) {
+    combineCopiesToHost();
+  } else {
+    downloadParts();
+  }
+  host_valid_ = true;
+}
+
+void VectorData::combineCopiesToHost() {
+  auto& rt = Runtime::instance();
+  SKELCL_CHECK(!parts_.empty(), "copy distribution without parts");
+
+  // Download the first device's copy into host memory.
+  const DevicePart& first = parts_.front();
+  if (first.size > 0) {
+    rt.queue(first.device)
+        .enqueueReadBuffer(*first.buffer, 0, first.size * elem_size_, host_.data(),
+                           /*blocking=*/true);
+  }
+  if (!current_.hasCombine() || parts_.size() < 2 || count_ == 0) {
+    // Paper III-A: without a combine function, the first device's copy is
+    // the new version; other copies are discarded.
+    return;
+  }
+
+  SKELCL_CHECK(elem_kind_ != ElemKind::Other,
+               "combine functions require scalar element types");
+
+  // Fold the remaining copies element-wise with the user's binary function.
+  const auto program = rt.hostProgram(current_.combineSource());
+  const int fn = program->findFunction("func");
+  kc::Vm vm(*program, {});
+  std::vector<std::byte> other(bytes());
+
+  const bool floating = elem_kind_ == ElemKind::F32 || elem_kind_ == ElemKind::F64;
+  for (std::size_t p = 1; p < parts_.size(); ++p) {
+    rt.queue(parts_[p].device)
+        .enqueueReadBuffer(*parts_[p].buffer, 0, bytes(), other.data(), /*blocking=*/true);
+    for (std::size_t i = 0; i < count_; ++i) {
+      kc::Slot a, b;
+      const std::byte* pa = host_.data() + i * elem_size_;
+      const std::byte* pb = other.data() + i * elem_size_;
+      switch (elem_kind_) {
+        case ElemKind::F32: {
+          float fa, fb;
+          std::memcpy(&fa, pa, 4);
+          std::memcpy(&fb, pb, 4);
+          a = kc::Slot::fromFloat(fa);
+          b = kc::Slot::fromFloat(fb);
+          break;
+        }
+        case ElemKind::F64: {
+          double fa, fb;
+          std::memcpy(&fa, pa, 8);
+          std::memcpy(&fb, pb, 8);
+          a = kc::Slot::fromFloat(fa);
+          b = kc::Slot::fromFloat(fb);
+          break;
+        }
+        case ElemKind::I32:
+        case ElemKind::U32: {
+          std::int32_t ia, ib;
+          std::memcpy(&ia, pa, 4);
+          std::memcpy(&ib, pb, 4);
+          a = kc::Slot::fromInt(ia);
+          b = kc::Slot::fromInt(ib);
+          break;
+        }
+        case ElemKind::Other:
+          break;
+      }
+      const kc::Slot r = vm.callFunction(fn, std::array<kc::Slot, 2>{a, b});
+      std::byte* out = host_.data() + i * elem_size_;
+      switch (elem_kind_) {
+        case ElemKind::F32: {
+          const float v = static_cast<float>(r.f);
+          std::memcpy(out, &v, 4);
+          break;
+        }
+        case ElemKind::F64:
+          std::memcpy(out, &r.f, 8);
+          break;
+        case ElemKind::I32:
+        case ElemKind::U32: {
+          const std::int32_t v = static_cast<std::int32_t>(r.i);
+          std::memcpy(out, &v, 4);
+          break;
+        }
+        case ElemKind::Other:
+          break;
+      }
+    }
+    (void)floating;
+  }
+  // The element-wise fold runs on the host CPU; charge it once.
+  rt.system().reserveHostCompute(2 * bytes() * (parts_.size() - 1),
+                                 vm.instructionsExecuted());
+  // The device copies now disagree with the combined host version.
+  devices_valid_ = false;
+}
+
+const VectorData::DevicePart* VectorData::partOn(int device) const {
+  for (const DevicePart& p : parts_) {
+    if (p.device == device) return &p;
+  }
+  return nullptr;
+}
+
+void VectorData::markDevicesModified() {
+  SKELCL_CHECK(devices_valid_ || parts_.empty(),
+               "dataOnDevicesModified on a vector without device data");
+  if (!parts_.empty()) {
+    devices_valid_ = true;
+    host_valid_ = false;
+  }
+}
+
+void VectorData::markHostModified() {
+  host_valid_ = true;
+  devices_valid_ = false;
+}
+
+}  // namespace skelcl::detail

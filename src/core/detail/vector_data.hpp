@@ -1,0 +1,103 @@
+// The untyped core of skelcl::Vector<T>: host storage, per-device buffer
+// parts, and the lazy coherence protocol of paper Section II-B / III-A.
+//
+// Invariants:
+//  * hostValid_ and devicesValid_ are never both false.
+//  * devicesValid_ implies parts_ matches currentDist_ and holds the data.
+//  * Distribution changes are lazy: setDistribution records the request;
+//    data moves when a skeleton or host access actually needs it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "ocl/ocl.hpp"
+
+namespace skelcl::detail {
+
+/// Scalar kind of the element type, needed when user operations (reduce
+/// fold, copy-combine) run on the host through the VM.
+enum class ElemKind { F32, F64, I32, U32, Other };
+
+class VectorData {
+ public:
+  VectorData(std::size_t count, std::size_t elemSize, ElemKind kind);
+
+  VectorData(const VectorData&) = delete;
+  VectorData& operator=(const VectorData&) = delete;
+
+  std::size_t count() const { return count_; }
+  std::size_t elemSize() const { return elem_size_; }
+  std::size_t bytes() const { return count_ * elem_size_; }
+  ElemKind elemKind() const { return elem_kind_; }
+
+  // --- host access (implicit download, paper II-B) ---
+  const std::byte* hostRead();  ///< ensure host copy is current
+  std::byte* hostWrite();       ///< hostRead + invalidate device copies
+
+  // --- distribution (paper III-A) ---
+  void setDistribution(Distribution dist);  ///< lazy; combining happens on demand
+  /// Set only if the user has not chosen one (skeleton defaults).
+  void defaultDistribution(const Distribution& dist);
+  const Distribution& distribution() const { return requested_; }
+
+  /// The partition the vector will use (respecting runtime scheduler weights).
+  std::vector<PartRange> plannedPartition();
+  /// Per-device part size under the planned partition (0 if none).
+  std::size_t partSizeOn(int device);
+  /// Per-device part element offset under the planned partition (0 if none).
+  std::size_t partOffsetOn(int device);
+
+  // --- device materialization (used by skeletons) ---
+  struct DevicePart {
+    int device = 0;
+    std::size_t offset = 0;  ///< element offset
+    std::size_t size = 0;    ///< element count
+    std::unique_ptr<ocl::Buffer> buffer;  ///< null when size == 0
+  };
+
+  /// Apply the requested distribution, uploading data lazily (only what is
+  /// stale moves).  Returns the parts.
+  const std::vector<DevicePart>& ensureOnDevices();
+
+  /// Materialize parts for the requested distribution *without* uploading —
+  /// for skeleton outputs that will be fully overwritten by a kernel.
+  const std::vector<DevicePart>& ensureOnDevicesNoUpload();
+
+  /// The part residing on `device`, or nullptr (valid after ensureOnDevices*).
+  const DevicePart* partOn(int device) const;
+
+  // --- modification tracking ---
+  void markDevicesModified();  ///< Vector::dataOnDevicesModified
+  void markHostModified();     ///< Vector::dataOnHostModified
+
+  // --- introspection (tests, benches) ---
+  bool hostValid() const { return host_valid_; }
+  bool devicesValid() const { return devices_valid_; }
+
+ private:
+  void ensureHostValid();
+  void materializeParts(bool upload);
+  void downloadParts();
+  /// Fold divergent copy-distribution versions into host memory using the
+  /// distribution's combine function (or keep device 0's version).
+  void combineCopiesToHost();
+  bool partsMatchRequested();
+  Distribution effective(const Distribution& d) const;
+
+  std::size_t count_;
+  std::size_t elem_size_;
+  ElemKind elem_kind_;
+
+  std::vector<std::byte> host_;
+  bool host_valid_ = true;
+
+  std::vector<DevicePart> parts_;
+  Distribution current_;     ///< distribution the parts represent
+  bool devices_valid_ = false;
+  Distribution requested_;   ///< latest requested distribution
+};
+
+}  // namespace skelcl::detail

@@ -1,0 +1,124 @@
+#include "core/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace skelcl {
+
+Distribution Distribution::single(int device) {
+  Distribution d;
+  d.kind_ = Kind::Single;
+  d.device_ = device;
+  return d;
+}
+
+Distribution Distribution::block() {
+  Distribution d;
+  d.kind_ = Kind::Block;
+  return d;
+}
+
+Distribution Distribution::block(std::vector<double> weights) {
+  SKELCL_CHECK(!weights.empty(), "block weights must not be empty");
+  double total = 0.0;
+  for (double w : weights) {
+    SKELCL_CHECK(w >= 0.0, "block weights must be non-negative");
+    total += w;
+  }
+  SKELCL_CHECK(total > 0.0, "at least one block weight must be positive");
+  Distribution d;
+  d.kind_ = Kind::Block;
+  d.weights_ = std::move(weights);
+  return d;
+}
+
+Distribution Distribution::copy() {
+  Distribution d;
+  d.kind_ = Kind::Copy;
+  return d;
+}
+
+Distribution Distribution::copy(std::string combineSource) {
+  Distribution d;
+  d.kind_ = Kind::Copy;
+  d.combine_ = std::move(combineSource);
+  return d;
+}
+
+std::vector<PartRange> Distribution::partition(std::size_t count, int deviceCount) const {
+  SKELCL_CHECK(deviceCount > 0, "no devices");
+  std::vector<PartRange> parts;
+  switch (kind_) {
+    case Kind::None:
+      throw UsageError("vector has no distribution; set one or let a skeleton default it");
+    case Kind::Single: {
+      SKELCL_CHECK(device_ >= 0 && device_ < deviceCount,
+                   "single distribution names a device the system does not have");
+      parts.push_back(PartRange{device_, 0, count});
+      return parts;
+    }
+    case Kind::Copy: {
+      for (int d = 0; d < deviceCount; ++d) parts.push_back(PartRange{d, 0, count});
+      return parts;
+    }
+    case Kind::Block: {
+      std::vector<double> w = weights_;
+      if (w.empty()) w.assign(static_cast<std::size_t>(deviceCount), 1.0);
+      SKELCL_CHECK(static_cast<int>(w.size()) == deviceCount,
+                   "block weights must have one entry per device");
+      const double total = std::accumulate(w.begin(), w.end(), 0.0);
+
+      // Largest-remainder apportionment: proportional, sums exactly to count.
+      std::vector<std::size_t> sizes(w.size(), 0);
+      std::vector<std::pair<double, std::size_t>> remainders;
+      std::size_t assigned = 0;
+      for (std::size_t d = 0; d < w.size(); ++d) {
+        const double exact = static_cast<double>(count) * w[d] / total;
+        sizes[d] = static_cast<std::size_t>(exact);
+        assigned += sizes[d];
+        remainders.emplace_back(exact - std::floor(exact), d);
+      }
+      std::sort(remainders.begin(), remainders.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return a.second < b.second;
+      });
+      for (std::size_t i = 0; assigned < count; ++i, ++assigned) {
+        sizes[remainders[i % remainders.size()].second] += 1;
+      }
+
+      std::size_t offset = 0;
+      for (int d = 0; d < deviceCount; ++d) {
+        const std::size_t s = sizes[static_cast<std::size_t>(d)];
+        if (s == 0 && weights_.empty() == false && w[static_cast<std::size_t>(d)] == 0.0) {
+          continue;  // explicitly excluded device
+        }
+        parts.push_back(PartRange{d, offset, s});
+        offset += s;
+      }
+      return parts;
+    }
+  }
+  return parts;
+}
+
+bool operator==(const Distribution& a, const Distribution& b) {
+  if (a.kind_ != b.kind_) return false;
+  if (a.kind_ == Distribution::Kind::Single && a.device_ != b.device_) return false;
+  if (a.kind_ == Distribution::Kind::Block && a.weights_ != b.weights_) return false;
+  return true;
+}
+
+std::string Distribution::describe() const {
+  switch (kind_) {
+    case Kind::None: return "none";
+    case Kind::Single: return "single(" + std::to_string(device_) + ")";
+    case Kind::Block: return weights_.empty() ? "block" : "block(weighted)";
+    case Kind::Copy: return hasCombine() ? "copy(combine)" : "copy";
+  }
+  return "?";
+}
+
+}  // namespace skelcl

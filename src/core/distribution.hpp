@@ -1,0 +1,71 @@
+// Data distributions for vectors on multi-GPU systems (paper Section III-A,
+// Figure 1): single, block, and copy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace skelcl {
+
+/// One contiguous slice of a vector assigned to a device.
+struct PartRange {
+  int device = 0;
+  std::size_t offset = 0;  ///< element offset into the vector
+  std::size_t size = 0;    ///< element count (for copy: the full size)
+};
+
+class Distribution {
+ public:
+  enum class Kind {
+    None,    ///< not yet distributed; skeletons apply their default
+    Single,  ///< whole vector on one GPU (Figure 1a)
+    Block,   ///< contiguous disjoint parts, one per GPU (Figure 1b)
+    Copy,    ///< full copy on every GPU (Figure 1c)
+  };
+
+  Distribution() = default;
+
+  /// Whole data on `device` (the first GPU if not specified otherwise).
+  static Distribution single(int device = 0);
+
+  /// Contiguous disjoint parts.  Without weights the split is even; with
+  /// weights, part sizes are proportional (used by the heterogeneous
+  /// scheduler of Section V).
+  static Distribution block();
+  static Distribution block(std::vector<double> weights);
+
+  /// Full copy on each device.  When the distribution is changed away from
+  /// copy, device versions are combined element-wise with `combineSource`
+  /// (a kernel-language binary function named `func`); without one, the
+  /// first device's copy wins and the others are discarded (paper III-A).
+  static Distribution copy();
+  static Distribution copy(std::string combineSource);
+
+  Kind kind() const { return kind_; }
+  bool isSet() const { return kind_ != Kind::None; }
+  int device() const { return device_; }
+  const std::vector<double>& weights() const { return weights_; }
+  bool hasCombine() const { return !combine_.empty(); }
+  const std::string& combineSource() const { return combine_; }
+
+  /// Compute the device parts for a vector of `count` elements over
+  /// `deviceCount` devices.  For Copy, returns one full-size part per device.
+  /// Zero-weight devices receive no part under Block.
+  std::vector<PartRange> partition(std::size_t count, int deviceCount) const;
+
+  /// Structural equality relevant for skeleton-input compatibility: kind,
+  /// single-device id, and block weights.
+  friend bool operator==(const Distribution& a, const Distribution& b);
+
+  /// "single(0)", "block", "copy" — for error messages.
+  std::string describe() const;
+
+ private:
+  Kind kind_ = Kind::None;
+  int device_ = 0;
+  std::vector<double> weights_;
+  std::string combine_;
+};
+
+}  // namespace skelcl

@@ -1,0 +1,32 @@
+#include "core/skelcl.hpp"
+
+#include "core/detail/runtime.hpp"
+
+namespace skelcl {
+
+void init(sim::SystemConfig config) { detail::Runtime::init(std::move(config)); }
+
+void terminate() { detail::Runtime::terminate(); }
+
+int deviceCount() { return detail::Runtime::instance().deviceCount(); }
+
+double simTimeSeconds() { return detail::Runtime::instance().system().hostNow(); }
+
+void finish() {
+  auto& rt = detail::Runtime::instance();
+  for (int d = 0; d < rt.deviceCount(); ++d) rt.queue(d).finish();
+}
+
+void resetSimClock() {
+  auto& rt = detail::Runtime::instance();
+  rt.system().resetClock();
+  for (int d = 0; d < rt.deviceCount(); ++d) rt.queue(d).resetClock();
+}
+
+const sim::Stats& simStats() { return detail::Runtime::instance().system().stats(); }
+
+void setPartitionWeights(std::vector<double> weights) {
+  detail::Runtime::instance().setPartitionWeights(std::move(weights));
+}
+
+}  // namespace skelcl

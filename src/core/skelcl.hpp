@@ -1,0 +1,47 @@
+// SkelCL public API umbrella header.
+//
+//   #include "core/skelcl.hpp"
+//
+//   skelcl::init(skelcl::sim::SystemConfig::teslaS1070(4));
+//   skelcl::Zip<float> saxpy("float func(float x, float y, float a)"
+//                            "{ return a * x + y; }");
+//   skelcl::Vector<float> X(n), Y(n);
+//   ...
+//   Y = saxpy(X, Y, a);
+//   skelcl::terminate();
+#pragma once
+
+#include "core/distribution.hpp"   // IWYU pragma: export
+#include "core/skeletons.hpp"      // IWYU pragma: export
+#include "core/type_name.hpp"      // IWYU pragma: export
+#include "core/vector.hpp"         // IWYU pragma: export
+#include "sim/device_spec.hpp"     // IWYU pragma: export
+
+namespace skelcl {
+
+/// Initialize the SkelCL runtime over a (simulated) machine.
+void init(sim::SystemConfig config);
+
+/// Tear the runtime down (all vectors must be gone by then).
+void terminate();
+
+/// Number of devices the runtime drives.
+int deviceCount();
+
+/// Simulated time the host has spent so far, in seconds (benchmarks).
+double simTimeSeconds();
+
+/// Wait for all devices to finish and advance the host clock accordingly.
+void finish();
+
+/// Reset the simulated clock and statistics (between benchmark repetitions).
+void resetSimClock();
+
+/// Transfer / kernel-launch statistics of the simulated machine.
+const sim::Stats& simStats();
+
+/// Set proportional block-partition weights for devices (used by the static
+/// scheduler for heterogeneous systems, Section V).  Empty = even split.
+void setPartitionWeights(std::vector<double> weights);
+
+}  // namespace skelcl

@@ -1,0 +1,279 @@
+// The four SkelCL skeletons (paper Section II-A): map, zip, reduce, scan.
+//
+// A skeleton is constructed from the *source code* of a user-defined function
+// (named `func`), passed as a plain string; SkelCL merges it with
+// pre-implemented skeleton code into a valid kernel, which the runtime
+// compiles on first use (and caches).  Skeletons accept additional arguments
+// beyond their fixed inputs — scalars, vectors, and per-device size tokens —
+// which are appended to the user function's parameter list (Section II-A,
+// Listing 1).
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "core/detail/skeleton_exec.hpp"
+#include "core/vector.hpp"
+
+namespace skelcl {
+
+/// Tag for index-based map skeletons: Map<int(Index)> takes an IndexVector.
+struct Index {};
+
+namespace detail {
+
+template <typename T>
+inline constexpr bool isSkeletonElement =
+    std::is_same_v<T, float> || std::is_same_v<T, double> ||
+    std::is_same_v<T, std::int32_t> || std::is_same_v<T, std::uint32_t>;
+
+// --- additional-argument packing ---
+
+template <typename T>
+ExtraArg makeExtra(const Vector<T>& v) {
+  ExtraArg e;
+  e.kind = ExtraArg::Kind::VectorRef;
+  e.typeName = kernelTypeName<T>();
+  e.typeDefinition = kernelTypeDefinition<T>();
+  e.vector = &v.impl();
+  return e;
+}
+
+inline ExtraArg makeExtra(const SizesToken& token) {
+  ExtraArg e;
+  e.kind = ExtraArg::Kind::Sizes;
+  e.vector = token.data;
+  return e;
+}
+
+inline ExtraArg makeExtra(const OffsetsToken& token) {
+  ExtraArg e;
+  e.kind = ExtraArg::Kind::Offsets;
+  e.vector = token.data;
+  return e;
+}
+
+template <typename T, typename = std::enable_if_t<std::is_arithmetic_v<T>>>
+ExtraArg makeExtra(T value) {
+  ExtraArg e;
+  e.kind = ExtraArg::Kind::Scalar;
+  if constexpr (std::is_floating_point_v<T>) {
+    e.typeName = std::is_same_v<T, double> ? "double" : "float";
+    e.scalarIsFloat = true;
+    e.scalarF = static_cast<double>(value);
+  } else {
+    e.typeName = std::is_unsigned_v<T> ? "uint" : "int";
+    e.scalarIsFloat = false;
+    e.scalarI = static_cast<std::int64_t>(value);
+  }
+  return e;
+}
+
+template <typename... Extras>
+std::vector<ExtraArg> packExtras(const Extras&... extras) {
+  std::vector<ExtraArg> out;
+  (out.push_back(makeExtra(extras)), ...);
+  return out;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------------
+
+template <typename>
+class Map;
+
+/// map(f)([x1..xn]) = [f(x1)..f(xn)]
+template <typename Tout, typename Tin>
+class Map<Tout(Tin)> {
+  static_assert(detail::isSkeletonElement<Tin> && detail::isSkeletonElement<Tout>,
+                "skeleton element types must be float/double/int/uint "
+                "(structs travel through additional arguments)");
+
+ public:
+  explicit Map(std::string userSource) : source_(std::move(userSource)) {}
+
+  template <typename... Extras>
+  Vector<Tout> operator()(const Vector<Tin>& input, const Extras&... extras) {
+    Vector<Tout> output(input.size());
+    run(output, input, extras...);
+    return output;
+  }
+
+  template <typename... Extras>
+  void operator()(Out<Tout> output, const Vector<Tin>& input, const Extras&... extras) {
+    SKELCL_CHECK(output.target().size() == input.size(), "output size mismatch");
+    run(output.target(), input, extras...);
+  }
+
+ private:
+  template <typename... Extras>
+  void run(Vector<Tout>& output, const Vector<Tin>& input, const Extras&... extras) {
+    auto packed = detail::packExtras(extras...);
+    detail::runElementwise(source_, &input.impl(), nullptr, 0, Distribution{}, output.impl(),
+                           kernelTypeName<Tin>(), "", kernelTypeName<Tout>(), packed);
+  }
+
+  std::string source_;
+};
+
+/// Index-based map: work-items receive their global index (paper Listing 3).
+template <typename Tout>
+class Map<Tout(Index)> {
+  static_assert(detail::isSkeletonElement<Tout>, "invalid output element type");
+
+ public:
+  explicit Map(std::string userSource) : source_(std::move(userSource)) {}
+
+  template <typename... Extras>
+  Vector<Tout> operator()(const IndexVector& input, const Extras&... extras) {
+    Vector<Tout> output(input.size());
+    auto packed = detail::packExtras(extras...);
+    detail::runElementwise(source_, nullptr, nullptr, input.size(), input.distribution(),
+                           output.impl(), "", "", kernelTypeName<Tout>(), packed);
+    return output;
+  }
+
+ private:
+  std::string source_;
+};
+
+/// Map<T> is shorthand for Map<T(T)>.
+template <typename T>
+class Map : public Map<T(T)> {
+ public:
+  using Map<T(T)>::Map;
+};
+
+// ---------------------------------------------------------------------------
+// Zip
+// ---------------------------------------------------------------------------
+
+template <typename>
+class Zip;
+
+/// zip(op)([x...], [y...]) = [x1 op y1, ...]
+template <typename Tout, typename Tl, typename Tr>
+class Zip<Tout(Tl, Tr)> {
+  static_assert(detail::isSkeletonElement<Tl> && detail::isSkeletonElement<Tr> &&
+                    detail::isSkeletonElement<Tout>,
+                "skeleton element types must be float/double/int/uint");
+
+ public:
+  explicit Zip(std::string userSource) : source_(std::move(userSource)) {}
+
+  template <typename... Extras>
+  Vector<Tout> operator()(const Vector<Tl>& left, const Vector<Tr>& right,
+                          const Extras&... extras) {
+    Vector<Tout> output(left.size());
+    run(output, left, right, extras...);
+    return output;
+  }
+
+  template <typename... Extras>
+  void operator()(Out<Tout> output, const Vector<Tl>& left, const Vector<Tr>& right,
+                  const Extras&... extras) {
+    SKELCL_CHECK(output.target().size() == left.size(), "output size mismatch");
+    run(output.target(), left, right, extras...);
+  }
+
+ private:
+  template <typename... Extras>
+  void run(Vector<Tout>& output, const Vector<Tl>& left, const Vector<Tr>& right,
+           const Extras&... extras) {
+    auto packed = detail::packExtras(extras...);
+    detail::runElementwise(source_, &left.impl(), &right.impl(), 0, Distribution{},
+                           output.impl(), kernelTypeName<Tl>(), kernelTypeName<Tr>(),
+                           kernelTypeName<Tout>(), packed);
+  }
+
+  std::string source_;
+};
+
+/// Zip<T> is shorthand for Zip<T(T, T)> (paper Listing 1: `Zip<float> saxpy`).
+template <typename T>
+class Zip : public Zip<T(T, T)> {
+ public:
+  using Zip<T(T, T)>::Zip;
+};
+
+// ---------------------------------------------------------------------------
+// Reduce
+// ---------------------------------------------------------------------------
+
+template <typename>
+class Reduce;
+
+/// reduce(op)([x1..xn]) = x1 op x2 op ... op xn.  The operator must be
+/// associative but may be non-commutative (paper II-A).
+template <typename T>
+class Reduce<T(T)> {
+  static_assert(detail::isSkeletonElement<T>, "invalid element type");
+
+ public:
+  explicit Reduce(std::string userSource) : source_(std::move(userSource)) {}
+
+  template <typename... Extras>
+  T operator()(const Vector<T>& input, const Extras&... extras) {
+    auto packed = detail::packExtras(extras...);
+    const kc::Slot result =
+        detail::runReduce(source_, input.impl(), kernelTypeName<T>(), packed);
+    if constexpr (std::is_floating_point_v<T>) {
+      return static_cast<T>(result.f);
+    } else {
+      return static_cast<T>(result.i);
+    }
+  }
+
+ private:
+  std::string source_;
+};
+
+/// Reduce<T> is shorthand for Reduce<T(T)>.
+template <typename T>
+class Reduce : public Reduce<T(T)> {
+ public:
+  using Reduce<T(T)>::Reduce;
+};
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+template <typename>
+class Scan;
+
+/// scan(op)([x1..xn]) = [x1, x1 op x2, ..., x1 op ... op xn] (inclusive).
+template <typename T>
+class Scan<T(T, T)> {
+  static_assert(detail::isSkeletonElement<T>, "invalid element type");
+
+ public:
+  explicit Scan(std::string userSource) : source_(std::move(userSource)) {}
+
+  Vector<T> operator()(const Vector<T>& input) {
+    Vector<T> output(input.size());
+    detail::runScan(source_, input.impl(), output.impl(), kernelTypeName<T>());
+    return output;
+  }
+
+  void operator()(Out<T> output, const Vector<T>& input) {
+    SKELCL_CHECK(output.target().size() == input.size(), "output size mismatch");
+    detail::runScan(source_, input.impl(), output.target().impl(), kernelTypeName<T>());
+  }
+
+ private:
+  std::string source_;
+};
+
+/// Scan<T> is shorthand for Scan<T(T, T)>.
+template <typename T>
+class Scan : public Scan<T(T, T)> {
+ public:
+  using Scan<T(T, T)>::Scan;
+};
+
+}  // namespace skelcl

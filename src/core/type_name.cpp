@@ -1,0 +1,50 @@
+#include "core/type_name.hpp"
+
+#include <unordered_map>
+
+namespace skelcl::detail {
+
+namespace {
+struct Registered {
+  std::string name;
+  std::string definition;
+};
+
+std::unordered_map<std::type_index, Registered>& registry() {
+  static std::unordered_map<std::type_index, Registered> map;
+  return map;
+}
+}  // namespace
+
+void registerKernelTypeImpl(std::type_index type, std::string name, std::string definition) {
+  // Re-registration with the same name is allowed (helps tests); a different
+  // name for the same type is a bug.
+  auto it = registry().find(type);
+  if (it != registry().end()) {
+    SKELCL_CHECK(it->second.name == name,
+                 "type already registered under the name '" + it->second.name + "'");
+    it->second.definition = std::move(definition);
+    return;
+  }
+  registry().emplace(type, Registered{std::move(name), std::move(definition)});
+}
+
+const std::string& kernelTypeNameImpl(std::type_index type) {
+  const auto it = registry().find(type);
+  SKELCL_CHECK(it != registry().end(),
+               std::string("type not registered with registerKernelType: ") + type.name());
+  return it->second.name;
+}
+
+const std::string& kernelTypeDefinitionImpl(std::type_index type) {
+  const auto it = registry().find(type);
+  SKELCL_CHECK(it != registry().end(),
+               std::string("type not registered with registerKernelType: ") + type.name());
+  return it->second.definition;
+}
+
+bool kernelTypeRegisteredImpl(std::type_index type) {
+  return registry().count(type) > 0;
+}
+
+}  // namespace skelcl::detail

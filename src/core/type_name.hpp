@@ -1,0 +1,75 @@
+// Mapping from host C++ element types to kernel-language type names.
+//
+// Arithmetic types map directly.  Struct types (e.g. the OSEM Event record)
+// are registered once with their kernel-language definition; SkelCL prepends
+// the definition to every generated program that uses the type, so host and
+// device share one memory layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <typeindex>
+
+#include "base/error.hpp"
+
+namespace skelcl {
+
+namespace detail {
+void registerKernelTypeImpl(std::type_index type, std::string name, std::string definition);
+const std::string& kernelTypeNameImpl(std::type_index type);
+const std::string& kernelTypeDefinitionImpl(std::type_index type);
+bool kernelTypeRegisteredImpl(std::type_index type);
+}  // namespace detail
+
+/// Register a trivially-copyable struct for use in SkelCL vectors.
+/// `definition` must be a kernel-language `typedef struct { ... } Name;`
+/// whose layout matches the C++ type (the natural x86-64 layout rules).
+template <typename T>
+void registerKernelType(std::string name, std::string definition) {
+  static_assert(std::is_trivially_copyable_v<T>, "kernel types must be trivially copyable");
+  detail::registerKernelTypeImpl(std::type_index(typeid(T)), std::move(name),
+                                 std::move(definition));
+}
+
+/// The kernel-language spelling of T ("float", "int", "Event", ...).
+template <typename T>
+const std::string& kernelTypeName() {
+  using D = std::remove_cv_t<T>;
+  if constexpr (std::is_same_v<D, float>) {
+    static const std::string n = "float";
+    return n;
+  } else if constexpr (std::is_same_v<D, double>) {
+    static const std::string n = "double";
+    return n;
+  } else if constexpr (std::is_same_v<D, std::int32_t>) {
+    static const std::string n = "int";
+    return n;
+  } else if constexpr (std::is_same_v<D, std::uint32_t>) {
+    static const std::string n = "uint";
+    return n;
+  } else {
+    return detail::kernelTypeNameImpl(std::type_index(typeid(D)));
+  }
+}
+
+/// The kernel-language definition to prepend for T ("" for builtins).
+template <typename T>
+const std::string& kernelTypeDefinition() {
+  using D = std::remove_cv_t<T>;
+  if constexpr (std::is_same_v<D, float> || std::is_same_v<D, double> ||
+                std::is_same_v<D, std::int32_t> || std::is_same_v<D, std::uint32_t>) {
+    static const std::string empty;
+    return empty;
+  } else {
+    return detail::kernelTypeDefinitionImpl(std::type_index(typeid(D)));
+  }
+}
+
+template <typename T>
+constexpr bool isBuiltinKernelType() {
+  using D = std::remove_cv_t<T>;
+  return std::is_same_v<D, float> || std::is_same_v<D, double> ||
+         std::is_same_v<D, std::int32_t> || std::is_same_v<D, std::uint32_t>;
+}
+
+}  // namespace skelcl

@@ -1,0 +1,146 @@
+// skelcl::Vector<T> — the abstract vector data type (paper Section II-B).
+//
+// A Vector is a contiguous range of elements accessible by both the CPU and
+// the GPUs.  Host<->device transfers are implicit and lazy; distributions
+// (single/block/copy) describe its placement across multiple GPUs.
+#pragma once
+
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+#include "core/detail/vector_data.hpp"
+#include "core/type_name.hpp"
+
+namespace skelcl {
+
+namespace detail {
+template <typename T>
+constexpr ElemKind elemKindOf() {
+  if constexpr (std::is_same_v<T, float>) return ElemKind::F32;
+  else if constexpr (std::is_same_v<T, double>) return ElemKind::F64;
+  else if constexpr (std::is_same_v<T, std::int32_t>) return ElemKind::I32;
+  else if constexpr (std::is_same_v<T, std::uint32_t>) return ElemKind::U32;
+  else return ElemKind::Other;
+}
+
+/// Token produced by Vector::sizes(): when passed as an additional skeleton
+/// argument, each device receives *its own* part size of the referenced
+/// vector as an int (used as `events.sizes()` in the paper's Listing 3).
+struct SizesToken {
+  VectorData* data;
+};
+
+/// Token produced by Vector::offsets(): each device receives the element
+/// offset of *its own* part of the referenced vector, so index-based user
+/// functions can convert a global index into a part-local one.
+struct OffsetsToken {
+  VectorData* data;
+};
+}  // namespace detail
+
+template <typename T>
+class Vector {
+  static_assert(std::is_trivially_copyable_v<T>, "vector elements must be trivially copyable");
+
+ public:
+  using value_type = T;
+
+  /// A vector of `count` default (zero) elements.
+  explicit Vector(std::size_t count)
+      : data_(std::make_shared<detail::VectorData>(count, sizeof(T), detail::elemKindOf<T>())) {}
+
+  /// A vector initialized from host data.
+  Vector(std::initializer_list<T> init) : Vector(std::vector<T>(init)) {}
+  explicit Vector(const std::vector<T>& init) : Vector(init.size()) {
+    T* dst = reinterpret_cast<T*>(data_->hostWrite());
+    std::copy(init.begin(), init.end(), dst);
+  }
+
+  // Vectors share their payload when copied (cheap handle semantics, as in
+  // SkelCL where skeleton results are moved around freely).
+  Vector(const Vector&) = default;
+  Vector& operator=(const Vector&) = default;
+  Vector(Vector&&) noexcept = default;
+  Vector& operator=(Vector&&) noexcept = default;
+
+  std::size_t size() const { return data_->count(); }
+  bool empty() const { return size() == 0; }
+
+  // --- host access: triggers implicit (lazy) downloads -----------------------
+
+  /// Read-only access; device copies stay valid.
+  const T* hostData() const { return reinterpret_cast<const T*>(data_->hostRead()); }
+  const T& operator[](std::size_t i) const { return hostData()[i]; }
+  const T* begin() const { return hostData(); }
+  const T* end() const { return hostData() + size(); }
+
+  /// Mutable access; marks device copies stale.
+  T* hostDataWrite() { return reinterpret_cast<T*>(data_->hostWrite()); }
+  T& operator[](std::size_t i) { return hostDataWrite()[i]; }
+  T* begin() { return hostDataWrite(); }
+  T* end() { return hostDataWrite() + size(); }
+
+  std::vector<T> toStdVector() const { return std::vector<T>(begin(), end()); }
+
+  // --- distribution -----------------------------------------------------------
+
+  void setDistribution(Distribution dist) { data_->setDistribution(std::move(dist)); }
+  const Distribution& distribution() const { return data_->distribution(); }
+
+  /// Per-device part sizes as a skeleton argument token (paper Listing 3:
+  /// `events.sizes()`).
+  detail::SizesToken sizes() const { return detail::SizesToken{data_.get()}; }
+
+  /// Per-device part element offsets as a skeleton argument token; together
+  /// with sizes() this lets index-based user functions address part-local
+  /// data (see the OSEM implementation).
+  detail::OffsetsToken offsets() const { return detail::OffsetsToken{data_.get()}; }
+
+  /// Tell SkelCL a kernel modified this vector through an additional
+  /// argument (paper Listing 3 line 10).
+  void dataOnDevicesModified() { data_->markDevicesModified(); }
+  /// Tell SkelCL host code modified the data behind its back.
+  void dataOnHostModified() { data_->markHostModified(); }
+
+  // --- internals (skeleton implementation) ------------------------------------
+  detail::VectorData& impl() const { return *data_; }
+
+ private:
+  std::shared_ptr<detail::VectorData> data_;
+};
+
+/// A virtual vector [0, 1, ..., n-1] usable as a skeleton's main input; no
+/// storage, no transfers — work-items receive their global index (used as
+/// `index` in the paper's OSEM implementation, Listing 3 line 9).
+class IndexVector {
+ public:
+  explicit IndexVector(std::size_t count) : count_(count) {}
+
+  std::size_t size() const { return count_; }
+  void setDistribution(Distribution dist) { dist_ = std::move(dist); }
+  const Distribution& distribution() const { return dist_; }
+
+ private:
+  std::size_t count_;
+  Distribution dist_;
+};
+
+/// Marks an existing vector as a skeleton's output (written in place):
+/// `zipUpdate(out(f), f, c)`.
+template <typename T>
+class Out {
+ public:
+  explicit Out(Vector<T>& target) : target_(&target) {}
+  Vector<T>& target() const { return *target_; }
+
+ private:
+  Vector<T>* target_;
+};
+
+template <typename T>
+Out<T> out(Vector<T>& v) {
+  return Out<T>(v);
+}
+
+}  // namespace skelcl

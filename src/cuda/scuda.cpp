@@ -1,0 +1,109 @@
+#include "cuda/scuda.hpp"
+
+namespace skelcl::scuda {
+
+const std::string& KernelHandle::name() const { return kernel_->name(); }
+
+Runtime::Runtime(sim::SystemConfig config, std::vector<std::string> modules)
+    : platform_(std::move(config)), context_(platform_.devices()) {
+  for (int d = 0; d < platform_.deviceCount(); ++d) {
+    queues_.push_back(
+        std::make_unique<ocl::CommandQueue>(context_, platform_.device(d), ocl::Api::Cuda));
+  }
+  for (auto& source : modules) {
+    auto program = std::make_unique<ocl::Program>(context_, std::move(source));
+    program->build();
+    programs_.push_back(std::move(program));
+  }
+  // Modules are compiled by nvcc when the application is built, not at
+  // runtime: remove the compilation cost from the simulated clock.
+  platform_.system().resetClock();
+  for (auto& q : queues_) q->resetClock();
+}
+
+void Runtime::setDevice(int device) {
+  SKELCL_CHECK(device >= 0 && device < deviceCount(), "invalid device ordinal");
+  current_ = device;
+}
+
+ocl::CommandQueue& Runtime::queue(int device) {
+  return *queues_[static_cast<std::size_t>(device)];
+}
+
+DevPtr Runtime::malloc(std::uint64_t bytes) {
+  const int id = nextAllocation_++;
+  allocations_.emplace(
+      id, std::make_unique<ocl::Buffer>(context_, platform_.device(current_), bytes));
+  DevPtr p;
+  p.device = current_;
+  p.allocation = id;
+  return p;
+}
+
+void Runtime::free(DevPtr ptr) {
+  SKELCL_CHECK(ptr.offset == 0, "free the allocation base pointer");
+  const auto erased = allocations_.erase(ptr.allocation);
+  SKELCL_CHECK(erased == 1, "double free or invalid device pointer");
+}
+
+ocl::Buffer& Runtime::resolve(const DevPtr& ptr) {
+  const auto it = allocations_.find(ptr.allocation);
+  SKELCL_CHECK(it != allocations_.end(), "invalid device pointer");
+  return *it->second;
+}
+
+void Runtime::memcpy(DevPtr dst, const void* src, std::uint64_t bytes) {
+  ocl::Buffer& buffer = resolve(dst);
+  queue(buffer.device().id())
+      .enqueueWriteBuffer(buffer, dst.offset, bytes, src, /*blocking=*/true);
+}
+
+void Runtime::memcpy(void* dst, DevPtr src, std::uint64_t bytes) {
+  ocl::Buffer& buffer = resolve(src);
+  queue(buffer.device().id())
+      .enqueueReadBuffer(buffer, src.offset, bytes, dst, /*blocking=*/true);
+}
+
+void Runtime::memcpyAsync(DevPtr dst, const void* src, std::uint64_t bytes) {
+  ocl::Buffer& buffer = resolve(dst);
+  queue(buffer.device().id())
+      .enqueueWriteBuffer(buffer, dst.offset, bytes, src, /*blocking=*/false);
+}
+
+void Runtime::memcpyAsync(void* dst, DevPtr src, std::uint64_t bytes) {
+  ocl::Buffer& buffer = resolve(src);
+  queue(buffer.device().id())
+      .enqueueReadBuffer(buffer, src.offset, bytes, dst, /*blocking=*/false);
+}
+
+void Runtime::memcpyPeer(DevPtr dst, DevPtr src, std::uint64_t bytes) {
+  ocl::Buffer& srcBuf = resolve(src);
+  ocl::Buffer& dstBuf = resolve(dst);
+  queue(dstBuf.device().id())
+      .enqueueCopyBuffer(srcBuf, dstBuf, src.offset, dst.offset, bytes);
+}
+
+void Runtime::memset(DevPtr dst, int value, std::uint64_t bytes) {
+  ocl::Buffer& buffer = resolve(dst);
+  queue(buffer.device().id())
+      .enqueueFillBuffer(buffer, static_cast<std::byte>(value), dst.offset, bytes);
+}
+
+KernelHandle Runtime::kernel(const std::string& name) {
+  for (auto& program : programs_) {
+    if (program->compiled()->findKernel(name) >= 0) {
+      return KernelHandle(*this, std::make_shared<ocl::Kernel>(*program, name));
+    }
+  }
+  throw UsageError("no registered kernel named '" + name + "'");
+}
+
+void Runtime::launchImpl(KernelHandle& k, std::uint64_t gridSize) {
+  queue(current_).enqueueNDRangeKernel(*k.kernel_, gridSize);
+}
+
+void Runtime::synchronize() {
+  for (auto& q : queues_) q->finish();
+}
+
+}  // namespace skelcl::scuda

@@ -1,0 +1,53 @@
+#include "docl/docl.hpp"
+
+#include "base/error.hpp"
+#include "core/detail/runtime.hpp"
+#include "core/skelcl.hpp"
+
+namespace skelcl::docl {
+
+sim::SystemConfig flatten(const DistributedConfig& config) {
+  SKELCL_CHECK(!config.servers.empty(), "a distributed system needs at least one server");
+  sim::SystemConfig flat;
+  flat.name = "dOpenCL";
+  int linkBase = 0;
+  for (std::size_t node = 0; node < config.servers.size(); ++node) {
+    const sim::SystemConfig& server = config.servers[node];
+    for (sim::DeviceSpec device : server.devices) {
+      device.name = "node" + std::to_string(node) + "/" + device.name;
+      if (device.pcie_link >= 0) device.pcie_link += linkBase;
+      flat.devices.push_back(std::move(device));
+    }
+    for (sim::LinkSpec link : server.links) {
+      link.name = "node" + std::to_string(node) + "/" + link.name;
+      flat.links.push_back(std::move(link));
+    }
+    linkBase += static_cast<int>(server.links.size());
+  }
+  // The client's own memory system: a plain desktop.
+  flat.host_mem_bandwidth_gbs = 8.0;
+  flat.host_flops_gps = 6.0;
+  return flat;
+}
+
+void applyNetworkModel(sim::System& system, const DistributedConfig& config) {
+  for (int d = 0; d < system.deviceCount(); ++d) {
+    system.setDeviceExtraLatency(d, config.network.latency_us * 1e-6,
+                                 config.network.bandwidth_gbs);
+  }
+}
+
+void initSkelCL(const DistributedConfig& config) {
+  init(flatten(config));
+  applyNetworkModel(detail::Runtime::instance().system(), config);
+}
+
+DistributedConfig laboratorySetup() {
+  DistributedConfig config;
+  config.servers.push_back(sim::SystemConfig::teslaS1070(4));
+  config.servers.push_back(sim::SystemConfig::dualGpuServer());
+  config.servers.push_back(sim::SystemConfig::dualGpuServer());
+  return config;
+}
+
+}  // namespace skelcl::docl

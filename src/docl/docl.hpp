@@ -1,0 +1,51 @@
+// dOpenCL — a simulated distributed OpenCL (paper Section V, reference [12]).
+//
+// dOpenCL integrates the native OpenCL implementations of several servers
+// into one unified implementation on a client: to the application, all
+// remote devices appear as local devices.  Because it is a drop-in
+// replacement, SkelCL runs on it without any modification.
+//
+// The simulation models exactly that: the devices of every server are
+// flattened into one SystemConfig the client can init() with, and every
+// command aimed at a remote device additionally pays the client<->server
+// network cost (latency on every command, bandwidth on transfers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/device_spec.hpp"
+#include "sim/system.hpp"
+
+namespace skelcl::docl {
+
+struct NetworkSpec {
+  double bandwidth_gbs = 0.117;  ///< Gigabit Ethernet payload rate (GB/s)
+  double latency_us = 120.0;     ///< request round-trip cost
+};
+
+struct DistributedConfig {
+  /// The servers whose devices the client aggregates.  The client itself
+  /// contributes no devices (the paper's desktop PC has none).
+  std::vector<sim::SystemConfig> servers;
+  NetworkSpec network;
+};
+
+/// Flatten all server devices into one platform configuration, as dOpenCL
+/// presents them to the application.  Device names are prefixed with their
+/// node ("node0/Tesla T10 #1"); PCIe link indices are remapped.
+sim::SystemConfig flatten(const DistributedConfig& config);
+
+/// Charge the network model on every device of `system` (call right after
+/// constructing the platform/runtime over flatten()'s result).
+void applyNetworkModel(sim::System& system, const DistributedConfig& config);
+
+/// Convenience: initialize the SkelCL runtime over the distributed system.
+/// SkelCL code then runs unchanged — the paper's drop-in-replacement claim.
+void initSkelCL(const DistributedConfig& config);
+
+/// The paper's laboratory setup: the 4-GPU S1070 machine plus two dual-GPU
+/// servers, aggregated on a client with no local devices (8 GPUs total).
+DistributedConfig laboratorySetup();
+
+}  // namespace skelcl::docl

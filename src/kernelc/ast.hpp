@@ -1,0 +1,316 @@
+// Abstract syntax tree of the kernel language.
+//
+// The parser builds the tree; semantic analysis (sema.cpp) fills in the
+// `type` / slot / offset annotation fields in place; the bytecode compiler
+// (compiler.cpp) only reads annotated trees.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernelc/token.hpp"
+#include "kernelc/types.hpp"
+
+namespace skelcl::kc {
+
+// ---------------------------------------------------------------------------
+// Syntactic type spelling (resolved to a TypeId by sema)
+// ---------------------------------------------------------------------------
+
+struct TypeSpec {
+  SourceLoc loc;
+  bool isStruct = false;      ///< spelled with the `struct` keyword or a struct name
+  Scalar scalar = Scalar::Void;
+  std::string structName;     ///< when isStruct
+  int pointerDepth = 0;
+  bool isGlobal = false;      ///< carried `__global` (recorded, not enforced)
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  IntLit, FloatLit, BoolLit,
+  VarRef, Unary, Binary, Assign, Ternary, Call, Index, Member, Cast, SizeofType,
+};
+
+enum class UnaryOp { Plus, Minus, Not, BitNot, Deref, AddrOf, PreInc, PreDec, PostInc, PostDec };
+enum class BinaryOp { Add, Sub, Mul, Div, Rem, BitAnd, BitOr, BitXor, Shl, Shr,
+                      LAnd, LOr, Eq, Ne, Lt, Le, Gt, Ge };
+
+struct Expr {
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+
+  const ExprKind kind;
+  SourceLoc loc;
+
+  // --- sema annotations ---
+  TypeId type = types::Invalid;
+  bool isLValue = false;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLit final : Expr {
+  IntLit(SourceLoc l, std::uint64_t v, bool isUnsigned)
+      : Expr(ExprKind::IntLit, l), value(v), isUnsigned(isUnsigned) {}
+  std::uint64_t value;
+  bool isUnsigned;
+};
+
+struct FloatLit final : Expr {
+  FloatLit(SourceLoc l, double v, bool f32) : Expr(ExprKind::FloatLit, l), value(v), isFloat32(f32) {}
+  double value;
+  bool isFloat32;
+};
+
+struct BoolLit final : Expr {
+  BoolLit(SourceLoc l, bool v) : Expr(ExprKind::BoolLit, l), value(v) {}
+  bool value;
+};
+
+/// Where a named variable lives at runtime.
+enum class VarHome { Unresolved, Slot, FrameMemory };
+
+struct VarRef final : Expr {
+  VarRef(SourceLoc l, std::string n) : Expr(ExprKind::VarRef, l), name(std::move(n)) {}
+  std::string name;
+
+  // --- sema annotations ---
+  VarHome home = VarHome::Unresolved;
+  int slot = -1;               ///< VarHome::Slot
+  std::uint32_t frameOffset = 0;  ///< VarHome::FrameMemory
+  bool isArray = false;        ///< decays to a pointer to its first element
+  TypeId elementType = types::Invalid;  ///< when isArray
+};
+
+struct Unary final : Expr {
+  Unary(SourceLoc l, UnaryOp o, ExprPtr e) : Expr(ExprKind::Unary, l), op(o), operand(std::move(e)) {}
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct Binary final : Expr {
+  Binary(SourceLoc l, BinaryOp o, ExprPtr a, ExprPtr b)
+      : Expr(ExprKind::Binary, l), op(o), lhs(std::move(a)), rhs(std::move(b)) {}
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // --- sema annotations ---
+  TypeId operandType = types::Invalid;  ///< common type the operands convert to
+};
+
+struct Assign final : Expr {
+  Assign(SourceLoc l, ExprPtr target, ExprPtr value)
+      : Expr(ExprKind::Assign, l), lhs(std::move(target)), rhs(std::move(value)) {}
+  ExprPtr lhs;
+  ExprPtr rhs;
+  bool isCompound = false;
+  BinaryOp compoundOp = BinaryOp::Add;  ///< when isCompound
+};
+
+struct Ternary final : Expr {
+  Ternary(SourceLoc l, ExprPtr c, ExprPtr t, ExprPtr f)
+      : Expr(ExprKind::Ternary, l), cond(std::move(c)), thenExpr(std::move(t)), elseExpr(std::move(f)) {}
+  ExprPtr cond;
+  ExprPtr thenExpr;
+  ExprPtr elseExpr;
+};
+
+struct Call final : Expr {
+  Call(SourceLoc l, std::string callee) : Expr(ExprKind::Call, l), name(std::move(callee)) {}
+  std::string name;
+  std::vector<ExprPtr> args;
+
+  // --- sema annotations ---
+  int builtinId = -1;     ///< >= 0: call into the builtin table
+  int functionIndex = -1; ///< >= 0: call into a user function
+};
+
+struct Index final : Expr {
+  Index(SourceLoc l, ExprPtr b, ExprPtr i)
+      : Expr(ExprKind::Index, l), base(std::move(b)), index(std::move(i)) {}
+  ExprPtr base;
+  ExprPtr index;
+};
+
+struct Member final : Expr {
+  Member(SourceLoc l, ExprPtr b, std::string f, bool arrow)
+      : Expr(ExprKind::Member, l), base(std::move(b)), field(std::move(f)), isArrow(arrow) {}
+  ExprPtr base;
+  std::string field;
+  bool isArrow;
+
+  // --- sema annotations ---
+  std::uint32_t fieldOffset = 0;
+};
+
+struct Cast final : Expr {
+  Cast(SourceLoc l, TypeSpec t, ExprPtr e)
+      : Expr(ExprKind::Cast, l), target(std::move(t)), operand(std::move(e)) {}
+  TypeSpec target;     ///< unused for implicit casts synthesized by sema
+  ExprPtr operand;
+  bool isImplicit = false;
+};
+
+struct SizeofType final : Expr {
+  SizeofType(SourceLoc l, TypeSpec t) : Expr(ExprKind::SizeofType, l), target(std::move(t)) {}
+  TypeSpec target;
+
+  // --- sema annotations ---
+  std::uint32_t size = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind { Block, Decl, If, While, DoWhile, For, Break, Continue, Return, ExprStmt, Empty };
+
+struct Stmt {
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Stmt() = default;
+  const StmtKind kind;
+  SourceLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Block final : Stmt {
+  explicit Block(SourceLoc l) : Stmt(StmtKind::Block, l) {}
+  std::vector<StmtPtr> statements;
+};
+
+/// One declarator of a declaration statement (`float x = 1, a[4];`).
+struct VarDecl {
+  SourceLoc loc;
+  std::string name;
+  int arraySize = -1;  ///< >= 0: fixed-size local array
+  ExprPtr init;        ///< may be null
+
+  // --- sema annotations ---
+  TypeId type = types::Invalid;  ///< element type for arrays
+  VarHome home = VarHome::Unresolved;
+  int slot = -1;
+  std::uint32_t frameOffset = 0;
+};
+
+struct DeclStmt final : Stmt {
+  explicit DeclStmt(SourceLoc l) : Stmt(StmtKind::Decl, l) {}
+  TypeSpec spec;
+  std::vector<VarDecl> vars;
+};
+
+struct IfStmt final : Stmt {
+  explicit IfStmt(SourceLoc l) : Stmt(StmtKind::If, l) {}
+  ExprPtr cond;
+  StmtPtr thenStmt;
+  StmtPtr elseStmt;  ///< may be null
+};
+
+struct WhileStmt final : Stmt {
+  explicit WhileStmt(SourceLoc l) : Stmt(StmtKind::While, l) {}
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+struct DoWhileStmt final : Stmt {
+  explicit DoWhileStmt(SourceLoc l) : Stmt(StmtKind::DoWhile, l) {}
+  StmtPtr body;
+  ExprPtr cond;
+};
+
+struct ForStmt final : Stmt {
+  explicit ForStmt(SourceLoc l) : Stmt(StmtKind::For, l) {}
+  StmtPtr init;   ///< DeclStmt, ExprStmt or Empty
+  ExprPtr cond;   ///< may be null (infinite)
+  ExprPtr step;   ///< may be null
+  StmtPtr body;
+};
+
+struct BreakStmt final : Stmt {
+  explicit BreakStmt(SourceLoc l) : Stmt(StmtKind::Break, l) {}
+};
+
+struct ContinueStmt final : Stmt {
+  explicit ContinueStmt(SourceLoc l) : Stmt(StmtKind::Continue, l) {}
+};
+
+struct ReturnStmt final : Stmt {
+  explicit ReturnStmt(SourceLoc l) : Stmt(StmtKind::Return, l) {}
+  ExprPtr value;  ///< may be null
+};
+
+struct ExprStmt final : Stmt {
+  explicit ExprStmt(SourceLoc l) : Stmt(StmtKind::ExprStmt, l) {}
+  ExprPtr expr;
+};
+
+struct EmptyStmt final : Stmt {
+  explicit EmptyStmt(SourceLoc l) : Stmt(StmtKind::Empty, l) {}
+};
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+struct ParamDecl {
+  SourceLoc loc;
+  TypeSpec spec;
+  std::string name;
+
+  // --- sema annotations ---
+  TypeId type = types::Invalid;
+  int slot = -1;
+};
+
+struct FunctionDecl {
+  SourceLoc loc;
+  bool isKernel = false;
+  TypeSpec retSpec;
+  std::string name;
+  std::vector<ParamDecl> params;
+  std::unique_ptr<Block> body;
+
+  // --- sema annotations ---
+  TypeId returnType = types::Invalid;
+  int functionIndex = -1;
+  int numSlots = 0;               ///< scalar locals + params
+  std::uint32_t frameBytes = 0;   ///< arrays, structs, addressed locals
+};
+
+struct StructDeclField {
+  SourceLoc loc;
+  TypeSpec spec;
+  std::string name;
+};
+
+struct StructDecl {
+  SourceLoc loc;
+  std::string name;
+  std::vector<StructDeclField> fields;
+};
+
+/// Top-level declarations in source order (struct layout requires
+/// declaration-before-use, as in C).
+struct Program {
+  struct TopLevel {
+    std::unique_ptr<StructDecl> structDecl;      // exactly one of the two set
+    std::unique_ptr<FunctionDecl> functionDecl;
+  };
+  std::vector<TopLevel> decls;
+};
+
+/// Checked downcast for expression nodes.
+template <typename T>
+const T& exprAs(const Expr& e) {
+  const T* p = dynamic_cast<const T*>(&e);
+  SKELCL_CHECK(p != nullptr, "AST node kind mismatch");
+  return *p;
+}
+
+}  // namespace skelcl::kc

@@ -1,0 +1,91 @@
+// Stack-machine bytecode produced by the compiler and executed by the VM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernelc/types.hpp"
+
+namespace skelcl::kc {
+
+enum class Op : std::uint8_t {
+  // constants
+  PushI,   // push imm (int64)
+  PushF,   // push fimm (double; already float-rounded for f32 literals)
+
+  // locals (a = slot index)
+  LoadSlot,
+  StoreSlot,
+
+  // frame memory (a = byte offset within the current frame's memory region)
+  LeaFrame,  // push pointer to frame memory + a
+
+  // memory access (pointer operand(s) on the stack)
+  LoadI32, LoadU32, LoadF32, LoadF64,      // pop ptr, push value
+  StoreI32, StoreF32, StoreF64,            // pop value, pop ptr
+  MemCopy,                                 // a = bytes; pop src, pop dst
+  PtrAdd,                                  // a = element size; pop index, pop ptr
+
+  // integer arithmetic (32-bit semantics, wrap-around)
+  AddI, SubI, MulI, DivI, RemI, NegI,
+  DivU, RemU,
+  AndI, OrI, XorI, ShlI, ShrI, ShrU, NotI,
+
+  // floating arithmetic
+  AddF32, SubF32, MulF32, DivF32, NegF32,
+  AddF64, SubF64, MulF64, DivF64, NegF64,
+
+  // comparisons (push int 0/1)
+  EqI, NeI, LtI, LeI, GtI, GeI,
+  LtU, LeU, GtU, GeU,
+  EqF, NeF, LtF, LeF, GtF, GeF,
+  EqP, NeP,
+  LNot,
+
+  // conversions
+  I2F32, I2F64, U2F32, U2F64,
+  F2I,   // double slot -> int32 (truncation)
+  F2U,   // double slot -> uint32
+  F64toF32,  // round slot to float precision
+  I2U, U2I,  // re-normalize 32-bit views
+  BoolNorm,  // nonzero -> 1
+
+  // control flow (a = target instruction index)
+  Jmp, Jz, Jnz,
+
+  // calls
+  CallFn,       // a = function index (args on stack, left to right)
+  CallBuiltin,  // a = builtin id, b = argc
+  Ret,          // pop return value
+  RetVoid,
+
+  // stack
+  Dup, Drop,
+
+  // diagnostics
+  Trap,  // a = trap message index (e.g. missing return)
+};
+
+const char* opName(Op op);
+
+struct Insn {
+  Op op;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int64_t imm = 0;
+  double fimm = 0.0;
+};
+
+/// One compiled function, ready for execution.
+struct FunctionCode {
+  std::string name;
+  bool isKernel = false;
+  TypeId returnType = types::Void;
+  std::vector<TypeId> paramTypes;
+  int numSlots = 0;           ///< params occupy slots [0, paramTypes.size())
+  std::uint32_t frameBytes = 0;  ///< local arrays / addressed locals / structs
+  std::vector<Insn> code;
+};
+
+}  // namespace skelcl::kc

@@ -1,0 +1,61 @@
+// AST -> stack bytecode.  Requires a tree fully annotated by Sema.
+#pragma once
+
+#include <vector>
+
+#include "kernelc/ast.hpp"
+#include "kernelc/bytecode.hpp"
+#include "kernelc/types.hpp"
+
+namespace skelcl::kc {
+
+class Compiler {
+ public:
+  Compiler(const TypeTable& types, const std::vector<FunctionDecl*>& functions)
+      : types_(types), functions_(functions) {}
+
+  /// Compile every function; result is indexed by FunctionDecl::functionIndex.
+  std::vector<FunctionCode> run();
+
+ private:
+  struct LoopContext {
+    std::vector<std::size_t> breakJumps;     // Jmp instructions to patch to loop end
+    std::vector<std::size_t> continueJumps;  // Jmp instructions to patch to loop step
+  };
+
+  FunctionCode compileFunction(const FunctionDecl& decl);
+
+  // emission helpers
+  std::size_t emit(Op op, std::int32_t a = 0, std::int32_t b = 0, std::int64_t imm = 0,
+                   double fimm = 0.0);
+  std::size_t emitJumpPlaceholder(Op op);
+  void patchJump(std::size_t insnIndex);  // patch to current position
+  int scratchSlot();
+
+  // statements
+  void genStmt(const Stmt& stmt);
+  void genBlock(const Block& block);
+  void genDecl(const DeclStmt& decl);
+
+  // expressions
+  void genValue(const Expr& expr);       ///< push the (scalar/pointer) value
+  void genAddr(const Expr& expr);        ///< push a pointer to the lvalue
+  void genCond(const Expr& expr);        ///< push int 0/1 truth value
+  void genAssign(const Assign& assign);
+  void genUnary(const Unary& unary);
+  void genIncDec(const Unary& unary);
+  void genBinaryOp(BinaryOp op, TypeId operandType);  ///< operands on stack
+  void genConversion(TypeId from, TypeId to);
+  void genLoad(TypeId type);    ///< pop ptr, push value of `type`
+  void genStore(TypeId type);   ///< pop value, pop ptr
+
+  const TypeTable& types_;
+  const std::vector<FunctionDecl*>& functions_;
+
+  // per-function state
+  FunctionCode* current_ = nullptr;
+  int scratch_ = -1;
+  std::vector<LoopContext> loops_;
+};
+
+}  // namespace skelcl::kc

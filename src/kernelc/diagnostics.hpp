@@ -1,0 +1,57 @@
+// Compile-time diagnostics.  The simulated OpenCL runtime surfaces these as
+// the program build log, mirroring how a real OpenCL driver reports errors in
+// the kernel source SkelCL generates at runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "kernelc/token.hpp"
+
+namespace skelcl::kc {
+
+struct Diagnostic {
+  SourceLoc loc;
+  std::string message;
+
+  std::string format() const {
+    return std::to_string(loc.line) + ":" + std::to_string(loc.column) + ": error: " +
+           message;
+  }
+};
+
+/// Thrown when lexing/parsing/semantic analysis fails.
+class CompileError : public Error {
+ public:
+  explicit CompileError(std::vector<Diagnostic> diags)
+      : Error(formatAll(diags)), diagnostics_(std::move(diags)) {}
+
+  CompileError(SourceLoc loc, const std::string& message)
+      : CompileError(std::vector<Diagnostic>{Diagnostic{loc, message}}) {}
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+ private:
+  static std::string formatAll(const std::vector<Diagnostic>& diags) {
+    std::string out = "kernel compilation failed:";
+    for (const auto& d : diags) {
+      out += "\n  ";
+      out += d.format();
+    }
+    return out;
+  }
+
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Thrown by the VM for runtime faults (out-of-bounds access, null deref,
+/// division by zero, stack overflow).  Real OpenCL performs no boundary
+/// checks (the paper calls this out as a pitfall); the simulated device does,
+/// and reports precisely which work-item faulted.
+class VmError : public Error {
+ public:
+  explicit VmError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace skelcl::kc

@@ -1,0 +1,128 @@
+#include "kernelc/disasm.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace skelcl::kc {
+
+const char* opName(Op op) {
+  switch (op) {
+    case Op::PushI: return "push.i";
+    case Op::PushF: return "push.f";
+    case Op::LoadSlot: return "load.slot";
+    case Op::StoreSlot: return "store.slot";
+    case Op::LeaFrame: return "lea.frame";
+    case Op::LoadI32: return "load.i32";
+    case Op::LoadU32: return "load.u32";
+    case Op::LoadF32: return "load.f32";
+    case Op::LoadF64: return "load.f64";
+    case Op::StoreI32: return "store.i32";
+    case Op::StoreF32: return "store.f32";
+    case Op::StoreF64: return "store.f64";
+    case Op::MemCopy: return "memcopy";
+    case Op::PtrAdd: return "ptradd";
+    case Op::AddI: return "add.i";
+    case Op::SubI: return "sub.i";
+    case Op::MulI: return "mul.i";
+    case Op::DivI: return "div.i";
+    case Op::RemI: return "rem.i";
+    case Op::NegI: return "neg.i";
+    case Op::DivU: return "div.u";
+    case Op::RemU: return "rem.u";
+    case Op::AndI: return "and.i";
+    case Op::OrI: return "or.i";
+    case Op::XorI: return "xor.i";
+    case Op::ShlI: return "shl.i";
+    case Op::ShrI: return "shr.i";
+    case Op::ShrU: return "shr.u";
+    case Op::NotI: return "not.i";
+    case Op::AddF32: return "add.f32";
+    case Op::SubF32: return "sub.f32";
+    case Op::MulF32: return "mul.f32";
+    case Op::DivF32: return "div.f32";
+    case Op::NegF32: return "neg.f32";
+    case Op::AddF64: return "add.f64";
+    case Op::SubF64: return "sub.f64";
+    case Op::MulF64: return "mul.f64";
+    case Op::DivF64: return "div.f64";
+    case Op::NegF64: return "neg.f64";
+    case Op::EqI: return "eq.i";
+    case Op::NeI: return "ne.i";
+    case Op::LtI: return "lt.i";
+    case Op::LeI: return "le.i";
+    case Op::GtI: return "gt.i";
+    case Op::GeI: return "ge.i";
+    case Op::LtU: return "lt.u";
+    case Op::LeU: return "le.u";
+    case Op::GtU: return "gt.u";
+    case Op::GeU: return "ge.u";
+    case Op::EqF: return "eq.f";
+    case Op::NeF: return "ne.f";
+    case Op::LtF: return "lt.f";
+    case Op::LeF: return "le.f";
+    case Op::GtF: return "gt.f";
+    case Op::GeF: return "ge.f";
+    case Op::EqP: return "eq.p";
+    case Op::NeP: return "ne.p";
+    case Op::LNot: return "lnot";
+    case Op::I2F32: return "cvt.i.f32";
+    case Op::I2F64: return "cvt.i.f64";
+    case Op::U2F32: return "cvt.u.f32";
+    case Op::U2F64: return "cvt.u.f64";
+    case Op::F2I: return "cvt.f.i";
+    case Op::F2U: return "cvt.f.u";
+    case Op::F64toF32: return "cvt.f64.f32";
+    case Op::I2U: return "cvt.i.u";
+    case Op::U2I: return "cvt.u.i";
+    case Op::BoolNorm: return "boolnorm";
+    case Op::Jmp: return "jmp";
+    case Op::Jz: return "jz";
+    case Op::Jnz: return "jnz";
+    case Op::CallFn: return "call";
+    case Op::CallBuiltin: return "call.builtin";
+    case Op::Ret: return "ret";
+    case Op::RetVoid: return "ret.void";
+    case Op::Dup: return "dup";
+    case Op::Drop: return "drop";
+    case Op::Trap: return "trap";
+  }
+  return "?";
+}
+
+std::string disassemble(const FunctionCode& fn) {
+  std::ostringstream os;
+  os << (fn.isKernel ? "kernel " : "function ") << fn.name << " (slots=" << fn.numSlots
+     << ", frame=" << fn.frameBytes << "B)\n";
+  for (std::size_t i = 0; i < fn.code.size(); ++i) {
+    const Insn& insn = fn.code[i];
+    os << std::setw(5) << i << "  " << opName(insn.op);
+    switch (insn.op) {
+      case Op::PushI:
+        os << " " << insn.imm;
+        break;
+      case Op::PushF:
+        os << " " << insn.fimm;
+        break;
+      case Op::LoadSlot:
+      case Op::StoreSlot:
+      case Op::LeaFrame:
+      case Op::MemCopy:
+      case Op::PtrAdd:
+      case Op::Jmp:
+      case Op::Jz:
+      case Op::Jnz:
+      case Op::CallFn:
+        os << " " << insn.a;
+        break;
+      case Op::CallBuiltin:
+        os << " " << insn.a << " argc=" << insn.b;
+        break;
+      default:
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace skelcl::kc

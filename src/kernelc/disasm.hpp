@@ -1,0 +1,13 @@
+// Human-readable bytecode dump, for debugging and the compiler tests.
+#pragma once
+
+#include <string>
+
+#include "kernelc/bytecode.hpp"
+
+namespace skelcl::kc {
+
+/// Disassemble one function to text (one instruction per line).
+std::string disassemble(const FunctionCode& fn);
+
+}  // namespace skelcl::kc

@@ -1,0 +1,346 @@
+#include "kernelc/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "kernelc/diagnostics.hpp"
+
+namespace skelcl::kc {
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::Identifier: return "identifier";
+    case Tok::IntLiteral: return "integer literal";
+    case Tok::FloatLiteral: return "float literal";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwBool: return "'bool'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwUint: return "'uint'";
+    case Tok::KwFloat: return "'float'";
+    case Tok::KwDouble: return "'double'";
+    case Tok::KwStruct: return "'struct'";
+    case Tok::KwTypedef: return "'typedef'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::KwKernel: return "'__kernel'";
+    case Tok::KwGlobal: return "'__global'";
+    case Tok::KwLocal: return "'__local'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwSizeof: return "'sizeof'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semicolon: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Dot: return "'.'";
+    case Tok::Arrow: return "'->'";
+    case Tok::Assign: return "'='";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::PercentAssign: return "'%='";
+    case Tok::AmpAssign: return "'&='";
+    case Tok::PipeAssign: return "'|='";
+    case Tok::CaretAssign: return "'^='";
+    case Tok::ShlAssign: return "'<<='";
+    case Tok::ShrAssign: return "'>>='";
+    case Tok::Question: return "'?'";
+    case Tok::Colon: return "':'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Amp: return "'&'";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::Less: return "'<'";
+    case Tok::LessEq: return "'<='";
+    case Tok::Greater: return "'>'";
+    case Tok::GreaterEq: return "'>='";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Bang: return "'!'";
+    case Tok::Tilde: return "'~'";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::MinusMinus: return "'--'";
+    case Tok::Eof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> map = {
+      {"void", Tok::KwVoid},       {"bool", Tok::KwBool},
+      {"int", Tok::KwInt},         {"uint", Tok::KwUint},
+      {"unsigned", Tok::KwUint},   {"float", Tok::KwFloat},
+      {"double", Tok::KwDouble},   {"struct", Tok::KwStruct},
+      {"typedef", Tok::KwTypedef}, {"if", Tok::KwIf},
+      {"else", Tok::KwElse},       {"for", Tok::KwFor},
+      {"while", Tok::KwWhile},     {"do", Tok::KwDo},
+      {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+      {"return", Tok::KwReturn},   {"true", Tok::KwTrue},
+      {"false", Tok::KwFalse},     {"__kernel", Tok::KwKernel},
+      {"kernel", Tok::KwKernel},   {"__global", Tok::KwGlobal},
+      {"global", Tok::KwGlobal},   {"__local", Tok::KwLocal},
+      {"local", Tok::KwLocal},     {"const", Tok::KwConst},
+      {"sizeof", Tok::KwSizeof},
+  };
+  return map;
+}
+}  // namespace
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+char Lexer::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++loc_.line;
+    loc_.column = 1;
+  } else {
+    ++loc_.column;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::fail(const std::string& message) const {
+  throw CompileError(tokenStart_, message);
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      tokenStart_ = loc_;
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') fail("unterminated block comment");
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::makeNumber() {
+  Token t;
+  t.loc = tokenStart_;
+  const std::size_t start = pos_;
+  bool isFloat = false;
+  bool isHex = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    isHex = true;
+    advance();
+    advance();
+    if (!std::isxdigit(static_cast<unsigned char>(peek()))) fail("malformed hex literal");
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      isFloat = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    } else if (peek() == '.' && !std::isalpha(static_cast<unsigned char>(peek(1))) &&
+               peek(1) != '.') {
+      isFloat = true;
+      advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      const char sign = peek(1);
+      const char digit = (sign == '+' || sign == '-') ? peek(2) : sign;
+      if (std::isdigit(static_cast<unsigned char>(digit))) {
+        isFloat = true;
+        advance();  // e
+        if (peek() == '+' || peek() == '-') advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+    }
+  }
+
+  const std::string spelling(src_.substr(start, pos_ - start));
+  t.text = spelling;
+
+  // suffixes
+  bool f32suffix = false;
+  bool unsignedSuffix = false;
+  while (std::isalpha(static_cast<unsigned char>(peek()))) {
+    const char s = peek();
+    if ((s == 'f' || s == 'F') && !isHex) {
+      f32suffix = true;
+      isFloat = true;
+      advance();
+    } else if (s == 'u' || s == 'U') {
+      unsignedSuffix = true;
+      advance();
+    } else if (s == 'l' || s == 'L') {
+      advance();  // accepted and ignored (all ints are 32 bit)
+    } else {
+      fail("unexpected suffix '" + std::string(1, s) + "' on numeric literal");
+    }
+  }
+
+  if (isFloat) {
+    t.kind = Tok::FloatLiteral;
+    t.floatValue = std::strtod(spelling.c_str(), nullptr);
+    t.isFloat32 = f32suffix;
+  } else {
+    t.kind = Tok::IntLiteral;
+    t.intValue = std::strtoull(spelling.c_str(), nullptr, isHex ? 16 : 10);
+    t.isFloat32 = false;
+    if (unsignedSuffix) t.text += "u";
+  }
+  return t;
+}
+
+Token Lexer::makeIdentifierOrKeyword() {
+  const std::size_t start = pos_;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') advance();
+  Token t;
+  t.loc = tokenStart_;
+  t.text = std::string(src_.substr(start, pos_ - start));
+  const auto it = keywords().find(t.text);
+  t.kind = it != keywords().end() ? it->second : Tok::Identifier;
+  return t;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  tokenStart_ = loc_;
+  const char c = peek();
+
+  if (c == '\0') {
+    Token t;
+    t.kind = Tok::Eof;
+    t.loc = tokenStart_;
+    return t;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    return makeNumber();
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return makeIdentifierOrKeyword();
+  }
+
+  auto simple = [&](Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.loc = tokenStart_;
+    return t;
+  };
+
+  advance();
+  switch (c) {
+    case '(': return simple(Tok::LParen);
+    case ')': return simple(Tok::RParen);
+    case '{': return simple(Tok::LBrace);
+    case '}': return simple(Tok::RBrace);
+    case '[': return simple(Tok::LBracket);
+    case ']': return simple(Tok::RBracket);
+    case ';': return simple(Tok::Semicolon);
+    case ',': return simple(Tok::Comma);
+    case '.': return simple(Tok::Dot);
+    case '?': return simple(Tok::Question);
+    case ':': return simple(Tok::Colon);
+    case '~': return simple(Tok::Tilde);
+    case '+':
+      if (match('+')) return simple(Tok::PlusPlus);
+      if (match('=')) return simple(Tok::PlusAssign);
+      return simple(Tok::Plus);
+    case '-':
+      if (match('-')) return simple(Tok::MinusMinus);
+      if (match('=')) return simple(Tok::MinusAssign);
+      if (match('>')) return simple(Tok::Arrow);
+      return simple(Tok::Minus);
+    case '*':
+      if (match('=')) return simple(Tok::StarAssign);
+      return simple(Tok::Star);
+    case '/':
+      if (match('=')) return simple(Tok::SlashAssign);
+      return simple(Tok::Slash);
+    case '%':
+      if (match('=')) return simple(Tok::PercentAssign);
+      return simple(Tok::Percent);
+    case '&':
+      if (match('&')) return simple(Tok::AmpAmp);
+      if (match('=')) return simple(Tok::AmpAssign);
+      return simple(Tok::Amp);
+    case '|':
+      if (match('|')) return simple(Tok::PipePipe);
+      if (match('=')) return simple(Tok::PipeAssign);
+      return simple(Tok::Pipe);
+    case '^':
+      if (match('=')) return simple(Tok::CaretAssign);
+      return simple(Tok::Caret);
+    case '!':
+      if (match('=')) return simple(Tok::NotEq);
+      return simple(Tok::Bang);
+    case '=':
+      if (match('=')) return simple(Tok::EqEq);
+      return simple(Tok::Assign);
+    case '<':
+      if (match('<')) {
+        if (match('=')) return simple(Tok::ShlAssign);
+        return simple(Tok::Shl);
+      }
+      if (match('=')) return simple(Tok::LessEq);
+      return simple(Tok::Less);
+    case '>':
+      if (match('>')) {
+        if (match('=')) return simple(Tok::ShrAssign);
+        return simple(Tok::Shr);
+      }
+      if (match('=')) return simple(Tok::GreaterEq);
+      return simple(Tok::Greater);
+    default:
+      fail(std::string("unexpected character '") + c + "'");
+  }
+}
+
+std::vector<Token> Lexer::run() {
+  std::vector<Token> tokens;
+  for (;;) {
+    tokens.push_back(next());
+    if (tokens.back().kind == Tok::Eof) return tokens;
+  }
+}
+
+}  // namespace skelcl::kc

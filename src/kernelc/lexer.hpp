@@ -1,0 +1,37 @@
+// Hand-written lexer for the kernel language.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kernelc/token.hpp"
+
+namespace skelcl::kc {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  /// Tokenize the whole input; the last token is always Tok::Eof.
+  /// Throws CompileError on malformed input (bad character, unterminated
+  /// comment, malformed number).
+  std::vector<Token> run();
+
+ private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skipWhitespaceAndComments();
+  Token makeNumber();
+  Token makeIdentifierOrKeyword();
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_;
+  SourceLoc tokenStart_;
+};
+
+}  // namespace skelcl::kc

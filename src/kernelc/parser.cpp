@@ -1,0 +1,540 @@
+#include "kernelc/parser.hpp"
+
+#include <utility>
+
+#include "kernelc/diagnostics.hpp"
+
+namespace skelcl::kc {
+
+Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {
+  SKELCL_CHECK(!tokens_.empty() && tokens_.back().kind == Tok::Eof,
+               "token stream must end with Eof");
+}
+
+const Token& Parser::peek(int ahead) const {
+  const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(Tok kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(Tok kind, const std::string& context) {
+  if (!check(kind)) {
+    fail(std::string("expected ") + tokName(kind) + " " + context + ", found " +
+         tokName(peek().kind));
+  }
+  return advance();
+}
+
+void Parser::fail(const std::string& message) const {
+  throw CompileError(peek().loc, message);
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+bool Parser::startsType(int ahead) const {
+  switch (peek(ahead).kind) {
+    case Tok::KwVoid:
+    case Tok::KwBool:
+    case Tok::KwInt:
+    case Tok::KwUint:
+    case Tok::KwFloat:
+    case Tok::KwDouble:
+    case Tok::KwStruct:
+    case Tok::KwGlobal:
+    case Tok::KwLocal:
+    case Tok::KwConst:
+      return true;
+    case Tok::Identifier:
+      return structNames_.count(peek(ahead).text) > 0;
+    default:
+      return false;
+  }
+}
+
+TypeSpec Parser::parseTypeSpec() {
+  TypeSpec spec;
+  spec.loc = peek().loc;
+
+  // Leading qualifiers.
+  for (;;) {
+    if (match(Tok::KwGlobal)) {
+      spec.isGlobal = true;
+    } else if (match(Tok::KwConst) || match(Tok::KwLocal)) {
+      // accepted and ignored
+    } else {
+      break;
+    }
+  }
+
+  switch (peek().kind) {
+    case Tok::KwVoid: advance(); spec.scalar = Scalar::Void; break;
+    case Tok::KwBool: advance(); spec.scalar = Scalar::Bool; break;
+    case Tok::KwInt: advance(); spec.scalar = Scalar::Int; break;
+    case Tok::KwUint: advance(); spec.scalar = Scalar::Uint; break;
+    case Tok::KwFloat: advance(); spec.scalar = Scalar::Float; break;
+    case Tok::KwDouble: advance(); spec.scalar = Scalar::Double; break;
+    case Tok::KwStruct: {
+      advance();
+      const Token& name = expect(Tok::Identifier, "after 'struct'");
+      spec.isStruct = true;
+      spec.structName = name.text;
+      break;
+    }
+    case Tok::Identifier:
+      if (structNames_.count(peek().text) > 0) {
+        spec.isStruct = true;
+        spec.structName = advance().text;
+        break;
+      }
+      [[fallthrough]];
+    default:
+      fail("expected a type name, found " + std::string(tokName(peek().kind)));
+  }
+
+  // Trailing qualifiers and pointer declarators.
+  for (;;) {
+    if (match(Tok::KwConst) || match(Tok::KwGlobal) || match(Tok::KwLocal)) {
+      continue;  // `float const`, `float __global *` etc.
+    }
+    if (match(Tok::Star)) {
+      ++spec.pointerDepth;
+      continue;
+    }
+    break;
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+Program Parser::run() {
+  Program program;
+  while (!check(Tok::Eof)) {
+    program.decls.push_back(parseTopLevel());
+  }
+  return program;
+}
+
+Program::TopLevel Parser::parseTopLevel() {
+  Program::TopLevel decl;
+
+  // typedef struct [Tag]? { ... } Name ;
+  if (check(Tok::KwTypedef)) {
+    const SourceLoc loc = peek().loc;
+    advance();
+    expect(Tok::KwStruct, "after 'typedef'");
+    std::string tag;
+    if (check(Tok::Identifier)) tag = advance().text;
+    auto structDecl = parseStructBody(loc, tag);
+    const Token& name = expect(Tok::Identifier, "as typedef name");
+    structDecl->name = name.text;  // the typedef name is the canonical name
+    expect(Tok::Semicolon, "after typedef");
+    structNames_.insert(structDecl->name);
+    if (!tag.empty()) structNames_.insert(tag);
+    decl.structDecl = std::move(structDecl);
+    return decl;
+  }
+
+  // struct Name { ... } ;
+  if (check(Tok::KwStruct) && peek(1).kind == Tok::Identifier && peek(2).kind == Tok::LBrace) {
+    const SourceLoc loc = peek().loc;
+    advance();
+    std::string name = advance().text;
+    auto structDecl = parseStructBody(loc, std::move(name));
+    expect(Tok::Semicolon, "after struct declaration");
+    structNames_.insert(structDecl->name);
+    decl.structDecl = std::move(structDecl);
+    return decl;
+  }
+
+  // [__kernel] type name ( params ) { body }
+  const bool isKernel = match(Tok::KwKernel);
+  if (!startsType()) fail("expected a declaration");
+  TypeSpec retSpec = parseTypeSpec();
+  decl.functionDecl = parseFunction(isKernel, std::move(retSpec));
+  return decl;
+}
+
+std::unique_ptr<StructDecl> Parser::parseStructBody(SourceLoc loc, std::string name) {
+  auto decl = std::make_unique<StructDecl>();
+  decl->loc = loc;
+  decl->name = std::move(name);
+  expect(Tok::LBrace, "to open struct body");
+  while (!check(Tok::RBrace)) {
+    StructDeclField field;
+    field.loc = peek().loc;
+    field.spec = parseTypeSpec();
+    field.name = expect(Tok::Identifier, "as struct member name").text;
+    expect(Tok::Semicolon, "after struct member");
+    decl->fields.push_back(std::move(field));
+    // allow `float x; float y;` only — no comma-separated members (keeps the
+    // grammar small; all paper kernels use one member per line anyway)
+  }
+  expect(Tok::RBrace, "to close struct body");
+  return decl;
+}
+
+std::unique_ptr<FunctionDecl> Parser::parseFunction(bool isKernel, TypeSpec retSpec) {
+  auto fn = std::make_unique<FunctionDecl>();
+  fn->loc = retSpec.loc;
+  fn->isKernel = isKernel;
+  fn->retSpec = std::move(retSpec);
+  fn->name = expect(Tok::Identifier, "as function name").text;
+  expect(Tok::LParen, "to open parameter list");
+  if (!check(Tok::RParen)) {
+    do {
+      if (check(Tok::KwVoid) && peek(1).kind == Tok::RParen) {
+        advance();  // `f(void)`
+        break;
+      }
+      ParamDecl param;
+      param.loc = peek().loc;
+      param.spec = parseTypeSpec();
+      param.name = expect(Tok::Identifier, "as parameter name").text;
+      fn->params.push_back(std::move(param));
+    } while (match(Tok::Comma));
+  }
+  expect(Tok::RParen, "to close parameter list");
+  fn->body = parseBlock();
+  return fn;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Block> Parser::parseBlock() {
+  const SourceLoc loc = peek().loc;
+  expect(Tok::LBrace, "to open block");
+  auto block = std::make_unique<Block>(loc);
+  while (!check(Tok::RBrace)) {
+    if (check(Tok::Eof)) fail("unterminated block");
+    block->statements.push_back(parseStatement());
+  }
+  expect(Tok::RBrace, "to close block");
+  return block;
+}
+
+StmtPtr Parser::parseDeclStatement() {
+  auto decl = std::make_unique<DeclStmt>(peek().loc);
+  decl->spec = parseTypeSpec();
+  do {
+    VarDecl var;
+    var.loc = peek().loc;
+    var.name = expect(Tok::Identifier, "as variable name").text;
+    if (match(Tok::LBracket)) {
+      const Token& size = expect(Tok::IntLiteral, "as array size");
+      var.arraySize = static_cast<int>(size.intValue);
+      expect(Tok::RBracket, "after array size");
+    }
+    if (match(Tok::Assign)) {
+      var.init = parseAssignment();
+    }
+    decl->vars.push_back(std::move(var));
+  } while (match(Tok::Comma));
+  expect(Tok::Semicolon, "after declaration");
+  return decl;
+}
+
+StmtPtr Parser::parseStatement() {
+  const SourceLoc loc = peek().loc;
+  switch (peek().kind) {
+    case Tok::LBrace:
+      return parseBlock();
+    case Tok::Semicolon:
+      advance();
+      return std::make_unique<EmptyStmt>(loc);
+    case Tok::KwIf: {
+      advance();
+      auto stmt = std::make_unique<IfStmt>(loc);
+      expect(Tok::LParen, "after 'if'");
+      stmt->cond = parseExpression();
+      expect(Tok::RParen, "after if condition");
+      stmt->thenStmt = parseStatement();
+      if (match(Tok::KwElse)) stmt->elseStmt = parseStatement();
+      return stmt;
+    }
+    case Tok::KwWhile: {
+      advance();
+      auto stmt = std::make_unique<WhileStmt>(loc);
+      expect(Tok::LParen, "after 'while'");
+      stmt->cond = parseExpression();
+      expect(Tok::RParen, "after while condition");
+      stmt->body = parseStatement();
+      return stmt;
+    }
+    case Tok::KwDo: {
+      advance();
+      auto stmt = std::make_unique<DoWhileStmt>(loc);
+      stmt->body = parseStatement();
+      expect(Tok::KwWhile, "after do body");
+      expect(Tok::LParen, "after 'while'");
+      stmt->cond = parseExpression();
+      expect(Tok::RParen, "after do-while condition");
+      expect(Tok::Semicolon, "after do-while");
+      return stmt;
+    }
+    case Tok::KwFor: {
+      advance();
+      auto stmt = std::make_unique<ForStmt>(loc);
+      expect(Tok::LParen, "after 'for'");
+      if (check(Tok::Semicolon)) {
+        stmt->init = std::make_unique<EmptyStmt>(peek().loc);
+        advance();
+      } else if (startsType()) {
+        stmt->init = parseDeclStatement();
+      } else {
+        auto init = std::make_unique<ExprStmt>(peek().loc);
+        init->expr = parseExpression();
+        expect(Tok::Semicolon, "after for-init");
+        stmt->init = std::move(init);
+      }
+      if (!check(Tok::Semicolon)) stmt->cond = parseExpression();
+      expect(Tok::Semicolon, "after for-condition");
+      if (!check(Tok::RParen)) stmt->step = parseExpression();
+      expect(Tok::RParen, "after for-step");
+      stmt->body = parseStatement();
+      return stmt;
+    }
+    case Tok::KwBreak:
+      advance();
+      expect(Tok::Semicolon, "after 'break'");
+      return std::make_unique<BreakStmt>(loc);
+    case Tok::KwContinue:
+      advance();
+      expect(Tok::Semicolon, "after 'continue'");
+      return std::make_unique<ContinueStmt>(loc);
+    case Tok::KwReturn: {
+      advance();
+      auto stmt = std::make_unique<ReturnStmt>(loc);
+      if (!check(Tok::Semicolon)) stmt->value = parseExpression();
+      expect(Tok::Semicolon, "after return");
+      return stmt;
+    }
+    default:
+      if (startsType()) return parseDeclStatement();
+      {
+        auto stmt = std::make_unique<ExprStmt>(loc);
+        stmt->expr = parseExpression();
+        expect(Tok::Semicolon, "after expression");
+        return stmt;
+      }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parseExpressionOnly() {
+  ExprPtr e = parseExpression();
+  if (!check(Tok::Eof)) fail("trailing tokens after expression");
+  return e;
+}
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr lhs = parseTernary();
+  const SourceLoc loc = peek().loc;
+
+  auto makeCompound = [&](BinaryOp op) -> ExprPtr {
+    advance();
+    auto node = std::make_unique<Assign>(loc, std::move(lhs), parseAssignment());
+    node->isCompound = true;
+    node->compoundOp = op;
+    return node;
+  };
+
+  switch (peek().kind) {
+    case Tok::Assign: {
+      advance();
+      return std::make_unique<Assign>(loc, std::move(lhs), parseAssignment());
+    }
+    case Tok::PlusAssign: return makeCompound(BinaryOp::Add);
+    case Tok::MinusAssign: return makeCompound(BinaryOp::Sub);
+    case Tok::StarAssign: return makeCompound(BinaryOp::Mul);
+    case Tok::SlashAssign: return makeCompound(BinaryOp::Div);
+    case Tok::PercentAssign: return makeCompound(BinaryOp::Rem);
+    case Tok::AmpAssign: return makeCompound(BinaryOp::BitAnd);
+    case Tok::PipeAssign: return makeCompound(BinaryOp::BitOr);
+    case Tok::CaretAssign: return makeCompound(BinaryOp::BitXor);
+    case Tok::ShlAssign: return makeCompound(BinaryOp::Shl);
+    case Tok::ShrAssign: return makeCompound(BinaryOp::Shr);
+    default:
+      return lhs;
+  }
+}
+
+ExprPtr Parser::parseTernary() {
+  ExprPtr cond = parseBinary(0);
+  if (!check(Tok::Question)) return cond;
+  const SourceLoc loc = advance().loc;
+  ExprPtr thenExpr = parseAssignment();
+  expect(Tok::Colon, "in conditional expression");
+  ExprPtr elseExpr = parseAssignment();
+  return std::make_unique<Ternary>(loc, std::move(cond), std::move(thenExpr),
+                                   std::move(elseExpr));
+}
+
+namespace {
+struct BinOpInfo {
+  BinaryOp op;
+  int precedence;  // higher binds tighter
+};
+
+// C precedence levels, from || (lowest, 1) to * / % (highest, 10).
+bool binOpInfo(Tok t, BinOpInfo* out) {
+  switch (t) {
+    case Tok::PipePipe: *out = {BinaryOp::LOr, 1}; return true;
+    case Tok::AmpAmp: *out = {BinaryOp::LAnd, 2}; return true;
+    case Tok::Pipe: *out = {BinaryOp::BitOr, 3}; return true;
+    case Tok::Caret: *out = {BinaryOp::BitXor, 4}; return true;
+    case Tok::Amp: *out = {BinaryOp::BitAnd, 5}; return true;
+    case Tok::EqEq: *out = {BinaryOp::Eq, 6}; return true;
+    case Tok::NotEq: *out = {BinaryOp::Ne, 6}; return true;
+    case Tok::Less: *out = {BinaryOp::Lt, 7}; return true;
+    case Tok::LessEq: *out = {BinaryOp::Le, 7}; return true;
+    case Tok::Greater: *out = {BinaryOp::Gt, 7}; return true;
+    case Tok::GreaterEq: *out = {BinaryOp::Ge, 7}; return true;
+    case Tok::Shl: *out = {BinaryOp::Shl, 8}; return true;
+    case Tok::Shr: *out = {BinaryOp::Shr, 8}; return true;
+    case Tok::Plus: *out = {BinaryOp::Add, 9}; return true;
+    case Tok::Minus: *out = {BinaryOp::Sub, 9}; return true;
+    case Tok::Star: *out = {BinaryOp::Mul, 10}; return true;
+    case Tok::Slash: *out = {BinaryOp::Div, 10}; return true;
+    case Tok::Percent: *out = {BinaryOp::Rem, 10}; return true;
+    default: return false;
+  }
+}
+}  // namespace
+
+ExprPtr Parser::parseBinary(int minPrecedence) {
+  ExprPtr lhs = parseUnary();
+  for (;;) {
+    BinOpInfo info;
+    if (!binOpInfo(peek().kind, &info) || info.precedence < minPrecedence) return lhs;
+    const SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseBinary(info.precedence + 1);  // all ops left-associative
+    lhs = std::make_unique<Binary>(loc, info.op, std::move(lhs), std::move(rhs));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  const SourceLoc loc = peek().loc;
+  auto prefix = [&](UnaryOp op) -> ExprPtr {
+    advance();
+    return std::make_unique<Unary>(loc, op, parseUnary());
+  };
+  switch (peek().kind) {
+    case Tok::Plus: return prefix(UnaryOp::Plus);
+    case Tok::Minus: return prefix(UnaryOp::Minus);
+    case Tok::Bang: return prefix(UnaryOp::Not);
+    case Tok::Tilde: return prefix(UnaryOp::BitNot);
+    case Tok::Star: return prefix(UnaryOp::Deref);
+    case Tok::Amp: return prefix(UnaryOp::AddrOf);
+    case Tok::PlusPlus: return prefix(UnaryOp::PreInc);
+    case Tok::MinusMinus: return prefix(UnaryOp::PreDec);
+    case Tok::LParen:
+      // cast or parenthesized expression?
+      if (startsType(1)) {
+        advance();
+        TypeSpec target = parseTypeSpec();
+        expect(Tok::RParen, "after cast type");
+        return std::make_unique<Cast>(loc, std::move(target), parseUnary());
+      }
+      return parsePostfix();
+    default:
+      return parsePostfix();
+  }
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr expr = parsePrimary();
+  for (;;) {
+    const SourceLoc loc = peek().loc;
+    if (match(Tok::LBracket)) {
+      ExprPtr index = parseExpression();
+      expect(Tok::RBracket, "after index expression");
+      expr = std::make_unique<Index>(loc, std::move(expr), std::move(index));
+    } else if (match(Tok::Dot)) {
+      const Token& field = expect(Tok::Identifier, "as member name");
+      expr = std::make_unique<Member>(loc, std::move(expr), field.text, /*arrow=*/false);
+    } else if (match(Tok::Arrow)) {
+      const Token& field = expect(Tok::Identifier, "as member name");
+      expr = std::make_unique<Member>(loc, std::move(expr), field.text, /*arrow=*/true);
+    } else if (match(Tok::PlusPlus)) {
+      expr = std::make_unique<Unary>(loc, UnaryOp::PostInc, std::move(expr));
+    } else if (match(Tok::MinusMinus)) {
+      expr = std::make_unique<Unary>(loc, UnaryOp::PostDec, std::move(expr));
+    } else {
+      return expr;
+    }
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::IntLiteral: {
+      advance();
+      const bool isUnsigned = t.text.find('u') != std::string::npos ||
+                              t.text.find('U') != std::string::npos;
+      return std::make_unique<IntLit>(t.loc, t.intValue, isUnsigned);
+    }
+    case Tok::FloatLiteral:
+      advance();
+      return std::make_unique<FloatLit>(t.loc, t.floatValue, t.isFloat32);
+    case Tok::KwTrue:
+      advance();
+      return std::make_unique<BoolLit>(t.loc, true);
+    case Tok::KwFalse:
+      advance();
+      return std::make_unique<BoolLit>(t.loc, false);
+    case Tok::KwSizeof: {
+      advance();
+      expect(Tok::LParen, "after 'sizeof'");
+      TypeSpec target = parseTypeSpec();
+      expect(Tok::RParen, "after sizeof type");
+      return std::make_unique<SizeofType>(t.loc, std::move(target));
+    }
+    case Tok::Identifier: {
+      advance();
+      if (check(Tok::LParen)) {
+        auto call = std::make_unique<Call>(t.loc, t.text);
+        advance();
+        if (!check(Tok::RParen)) {
+          do {
+            call->args.push_back(parseAssignment());
+          } while (match(Tok::Comma));
+        }
+        expect(Tok::RParen, "to close call arguments");
+        return call;
+      }
+      return std::make_unique<VarRef>(t.loc, t.text);
+    }
+    case Tok::LParen: {
+      advance();
+      ExprPtr inner = parseExpression();
+      expect(Tok::RParen, "to close parenthesized expression");
+      return inner;
+    }
+    default:
+      fail("expected an expression, found " + std::string(tokName(t.kind)));
+  }
+}
+
+}  // namespace skelcl::kc

@@ -1,0 +1,60 @@
+// Recursive-descent parser producing the AST of docs/KERNEL_LANGUAGE.md.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "kernelc/ast.hpp"
+#include "kernelc/token.hpp"
+
+namespace skelcl::kc {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens);
+
+  /// Parse a whole translation unit.  Throws CompileError on syntax errors.
+  Program run();
+
+  /// Parse a single expression (used by tests and the REPL-style tools).
+  ExprPtr parseExpressionOnly();
+
+ private:
+  // token cursor
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(Tok kind) const { return peek().kind == kind; }
+  bool match(Tok kind);
+  const Token& expect(Tok kind, const std::string& context);
+  [[noreturn]] void fail(const std::string& message) const;
+
+  // types
+  bool startsType(int ahead = 0) const;
+  TypeSpec parseTypeSpec();
+
+  // top level
+  Program::TopLevel parseTopLevel();
+  std::unique_ptr<StructDecl> parseStructBody(SourceLoc loc, std::string name);
+  std::unique_ptr<FunctionDecl> parseFunction(bool isKernel, TypeSpec retSpec);
+
+  // statements
+  StmtPtr parseStatement();
+  std::unique_ptr<Block> parseBlock();
+  StmtPtr parseDeclStatement();
+
+  // expressions (precedence climbing)
+  ExprPtr parseExpression() { return parseAssignment(); }
+  ExprPtr parseAssignment();
+  ExprPtr parseTernary();
+  ExprPtr parseBinary(int minPrecedence);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unordered_set<std::string> structNames_;
+};
+
+}  // namespace skelcl::kc

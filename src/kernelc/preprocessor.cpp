@@ -1,0 +1,121 @@
+#include "kernelc/preprocessor.hpp"
+
+#include <cctype>
+#include <unordered_map>
+#include <vector>
+
+#include "base/strings.hpp"
+#include "kernelc/diagnostics.hpp"
+
+namespace skelcl::kc {
+
+namespace {
+
+bool isIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool isIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Replace whole-identifier occurrences of the defined macros in `line`.
+/// Comments are not special-cased: the language has no string literals, and
+/// macro names inside comments are stripped by the lexer anyway.
+std::string substitute(const std::string& line,
+                       const std::unordered_map<std::string, std::string>& macros) {
+  if (macros.empty()) return line;
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (isIdentStart(line[i])) {
+      std::size_t j = i + 1;
+      while (j < line.size() && isIdentChar(line[j])) ++j;
+      const std::string ident = line.substr(i, j - i);
+      const auto it = macros.find(ident);
+      out += it != macros.end() ? it->second : ident;
+      i = j;
+    } else {
+      out += line[i++];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string preprocess(const std::string& source) {
+  // Fast path: no directives at all (the overwhelmingly common case for
+  // generated skeleton programs).
+  if (source.find('#') == std::string::npos) return source;
+
+  std::unordered_map<std::string, std::string> macros;
+  std::string out;
+  out.reserve(source.size());
+
+  int lineNo = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    ++lineNo;
+    const std::size_t eol = source.find('\n', pos);
+    const std::string line =
+        source.substr(pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? source.size() + 1 : eol + 1;
+
+    const std::string_view trimmed = str::trim(line);
+    if (!trimmed.empty() && trimmed.front() == '#') {
+      // parse the directive
+      std::size_t k = 1;
+      while (k < trimmed.size() && std::isspace(static_cast<unsigned char>(trimmed[k]))) ++k;
+      std::size_t nameEnd = k;
+      while (nameEnd < trimmed.size() && isIdentChar(trimmed[nameEnd])) ++nameEnd;
+      const std::string directive(trimmed.substr(k, nameEnd - k));
+
+      auto parseIdent = [&](std::size_t from, std::string* ident) -> std::size_t {
+        while (from < trimmed.size() && std::isspace(static_cast<unsigned char>(trimmed[from])))
+          ++from;
+        std::size_t end = from;
+        if (end < trimmed.size() && isIdentStart(trimmed[end])) {
+          ++end;
+          while (end < trimmed.size() && isIdentChar(trimmed[end])) ++end;
+        }
+        *ident = std::string(trimmed.substr(from, end - from));
+        return end;
+      };
+
+      if (directive == "define") {
+        std::string name;
+        const std::size_t afterName = parseIdent(nameEnd, &name);
+        if (name.empty()) {
+          throw CompileError(SourceLoc{lineNo, 1}, "#define needs a macro name");
+        }
+        if (afterName < trimmed.size() && trimmed[afterName] == '(') {
+          throw CompileError(SourceLoc{lineNo, 1},
+                             "function-like macros are not supported");
+        }
+        std::string body(str::trim(trimmed.substr(afterName)));
+        // expand previously defined macros in the body (handles chains;
+        // recursion is impossible because expansion happens once, here)
+        body = substitute(body, macros);
+        macros[name] = body;
+      } else if (directive == "undef") {
+        std::string name;
+        parseIdent(nameEnd, &name);
+        if (name.empty()) {
+          throw CompileError(SourceLoc{lineNo, 1}, "#undef needs a macro name");
+        }
+        macros.erase(name);
+      } else {
+        throw CompileError(SourceLoc{lineNo, 1},
+                           "unsupported preprocessor directive '#" + directive +
+                               "' (only #define / #undef are available)");
+      }
+      out += "\n";  // keep line numbering intact
+      continue;
+    }
+
+    out += substitute(line, macros);
+    out += "\n";
+  }
+  // drop the trailing newline added for the synthetic last line
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace skelcl::kc

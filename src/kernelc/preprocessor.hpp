@@ -1,0 +1,17 @@
+// A minimal preprocessor for the kernel language: object-like `#define` /
+// `#undef`.  OpenCL kernels conventionally receive tuning constants this way
+// (and SkelCL-style code generators splice them in), so the compiler accepts
+// them.  Function-like macros, #include and conditionals are rejected with a
+// diagnostic rather than silently ignored.
+#pragma once
+
+#include <string>
+
+namespace skelcl::kc {
+
+/// Expand directives and macro uses.  Directive lines are blanked (not
+/// removed) so diagnostics keep their line numbers.  Throws CompileError on
+/// malformed or unsupported directives.
+std::string preprocess(const std::string& source);
+
+}  // namespace skelcl::kc

@@ -1,0 +1,32 @@
+#include "kernelc/program.hpp"
+
+#include "kernelc/compiler.hpp"
+#include "kernelc/lexer.hpp"
+#include "kernelc/parser.hpp"
+#include "kernelc/preprocessor.hpp"
+#include "kernelc/sema.hpp"
+
+namespace skelcl::kc {
+
+std::shared_ptr<const CompiledProgram> compileProgram(const std::string& source) {
+  const std::string expanded = preprocess(source);  // Lexer views this string
+  Lexer lexer(expanded);
+  std::vector<Token> tokens = lexer.run();
+  const std::uint64_t complexity = tokens.size();
+
+  Parser parser(std::move(tokens));
+  Program ast = parser.run();
+
+  Sema sema(ast);
+  const TypeTable types = sema.run();
+
+  Compiler compiler(types, sema.functions());
+
+  auto program = std::make_shared<CompiledProgram>();
+  program->functions = compiler.run();
+  program->complexity = complexity;
+  program->source = source;
+  return program;
+}
+
+}  // namespace skelcl::kc

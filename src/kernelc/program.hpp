@@ -1,0 +1,16 @@
+// Top-level compile pipeline: source string -> CompiledProgram.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernelc/vm.hpp"
+
+namespace skelcl::kc {
+
+/// Compile a kernel-language translation unit.  Throws CompileError with the
+/// full list of diagnostics on failure.  The returned program is immutable
+/// and safe to share across threads (each thread runs its own Vm).
+std::shared_ptr<const CompiledProgram> compileProgram(const std::string& source);
+
+}  // namespace skelcl::kc

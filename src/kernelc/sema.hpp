@@ -1,0 +1,98 @@
+// Semantic analysis: name resolution, type checking, struct layout, local
+// slot / frame-memory assignment.  Annotates the AST in place; the bytecode
+// compiler relies on a fully annotated tree.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kernelc/ast.hpp"
+#include "kernelc/builtins.hpp"
+#include "kernelc/diagnostics.hpp"
+#include "kernelc/types.hpp"
+
+namespace skelcl::kc {
+
+class Sema {
+ public:
+  explicit Sema(Program& program) : program_(program) {}
+
+  /// Analyze the whole program.  Throws CompileError carrying every
+  /// diagnostic collected (analysis continues at the next function after an
+  /// error).  On success the returned TypeTable owns all struct layouts the
+  /// bytecode references.
+  TypeTable run();
+
+  /// Functions in declaration order (valid after run()).
+  const std::vector<FunctionDecl*>& functions() const { return functions_; }
+
+ private:
+  struct Symbol {
+    TypeId type = types::Invalid;  ///< element type for arrays
+    VarHome home = VarHome::Unresolved;
+    int slot = -1;
+    std::uint32_t frameOffset = 0;
+    bool isArray = false;
+  };
+
+  // error helper: records a diagnostic and throws to unwind to the
+  // per-function catch (analysis resumes with the next function)
+  [[noreturn]] void fail(SourceLoc loc, const std::string& message);
+
+  TypeId resolve(const TypeSpec& spec, bool allowVoid = false);
+
+  void declareStruct(StructDecl& decl);
+  void collectFunction(FunctionDecl& decl);
+  void analyzeFunction(FunctionDecl& decl);
+
+  // scopes
+  void pushScope();
+  void popScope();
+  Symbol& declare(SourceLoc loc, const std::string& name, Symbol sym);
+  const Symbol* lookup(const std::string& name) const;
+
+  // allocation inside the current function
+  int allocSlot();
+  std::uint32_t allocFrame(std::uint32_t size, std::uint32_t align);
+
+  // statements / expressions
+  void analyzeStmt(Stmt& stmt);
+  void analyzeBlock(Block& block);
+  void analyzeDecl(DeclStmt& decl);
+  TypeId analyzeExpr(Expr& expr);
+  TypeId analyzeVarRef(VarRef& ref);
+  TypeId analyzeUnary(Unary& unary);
+  TypeId analyzeBinary(Binary& binary);
+  TypeId analyzeAssign(Assign& assign);
+  TypeId analyzeTernary(Ternary& ternary);
+  TypeId analyzeCall(Call& call);
+  TypeId analyzeIndex(Index& index);
+  TypeId analyzeMember(Member& member);
+  TypeId analyzeCast(Cast& cast);
+
+  /// Require an arithmetic condition expression.
+  void checkCondition(Expr& cond);
+  /// Insert an implicit conversion so `expr` has type `target`.
+  void coerce(ExprPtr& expr, TypeId target, const char* what);
+  TypeId typeFromBType(BType b);
+
+  Program& program_;
+  TypeTable types_;
+  std::vector<Diagnostic> diags_;
+
+  std::vector<FunctionDecl*> functions_;
+  std::unordered_map<std::string, int> functionByName_;
+  std::unordered_set<std::string> builtinNames_;
+
+  // per-function state
+  FunctionDecl* current_ = nullptr;
+  std::vector<std::unordered_map<std::string, Symbol>> scopes_;
+  std::unordered_set<std::string> addressTaken_;
+  int nextSlot_ = 0;
+  std::uint32_t frameSize_ = 0;
+  int loopDepth_ = 0;
+};
+
+}  // namespace skelcl::kc

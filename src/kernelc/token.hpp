@@ -1,0 +1,63 @@
+// Tokens of the kernel language (an OpenCL C subset, see docs/KERNEL_LANGUAGE.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace skelcl::kc {
+
+enum class Tok {
+  // literals / identifiers
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+
+  // keywords
+  KwVoid, KwBool, KwInt, KwUint, KwFloat, KwDouble,
+  KwStruct, KwTypedef,
+  KwIf, KwElse, KwFor, KwWhile, KwDo, KwBreak, KwContinue, KwReturn,
+  KwTrue, KwFalse,
+  KwKernel,     // "__kernel" or "kernel"
+  KwGlobal,     // "__global" or "global" (accepted, recorded)
+  KwLocal,      // "__local" or "local"   (accepted, ignored)
+  KwConst,
+  KwSizeof,
+
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semicolon, Comma, Dot, Arrow,
+
+  // operators
+  Assign,                 // =
+  PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  Question, Colon,
+  PipePipe, AmpAmp,
+  Pipe, Caret, Amp,
+  EqEq, NotEq,
+  Less, LessEq, Greater, GreaterEq,
+  Shl, Shr,
+  Plus, Minus, Star, Slash, Percent,
+  Bang, Tilde,
+  PlusPlus, MinusMinus,
+
+  Eof,
+};
+
+const char* tokName(Tok t);
+
+struct SourceLoc {
+  int line = 1;
+  int column = 1;
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  SourceLoc loc;
+  std::string text;       ///< identifier spelling / literal spelling
+  std::uint64_t intValue = 0;
+  double floatValue = 0.0;
+  bool isFloat32 = true;  ///< float literal had 'f' suffix (or no 'd'/exponent rule)
+};
+
+}  // namespace skelcl::kc

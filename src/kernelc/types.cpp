@@ -1,0 +1,149 @@
+#include "kernelc/types.hpp"
+
+#include <algorithm>
+
+namespace skelcl::kc {
+
+TypeTable::TypeTable() {
+  // Order must match the constants in namespace types.
+  for (Scalar s : {Scalar::Void, Scalar::Bool, Scalar::Int, Scalar::Uint, Scalar::Float,
+                   Scalar::Double}) {
+    Entry e;
+    e.kind = Kind::Scalar;
+    e.scalar = s;
+    entries_.push_back(e);
+  }
+}
+
+const TypeTable::Entry& TypeTable::entry(TypeId t) const {
+  SKELCL_CHECK(t >= 0 && t < static_cast<TypeId>(entries_.size()), "invalid TypeId");
+  return entries_[static_cast<std::size_t>(t)];
+}
+
+TypeId TypeTable::pointerTo(TypeId t) {
+  SKELCL_CHECK(t != types::Void, "pointer to void is not supported");
+  SKELCL_CHECK(t != types::Bool, "pointer to bool is not supported");
+  for (TypeId i = 0; i < static_cast<TypeId>(entries_.size()); ++i) {
+    const Entry& e = entries_[static_cast<std::size_t>(i)];
+    if (e.kind == Kind::Pointer && e.pointee == t) return i;
+  }
+  Entry e;
+  e.kind = Kind::Pointer;
+  e.pointee = t;
+  entries_.push_back(e);
+  return static_cast<TypeId>(entries_.size() - 1);
+}
+
+TypeId TypeTable::addStruct(const std::string& name,
+                            const std::vector<std::pair<std::string, TypeId>>& fields) {
+  SKELCL_CHECK(findStruct(name) == types::Invalid, "duplicate struct '" + name + "'");
+  StructLayout layout;
+  layout.name = name;
+  std::uint32_t offset = 0;
+  for (const auto& [fieldName, fieldType] : fields) {
+    SKELCL_CHECK(!isPointer(fieldType), "pointer members are not allowed in device structs");
+    SKELCL_CHECK(fieldType != types::Void && fieldType != types::Bool,
+                 "invalid struct member type");
+    SKELCL_CHECK(layout.find(fieldName) == nullptr,
+                 "duplicate member '" + fieldName + "' in struct '" + name + "'");
+    const std::uint32_t align = alignOf(fieldType);
+    offset = (offset + align - 1) / align * align;
+    layout.fields.push_back(StructField{fieldName, fieldType, offset});
+    offset += sizeOf(fieldType);
+    layout.align = std::max(layout.align, align);
+  }
+  layout.size = std::max(1u, (offset + layout.align - 1) / layout.align * layout.align);
+
+  structs_.push_back(std::move(layout));
+  Entry e;
+  e.kind = Kind::Struct;
+  e.structIndex = static_cast<std::int32_t>(structs_.size() - 1);
+  entries_.push_back(e);
+  return static_cast<TypeId>(entries_.size() - 1);
+}
+
+TypeId TypeTable::findStruct(const std::string& name) const {
+  for (TypeId i = 0; i < static_cast<TypeId>(entries_.size()); ++i) {
+    const Entry& e = entries_[static_cast<std::size_t>(i)];
+    if (e.kind == Kind::Struct &&
+        structs_[static_cast<std::size_t>(e.structIndex)].name == name) {
+      return i;
+    }
+  }
+  return types::Invalid;
+}
+
+bool TypeTable::isScalar(TypeId t) const { return entry(t).kind == Kind::Scalar; }
+bool TypeTable::isPointer(TypeId t) const { return entry(t).kind == Kind::Pointer; }
+bool TypeTable::isStruct(TypeId t) const { return entry(t).kind == Kind::Struct; }
+
+Scalar TypeTable::scalarKind(TypeId t) const {
+  SKELCL_CHECK(isScalar(t), "not a scalar type");
+  return entry(t).scalar;
+}
+
+TypeId TypeTable::pointee(TypeId t) const {
+  SKELCL_CHECK(isPointer(t), "not a pointer type");
+  return entry(t).pointee;
+}
+
+const StructLayout& TypeTable::structLayout(TypeId t) const {
+  SKELCL_CHECK(isStruct(t), "not a struct type");
+  return structs_[static_cast<std::size_t>(entry(t).structIndex)];
+}
+
+std::uint32_t TypeTable::sizeOf(TypeId t) const {
+  const Entry& e = entry(t);
+  switch (e.kind) {
+    case Kind::Scalar:
+      switch (e.scalar) {
+        case Scalar::Void: return 0;
+        case Scalar::Bool: return 4;  // int-like; bool never appears in structs
+        case Scalar::Int:
+        case Scalar::Uint:
+        case Scalar::Float: return 4;
+        case Scalar::Double: return 8;
+      }
+      return 0;
+    case Kind::Pointer: return 8;
+    case Kind::Struct: return structs_[static_cast<std::size_t>(e.structIndex)].size;
+  }
+  return 0;
+}
+
+std::uint32_t TypeTable::alignOf(TypeId t) const {
+  const Entry& e = entry(t);
+  if (e.kind == Kind::Struct) return structs_[static_cast<std::size_t>(e.structIndex)].align;
+  return std::max(1u, sizeOf(t));
+}
+
+std::string TypeTable::name(TypeId t) const {
+  if (t == types::Invalid) return "<invalid>";
+  const Entry& e = entry(t);
+  switch (e.kind) {
+    case Kind::Scalar:
+      switch (e.scalar) {
+        case Scalar::Void: return "void";
+        case Scalar::Bool: return "bool";
+        case Scalar::Int: return "int";
+        case Scalar::Uint: return "uint";
+        case Scalar::Float: return "float";
+        case Scalar::Double: return "double";
+      }
+      return "?";
+    case Kind::Pointer: return name(e.pointee) + "*";
+    case Kind::Struct:
+      return "struct " + structs_[static_cast<std::size_t>(e.structIndex)].name;
+  }
+  return "?";
+}
+
+TypeId TypeTable::arithmeticCommonType(TypeId a, TypeId b) const {
+  SKELCL_CHECK(isArithmetic(a) && isArithmetic(b), "arithmetic types required");
+  if (a == types::Double || b == types::Double) return types::Double;
+  if (a == types::Float || b == types::Float) return types::Float;
+  if (a == types::Uint || b == types::Uint) return types::Uint;
+  return types::Int;  // bool promotes to int
+}
+
+}  // namespace skelcl::kc

@@ -1,0 +1,105 @@
+// Type system of the kernel language.
+//
+// Types are interned in a TypeTable and referenced by TypeId so that AST
+// annotations stay trivially copyable.  Struct layout follows the natural
+// alignment rules of x86-64 C++ for the allowed member types (int/uint/
+// float/double and nested structs), which is what makes host-side C++
+// structs and device-side kernel structs share one memory layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace skelcl::kc {
+
+using TypeId = std::int32_t;
+
+enum class Scalar : std::int8_t { Void, Bool, Int, Uint, Float, Double };
+
+/// Well-known TypeIds; the TypeTable constructor guarantees these values.
+namespace types {
+inline constexpr TypeId Void = 0;
+inline constexpr TypeId Bool = 1;
+inline constexpr TypeId Int = 2;
+inline constexpr TypeId Uint = 3;
+inline constexpr TypeId Float = 4;
+inline constexpr TypeId Double = 5;
+inline constexpr TypeId Invalid = -1;
+}  // namespace types
+
+struct StructField {
+  std::string name;
+  TypeId type = types::Invalid;
+  std::uint32_t offset = 0;  ///< byte offset within the struct
+};
+
+struct StructLayout {
+  std::string name;
+  std::vector<StructField> fields;
+  std::uint32_t size = 0;
+  std::uint32_t align = 1;
+
+  const StructField* find(const std::string& fieldName) const {
+    for (const auto& f : fields) {
+      if (f.name == fieldName) return &f;
+    }
+    return nullptr;
+  }
+};
+
+class TypeTable {
+ public:
+  TypeTable();
+
+  /// Intern `T*` for pointee `t` (idempotent).
+  TypeId pointerTo(TypeId t);
+
+  /// Register a struct with the given fields; computes layout.
+  /// Throws CompileError-free UsageError on duplicate names (callers in sema
+  /// wrap with source locations).
+  TypeId addStruct(const std::string& name, const std::vector<std::pair<std::string, TypeId>>& fields);
+
+  /// Look up a struct type by name; returns types::Invalid if unknown.
+  TypeId findStruct(const std::string& name) const;
+
+  bool isScalar(TypeId t) const;
+  bool isPointer(TypeId t) const;
+  bool isStruct(TypeId t) const;
+  bool isVoid(TypeId t) const { return t == types::Void; }
+  bool isInteger(TypeId t) const { return t == types::Int || t == types::Uint || t == types::Bool; }
+  bool isFloating(TypeId t) const { return t == types::Float || t == types::Double; }
+  bool isArithmetic(TypeId t) const { return isInteger(t) || isFloating(t); }
+
+  Scalar scalarKind(TypeId t) const;
+  TypeId pointee(TypeId t) const;
+  const StructLayout& structLayout(TypeId t) const;
+
+  std::uint32_t sizeOf(TypeId t) const;
+  std::uint32_t alignOf(TypeId t) const;
+
+  /// "float", "int*", "struct Event", ... for diagnostics.
+  std::string name(TypeId t) const;
+
+  /// The common type of a usual-arithmetic-conversion between two arithmetic
+  /// types (bool promotes to int).
+  TypeId arithmeticCommonType(TypeId a, TypeId b) const;
+
+ private:
+  enum class Kind : std::int8_t { Scalar, Pointer, Struct };
+  struct Entry {
+    Kind kind;
+    Scalar scalar = Scalar::Void;   // Kind::Scalar
+    TypeId pointee = types::Invalid;  // Kind::Pointer
+    std::int32_t structIndex = -1;    // Kind::Struct
+  };
+
+  const Entry& entry(TypeId t) const;
+
+  std::vector<Entry> entries_;
+  std::vector<StructLayout> structs_;
+};
+
+}  // namespace skelcl::kc

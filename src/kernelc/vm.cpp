@@ -1,0 +1,462 @@
+#include "kernelc/vm.hpp"
+
+#include <cstring>
+
+#include "kernelc/diagnostics.hpp"
+
+namespace skelcl::kc {
+
+int CompiledProgram::findKernel(const std::string& name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].isKernel && functions[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CompiledProgram::findFunction(const std::string& name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Vm::Vm(const CompiledProgram& program, std::vector<MemRegion> globalRegions)
+    : program_(program) {
+  regions_.push_back(MemRegion{});  // region 0: null
+  for (const auto& r : globalRegions) regions_.push_back(r);
+  stack_.reserve(1024);
+  frameArena_.resize(kFrameArenaBytes);
+}
+
+void Vm::fault(const std::string& message) const {
+  std::string where = currentFunction_ >= 0
+                          ? program_.functions[static_cast<std::size_t>(currentFunction_)].name
+                          : "<none>";
+  throw VmError("device fault in '" + where + "' (work-item " +
+                std::to_string(globalId_) + "): " + message);
+}
+
+void* Vm::resolve(Ptr p, std::uint32_t bytes) {
+  if (p.region <= 0) fault("null pointer dereference");
+  if (static_cast<std::size_t>(p.region) >= regions_.size()) {
+    fault("dangling pointer (region no longer exists)");
+  }
+  const MemRegion& region = regions_[static_cast<std::size_t>(p.region)];
+  if (static_cast<std::uint64_t>(p.offset) + bytes > region.size) {
+    fault("out-of-bounds access at offset " + std::to_string(p.offset) + " + " +
+          std::to_string(bytes) + " bytes in a region of " + std::to_string(region.size) +
+          " bytes");
+  }
+  return region.data + p.offset;
+}
+
+void Vm::runKernel(int functionIndex, std::span<const Slot> args, std::int64_t globalId,
+                   std::int64_t globalSize) {
+  const auto& fn = program_.functions.at(static_cast<std::size_t>(functionIndex));
+  SKELCL_CHECK(fn.isKernel, "runKernel on a non-kernel function");
+  SKELCL_CHECK(args.size() == fn.paramTypes.size(), "kernel argument count mismatch");
+  globalId_ = globalId;
+  globalSize_ = globalSize;
+  stack_.clear();
+  frameTop_ = 0;
+  // Global regions were installed by the constructor and stay put; frame
+  // regions pushed beyond them are popped by execute() itself.
+  for (const Slot& s : args) stack_.push_back(s);
+  execute(functionIndex, std::span<const Slot>(stack_.data(), args.size()),
+          /*expectResult=*/false);
+  stack_.clear();
+}
+
+Slot Vm::callFunction(int functionIndex, std::span<const Slot> args) {
+  const auto& fn = program_.functions.at(static_cast<std::size_t>(functionIndex));
+  SKELCL_CHECK(!fn.isKernel, "callFunction on a kernel");
+  SKELCL_CHECK(args.size() == fn.paramTypes.size(), "function argument count mismatch");
+  globalId_ = 0;
+  globalSize_ = 1;
+  stack_.clear();
+  frameTop_ = 0;
+  for (const Slot& s : args) stack_.push_back(s);
+  execute(functionIndex, std::span<const Slot>(stack_.data(), args.size()),
+          /*expectResult=*/fn.returnType != types::Void);
+  Slot result = fn.returnType != types::Void ? stack_.back() : Slot{};
+  stack_.clear();
+  return result;
+}
+
+void Vm::execute(int functionIndex, std::span<const Slot> args, bool expectResult) {
+  static thread_local std::size_t callDepth = 0;
+  if (++callDepth > kMaxCallDepth) {
+    --callDepth;
+    fault("call stack overflow (recursion too deep)");
+  }
+  struct DepthGuard {
+    std::size_t& d;
+    ~DepthGuard() { --d; }
+  } depthGuard{callDepth};
+
+  const auto& fn = program_.functions[static_cast<std::size_t>(functionIndex)];
+  const int savedFunction = currentFunction_;
+  currentFunction_ = functionIndex;
+
+  // Locals.
+  std::vector<Slot> slots(static_cast<std::size_t>(fn.numSlots));
+  std::copy(args.begin(), args.end(), slots.begin());
+
+  // Frame memory region (for arrays / structs / addressed locals).
+  const std::size_t frameRegionId = regions_.size();
+  const std::uint64_t savedFrameTop = frameTop_;
+  if (fn.frameBytes > 0) {
+    const std::uint64_t alignedTop = (frameTop_ + 15) / 16 * 16;
+    if (alignedTop + fn.frameBytes > frameArena_.size()) fault("frame arena exhausted");
+    std::memset(frameArena_.data() + alignedTop, 0, fn.frameBytes);
+    regions_.push_back(MemRegion{frameArena_.data() + alignedTop, fn.frameBytes});
+    frameTop_ = alignedTop + fn.frameBytes;
+  }
+  struct FrameGuard {
+    Vm& vm;
+    std::size_t regionId;
+    std::uint64_t savedTop;
+    bool active;
+    ~FrameGuard() {
+      if (active) {
+        vm.regions_.resize(regionId);
+        vm.frameTop_ = savedTop;
+      }
+    }
+  } frameGuard{*this, frameRegionId, savedFrameTop, fn.frameBytes > 0};
+
+  const std::size_t stackBase = stack_.size();
+
+  auto push = [this](Slot s) {
+    if (stack_.size() >= kMaxStack) fault("operand stack overflow");
+    stack_.push_back(s);
+  };
+  auto pop = [this]() {
+    Slot s = stack_.back();
+    stack_.pop_back();
+    return s;
+  };
+
+  const Insn* code = fn.code.data();
+  std::size_t pc = 0;
+  std::uint64_t budget = instructions_ + kMaxInstructionsPerItem;
+
+  for (;;) {
+    const Insn& insn = code[pc++];
+    if (++instructions_ > budget) fault("instruction budget exceeded (infinite loop?)");
+
+    switch (insn.op) {
+      case Op::PushI: push(Slot::fromInt(insn.imm)); break;
+      case Op::PushF: push(Slot::fromFloat(insn.fimm)); break;
+
+      case Op::LoadSlot: push(slots[static_cast<std::size_t>(insn.a)]); break;
+      case Op::StoreSlot: slots[static_cast<std::size_t>(insn.a)] = pop(); break;
+
+      case Op::LeaFrame: {
+        Ptr p;
+        p.region = static_cast<std::int32_t>(frameRegionId);
+        p.offset = static_cast<std::uint32_t>(insn.a);
+        push(Slot::fromPtr(p));
+        break;
+      }
+
+      case Op::LoadI32: {
+        const void* addr = resolve(pop().p, 4);
+        std::int32_t v;
+        std::memcpy(&v, addr, 4);
+        push(Slot::fromInt(v));
+        break;
+      }
+      case Op::LoadU32: {
+        const void* addr = resolve(pop().p, 4);
+        std::uint32_t v;
+        std::memcpy(&v, addr, 4);
+        push(Slot::fromInt(static_cast<std::int64_t>(v)));
+        break;
+      }
+      case Op::LoadF32: {
+        const void* addr = resolve(pop().p, 4);
+        float v;
+        std::memcpy(&v, addr, 4);
+        push(Slot::fromFloat(v));
+        break;
+      }
+      case Op::LoadF64: {
+        const void* addr = resolve(pop().p, 8);
+        double v;
+        std::memcpy(&v, addr, 8);
+        push(Slot::fromFloat(v));
+        break;
+      }
+      case Op::StoreI32: {
+        const Slot value = pop();
+        void* addr = resolve(pop().p, 4);
+        const auto v = static_cast<std::int32_t>(value.i);
+        std::memcpy(addr, &v, 4);
+        break;
+      }
+      case Op::StoreF32: {
+        const Slot value = pop();
+        void* addr = resolve(pop().p, 4);
+        const auto v = static_cast<float>(value.f);
+        std::memcpy(addr, &v, 4);
+        break;
+      }
+      case Op::StoreF64: {
+        const Slot value = pop();
+        void* addr = resolve(pop().p, 8);
+        std::memcpy(addr, &value.f, 8);
+        break;
+      }
+      case Op::MemCopy: {
+        const Ptr src = pop().p;
+        const Ptr dst = pop().p;
+        const auto bytes = static_cast<std::uint32_t>(insn.a);
+        void* d = resolve(dst, bytes);
+        const void* s = resolve(src, bytes);
+        std::memmove(d, s, bytes);
+        break;
+      }
+      case Op::PtrAdd: {
+        const std::int64_t index = pop().i;
+        Ptr p = pop().p;
+        p.offset = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(p.offset) + index * insn.a);
+        push(Slot::fromPtr(p));
+        break;
+      }
+
+#define SKELCL_BIN_I(OPNAME, EXPR)                                         \
+  case Op::OPNAME: {                                                       \
+    const std::int64_t b = pop().i;                                        \
+    const std::int64_t a = pop().i;                                        \
+    (void)a;                                                               \
+    (void)b;                                                               \
+    push(Slot::fromInt(static_cast<std::int32_t>(EXPR)));                  \
+    break;                                                                 \
+  }
+      SKELCL_BIN_I(AddI, a + b)
+      SKELCL_BIN_I(SubI, a - b)
+      SKELCL_BIN_I(MulI, a * b)
+      SKELCL_BIN_I(AndI, a & b)
+      SKELCL_BIN_I(OrI, a | b)
+      SKELCL_BIN_I(XorI, a ^ b)
+      SKELCL_BIN_I(ShlI, static_cast<std::int64_t>(static_cast<std::uint32_t>(a)
+                                                   << (static_cast<std::uint32_t>(b) & 31u)))
+      SKELCL_BIN_I(ShrI, static_cast<std::int32_t>(a) >> (static_cast<std::uint32_t>(b) & 31u))
+      SKELCL_BIN_I(ShrU, static_cast<std::uint32_t>(a) >> (static_cast<std::uint32_t>(b) & 31u))
+#undef SKELCL_BIN_I
+
+      case Op::DivI: {
+        const std::int64_t b = pop().i;
+        const std::int64_t a = pop().i;
+        if (b == 0) fault("integer division by zero");
+        push(Slot::fromInt(static_cast<std::int32_t>(a / b)));
+        break;
+      }
+      case Op::RemI: {
+        const std::int64_t b = pop().i;
+        const std::int64_t a = pop().i;
+        if (b == 0) fault("integer remainder by zero");
+        push(Slot::fromInt(static_cast<std::int32_t>(a % b)));
+        break;
+      }
+      case Op::DivU: {
+        const auto b = static_cast<std::uint32_t>(pop().i);
+        const auto a = static_cast<std::uint32_t>(pop().i);
+        if (b == 0) fault("integer division by zero");
+        push(Slot::fromInt(static_cast<std::int64_t>(a / b)));
+        break;
+      }
+      case Op::RemU: {
+        const auto b = static_cast<std::uint32_t>(pop().i);
+        const auto a = static_cast<std::uint32_t>(pop().i);
+        if (b == 0) fault("integer remainder by zero");
+        push(Slot::fromInt(static_cast<std::int64_t>(a % b)));
+        break;
+      }
+      case Op::NegI:
+        stack_.back().i = static_cast<std::int32_t>(-stack_.back().i);
+        break;
+      case Op::NotI:
+        stack_.back().i = static_cast<std::int32_t>(~stack_.back().i);
+        break;
+
+#define SKELCL_BIN_F32(OPNAME, OPERATOR)                                            \
+  case Op::OPNAME: {                                                                \
+    const double b = pop().f;                                                       \
+    const double a = pop().f;                                                       \
+    push(Slot::fromFloat(static_cast<float>(static_cast<float>(a)                   \
+                                                OPERATOR static_cast<float>(b))));  \
+    break;                                                                          \
+  }
+      SKELCL_BIN_F32(AddF32, +)
+      SKELCL_BIN_F32(SubF32, -)
+      SKELCL_BIN_F32(MulF32, *)
+      SKELCL_BIN_F32(DivF32, /)
+#undef SKELCL_BIN_F32
+
+#define SKELCL_BIN_F64(OPNAME, OPERATOR)       \
+  case Op::OPNAME: {                           \
+    const double b = pop().f;                  \
+    const double a = pop().f;                  \
+    push(Slot::fromFloat(a OPERATOR b));       \
+    break;                                     \
+  }
+      SKELCL_BIN_F64(AddF64, +)
+      SKELCL_BIN_F64(SubF64, -)
+      SKELCL_BIN_F64(MulF64, *)
+      SKELCL_BIN_F64(DivF64, /)
+#undef SKELCL_BIN_F64
+
+      case Op::NegF32:
+        stack_.back().f = -static_cast<float>(stack_.back().f);
+        break;
+      case Op::NegF64:
+        stack_.back().f = -stack_.back().f;
+        break;
+
+#define SKELCL_CMP(OPNAME, TYPE, FIELD, OPERATOR)                  \
+  case Op::OPNAME: {                                               \
+    const auto b = static_cast<TYPE>(pop().FIELD);                 \
+    const auto a = static_cast<TYPE>(pop().FIELD);                 \
+    push(Slot::fromInt((a OPERATOR b) ? 1 : 0));                   \
+    break;                                                         \
+  }
+      SKELCL_CMP(EqI, std::int64_t, i, ==)
+      SKELCL_CMP(NeI, std::int64_t, i, !=)
+      SKELCL_CMP(LtI, std::int64_t, i, <)
+      SKELCL_CMP(LeI, std::int64_t, i, <=)
+      SKELCL_CMP(GtI, std::int64_t, i, >)
+      SKELCL_CMP(GeI, std::int64_t, i, >=)
+      SKELCL_CMP(LtU, std::uint32_t, i, <)
+      SKELCL_CMP(LeU, std::uint32_t, i, <=)
+      SKELCL_CMP(GtU, std::uint32_t, i, >)
+      SKELCL_CMP(GeU, std::uint32_t, i, >=)
+      SKELCL_CMP(EqF, double, f, ==)
+      SKELCL_CMP(NeF, double, f, !=)
+      SKELCL_CMP(LtF, double, f, <)
+      SKELCL_CMP(LeF, double, f, <=)
+      SKELCL_CMP(GtF, double, f, >)
+      SKELCL_CMP(GeF, double, f, >=)
+#undef SKELCL_CMP
+
+      case Op::EqP: {
+        const Ptr b = pop().p;
+        const Ptr a = pop().p;
+        push(Slot::fromInt((a.region == b.region && a.offset == b.offset) ? 1 : 0));
+        break;
+      }
+      case Op::NeP: {
+        const Ptr b = pop().p;
+        const Ptr a = pop().p;
+        push(Slot::fromInt((a.region != b.region || a.offset != b.offset) ? 1 : 0));
+        break;
+      }
+      case Op::LNot:
+        stack_.back().i = stack_.back().i == 0 ? 1 : 0;
+        break;
+
+      case Op::I2F32:
+        stack_.back() = Slot::fromFloat(
+            static_cast<float>(static_cast<std::int64_t>(stack_.back().i)));
+        break;
+      case Op::I2F64:
+        stack_.back() = Slot::fromFloat(static_cast<double>(stack_.back().i));
+        break;
+      case Op::U2F32:
+        stack_.back() = Slot::fromFloat(
+            static_cast<float>(static_cast<std::uint32_t>(stack_.back().i)));
+        break;
+      case Op::U2F64:
+        stack_.back() = Slot::fromFloat(
+            static_cast<double>(static_cast<std::uint32_t>(stack_.back().i)));
+        break;
+      case Op::F2I: {
+        const double v = stack_.back().f;
+        stack_.back() = Slot::fromInt(static_cast<std::int32_t>(v));
+        break;
+      }
+      case Op::F2U: {
+        const double v = stack_.back().f;
+        stack_.back() =
+            Slot::fromInt(static_cast<std::int64_t>(static_cast<std::uint32_t>(v)));
+        break;
+      }
+      case Op::F64toF32:
+        stack_.back().f = static_cast<float>(stack_.back().f);
+        break;
+      case Op::I2U:
+        stack_.back().i = static_cast<std::int64_t>(static_cast<std::uint32_t>(stack_.back().i));
+        break;
+      case Op::U2I:
+        stack_.back().i = static_cast<std::int32_t>(static_cast<std::uint32_t>(stack_.back().i));
+        break;
+      case Op::BoolNorm:
+        stack_.back().i = stack_.back().i != 0 ? 1 : 0;
+        break;
+
+      case Op::Jmp:
+        pc = static_cast<std::size_t>(insn.a);
+        break;
+      case Op::Jz:
+        if (pop().i == 0) pc = static_cast<std::size_t>(insn.a);
+        break;
+      case Op::Jnz:
+        if (pop().i != 0) pc = static_cast<std::size_t>(insn.a);
+        break;
+
+      case Op::CallFn: {
+        const auto& callee = program_.functions[static_cast<std::size_t>(insn.a)];
+        const std::size_t argc = callee.paramTypes.size();
+        const std::span<const Slot> callArgs(stack_.data() + stack_.size() - argc, argc);
+        // The callee pushes its result (if any) above the args; we then move
+        // it down over the consumed arguments.
+        execute(insn.a, callArgs, callee.returnType != types::Void);
+        if (callee.returnType != types::Void) {
+          const Slot result = stack_.back();
+          stack_.resize(stack_.size() - 1 - argc);
+          stack_.push_back(result);
+        } else {
+          stack_.resize(stack_.size() - argc);
+        }
+        break;
+      }
+      case Op::CallBuiltin: {
+        const BuiltinDef& def = builtinTable()[static_cast<std::size_t>(insn.a)];
+        const std::size_t argc = static_cast<std::size_t>(insn.b);
+        Slot argv[8];
+        for (std::size_t i = 0; i < argc; ++i) {
+          argv[argc - 1 - i] = pop();
+        }
+        const Slot result = def.fn(*this, argv);
+        if (def.ret != BType::Void) push(result);
+        break;
+      }
+
+      case Op::Ret: {
+        const Slot result = pop();
+        stack_.resize(stackBase);
+        if (expectResult) stack_.push_back(result);
+        currentFunction_ = savedFunction;
+        return;
+      }
+      case Op::RetVoid:
+        stack_.resize(stackBase);
+        currentFunction_ = savedFunction;
+        return;
+
+      case Op::Dup:
+        push(stack_.back());
+        break;
+      case Op::Drop:
+        stack_.pop_back();
+        break;
+
+      case Op::Trap:
+        fault("non-void function reached the end without returning a value");
+    }
+  }
+}
+
+}  // namespace skelcl::kc

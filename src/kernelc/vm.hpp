@@ -1,0 +1,88 @@
+// The bytecode virtual machine: executes one work-item (or one host-side
+// function call) at a time.  All loads and stores are bounds-checked — unlike
+// real OpenCL, which the paper notes "performs no boundary checks" — and the
+// executed-instruction count feeds the device cost model in sim::System.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernelc/builtins.hpp"
+#include "kernelc/bytecode.hpp"
+#include "kernelc/value.hpp"
+
+namespace skelcl::kc {
+
+/// A non-owning view of one memory region the VM may address.
+struct MemRegion {
+  std::byte* data = nullptr;
+  std::uint64_t size = 0;
+};
+
+/// A compiled program (functions + the type table their bytecode references).
+struct CompiledProgram {
+  std::vector<FunctionCode> functions;
+  std::uint64_t complexity = 0;  ///< token count; drives the compile-cost model
+  std::string source;
+
+  /// Index of the kernel with the given name, or -1.
+  int findKernel(const std::string& name) const;
+  /// Index of any function with the given name, or -1.
+  int findFunction(const std::string& name) const;
+};
+
+class Vm final : public BuiltinCtx {
+ public:
+  /// `globalRegions[i]` backs pointer region id `i + 1` (region 0 is null).
+  Vm(const CompiledProgram& program, std::vector<MemRegion> globalRegions);
+
+  /// Execute one work-item of a kernel.  `args` are the kernel arguments:
+  /// buffer arguments as Ptr slots referring to global regions, scalars by
+  /// value.
+  void runKernel(int functionIndex, std::span<const Slot> args, std::int64_t globalId,
+                 std::int64_t globalSize);
+
+  /// Call a (non-kernel) function, e.g. for host-side folding in the reduce
+  /// skeleton.  Returns its value.
+  Slot callFunction(int functionIndex, std::span<const Slot> args);
+
+  /// Executed-instruction counter (accumulates across runs; reset manually).
+  std::uint64_t instructionsExecuted() const { return instructions_; }
+  void resetInstructionCount() { instructions_ = 0; }
+
+  // BuiltinCtx
+  std::int64_t globalId() const override { return globalId_; }
+  std::int64_t globalSize() const override { return globalSize_; }
+  void* resolve(Ptr p, std::uint32_t bytes) override;
+
+  /// Per-invocation instruction budget; exceeded -> VmError ("infinite loop").
+  static constexpr std::uint64_t kMaxInstructionsPerItem = 1ull << 30;
+
+ private:
+  void execute(int functionIndex, std::span<const Slot> args, bool expectResult);
+
+  [[noreturn]] void fault(const std::string& message) const;
+
+  const CompiledProgram& program_;
+  std::vector<MemRegion> regions_;  ///< [0] reserved null; then global args; then frames
+
+  // operand stack and frame bookkeeping
+  std::vector<Slot> stack_;
+  std::vector<std::byte> frameArena_;
+  std::uint64_t frameTop_ = 0;
+
+  std::int64_t globalId_ = 0;
+  std::int64_t globalSize_ = 1;
+  std::uint64_t instructions_ = 0;
+  int currentFunction_ = -1;
+
+  static constexpr std::size_t kMaxStack = 1 << 16;
+  static constexpr std::size_t kMaxCallDepth = 200;
+  static constexpr std::size_t kFrameArenaBytes = 1 << 20;
+};
+
+}  // namespace skelcl::kc

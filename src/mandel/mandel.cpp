@@ -1,0 +1,218 @@
+#include "mandel/mandel.hpp"
+
+#include <string>
+
+#include "core/skelcl.hpp"
+#include "cuda/scuda.hpp"
+#include "ocl/ocl.hpp"
+
+namespace skelcl::mandel {
+
+const std::string& mandelIterateSource() {
+  static const std::string source = R"(
+int mandel_iterate(float cre, float cim, int maxIter) {
+  float re = 0.0f;
+  float im = 0.0f;
+  int n = 0;
+  while (n < maxIter) {
+    float re2 = re * re;
+    float im2 = im * im;
+    if (re2 + im2 > 4.0f) break;
+    float newRe = re2 - im2 + cre;
+    im = 2.0f * re * im + cim;
+    re = newRe;
+    ++n;
+  }
+  return n;
+}
+)";
+  return source;
+}
+
+namespace {
+
+std::string userFunctionSource() {
+  return mandelIterateSource() + R"(
+int func(int i, int width, int height,
+         float minRe, float maxRe, float minIm, float maxIm, int maxIter) {
+  int px = i % width;
+  int py = i / width;
+  float cre = minRe + (maxRe - minRe) * ((float)px / (float)width);
+  float cim = minIm + (maxIm - minIm) * ((float)py / (float)height);
+  return mandel_iterate(cre, cim, maxIter);
+}
+)";
+}
+
+std::string rawKernelSource() {
+  // `offsetPx` lets each device compute its own slice of the image.
+  return mandelIterateSource() + R"(
+__kernel void mandel(__global int* out, int n, int offsetPx, int width, int height,
+                     float minRe, float maxRe, float minIm, float maxIm, int maxIter) {
+  int gi = get_global_id(0);
+  if (gi >= n) return;
+  int i = offsetPx + gi;
+  int px = i % width;
+  int py = i / width;
+  float cre = minRe + (maxRe - minRe) * ((float)px / (float)width);
+  float cim = minIm + (maxIm - minIm) * ((float)py / (float)height);
+  out[gi] = mandel_iterate(cre, cim, maxIter);
+}
+)";
+}
+
+}  // namespace
+
+MandelResult mandelSeq(const MandelConfig& cfg) {
+  MandelResult result;
+  result.iterations.resize(static_cast<std::size_t>(cfg.width) *
+                           static_cast<std::size_t>(cfg.height));
+  for (int py = 0; py < cfg.height; ++py) {
+    for (int px = 0; px < cfg.width; ++px) {
+      const float cre = cfg.minRe + (cfg.maxRe - cfg.minRe) *
+                                        (static_cast<float>(px) / static_cast<float>(cfg.width));
+      const float cim = cfg.minIm + (cfg.maxIm - cfg.minIm) *
+                                        (static_cast<float>(py) / static_cast<float>(cfg.height));
+      float re = 0.0f;
+      float im = 0.0f;
+      int n = 0;
+      while (n < cfg.maxIterations) {
+        const float re2 = re * re;
+        const float im2 = im * im;
+        if (re2 + im2 > 4.0f) break;
+        const float newRe = re2 - im2 + cre;
+        im = 2.0f * re * im + cim;
+        re = newRe;
+        ++n;
+      }
+      result.iterations[static_cast<std::size_t>(py) * static_cast<std::size_t>(cfg.width) +
+                        static_cast<std::size_t>(px)] = n;
+    }
+  }
+  return result;
+}
+
+MandelResult mandelSkelCL(const MandelConfig& cfg, int numGpus) {
+  const std::size_t n =
+      static_cast<std::size_t>(cfg.width) * static_cast<std::size_t>(cfg.height);
+  init(sim::SystemConfig::teslaS1070(numGpus));
+  MandelResult result;
+  try {
+    Map<std::int32_t(Index)> mandelMap(userFunctionSource());
+    IndexVector index(n);
+    // warm-up run compiles the program (excluded from timing, as the paper
+    // excludes compilation)
+    mandelMap(index, cfg.width, cfg.height, cfg.minRe, cfg.maxRe, cfg.minIm, cfg.maxIm,
+              cfg.maxIterations);
+    finish();
+    resetSimClock();
+
+    Vector<std::int32_t> out = mandelMap(index, cfg.width, cfg.height, cfg.minRe, cfg.maxRe,
+                                         cfg.minIm, cfg.maxIm, cfg.maxIterations);
+    result.iterations.assign(out.begin(), out.end());  // implicit download
+    finish();
+    result.simSeconds = simTimeSeconds();
+  } catch (...) {
+    terminate();
+    throw;
+  }
+  terminate();
+  return result;
+}
+
+MandelResult mandelOcl(const MandelConfig& cfg, int numGpus) {
+  const std::size_t n =
+      static_cast<std::size_t>(cfg.width) * static_cast<std::size_t>(cfg.height);
+  ocl::Platform platform(sim::SystemConfig::teslaS1070(numGpus));
+  ocl::Context context(platform.devices());
+  ocl::Program program(context, rawKernelSource());
+  program.build();
+  ocl::Kernel kernel(program, "mandel");
+  platform.system().resetClock();
+
+  MandelResult result;
+  result.iterations.resize(n);
+  const int numDevices = platform.deviceCount();
+  std::vector<std::unique_ptr<ocl::CommandQueue>> queues;
+  std::vector<std::unique_ptr<ocl::Buffer>> buffers;
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(numDevices) + 1, 0);
+  for (int d = 0; d < numDevices; ++d) {
+    const std::size_t part =
+        n / static_cast<std::size_t>(numDevices) +
+        (static_cast<std::size_t>(d) < n % static_cast<std::size_t>(numDevices) ? 1 : 0);
+    offsets[static_cast<std::size_t>(d) + 1] = offsets[static_cast<std::size_t>(d)] + part;
+    queues.push_back(std::make_unique<ocl::CommandQueue>(context, platform.device(d)));
+    buffers.push_back(std::make_unique<ocl::Buffer>(
+        context, platform.device(d), std::max<std::size_t>(part, 1) * sizeof(std::int32_t)));
+  }
+  for (int d = 0; d < numDevices; ++d) {
+    const std::size_t begin = offsets[static_cast<std::size_t>(d)];
+    const std::size_t count = offsets[static_cast<std::size_t>(d) + 1] - begin;
+    if (count == 0) continue;
+    kernel.setArg(0, *buffers[static_cast<std::size_t>(d)]);
+    kernel.setArg(1, static_cast<std::int32_t>(count));
+    kernel.setArg(2, static_cast<std::int32_t>(begin));
+    kernel.setArg(3, cfg.width);
+    kernel.setArg(4, cfg.height);
+    kernel.setArg(5, cfg.minRe);
+    kernel.setArg(6, cfg.maxRe);
+    kernel.setArg(7, cfg.minIm);
+    kernel.setArg(8, cfg.maxIm);
+    kernel.setArg(9, cfg.maxIterations);
+    queues[static_cast<std::size_t>(d)]->enqueueNDRangeKernel(kernel, count);
+  }
+  for (int d = 0; d < numDevices; ++d) {
+    const std::size_t begin = offsets[static_cast<std::size_t>(d)];
+    const std::size_t count = offsets[static_cast<std::size_t>(d) + 1] - begin;
+    if (count == 0) continue;
+    queues[static_cast<std::size_t>(d)]->enqueueReadBuffer(
+        *buffers[static_cast<std::size_t>(d)], 0, count * sizeof(std::int32_t),
+        result.iterations.data() + begin, /*blocking=*/true);
+  }
+  for (auto& q : queues) q->finish();
+  result.simSeconds = platform.system().hostNow();
+  return result;
+}
+
+MandelResult mandelCuda(const MandelConfig& cfg, int numGpus) {
+  const std::size_t n =
+      static_cast<std::size_t>(cfg.width) * static_cast<std::size_t>(cfg.height);
+  scuda::Runtime rt(sim::SystemConfig::teslaS1070(numGpus), {rawKernelSource()});
+  scuda::KernelHandle kernel = rt.kernel("mandel");
+
+  MandelResult result;
+  result.iterations.resize(n);
+  const int numDevices = rt.deviceCount();
+  std::vector<scuda::DevPtr> buffers(static_cast<std::size_t>(numDevices));
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(numDevices) + 1, 0);
+  for (int d = 0; d < numDevices; ++d) {
+    const std::size_t part =
+        n / static_cast<std::size_t>(numDevices) +
+        (static_cast<std::size_t>(d) < n % static_cast<std::size_t>(numDevices) ? 1 : 0);
+    offsets[static_cast<std::size_t>(d) + 1] = offsets[static_cast<std::size_t>(d)] + part;
+    rt.setDevice(d);
+    buffers[static_cast<std::size_t>(d)] =
+        rt.malloc(std::max<std::size_t>(part, 1) * sizeof(std::int32_t));
+  }
+  for (int d = 0; d < numDevices; ++d) {
+    const std::size_t begin = offsets[static_cast<std::size_t>(d)];
+    const std::size_t count = offsets[static_cast<std::size_t>(d) + 1] - begin;
+    if (count == 0) continue;
+    rt.setDevice(d);
+    rt.launch(kernel, count, buffers[static_cast<std::size_t>(d)],
+              static_cast<std::int32_t>(count), static_cast<std::int32_t>(begin), cfg.width,
+              cfg.height, cfg.minRe, cfg.maxRe, cfg.minIm, cfg.maxIm, cfg.maxIterations);
+  }
+  for (int d = 0; d < numDevices; ++d) {
+    const std::size_t begin = offsets[static_cast<std::size_t>(d)];
+    const std::size_t count = offsets[static_cast<std::size_t>(d) + 1] - begin;
+    if (count == 0) continue;
+    rt.memcpy(result.iterations.data() + begin, buffers[static_cast<std::size_t>(d)],
+              count * sizeof(std::int32_t));
+  }
+  rt.synchronize();
+  result.simSeconds = rt.system().hostNow();
+  return result;
+}
+
+}  // namespace skelcl::mandel

@@ -1,0 +1,44 @@
+// Mandelbrot benchmark (the paper's conclusion reports LOC/performance
+// results for it, citing the SkelCL introduction paper [6]).  Three
+// implementations over the simulated GPUs: SkelCL (index-based map), raw
+// OpenCL-style, and CUDA-style.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skelcl::mandel {
+
+struct MandelConfig {
+  int width = 640;
+  int height = 480;
+  float minRe = -2.25f;
+  float maxRe = 0.75f;
+  float minIm = -1.25f;
+  float maxIm = 1.25f;
+  int maxIterations = 64;
+};
+
+struct MandelResult {
+  std::vector<std::int32_t> iterations;  ///< width * height, row-major
+  double simSeconds = 0.0;               ///< simulated time of the timed run
+};
+
+/// Sequential reference.
+MandelResult mandelSeq(const MandelConfig& config);
+
+/// SkelCL: one Map<int(Index)> skeleton.
+MandelResult mandelSkelCL(const MandelConfig& config, int numGpus);
+
+/// Hand-written against the simulated OpenCL host API.
+MandelResult mandelOcl(const MandelConfig& config, int numGpus);
+
+/// CUDA-style.
+MandelResult mandelCuda(const MandelConfig& config, int numGpus);
+
+/// The kernel-language escape-iteration function shared by all device
+/// implementations.
+const std::string& mandelIterateSource();
+
+}  // namespace skelcl::mandel

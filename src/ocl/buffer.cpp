@@ -1,0 +1,48 @@
+#include "ocl/buffer.hpp"
+
+#include <algorithm>
+
+namespace skelcl::ocl {
+
+Context::Context(std::vector<Device*> devices) : devices_(std::move(devices)) {
+  SKELCL_CHECK(!devices_.empty(), "a context needs at least one device");
+  platform_ = &devices_.front()->platform();
+  for (Device* d : devices_) {
+    SKELCL_CHECK(&d->platform() == platform_, "all context devices must share a platform");
+  }
+}
+
+bool Context::contains(const Device& device) const {
+  return std::find(devices_.begin(), devices_.end(), &device) != devices_.end();
+}
+
+Buffer::Buffer(Context& context, Device& device, std::uint64_t bytes)
+    : device_(device.shared_from_this()) {
+  SKELCL_CHECK(context.contains(device), "buffer device is not part of the context");
+  SKELCL_CHECK(bytes > 0, "zero-sized buffers are not allowed (CL_INVALID_BUFFER_SIZE)");
+  device.allocate(bytes);
+  storage_.resize(bytes);
+}
+
+Buffer::~Buffer() {
+  if (device_ != nullptr) device_->release(storage_.size());
+}
+
+Buffer::Buffer(Buffer&& other) noexcept
+    : device_(std::move(other.device_)), storage_(std::move(other.storage_)) {
+  other.device_ = nullptr;
+  other.storage_.clear();
+}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    if (device_ != nullptr) device_->release(storage_.size());
+    device_ = std::move(other.device_);
+    storage_ = std::move(other.storage_);
+    other.device_ = nullptr;
+    other.storage_.clear();
+  }
+  return *this;
+}
+
+}  // namespace skelcl::ocl

@@ -1,0 +1,56 @@
+// Contexts and device buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ocl/platform.hpp"
+
+namespace skelcl::ocl {
+
+/// A context groups the devices an application uses (as in OpenCL).
+class Context {
+ public:
+  explicit Context(std::vector<Device*> devices);
+
+  const std::vector<Device*>& devices() const { return devices_; }
+  Platform& platform() { return *platform_; }
+  bool contains(const Device& device) const;
+
+ private:
+  std::vector<Device*> devices_;
+  Platform* platform_;
+};
+
+/// A memory object living in one device's memory.
+///
+/// Real cl_mem objects are context-level with implicit migration; SkelCL (and
+/// every multi-GPU OpenCL program the paper discusses) allocates one buffer
+/// per device and manages placement explicitly, so this layer models exactly
+/// that common subset: a buffer has a device affinity fixed at creation.
+class Buffer {
+ public:
+  Buffer(Context& context, Device& device, std::uint64_t bytes);
+  ~Buffer();
+
+  Buffer(Buffer&& other) noexcept;
+  Buffer& operator=(Buffer&& other) noexcept;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  std::uint64_t size() const { return storage_.size(); }
+  Device& device() const { return *device_; }
+  bool valid() const { return device_ != nullptr; }
+
+  /// Direct access to the simulated device memory.  Only the CommandQueue
+  /// (and tests) should touch this; applications go through enqueue calls.
+  std::byte* data() { return storage_.data(); }
+  const std::byte* data() const { return storage_.data(); }
+
+ private:
+  std::shared_ptr<Device> device_;  ///< shared: see Device lifetime note
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace skelcl::ocl

@@ -1,0 +1,7 @@
+// Umbrella header for the simulated OpenCL host API ("socl").
+#pragma once
+
+#include "ocl/buffer.hpp"    // IWYU pragma: export
+#include "ocl/platform.hpp"  // IWYU pragma: export
+#include "ocl/program.hpp"   // IWYU pragma: export
+#include "ocl/queue.hpp"     // IWYU pragma: export

@@ -1,0 +1,41 @@
+#include "ocl/platform.hpp"
+
+namespace skelcl::ocl {
+
+Device::Device(Platform& platform, int id) : platform_(platform), id_(id) {}
+
+const sim::DeviceSpec& Device::spec() const { return platform_.system().device(id_); }
+
+void Device::allocate(std::uint64_t bytes) {
+  if (allocated_ + bytes > memoryCapacity()) {
+    throw ResourceError("device '" + name() + "': allocation of " + std::to_string(bytes) +
+                        " bytes exceeds the remaining " +
+                        std::to_string(memoryCapacity() - allocated_) +
+                        " bytes of device memory");
+  }
+  allocated_ += bytes;
+}
+
+void Device::release(std::uint64_t bytes) {
+  allocated_ = bytes > allocated_ ? 0 : allocated_ - bytes;
+}
+
+Platform::Platform(sim::SystemConfig config) : system_(std::move(config)) {
+  for (int i = 0; i < system_.deviceCount(); ++i) {
+    devices_.push_back(std::make_shared<Device>(*this, i));
+  }
+}
+
+Device& Platform::device(int index) {
+  SKELCL_CHECK(index >= 0 && index < deviceCount(), "device index out of range");
+  return *devices_[static_cast<std::size_t>(index)];
+}
+
+std::vector<Device*> Platform::devices() {
+  std::vector<Device*> out;
+  out.reserve(devices_.size());
+  for (auto& d : devices_) out.push_back(d.get());
+  return out;
+}
+
+}  // namespace skelcl::ocl

@@ -1,0 +1,112 @@
+#include "ocl/program.hpp"
+
+#include "kernelc/diagnostics.hpp"
+#include "kernelc/types.hpp"
+
+namespace skelcl::ocl {
+
+Program::Program(Context& context, std::string source)
+    : context_(&context), source_(std::move(source)) {}
+
+void Program::build() {
+  if (compiled_ != nullptr) return;  // idempotent, like clBuildProgram
+  try {
+    compiled_ = kc::compileProgram(source_);
+  } catch (const kc::CompileError& e) {
+    build_log_ = e.what();
+    throw BuildError(build_log_, e.what());
+  }
+  build_log_ = "build succeeded";
+  // Charge the runtime-compilation cost to the host clock (a fixed driver
+  // overhead plus work proportional to program size).
+  const std::uint64_t flops = 18'000'000 + compiled_->complexity * 20'000;
+  const auto span = context_->platform().system().reserveHostCompute(0, flops);
+  build_time_s_ = span.duration();
+}
+
+Kernel::Kernel(Program& program, const std::string& name) : program_(&program), name_(name) {
+  SKELCL_CHECK(program.built(), "create kernels after building the program");
+  function_index_ = program.compiled()->findKernel(name);
+  if (function_index_ < 0) {
+    throw UsageError("no kernel named '" + name + "' in program (CL_INVALID_KERNEL_NAME)");
+  }
+  args_.resize(code().paramTypes.size());
+}
+
+const kc::FunctionCode& Kernel::code() const {
+  return program_->compiled()->functions[static_cast<std::size_t>(function_index_)];
+}
+
+void Kernel::checkIndex(std::size_t index) const {
+  if (index >= args_.size()) {
+    throw UsageError("kernel '" + name_ + "' has " + std::to_string(args_.size()) +
+                     " parameters; argument index " + std::to_string(index) +
+                     " is out of range (CL_INVALID_ARG_INDEX)");
+  }
+}
+
+namespace {
+bool isPointerParam(const kc::FunctionCode& fn, std::size_t index) {
+  // Pointer TypeIds are interned after the scalar ids; anything that is not
+  // one of the fixed scalar ids is a pointer (structs cannot be kernel
+  // parameters by value).
+  const kc::TypeId t = fn.paramTypes[index];
+  return t > kc::types::Double;
+}
+}  // namespace
+
+void Kernel::setArg(std::size_t index, const Buffer& buffer) {
+  checkIndex(index);
+  if (!isPointerParam(code(), index)) {
+    throw UsageError("kernel '" + name_ + "': parameter " + std::to_string(index) +
+                     " is a scalar, not a buffer (CL_INVALID_ARG_VALUE)");
+  }
+  args_[index].kind = KernelArg::Kind::BufferArg;
+  args_[index].buffer = &buffer;
+}
+
+void Kernel::setScalar(std::size_t index, kc::Slot raw, bool wasFloating) {
+  checkIndex(index);
+  if (isPointerParam(code(), index)) {
+    throw UsageError("kernel '" + name_ + "': parameter " + std::to_string(index) +
+                     " is a buffer, not a scalar (CL_INVALID_ARG_VALUE)");
+  }
+  // Convert the host value exactly to the kernel parameter type so the VM
+  // sees the same bit pattern a real device would.
+  const kc::TypeId t = code().paramTypes[index];
+  const double fval = wasFloating ? raw.f : static_cast<double>(raw.i);
+  const std::int64_t ival = wasFloating ? static_cast<std::int64_t>(raw.f) : raw.i;
+  kc::Slot slot;
+  if (t == kc::types::Float) {
+    slot = kc::Slot::fromFloat(static_cast<float>(fval));
+  } else if (t == kc::types::Double) {
+    slot = kc::Slot::fromFloat(fval);
+  } else if (t == kc::types::Uint) {
+    slot = kc::Slot::fromInt(static_cast<std::int64_t>(static_cast<std::uint32_t>(ival)));
+  } else if (t == kc::types::Bool) {
+    slot = kc::Slot::fromInt(wasFloating ? (fval != 0.0) : (ival != 0));
+  } else {  // Int
+    slot = kc::Slot::fromInt(static_cast<std::int32_t>(ival));
+  }
+  args_[index].kind = KernelArg::Kind::ScalarArg;
+  args_[index].scalar = slot;
+}
+
+void Kernel::setArg(std::size_t index, float value) {
+  setScalar(index, kc::Slot::fromFloat(value), /*wasFloating=*/true);
+}
+
+void Kernel::setArg(std::size_t index, double value) {
+  setScalar(index, kc::Slot::fromFloat(value), /*wasFloating=*/true);
+}
+
+void Kernel::setArg(std::size_t index, std::int32_t value) {
+  setScalar(index, kc::Slot::fromInt(value), /*wasFloating=*/false);
+}
+
+void Kernel::setArg(std::size_t index, std::uint32_t value) {
+  setScalar(index, kc::Slot::fromInt(static_cast<std::int64_t>(value)),
+            /*wasFloating=*/false);
+}
+
+}  // namespace skelcl::ocl

@@ -1,0 +1,191 @@
+#include "ocl/queue.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "kernelc/vm.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace skelcl::ocl {
+
+CommandQueue::CommandQueue(Context& context, Device& device, Api api)
+    : context_(&context), device_(&device), api_(api) {
+  SKELCL_CHECK(context.contains(device), "queue device is not part of the context");
+}
+
+double CommandQueue::earliestStart(std::span<const Event> deps) const {
+  // A command can start once (a) the host has reached the enqueue point,
+  // (b) all previous commands of this in-order queue are done, and (c) all
+  // explicit event dependencies are done.
+  double earliest = std::max(context_->platform().system().hostNow(), last_end_);
+  for (const Event& e : deps) {
+    if (e.valid()) earliest = std::max(earliest, e.profilingEnd());
+  }
+  return earliest;
+}
+
+void CommandQueue::noteCompletion(const Event& event, bool blocking) {
+  last_end_ = std::max(last_end_, event.profilingEnd());
+  if (blocking) context_->platform().system().advanceHost(event.profilingEnd());
+}
+
+void CommandQueue::checkBufferRange(const Buffer& buffer, std::uint64_t offset,
+                                    std::uint64_t bytes, const char* what) const {
+  if (offset + bytes > buffer.size()) {
+    throw UsageError(std::string(what) + ": range [" + std::to_string(offset) + ", " +
+                     std::to_string(offset + bytes) + ") exceeds buffer size " +
+                     std::to_string(buffer.size()));
+  }
+}
+
+void CommandQueue::checkBufferDevice(const Buffer& buffer, const char* what) const {
+  if (&buffer.device() != device_) {
+    throw UsageError(std::string(what) + ": buffer lives on '" + buffer.device().name() +
+                     "' but the queue drives '" + device_->name() + "'");
+  }
+}
+
+Event CommandQueue::enqueueWriteBuffer(Buffer& dst, std::uint64_t offset,
+                                       std::uint64_t bytes, const void* src, bool blocking,
+                                       std::span<const Event> deps) {
+  checkBufferRange(dst, offset, bytes, "enqueueWriteBuffer");
+  checkBufferDevice(dst, "enqueueWriteBuffer");
+  std::memcpy(dst.data() + offset, src, bytes);
+  const auto span =
+      context_->platform().system().reserveTransfer(device_->id(), bytes, earliestStart(deps));
+  const Event event(span.start, span.end);
+  noteCompletion(event, blocking);
+  return event;
+}
+
+Event CommandQueue::enqueueReadBuffer(const Buffer& src, std::uint64_t offset,
+                                      std::uint64_t bytes, void* dst, bool blocking,
+                                      std::span<const Event> deps) {
+  checkBufferRange(src, offset, bytes, "enqueueReadBuffer");
+  checkBufferDevice(src, "enqueueReadBuffer");
+  std::memcpy(dst, src.data() + offset, bytes);
+  const auto span =
+      context_->platform().system().reserveTransfer(device_->id(), bytes, earliestStart(deps));
+  const Event event(span.start, span.end);
+  noteCompletion(event, blocking);
+  return event;
+}
+
+Event CommandQueue::enqueueCopyBuffer(const Buffer& src, Buffer& dst, std::uint64_t srcOffset,
+                                      std::uint64_t dstOffset, std::uint64_t bytes,
+                                      std::span<const Event> deps) {
+  checkBufferRange(src, srcOffset, bytes, "enqueueCopyBuffer(src)");
+  checkBufferRange(dst, dstOffset, bytes, "enqueueCopyBuffer(dst)");
+  std::memcpy(dst.data() + dstOffset, src.data() + srcOffset, bytes);
+
+  auto& system = context_->platform().system();
+  const double earliest = earliestStart(deps);
+  sim::Timeline::Span span{};
+  if (&src.device() == &dst.device()) {
+    // Intra-device copy: runs at device-memory speed, modeled as 20x the
+    // host-link bandwidth.
+    const double linkRate = 5.2e9;
+    span = system.reserveKernel(src.device().id(), 0, 1, 1.0,
+                                static_cast<double>(bytes) / (20.0 * linkRate), earliest);
+  } else {
+    span = system.reservePeerTransfer(src.device().id(), dst.device().id(), bytes, earliest);
+  }
+  const Event event(span.start, span.end);
+  noteCompletion(event, /*blocking=*/false);
+  return event;
+}
+
+Event CommandQueue::enqueueFillBuffer(Buffer& dst, std::byte value, std::uint64_t offset,
+                                      std::uint64_t bytes, std::span<const Event> deps) {
+  checkBufferRange(dst, offset, bytes, "enqueueFillBuffer");
+  checkBufferDevice(dst, "enqueueFillBuffer");
+  std::memset(dst.data() + offset, std::to_integer<int>(value), bytes);
+  // Device-side fill: cheap, bounded by device memory bandwidth (modeled as
+  // 20x link rate) plus one launch overhead.
+  auto& system = context_->platform().system();
+  const double overhead =
+      (api_ == Api::Cuda ? device_->spec().launch_overhead_cuda_us
+                         : device_->spec().launch_overhead_ocl_us) * 1e-6;
+  const auto span = system.reserveKernel(
+      device_->id(), 0, 1, 1.0, overhead + static_cast<double>(bytes) / (20.0 * 5.2e9),
+      earliestStart(deps));
+  const Event event(span.start, span.end);
+  noteCompletion(event, /*blocking=*/false);
+  return event;
+}
+
+Event CommandQueue::enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSize,
+                                         std::uint64_t globalOffset,
+                                         std::span<const Event> deps) {
+  SKELCL_CHECK(globalSize > 0, "global work size must be positive");
+
+  // Marshal arguments: buffers become VM memory regions, scalars pass through.
+  const auto& fnArgs = kernel.args();
+  std::vector<kc::MemRegion> regions;
+  std::vector<kc::Slot> slots(fnArgs.size());
+  for (std::size_t i = 0; i < fnArgs.size(); ++i) {
+    const KernelArg& arg = fnArgs[i];
+    switch (arg.kind) {
+      case KernelArg::Kind::Unset:
+        throw UsageError("kernel '" + kernel.name() + "': argument " + std::to_string(i) +
+                         " was never set (CL_INVALID_KERNEL_ARGS)");
+      case KernelArg::Kind::BufferArg: {
+        checkBufferDevice(*arg.buffer, "enqueueNDRangeKernel");
+        // const_cast: kernels may write; constness is tracked at the API
+        // level by SkelCL's input/output distinction, not per buffer.
+        auto* data = const_cast<std::byte*>(arg.buffer->data());
+        regions.push_back(kc::MemRegion{data, arg.buffer->size()});
+        kc::Ptr p;
+        p.region = static_cast<std::int32_t>(regions.size());
+        p.offset = 0;
+        slots[i] = kc::Slot::fromPtr(p);
+        break;
+      }
+      case KernelArg::Kind::ScalarArg:
+        slots[i] = arg.scalar;
+        break;
+    }
+  }
+
+  // Execute all work items for real, counting VM instructions.
+  const auto program = kernel.program().compiled();
+  const int fnIndex = kernel.functionIndex();
+  std::atomic<std::uint64_t> instructions{0};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  sim::ThreadPool::global().parallelFor(globalSize, [&](std::uint64_t begin, std::uint64_t end) {
+    kc::Vm vm(*program, regions);
+    try {
+      for (std::uint64_t gid = begin; gid < end; ++gid) {
+        vm.runKernel(fnIndex, slots,
+                     static_cast<std::int64_t>(globalOffset + gid),
+                     static_cast<std::int64_t>(globalSize));
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(errorMutex);
+      if (!firstError) firstError = std::current_exception();
+    }
+    instructions.fetch_add(vm.instructionsExecuted());
+  });
+  if (firstError) std::rethrow_exception(firstError);
+
+  // Account simulated time.
+  auto& system = context_->platform().system();
+  const double overhead =
+      (api_ == Api::Cuda ? device_->spec().launch_overhead_cuda_us
+                         : device_->spec().launch_overhead_ocl_us) * 1e-6;
+  const auto span = system.reserveKernel(device_->id(), instructions.load(), globalSize,
+                                         apiEfficiency(api_), overhead, earliestStart(deps));
+  const Event event(span.start, span.end);
+  noteCompletion(event, /*blocking=*/false);
+  return event;
+}
+
+void CommandQueue::finish() {
+  context_->platform().system().advanceHost(last_end_);
+}
+
+}  // namespace skelcl::ocl

@@ -1,0 +1,86 @@
+// In-order command queues with events and profiling.
+//
+// Commands execute eagerly (data is real), while their simulated start/end
+// times come from the sim::System resource timelines.  Blocking calls and
+// finish() advance the host clock, which is what benchmarks measure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ocl/program.hpp"
+
+namespace skelcl::ocl {
+
+/// Completion marker of an enqueued command, with profiling info
+/// (clGetEventProfilingInfo equivalent).
+class Event {
+ public:
+  Event() = default;
+  Event(double start, double end) : start_(start), end_(end), valid_(true) {}
+
+  bool valid() const { return valid_; }
+  double profilingStart() const { return start_; }
+  double profilingEnd() const { return end_; }
+  double duration() const { return end_ - start_; }
+
+ private:
+  double start_ = 0.0;
+  double end_ = 0.0;
+  bool valid_ = false;
+};
+
+class CommandQueue {
+ public:
+  /// An in-order queue for `device`.  `api` selects the runtime-efficiency
+  /// profile (the CUDA shim reuses this queue with Api::Cuda).
+  CommandQueue(Context& context, Device& device, Api api = Api::OpenCL);
+
+  Device& device() { return *device_; }
+  Api api() const { return api_; }
+
+  /// Host -> device.
+  Event enqueueWriteBuffer(Buffer& dst, std::uint64_t offset, std::uint64_t bytes,
+                           const void* src, bool blocking = false,
+                           std::span<const Event> deps = {});
+  /// Device -> host.
+  Event enqueueReadBuffer(const Buffer& src, std::uint64_t offset, std::uint64_t bytes,
+                          void* dst, bool blocking = true,
+                          std::span<const Event> deps = {});
+  /// Device -> device (host-mediated on pre-peer-access hardware) or
+  /// intra-device copy.
+  Event enqueueCopyBuffer(const Buffer& src, Buffer& dst, std::uint64_t srcOffset,
+                          std::uint64_t dstOffset, std::uint64_t bytes,
+                          std::span<const Event> deps = {});
+  /// Fill with a repeated byte (clEnqueueFillBuffer subset).
+  Event enqueueFillBuffer(Buffer& dst, std::byte value, std::uint64_t offset,
+                          std::uint64_t bytes, std::span<const Event> deps = {});
+  /// Launch `globalSize` work-items of `kernel`, ids in
+  /// [globalOffset, globalOffset + globalSize).
+  Event enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSize,
+                             std::uint64_t globalOffset = 0,
+                             std::span<const Event> deps = {});
+
+  /// Block the host until every enqueued command has completed.
+  void finish();
+  /// The simulated completion time of the last enqueued command.
+  double lastEventEnd() const { return last_end_; }
+  /// Zero the in-order watermark; must accompany System::resetClock(),
+  /// otherwise post-reset commands inherit pre-reset completion times.
+  void resetClock() { last_end_ = 0.0; }
+
+ private:
+  double earliestStart(std::span<const Event> deps) const;
+  void noteCompletion(const Event& event, bool blocking);
+  void checkBufferRange(const Buffer& buffer, std::uint64_t offset, std::uint64_t bytes,
+                        const char* what) const;
+  void checkBufferDevice(const Buffer& buffer, const char* what) const;
+
+  Context* context_;
+  Device* device_;
+  Api api_;
+  double last_end_ = 0.0;
+};
+
+}  // namespace skelcl::ocl

@@ -1,0 +1,41 @@
+// Shared geometry types for the list-mode OSEM application study
+// (paper Section IV): the reconstruction volume and PET events.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace skelcl::osem {
+
+/// The reconstruction volume: a grid of cubic voxels centered on the origin.
+struct VolumeSpec {
+  int nx = 32;
+  int ny = 32;
+  int nz = 32;
+  float voxel = 2.0f;  ///< voxel edge length (mm)
+
+  std::size_t voxels() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+  float originX() const { return -0.5f * static_cast<float>(nx) * voxel; }
+  float originY() const { return -0.5f * static_cast<float>(ny) * voxel; }
+  float originZ() const { return -0.5f * static_cast<float>(nz) * voxel; }
+  std::size_t index(int ix, int iy, int iz) const {
+    return (static_cast<std::size_t>(iz) * static_cast<std::size_t>(ny) +
+            static_cast<std::size_t>(iy)) *
+               static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(ix);
+  }
+};
+
+/// One recorded coincidence: the two detector points of a Line Of Response.
+/// Layout matches the kernel-language `Event` struct registered by
+/// registerOsemKernelTypes().
+struct Event {
+  float x1, y1, z1;
+  float x2, y2, z2;
+};
+static_assert(sizeof(Event) == 24);
+
+}  // namespace skelcl::osem

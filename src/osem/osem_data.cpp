@@ -1,0 +1,62 @@
+#include <cmath>
+
+#include "base/error.hpp"
+#include "osem/osem.hpp"
+
+namespace skelcl::osem {
+
+OsemData OsemData::generate(const OsemConfig& config) {
+  SKELCL_CHECK(config.numSubsets >= 1, "need at least one subset");
+  SKELCL_CHECK(config.eventsPerSubset >= 1, "need events");
+
+  Phantom phantom(config.volume);
+  const float halfX = 0.5f * static_cast<float>(config.volume.nx) * config.volume.voxel;
+  const float halfZ = 0.5f * static_cast<float>(config.volume.nz) * config.volume.voxel;
+  Scanner scanner(/*radius=*/1.6f * halfX, /*halfLength=*/2.5f * halfZ);
+
+  const std::size_t total =
+      config.eventsPerSubset * static_cast<std::size_t>(config.numSubsets);
+  std::vector<Event> events = scanner.generateEvents(phantom, total, config.seed);
+
+  return OsemData{config, std::move(phantom), std::move(events)};
+}
+
+double imageCorrelation(const std::vector<float>& a, const std::vector<float>& b) {
+  SKELCL_CHECK(a.size() == b.size() && !a.empty(), "image size mismatch");
+  double meanA = 0.0;
+  double meanB = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    meanA += a[i];
+    meanB += b[i];
+  }
+  meanA /= static_cast<double>(a.size());
+  meanB /= static_cast<double>(b.size());
+  double cov = 0.0;
+  double varA = 0.0;
+  double varB = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - meanA;
+    const double db = b[i] - meanB;
+    cov += da * db;
+    varA += da * da;
+    varB += db * db;
+  }
+  if (varA == 0.0 || varB == 0.0) return 0.0;
+  return cov / std::sqrt(varA * varB);
+}
+
+double imageNrmse(const std::vector<float>& image, const std::vector<float>& reference) {
+  SKELCL_CHECK(image.size() == reference.size() && !image.empty(), "image size mismatch");
+  double sq = 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    const double d = image[i] - reference[i];
+    sq += d * d;
+    mean += reference[i];
+  }
+  mean /= static_cast<double>(reference.size());
+  if (mean == 0.0) return std::sqrt(sq / static_cast<double>(image.size()));
+  return std::sqrt(sq / static_cast<double>(image.size())) / mean;
+}
+
+}  // namespace skelcl::osem

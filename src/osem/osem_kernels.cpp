@@ -1,0 +1,204 @@
+#include "osem/osem_kernels.hpp"
+
+#include "core/type_name.hpp"
+#include "osem/geometry.hpp"
+
+namespace skelcl::osem {
+
+// OSEM-LOC-BEGIN(kernel)
+const std::string& eventTypedefSource() {
+  static const std::string source = R"(
+typedef struct {
+  float x1; float y1; float z1;
+  float x2; float y2; float z2;
+} Event;
+)";
+  return source;
+}
+
+const std::string& marchSource() {
+  // March the LOR (x1,y1,z1)->(x2,y2,z2) through the voxel grid (Siddon).
+  // mode 0: return the forward projection  sum f[v] * len(v).
+  // mode 1: scatter len(v) / fp into the error image c (atomic).
+  static const std::string source = R"(
+float osem_march(float x1, float y1, float z1, float x2, float y2, float z2,
+                 __global float* f, __global float* c,
+                 int nx, int ny, int nz, float voxel, float fp, int mode) {
+  float ox = -0.5f * (float)nx * voxel;
+  float oy = -0.5f * (float)ny * voxel;
+  float oz = -0.5f * (float)nz * voxel;
+  float hx = ox + (float)nx * voxel;
+  float hy = oy + (float)ny * voxel;
+  float hz = oz + (float)nz * voxel;
+
+  float dx = x2 - x1;
+  float dy = y2 - y1;
+  float dz = z2 - z1;
+
+  /* clip the parametric segment t in [0,1] against the volume box */
+  float tmin = 0.0f;
+  float tmax = 1.0f;
+  if (fabs(dx) < 1e-12f) {
+    if (x1 < ox || x1 >= hx) return 0.0f;
+  } else {
+    float t0 = (ox - x1) / dx;
+    float t1 = (hx - x1) / dx;
+    if (t0 > t1) { float tt = t0; t0 = t1; t1 = tt; }
+    tmin = fmax(tmin, t0);
+    tmax = fmin(tmax, t1);
+  }
+  if (fabs(dy) < 1e-12f) {
+    if (y1 < oy || y1 >= hy) return 0.0f;
+  } else {
+    float t0 = (oy - y1) / dy;
+    float t1 = (hy - y1) / dy;
+    if (t0 > t1) { float tt = t0; t0 = t1; t1 = tt; }
+    tmin = fmax(tmin, t0);
+    tmax = fmin(tmax, t1);
+  }
+  if (fabs(dz) < 1e-12f) {
+    if (z1 < oz || z1 >= hz) return 0.0f;
+  } else {
+    float t0 = (oz - z1) / dz;
+    float t1 = (hz - z1) / dz;
+    if (t0 > t1) { float tt = t0; t0 = t1; t1 = tt; }
+    tmin = fmax(tmin, t0);
+    tmax = fmin(tmax, t1);
+  }
+  if (tmin >= tmax) return 0.0f;
+
+  float len = sqrt(dx * dx + dy * dy + dz * dz);
+  if (len == 0.0f) return 0.0f;
+
+  /* entry voxel */
+  float px = x1 + tmin * dx;
+  float py = y1 + tmin * dy;
+  float pz = z1 + tmin * dz;
+  int ix = clamp((int)floor((px - ox) / voxel), 0, nx - 1);
+  int iy = clamp((int)floor((py - oy) / voxel), 0, ny - 1);
+  int iz = clamp((int)floor((pz - oz) / voxel), 0, nz - 1);
+
+  int sx = dx > 0.0f ? 1 : -1;
+  int sy = dy > 0.0f ? 1 : -1;
+  int sz = dz > 0.0f ? 1 : -1;
+
+  float tDeltaX = fabs(dx) > 1e-12f ? voxel / fabs(dx) : 1e30f;
+  float tDeltaY = fabs(dy) > 1e-12f ? voxel / fabs(dy) : 1e30f;
+  float tDeltaZ = fabs(dz) > 1e-12f ? voxel / fabs(dz) : 1e30f;
+
+  float tNextX = 1e30f;
+  float tNextY = 1e30f;
+  float tNextZ = 1e30f;
+  if (fabs(dx) > 1e-12f) {
+    float plane = ox + ((float)ix + (sx > 0 ? 1.0f : 0.0f)) * voxel;
+    tNextX = (plane - x1) / dx;
+  }
+  if (fabs(dy) > 1e-12f) {
+    float plane = oy + ((float)iy + (sy > 0 ? 1.0f : 0.0f)) * voxel;
+    tNextY = (plane - y1) / dy;
+  }
+  if (fabs(dz) > 1e-12f) {
+    float plane = oz + ((float)iz + (sz > 0 ? 1.0f : 0.0f)) * voxel;
+    tNextZ = (plane - z1) / dz;
+  }
+
+  float t = tmin;
+  float acc = 0.0f;
+  for (;;) {
+    float tn = fmin(tNextX, fmin(tNextY, tNextZ));
+    if (tn > tmax) tn = tmax;
+    float seg = (tn - t) * len;
+    if (seg > 0.0f) {
+      int v = (iz * ny + iy) * nx + ix;
+      if (mode == 1) {
+        atomic_add_f(c + v, seg / fp);
+      } else {
+        acc += f[v] * seg;
+      }
+    }
+    if (tn >= tmax) break;
+    if (tNextX <= tNextY && tNextX <= tNextZ) {
+      ix += sx;
+      if (ix < 0 || ix >= nx) break;
+      tNextX += tDeltaX;
+    } else if (tNextY <= tNextZ) {
+      iy += sy;
+      if (iy < 0 || iy >= ny) break;
+      tNextY += tDeltaY;
+    } else {
+      iz += sz;
+      if (iz < 0 || iz >= nz) break;
+      tNextZ += tDeltaZ;
+    }
+    t = tn;
+  }
+  return acc;
+}
+)";
+  return source;
+}
+
+const std::string& step1UserFunctionSource() {
+  // SkelCL user function: the map's global index is converted into an index
+  // into this device's sub-subset with the offsets()/sizes() tokens.  The
+  // Event typedef is injected by SkelCL itself (registerKernelType).
+  static const std::string source = marchSource() + R"(
+int func(int i, __global Event* events, int evOffset, int evCount,
+         __global float* f, __global float* c,
+         int nx, int ny, int nz, float voxel) {
+  int li = i - evOffset;
+  if (li < 0 || li >= evCount) return 0;
+  Event e = events[li];
+  float fp = osem_march(e.x1, e.y1, e.z1, e.x2, e.y2, e.z2,
+                        f, c, nx, ny, nz, voxel, 1.0f, 0);
+  if (fp > 0.0f) {
+    osem_march(e.x1, e.y1, e.z1, e.x2, e.y2, e.z2,
+               f, c, nx, ny, nz, voxel, fp, 1);
+  }
+  return 0;
+}
+)";
+  return source;
+}
+
+const std::string& step2UserFunctionSource() {
+  static const std::string source = R"(
+float func(float fj, float cj) {
+  return cj > 0.0f ? fj * cj : fj;
+}
+)";
+  return source;
+}
+
+const std::string& rawKernelsSource() {
+  static const std::string source = eventTypedefSource() + marchSource() + R"(
+__kernel void osem_step1(__global Event* events, int numEvents,
+                         __global float* f, __global float* c,
+                         int nx, int ny, int nz, float voxel) {
+  int i = get_global_id(0);
+  if (i >= numEvents) return;
+  Event e = events[i];
+  float fp = osem_march(e.x1, e.y1, e.z1, e.x2, e.y2, e.z2,
+                        f, c, nx, ny, nz, voxel, 1.0f, 0);
+  if (fp > 0.0f) {
+    osem_march(e.x1, e.y1, e.z1, e.x2, e.y2, e.z2,
+               f, c, nx, ny, nz, voxel, fp, 1);
+  }
+}
+
+__kernel void osem_step2(__global float* f, __global float* c, int n) {
+  int j = get_global_id(0);
+  if (j < n) {
+    if (c[j] > 0.0f) f[j] = f[j] * c[j];
+  }
+}
+)";
+  return source;
+}
+// OSEM-LOC-END(kernel)
+
+void registerOsemKernelTypes() {
+  registerKernelType<Event>("Event", eventTypedefSource());
+}
+
+}  // namespace skelcl::osem

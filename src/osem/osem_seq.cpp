@@ -1,0 +1,40 @@
+// Sequential list-mode OSEM reference — a direct transcription of the
+// paper's Listing 2.
+#include "osem/osem.hpp"
+#include "osem/siddon.hpp"
+
+namespace skelcl::osem {
+
+OsemResult runOsemSeq(const OsemData& data) {
+  const VolumeSpec& vol = data.volume();
+  std::vector<float> f(vol.voxels(), 1.0f);  // initially "empty" image
+  std::vector<float> c(vol.voxels());
+
+  for (int iteration = 0; iteration < data.config.iterations; ++iteration) {
+    for (int l = 0; l < data.config.numSubsets; ++l) {
+      const Event* events = data.subset(l);
+      std::fill(c.begin(), c.end(), 0.0f);
+
+      // step 1: compute the error image c
+      for (std::size_t i = 0; i < data.subsetSize(); ++i) {
+        const auto path = siddonPath(vol, events[i]);
+        float fp = 0.0f;
+        for (const PathElement& m : path) fp += f[m.voxel] * m.length;
+        if (fp > 0.0f) {
+          for (const PathElement& m : path) c[m.voxel] += m.length / fp;
+        }
+      }
+
+      // step 2: update the reconstruction image f
+      for (std::size_t j = 0; j < vol.voxels(); ++j) {
+        if (c[j] > 0.0f) f[j] *= c[j];
+      }
+    }
+  }
+
+  OsemResult result;
+  result.image = std::move(f);
+  return result;
+}
+
+}  // namespace skelcl::osem

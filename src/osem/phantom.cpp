@@ -1,0 +1,126 @@
+#include "osem/phantom.hpp"
+
+#include <cmath>
+
+#include "base/error.hpp"
+#include "sim/rng.hpp"
+
+namespace skelcl::osem {
+
+Phantom::Phantom(const VolumeSpec& vol) : vol_(vol) {
+  const float halfX = 0.5f * static_cast<float>(vol.nx) * vol.voxel;
+  const float halfZ = 0.5f * static_cast<float>(vol.nz) * vol.voxel;
+  cylinderRadius_ = 0.8f * halfX;
+  cylinderHalfLen_ = 0.85f * halfZ;
+
+  hotRadius_ = 0.25f * cylinderRadius_;
+  hotCenter_[0] = 0.4f * cylinderRadius_;
+  hotCenter_[1] = 0.25f * cylinderRadius_;
+  hotCenter_[2] = 0.2f * cylinderHalfLen_;
+
+  coldRadius_ = 0.2f * cylinderRadius_;
+  coldCenter_[0] = -0.45f * cylinderRadius_;
+  coldCenter_[1] = -0.2f * cylinderRadius_;
+  coldCenter_[2] = -0.3f * cylinderHalfLen_;
+
+  image_.resize(vol.voxels());
+  for (int iz = 0; iz < vol.nz; ++iz) {
+    for (int iy = 0; iy < vol.ny; ++iy) {
+      for (int ix = 0; ix < vol.nx; ++ix) {
+        const float x = vol.originX() + (static_cast<float>(ix) + 0.5f) * vol.voxel;
+        const float y = vol.originY() + (static_cast<float>(iy) + 0.5f) * vol.voxel;
+        const float z = vol.originZ() + (static_cast<float>(iz) + 0.5f) * vol.voxel;
+        image_[vol.index(ix, iy, iz)] = activityAt(x, y, z);
+      }
+    }
+  }
+}
+
+float Phantom::activityAt(float x, float y, float z) const {
+  if (x * x + y * y > cylinderRadius_ * cylinderRadius_ ||
+      std::fabs(z) > cylinderHalfLen_) {
+    return 0.0f;
+  }
+  auto inSphere = [&](const float* c, float r) {
+    const float dx = x - c[0];
+    const float dy = y - c[1];
+    const float dz = z - c[2];
+    return dx * dx + dy * dy + dz * dz <= r * r;
+  };
+  if (inSphere(hotCenter_, hotRadius_)) return 8.0f;
+  if (inSphere(coldCenter_, coldRadius_)) return 0.0f;
+  return 1.0f;
+}
+
+std::vector<Event> Scanner::generateEvents(const Phantom& phantom, std::size_t count,
+                                           std::uint64_t seed) const {
+  const VolumeSpec& vol = phantom.volume();
+  SKELCL_CHECK(radius_ > 0.6f * static_cast<float>(vol.nx) * vol.voxel &&
+                   halfLength_ > 0.5f * static_cast<float>(vol.nz) * vol.voxel,
+               "detector must enclose the volume");
+
+  // CDF over voxels for inverse-transform sampling of the emission point.
+  const auto& act = phantom.image();
+  std::vector<double> cdf(act.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < act.size(); ++i) {
+    total += act[i];
+    cdf[i] = total;
+  }
+  SKELCL_CHECK(total > 0.0, "phantom has no activity");
+
+  sim::Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(count);
+
+  while (events.size() < count) {
+    // emission voxel ~ activity
+    const double u = rng.nextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t voxel = static_cast<std::size_t>(it - cdf.begin());
+    const int ix = static_cast<int>(voxel % static_cast<std::size_t>(vol.nx));
+    const int iy = static_cast<int>((voxel / static_cast<std::size_t>(vol.nx)) %
+                                    static_cast<std::size_t>(vol.ny));
+    const int iz = static_cast<int>(voxel /
+                                    (static_cast<std::size_t>(vol.nx) *
+                                     static_cast<std::size_t>(vol.ny)));
+
+    // emission point uniform within the voxel
+    const float ex = vol.originX() + (static_cast<float>(ix) + rng.nextFloat()) * vol.voxel;
+    const float ey = vol.originY() + (static_cast<float>(iy) + rng.nextFloat()) * vol.voxel;
+    const float ez = vol.originZ() + (static_cast<float>(iz) + rng.nextFloat()) * vol.voxel;
+
+    // isotropic direction
+    const double cosTheta = rng.uniform(-1.0, 1.0);
+    const double sinTheta = std::sqrt(1.0 - cosTheta * cosTheta);
+    const double phi = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const float dx = static_cast<float>(sinTheta * std::cos(phi));
+    const float dy = static_cast<float>(sinTheta * std::sin(phi));
+    const float dz = static_cast<float>(cosTheta);
+
+    // intersect the line e + t*d with the detector cylinder x^2 + y^2 = R^2
+    const float a = dx * dx + dy * dy;
+    if (a < 1e-12f) continue;  // (nearly) axial photons escape
+    const float b = 2.0f * (ex * dx + ey * dy);
+    const float cc = ex * ex + ey * ey - radius_ * radius_;
+    const float disc = b * b - 4.0f * a * cc;
+    if (disc <= 0.0f) continue;
+    const float sq = std::sqrt(disc);
+    const float t1 = (-b - sq) / (2.0f * a);
+    const float t2 = (-b + sq) / (2.0f * a);
+
+    Event e;
+    e.x1 = ex + t1 * dx;
+    e.y1 = ey + t1 * dy;
+    e.z1 = ez + t1 * dz;
+    e.x2 = ex + t2 * dx;
+    e.y2 = ey + t2 * dy;
+    e.z2 = ez + t2 * dz;
+    // both photons must hit the finite detector
+    if (std::fabs(e.z1) > halfLength_ || std::fabs(e.z2) > halfLength_) continue;
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace skelcl::osem

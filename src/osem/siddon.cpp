@@ -1,0 +1,124 @@
+#include "osem/siddon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skelcl::osem {
+
+namespace {
+
+constexpr float kInf = 1e30f;
+
+struct Clip {
+  float tmin;
+  float tmax;
+  bool hit;
+};
+
+/// Clip the parametric segment p + t*(d), t in [0,1], against the volume box.
+Clip clip(const VolumeSpec& vol, const Event& e) {
+  const float d[3] = {e.x2 - e.x1, e.y2 - e.y1, e.z2 - e.z1};
+  const float p[3] = {e.x1, e.y1, e.z1};
+  const float lo[3] = {vol.originX(), vol.originY(), vol.originZ()};
+  const float hi[3] = {vol.originX() + static_cast<float>(vol.nx) * vol.voxel,
+                       vol.originY() + static_cast<float>(vol.ny) * vol.voxel,
+                       vol.originZ() + static_cast<float>(vol.nz) * vol.voxel};
+  float tmin = 0.0f;
+  float tmax = 1.0f;
+  for (int a = 0; a < 3; ++a) {
+    if (std::fabs(d[a]) < 1e-12f) {
+      if (p[a] < lo[a] || p[a] >= hi[a]) return {0.0f, 0.0f, false};
+      continue;
+    }
+    float t0 = (lo[a] - p[a]) / d[a];
+    float t1 = (hi[a] - p[a]) / d[a];
+    if (t0 > t1) std::swap(t0, t1);
+    tmin = std::max(tmin, t0);
+    tmax = std::min(tmax, t1);
+  }
+  if (tmin >= tmax) return {0.0f, 0.0f, false};
+  return {tmin, tmax, true};
+}
+
+}  // namespace
+
+float clippedSegmentLength(const VolumeSpec& vol, const Event& e) {
+  const Clip c = clip(vol, e);
+  if (!c.hit) return 0.0f;
+  const float dx = e.x2 - e.x1;
+  const float dy = e.y2 - e.y1;
+  const float dz = e.z2 - e.z1;
+  const float len = std::sqrt(dx * dx + dy * dy + dz * dz);
+  return (c.tmax - c.tmin) * len;
+}
+
+std::vector<PathElement> siddonPath(const VolumeSpec& vol, const Event& e) {
+  std::vector<PathElement> path;
+  const Clip c = clip(vol, e);
+  if (!c.hit) return path;
+
+  const float dx = e.x2 - e.x1;
+  const float dy = e.y2 - e.y1;
+  const float dz = e.z2 - e.z1;
+  const float len = std::sqrt(dx * dx + dy * dy + dz * dz);
+  if (len == 0.0f) return path;
+
+  const float ox = vol.originX();
+  const float oy = vol.originY();
+  const float oz = vol.originZ();
+  const float v = vol.voxel;
+
+  // entry voxel
+  const float px = e.x1 + c.tmin * dx;
+  const float py = e.y1 + c.tmin * dy;
+  const float pz = e.z1 + c.tmin * dz;
+  int ix = std::clamp(static_cast<int>(std::floor((px - ox) / v)), 0, vol.nx - 1);
+  int iy = std::clamp(static_cast<int>(std::floor((py - oy) / v)), 0, vol.ny - 1);
+  int iz = std::clamp(static_cast<int>(std::floor((pz - oz) / v)), 0, vol.nz - 1);
+
+  const int sx = dx > 0.0f ? 1 : -1;
+  const int sy = dy > 0.0f ? 1 : -1;
+  const int sz = dz > 0.0f ? 1 : -1;
+
+  const float tDeltaX = std::fabs(dx) > 1e-12f ? v / std::fabs(dx) : kInf;
+  const float tDeltaY = std::fabs(dy) > 1e-12f ? v / std::fabs(dy) : kInf;
+  const float tDeltaZ = std::fabs(dz) > 1e-12f ? v / std::fabs(dz) : kInf;
+
+  auto nextCrossing = [](float p1, float d, float origin, float voxel, int index,
+                         int step) -> float {
+    if (std::fabs(d) <= 1e-12f) return kInf;
+    const float plane = origin + (static_cast<float>(index) + (step > 0 ? 1.0f : 0.0f)) * voxel;
+    return (plane - p1) / d;
+  };
+  float tNextX = nextCrossing(e.x1, dx, ox, v, ix, sx);
+  float tNextY = nextCrossing(e.y1, dy, oy, v, iy, sy);
+  float tNextZ = nextCrossing(e.z1, dz, oz, v, iz, sz);
+
+  float t = c.tmin;
+  for (;;) {
+    float tn = std::min(tNextX, std::min(tNextY, tNextZ));
+    if (tn > c.tmax) tn = c.tmax;
+    const float seg = (tn - t) * len;
+    if (seg > 0.0f) {
+      path.push_back(PathElement{vol.index(ix, iy, iz), seg});
+    }
+    if (tn >= c.tmax) break;
+    if (tNextX <= tNextY && tNextX <= tNextZ) {
+      ix += sx;
+      if (ix < 0 || ix >= vol.nx) break;
+      tNextX += tDeltaX;
+    } else if (tNextY <= tNextZ) {
+      iy += sy;
+      if (iy < 0 || iy >= vol.ny) break;
+      tNextY += tDeltaY;
+    } else {
+      iz += sz;
+      if (iz < 0 || iz >= vol.nz) break;
+      tNextZ += tDeltaZ;
+    }
+    t = tn;
+  }
+  return path;
+}
+
+}  // namespace skelcl::osem

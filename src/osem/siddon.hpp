@@ -1,0 +1,27 @@
+// Host-side Siddon ray traversal: the voxels a Line Of Response crosses and
+// the intersection length in each.  The sequential OSEM reference uses this
+// directly; the device kernels implement the identical algorithm in the
+// kernel language (osem_kernels.cpp), and the tests check both agree.
+#pragma once
+
+#include <vector>
+
+#include "osem/geometry.hpp"
+
+namespace skelcl::osem {
+
+struct PathElement {
+  std::size_t voxel;  ///< linear voxel index
+  float length;       ///< intersection length (mm)
+};
+
+/// Compute the intersection path of the segment (event.x1..) -> (event.x2..)
+/// with the volume grid.  Voxels outside the grid contribute nothing.
+/// Float arithmetic mirrors the device kernel operation-for-operation.
+std::vector<PathElement> siddonPath(const VolumeSpec& vol, const Event& event);
+
+/// Total length of the clipped segment inside the volume (for tests:
+/// the path lengths must sum to this, within float tolerance).
+float clippedSegmentLength(const VolumeSpec& vol, const Event& event);
+
+}  // namespace skelcl::osem

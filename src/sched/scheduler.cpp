@@ -1,0 +1,95 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "base/error.hpp"
+#include "core/detail/runtime.hpp"
+#include "core/skelcl.hpp"
+#include "kernelc/program.hpp"
+#include "ocl/platform.hpp"
+#include "sim/rng.hpp"
+
+namespace skelcl::sched {
+
+KernelCostEstimate measureUserFunction(const std::string& userSource, std::uint64_t samples) {
+  SKELCL_CHECK(samples > 0, "need at least one sample");
+  const auto program = kc::compileProgram(userSource);
+  const int fn = program->findFunction("func");
+  SKELCL_CHECK(fn >= 0, "user operation must define a function named 'func'");
+  const auto& code = program->functions[static_cast<std::size_t>(fn)];
+  SKELCL_CHECK(!code.paramTypes.empty() && code.paramTypes.size() <= 2,
+               "measureUserFunction supports unary and binary scalar functions");
+
+  kc::Vm vm(*program, {});
+  sim::Rng rng(0x5eed);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    std::array<kc::Slot, 2> args;
+    for (std::size_t a = 0; a < code.paramTypes.size(); ++a) {
+      if (code.paramTypes[a] == kc::types::Float || code.paramTypes[a] == kc::types::Double) {
+        args[a] = kc::Slot::fromFloat(rng.uniform(-100.0, 100.0));
+      } else {
+        args[a] = kc::Slot::fromInt(static_cast<std::int64_t>(rng.below(1000)));
+      }
+    }
+    vm.callFunction(fn, std::span<const kc::Slot>(args.data(), code.paramTypes.size()));
+  }
+
+  KernelCostEstimate estimate;
+  estimate.samples = samples;
+  estimate.instructionsPerElement =
+      static_cast<double>(vm.instructionsExecuted()) / static_cast<double>(samples);
+  return estimate;
+}
+
+double predictThroughput(const sim::DeviceSpec& device, const KernelCostEstimate& cost) {
+  SKELCL_CHECK(cost.instructionsPerElement > 0.0, "measure the user function first");
+  const double rate = device.instrPerSec(ocl::apiEfficiency(ocl::Api::OpenCL), device.cores);
+  return rate / cost.instructionsPerElement;
+}
+
+std::vector<double> staticWeights(const std::vector<sim::DeviceSpec>& devices,
+                                  const KernelCostEstimate& cost, double cutoffFraction) {
+  SKELCL_CHECK(!devices.empty(), "no devices");
+  std::vector<double> weights(devices.size());
+  double best = 0.0;
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    weights[d] = predictThroughput(devices[d], cost);
+    best = std::max(best, weights[d]);
+  }
+  double total = 0.0;
+  for (double& w : weights) {
+    if (w < cutoffFraction * best) w = 0.0;
+    total += w;
+  }
+  SKELCL_CHECK(total > 0.0, "all devices were cut off");
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+bool hostShouldFinishReduce(const sim::DeviceSpec& gpu, std::uint64_t elements,
+                            const KernelCostEstimate& cost, double hostInstrPerSec) {
+  // GPU time: a pairwise tree reduction exposes about elements/2 lanes of
+  // parallelism at the widest level, and pays a kernel launch.  Host time: a
+  // sequential fold, no launch overhead.
+  const int lanes = static_cast<int>(
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(gpu.cores),
+                              std::max<std::uint64_t>(elements / 2, 1)));
+  const double gpuRate = gpu.instrPerSec(ocl::apiEfficiency(ocl::Api::OpenCL), lanes);
+  const double gpuTime = gpu.launch_overhead_ocl_us * 1e-6 +
+                         static_cast<double>(elements) * cost.instructionsPerElement / gpuRate;
+  const double hostTime =
+      static_cast<double>(elements) * cost.instructionsPerElement / hostInstrPerSec;
+  return hostTime <= gpuTime;
+}
+
+void autoSchedule(const std::string& userSource) {
+  const KernelCostEstimate cost = measureUserFunction(userSource);
+  auto& rt = detail::Runtime::instance();
+  std::vector<sim::DeviceSpec> devices;
+  for (int d = 0; d < rt.deviceCount(); ++d) devices.push_back(rt.device(d).spec());
+  setPartitionWeights(staticWeights(devices, cost));
+}
+
+}  // namespace skelcl::sched

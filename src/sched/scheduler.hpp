@@ -1,0 +1,56 @@
+// Static scheduling for heterogeneous devices (paper Section V).
+//
+// SkelCL predicts performance from (a) the known implementation of its
+// skeletons and distributions (analytical models) and (b) measurement-based
+// prediction of the *user-defined function* only: the function is run on a
+// few sample elements through the kernel VM, which yields its exact
+// instruction count, the same unit the device model is rated in.  The static
+// scheduler turns per-device throughput predictions into proportional
+// block-partition weights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device_spec.hpp"
+
+namespace skelcl::sched {
+
+/// Measured cost of one user-function application, in VM instructions.
+struct KernelCostEstimate {
+  double instructionsPerElement = 0.0;
+  std::uint64_t samples = 0;
+};
+
+/// Run the user function (named `func`, unary or binary over float) on
+/// `samples` pseudo-random inputs through the VM and count instructions.
+/// This is the "benchmarks ... only for the user-defined functions" part of
+/// Section V.
+KernelCostEstimate measureUserFunction(const std::string& userSource,
+                                       std::uint64_t samples = 64);
+
+/// Predicted sustained throughput of a device for a measured user function,
+/// in elements/second, including the API efficiency of the OpenCL path.
+double predictThroughput(const sim::DeviceSpec& device, const KernelCostEstimate& cost);
+
+/// The static scheduler: block-partition weights proportional to predicted
+/// device throughput.  Weights are normalized to sum to 1; devices below
+/// `cutoffFraction` of the fastest device are excluded (weight 0) — giving a
+/// slow CPU a sliver of a GPU-dominated workload only adds synchronization.
+std::vector<double> staticWeights(const std::vector<sim::DeviceSpec>& devices,
+                                  const KernelCostEstimate& cost,
+                                  double cutoffFraction = 0.02);
+
+/// Analytical skeleton model for reduce (Section V): the final fold of the
+/// per-device partial vectors should run on the CPU when few elements
+/// remain, because GPUs "provide poor performance when reducing only few
+/// elements".  Returns true if the host should fold `elements` directly.
+bool hostShouldFinishReduce(const sim::DeviceSpec& gpu, std::uint64_t elements,
+                            const KernelCostEstimate& cost, double hostInstrPerSec);
+
+/// Convenience: measure `userSource`, compute weights for the running SkelCL
+/// runtime's devices and install them via setPartitionWeights.
+void autoSchedule(const std::string& userSource);
+
+}  // namespace skelcl::sched

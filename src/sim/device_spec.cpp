@@ -1,0 +1,127 @@
+#include "sim/device_spec.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace skelcl::sim {
+
+const char* toString(DeviceType t) {
+  switch (t) {
+    case DeviceType::GPU: return "GPU";
+    case DeviceType::CPU: return "CPU";
+    case DeviceType::Accelerator: return "Accelerator";
+  }
+  return "?";
+}
+
+double DeviceSpec::instrPerSec(double apiEfficiency, int activeLanes) const {
+  const int lanes = std::clamp(activeLanes, 1, cores);
+  return static_cast<double>(lanes) * clock_ghz * 1e9 * ipc * apiEfficiency;
+}
+
+namespace {
+
+DeviceSpec teslaT10(int index) {
+  DeviceSpec d;
+  d.name = "Tesla T10 #" + std::to_string(index);
+  d.type = DeviceType::GPU;
+  d.cores = 240;
+  d.clock_ghz = 1.296;
+  d.ipc = 0.08;  // sustained, irregular kernels (see DESIGN.md section 6)
+  d.mem_bytes = 4ull << 30;
+  d.pcie_link = index / 2;  // two GPUs per PCIe interface on the S1070
+  d.launch_overhead_ocl_us = 12.0;
+  d.launch_overhead_cuda_us = 8.0;
+  return d;
+}
+
+DeviceSpec xeonE5520() {
+  DeviceSpec d;
+  d.name = "Xeon E5520";
+  d.type = DeviceType::CPU;
+  d.cores = 4;
+  d.clock_ghz = 2.26;
+  d.ipc = 0.5;  // scalar VM execution, no SIMD credit
+  d.mem_bytes = 12ull << 30;
+  d.pcie_link = -1;  // host-integrated: transfers run at host memory bandwidth
+  d.launch_overhead_ocl_us = 6.0;
+  d.launch_overhead_cuda_us = 6.0;
+  return d;
+}
+
+LinkSpec pcieGen2x16(int index) {
+  LinkSpec l;
+  l.name = "PCIe#" + std::to_string(index);
+  l.bandwidth_gbs = 5.2;
+  l.latency_us = 20.0;
+  return l;
+}
+
+}  // namespace
+
+SystemConfig SystemConfig::teslaS1070(int numGpus) {
+  SKELCL_CHECK(numGpus >= 1 && numGpus <= 4, "the S1070 hosts between 1 and 4 GPUs");
+  SystemConfig cfg;
+  cfg.name = "TeslaS1070x" + std::to_string(numGpus);
+  for (int i = 0; i < numGpus; ++i) cfg.devices.push_back(teslaT10(i));
+  const int numLinks = (numGpus + 1) / 2;
+  for (int i = 0; i < numLinks; ++i) cfg.links.push_back(pcieGen2x16(i));
+  cfg.host_mem_bandwidth_gbs = 12.0;
+  cfg.host_flops_gps = 9.0;
+  return cfg;
+}
+
+SystemConfig SystemConfig::heterogeneousLab() {
+  SystemConfig cfg;
+  cfg.name = "HeterogeneousLab";
+
+  cfg.devices.push_back(xeonE5520());
+
+  DeviceSpec big;  // a Fermi-class card, much faster than the second GPU
+  big.name = "GTX480-class";
+  big.type = DeviceType::GPU;
+  big.cores = 480;
+  big.clock_ghz = 1.40;
+  big.ipc = 0.08;
+  big.mem_bytes = 1536ull << 20;
+  big.pcie_link = 0;
+  cfg.devices.push_back(big);
+
+  DeviceSpec small;
+  small.name = "GT240-class";
+  small.type = DeviceType::GPU;
+  small.cores = 96;
+  small.clock_ghz = 1.34;
+  small.ipc = 0.08;
+  small.mem_bytes = 512ull << 20;
+  small.pcie_link = 1;
+  cfg.devices.push_back(small);
+
+  cfg.links.push_back(pcieGen2x16(0));
+  cfg.links.push_back(pcieGen2x16(1));
+  return cfg;
+}
+
+SystemConfig SystemConfig::cpuOnly() {
+  SystemConfig cfg;
+  cfg.name = "CpuOnly";
+  cfg.devices.push_back(xeonE5520());
+  return cfg;
+}
+
+SystemConfig SystemConfig::dualGpuServer() {
+  SystemConfig cfg;
+  cfg.name = "DualGpuServer";
+  for (int i = 0; i < 2; ++i) {
+    DeviceSpec d = teslaT10(i);
+    d.name = "Server GPU #" + std::to_string(i);
+    d.pcie_link = i;  // each GPU on its own link in the lab servers
+    cfg.devices.push_back(d);
+  }
+  cfg.links.push_back(pcieGen2x16(0));
+  cfg.links.push_back(pcieGen2x16(1));
+  return cfg;
+}
+
+}  // namespace skelcl::sim

@@ -1,0 +1,75 @@
+// Hardware description of the simulated systems.
+//
+// The paper's testbed is an NVIDIA Tesla S1070 (4 Tesla T10 GPUs, 240
+// streaming processors each, 4 GB dedicated memory, attached to the host by
+// two PCIe interfaces, two GPUs sharing each interface) driven by a quad-core
+// Intel Xeon E5520.  This module describes such systems as data so that the
+// simulated OpenCL runtime (src/ocl) can model where time is spent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skelcl::sim {
+
+enum class DeviceType { GPU, CPU, Accelerator };
+
+/// Returns a short human-readable name ("GPU", "CPU", ...).
+const char* toString(DeviceType t);
+
+/// Static description of one simulated compute device.
+///
+/// `ipc` is the *effective sustained* VM instructions per cycle per core for
+/// irregular data-parallel kernels.  It is deliberately far below 1.0 for
+/// GPUs: one bytecode instruction of the kernel VM implies several memory
+/// touches, and the paper's kernels (ray traversal with scattered atomics)
+/// run nowhere near peak ALU rate on real hardware either.
+struct DeviceSpec {
+  std::string name;
+  DeviceType type = DeviceType::GPU;
+  int cores = 1;               ///< parallel hardware lanes
+  double clock_ghz = 1.0;      ///< core clock
+  double ipc = 1.0;            ///< sustained VM-instructions / cycle / core
+  std::uint64_t mem_bytes = 0; ///< dedicated memory capacity
+  int pcie_link = -1;          ///< index into SystemConfig::links; -1 = host-integrated
+  double launch_overhead_ocl_us = 12.0;  ///< kernel launch cost via the OpenCL-style API
+  double launch_overhead_cuda_us = 8.0;  ///< kernel launch cost via the CUDA-style API
+
+  /// Sustained instruction throughput in instructions/second when `activeLanes`
+  /// work-items are available and the runtime API reaches `apiEfficiency` of
+  /// the driver-limited rate.
+  double instrPerSec(double apiEfficiency, int activeLanes) const;
+};
+
+/// One host<->device interconnect (PCIe link, or host memory bus for CPUs).
+struct LinkSpec {
+  std::string name;
+  double bandwidth_gbs = 5.2;  ///< GB/s
+  double latency_us = 20.0;    ///< per-transfer fixed cost
+};
+
+/// A whole simulated machine: devices plus the interconnects they share.
+struct SystemConfig {
+  std::string name;
+  std::vector<DeviceSpec> devices;
+  std::vector<LinkSpec> links;
+  double host_mem_bandwidth_gbs = 12.0;  ///< for host-side data staging work
+  double host_flops_gps = 9.0;           ///< host scalar compute rate (Gflop/s)
+
+  /// The paper's Tesla S1070 testbed restricted to `numGpus` in {1,2,4} GPUs.
+  /// Two GPUs share each PCIe link, as on the real S1070.
+  static SystemConfig teslaS1070(int numGpus);
+
+  /// Section V's heterogeneous laboratory machine: one multi-core CPU device
+  /// plus two GPUs with clearly different characteristics.
+  static SystemConfig heterogeneousLab();
+
+  /// A machine exposing only the host CPU as an OpenCL device.
+  static SystemConfig cpuOnly();
+
+  /// `numNodes` dual-GPU servers for the dOpenCL experiments (Section V).
+  static SystemConfig dualGpuServer();
+};
+
+}  // namespace skelcl::sim

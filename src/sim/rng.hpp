@@ -1,0 +1,57 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All synthetic workloads (PET events, benchmark inputs, property tests) seed
+// explicitly so that every run of the reproduction is bit-identical.
+#pragma once
+
+#include <cstdint>
+
+namespace skelcl::sim {
+
+/// SplitMix64-seeded xorshift128+ generator: tiny, fast, reproducible across
+/// platforms (unlike std::uniform_real_distribution which is
+/// implementation-defined).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into two non-zero state words.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  std::uint64_t nextU64() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * nextDouble(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : nextU64() % n; }
+
+  float nextFloat() { return static_cast<float>(nextDouble()); }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace skelcl::sim

@@ -1,0 +1,108 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace skelcl::sim {
+
+System::System(SystemConfig config) : config_(std::move(config)) {
+  for (const auto& dev : config_.devices) {
+    SKELCL_CHECK(dev.pcie_link < static_cast<int>(config_.links.size()),
+                 "device references a link the system does not have");
+    device_state_.push_back(std::make_unique<DeviceState>());
+  }
+  for (std::size_t i = 0; i < config_.links.size(); ++i) {
+    links_.push_back(std::make_unique<Timeline>());
+  }
+}
+
+const DeviceSpec& System::device(int index) const {
+  SKELCL_CHECK(index >= 0 && index < deviceCount(), "device index out of range");
+  return config_.devices[static_cast<std::size_t>(index)];
+}
+
+Timeline& System::linkOf(int device) {
+  const int link = this->device(device).pcie_link;
+  if (link < 0) return host_memory_;
+  return *links_[static_cast<std::size_t>(link)];
+}
+
+double System::transferDuration(int device, std::uint64_t bytes) const {
+  const DeviceSpec& spec = this->device(device);
+  const DeviceState& state = *device_state_[static_cast<std::size_t>(device)];
+  double bandwidth_gbs = spec.pcie_link < 0
+                             ? config_.host_mem_bandwidth_gbs
+                             : config_.links[static_cast<std::size_t>(spec.pcie_link)].bandwidth_gbs;
+  double latency_s = spec.pcie_link < 0
+                         ? 0.5e-6
+                         : config_.links[static_cast<std::size_t>(spec.pcie_link)].latency_us * 1e-6;
+  if (state.extra_bandwidth_gbs > 0.0) {
+    bandwidth_gbs = std::min(bandwidth_gbs, state.extra_bandwidth_gbs);
+  }
+  latency_s += state.extra_latency_s;
+  return latency_s + static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
+}
+
+Timeline::Span System::reserveTransfer(int device, std::uint64_t bytes, double earliest) {
+  const double duration = transferDuration(device, bytes);
+  const Timeline::Span span = linkOf(device).reserve(earliest, duration);
+  stats_.transfers += 1;
+  stats_.bytes_transferred += bytes;
+  return span;
+}
+
+Timeline::Span System::reservePeerTransfer(int src, int dst, std::uint64_t bytes,
+                                           double earliest) {
+  const Timeline::Span down = reserveTransfer(src, bytes, earliest);
+  const Timeline::Span up = reserveTransfer(dst, bytes, down.end);
+  return Timeline::Span{down.start, up.end};
+}
+
+Timeline::Span System::reserveKernel(int device, std::uint64_t instructions,
+                                     std::uint64_t workItems, double apiEfficiency,
+                                     double launchOverheadSec, double earliest) {
+  const DeviceSpec& spec = this->device(device);
+  const DeviceState& state = *device_state_[static_cast<std::size_t>(device)];
+  const int lanes = static_cast<int>(
+      std::min<std::uint64_t>(workItems == 0 ? 1 : workItems,
+                              static_cast<std::uint64_t>(spec.cores)));
+  const double rate = spec.instrPerSec(apiEfficiency, lanes);
+  const double duration = launchOverheadSec + state.extra_latency_s +
+                          static_cast<double>(instructions) / rate;
+  const Timeline::Span span =
+      device_state_[static_cast<std::size_t>(device)]->compute.reserve(earliest, duration);
+  stats_.kernel_launches += 1;
+  stats_.instructions_executed += instructions;
+  return span;
+}
+
+Timeline::Span System::reserveHostCompute(std::uint64_t bytesTouched, std::uint64_t flops) {
+  const double mem_s =
+      static_cast<double>(bytesTouched) / (config_.host_mem_bandwidth_gbs * 1e9);
+  const double cpu_s = static_cast<double>(flops) / (config_.host_flops_gps * 1e9);
+  const Timeline::Span span = host_cpu_.reserve(host_now_, std::max(mem_s, cpu_s));
+  host_now_ = span.end;
+  stats_.host_compute_ops += 1;
+  return span;
+}
+
+void System::setDeviceExtraLatency(int device, double latencySec, double bandwidthGbs) {
+  SKELCL_CHECK(device >= 0 && device < deviceCount(), "device index out of range");
+  auto& state = *device_state_[static_cast<std::size_t>(device)];
+  state.extra_latency_s = latencySec;
+  state.extra_bandwidth_gbs = bandwidthGbs;
+}
+
+void System::advanceHost(double t) { host_now_ = std::max(host_now_, t); }
+
+void System::resetClock() {
+  for (auto& state : device_state_) state->compute.reset();
+  for (auto& link : links_) link->reset();
+  host_memory_.reset();
+  host_cpu_.reset();
+  host_now_ = 0.0;
+  stats_ = Stats{};
+}
+
+}  // namespace skelcl::sim

@@ -1,0 +1,92 @@
+// The simulated machine: devices, interconnects and their timelines.
+//
+// Commands are *executed eagerly* (the kernel VM computes real results) while
+// the *time* they would take on the modeled hardware is accounted on resource
+// timelines.  Benchmarks report this simulated time; correctness tests look
+// only at the computed data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/device_spec.hpp"
+#include "sim/timeline.hpp"
+
+namespace skelcl::sim {
+
+/// Cumulative counters, useful for ablation benchmarks (e.g. the lazy-copying
+/// experiment counts transfers avoided).
+struct Stats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t instructions_executed = 0;
+  std::uint64_t host_compute_ops = 0;
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config);
+
+  const SystemConfig& config() const { return config_; }
+  int deviceCount() const { return static_cast<int>(config_.devices.size()); }
+  const DeviceSpec& device(int index) const;
+
+  /// Host<->device transfer of `bytes` over the device's link, starting no
+  /// earlier than `earliest`.
+  Timeline::Span reserveTransfer(int device, std::uint64_t bytes, double earliest);
+
+  /// Device-to-device copy, host-mediated as on pre-peer-access hardware:
+  /// a download over the source link followed by an upload over the
+  /// destination link.  If both devices share one link the two halves
+  /// serialize on it automatically.
+  Timeline::Span reservePeerTransfer(int src, int dst, std::uint64_t bytes, double earliest);
+
+  /// Kernel execution of `instructions` total VM instructions spread over
+  /// `workItems` items, launched through an API with efficiency
+  /// `apiEfficiency` and fixed overhead `launchOverheadSec`.
+  Timeline::Span reserveKernel(int device, std::uint64_t instructions,
+                               std::uint64_t workItems, double apiEfficiency,
+                               double launchOverheadSec, double earliest);
+
+  /// Host-side computation touching `bytesTouched` of memory and performing
+  /// `flops` scalar operations (whichever bound is larger wins).  Advances
+  /// the host clock: host work is always program-ordered.
+  Timeline::Span reserveHostCompute(std::uint64_t bytesTouched, std::uint64_t flops);
+
+  /// Extra latency applied to every command aimed at `device` (used by the
+  /// dOpenCL layer to model the client->server network hop).
+  void setDeviceExtraLatency(int device, double latencySec, double bandwidthGbs);
+
+  /// Program-order host clock.
+  double hostNow() const { return host_now_; }
+  /// Move the host clock forward to `t` (blocking waits); never backwards.
+  void advanceHost(double t);
+
+  /// Zero all timelines, the host clock and the statistics.
+  void resetClock();
+
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct DeviceState {
+    Timeline compute;
+    double extra_latency_s = 0.0;      ///< network hop (dOpenCL)
+    double extra_bandwidth_gbs = 0.0;  ///< 0 = no extra bandwidth bound
+  };
+
+  double transferDuration(int device, std::uint64_t bytes) const;
+  Timeline& linkOf(int device);
+
+  SystemConfig config_;
+  std::vector<std::unique_ptr<DeviceState>> device_state_;
+  std::vector<std::unique_ptr<Timeline>> links_;
+  Timeline host_memory_;  ///< link stand-in for host-integrated (CPU) devices
+  Timeline host_cpu_;     ///< host-side staging/combining work
+  double host_now_ = 0.0;
+  Stats stats_;
+};
+
+}  // namespace skelcl::sim

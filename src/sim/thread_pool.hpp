@@ -1,0 +1,49 @@
+// A small work-stealing-free thread pool used to execute kernel work-items.
+//
+// The pool only affects *wall-clock* speed of the reproduction; the simulated
+// time reported by benchmarks is computed from the cost model in
+// sim::System and is identical for any pool size.  With a single hardware
+// thread (common in CI containers) the pool degrades to inline execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace skelcl::sim {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks the hardware concurrency (minus nothing; at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Run body(chunkBegin, chunkEnd) over [0, count) split into roughly equal
+  /// chunks, one per pool thread; blocks until all chunks are done.
+  /// Exceptions from chunks are rethrown (first one wins).
+  void parallelFor(std::uint64_t count,
+                   const std::function<void(std::uint64_t, std::uint64_t)>& body);
+
+  /// The process-wide pool (size from SKELCL_THREADS, else hardware).
+  static ThreadPool& global();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace skelcl::sim

@@ -1,0 +1,29 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace skelcl::sim {
+
+Timeline::Span Timeline::reserve(double earliest, double duration) {
+  SKELCL_CHECK(duration >= 0.0, "negative duration");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Span span;
+  span.start = std::max(earliest, available_);
+  span.end = span.start + duration;
+  available_ = span.end;
+  return span;
+}
+
+double Timeline::availableAt() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return available_;
+}
+
+void Timeline::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  available_ = 0.0;
+}
+
+}  // namespace skelcl::sim

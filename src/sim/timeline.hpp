@@ -1,0 +1,37 @@
+// Resource timelines for the discrete-event cost model.
+//
+// Every serially-usable resource of the simulated machine (a device's compute
+// engine, a PCIe link, the host CPU) is a Timeline.  Commands reserve a span
+// on the timeline; a reservation starts no earlier than both the caller's
+// dependency time and the point where the resource becomes free, which is how
+// contention (e.g. two GPUs sharing one PCIe link) emerges in the model.
+#pragma once
+
+#include <mutex>
+
+namespace skelcl::sim {
+
+class Timeline {
+ public:
+  /// A reserved interval of simulated time, in seconds.
+  struct Span {
+    double start = 0.0;
+    double end = 0.0;
+    double duration() const { return end - start; }
+  };
+
+  /// Reserve `duration` seconds starting no earlier than `earliest`.
+  Span reserve(double earliest, double duration);
+
+  /// The time at which the resource next becomes free.
+  double availableAt() const;
+
+  /// Reset the resource to time zero (between benchmark repetitions).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  double available_ = 0.0;
+};
+
+}  // namespace skelcl::sim

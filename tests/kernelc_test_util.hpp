@@ -1,0 +1,85 @@
+// Shared helpers for the kernelc test suites: compile a source string, bind
+// byte buffers as pointer regions, and run kernels / functions.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kernelc/program.hpp"
+#include "kernelc/vm.hpp"
+
+namespace kctest {
+
+using skelcl::kc::CompiledProgram;
+using skelcl::kc::MemRegion;
+using skelcl::kc::Ptr;
+using skelcl::kc::Slot;
+using skelcl::kc::Vm;
+
+/// A VM harness owning typed buffers.
+class Harness {
+ public:
+  explicit Harness(const std::string& source) : program_(skelcl::kc::compileProgram(source)) {}
+
+  /// Register a float buffer; returns the argument Slot pointing at it.
+  template <typename T>
+  Slot addBuffer(std::vector<T>& data) {
+    regions_.push_back(
+        MemRegion{reinterpret_cast<std::byte*>(data.data()), data.size() * sizeof(T)});
+    Ptr p;
+    p.region = static_cast<std::int32_t>(regions_.size());  // region 0 is null
+    p.offset = 0;
+    return Slot::fromPtr(p);
+  }
+
+  Slot nullPtr() const { return Slot::fromPtr(Ptr{}); }
+
+  /// Run `kernelName` over `globalSize` work items with the given args.
+  void run(const std::string& kernelName, std::span<const Slot> args,
+           std::int64_t globalSize) {
+    Vm vm(*program_, regions_);
+    const int k = program_->findKernel(kernelName);
+    if (k < 0) throw skelcl::Error("no kernel named " + kernelName);
+    for (std::int64_t gid = 0; gid < globalSize; ++gid) {
+      vm.runKernel(k, args, gid, globalSize);
+    }
+    instructions_ += vm.instructionsExecuted();
+  }
+
+  /// Call a plain function once and return its raw result slot.
+  Slot call(const std::string& fnName, std::span<const Slot> args) {
+    Vm vm(*program_, regions_);
+    const int f = program_->findFunction(fnName);
+    if (f < 0) throw skelcl::Error("no function named " + fnName);
+    Slot result = vm.callFunction(f, args);
+    instructions_ += vm.instructionsExecuted();
+    return result;
+  }
+
+  const CompiledProgram& program() const { return *program_; }
+  std::uint64_t instructions() const { return instructions_; }
+
+ private:
+  std::shared_ptr<const CompiledProgram> program_;
+  std::vector<MemRegion> regions_;
+  std::uint64_t instructions_ = 0;
+};
+
+/// Compile-and-call helper for scalar functions: `callF("...source...",
+/// "fnName", {args})` returning a double.
+inline double callF(const std::string& source, const std::string& fn,
+                    std::vector<Slot> args) {
+  Harness h(source);
+  return h.call(fn, args).f;
+}
+
+inline std::int64_t callI(const std::string& source, const std::string& fn,
+                          std::vector<Slot> args) {
+  Harness h(source);
+  return h.call(fn, args).i;
+}
+
+}  // namespace kctest

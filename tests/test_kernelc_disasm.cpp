@@ -1,0 +1,62 @@
+// Disassembler tests: stable, readable bytecode dumps (the `kcc -d` tool and
+// debugging of generated skeleton programs rely on them).
+#include <gtest/gtest.h>
+
+#include "kernelc/disasm.hpp"
+#include "kernelc/program.hpp"
+
+using namespace skelcl::kc;
+
+namespace {
+
+std::string dump(const std::string& source, const std::string& fn) {
+  const auto program = compileProgram(source);
+  const int idx = program->findFunction(fn);
+  EXPECT_GE(idx, 0);
+  return disassemble(program->functions[static_cast<std::size_t>(idx)]);
+}
+
+TEST(KernelcDisasm, SimpleFunctionGolden) {
+  const std::string text = dump("int f(int a, int b) { return a + b; }", "f");
+  // header + 4 instructions
+  EXPECT_NE(text.find("function f (slots=2, frame=0B)"), std::string::npos);
+  EXPECT_NE(text.find("load.slot 0"), std::string::npos);
+  EXPECT_NE(text.find("load.slot 1"), std::string::npos);
+  EXPECT_NE(text.find("add.i"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(KernelcDisasm, KernelHeaderAndFrame) {
+  const std::string text =
+      dump("__kernel void k(__global float* p) { float tmp[4]; p[0] = tmp[0]; }", "k");
+  EXPECT_NE(text.find("kernel k"), std::string::npos);
+  EXPECT_NE(text.find("frame=16B"), std::string::npos);
+  EXPECT_NE(text.find("lea.frame"), std::string::npos);
+}
+
+TEST(KernelcDisasm, JumpTargetsPrinted) {
+  const std::string text = dump("int f(int n) { while (n > 0) --n; return n; }", "f");
+  EXPECT_NE(text.find("jz "), std::string::npos);
+  EXPECT_NE(text.find("jmp "), std::string::npos);
+}
+
+TEST(KernelcDisasm, BuiltinCallsNameAndArity) {
+  const std::string text = dump("float f(float x) { return sqrt(x); }", "f");
+  EXPECT_NE(text.find("call.builtin"), std::string::npos);
+  EXPECT_NE(text.find("argc=1"), std::string::npos);
+}
+
+TEST(KernelcDisasm, FloatOpsDistinctFromDouble) {
+  const std::string f32 = dump("float f(float a) { return a * a; }", "f");
+  const std::string f64 = dump("double f(double a) { return a * a; }", "f");
+  EXPECT_NE(f32.find("mul.f32"), std::string::npos);
+  EXPECT_NE(f64.find("mul.f64"), std::string::npos);
+}
+
+TEST(KernelcDisasm, EveryOpcodeHasAName) {
+  for (int op = 0; op <= static_cast<int>(Op::Trap); ++op) {
+    EXPECT_STRNE(opName(static_cast<Op>(op)), "?") << "opcode " << op;
+  }
+}
+
+}  // namespace

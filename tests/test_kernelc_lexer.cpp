@@ -1,0 +1,178 @@
+// Lexer unit tests: token kinds, literals, comments, locations, errors.
+#include <gtest/gtest.h>
+
+#include "kernelc/diagnostics.hpp"
+#include "kernelc/lexer.hpp"
+
+using namespace skelcl::kc;
+
+namespace {
+
+std::vector<Token> lex(const std::string& src) { return Lexer(src).run(); }
+
+std::vector<Tok> kinds(const std::string& src) {
+  std::vector<Tok> out;
+  for (const auto& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(KernelcLexer, EmptyInputYieldsEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, Tok::Eof);
+}
+
+TEST(KernelcLexer, WhitespaceOnlyYieldsEof) {
+  EXPECT_EQ(kinds("  \t\n \r\n "), (std::vector<Tok>{Tok::Eof}));
+}
+
+TEST(KernelcLexer, Identifiers) {
+  const auto tokens = lex("foo _bar baz123 _1x");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].text, "_bar");
+  EXPECT_EQ(tokens[2].text, "baz123");
+  EXPECT_EQ(tokens[3].text, "_1x");
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(tokens[static_cast<size_t>(i)].kind, Tok::Identifier);
+}
+
+TEST(KernelcLexer, Keywords) {
+  EXPECT_EQ(kinds("if else for while do break continue return"),
+            (std::vector<Tok>{Tok::KwIf, Tok::KwElse, Tok::KwFor, Tok::KwWhile, Tok::KwDo,
+                              Tok::KwBreak, Tok::KwContinue, Tok::KwReturn, Tok::Eof}));
+}
+
+TEST(KernelcLexer, TypeKeywords) {
+  EXPECT_EQ(kinds("void bool int uint unsigned float double struct typedef"),
+            (std::vector<Tok>{Tok::KwVoid, Tok::KwBool, Tok::KwInt, Tok::KwUint, Tok::KwUint,
+                              Tok::KwFloat, Tok::KwDouble, Tok::KwStruct, Tok::KwTypedef,
+                              Tok::Eof}));
+}
+
+TEST(KernelcLexer, OpenClQualifiers) {
+  EXPECT_EQ(kinds("__kernel kernel __global global __local local const"),
+            (std::vector<Tok>{Tok::KwKernel, Tok::KwKernel, Tok::KwGlobal, Tok::KwGlobal,
+                              Tok::KwLocal, Tok::KwLocal, Tok::KwConst, Tok::Eof}));
+}
+
+TEST(KernelcLexer, IntLiterals) {
+  const auto tokens = lex("0 42 123456789 0x1F 0xff");
+  EXPECT_EQ(tokens[0].intValue, 0u);
+  EXPECT_EQ(tokens[1].intValue, 42u);
+  EXPECT_EQ(tokens[2].intValue, 123456789u);
+  EXPECT_EQ(tokens[3].intValue, 0x1Fu);
+  EXPECT_EQ(tokens[4].intValue, 0xffu);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(tokens[static_cast<size_t>(i)].kind, Tok::IntLiteral);
+}
+
+TEST(KernelcLexer, UnsignedSuffix) {
+  const auto tokens = lex("42u 7U");
+  EXPECT_EQ(tokens[0].kind, Tok::IntLiteral);
+  EXPECT_NE(tokens[0].text.find('u'), std::string::npos);
+  EXPECT_EQ(tokens[1].intValue, 7u);
+}
+
+TEST(KernelcLexer, FloatLiterals) {
+  const auto tokens = lex("1.0 2.5f 3. .5 1e3 1.5e-2 2E+4f");
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, Tok::FloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].floatValue, 1.0);
+  EXPECT_FALSE(tokens[0].isFloat32);  // no suffix -> double, as in C
+  EXPECT_TRUE(tokens[1].isFloat32);
+  EXPECT_DOUBLE_EQ(tokens[1].floatValue, 2.5);
+  EXPECT_DOUBLE_EQ(tokens[2].floatValue, 3.0);
+  EXPECT_DOUBLE_EQ(tokens[3].floatValue, 0.5);
+  EXPECT_DOUBLE_EQ(tokens[4].floatValue, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[5].floatValue, 0.015);
+  EXPECT_TRUE(tokens[6].isFloat32);
+  EXPECT_DOUBLE_EQ(tokens[6].floatValue, 20000.0);
+}
+
+TEST(KernelcLexer, IntThenDotDistinction) {
+  // `a.x` after an int: `1 . x` would be invalid member access, but the lexer
+  // must not glue `1.` when followed by an identifier character.
+  const auto tokens = lex("v[1].x");
+  EXPECT_EQ(tokens[0].kind, Tok::Identifier);
+  EXPECT_EQ(tokens[1].kind, Tok::LBracket);
+  EXPECT_EQ(tokens[2].kind, Tok::IntLiteral);
+  EXPECT_EQ(tokens[3].kind, Tok::RBracket);
+  EXPECT_EQ(tokens[4].kind, Tok::Dot);
+  EXPECT_EQ(tokens[5].kind, Tok::Identifier);
+}
+
+TEST(KernelcLexer, AllOperators) {
+  EXPECT_EQ(kinds("+ - * / % ++ -- == != < <= > >= && || ! & | ^ ~ << >> ? :"),
+            (std::vector<Tok>{Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash, Tok::Percent,
+                              Tok::PlusPlus, Tok::MinusMinus, Tok::EqEq, Tok::NotEq, Tok::Less,
+                              Tok::LessEq, Tok::Greater, Tok::GreaterEq, Tok::AmpAmp,
+                              Tok::PipePipe, Tok::Bang, Tok::Amp, Tok::Pipe, Tok::Caret,
+                              Tok::Tilde, Tok::Shl, Tok::Shr, Tok::Question, Tok::Colon,
+                              Tok::Eof}));
+}
+
+TEST(KernelcLexer, CompoundAssignmentOperators) {
+  EXPECT_EQ(kinds("= += -= *= /= %= &= |= ^= <<= >>="),
+            (std::vector<Tok>{Tok::Assign, Tok::PlusAssign, Tok::MinusAssign, Tok::StarAssign,
+                              Tok::SlashAssign, Tok::PercentAssign, Tok::AmpAssign,
+                              Tok::PipeAssign, Tok::CaretAssign, Tok::ShlAssign, Tok::ShrAssign,
+                              Tok::Eof}));
+}
+
+TEST(KernelcLexer, ArrowVsMinus) {
+  EXPECT_EQ(kinds("a->b a-b a--b"),
+            (std::vector<Tok>{Tok::Identifier, Tok::Arrow, Tok::Identifier, Tok::Identifier,
+                              Tok::Minus, Tok::Identifier, Tok::Identifier, Tok::MinusMinus,
+                              Tok::Identifier, Tok::Eof}));
+}
+
+TEST(KernelcLexer, LineComments) {
+  EXPECT_EQ(kinds("a // comment with * and /\nb"),
+            (std::vector<Tok>{Tok::Identifier, Tok::Identifier, Tok::Eof}));
+}
+
+TEST(KernelcLexer, BlockComments) {
+  EXPECT_EQ(kinds("a /* multi \n line \n comment */ b"),
+            (std::vector<Tok>{Tok::Identifier, Tok::Identifier, Tok::Eof}));
+}
+
+TEST(KernelcLexer, UnterminatedBlockCommentFails) {
+  EXPECT_THROW(lex("a /* never closed"), CompileError);
+}
+
+TEST(KernelcLexer, UnexpectedCharacterFails) {
+  EXPECT_THROW(lex("a @ b"), CompileError);
+  EXPECT_THROW(lex("a $ b"), CompileError);
+  EXPECT_THROW(lex("a # b"), CompileError);
+}
+
+TEST(KernelcLexer, BadSuffixFails) { EXPECT_THROW(lex("12x"), CompileError); }
+
+TEST(KernelcLexer, SourceLocations) {
+  const auto tokens = lex("a\n  b\n\nc");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[0].loc.column, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[1].loc.column, 3);
+  EXPECT_EQ(tokens[2].loc.line, 4);
+  EXPECT_EQ(tokens[2].loc.column, 1);
+}
+
+TEST(KernelcLexer, ErrorCarriesLocation) {
+  try {
+    lex("ab\ncd @");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_EQ(e.diagnostics()[0].loc.line, 2);
+    EXPECT_EQ(e.diagnostics()[0].loc.column, 4);
+  }
+}
+
+TEST(KernelcLexer, LongSuffixIgnored) {
+  const auto tokens = lex("42l 42L 42ul");
+  EXPECT_EQ(tokens[0].intValue, 42u);
+  EXPECT_EQ(tokens[1].intValue, 42u);
+  EXPECT_EQ(tokens[2].intValue, 42u);
+}
+
+}  // namespace

@@ -1,0 +1,271 @@
+// Parser unit tests: program structure, precedence, statements, errors.
+#include <gtest/gtest.h>
+
+#include "kernelc/diagnostics.hpp"
+#include "kernelc/lexer.hpp"
+#include "kernelc/parser.hpp"
+
+using namespace skelcl::kc;
+
+namespace {
+
+Program parse(const std::string& src) { return Parser(Lexer(src).run()).run(); }
+
+ExprPtr parseExpr(const std::string& src) {
+  return Parser(Lexer(src).run()).parseExpressionOnly();
+}
+
+TEST(KernelcParser, EmptyProgram) {
+  const Program p = parse("");
+  EXPECT_TRUE(p.decls.empty());
+}
+
+TEST(KernelcParser, SimpleFunction) {
+  const Program p = parse("int add(int a, int b) { return a + b; }");
+  ASSERT_EQ(p.decls.size(), 1u);
+  const FunctionDecl& fn = *p.decls[0].functionDecl;
+  EXPECT_EQ(fn.name, "add");
+  EXPECT_FALSE(fn.isKernel);
+  ASSERT_EQ(fn.params.size(), 2u);
+  EXPECT_EQ(fn.params[0].name, "a");
+  EXPECT_EQ(fn.params[1].name, "b");
+  ASSERT_EQ(fn.body->statements.size(), 1u);
+  EXPECT_EQ(fn.body->statements[0]->kind, StmtKind::Return);
+}
+
+TEST(KernelcParser, KernelQualifier) {
+  const Program p = parse("__kernel void k(__global float* out) { }");
+  const FunctionDecl& fn = *p.decls[0].functionDecl;
+  EXPECT_TRUE(fn.isKernel);
+  EXPECT_EQ(fn.params[0].spec.pointerDepth, 1);
+  EXPECT_TRUE(fn.params[0].spec.isGlobal);
+}
+
+TEST(KernelcParser, KernelWithoutUnderscores) {
+  const Program p = parse("kernel void k(global int* out) { }");
+  EXPECT_TRUE(p.decls[0].functionDecl->isKernel);
+}
+
+TEST(KernelcParser, VoidParameterList) {
+  const Program p = parse("int f(void) { return 1; }");
+  EXPECT_TRUE(p.decls[0].functionDecl->params.empty());
+}
+
+TEST(KernelcParser, TypedefStruct) {
+  const Program p = parse("typedef struct { float x; float y; } Point;");
+  ASSERT_EQ(p.decls.size(), 1u);
+  const StructDecl& s = *p.decls[0].structDecl;
+  EXPECT_EQ(s.name, "Point");
+  ASSERT_EQ(s.fields.size(), 2u);
+  EXPECT_EQ(s.fields[0].name, "x");
+  EXPECT_EQ(s.fields[1].name, "y");
+}
+
+TEST(KernelcParser, PlainStructDeclaration) {
+  const Program p = parse("struct Pair { int a; int b; };");
+  EXPECT_EQ(p.decls[0].structDecl->name, "Pair");
+}
+
+TEST(KernelcParser, StructNameUsableAsType) {
+  const Program p = parse(
+      "typedef struct { float x; } P;\n"
+      "float get(P* p) { return p->x; }");
+  ASSERT_EQ(p.decls.size(), 2u);
+  EXPECT_TRUE(p.decls[1].functionDecl->params[0].spec.isStruct);
+  EXPECT_EQ(p.decls[1].functionDecl->params[0].spec.structName, "P");
+}
+
+TEST(KernelcParser, PrecedenceMulOverAdd) {
+  // a + b * c parses as a + (b * c)
+  const ExprPtr e = parseExpr("a + b * c");
+  const auto& add = exprAs<Binary>(*e);
+  EXPECT_EQ(add.op, BinaryOp::Add);
+  const auto& mul = exprAs<Binary>(*add.rhs);
+  EXPECT_EQ(mul.op, BinaryOp::Mul);
+}
+
+TEST(KernelcParser, PrecedenceShiftBelowAdd) {
+  // a << b + c parses as a << (b + c)
+  const ExprPtr e = parseExpr("a << b + c");
+  const auto& shl = exprAs<Binary>(*e);
+  EXPECT_EQ(shl.op, BinaryOp::Shl);
+  EXPECT_EQ(exprAs<Binary>(*shl.rhs).op, BinaryOp::Add);
+}
+
+TEST(KernelcParser, PrecedenceLogical) {
+  // a || b && c parses as a || (b && c)
+  const ExprPtr e = parseExpr("a || b && c");
+  const auto& lor = exprAs<Binary>(*e);
+  EXPECT_EQ(lor.op, BinaryOp::LOr);
+  EXPECT_EQ(exprAs<Binary>(*lor.rhs).op, BinaryOp::LAnd);
+}
+
+TEST(KernelcParser, PrecedenceBitwiseBetweenLogicalAndEquality) {
+  // a == b & c == d parses as (a == b) & (c == d)
+  const ExprPtr e = parseExpr("a == b & c == d");
+  const auto& band = exprAs<Binary>(*e);
+  EXPECT_EQ(band.op, BinaryOp::BitAnd);
+  EXPECT_EQ(exprAs<Binary>(*band.lhs).op, BinaryOp::Eq);
+  EXPECT_EQ(exprAs<Binary>(*band.rhs).op, BinaryOp::Eq);
+}
+
+TEST(KernelcParser, LeftAssociativity) {
+  // a - b - c parses as (a - b) - c
+  const ExprPtr e = parseExpr("a - b - c");
+  const auto& outer = exprAs<Binary>(*e);
+  EXPECT_EQ(outer.op, BinaryOp::Sub);
+  EXPECT_EQ(exprAs<Binary>(*outer.lhs).op, BinaryOp::Sub);
+  EXPECT_EQ(outer.rhs->kind, ExprKind::VarRef);
+}
+
+TEST(KernelcParser, AssignmentRightAssociative) {
+  // a = b = c parses as a = (b = c)
+  const ExprPtr e = parseExpr("a = b = c");
+  const auto& outer = exprAs<Assign>(*e);
+  EXPECT_EQ(outer.rhs->kind, ExprKind::Assign);
+}
+
+TEST(KernelcParser, CompoundAssignment) {
+  const ExprPtr e = parseExpr("a += b");
+  const auto& assign = exprAs<Assign>(*e);
+  EXPECT_TRUE(assign.isCompound);
+  EXPECT_EQ(assign.compoundOp, BinaryOp::Add);
+}
+
+TEST(KernelcParser, TernaryExpression) {
+  const ExprPtr e = parseExpr("a ? b : c");
+  const auto& t = exprAs<Ternary>(*e);
+  EXPECT_EQ(t.cond->kind, ExprKind::VarRef);
+  EXPECT_EQ(t.thenExpr->kind, ExprKind::VarRef);
+}
+
+TEST(KernelcParser, CallWithArguments) {
+  const ExprPtr e = parseExpr("f(1, x, g())");
+  const auto& call = exprAs<Call>(*e);
+  EXPECT_EQ(call.name, "f");
+  ASSERT_EQ(call.args.size(), 3u);
+  EXPECT_EQ(call.args[2]->kind, ExprKind::Call);
+}
+
+TEST(KernelcParser, ChainedPostfix) {
+  // a[i].x parses as Member(Index(a, i), x)
+  const ExprPtr e = parseExpr("a[i].x");
+  const auto& m = exprAs<Member>(*e);
+  EXPECT_FALSE(m.isArrow);
+  EXPECT_EQ(m.field, "x");
+  EXPECT_EQ(m.base->kind, ExprKind::Index);
+}
+
+TEST(KernelcParser, ArrowMember) {
+  const ExprPtr e = parseExpr("p->len");
+  EXPECT_TRUE(exprAs<Member>(*e).isArrow);
+}
+
+TEST(KernelcParser, UnaryChain) {
+  const ExprPtr e = parseExpr("-!~x");
+  const auto& neg = exprAs<Unary>(*e);
+  EXPECT_EQ(neg.op, UnaryOp::Minus);
+  EXPECT_EQ(exprAs<Unary>(*neg.operand).op, UnaryOp::Not);
+}
+
+TEST(KernelcParser, DerefVsMultiply) {
+  const ExprPtr deref = parseExpr("*p");
+  EXPECT_EQ(exprAs<Unary>(*deref).op, UnaryOp::Deref);
+  const ExprPtr mul = parseExpr("a * b");
+  EXPECT_EQ(exprAs<Binary>(*mul).op, BinaryOp::Mul);
+}
+
+TEST(KernelcParser, CastExpression) {
+  const ExprPtr e = parseExpr("(float)x");
+  const auto& cast = exprAs<Cast>(*e);
+  EXPECT_EQ(cast.target.scalar, Scalar::Float);
+  EXPECT_FALSE(cast.isImplicit);
+}
+
+TEST(KernelcParser, ParenthesizedExpressionIsNotACast) {
+  const ExprPtr e = parseExpr("(x) + 1");
+  EXPECT_EQ(exprAs<Binary>(*e).op, BinaryOp::Add);
+}
+
+TEST(KernelcParser, SizeofType) {
+  const ExprPtr e = parseExpr("sizeof(float)");
+  EXPECT_EQ(e->kind, ExprKind::SizeofType);
+}
+
+TEST(KernelcParser, PreAndPostIncrement) {
+  EXPECT_EQ(exprAs<Unary>(*parseExpr("++i")).op, UnaryOp::PreInc);
+  EXPECT_EQ(exprAs<Unary>(*parseExpr("i++")).op, UnaryOp::PostInc);
+  EXPECT_EQ(exprAs<Unary>(*parseExpr("--i")).op, UnaryOp::PreDec);
+  EXPECT_EQ(exprAs<Unary>(*parseExpr("i--")).op, UnaryOp::PostDec);
+}
+
+TEST(KernelcParser, StatementKinds) {
+  const Program p = parse(R"(
+    void f(int n) {
+      int i = 0;
+      if (n > 0) { i = 1; } else i = 2;
+      while (i < n) ++i;
+      do { --i; } while (i > 0);
+      for (int j = 0; j < n; ++j) { if (j == 2) break; else continue; }
+      ;
+      return;
+    })");
+  const auto& stmts = p.decls[0].functionDecl->body->statements;
+  ASSERT_EQ(stmts.size(), 7u);
+  EXPECT_EQ(stmts[0]->kind, StmtKind::Decl);
+  EXPECT_EQ(stmts[1]->kind, StmtKind::If);
+  EXPECT_EQ(stmts[2]->kind, StmtKind::While);
+  EXPECT_EQ(stmts[3]->kind, StmtKind::DoWhile);
+  EXPECT_EQ(stmts[4]->kind, StmtKind::For);
+  EXPECT_EQ(stmts[5]->kind, StmtKind::Empty);
+  EXPECT_EQ(stmts[6]->kind, StmtKind::Return);
+}
+
+TEST(KernelcParser, MultipleDeclarators) {
+  const Program p = parse("void f() { float a = 1.0f, b, c[4]; }");
+  const auto& decl = static_cast<const DeclStmt&>(*p.decls[0].functionDecl->body->statements[0]);
+  ASSERT_EQ(decl.vars.size(), 3u);
+  EXPECT_NE(decl.vars[0].init, nullptr);
+  EXPECT_EQ(decl.vars[1].init, nullptr);
+  EXPECT_EQ(decl.vars[2].arraySize, 4);
+}
+
+TEST(KernelcParser, ForWithEmptyClauses) {
+  const Program p = parse("void f() { for (;;) { break; } }");
+  const auto& forStmt = static_cast<const ForStmt&>(*p.decls[0].functionDecl->body->statements[0]);
+  EXPECT_EQ(forStmt.init->kind, StmtKind::Empty);
+  EXPECT_EQ(forStmt.cond, nullptr);
+  EXPECT_EQ(forStmt.step, nullptr);
+}
+
+// --- error cases ---
+
+TEST(KernelcParser, MissingSemicolonFails) {
+  EXPECT_THROW(parse("void f() { int x = 1 }"), CompileError);
+}
+
+TEST(KernelcParser, MissingParenFails) {
+  EXPECT_THROW(parse("void f( { }"), CompileError);
+}
+
+TEST(KernelcParser, UnterminatedBlockFails) {
+  EXPECT_THROW(parse("void f() { if (1) {"), CompileError);
+}
+
+TEST(KernelcParser, GarbageTopLevelFails) {
+  EXPECT_THROW(parse("42;"), CompileError);
+}
+
+TEST(KernelcParser, MissingTernaryColonFails) {
+  EXPECT_THROW(parseExpr("a ? b"), CompileError);
+}
+
+TEST(KernelcParser, TrailingTokensAfterExpressionFail) {
+  EXPECT_THROW(parseExpr("a b"), CompileError);
+}
+
+TEST(KernelcParser, ArraySizeMustBeIntLiteral) {
+  EXPECT_THROW(parse("void f() { float a[n]; }"), CompileError);
+}
+
+}  // namespace

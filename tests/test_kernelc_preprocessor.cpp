@@ -1,0 +1,101 @@
+// Preprocessor tests: object-like #define / #undef, word-boundary safety,
+// line-number preservation, unsupported-directive diagnostics.
+#include <gtest/gtest.h>
+
+#include "kernelc/diagnostics.hpp"
+#include "kernelc/preprocessor.hpp"
+#include "kernelc_test_util.hpp"
+
+using namespace kctest;
+using skelcl::kc::CompileError;
+using skelcl::kc::preprocess;
+
+namespace {
+
+TEST(KernelcPreprocessor, NoDirectivesPassThroughVerbatim) {
+  const std::string src = "int f() { return 1; }";
+  EXPECT_EQ(preprocess(src), src);
+}
+
+TEST(KernelcPreprocessor, DefineSubstitutesWholeIdentifiers) {
+  const std::string out = preprocess("#define N 4\nint f() { return N + N1 + FN; }");
+  EXPECT_NE(out.find("return 4 + N1 + FN;"), std::string::npos);
+}
+
+TEST(KernelcPreprocessor, CompiledProgramUsesDefines) {
+  const std::string src = R"(
+#define TILE 8
+#define SCALE 2.5f
+float f(int i) { return (float)(i * TILE) * SCALE; }
+)";
+  EXPECT_FLOAT_EQ(static_cast<float>(callF(src, "f", {Slot::fromInt(3)})), 3 * 8 * 2.5f);
+}
+
+TEST(KernelcPreprocessor, ChainedDefinesExpand) {
+  const std::string src = R"(
+#define A 3
+#define B (A + 1)
+int f() { return B * 2; }
+)";
+  EXPECT_EQ(callI(src, "f", {}), 8);
+}
+
+TEST(KernelcPreprocessor, UndefStopsSubstitution) {
+  const std::string src = R"(
+#define N 7
+int g() { return N; }
+#undef N
+int f(int N) { return N + g(); }
+)";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(1)}), 8);
+}
+
+TEST(KernelcPreprocessor, RedefinitionTakesLatestValue) {
+  const std::string src = "#define X 1\n#define X 2\nint f() { return X; }";
+  EXPECT_EQ(callI(src, "f", {}), 2);
+}
+
+TEST(KernelcPreprocessor, EmptyDefineErasesToken) {
+  const std::string src = "#define RESTRICT\nfloat f(__global float* RESTRICT p) { return p[0]; }";
+  Harness h(src);
+  std::vector<float> data = {4.5f};
+  const Slot args[] = {h.addBuffer(data)};
+  EXPECT_FLOAT_EQ(static_cast<float>(h.call("f", args).f), 4.5f);
+}
+
+TEST(KernelcPreprocessor, LineNumbersPreservedForDiagnostics) {
+  const std::string src = "#define N 4\n\nint f() { return undeclared; }";
+  try {
+    kctest::Harness h(src);
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    EXPECT_EQ(e.diagnostics()[0].loc.line, 3);
+  }
+}
+
+TEST(KernelcPreprocessor, FunctionLikeMacroRejected) {
+  EXPECT_THROW(preprocess("#define SQR(x) ((x)*(x))\n"), CompileError);
+}
+
+TEST(KernelcPreprocessor, UnsupportedDirectiveRejected) {
+  try {
+    preprocess("#include \"foo.h\"\n");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported preprocessor directive"),
+              std::string::npos);
+  }
+}
+
+TEST(KernelcPreprocessor, DefineWithoutNameRejected) {
+  EXPECT_THROW(preprocess("#define\n"), CompileError);
+  EXPECT_THROW(preprocess("#undef\n"), CompileError);
+}
+
+TEST(KernelcPreprocessor, IndentedDirectivesAccepted) {
+  const std::string src = "   #define  K   5\nint f() { return K; }";
+  EXPECT_EQ(callI(src, "f", {}), 5);
+}
+
+}  // namespace

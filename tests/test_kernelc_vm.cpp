@@ -1,0 +1,519 @@
+// End-to-end execution tests for the kernel VM: arithmetic semantics,
+// control flow, functions, pointers, structs, builtins, atomics, and the
+// runtime checks the simulated device adds over real OpenCL.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "kernelc/diagnostics.hpp"
+#include "kernelc_test_util.hpp"
+
+using namespace kctest;
+using skelcl::kc::VmError;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic semantics
+// ---------------------------------------------------------------------------
+
+TEST(KernelcVm, IntegerArithmetic) {
+  const std::string src = "int f(int a, int b) { return a * b + a / b - a % b; }";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(17), Slot::fromInt(5)}), 17 * 5 + 17 / 5 - 17 % 5);
+}
+
+TEST(KernelcVm, IntegerDivisionTruncatesTowardZero) {
+  const std::string src = "int f(int a, int b) { return a / b; }";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(-7), Slot::fromInt(2)}), -3);
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(7), Slot::fromInt(-2)}), -3);
+}
+
+TEST(KernelcVm, Int32Wraparound) {
+  const std::string src = "int f(int a) { return a + 1; }";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(std::numeric_limits<std::int32_t>::max())}),
+            std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(KernelcVm, UnsignedDivisionAndComparison) {
+  // 0xFFFFFFFF as uint is huge, as int it would be -1.
+  const std::string src =
+      "int f() { uint big = 0xFFFFFFFFu; uint two = 2u; "
+      "  if (big > two) return (int)(big / two); return -1; }";
+  EXPECT_EQ(callI(src, "f", {}), static_cast<std::int32_t>(0xFFFFFFFFu / 2u));
+}
+
+TEST(KernelcVm, SignedVsUnsignedShift) {
+  EXPECT_EQ(callI("int f(int a) { return a >> 1; }", "f", {Slot::fromInt(-8)}), -4);
+  EXPECT_EQ(callI("int f() { uint a = 0x80000000u; return (int)(a >> 31); }", "f", {}), 1);
+}
+
+TEST(KernelcVm, BitwiseOperators) {
+  const std::string src =
+      "int f(int a, int b) { return (a & b) | (a ^ b) | (~a & 0xFF) | (a << 2); }";
+  const auto expect = [](std::int32_t a, std::int32_t b) {
+    return (a & b) | (a ^ b) | (~a & 0xFF) | (a << 2);
+  };
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(0x5A), Slot::fromInt(0x33)}), expect(0x5A, 0x33));
+}
+
+TEST(KernelcVm, FloatArithmeticRoundsToFloatPrecision) {
+  // 1e8f + 1.0f == 1e8f in float, but not in double.
+  const std::string src = "float f() { float a = 100000000.0f; return a + 1.0f; }";
+  EXPECT_EQ(callF(src, "f", {}), 100000000.0f);
+}
+
+TEST(KernelcVm, DoubleArithmeticKeepsPrecision) {
+  const std::string src = "double f() { double a = 100000000.0; return a + 1.0; }";
+  EXPECT_EQ(callF(src, "f", {}), 100000001.0);
+}
+
+TEST(KernelcVm, MixedIntFloatPromotion) {
+  const std::string src = "float f(int a, float b) { return a / b; }";
+  EXPECT_FLOAT_EQ(static_cast<float>(callF(src, "f", {Slot::fromInt(7), Slot::fromFloat(2.0)})),
+                  3.5f);
+}
+
+TEST(KernelcVm, ExplicitCasts) {
+  EXPECT_EQ(callI("int f(float x) { return (int)x; }", "f", {Slot::fromFloat(3.9)}), 3);
+  EXPECT_EQ(callI("int f(float x) { return (int)x; }", "f", {Slot::fromFloat(-3.9)}), -3);
+  EXPECT_FLOAT_EQ(
+      static_cast<float>(callF("float f(int x) { return (float)x / 2; }", "f",
+                               {Slot::fromInt(7)})),
+      3.5f);
+}
+
+TEST(KernelcVm, TernaryOperator) {
+  const std::string src = "int f(int a) { return a > 0 ? a : -a; }";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(-5)}), 5);
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(5)}), 5);
+}
+
+TEST(KernelcVm, ComparisonChain) {
+  const std::string src =
+      "int f(int a, int b) { return (a < b) + (a <= b) + (a > b) + (a >= b) + (a == b) + (a != b); }";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(1), Slot::fromInt(2)}), 3);
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(2), Slot::fromInt(2)}), 3);
+}
+
+TEST(KernelcVm, ShortCircuitAndSkipsRhs) {
+  // If && did not short-circuit, the division by zero would fault.
+  const std::string src = "int f(int a) { return a != 0 && 10 / a > 1; }";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(0)}), 0);
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(5)}), 1);
+}
+
+TEST(KernelcVm, ShortCircuitOrSkipsRhs) {
+  const std::string src = "int f(int a) { return a == 0 || 10 / a > 1; }";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(0)}), 1);
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(2)}), 1);
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(10)}), 0);
+}
+
+TEST(KernelcVm, LogicalNot) {
+  EXPECT_EQ(callI("int f(int a) { return !a; }", "f", {Slot::fromInt(7)}), 0);
+  EXPECT_EQ(callI("int f(int a) { return !a; }", "f", {Slot::fromInt(0)}), 1);
+  EXPECT_EQ(callI("int f(float a) { return !a; }", "f", {Slot::fromFloat(0.0)}), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Control flow
+// ---------------------------------------------------------------------------
+
+TEST(KernelcVm, WhileLoopSum) {
+  const std::string src =
+      "int f(int n) { int s = 0; int i = 1; while (i <= n) { s += i; ++i; } return s; }";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(100)}), 5050);
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(0)}), 0);
+}
+
+TEST(KernelcVm, ForLoopWithBreakAndContinue) {
+  const std::string src = R"(
+    int f(int n) {
+      int s = 0;
+      for (int i = 0; i < n; ++i) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        s += i;
+      }
+      return s;
+    })";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(100)}), 1 + 3 + 5 + 7 + 9);
+}
+
+TEST(KernelcVm, DoWhileExecutesAtLeastOnce) {
+  const std::string src = "int f() { int i = 0; do { ++i; } while (i < 0); return i; }";
+  EXPECT_EQ(callI(src, "f", {}), 1);
+}
+
+TEST(KernelcVm, NestedLoops) {
+  const std::string src = R"(
+    int f(int n) {
+      int c = 0;
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+          if (i != j) ++c;
+      return c;
+    })";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(5)}), 20);
+}
+
+TEST(KernelcVm, BreakLeavesOnlyInnerLoop) {
+  const std::string src = R"(
+    int f() {
+      int c = 0;
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 100; ++j) { if (j == 2) break; ++c; }
+      }
+      return c;
+    })";
+  EXPECT_EQ(callI(src, "f", {}), 6);
+}
+
+TEST(KernelcVm, IncrementDecrementSemantics) {
+  const std::string src =
+      "int f() { int i = 5; int a = i++; int b = ++i; int c = i--; int d = --i; "
+      "  return a * 1000 + b * 100 + c * 10 + d; }";
+  EXPECT_EQ(callI(src, "f", {}), 5 * 1000 + 7 * 100 + 7 * 10 + 5);
+}
+
+TEST(KernelcVm, InfiniteLoopTrips) {
+  const std::string src = "int f() { int i = 0; for (;;) { ++i; } return i; }";
+  EXPECT_THROW(callI(src, "f", {}), VmError);
+}
+
+// ---------------------------------------------------------------------------
+// Functions
+// ---------------------------------------------------------------------------
+
+TEST(KernelcVm, FunctionCallAndForwardReference) {
+  const std::string src = R"(
+    int twice(int x) { return helper(x) + helper(x); }  // uses a later function
+    int helper(int x) { return x + 1; }
+  )";
+  EXPECT_EQ(callI(src, "twice", {Slot::fromInt(5)}), 12);
+}
+
+TEST(KernelcVm, Recursion) {
+  const std::string src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }";
+  EXPECT_EQ(callI(src, "fib", {Slot::fromInt(10)}), 55);
+}
+
+TEST(KernelcVm, DeepRecursionTrips) {
+  const std::string src = "int f(int n) { if (n == 0) return 0; return f(n - 1) + 1; }";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(100)}), 100);
+  EXPECT_THROW(callI(src, "f", {Slot::fromInt(100000)}), VmError);
+}
+
+TEST(KernelcVm, MissingReturnTraps) {
+  const std::string src = "int f(int a) { if (a > 0) return 1; }";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(5)}), 1);
+  EXPECT_THROW(callI(src, "f", {Slot::fromInt(-5)}), VmError);
+}
+
+TEST(KernelcVm, ArgumentConversionOnCall) {
+  const std::string src =
+      "float half(float x) { return x / 2.0f; } float f(int a) { return half(a); }";
+  EXPECT_FLOAT_EQ(static_cast<float>(callF(src, "f", {Slot::fromInt(7)})), 3.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Pointers, arrays, buffers
+// ---------------------------------------------------------------------------
+
+TEST(KernelcVm, KernelWritesBuffer) {
+  const std::string src =
+      "__kernel void k(__global float* out, int n) {"
+      "  int i = get_global_id(0);"
+      "  if (i < n) out[i] = (float)i * 2.0f;"
+      "}";
+  Harness h(src);
+  std::vector<float> out(16, -1.0f);
+  const Slot args[] = {h.addBuffer(out), Slot::fromInt(16)};
+  h.run("k", args, 16);
+  for (int i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(out[static_cast<size_t>(i)], 2.0f * i);
+}
+
+TEST(KernelcVm, GlobalSizeBuiltin) {
+  const std::string src =
+      "__kernel void k(__global int* out) { out[get_global_id(0)] = get_global_size(0); }";
+  Harness h(src);
+  std::vector<std::int32_t> out(5, 0);
+  const Slot args[] = {h.addBuffer(out)};
+  h.run("k", args, 5);
+  for (auto v : out) EXPECT_EQ(v, 5);
+}
+
+TEST(KernelcVm, PointerArithmeticWalk) {
+  const std::string src = R"(
+    float f(__global float* p, int n) {
+      float s = 0.0f;
+      __global float* end = p + n;
+      while (p != end) { s += *p; ++p; }
+      return s;
+    })";
+  Harness h(src);
+  std::vector<float> data = {1, 2, 3, 4, 5};
+  const Slot args[] = {h.addBuffer(data), Slot::fromInt(5)};
+  EXPECT_FLOAT_EQ(static_cast<float>(h.call("f", args).f), 15.0f);
+}
+
+TEST(KernelcVm, NegativePointerOffsetWithinBounds) {
+  const std::string src = "float f(__global float* p) { __global float* q = p + 3; return q[-1]; }";
+  Harness h(src);
+  std::vector<float> data = {10, 20, 30, 40};
+  const Slot args[] = {h.addBuffer(data)};
+  EXPECT_FLOAT_EQ(static_cast<float>(h.call("f", args).f), 30.0f);
+}
+
+TEST(KernelcVm, LocalArrays) {
+  const std::string src = R"(
+    int f(int n) {
+      int a[8];
+      for (int i = 0; i < 8; ++i) a[i] = i * n;
+      int s = 0;
+      for (int i = 0; i < 8; ++i) s += a[i];
+      return s;
+    })";
+  EXPECT_EQ(callI(src, "f", {Slot::fromInt(3)}), 3 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+TEST(KernelcVm, AddressOfLocal) {
+  const std::string src = R"(
+    void bump(int* p) { *p += 10; }
+    int f() { int x = 5; bump(&x); bump(&x); return x; }
+  )";
+  EXPECT_EQ(callI(src, "f", {}), 25);
+}
+
+TEST(KernelcVm, OutOfBoundsReadFaults) {
+  const std::string src = "float f(__global float* p) { return p[100]; }";
+  Harness h(src);
+  std::vector<float> data(4, 0.0f);
+  const Slot args[] = {h.addBuffer(data)};
+  try {
+    h.call("f", args);
+    FAIL() << "expected VmError";
+  } catch (const VmError& e) {
+    EXPECT_NE(std::string(e.what()).find("out-of-bounds"), std::string::npos);
+  }
+}
+
+TEST(KernelcVm, OutOfBoundsWriteFaults) {
+  const std::string src = "__kernel void k(__global float* p) { p[4] = 1.0f; }";
+  Harness h(src);
+  std::vector<float> data(4, 0.0f);
+  const Slot args[] = {h.addBuffer(data)};
+  EXPECT_THROW(h.run("k", args, 1), VmError);
+}
+
+TEST(KernelcVm, NullDereferenceFaults) {
+  const std::string src = "float f(__global float* p) { return *p; }";
+  Harness h(src);
+  const Slot args[] = {h.nullPtr()};
+  try {
+    h.call("f", args);
+    FAIL() << "expected VmError";
+  } catch (const VmError& e) {
+    EXPECT_NE(std::string(e.what()).find("null pointer"), std::string::npos);
+  }
+}
+
+TEST(KernelcVm, DivisionByZeroFaults) {
+  EXPECT_THROW(callI("int f(int a) { return 10 / a; }", "f", {Slot::fromInt(0)}), VmError);
+  EXPECT_THROW(callI("int f(int a) { return 10 % a; }", "f", {Slot::fromInt(0)}), VmError);
+}
+
+// ---------------------------------------------------------------------------
+// Structs
+// ---------------------------------------------------------------------------
+
+TEST(KernelcVm, StructMemberAccessThroughPointer) {
+  const std::string src = R"(
+    typedef struct { float x; float y; float z; } Vec3;
+    float norm2(__global Vec3* v, int i) {
+      return v[i].x * v[i].x + v[i].y * v[i].y + v[i].z * v[i].z;
+    })";
+  Harness h(src);
+  struct Vec3 {
+    float x, y, z;
+  };
+  std::vector<Vec3> data = {{1, 2, 3}, {4, 5, 6}};
+  const Slot args[] = {h.addBuffer(data), Slot::fromInt(1)};
+  EXPECT_FLOAT_EQ(static_cast<float>(h.call("norm2", args).f), 16.0f + 25.0f + 36.0f);
+}
+
+TEST(KernelcVm, StructLayoutMatchesHost) {
+  // Mixed 4- and 8-byte members: layout must match x86-64 C++.
+  const std::string src = R"(
+    typedef struct { float a; double b; int c; } Mixed;
+    double f(__global Mixed* m) { return (double)m->a + m->b + (double)m->c; }
+  )";
+  struct Mixed {
+    float a;
+    double b;
+    int c;
+  };
+  static_assert(sizeof(Mixed) == 24);
+  Harness h(src);
+  std::vector<Mixed> data = {{1.5f, 2.25, 3}};
+  const Slot args[] = {h.addBuffer(data)};
+  EXPECT_DOUBLE_EQ(h.call("f", args).f, 1.5 + 2.25 + 3.0);
+}
+
+TEST(KernelcVm, LocalStructCopyAndModify) {
+  const std::string src = R"(
+    typedef struct { int a; int b; } Pair;
+    int f(__global Pair* p) {
+      Pair tmp = *p;       // copy in ('local' is a reserved OpenCL keyword)
+      tmp.a += 100;        // modify the copy
+      *p = tmp;            // copy back
+      return tmp.a + tmp.b;
+    })";
+  struct Pair {
+    int a, b;
+  };
+  Harness h(src);
+  std::vector<Pair> data = {{1, 2}};
+  const Slot args[] = {h.addBuffer(data)};
+  EXPECT_EQ(h.call("f", args).i, 103);
+  EXPECT_EQ(data[0].a, 101);  // write-back visible to the host
+}
+
+TEST(KernelcVm, NestedStructs) {
+  const std::string src = R"(
+    typedef struct { float x; float y; } P2;
+    typedef struct { P2 lo; P2 hi; } Box;
+    float area(__global Box* b) { return (b->hi.x - b->lo.x) * (b->hi.y - b->lo.y); }
+  )";
+  struct P2 {
+    float x, y;
+  };
+  struct Box {
+    P2 lo, hi;
+  };
+  Harness h(src);
+  std::vector<Box> data = {{{1, 1}, {4, 3}}};
+  const Slot args[] = {h.addBuffer(data)};
+  EXPECT_FLOAT_EQ(static_cast<float>(h.call("area", args).f), 6.0f);
+}
+
+TEST(KernelcVm, SizeofStruct) {
+  const std::string src =
+      "typedef struct { float a; double b; int c; } Mixed;"
+      "int f() { return (int)sizeof(Mixed); }";
+  EXPECT_EQ(callI(src, "f", {}), 24);
+}
+
+// ---------------------------------------------------------------------------
+// Builtins
+// ---------------------------------------------------------------------------
+
+TEST(KernelcVm, MathBuiltins) {
+  EXPECT_FLOAT_EQ(static_cast<float>(callF("float f(float x) { return sqrt(x); }", "f",
+                                           {Slot::fromFloat(9.0)})),
+                  3.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(callF("float f(float x) { return fabs(x); }", "f",
+                                           {Slot::fromFloat(-2.5)})),
+                  2.5f);
+  EXPECT_NEAR(callF("float f(float x) { return exp(log(x)); }", "f", {Slot::fromFloat(7.0)}),
+              7.0, 1e-5);
+  EXPECT_NEAR(callF("float f(float a, float b) { return pow(a, b); }", "f",
+                    {Slot::fromFloat(2.0), Slot::fromFloat(10.0)}),
+              1024.0, 1e-3);
+}
+
+TEST(KernelcVm, MathBuiltinDoubleOverload) {
+  // The double overload must keep double precision.
+  const double v = callF("double f(double x) { return sqrt(x); }", "f", {Slot::fromFloat(2.0)});
+  EXPECT_DOUBLE_EQ(v, std::sqrt(2.0));
+}
+
+TEST(KernelcVm, MinMaxClampPickIntOverloadForInts) {
+  EXPECT_EQ(callI("int f(int a, int b) { return min(a, b) + max(a, b); }", "f",
+                  {Slot::fromInt(3), Slot::fromInt(8)}),
+            11);
+  EXPECT_EQ(callI("int f(int x) { return clamp(x, 0, 10); }", "f", {Slot::fromInt(42)}), 10);
+  EXPECT_EQ(callI("int f(int x) { return abs(x); }", "f", {Slot::fromInt(-9)}), 9);
+}
+
+TEST(KernelcVm, AsIntAsFloatRoundTrip) {
+  const std::string src = "float f(float x) { return as_float(as_int(x)); }";
+  EXPECT_FLOAT_EQ(static_cast<float>(callF(src, "f", {Slot::fromFloat(3.14)})),
+                  static_cast<float>(3.14));
+}
+
+TEST(KernelcVm, AtomicAddInt) {
+  const std::string src =
+      "__kernel void k(__global int* c) { atomic_add(c, 1); atomic_add(c + 1, 2); }";
+  Harness h(src);
+  std::vector<std::int32_t> counters = {0, 0};
+  const Slot args[] = {h.addBuffer(counters)};
+  h.run("k", args, 100);
+  EXPECT_EQ(counters[0], 100);
+  EXPECT_EQ(counters[1], 200);
+}
+
+TEST(KernelcVm, AtomicAddFloat) {
+  const std::string src = "__kernel void k(__global float* c) { atomic_add_f(c, 0.5f); }";
+  Harness h(src);
+  std::vector<float> acc = {0.0f};
+  const Slot args[] = {h.addBuffer(acc)};
+  h.run("k", args, 64);
+  EXPECT_FLOAT_EQ(acc[0], 32.0f);
+}
+
+TEST(KernelcVm, AtomicMinMax) {
+  const std::string src =
+      "__kernel void k(__global int* mm) {"
+      "  int i = get_global_id(0);"
+      "  atomic_min(mm, i); atomic_max(mm + 1, i);"
+      "}";
+  Harness h(src);
+  std::vector<std::int32_t> mm = {1000, -1000};
+  const Slot args[] = {h.addBuffer(mm)};
+  h.run("k", args, 37);
+  EXPECT_EQ(mm[0], 0);
+  EXPECT_EQ(mm[1], 36);
+}
+
+TEST(KernelcVm, BarrierIsANoOp) {
+  const std::string src =
+      "__kernel void k(__global int* out) { barrier(0); out[get_global_id(0)] = 1; }";
+  Harness h(src);
+  std::vector<std::int32_t> out(4, 0);
+  const Slot args[] = {h.addBuffer(out)};
+  h.run("k", args, 4);
+  for (auto v : out) EXPECT_EQ(v, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Instruction counting (feeds the device time model)
+// ---------------------------------------------------------------------------
+
+TEST(KernelcVm, InstructionCountScalesWithWork) {
+  const std::string src =
+      "__kernel void k(__global float* out, int n) {"
+      "  int i = get_global_id(0); float s = 0.0f;"
+      "  for (int j = 0; j < n; ++j) s += (float)j;"
+      "  out[i] = s; }";
+  Harness h1(src);
+  std::vector<float> out1(1);
+  const Slot args1[] = {h1.addBuffer(out1), Slot::fromInt(10)};
+  h1.run("k", args1, 1);
+
+  Harness h2(src);
+  std::vector<float> out2(1);
+  const Slot args2[] = {h2.addBuffer(out2), Slot::fromInt(1000)};
+  h2.run("k", args2, 1);
+
+  EXPECT_GT(h1.instructions(), 0u);
+  // 100x more loop iterations -> roughly 100x more instructions.
+  const double ratio =
+      static_cast<double>(h2.instructions()) / static_cast<double>(h1.instructions());
+  EXPECT_GT(ratio, 50.0);
+  EXPECT_LT(ratio, 150.0);
+}
+
+}  // namespace

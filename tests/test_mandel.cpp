@@ -1,0 +1,74 @@
+// Mandelbrot implementations: equivalence with the sequential reference and
+// paper-shaped timing relations.
+#include <gtest/gtest.h>
+
+#include "mandel/mandel.hpp"
+
+using namespace skelcl::mandel;
+
+namespace {
+
+MandelConfig smallConfig() {
+  MandelConfig cfg;
+  cfg.width = 96;
+  cfg.height = 64;
+  cfg.maxIterations = 48;
+  return cfg;
+}
+
+TEST(Mandel, SequentialHasExpectedStructure) {
+  const auto result = mandelSeq(smallConfig());
+  ASSERT_EQ(result.iterations.size(), 96u * 64u);
+  // the set interior (maxIter) and the far exterior (few iterations) both occur
+  int interior = 0;
+  int exterior = 0;
+  for (int n : result.iterations) {
+    if (n == 48) ++interior;
+    if (n <= 2) ++exterior;
+  }
+  EXPECT_GT(interior, 100);
+  EXPECT_GT(exterior, 100);
+}
+
+TEST(Mandel, SkelClMatchesSequentialOnAllGpuCounts) {
+  const auto ref = mandelSeq(smallConfig());
+  for (int gpus : {1, 2, 4}) {
+    const auto result = mandelSkelCL(smallConfig(), gpus);
+    EXPECT_EQ(result.iterations, ref.iterations) << gpus << " GPUs";
+  }
+}
+
+TEST(Mandel, OclMatchesSequential) {
+  const auto ref = mandelSeq(smallConfig());
+  for (int gpus : {1, 4}) {
+    EXPECT_EQ(mandelOcl(smallConfig(), gpus).iterations, ref.iterations);
+  }
+}
+
+TEST(Mandel, CudaMatchesSequential) {
+  const auto ref = mandelSeq(smallConfig());
+  for (int gpus : {1, 3}) {
+    EXPECT_EQ(mandelCuda(smallConfig(), gpus).iterations, ref.iterations);
+  }
+}
+
+TEST(Mandel, TimingRelationsMatchPaper) {
+  // CUDA fastest, SkelCL close to OpenCL; multi-GPU speeds Mandelbrot up
+  // nearly linearly (it is embarrassingly parallel with one download).  Use
+  // a compute-bound image size so launch/transfer overheads do not mask the
+  // scaling.
+  MandelConfig cfg;
+  cfg.width = 384;
+  cfg.height = 256;
+  cfg.maxIterations = 64;
+  const auto skelcl1 = mandelSkelCL(cfg, 1);
+  const auto skelcl4 = mandelSkelCL(cfg, 4);
+  const auto ocl1 = mandelOcl(cfg, 1);
+  const auto cuda1 = mandelCuda(cfg, 1);
+
+  EXPECT_LT(cuda1.simSeconds, ocl1.simSeconds);
+  EXPECT_NEAR(skelcl1.simSeconds / ocl1.simSeconds, 1.0, 0.08);
+  EXPECT_LT(skelcl4.simSeconds, 0.45 * skelcl1.simSeconds);
+}
+
+}  // namespace

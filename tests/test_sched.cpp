@@ -1,0 +1,115 @@
+// Static scheduling for heterogeneous systems (paper Section V).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/skelcl.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace skelcl;
+using namespace skelcl::sched;
+
+namespace {
+
+const char* kHeavyFunc =
+    "float func(float x) { float s = x; for (int i = 0; i < 32; ++i) s = s * 0.5f + 1.0f;"
+    " return s; }";
+const char* kLightFunc = "float func(float x) { return x + 1.0f; }";
+
+TEST(Sched, MeasureUserFunctionCountsInstructions) {
+  const auto heavy = measureUserFunction(kHeavyFunc);
+  const auto light = measureUserFunction(kLightFunc);
+  EXPECT_GT(heavy.instructionsPerElement, 5.0 * light.instructionsPerElement);
+  EXPECT_EQ(heavy.samples, 64u);
+}
+
+TEST(Sched, MeasureRejectsBadFunctions) {
+  EXPECT_THROW(measureUserFunction("float notfunc(float x) { return x; }"), Error);
+  EXPECT_THROW(measureUserFunction("float func(float a, float b, float c) { return a; }"),
+               Error);
+}
+
+TEST(Sched, PredictThroughputScalesWithDeviceRate) {
+  const auto cost = measureUserFunction(kHeavyFunc);
+  const auto lab = sim::SystemConfig::heterogeneousLab();
+  const double cpu = predictThroughput(lab.devices[0], cost);   // Xeon
+  const double big = predictThroughput(lab.devices[1], cost);   // GTX480-class
+  const double small = predictThroughput(lab.devices[2], cost); // GT240-class
+  EXPECT_GT(big, small);
+  EXPECT_GT(small, cpu);  // even the small GPU out-runs the 4-core CPU
+}
+
+TEST(Sched, StaticWeightsAreProportionalAndNormalized) {
+  const auto cost = measureUserFunction(kHeavyFunc);
+  const auto lab = sim::SystemConfig::heterogeneousLab();
+  const auto weights = staticWeights(lab.devices, cost);
+  ASSERT_EQ(weights.size(), 3u);
+  EXPECT_NEAR(std::accumulate(weights.begin(), weights.end(), 0.0), 1.0, 1e-12);
+  // GTX480-class (480 cores @ 1.4 GHz) vs GT240-class (96 @ 1.34): ~5.2x
+  EXPECT_NEAR(weights[1] / weights[2], 480.0 * 1.40 / (96.0 * 1.34), 0.05);
+}
+
+TEST(Sched, CutoffExcludesVerySlowDevices) {
+  const auto cost = measureUserFunction(kHeavyFunc);
+  auto lab = sim::SystemConfig::heterogeneousLab();
+  lab.devices[0].cores = 1;
+  lab.devices[0].ipc = 0.001;  // a hopeless device
+  const auto weights = staticWeights(lab.devices, cost);
+  EXPECT_DOUBLE_EQ(weights[0], 0.0);
+  EXPECT_GT(weights[1], 0.0);
+}
+
+TEST(Sched, HostFinishesSmallReductions) {
+  // Section V: CPUs are faster than GPUs for the final reduction of few
+  // elements; the crossover moves with size.
+  const auto cost = measureUserFunction("float func(float a, float b) { return a + b; }");
+  const auto gpu = sim::SystemConfig::teslaS1070(1).devices[0];
+  const double hostRate = 4.0 * 2.26e9 * 0.5;
+  EXPECT_TRUE(hostShouldFinishReduce(gpu, 100, cost, hostRate));
+  EXPECT_TRUE(hostShouldFinishReduce(gpu, 4000, cost, hostRate));
+  EXPECT_FALSE(hostShouldFinishReduce(gpu, 100'000'000, cost, hostRate));
+}
+
+TEST(Sched, AutoScheduleBalancesHeterogeneousMap) {
+  // On the heterogeneous lab machine, proportional weights must beat the
+  // even split: with even block parts the slow CPU device straggles.
+  init(sim::SystemConfig::heterogeneousLab());
+  Map<float(float)> heavy(kHeavyFunc);
+  const std::size_t n = 200000;
+  Vector<float> input(n);
+  for (std::size_t i = 0; i < n; ++i) input[i] = static_cast<float>(i % 13);
+
+  // even split
+  resetSimClock();
+  heavy(input);
+  finish();
+  const double evenTime = simTimeSeconds();
+
+  // proportional split
+  autoSchedule(kHeavyFunc);
+  input.dataOnHostModified();  // force redistribution under the new weights
+  resetSimClock();
+  heavy(input);
+  finish();
+  const double proportionalTime = simTimeSeconds();
+
+  EXPECT_LT(proportionalTime, 0.6 * evenTime);
+  setPartitionWeights({});
+  terminate();
+}
+
+TEST(Sched, ScheduledResultStillCorrect) {
+  init(sim::SystemConfig::heterogeneousLab());
+  autoSchedule(kLightFunc);
+  Map<float(float)> inc(kLightFunc);
+  Vector<float> v(999);
+  for (std::size_t i = 0; i < 999; ++i) v[i] = static_cast<float>(i);
+  Vector<float> out = inc(v);
+  for (std::size_t i = 0; i < 999; ++i) {
+    ASSERT_FLOAT_EQ(out[i], static_cast<float>(i) + 1.0f);
+  }
+  setPartitionWeights({});
+  terminate();
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Tests for the CUDA-style shim over the simulated devices.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cuda/scuda.hpp"
+
+using namespace skelcl;
+using namespace skelcl::scuda;
+
+namespace {
+
+const char* kSaxpyModule =
+    "__kernel void saxpy(__global float* x, __global float* y, float a, int n) {"
+    "  int i = get_global_id(0);"
+    "  if (i < n) y[i] = a * x[i] + y[i];"
+    "}";
+
+Runtime makeRuntime(int gpus) {
+  return Runtime(sim::SystemConfig::teslaS1070(gpus), {kSaxpyModule});
+}
+
+TEST(Scuda, DeviceEnumerationAndSelection) {
+  Runtime rt = makeRuntime(4);
+  EXPECT_EQ(rt.deviceCount(), 4);
+  rt.setDevice(2);
+  EXPECT_EQ(rt.currentDevice(), 2);
+  EXPECT_THROW(rt.setDevice(4), UsageError);
+}
+
+TEST(Scuda, MallocMemcpyRoundTrip) {
+  Runtime rt = makeRuntime(1);
+  std::vector<float> in(256);
+  std::iota(in.begin(), in.end(), 1.0f);
+  const DevPtr d = rt.malloc(in.size() * sizeof(float));
+  rt.memcpy(d, in.data(), in.size() * sizeof(float));
+  std::vector<float> out(256, 0.0f);
+  rt.memcpy(out.data(), d, out.size() * sizeof(float));
+  EXPECT_EQ(in, out);
+  rt.free(d);
+}
+
+TEST(Scuda, PointerOffsetArithmetic) {
+  Runtime rt = makeRuntime(1);
+  const DevPtr base = rt.malloc(8 * sizeof(int));
+  std::vector<int> zeros(8, 0);
+  rt.memcpy(base, zeros.data(), 8 * sizeof(int));
+  const int v = 7;
+  rt.memcpy(base + 5 * sizeof(int), &v, sizeof(int));
+  std::vector<int> out(8);
+  rt.memcpy(out.data(), base, 8 * sizeof(int));
+  EXPECT_EQ(out[5], 7);
+  EXPECT_EQ(out[4], 0);
+}
+
+TEST(Scuda, DoubleFreeRejected) {
+  Runtime rt = makeRuntime(1);
+  const DevPtr d = rt.malloc(64);
+  rt.free(d);
+  EXPECT_THROW(rt.free(d), UsageError);
+}
+
+TEST(Scuda, KernelLaunch) {
+  Runtime rt = makeRuntime(1);
+  const int n = 512;
+  std::vector<float> x(n), y(n, 1.0f);
+  std::iota(x.begin(), x.end(), 0.0f);
+  const DevPtr dx = rt.malloc(n * sizeof(float));
+  const DevPtr dy = rt.malloc(n * sizeof(float));
+  rt.memcpy(dx, x.data(), n * sizeof(float));
+  rt.memcpy(dy, y.data(), n * sizeof(float));
+
+  KernelHandle saxpy = rt.kernel("saxpy");
+  rt.launch(saxpy, n, dx, dy, 3.0f, n);
+  rt.synchronize();
+
+  rt.memcpy(y.data(), dy, n * sizeof(float));
+  for (int i = 0; i < n; ++i) EXPECT_FLOAT_EQ(y[static_cast<size_t>(i)], 3.0f * i + 1.0f);
+}
+
+TEST(Scuda, UnknownKernelRejected) {
+  Runtime rt = makeRuntime(1);
+  EXPECT_THROW(rt.kernel("nope"), UsageError);
+}
+
+TEST(Scuda, PeerCopyBetweenDevices) {
+  Runtime rt = makeRuntime(2);
+  std::vector<int> data = {1, 2, 3, 4};
+  rt.setDevice(0);
+  const DevPtr d0 = rt.malloc(4 * sizeof(int));
+  rt.memcpy(d0, data.data(), 4 * sizeof(int));
+  rt.setDevice(1);
+  const DevPtr d1 = rt.malloc(4 * sizeof(int));
+  rt.memcpyPeer(d1, d0, 4 * sizeof(int));
+  std::vector<int> out(4, 0);
+  rt.memcpy(out.data(), d1, 4 * sizeof(int));
+  EXPECT_EQ(out, data);
+}
+
+TEST(Scuda, Memset) {
+  Runtime rt = makeRuntime(1);
+  const DevPtr d = rt.malloc(16);
+  rt.memset(d, 0, 16);
+  std::vector<char> out(16, 'x');
+  rt.memcpy(out.data(), d, 16);
+  for (char c : out) EXPECT_EQ(c, 0);
+}
+
+TEST(Scuda, NoRuntimeCompilationCost) {
+  // Modules compile in the Runtime constructor and the clock is then reset:
+  // at first use the host clock starts at zero, unlike the OpenCL path.
+  Runtime rt = makeRuntime(1);
+  EXPECT_DOUBLE_EQ(rt.system().hostNow(), 0.0);
+}
+
+TEST(Scuda, AllocationOnCurrentDevice) {
+  Runtime rt = makeRuntime(2);
+  rt.setDevice(1);
+  const DevPtr d = rt.malloc(64);
+  EXPECT_EQ(d.device, 1);
+  EXPECT_EQ(rt.platform().device(1).memoryAllocated(), 64u);
+  EXPECT_EQ(rt.platform().device(0).memoryAllocated(), 0u);
+}
+
+TEST(Scuda, LaunchBufferWithOffsetRejected) {
+  Runtime rt = makeRuntime(1);
+  const DevPtr d = rt.malloc(64);
+  KernelHandle saxpy = rt.kernel("saxpy");
+  EXPECT_THROW(rt.launch(saxpy, 1, d + 4, d, 1.0f, 1), UsageError);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Skeleton typing and additional-argument corner cases beyond the main
+// semantics suite: mixed element types, scalar extras of every kind,
+// reduce with extras, error paths.
+#include <gtest/gtest.h>
+
+#include "core/skelcl.hpp"
+
+using namespace skelcl;
+
+namespace {
+
+class TypingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { init(sim::SystemConfig::teslaS1070(2)); }
+  void TearDown() override { terminate(); }
+};
+
+TEST_F(TypingTest, MapFloatToInt) {
+  Map<std::int32_t(float)> trunc("int func(float x) { return (int)x; }");
+  Vector<float> v({1.9f, -2.9f, 0.5f});
+  Vector<std::int32_t> out = trunc(v);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], -2);
+  EXPECT_EQ(out[2], 0);
+}
+
+TEST_F(TypingTest, MapIntToDouble) {
+  Map<double(std::int32_t)> half("double func(int x) { return (double)x / 2.0; }");
+  Vector<std::int32_t> v({1, 3, 5});
+  Vector<double> out = half(v);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 2.5);
+}
+
+TEST_F(TypingTest, ZipMixedElementTypes) {
+  Zip<float(std::int32_t, float)> scale(
+      "float func(int count, float unit) { return (float)count * unit; }");
+  Vector<std::int32_t> counts({2, 3, 4});
+  Vector<float> units({0.5f, 1.5f, 2.5f});
+  Vector<float> out = scale(counts, units);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 4.5f);
+  EXPECT_FLOAT_EQ(out[2], 10.0f);
+}
+
+TEST_F(TypingTest, ScalarExtrasOfEveryKind) {
+  Map<double(float)> combine(
+      "double func(float x, int i, uint u, float f, double d)"
+      "{ return (double)x + (double)i + (double)u + (double)f + d; }");
+  Vector<float> v({1.0f});
+  Vector<double> out =
+      combine(v, std::int32_t{-2}, std::uint32_t{3}, 0.5f, 0.25);
+  EXPECT_DOUBLE_EQ(out[0], 1.0 - 2.0 + 3.0 + 0.5 + 0.25);
+}
+
+TEST_F(TypingTest, BoolAndSizeTScalarsConvert) {
+  // size_t and bool extras pass through the arithmetic packing path
+  Map<std::int32_t(std::int32_t)> addN("int func(int x, int n) { return x + n; }");
+  Vector<std::int32_t> v({10});
+  const std::size_t n = 7;
+  Vector<std::int32_t> out = addN(v, n);
+  EXPECT_EQ(out[0], 17);
+}
+
+TEST_F(TypingTest, ReduceWithScalarExtra) {
+  // weighted fold: acc + x * w
+  Reduce<float> weighted("float func(float acc, float x, float w) { return acc + x * w; }");
+  Vector<float> v(10);
+  for (std::size_t i = 0; i < 10; ++i) v[i] = 1.0f;
+  // first element enters unweighted (it seeds the accumulator), the other
+  // nine are scaled: 1 + 9 * 2
+  EXPECT_FLOAT_EQ(weighted(v, 2.0f), 1.0f + 9.0f * 2.0f);
+}
+
+TEST_F(TypingTest, ReduceRejectsVectorExtras) {
+  Reduce<float> bad("float func(float a, float b, __global float* t) { return a + b + t[0]; }");
+  Vector<float> v({1.0f, 2.0f});
+  Vector<float> table({5.0f});
+  table.setDistribution(Distribution::copy());
+  EXPECT_THROW(bad(v, table), Error);
+}
+
+TEST_F(TypingTest, WrongUserFunctionNameFailsToBuild) {
+  Map<float(float)> bad("float notfunc(float x) { return x; }");
+  Vector<float> v(4);
+  EXPECT_THROW(bad(v), Error);  // generated kernel calls `func`
+}
+
+TEST_F(TypingTest, ArityMismatchWithExtrasFailsToBuild) {
+  // func takes only x but an extra is passed -> generated call has 2 args
+  Map<float(float)> bad("float func(float x) { return x; }");
+  Vector<float> v(4);
+  EXPECT_THROW(bad(v, 1.0f), ocl::BuildError);
+}
+
+TEST_F(TypingTest, MapShorthandEqualsExplicitForm) {
+  Map<float> a("float func(float x) { return x * 3.0f; }");
+  Map<float(float)> b("float func(float x) { return x * 3.0f; }");
+  Vector<float> v({2.0f});
+  EXPECT_FLOAT_EQ(a(v)[0], b(v)[0]);
+}
+
+TEST_F(TypingTest, OutSizeMismatchRejected) {
+  Map<float(float)> id("float func(float x) { return x; }");
+  Vector<float> in(8);
+  Vector<float> wrong(4);
+  EXPECT_THROW(id(out(wrong), in), UsageError);
+}
+
+TEST_F(TypingTest, EmptyMapProducesEmptyVector) {
+  Map<float(float)> id("float func(float x) { return x; }");
+  Vector<float> v(0);
+  Vector<float> result = id(v);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST_F(TypingTest, ToStdVectorRoundTrip) {
+  Vector<std::int32_t> v({4, 5, 6});
+  const std::vector<std::int32_t> copy = v.toStdVector();
+  EXPECT_EQ(copy, (std::vector<std::int32_t>{4, 5, 6}));
+}
+
+TEST_F(TypingTest, ScanOfSingleElement) {
+  Scan<int> scan("int func(int a, int b) { return a + b; }");
+  Vector<int> v({42});
+  Vector<int> out = scan(v);
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST_F(TypingTest, ScanOfEmptyVector) {
+  Scan<int> scan("int func(int a, int b) { return a + b; }");
+  Vector<int> v(0);
+  Vector<int> out = scan(v);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(TypingTest, ZipWithAliasedInputs) {
+  // zip(v, v): both inputs are the same vector (and the same device buffers)
+  Zip<float> square("float func(float a, float b) { return a * b; }");
+  Vector<float> v({2.0f, 3.0f, 4.0f});
+  Vector<float> out = square(v, v);
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+  EXPECT_FLOAT_EQ(out[1], 9.0f);
+  EXPECT_FLOAT_EQ(out[2], 16.0f);
+}
+
+TEST_F(TypingTest, InPlaceZipWithAliasedInputs) {
+  // f = f * f, fully in place
+  Zip<float> square("float func(float a, float b) { return a * b; }");
+  Vector<float> v({2.0f, 3.0f});
+  square(out(v), v, v);
+  EXPECT_FLOAT_EQ(v[0], 4.0f);
+  EXPECT_FLOAT_EQ(v[1], 9.0f);
+}
+
+TEST_F(TypingTest, ReduceOnSingleDistributionUsesThatDevice) {
+  Reduce<int> sum("int func(int a, int b) { return a + b; }");
+  Vector<int> v(100);
+  for (std::size_t i = 0; i < 100; ++i) v[i] = 1;
+  v.setDistribution(Distribution::single(1));
+  resetSimClock();
+  EXPECT_EQ(sum(v), 100);
+  // exactly one device ran kernels (the uploads + partial download target it)
+  EXPECT_EQ(simStats().kernel_launches, 1u);
+}
+
+TEST_F(TypingTest, ScanWithWeightedBlockDistribution) {
+  Scan<int> scan("int func(int a, int b) { return a + b; }");
+  Vector<int> v(100);
+  for (std::size_t i = 0; i < 100; ++i) v[i] = 1;
+  v.setDistribution(Distribution::block({3.0, 1.0}));
+  Vector<int> out = scan(v);
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i) + 1) << i;
+  }
+}
+
+TEST_F(TypingTest, MapWithPreprocessorDefinesInUserSource) {
+  Map<float(float)> scaled(
+      "#define SCALE 3.0f\n"
+      "float func(float x) { return SCALE * x; }");
+  Vector<float> v({2.0f});
+  EXPECT_FLOAT_EQ(scaled(v)[0], 6.0f);
+}
+
+}  // namespace

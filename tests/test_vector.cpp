@@ -1,0 +1,261 @@
+// Tests for skelcl::Vector: lazy coherence, implicit transfers, distribution
+// changes including the copy-distribution combine semantics (paper II-B,
+// III-A).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "core/detail/runtime.hpp"
+#include "core/skelcl.hpp"
+
+using namespace skelcl;
+
+namespace {
+
+class VectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { init(sim::SystemConfig::teslaS1070(4)); }
+  void TearDown() override { terminate(); }
+
+  static std::uint64_t transferCount() { return simStats().transfers; }
+};
+
+TEST_F(VectorTest, ConstructionZeroInitialized) {
+  Vector<float> v(10);
+  EXPECT_EQ(v.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FLOAT_EQ(v[i], 0.0f);
+}
+
+TEST_F(VectorTest, ConstructionFromData) {
+  Vector<int> v({1, 2, 3});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST_F(VectorTest, HostAccessBeforeDistributionNeedsNoTransfers) {
+  Vector<float> v(100);
+  v[0] = 42.0f;
+  EXPECT_FLOAT_EQ(v[0], 42.0f);
+  EXPECT_EQ(transferCount(), 0u);
+}
+
+TEST_F(VectorTest, SetDistributionAloneIsLazy) {
+  // Setting a distribution must not move any data (paper: transfers are
+  // deferred as long as possible).
+  Vector<float> v(1000);
+  v.setDistribution(Distribution::block());
+  EXPECT_EQ(transferCount(), 0u);
+  v.setDistribution(Distribution::copy());
+  EXPECT_EQ(transferCount(), 0u);
+}
+
+TEST_F(VectorTest, EnsureOnDevicesUploadsBlockParts) {
+  Vector<float> v(1000);
+  std::iota(v.begin(), v.end(), 0.0f);
+  v.setDistribution(Distribution::block());
+  const auto& parts = v.impl().ensureOnDevices();
+  ASSERT_EQ(parts.size(), 4u);  // 4 GPUs
+  EXPECT_EQ(parts[0].size, 250u);
+  EXPECT_EQ(parts[3].offset, 750u);
+  EXPECT_EQ(transferCount(), 4u);  // one upload per part
+  EXPECT_TRUE(v.impl().devicesValid());
+  EXPECT_TRUE(v.impl().hostValid());  // uploads do not invalidate the host
+}
+
+TEST_F(VectorTest, RepeatedEnsureDoesNotReupload) {
+  Vector<float> v(1000);
+  v.setDistribution(Distribution::block());
+  v.impl().ensureOnDevices();
+  const auto before = transferCount();
+  v.impl().ensureOnDevices();
+  EXPECT_EQ(transferCount(), before);
+}
+
+TEST_F(VectorTest, HostWriteInvalidatesDevices) {
+  Vector<float> v(100);
+  v.setDistribution(Distribution::block());
+  v.impl().ensureOnDevices();
+  v[5] = 7.0f;  // non-const access marks device copies stale
+  EXPECT_FALSE(v.impl().devicesValid());
+  const auto before = transferCount();
+  v.impl().ensureOnDevices();  // must re-upload
+  EXPECT_GT(transferCount(), before);
+}
+
+TEST_F(VectorTest, ConstHostReadKeepsDevicesValid) {
+  Vector<float> v(100);
+  v.setDistribution(Distribution::block());
+  v.impl().ensureOnDevices();
+  const Vector<float>& cv = v;
+  (void)cv[3];
+  EXPECT_TRUE(v.impl().devicesValid());
+}
+
+TEST_F(VectorTest, SingleDistributionUsesOneDevice) {
+  Vector<float> v(64);
+  v.setDistribution(Distribution::single(2));
+  const auto& parts = v.impl().ensureOnDevices();
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].device, 2);
+  EXPECT_EQ(parts[0].size, 64u);
+}
+
+TEST_F(VectorTest, SingleDefaultsToFirstDevice) {
+  // "the first GPU if not specified otherwise" (paper III-A)
+  Vector<float> v(64);
+  v.setDistribution(Distribution::single());
+  EXPECT_EQ(v.impl().ensureOnDevices()[0].device, 0);
+}
+
+TEST_F(VectorTest, CopyDistributionReplicates) {
+  Vector<float> v(64);
+  v.setDistribution(Distribution::copy());
+  const auto& parts = v.impl().ensureOnDevices();
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& p : parts) EXPECT_EQ(p.size, 64u);
+}
+
+TEST_F(VectorTest, RedistributionMovesDataThroughHost) {
+  Vector<float> v(400);
+  std::iota(v.begin(), v.end(), 0.0f);
+  v.setDistribution(Distribution::single(1));
+  v.impl().ensureOnDevices();
+  v.setDistribution(Distribution::block());
+  v.impl().ensureOnDevices();
+  // data must survive the redistribution
+  for (std::size_t i = 0; i < 400; ++i) EXPECT_FLOAT_EQ(v[i], static_cast<float>(i));
+}
+
+TEST_F(VectorTest, CopyWithoutCombineKeepsFirstDeviceVersion) {
+  Vector<float> v(16);
+  v.setDistribution(Distribution::copy());
+  const auto& parts = v.impl().ensureOnDevices();
+  // simulate divergent device modifications: poke device memories directly
+  for (std::size_t d = 0; d < parts.size(); ++d) {
+    float val = static_cast<float>(d + 1);
+    for (std::size_t i = 0; i < 16; ++i) {
+      std::memcpy(parts[d].buffer->data() + i * sizeof(float), &val, sizeof(float));
+    }
+  }
+  v.dataOnDevicesModified();
+  // Paper III-A: without a combine function, the first device's copy wins.
+  EXPECT_FLOAT_EQ(v[0], 1.0f);
+  EXPECT_FLOAT_EQ(v[15], 1.0f);
+}
+
+TEST_F(VectorTest, CopyWithCombineFoldsAllVersions) {
+  Vector<float> v(16);
+  v.setDistribution(Distribution::copy("float func(float a, float b) { return a + b; }"));
+  const auto& parts = v.impl().ensureOnDevices();
+  for (std::size_t d = 0; d < parts.size(); ++d) {
+    float val = static_cast<float>(d + 1);
+    for (std::size_t i = 0; i < 16; ++i) {
+      std::memcpy(parts[d].buffer->data() + i * sizeof(float), &val, sizeof(float));
+    }
+  }
+  v.dataOnDevicesModified();
+  // combine(add) over versions 1, 2, 3, 4 = 10
+  EXPECT_FLOAT_EQ(v[0], 10.0f);
+  EXPECT_FLOAT_EQ(v[15], 10.0f);
+}
+
+TEST_F(VectorTest, CombineHappensOnRedistributionToBlock) {
+  // The Listing 3 pattern: error image c is copy(add)-distributed, modified
+  // on the devices, then switched to block distribution.
+  Vector<int> c(8);
+  c.setDistribution(Distribution::copy("int func(int a, int b) { return a + b; }"));
+  const auto& parts = c.impl().ensureOnDevices();
+  for (std::size_t d = 0; d < parts.size(); ++d) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      const int val = static_cast<int>(d) + 1;
+      std::memcpy(parts[d].buffer->data() + i * sizeof(int), &val, sizeof(int));
+    }
+  }
+  c.dataOnDevicesModified();
+  c.setDistribution(Distribution::block());
+  c.impl().ensureOnDevices();
+  EXPECT_EQ(c[0], 10);
+  EXPECT_EQ(c[7], 10);
+}
+
+TEST_F(VectorTest, BlockWeightsProportionalPartition) {
+  Vector<float> v(100);
+  v.setDistribution(Distribution::block({3.0, 1.0, 0.0, 0.0}));
+  const auto& parts = v.impl().ensureOnDevices();
+  // devices with weight zero are excluded from the partition entirely
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].size, 75u);
+  EXPECT_EQ(parts[1].size, 25u);
+  EXPECT_EQ(v.impl().partSizeOn(2), 0u);
+  EXPECT_EQ(v.impl().partSizeOn(3), 0u);
+}
+
+TEST_F(VectorTest, PartitionSumsExactlyToCount) {
+  // Largest-remainder apportionment: no elements lost for awkward sizes.
+  for (std::size_t n : {1u, 2u, 3u, 5u, 7u, 97u, 1001u}) {
+    Vector<float> v(n);
+    v.setDistribution(Distribution::block());
+    std::size_t total = 0;
+    for (const auto& p : v.impl().plannedPartition()) total += p.size;
+    EXPECT_EQ(total, n) << "n=" << n;
+  }
+}
+
+TEST_F(VectorTest, SizesTokenReportsPartSizes) {
+  Vector<float> v(1000);
+  v.setDistribution(Distribution::block());
+  EXPECT_EQ(v.impl().partSizeOn(0), 250u);
+  EXPECT_EQ(v.impl().partSizeOn(3), 250u);
+  v.setDistribution(Distribution::single(1));
+  EXPECT_EQ(v.impl().partSizeOn(0), 0u);
+  EXPECT_EQ(v.impl().partSizeOn(1), 1000u);
+}
+
+TEST_F(VectorTest, EmptyVectorPartitionIsAllEmpty) {
+  Vector<float> v(0);
+  v.setDistribution(Distribution::block());
+  const auto& parts = v.impl().ensureOnDevices();
+  for (const auto& p : parts) {
+    EXPECT_EQ(p.size, 0u);
+    EXPECT_EQ(p.buffer, nullptr);
+  }
+}
+
+TEST_F(VectorTest, DistributionCompareSemantics) {
+  EXPECT_TRUE(Distribution::block() == Distribution::block());
+  EXPECT_FALSE(Distribution::block() == Distribution::copy());
+  EXPECT_TRUE(Distribution::single(1) == Distribution::single(1));
+  EXPECT_FALSE(Distribution::single(0) == Distribution::single(1));
+  EXPECT_TRUE(Distribution::copy() == Distribution::copy("int func(int a,int b){return a;}"));
+}
+
+TEST_F(VectorTest, UnsetDistributionPartitionThrows) {
+  Vector<float> v(10);
+  EXPECT_THROW(v.impl().plannedPartition(), UsageError);
+}
+
+TEST_F(VectorTest, CopyWithCombineFoldsDoubleElements) {
+  Vector<double> v(4);
+  v.setDistribution(
+      Distribution::copy("double func(double a, double b) { return a + b; }"));
+  const auto& parts = v.impl().ensureOnDevices();
+  for (std::size_t d = 0; d < parts.size(); ++d) {
+    const double val = 0.25 * static_cast<double>(d + 1);
+    for (std::size_t i = 0; i < 4; ++i) {
+      std::memcpy(parts[d].buffer->data() + i * sizeof(double), &val, sizeof(double));
+    }
+  }
+  v.dataOnDevicesModified();
+  EXPECT_DOUBLE_EQ(v[0], 0.25 * (1 + 2 + 3 + 4));
+}
+
+TEST_F(VectorTest, VectorsShareDataOnCopy) {
+  Vector<float> a({1.0f, 2.0f});
+  Vector<float> b = a;
+  b[0] = 9.0f;
+  EXPECT_FLOAT_EQ(a[0], 9.0f);  // handle semantics
+}
+
+}  // namespace

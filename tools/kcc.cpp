@@ -1,0 +1,107 @@
+// kcc — kernel-language compiler driver (developer tool).
+//
+//   kcc FILE.cl            compile; print diagnostics or "ok"
+//   kcc -d FILE.cl         compile and disassemble every function
+//   kcc -e 'EXPR' ARGS...  compile `double f(double...)`-style one-liners and
+//                          evaluate: kcc -e 'sqrt(x*x + 1.0f)' 3
+//
+// Useful for debugging skeleton source generation: pipe the source SkelCL
+// generates into kcc -d to see exactly what the device will execute.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kernelc/diagnostics.hpp"
+#include "kernelc/disasm.hpp"
+#include "kernelc/program.hpp"
+
+namespace {
+
+std::string readFile(const char* path) {
+  if (std::strcmp(path, "-") == 0) {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "kcc: cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int evalExpression(const std::string& expr, const std::vector<double>& args) {
+  // Wrap the expression in a function with parameters x, y, z, ...
+  std::string params;
+  const char* names[] = {"x", "y", "z", "w"};
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) params += ", ";
+    params += std::string("float ") + names[i];
+  }
+  const std::string source = "float f(" + params + ") { return " + expr + "; }";
+  const auto program = skelcl::kc::compileProgram(source);
+  skelcl::kc::Vm vm(*program, {});
+  std::vector<skelcl::kc::Slot> slots;
+  for (double a : args) slots.push_back(skelcl::kc::Slot::fromFloat(a));
+  const auto result = vm.callFunction(program->findFunction("f"), slots);
+  std::printf("%g\n", result.f);
+  std::printf("(%llu instructions)\n",
+              static_cast<unsigned long long>(vm.instructionsExecuted()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool disassemble = false;
+  int argi = 1;
+  if (argi < argc && std::strcmp(argv[argi], "-d") == 0) {
+    disassemble = true;
+    ++argi;
+  }
+  if (argi < argc && std::strcmp(argv[argi], "-e") == 0) {
+    if (argi + 1 >= argc) {
+      std::fprintf(stderr, "kcc: -e needs an expression\n");
+      return 2;
+    }
+    std::vector<double> args;
+    for (int i = argi + 2; i < argc; ++i) args.push_back(std::atof(argv[i]));
+    try {
+      return evalExpression(argv[argi + 1], args);
+    } catch (const skelcl::kc::CompileError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+  if (argi >= argc) {
+    std::fprintf(stderr,
+                 "usage: kcc [-d] FILE.cl | kcc -e 'EXPR' [args...]\n"
+                 "       (FILE may be '-' for stdin)\n");
+    return 2;
+  }
+
+  const std::string source = readFile(argv[argi]);
+  try {
+    const auto program = skelcl::kc::compileProgram(source);
+    if (disassemble) {
+      for (const auto& fn : program->functions) {
+        std::fputs(skelcl::kc::disassemble(fn).c_str(), stdout);
+        std::fputs("\n", stdout);
+      }
+    } else {
+      std::printf("ok: %zu function(s), %llu tokens\n", program->functions.size(),
+                  static_cast<unsigned long long>(program->complexity));
+    }
+    return 0;
+  } catch (const skelcl::kc::CompileError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
