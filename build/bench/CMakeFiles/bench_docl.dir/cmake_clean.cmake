@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_docl.dir/bench_docl.cpp.o"
+  "CMakeFiles/bench_docl.dir/bench_docl.cpp.o.d"
+  "bench_docl"
+  "bench_docl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_docl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

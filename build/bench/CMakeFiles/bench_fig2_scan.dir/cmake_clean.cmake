@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_scan.dir/bench_fig2_scan.cpp.o"
+  "CMakeFiles/bench_fig2_scan.dir/bench_fig2_scan.cpp.o.d"
+  "bench_fig2_scan"
+  "bench_fig2_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

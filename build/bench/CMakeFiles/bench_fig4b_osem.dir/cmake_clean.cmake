@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_osem.dir/bench_fig4b_osem.cpp.o"
+  "CMakeFiles/bench_fig4b_osem.dir/bench_fig4b_osem.cpp.o.d"
+  "bench_fig4b_osem"
+  "bench_fig4b_osem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_osem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

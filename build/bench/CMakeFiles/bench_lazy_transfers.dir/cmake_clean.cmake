@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lazy_transfers.dir/bench_lazy_transfers.cpp.o"
+  "CMakeFiles/bench_lazy_transfers.dir/bench_lazy_transfers.cpp.o.d"
+  "bench_lazy_transfers"
+  "bench_lazy_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_hetero.dir/bench_sched_hetero.cpp.o"
+  "CMakeFiles/bench_sched_hetero.dir/bench_sched_hetero.cpp.o.d"
+  "bench_sched_hetero"
+  "bench_sched_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skeletons_micro.dir/bench_skeletons_micro.cpp.o"
+  "CMakeFiles/bench_skeletons_micro.dir/bench_skeletons_micro.cpp.o.d"
+  "bench_skeletons_micro"
+  "bench_skeletons_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skeletons_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

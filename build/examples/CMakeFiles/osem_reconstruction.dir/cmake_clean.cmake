@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osem_reconstruction.dir/osem_reconstruction.cpp.o"
+  "CMakeFiles/osem_reconstruction.dir/osem_reconstruction.cpp.o.d"
+  "osem_reconstruction"
+  "osem_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osem_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

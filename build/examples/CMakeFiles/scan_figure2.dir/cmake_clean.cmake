@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_figure2.dir/scan_figure2.cpp.o"
+  "CMakeFiles/scan_figure2.dir/scan_figure2.cpp.o.d"
+  "scan_figure2"
+  "scan_figure2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_figure2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detail/runtime.cpp" "src/core/CMakeFiles/skelcl_core.dir/detail/runtime.cpp.o" "gcc" "src/core/CMakeFiles/skelcl_core.dir/detail/runtime.cpp.o.d"
+  "/root/repo/src/core/detail/skeleton_exec.cpp" "src/core/CMakeFiles/skelcl_core.dir/detail/skeleton_exec.cpp.o" "gcc" "src/core/CMakeFiles/skelcl_core.dir/detail/skeleton_exec.cpp.o.d"
+  "/root/repo/src/core/detail/vector_data.cpp" "src/core/CMakeFiles/skelcl_core.dir/detail/vector_data.cpp.o" "gcc" "src/core/CMakeFiles/skelcl_core.dir/detail/vector_data.cpp.o.d"
+  "/root/repo/src/core/distribution.cpp" "src/core/CMakeFiles/skelcl_core.dir/distribution.cpp.o" "gcc" "src/core/CMakeFiles/skelcl_core.dir/distribution.cpp.o.d"
+  "/root/repo/src/core/skelcl.cpp" "src/core/CMakeFiles/skelcl_core.dir/skelcl.cpp.o" "gcc" "src/core/CMakeFiles/skelcl_core.dir/skelcl.cpp.o.d"
+  "/root/repo/src/core/type_name.cpp" "src/core/CMakeFiles/skelcl_core.dir/type_name.cpp.o" "gcc" "src/core/CMakeFiles/skelcl_core.dir/type_name.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ocl/CMakeFiles/skelcl_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skelcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelc/CMakeFiles/skelcl_kernelc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_core.dir/detail/runtime.cpp.o"
+  "CMakeFiles/skelcl_core.dir/detail/runtime.cpp.o.d"
+  "CMakeFiles/skelcl_core.dir/detail/skeleton_exec.cpp.o"
+  "CMakeFiles/skelcl_core.dir/detail/skeleton_exec.cpp.o.d"
+  "CMakeFiles/skelcl_core.dir/detail/vector_data.cpp.o"
+  "CMakeFiles/skelcl_core.dir/detail/vector_data.cpp.o.d"
+  "CMakeFiles/skelcl_core.dir/distribution.cpp.o"
+  "CMakeFiles/skelcl_core.dir/distribution.cpp.o.d"
+  "CMakeFiles/skelcl_core.dir/skelcl.cpp.o"
+  "CMakeFiles/skelcl_core.dir/skelcl.cpp.o.d"
+  "CMakeFiles/skelcl_core.dir/type_name.cpp.o"
+  "CMakeFiles/skelcl_core.dir/type_name.cpp.o.d"
+  "libskelcl_core.a"
+  "libskelcl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

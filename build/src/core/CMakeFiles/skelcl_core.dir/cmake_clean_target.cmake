@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskelcl_core.a"
+)

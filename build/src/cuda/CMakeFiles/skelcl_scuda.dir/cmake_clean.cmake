@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_scuda.dir/scuda.cpp.o"
+  "CMakeFiles/skelcl_scuda.dir/scuda.cpp.o.d"
+  "libskelcl_scuda.a"
+  "libskelcl_scuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_scuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

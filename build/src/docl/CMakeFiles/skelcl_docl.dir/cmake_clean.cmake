@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_docl.dir/docl.cpp.o"
+  "CMakeFiles/skelcl_docl.dir/docl.cpp.o.d"
+  "libskelcl_docl.a"
+  "libskelcl_docl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_docl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernelc/builtins.cpp" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/builtins.cpp.o" "gcc" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/builtins.cpp.o.d"
+  "/root/repo/src/kernelc/compiler.cpp" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/compiler.cpp.o" "gcc" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/compiler.cpp.o.d"
+  "/root/repo/src/kernelc/disasm.cpp" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/disasm.cpp.o" "gcc" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/disasm.cpp.o.d"
+  "/root/repo/src/kernelc/lexer.cpp" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/lexer.cpp.o" "gcc" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/lexer.cpp.o.d"
+  "/root/repo/src/kernelc/parser.cpp" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/parser.cpp.o" "gcc" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/parser.cpp.o.d"
+  "/root/repo/src/kernelc/preprocessor.cpp" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/preprocessor.cpp.o" "gcc" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/preprocessor.cpp.o.d"
+  "/root/repo/src/kernelc/program.cpp" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/program.cpp.o" "gcc" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/program.cpp.o.d"
+  "/root/repo/src/kernelc/sema.cpp" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/sema.cpp.o" "gcc" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/sema.cpp.o.d"
+  "/root/repo/src/kernelc/types.cpp" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/types.cpp.o" "gcc" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/types.cpp.o.d"
+  "/root/repo/src/kernelc/vm.cpp" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/vm.cpp.o" "gcc" "src/kernelc/CMakeFiles/skelcl_kernelc.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

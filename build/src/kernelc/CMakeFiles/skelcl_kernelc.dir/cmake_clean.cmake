@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_kernelc.dir/builtins.cpp.o"
+  "CMakeFiles/skelcl_kernelc.dir/builtins.cpp.o.d"
+  "CMakeFiles/skelcl_kernelc.dir/compiler.cpp.o"
+  "CMakeFiles/skelcl_kernelc.dir/compiler.cpp.o.d"
+  "CMakeFiles/skelcl_kernelc.dir/disasm.cpp.o"
+  "CMakeFiles/skelcl_kernelc.dir/disasm.cpp.o.d"
+  "CMakeFiles/skelcl_kernelc.dir/lexer.cpp.o"
+  "CMakeFiles/skelcl_kernelc.dir/lexer.cpp.o.d"
+  "CMakeFiles/skelcl_kernelc.dir/parser.cpp.o"
+  "CMakeFiles/skelcl_kernelc.dir/parser.cpp.o.d"
+  "CMakeFiles/skelcl_kernelc.dir/preprocessor.cpp.o"
+  "CMakeFiles/skelcl_kernelc.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/skelcl_kernelc.dir/program.cpp.o"
+  "CMakeFiles/skelcl_kernelc.dir/program.cpp.o.d"
+  "CMakeFiles/skelcl_kernelc.dir/sema.cpp.o"
+  "CMakeFiles/skelcl_kernelc.dir/sema.cpp.o.d"
+  "CMakeFiles/skelcl_kernelc.dir/types.cpp.o"
+  "CMakeFiles/skelcl_kernelc.dir/types.cpp.o.d"
+  "CMakeFiles/skelcl_kernelc.dir/vm.cpp.o"
+  "CMakeFiles/skelcl_kernelc.dir/vm.cpp.o.d"
+  "libskelcl_kernelc.a"
+  "libskelcl_kernelc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_kernelc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for skelcl_kernelc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_mandel.dir/mandel.cpp.o"
+  "CMakeFiles/skelcl_mandel.dir/mandel.cpp.o.d"
+  "libskelcl_mandel.a"
+  "libskelcl_mandel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_mandel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

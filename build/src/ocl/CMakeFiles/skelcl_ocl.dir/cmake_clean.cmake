@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_ocl.dir/buffer.cpp.o"
+  "CMakeFiles/skelcl_ocl.dir/buffer.cpp.o.d"
+  "CMakeFiles/skelcl_ocl.dir/platform.cpp.o"
+  "CMakeFiles/skelcl_ocl.dir/platform.cpp.o.d"
+  "CMakeFiles/skelcl_ocl.dir/program.cpp.o"
+  "CMakeFiles/skelcl_ocl.dir/program.cpp.o.d"
+  "CMakeFiles/skelcl_ocl.dir/queue.cpp.o"
+  "CMakeFiles/skelcl_ocl.dir/queue.cpp.o.d"
+  "libskelcl_ocl.a"
+  "libskelcl_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

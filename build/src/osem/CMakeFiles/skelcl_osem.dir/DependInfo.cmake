@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osem/osem_cuda.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/osem_cuda.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/osem_cuda.cpp.o.d"
+  "/root/repo/src/osem/osem_data.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/osem_data.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/osem_data.cpp.o.d"
+  "/root/repo/src/osem/osem_kernels.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/osem_kernels.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/osem_kernels.cpp.o.d"
+  "/root/repo/src/osem/osem_ocl.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/osem_ocl.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/osem_ocl.cpp.o.d"
+  "/root/repo/src/osem/osem_seq.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/osem_seq.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/osem_seq.cpp.o.d"
+  "/root/repo/src/osem/osem_skelcl.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/osem_skelcl.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/osem_skelcl.cpp.o.d"
+  "/root/repo/src/osem/phantom.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/phantom.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/phantom.cpp.o.d"
+  "/root/repo/src/osem/siddon.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/siddon.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/siddon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/skelcl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/skelcl_scuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/skelcl_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skelcl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelc/CMakeFiles/skelcl_kernelc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

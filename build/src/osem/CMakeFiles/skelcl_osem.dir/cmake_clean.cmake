@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_osem.dir/osem_cuda.cpp.o"
+  "CMakeFiles/skelcl_osem.dir/osem_cuda.cpp.o.d"
+  "CMakeFiles/skelcl_osem.dir/osem_data.cpp.o"
+  "CMakeFiles/skelcl_osem.dir/osem_data.cpp.o.d"
+  "CMakeFiles/skelcl_osem.dir/osem_kernels.cpp.o"
+  "CMakeFiles/skelcl_osem.dir/osem_kernels.cpp.o.d"
+  "CMakeFiles/skelcl_osem.dir/osem_ocl.cpp.o"
+  "CMakeFiles/skelcl_osem.dir/osem_ocl.cpp.o.d"
+  "CMakeFiles/skelcl_osem.dir/osem_seq.cpp.o"
+  "CMakeFiles/skelcl_osem.dir/osem_seq.cpp.o.d"
+  "CMakeFiles/skelcl_osem.dir/osem_skelcl.cpp.o"
+  "CMakeFiles/skelcl_osem.dir/osem_skelcl.cpp.o.d"
+  "CMakeFiles/skelcl_osem.dir/phantom.cpp.o"
+  "CMakeFiles/skelcl_osem.dir/phantom.cpp.o.d"
+  "CMakeFiles/skelcl_osem.dir/siddon.cpp.o"
+  "CMakeFiles/skelcl_osem.dir/siddon.cpp.o.d"
+  "libskelcl_osem.a"
+  "libskelcl_osem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_osem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/skelcl_sched.dir/scheduler.cpp.o.d"
+  "libskelcl_sched.a"
+  "libskelcl_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device_spec.cpp" "src/sim/CMakeFiles/skelcl_sim.dir/device_spec.cpp.o" "gcc" "src/sim/CMakeFiles/skelcl_sim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/skelcl_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/skelcl_sim.dir/system.cpp.o.d"
+  "/root/repo/src/sim/thread_pool.cpp" "src/sim/CMakeFiles/skelcl_sim.dir/thread_pool.cpp.o" "gcc" "src/sim/CMakeFiles/skelcl_sim.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/skelcl_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/skelcl_sim.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

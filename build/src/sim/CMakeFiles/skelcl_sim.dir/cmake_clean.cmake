@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_sim.dir/device_spec.cpp.o"
+  "CMakeFiles/skelcl_sim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/skelcl_sim.dir/system.cpp.o"
+  "CMakeFiles/skelcl_sim.dir/system.cpp.o.d"
+  "CMakeFiles/skelcl_sim.dir/thread_pool.cpp.o"
+  "CMakeFiles/skelcl_sim.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/skelcl_sim.dir/timeline.cpp.o"
+  "CMakeFiles/skelcl_sim.dir/timeline.cpp.o.d"
+  "libskelcl_sim.a"
+  "libskelcl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_docl.dir/test_docl.cpp.o"
+  "CMakeFiles/test_docl.dir/test_docl.cpp.o.d"
+  "test_docl"
+  "test_docl.pdb"
+  "test_docl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_docl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

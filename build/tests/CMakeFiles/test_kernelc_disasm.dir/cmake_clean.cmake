@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelc_disasm.dir/test_kernelc_disasm.cpp.o"
+  "CMakeFiles/test_kernelc_disasm.dir/test_kernelc_disasm.cpp.o.d"
+  "test_kernelc_disasm"
+  "test_kernelc_disasm.pdb"
+  "test_kernelc_disasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelc_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelc_folding.dir/test_kernelc_folding.cpp.o"
+  "CMakeFiles/test_kernelc_folding.dir/test_kernelc_folding.cpp.o.d"
+  "test_kernelc_folding"
+  "test_kernelc_folding.pdb"
+  "test_kernelc_folding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelc_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

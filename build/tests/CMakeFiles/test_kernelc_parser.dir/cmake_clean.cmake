@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelc_parser.dir/test_kernelc_parser.cpp.o"
+  "CMakeFiles/test_kernelc_parser.dir/test_kernelc_parser.cpp.o.d"
+  "test_kernelc_parser"
+  "test_kernelc_parser.pdb"
+  "test_kernelc_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelc_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelc_preprocessor.dir/test_kernelc_preprocessor.cpp.o"
+  "CMakeFiles/test_kernelc_preprocessor.dir/test_kernelc_preprocessor.cpp.o.d"
+  "test_kernelc_preprocessor"
+  "test_kernelc_preprocessor.pdb"
+  "test_kernelc_preprocessor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelc_preprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

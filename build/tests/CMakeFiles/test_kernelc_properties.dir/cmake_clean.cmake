@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelc_properties.dir/test_kernelc_properties.cpp.o"
+  "CMakeFiles/test_kernelc_properties.dir/test_kernelc_properties.cpp.o.d"
+  "test_kernelc_properties"
+  "test_kernelc_properties.pdb"
+  "test_kernelc_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelc_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

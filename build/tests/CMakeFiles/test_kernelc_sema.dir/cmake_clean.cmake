@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelc_sema.dir/test_kernelc_sema.cpp.o"
+  "CMakeFiles/test_kernelc_sema.dir/test_kernelc_sema.cpp.o.d"
+  "test_kernelc_sema"
+  "test_kernelc_sema.pdb"
+  "test_kernelc_sema[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelc_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

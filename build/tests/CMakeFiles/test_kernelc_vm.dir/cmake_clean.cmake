@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernelc_vm.dir/test_kernelc_vm.cpp.o"
+  "CMakeFiles/test_kernelc_vm.dir/test_kernelc_vm.cpp.o.d"
+  "test_kernelc_vm"
+  "test_kernelc_vm.pdb"
+  "test_kernelc_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernelc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mandel.dir/test_mandel.cpp.o"
+  "CMakeFiles/test_mandel.dir/test_mandel.cpp.o.d"
+  "test_mandel"
+  "test_mandel.pdb"
+  "test_mandel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mandel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osem_extended.dir/test_osem_extended.cpp.o"
+  "CMakeFiles/test_osem_extended.dir/test_osem_extended.cpp.o.d"
+  "test_osem_extended"
+  "test_osem_extended.pdb"
+  "test_osem_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osem_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scuda.dir/test_scuda.cpp.o"
+  "CMakeFiles/test_scuda.dir/test_scuda.cpp.o.d"
+  "test_scuda"
+  "test_scuda.pdb"
+  "test_scuda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skeletons.dir/test_skeletons.cpp.o"
+  "CMakeFiles/test_skeletons.dir/test_skeletons.cpp.o.d"
+  "test_skeletons"
+  "test_skeletons.pdb"
+  "test_skeletons[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skeletons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skeletons_typing.dir/test_skeletons_typing.cpp.o"
+  "CMakeFiles/test_skeletons_typing.dir/test_skeletons_typing.cpp.o.d"
+  "test_skeletons_typing"
+  "test_skeletons_typing.pdb"
+  "test_skeletons_typing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skeletons_typing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

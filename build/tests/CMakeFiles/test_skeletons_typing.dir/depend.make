@@ -1,0 +1,2 @@
+# Empty dependencies file for test_skeletons_typing.
+# This may be replaced when dependencies are built.
