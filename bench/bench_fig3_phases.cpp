@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/detail/trace.hpp"
 #include "core/skelcl.hpp"
 #include "osem/osem.hpp"
 #include "osem/osem_kernels.hpp"
@@ -105,6 +106,9 @@ PhaseTimes measure(const OsemData& data, int gpus) {
 }  // namespace
 
 int main() {
+  // SKELCL_TRACE=out.json records every simulated command as a
+  // chrome://tracing timeline (docs/OBSERVABILITY.md).
+  skelcl::trace::enableFromEnv();
   OsemConfig cfg;
   cfg.volume.nx = cfg.volume.ny = cfg.volume.nz = 48;
   cfg.eventsPerSubset = 15000;
@@ -126,5 +130,8 @@ int main() {
   std::printf("\nstep 1 (the PSD compute phase) scales with GPUs; the redistribution\n"
               "phase is host-bound and does not -- the structural reason Figure 4b's\n"
               "speedup is sub-linear.\n");
+  if (skelcl::trace::flushToEnvPath()) {
+    std::printf("trace written to $SKELCL_TRACE (open in chrome://tracing)\n");
+  }
   return 0;
 }

@@ -12,11 +12,16 @@
 #include <cstring>
 #include <string>
 
+#include "core/detail/trace.hpp"
 #include "osem/osem.hpp"
 
 using namespace skelcl::osem;
 
 int main(int argc, char** argv) {
+  // SKELCL_TRACE=out.json (or --trace out.json) records every simulated
+  // command as a chrome://tracing timeline (docs/OBSERVABILITY.md).
+  skelcl::trace::enableFromEnv();
+  std::string tracePath;
   OsemConfig cfg;
   cfg.volume.nx = 48;
   cfg.volume.ny = 48;
@@ -30,6 +35,9 @@ int main(int argc, char** argv) {
       cfg.volume.nx = cfg.volume.ny = cfg.volume.nz = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--subsets") == 0) {
       cfg.numSubsets = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      tracePath = argv[i + 1];
+      skelcl::trace::enable();
     }
   }
 
@@ -69,5 +77,12 @@ int main(int argc, char** argv) {
   std::printf("  redistribution phase is host-bound and GPU pairs share PCIe links)\n");
   ok = ok && speedup > 1.3 && speedup < 4.0;
   std::printf("\nshape check: %s\n", ok ? "PASS" : "FAIL");
+  if (!tracePath.empty()) {
+    if (skelcl::trace::writeChromeTrace(tracePath)) {
+      std::printf("trace written to %s (open in chrome://tracing)\n", tracePath.c_str());
+    }
+  } else if (skelcl::trace::flushToEnvPath()) {
+    std::printf("trace written to $SKELCL_TRACE (open in chrome://tracing)\n");
+  }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,73 @@
+#include "core/detail/exec_graph.hpp"
+
+#include <algorithm>
+
+#include "core/detail/runtime.hpp"
+#include "core/detail/trace.hpp"
+
+namespace skelcl::detail {
+
+ExecGraph::NodeId ExecGraph::add(StageKind kind, int device, std::string label,
+                                 IssueFn issue, std::vector<NodeId> deps,
+                                 std::vector<ocl::Event> external) {
+  SKELCL_CHECK(!ran_, "ExecGraph: cannot record stages after run()");
+  for (const NodeId d : deps) {
+    SKELCL_CHECK(d < nodes_.size(), "ExecGraph: dependency on a later node");
+  }
+  nodes_.push_back(Node{kind, device, std::move(label), std::move(issue),
+                        std::move(deps), std::move(external), ocl::Event{}});
+  return nodes_.size() - 1;
+}
+
+void ExecGraph::run() {
+  SKELCL_CHECK(!ran_, "ExecGraph::run called twice");
+  ran_ = true;
+  const bool tracing = trace::enabled();
+  std::vector<ocl::Event> deps;
+  for (Node& node : nodes_) {
+    deps.assign(node.external.begin(), node.external.end());
+    for (const NodeId d : node.deps) deps.push_back(nodes_[d].event);
+    if (tracing) trace::Tracer::global().setContext(node.label);
+    node.event = node.issue(deps);
+    if (tracing && node.kind == StageKind::Host) {
+      trace::Record r;
+      r.kind = trace::Record::Kind::Host;
+      r.device = node.device;
+      r.start = node.event.profilingStart();
+      r.end = node.event.profilingEnd();
+      trace::record(std::move(r));  // name filled from the context label
+    }
+  }
+  if (tracing) trace::Tracer::global().clearContext();
+}
+
+const ocl::Event& ExecGraph::event(NodeId id) const {
+  SKELCL_CHECK(ran_ && id < nodes_.size(), "ExecGraph::event: unknown node");
+  return nodes_[id].event;
+}
+
+double ExecGraph::completionTime() const {
+  double t = 0.0;
+  for (const Node& node : nodes_) {
+    if (node.event.valid()) t = std::max(t, node.event.profilingEnd());
+  }
+  return t;
+}
+
+void ExecGraph::wait() {
+  SKELCL_CHECK(ran_, "ExecGraph::wait before run");
+  Runtime::instance().system().advanceHost(completionTime());
+}
+
+double ExecGraph::latestEnd(std::span<const ocl::Event> events) {
+  auto& system = Runtime::instance().system();
+  double t = system.hostNow();
+  for (const ocl::Event& e : events) {
+    if (e.valid() && e.epoch() == system.clockEpoch()) {
+      t = std::max(t, e.profilingEnd());
+    }
+  }
+  return t;
+}
+
+}  // namespace skelcl::detail

@@ -1,0 +1,86 @@
+// A small command-graph executor for multi-GPU skeleton plans (the paper's
+// Section III-C execution schemes as explicit DAGs).
+//
+// Skeleton implementations *record* typed stages (upload, kernel, download,
+// host fold) with explicit dependencies instead of interleaving enqueues
+// with host-blocking syncs.  run() then issues every stage in recorded
+// order — the skeletons record stage-outer / device-inner, so issue order is
+// breadth-first across devices — threading ocl::Event dependencies through,
+// and never blocks the host between stages.  The simulated host clock
+// advances only inside Host stages (which genuinely need device results) and
+// at wait(), the single sync point.  That is what lets device-local steps of
+// different GPUs overlap in simulated time where the previous per-device
+// loops serialized them.
+//
+// The engine is also the observability boundary: while tracing is enabled it
+// labels every issued command with its node's label (picked up by the queue
+// hook) and records Host stages itself.  See core/detail/trace.hpp.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ocl/queue.hpp"
+
+namespace skelcl::detail {
+
+/// What a graph node does; determines the trace record kind.
+enum class StageKind { Upload, Kernel, Download, Copy, Fill, Host };
+
+class ExecGraph {
+ public:
+  using NodeId = std::size_t;
+
+  /// Issues one command: receives the resolved dependency events and returns
+  /// the command's completion event.  Device stages forward the events to the
+  /// queue's `deps` span; Host stages advance the host clock past them
+  /// (ExecGraph::latestEnd) before computing.
+  using IssueFn = std::function<ocl::Event(std::span<const ocl::Event>)>;
+
+  /// Record a stage.  `deps` must name nodes recorded earlier in this graph;
+  /// `external` adds events produced outside it (e.g. a DevicePart's
+  /// lastWrite from a previous skeleton call).  `device` is -1 for Host.
+  NodeId add(StageKind kind, int device, std::string label, IssueFn issue,
+             std::vector<NodeId> deps = {}, std::vector<ocl::Event> external = {});
+
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Issue every recorded stage in dependency order without blocking the
+  /// host.  May be called once.
+  void run();
+
+  /// Completion event of a node (valid after run()).
+  const ocl::Event& event(NodeId id) const;
+
+  /// Simulated completion time of the whole graph: the latest event end
+  /// across all nodes (0.0 for an empty graph).
+  double completionTime() const;
+
+  /// The single host sync point: advance the simulated host clock to
+  /// completionTime(), like clWaitForEvents over every node.
+  void wait();
+
+  /// Latest profilingEnd among `events`, ignoring invalid events and events
+  /// from a previous clock epoch; at least the current host time.
+  static double latestEnd(std::span<const ocl::Event> events);
+
+ private:
+  struct Node {
+    StageKind kind;
+    int device;
+    std::string label;
+    IssueFn issue;
+    std::vector<NodeId> deps;
+    std::vector<ocl::Event> external;
+    ocl::Event event;
+  };
+
+  std::vector<Node> nodes_;
+  bool ran_ = false;
+};
+
+}  // namespace skelcl::detail

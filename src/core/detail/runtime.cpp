@@ -55,6 +55,7 @@ std::shared_ptr<const kc::CompiledProgram> Runtime::hostProgram(const std::strin
 
 void Runtime::setPartitionWeights(std::vector<double> weights) {
   weights_ = std::move(weights);
+  ++partition_epoch_;
 }
 
 }  // namespace skelcl::detail

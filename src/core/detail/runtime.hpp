@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/detail/trace.hpp"
 #include "kernelc/value.hpp"
 #include "ocl/ocl.hpp"
 
@@ -42,6 +43,12 @@ class Runtime {
   /// own (set by the static scheduler of Section V; empty = even split).
   void setPartitionWeights(std::vector<double> weights);
   const std::vector<double>& partitionWeights() const { return weights_; }
+  /// Bumped whenever the weights change; VectorData uses it to invalidate
+  /// cached partition plans.
+  std::uint64_t partitionEpoch() const { return partition_epoch_; }
+
+  /// The trace collector (process-wide; survives terminate/init cycles).
+  trace::Tracer& tracer() { return trace::Tracer::global(); }
 
  private:
   explicit Runtime(sim::SystemConfig config);
@@ -52,6 +59,7 @@ class Runtime {
   std::unordered_map<std::string, std::shared_ptr<ocl::Program>> programCache_;
   std::unordered_map<std::string, std::shared_ptr<const kc::CompiledProgram>> hostFnCache_;
   std::vector<double> weights_;
+  std::uint64_t partition_epoch_ = 0;
 
   static std::unique_ptr<Runtime> instance_;
 };

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "base/strings.hpp"
+#include "core/detail/exec_graph.hpp"
 #include "core/detail/runtime.hpp"
 #include "kernelc/vm.hpp"
 
@@ -17,6 +18,28 @@ Distribution effectiveDist(const Distribution& d) {
     if (!w.empty()) return Distribution::block(w);
   }
   return d;
+}
+
+/// lastWrite of `vector`'s part on `device`, appended to `deps` when valid —
+/// consumers depend on producers instead of blocking on them.
+void addPartDep(std::vector<ocl::Event>& deps, const VectorData* vector, int device) {
+  if (vector == nullptr) return;
+  const VectorData::DevicePart* part = vector->partOn(device);
+  if (part != nullptr && part->lastWrite.valid()) deps.push_back(part->lastWrite);
+}
+
+/// Producer events of every input of a kernel stage on `device`: the inputs
+/// themselves plus any vector additional arguments.
+std::vector<ocl::Event> inputDeps(int device, const VectorData* input1,
+                                  const VectorData* input2,
+                                  const std::vector<ExtraArg>& extras) {
+  std::vector<ocl::Event> deps;
+  addPartDep(deps, input1, device);
+  addPartDep(deps, input2, device);
+  for (const ExtraArg& e : extras) {
+    if (e.kind == ExtraArg::Kind::VectorRef) addPartDep(deps, e.vector, device);
+  }
+  return deps;
 }
 
 /// Deduplicated struct typedefs needed by the extra arguments.
@@ -240,28 +263,44 @@ void runElementwise(const std::string& userSource, VectorData* input1, VectorDat
   auto program = rt.programForSource(source);
   ocl::Kernel kernel(*program, "skelcl_kernel");
 
+  // One kernel stage per device, recorded breadth-first on the command
+  // graph: argument binding happens at issue time, dependencies are the
+  // producer events of the inputs, and nothing blocks the host.  (In the
+  // in-place case `output` aliases an input, so output.partOn is the right
+  // part either way.)
+  const char* stageName = input2 != nullptr ? "zip" : "map";
   const auto ranges = effectiveDist(dist).partition(n, rt.deviceCount());
-  bool launched = false;
+  ExecGraph g;
+  std::vector<std::pair<int, ExecGraph::NodeId>> launches;
   for (const PartRange& r : ranges) {
     if (r.size == 0) continue;
-    std::size_t arg = 0;
-    if (input1 != nullptr) {
-      kernel.setArg(arg++, *input1->partOn(r.device)->buffer);
-    }
-    if (input2 != nullptr) {
-      kernel.setArg(arg++, *input2->partOn(r.device)->buffer);
-    }
-    const VectorData::DevicePart* outPart =
-        inPlace ? (&output == input1 ? input1 : input2)->partOn(r.device)
-                : output.partOn(r.device);
-    kernel.setArg(arg++, *outPart->buffer);
-    kernel.setArg(arg++, static_cast<std::int32_t>(r.size));
-    kernel.setArg(arg++, static_cast<std::int32_t>(r.offset));
-    bindExtras(kernel, arg, extras, r.device);
-    rt.queue(r.device).enqueueNDRangeKernel(kernel, r.size);
-    launched = true;
+    launches.emplace_back(
+        r.device,
+        g.add(StageKind::Kernel, r.device,
+              stageName + (" dev" + std::to_string(r.device)),
+              [&, r](std::span<const ocl::Event> deps) {
+                std::size_t arg = 0;
+                if (input1 != nullptr) {
+                  kernel.setArg(arg++, *input1->partOn(r.device)->buffer);
+                }
+                if (input2 != nullptr) {
+                  kernel.setArg(arg++, *input2->partOn(r.device)->buffer);
+                }
+                kernel.setArg(arg++, *output.partOn(r.device)->buffer);
+                kernel.setArg(arg++, static_cast<std::int32_t>(r.size));
+                kernel.setArg(arg++, static_cast<std::int32_t>(r.offset));
+                bindExtras(kernel, arg, extras, r.device);
+                return rt.queue(r.device).enqueueNDRangeKernel(kernel, r.size, 0, deps);
+              },
+              {}, inputDeps(r.device, input1, input2, extras)));
   }
-  if (launched) output.markDevicesModified();
+  g.run();
+  if (!launches.empty()) {
+    for (const auto& [device, node] : launches) {
+      output.recordDeviceWrite(device, g.event(node));
+    }
+    output.markDevicesModified();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -294,75 +333,115 @@ kc::Slot runReduce(const std::string& userSource, VectorData& input,
   auto program = rt.programForSource(source);
   ocl::Kernel kernel(*program, "skelcl_reduce");
 
-  // Step 1: device-local reductions to small intermediate vectors
-  // (Section V explains why a single value per GPU would be wasteful).
-  struct Pending {
-    int device;
-    std::size_t numPartials;
-    std::unique_ptr<ocl::Buffer> partials;
-  };
-  std::vector<Pending> pending;
-
-  auto ranges = effectiveDist(input.distribution()).partition(input.count(), rt.deviceCount());
+  std::vector<PartRange> ranges = input.plannedPartition();
   if (input.distribution().kind() == Distribution::Kind::Copy) {
     // Every device holds the full data; reducing each copy would multiply
     // the result.  Reduce the first copy only.
     ranges.resize(1);
   }
+
+  // Step 1: device-local reductions to small intermediate vectors (Section V
+  // explains why a single value per GPU would be wasteful).  All step-1
+  // kernels are recorded before any gather, so they overlap across devices.
+  struct Pending {
+    int device = 0;
+    std::size_t numPartials = 0;
+    std::size_t chunk = 0;
+    std::size_t gatherOffset = 0;  ///< byte offset into `gathered`
+    std::unique_ptr<ocl::Buffer> partials;
+    ExecGraph::NodeId kernelNode = 0;
+  };
+  std::vector<Pending> pending;
+  std::size_t gatheredBytes = 0;
   for (const PartRange& r : ranges) {
     if (r.size == 0) continue;
     const auto cores = static_cast<std::size_t>(rt.device(r.device).spec().cores);
-    const std::size_t chunk = (r.size + 4 * cores - 1) / (4 * cores);
-    const std::size_t numPartials = (r.size + chunk - 1) / chunk;
-
     Pending p;
     p.device = r.device;
-    p.numPartials = numPartials;
+    p.chunk = (r.size + 4 * cores - 1) / (4 * cores);
+    p.numPartials = (r.size + p.chunk - 1) / p.chunk;
     p.partials = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
-                                               numPartials * input.elemSize());
-    kernel.setArg(0, *input.partOn(r.device)->buffer);
-    kernel.setArg(1, *p.partials);
-    kernel.setArg(2, static_cast<std::int32_t>(r.size));
-    kernel.setArg(3, static_cast<std::int32_t>(chunk));
-    bindExtras(kernel, 4, extras, r.device);
-    rt.queue(r.device).enqueueNDRangeKernel(kernel, numPartials);
+                                               p.numPartials * input.elemSize());
+    p.gatherOffset = gatheredBytes;
+    gatheredBytes += p.numPartials * input.elemSize();
     pending.push_back(std::move(p));
   }
+  SKELCL_CHECK(!pending.empty(), "reduce produced no device work");
 
-  // Step 2: gather the intermediate results on the CPU.
-  std::vector<std::byte> gathered;
-  for (const Pending& p : pending) {
-    const std::size_t offset = gathered.size();
-    gathered.resize(offset + p.numPartials * input.elemSize());
-    rt.queue(p.device).enqueueReadBuffer(*p.partials, 0, p.numPartials * input.elemSize(),
-                                         gathered.data() + offset, /*blocking=*/true);
+  ExecGraph g;
+  auto rangeOf = [&ranges](int device) -> const PartRange& {
+    for (const PartRange& r : ranges) {
+      if (r.device == device) return r;
+    }
+    throw UsageError("reduce: no part range for device");
+  };
+  for (Pending& p : pending) {
+    p.kernelNode = g.add(
+        StageKind::Kernel, p.device, "reduce step1 dev" + std::to_string(p.device),
+        [&, &p = p](std::span<const ocl::Event> deps) {
+          const PartRange& r = rangeOf(p.device);
+          kernel.setArg(0, *input.partOn(p.device)->buffer);
+          kernel.setArg(1, *p.partials);
+          kernel.setArg(2, static_cast<std::int32_t>(r.size));
+          kernel.setArg(3, static_cast<std::int32_t>(p.chunk));
+          bindExtras(kernel, 4, extras, p.device);
+          return rt.queue(p.device).enqueueNDRangeKernel(kernel, p.numPartials, 0, deps);
+        },
+        {}, inputDeps(p.device, &input, nullptr, extras));
+  }
+
+  // Step 2: gather the intermediate results on the CPU — one non-blocking
+  // read per device, dependent on that device's step-1 kernel, overlapping
+  // across PCIe links instead of serializing on the host.
+  std::vector<std::byte> gathered(gatheredBytes);
+  std::vector<ExecGraph::NodeId> gatherNodes;
+  for (Pending& p : pending) {
+    gatherNodes.push_back(g.add(
+        StageKind::Download, p.device, "reduce gather dev" + std::to_string(p.device),
+        [&, &p = p](std::span<const ocl::Event> deps) {
+          return rt.queue(p.device).enqueueReadBuffer(
+              *p.partials, 0, p.numPartials * input.elemSize(),
+              gathered.data() + p.gatherOffset, /*blocking=*/false, deps);
+        },
+        {p.kernelNode}));
   }
 
   // Step 3: the CPU folds the intermediate results (order preserved, so a
-  // non-commutative but associative operator is fine, paper II-A).
+  // non-commutative but associative operator is fine, paper II-A).  The host
+  // stage is the single sync point of the whole plan.
   const auto hostProgram = rt.hostProgram(userSource);
   const int fn = hostProgram->findFunction("func");
-  kc::Vm vm(*hostProgram, {});
-  const std::size_t total = gathered.size() / input.elemSize();
-  kc::Slot acc = slotFromBytes(input.elemKind(), gathered.data());
-  for (std::size_t i = 1; i < total; ++i) {
-    const kc::Slot x = slotFromBytes(input.elemKind(), gathered.data() + i * input.elemSize());
-    // Extra arguments are device-scoped; the host fold applies the bare
-    // binary operator (scalars are re-bound below if present).
-    if (extras.empty()) {
-      acc = vm.callFunction(fn, std::array<kc::Slot, 2>{acc, x});
-    } else {
-      std::vector<kc::Slot> args = {acc, x};
-      for (const ExtraArg& e : extras) {
-        SKELCL_CHECK(e.kind == ExtraArg::Kind::Scalar,
-                     "reduce supports only scalar additional arguments");
-        args.push_back(e.scalarIsFloat ? kc::Slot::fromFloat(e.scalarF)
-                                       : kc::Slot::fromInt(e.scalarI));
-      }
-      acc = vm.callFunction(fn, args);
-    }
-  }
-  rt.system().reserveHostCompute(gathered.size(), vm.instructionsExecuted());
+  kc::Slot acc{};
+  g.add(StageKind::Host, -1, "reduce host fold",
+        [&](std::span<const ocl::Event> deps) {
+          auto& system = rt.system();
+          system.advanceHost(ExecGraph::latestEnd(deps));
+          kc::Vm vm(*hostProgram, {});
+          const std::size_t total = gathered.size() / input.elemSize();
+          acc = slotFromBytes(input.elemKind(), gathered.data());
+          for (std::size_t i = 1; i < total; ++i) {
+            const kc::Slot x =
+                slotFromBytes(input.elemKind(), gathered.data() + i * input.elemSize());
+            // Extra arguments are device-scoped; the host fold applies the
+            // bare binary operator (scalars are re-bound if present).
+            if (extras.empty()) {
+              acc = vm.callFunction(fn, std::array<kc::Slot, 2>{acc, x});
+            } else {
+              std::vector<kc::Slot> args = {acc, x};
+              for (const ExtraArg& e : extras) {
+                SKELCL_CHECK(e.kind == ExtraArg::Kind::Scalar,
+                             "reduce supports only scalar additional arguments");
+                args.push_back(e.scalarIsFloat ? kc::Slot::fromFloat(e.scalarF)
+                                               : kc::Slot::fromInt(e.scalarI));
+              }
+              acc = vm.callFunction(fn, args);
+            }
+          }
+          const auto span = system.reserveHostCompute(gathered.size(), vm.instructionsExecuted());
+          return ocl::Event(span.start, span.end, system.clockEpoch());
+        },
+        gatherNodes);
+  g.run();
   return acc;
 }
 
@@ -415,95 +494,172 @@ void runScan(const std::string& userSource, VectorData& input, VectorData& outpu
 
   const auto hostProgram = rt.hostProgram(userSource);
   const int fn = hostProgram->findFunction("func");
-  kc::Vm vm(*hostProgram, {});
   const ElemKind kind = input.elemKind();
   const std::size_t elem = input.elemSize();
 
-  const auto ranges = effectiveDist(dist).partition(input.count(), rt.deviceCount());
+  const auto& ranges = input.plannedPartition();
   const bool crossDevice = dist.kind() == Distribution::Kind::Block;
 
-  bool haveDeviceOffset = false;
-  kc::Slot deviceOffset{};  // fold of the totals of all previous devices
-
+  // The Figure 2 pipeline as a command graph (paper III-C): step 1 is
+  // recorded on *every* device before any block-sum download, the downloads
+  // overlap across PCIe links, one host stage computes every device's
+  // offsets (it is the only stage needing cross-device data), and the offset
+  // uploads plus step-4 maps again run breadth-first.  The old per-device
+  // loop blocked the host between each device's steps and serialized the
+  // whole pipeline ~deviceCount times.
+  struct DeviceScan {
+    PartRange range;
+    std::size_t chunk = 0;
+    std::size_t numChunks = 0;
+    std::unique_ptr<ocl::Buffer> sums;
+    std::unique_ptr<ocl::Buffer> offsets;
+    std::vector<std::byte> hostSums;
+    std::vector<std::byte> hostOffsets;
+    bool skipFirst = true;  ///< decided by the host stage
+    ExecGraph::NodeId step1 = 0;
+  };
+  std::vector<DeviceScan> devs;
   for (const PartRange& r : ranges) {
     if (r.size == 0) continue;
+    DeviceScan d;
+    d.range = r;
     const auto cores = static_cast<std::size_t>(rt.device(r.device).spec().cores);
-    const std::size_t chunk = (r.size + 4 * cores - 1) / (4 * cores);
-    const std::size_t numChunks = (r.size + chunk - 1) / chunk;
-
-    // Step 1: every GPU scans its local part independently.
-    ocl::Buffer sums(rt.context(), rt.device(r.device), numChunks * elem);
-    const VectorData::DevicePart* inPart = input.partOn(r.device);
-    const VectorData::DevicePart* outPart = inPlace ? inPart : output.partOn(r.device);
-    scanChunks.setArg(0, *inPart->buffer);
-    scanChunks.setArg(1, *outPart->buffer);
-    scanChunks.setArg(2, sums);
-    scanChunks.setArg(3, static_cast<std::int32_t>(chunk));
-    scanChunks.setArg(4, static_cast<std::int32_t>(r.size));
-    rt.queue(r.device).enqueueNDRangeKernel(scanChunks, numChunks);
-
-    // Step 2: download the block sums.
-    std::vector<std::byte> hostSums(numChunks * elem);
-    rt.queue(r.device).enqueueReadBuffer(sums, 0, hostSums.size(), hostSums.data(),
-                                         /*blocking=*/true);
-
-    // Step 3: compute combined offsets on the host (device offset folded with
-    // the exclusive prefix of the chunk sums).
-    std::vector<std::byte> hostOffsets(numChunks * elem);
-    bool haveChunkOffset = false;
-    kc::Slot chunkOffset{};
-    for (std::size_t w = 0; w < numChunks; ++w) {
-      kc::Slot combined{};
-      bool haveCombined = false;
-      if (crossDevice && haveDeviceOffset && haveChunkOffset) {
-        combined = vm.callFunction(fn, std::array<kc::Slot, 2>{deviceOffset, chunkOffset});
-        haveCombined = true;
-      } else if (crossDevice && haveDeviceOffset) {
-        combined = deviceOffset;
-        haveCombined = true;
-      } else if (haveChunkOffset) {
-        combined = chunkOffset;
-        haveCombined = true;
-      }
-      if (haveCombined) {
-        slotToBytes(kind, combined, hostOffsets.data() + w * elem);
-      } else {
-        // chunk 0 of the first device: no offset (skipped by the kernel)
-        std::memset(hostOffsets.data(), 0, elem);
-      }
-      // fold this chunk's total into the running chunk offset
-      const kc::Slot sum = slotFromBytes(kind, hostSums.data() + w * elem);
-      chunkOffset = haveChunkOffset
-                        ? vm.callFunction(fn, std::array<kc::Slot, 2>{chunkOffset, sum})
-                        : sum;
-      haveChunkOffset = true;
-    }
-
-    // Step 4: an implicitly created map combines the offsets in (paper
-    // Figure 2, bottom); it runs on every device, skipping only the very
-    // first chunk of the first device.
-    const bool skipFirst = !(crossDevice && haveDeviceOffset);
-    ocl::Buffer offsets(rt.context(), rt.device(r.device), hostOffsets.size());
-    rt.queue(r.device).enqueueWriteBuffer(offsets, 0, hostOffsets.size(), hostOffsets.data());
-    scanAdd.setArg(0, *outPart->buffer);
-    scanAdd.setArg(1, offsets);
-    scanAdd.setArg(2, static_cast<std::int32_t>(chunk));
-    scanAdd.setArg(3, static_cast<std::int32_t>(r.size));
-    scanAdd.setArg(4, static_cast<std::int32_t>(skipFirst ? 1 : 0));
-    rt.queue(r.device).enqueueNDRangeKernel(scanAdd, numChunks);
-    rt.queue(r.device).finish();
-
-    // the device's total feeds the next device's offset
-    if (crossDevice) {
-      const kc::Slot total = chunkOffset;  // fold of all chunk sums
-      deviceOffset = haveDeviceOffset
-                         ? vm.callFunction(fn, std::array<kc::Slot, 2>{deviceOffset, total})
-                         : total;
-      haveDeviceOffset = true;
-    }
+    d.chunk = (r.size + 4 * cores - 1) / (4 * cores);
+    d.numChunks = (r.size + d.chunk - 1) / d.chunk;
+    d.sums = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
+                                           d.numChunks * elem);
+    d.offsets = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
+                                              d.numChunks * elem);
+    d.hostSums.resize(d.numChunks * elem);
+    d.hostOffsets.resize(d.numChunks * elem);
+    devs.push_back(std::move(d));
   }
 
-  rt.system().reserveHostCompute(input.count() / 64 + 64, vm.instructionsExecuted());
+  ExecGraph g;
+  std::uint64_t hostInstructions = 0;
+
+  // Step 1: every GPU scans its local part independently.
+  for (DeviceScan& d : devs) {
+    const int dev = d.range.device;
+    d.step1 = g.add(
+        StageKind::Kernel, dev, "scan step1 dev" + std::to_string(dev),
+        [&, &d = d, dev](std::span<const ocl::Event> deps) {
+          const VectorData::DevicePart* inPart = input.partOn(dev);
+          const VectorData::DevicePart* outPart = inPlace ? inPart : output.partOn(dev);
+          scanChunks.setArg(0, *inPart->buffer);
+          scanChunks.setArg(1, *outPart->buffer);
+          scanChunks.setArg(2, *d.sums);
+          scanChunks.setArg(3, static_cast<std::int32_t>(d.chunk));
+          scanChunks.setArg(4, static_cast<std::int32_t>(d.range.size));
+          return rt.queue(dev).enqueueNDRangeKernel(scanChunks, d.numChunks, 0, deps);
+        },
+        {}, inputDeps(dev, &input, nullptr, {}));
+  }
+
+  // Step 2: download every device's block sums (overlapping reads).
+  std::vector<ExecGraph::NodeId> sumReads;
+  for (DeviceScan& d : devs) {
+    const int dev = d.range.device;
+    sumReads.push_back(g.add(
+        StageKind::Download, dev, "scan sums dev" + std::to_string(dev),
+        [&, &d = d, dev](std::span<const ocl::Event> deps) {
+          return rt.queue(dev).enqueueReadBuffer(*d.sums, 0, d.hostSums.size(),
+                                                 d.hostSums.data(), /*blocking=*/false, deps);
+        },
+        {d.step1}));
+  }
+
+  // Step 3: one host stage computes the combined offsets of every device:
+  // the fold of all previous devices' totals combined with the exclusive
+  // prefix of the local chunk sums.
+  const ExecGraph::NodeId offsetsNode = g.add(
+      StageKind::Host, -1, "scan offsets host",
+      [&](std::span<const ocl::Event> deps) {
+        auto& system = rt.system();
+        system.advanceHost(ExecGraph::latestEnd(deps));
+        kc::Vm vm(*hostProgram, {});
+        bool haveDeviceOffset = false;
+        kc::Slot deviceOffset{};  // fold of the totals of all previous devices
+        for (DeviceScan& d : devs) {
+          bool haveChunkOffset = false;
+          kc::Slot chunkOffset{};
+          for (std::size_t w = 0; w < d.numChunks; ++w) {
+            kc::Slot combined{};
+            bool haveCombined = false;
+            if (crossDevice && haveDeviceOffset && haveChunkOffset) {
+              combined = vm.callFunction(fn, std::array<kc::Slot, 2>{deviceOffset, chunkOffset});
+              haveCombined = true;
+            } else if (crossDevice && haveDeviceOffset) {
+              combined = deviceOffset;
+              haveCombined = true;
+            } else if (haveChunkOffset) {
+              combined = chunkOffset;
+              haveCombined = true;
+            }
+            if (haveCombined) {
+              slotToBytes(kind, combined, d.hostOffsets.data() + w * elem);
+            } else {
+              // chunk 0 of the first device: no offset (skipped by the kernel)
+              std::memset(d.hostOffsets.data() + w * elem, 0, elem);
+            }
+            // fold this chunk's total into the running chunk offset
+            const kc::Slot sum = slotFromBytes(kind, d.hostSums.data() + w * elem);
+            chunkOffset = haveChunkOffset
+                              ? vm.callFunction(fn, std::array<kc::Slot, 2>{chunkOffset, sum})
+                              : sum;
+            haveChunkOffset = true;
+          }
+          // The step-4 map skips only the very first chunk of the first
+          // device (paper Figure 2, bottom).
+          d.skipFirst = !(crossDevice && haveDeviceOffset);
+          // the device's total feeds the next device's offset
+          if (crossDevice) {
+            deviceOffset = haveDeviceOffset
+                               ? vm.callFunction(fn, std::array<kc::Slot, 2>{deviceOffset,
+                                                                             chunkOffset})
+                               : chunkOffset;
+            haveDeviceOffset = true;
+          }
+        }
+        hostInstructions = vm.instructionsExecuted();
+        const auto span =
+            system.reserveHostCompute(input.count() / 64 + 64, hostInstructions);
+        return ocl::Event(span.start, span.end, system.clockEpoch());
+      },
+      sumReads);
+
+  // Step 4: upload the offsets and run the implicitly created map on every
+  // device (paper Figure 2, bottom).
+  std::vector<std::pair<int, ExecGraph::NodeId>> step4;
+  for (DeviceScan& d : devs) {
+    const int dev = d.range.device;
+    const ExecGraph::NodeId up = g.add(
+        StageKind::Upload, dev, "scan offsets dev" + std::to_string(dev),
+        [&, &d = d, dev](std::span<const ocl::Event> deps) {
+          return rt.queue(dev).enqueueWriteBuffer(*d.offsets, 0, d.hostOffsets.size(),
+                                                  d.hostOffsets.data(), /*blocking=*/false,
+                                                  deps);
+        },
+        {offsetsNode});
+    step4.emplace_back(dev, g.add(
+        StageKind::Kernel, dev, "scan step2 dev" + std::to_string(dev),
+        [&, &d = d, dev](std::span<const ocl::Event> deps) {
+          const VectorData::DevicePart* outPart =
+              inPlace ? input.partOn(dev) : output.partOn(dev);
+          scanAdd.setArg(0, *outPart->buffer);
+          scanAdd.setArg(1, *d.offsets);
+          scanAdd.setArg(2, static_cast<std::int32_t>(d.chunk));
+          scanAdd.setArg(3, static_cast<std::int32_t>(d.range.size));
+          scanAdd.setArg(4, static_cast<std::int32_t>(d.skipFirst ? 1 : 0));
+          return rt.queue(dev).enqueueNDRangeKernel(scanAdd, d.numChunks, 0, deps);
+        },
+        {up, d.step1}));
+  }
+
+  g.run();
+  for (const auto& [dev, node] : step4) {
+    (inPlace ? input : output).recordDeviceWrite(dev, g.event(node));
+  }
   output.markDevicesModified();
 }
 

@@ -1,0 +1,195 @@
+#include "core/detail/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "ocl/queue.hpp"
+
+namespace skelcl::trace {
+
+namespace {
+
+Record::Kind kindOf(ocl::CommandInfo::Kind kind) {
+  switch (kind) {
+    case ocl::CommandInfo::Kind::Write: return Record::Kind::Upload;
+    case ocl::CommandInfo::Kind::Read: return Record::Kind::Download;
+    case ocl::CommandInfo::Kind::Copy: return Record::Kind::Copy;
+    case ocl::CommandInfo::Kind::Fill: return Record::Kind::Fill;
+    case ocl::CommandInfo::Kind::Kernel: return Record::Kind::Kernel;
+  }
+  return Record::Kind::Kernel;
+}
+
+/// The queue-layer hook: one Record per enqueued command.
+void queueCommandHook(const ocl::CommandInfo& info, const ocl::Event& event) {
+  Record r;
+  r.kind = kindOf(info.kind);
+  r.device = info.device;
+  r.bytes = info.bytes;
+  r.workItems = info.workItems;
+  r.start = event.profilingStart();
+  r.end = event.profilingEnd();
+  if (info.kernelName != nullptr) r.name = info.kernelName;
+  Tracer::global().record(std::move(r));
+}
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+constexpr int kHostTid = 9999;  ///< chrome "thread" id used for host records
+
+}  // namespace
+
+const char* kindName(Record::Kind kind) {
+  switch (kind) {
+    case Record::Kind::Upload: return "upload";
+    case Record::Kind::Download: return "download";
+    case Record::Kind::Copy: return "copy";
+    case Record::Kind::Fill: return "fill";
+    case Record::Kind::Kernel: return "kernel";
+    case Record::Kind::Host: return "host";
+  }
+  return "?";
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    enabled_ = true;
+  }
+  ocl::setCommandHook(&queueCommandHook);
+}
+
+void Tracer::disable() {
+  ocl::setCommandHook(nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = false;
+}
+
+bool Tracer::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+void Tracer::record(Record r) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  if (!context_.empty()) r.name = context_;
+  if (r.name.empty()) r.name = kindName(r.kind);
+  records_.push_back(std::move(r));
+}
+
+std::vector<Record> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void Tracer::setContext(std::string label) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  context_ = std::move(label);
+}
+
+void Tracer::clearContext() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  context_.clear();
+}
+
+bool Tracer::writeChromeTrace(const std::string& path) const {
+  const std::vector<Record> records = snapshot();
+
+  std::string json = "{\"traceEvents\":[\n";
+  json +=
+      "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"SkelCL simulated system\"}}";
+  std::set<int> tids;
+  for (const Record& r : records) tids.insert(r.device < 0 ? kHostTid : r.device);
+  for (const int tid : tids) {
+    json += ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+            ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json += tid == kHostTid ? "host CPU" : ("GPU " + std::to_string(tid));
+    json += "\"}}";
+  }
+  char buf[64];
+  for (const Record& r : records) {
+    json += ",\n{\"name\":";
+    appendJsonString(json, r.name);
+    json += ",\"cat\":\"";
+    json += kindName(r.kind);
+    json += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+    json += std::to_string(r.device < 0 ? kHostTid : r.device);
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f", r.start * 1e6,
+                  (r.end - r.start) * 1e6);
+    json += buf;
+    json += ",\"args\":{\"bytes\":" + std::to_string(r.bytes) +
+            ",\"workItems\":" + std::to_string(r.workItems) + "}}";
+  }
+  json += "\n]}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void enable() { Tracer::global().enable(); }
+void disable() { Tracer::global().disable(); }
+bool enabled() { return Tracer::global().enabled(); }
+void clear() { Tracer::global().clear(); }
+void record(Record r) { Tracer::global().record(std::move(r)); }
+std::vector<Record> snapshot() { return Tracer::global().snapshot(); }
+bool writeChromeTrace(const std::string& path) {
+  return Tracer::global().writeChromeTrace(path);
+}
+
+namespace {
+std::string g_env_path;
+}
+
+bool enableFromEnv() {
+  const char* path = std::getenv("SKELCL_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  g_env_path = path;
+  enable();
+  return true;
+}
+
+bool flushToEnvPath() {
+  if (g_env_path.empty()) return false;
+  return writeChromeTrace(g_env_path);
+}
+
+}  // namespace skelcl::trace

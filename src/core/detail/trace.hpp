@@ -1,0 +1,93 @@
+// Observability for the simulated execution: per-command trace records and a
+// chrome://tracing JSON exporter.
+//
+// Device-side commands (uploads, downloads, copies, fills, kernel launches)
+// arrive through the ocl::CommandQueue observability hook, which the tracer
+// installs while enabled; host-side stages (reduce folds, scan offset
+// computation, copy combining) are recorded directly by the ExecGraph
+// engine.  When tracing is disabled the hook is null and the only cost is
+// one relaxed atomic load per enqueue.
+//
+// Typical use (see docs/OBSERVABILITY.md):
+//
+//   skelcl::trace::enable();                  // or SKELCL_TRACE=out.json
+//   ... run skeletons ...
+//   skelcl::trace::writeChromeTrace("out.json");
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace skelcl::trace {
+
+/// One simulated command: what ran, where, how big, and its simulated
+/// [start, end) interval (Event::profilingStart/End).
+struct Record {
+  enum class Kind { Upload, Download, Copy, Fill, Kernel, Host };
+  Kind kind = Kind::Kernel;
+  int device = -1;              ///< device id; -1 = host CPU
+  std::uint64_t bytes = 0;      ///< transfer/fill size (0 for kernels)
+  std::uint64_t workItems = 0;  ///< kernel global size (0 for transfers)
+  double start = 0.0;           ///< simulated seconds
+  double end = 0.0;
+  std::string name;             ///< stage label, or the kernel/command name
+};
+
+/// "upload", "download", "copy", "fill", "kernel", "host".
+const char* kindName(Record::Kind kind);
+
+/// The process-wide trace collector.  Lives outside the Runtime so traces
+/// survive init/terminate cycles (benchmarks re-init per configuration);
+/// reachable as Runtime::tracer() or via the free functions below.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Start collecting; installs the queue-layer command hook.  Idempotent.
+  void enable();
+  /// Stop collecting and uninstall the hook.  Records are kept.
+  void disable();
+  bool enabled() const;
+
+  void clear();
+  /// Append a record (no-op while disabled).
+  void record(Record r);
+  std::vector<Record> snapshot() const;
+  std::size_t size() const;
+
+  /// Label attached to queue-hook records issued while it is set (the
+  /// ExecGraph engine sets it to the current node's label).
+  void setContext(std::string label);
+  void clearContext();
+
+  /// Write every record as a chrome://tracing "traceEvents" JSON file
+  /// (complete "X" events, one per command; ts/dur in microseconds).
+  bool writeChromeTrace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  bool enabled_ = false;
+  std::vector<Record> records_;
+  std::string context_;
+};
+
+// --- convenience free functions over Tracer::global() ----------------------
+
+void enable();
+void disable();
+bool enabled();
+void clear();
+void record(Record r);
+std::vector<Record> snapshot();
+bool writeChromeTrace(const std::string& path);
+
+/// If the SKELCL_TRACE environment variable names a file, enable tracing
+/// and remember the path.  Returns true when tracing was enabled.
+bool enableFromEnv();
+/// Write the collected trace to the path remembered by enableFromEnv()
+/// (no-op when SKELCL_TRACE was unset).  Returns true on a successful write.
+bool flushToEnvPath();
+
+}  // namespace skelcl::trace

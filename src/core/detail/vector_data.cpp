@@ -3,7 +3,9 @@
 #include <array>
 #include <cstring>
 
+#include "core/detail/exec_graph.hpp"
 #include "core/detail/runtime.hpp"
+#include "core/detail/skeleton_exec.hpp"
 #include "kernelc/vm.hpp"
 
 namespace skelcl::detail {
@@ -23,9 +25,15 @@ Distribution VectorData::effective(const Distribution& d) const {
   return d;
 }
 
-std::vector<PartRange> VectorData::plannedPartition() {
+const std::vector<PartRange>& VectorData::plannedPartition() {
   SKELCL_CHECK(requested_.isSet(), "vector has no distribution");
-  return effective(requested_).partition(count_, Runtime::instance().deviceCount());
+  auto& rt = Runtime::instance();
+  if (!planned_valid_ || planned_epoch_ != rt.partitionEpoch()) {
+    planned_ = effective(requested_).partition(count_, rt.deviceCount());
+    planned_valid_ = true;
+    planned_epoch_ = rt.partitionEpoch();
+  }
+  return planned_;
 }
 
 std::size_t VectorData::partSizeOn(int device) {
@@ -56,15 +64,19 @@ std::byte* VectorData::hostWrite() {
 void VectorData::setDistribution(Distribution dist) {
   SKELCL_CHECK(dist.isSet(), "cannot set an empty distribution");
   requested_ = std::move(dist);
+  planned_valid_ = false;
 }
 
 void VectorData::defaultDistribution(const Distribution& dist) {
-  if (!requested_.isSet()) requested_ = dist;
+  if (!requested_.isSet()) {
+    requested_ = dist;
+    planned_valid_ = false;
+  }
 }
 
 bool VectorData::partsMatchRequested() {
   if (!devices_valid_) return false;
-  const auto want = effective(requested_).partition(count_, Runtime::instance().deviceCount());
+  const auto& want = plannedPartition();
   if (want.size() != parts_.size()) return false;
   for (std::size_t i = 0; i < want.size(); ++i) {
     if (want[i].device != parts_[i].device || want[i].offset != parts_[i].offset ||
@@ -96,8 +108,7 @@ const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevicesNoUpload()
 void VectorData::materializeParts(bool upload) {
   auto& rt = Runtime::instance();
   parts_.clear();
-  const auto ranges = effective(requested_).partition(count_, rt.deviceCount());
-  for (const PartRange& r : ranges) {
+  for (const PartRange& r : plannedPartition()) {
     DevicePart part;
     part.device = r.device;
     part.offset = r.offset;
@@ -105,27 +116,57 @@ void VectorData::materializeParts(bool upload) {
     if (r.size > 0) {
       part.buffer = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
                                                   r.size * elem_size_);
-      if (upload) {
-        rt.queue(r.device).enqueueWriteBuffer(*part.buffer, 0, r.size * elem_size_,
-                                              host_.data() + r.offset * elem_size_);
-      }
     }
     parts_.push_back(std::move(part));
   }
-  // Uploads are asynchronous in simulated time; correctness of later kernel
-  // launches is preserved by the in-order per-device queues.
+  if (upload) {
+    // All uploads are issued breadth-first across the devices; parts behind
+    // different PCIe links overlap in simulated time, and nothing blocks the
+    // host.  Consumers order themselves after lastWrite (or, on the same
+    // device, after the in-order queue).
+    ExecGraph g;
+    std::vector<std::pair<DevicePart*, ExecGraph::NodeId>> uploads;
+    for (DevicePart& part : parts_) {
+      if (part.size == 0) continue;
+      const ExecGraph::NodeId id = g.add(
+          StageKind::Upload, part.device, "upload dev" + std::to_string(part.device),
+          [this, &rt, &part](std::span<const ocl::Event> deps) {
+            return rt.queue(part.device)
+                .enqueueWriteBuffer(*part.buffer, 0, part.size * elem_size_,
+                                    host_.data() + part.offset * elem_size_,
+                                    /*blocking=*/false, deps);
+          });
+      uploads.emplace_back(&part, id);
+    }
+    g.run();
+    for (const auto& [part, id] : uploads) part->lastWrite = g.event(id);
+  }
   current_ = requested_;
   devices_valid_ = true;
 }
 
 void VectorData::downloadParts() {
   auto& rt = Runtime::instance();
-  for (const DevicePart& part : parts_) {
+  // One download per part, all issued before the single host sync: reads
+  // from devices on different links overlap instead of serializing on the
+  // host as per-part blocking reads did.
+  ExecGraph g;
+  for (DevicePart& part : parts_) {
     if (part.size == 0) continue;
-    rt.queue(part.device)
-        .enqueueReadBuffer(*part.buffer, 0, part.size * elem_size_,
-                           host_.data() + part.offset * elem_size_, /*blocking=*/true);
+    std::vector<ocl::Event> deps;
+    if (part.lastWrite.valid()) deps.push_back(part.lastWrite);
+    g.add(
+        StageKind::Download, part.device, "download dev" + std::to_string(part.device),
+        [this, &rt, &part](std::span<const ocl::Event> d) {
+          return rt.queue(part.device)
+              .enqueueReadBuffer(*part.buffer, 0, part.size * elem_size_,
+                                 host_.data() + part.offset * elem_size_,
+                                 /*blocking=*/false, d);
+        },
+        {}, std::move(deps));
   }
+  g.run();
+  g.wait();
 }
 
 void VectorData::ensureHostValid() {
@@ -143,93 +184,70 @@ void VectorData::combineCopiesToHost() {
   auto& rt = Runtime::instance();
   SKELCL_CHECK(!parts_.empty(), "copy distribution without parts");
 
-  // Download the first device's copy into host memory.
-  const DevicePart& first = parts_.front();
-  if (first.size > 0) {
-    rt.queue(first.device)
-        .enqueueReadBuffer(*first.buffer, 0, first.size * elem_size_, host_.data(),
-                           /*blocking=*/true);
-  }
-  if (!current_.hasCombine() || parts_.size() < 2 || count_ == 0) {
-    // Paper III-A: without a combine function, the first device's copy is
-    // the new version; other copies are discarded.
-    return;
+  const bool combine = current_.hasCombine() && parts_.size() >= 2 && count_ > 0;
+  if (combine) {
+    SKELCL_CHECK(elem_kind_ != ElemKind::Other,
+                 "combine functions require scalar element types");
   }
 
-  SKELCL_CHECK(elem_kind_ != ElemKind::Other,
-               "combine functions require scalar element types");
-
-  // Fold the remaining copies element-wise with the user's binary function.
-  const auto program = rt.hostProgram(current_.combineSource());
-  const int fn = program->findFunction("func");
-  kc::Vm vm(*program, {});
-  std::vector<std::byte> other(bytes());
-
-  const bool floating = elem_kind_ == ElemKind::F32 || elem_kind_ == ElemKind::F64;
-  for (std::size_t p = 1; p < parts_.size(); ++p) {
-    rt.queue(parts_[p].device)
-        .enqueueReadBuffer(*parts_[p].buffer, 0, bytes(), other.data(), /*blocking=*/true);
-    for (std::size_t i = 0; i < count_; ++i) {
-      kc::Slot a, b;
-      const std::byte* pa = host_.data() + i * elem_size_;
-      const std::byte* pb = other.data() + i * elem_size_;
-      switch (elem_kind_) {
-        case ElemKind::F32: {
-          float fa, fb;
-          std::memcpy(&fa, pa, 4);
-          std::memcpy(&fb, pb, 4);
-          a = kc::Slot::fromFloat(fa);
-          b = kc::Slot::fromFloat(fb);
-          break;
-        }
-        case ElemKind::F64: {
-          double fa, fb;
-          std::memcpy(&fa, pa, 8);
-          std::memcpy(&fb, pb, 8);
-          a = kc::Slot::fromFloat(fa);
-          b = kc::Slot::fromFloat(fb);
-          break;
-        }
-        case ElemKind::I32:
-        case ElemKind::U32: {
-          std::int32_t ia, ib;
-          std::memcpy(&ia, pa, 4);
-          std::memcpy(&ib, pb, 4);
-          a = kc::Slot::fromInt(ia);
-          b = kc::Slot::fromInt(ib);
-          break;
-        }
-        case ElemKind::Other:
-          break;
-      }
-      const kc::Slot r = vm.callFunction(fn, std::array<kc::Slot, 2>{a, b});
-      std::byte* out = host_.data() + i * elem_size_;
-      switch (elem_kind_) {
-        case ElemKind::F32: {
-          const float v = static_cast<float>(r.f);
-          std::memcpy(out, &v, 4);
-          break;
-        }
-        case ElemKind::F64:
-          std::memcpy(out, &r.f, 8);
-          break;
-        case ElemKind::I32:
-        case ElemKind::U32: {
-          const std::int32_t v = static_cast<std::int32_t>(r.i);
-          std::memcpy(out, &v, 4);
-          break;
-        }
-        case ElemKind::Other:
-          break;
-      }
+  // Download the first device's copy into host memory and — when a combine
+  // function exists — every other copy into a staging buffer, all overlapped
+  // before the host fold (the only stage that needs them together).
+  ExecGraph g;
+  std::vector<ExecGraph::NodeId> reads;
+  std::vector<std::vector<std::byte>> staged(parts_.size());
+  for (std::size_t p = 0; p < parts_.size(); ++p) {
+    DevicePart& part = parts_[p];
+    if (part.size == 0 || (p > 0 && !combine)) continue;
+    std::byte* dst = host_.data();
+    if (p > 0) {
+      staged[p].resize(bytes());
+      dst = staged[p].data();
     }
-    (void)floating;
+    std::vector<ocl::Event> deps;
+    if (part.lastWrite.valid()) deps.push_back(part.lastWrite);
+    reads.push_back(g.add(
+        StageKind::Download, part.device, "combine download dev" + std::to_string(part.device),
+        [this, &rt, &part, dst](std::span<const ocl::Event> d) {
+          return rt.queue(part.device)
+              .enqueueReadBuffer(*part.buffer, 0, bytes(), dst, /*blocking=*/false, d);
+        },
+        {}, std::move(deps)));
   }
-  // The element-wise fold runs on the host CPU; charge it once.
-  rt.system().reserveHostCompute(2 * bytes() * (parts_.size() - 1),
-                                 vm.instructionsExecuted());
-  // The device copies now disagree with the combined host version.
-  devices_valid_ = false;
+
+  if (combine) {
+    // Fold the remaining copies element-wise with the user's binary function
+    // on the host (paper III-A).
+    const auto program = rt.hostProgram(current_.combineSource());
+    const int fn = program->findFunction("func");
+    g.add(StageKind::Host, -1, "combine copies host fold",
+          [this, &rt, &staged, program, fn](std::span<const ocl::Event> deps) {
+            auto& system = rt.system();
+            system.advanceHost(ExecGraph::latestEnd(deps));
+            kc::Vm vm(*program, {});
+            for (std::size_t p = 1; p < parts_.size(); ++p) {
+              const std::byte* other = staged[p].data();
+              for (std::size_t i = 0; i < count_; ++i) {
+                std::byte* out = host_.data() + i * elem_size_;
+                const kc::Slot a = slotFromBytes(elem_kind_, out);
+                const kc::Slot b = slotFromBytes(elem_kind_, other + i * elem_size_);
+                const kc::Slot r = vm.callFunction(fn, std::array<kc::Slot, 2>{a, b});
+                slotToBytes(elem_kind_, r, out);
+              }
+            }
+            const auto span = system.reserveHostCompute(2 * bytes() * (parts_.size() - 1),
+                                                        vm.instructionsExecuted());
+            return ocl::Event(span.start, span.end, system.clockEpoch());
+          },
+          reads);
+  }
+  g.run();
+  g.wait();
+
+  // With a combine, the device copies now disagree with the combined host
+  // version; without one, the first device's copy is the new version and the
+  // others are simply discarded (paper III-A).
+  if (combine) devices_valid_ = false;
 }
 
 const VectorData::DevicePart* VectorData::partOn(int device) const {
@@ -237,6 +255,16 @@ const VectorData::DevicePart* VectorData::partOn(int device) const {
     if (p.device == device) return &p;
   }
   return nullptr;
+}
+
+void VectorData::recordDeviceWrite(int device, const ocl::Event& event) {
+  for (DevicePart& p : parts_) {
+    if (p.device == device) {
+      p.lastWrite = event;
+      return;
+    }
+  }
+  SKELCL_CHECK(false, "recordDeviceWrite: no part on this device");
 }
 
 void VectorData::markDevicesModified() {

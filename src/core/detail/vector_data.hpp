@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -43,8 +44,11 @@ class VectorData {
   void defaultDistribution(const Distribution& dist);
   const Distribution& distribution() const { return requested_; }
 
-  /// The partition the vector will use (respecting runtime scheduler weights).
-  std::vector<PartRange> plannedPartition();
+  /// The partition the vector will use (respecting runtime scheduler
+  /// weights).  Cached: recomputed only when the distribution or the
+  /// runtime's partition weights change (partSizeOn/partOffsetOn are called
+  /// on every kernel-argument bind).
+  const std::vector<PartRange>& plannedPartition();
   /// Per-device part size under the planned partition (0 if none).
   std::size_t partSizeOn(int device);
   /// Per-device part element offset under the planned partition (0 if none).
@@ -56,6 +60,10 @@ class VectorData {
     std::size_t offset = 0;  ///< element offset
     std::size_t size = 0;    ///< element count
     std::unique_ptr<ocl::Buffer> buffer;  ///< null when size == 0
+    /// Completion event of the last command that wrote this part (upload or
+    /// kernel).  Consumers pass it as an event dependency instead of
+    /// blocking the host on the producer.
+    ocl::Event lastWrite;
   };
 
   /// Apply the requested distribution, uploading data lazily (only what is
@@ -68,6 +76,10 @@ class VectorData {
 
   /// The part residing on `device`, or nullptr (valid after ensureOnDevices*).
   const DevicePart* partOn(int device) const;
+
+  /// Note that a kernel (completion event `event`) wrote the part on
+  /// `device`; later consumers of the part depend on this event.
+  void recordDeviceWrite(int device, const ocl::Event& event);
 
   // --- modification tracking ---
   void markDevicesModified();  ///< Vector::dataOnDevicesModified
@@ -98,6 +110,10 @@ class VectorData {
   Distribution current_;     ///< distribution the parts represent
   bool devices_valid_ = false;
   Distribution requested_;   ///< latest requested distribution
+
+  std::vector<PartRange> planned_;      ///< cached plannedPartition()
+  bool planned_valid_ = false;
+  std::uint64_t planned_epoch_ = 0;     ///< Runtime::partitionEpoch it was built under
 };
 
 }  // namespace skelcl::detail

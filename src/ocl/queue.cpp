@@ -10,6 +10,20 @@
 
 namespace skelcl::ocl {
 
+namespace {
+std::atomic<CommandHook> g_command_hook{nullptr};
+
+void reportCommand(const CommandInfo& info, const Event& event) {
+  if (const CommandHook hook = g_command_hook.load(std::memory_order_relaxed)) {
+    hook(info, event);
+  }
+}
+}  // namespace
+
+void setCommandHook(CommandHook hook) {
+  g_command_hook.store(hook, std::memory_order_relaxed);
+}
+
 CommandQueue::CommandQueue(Context& context, Device& device, Api api)
     : context_(&context), device_(&device), api_(api) {
   SKELCL_CHECK(context.contains(device), "queue device is not part of the context");
@@ -18,10 +32,15 @@ CommandQueue::CommandQueue(Context& context, Device& device, Api api)
 double CommandQueue::earliestStart(std::span<const Event> deps) const {
   // A command can start once (a) the host has reached the enqueue point,
   // (b) all previous commands of this in-order queue are done, and (c) all
-  // explicit event dependencies are done.
-  double earliest = std::max(context_->platform().system().hostNow(), last_end_);
+  // explicit event dependencies are done.  Events from a previous clock
+  // epoch (pre-resetClock) are ignored: their timestamps belong to a clock
+  // that no longer exists.
+  const auto& system = context_->platform().system();
+  double earliest = std::max(system.hostNow(), last_end_);
   for (const Event& e : deps) {
-    if (e.valid()) earliest = std::max(earliest, e.profilingEnd());
+    if (e.valid() && e.epoch() == system.clockEpoch()) {
+      earliest = std::max(earliest, e.profilingEnd());
+    }
   }
   return earliest;
 }
@@ -53,10 +72,11 @@ Event CommandQueue::enqueueWriteBuffer(Buffer& dst, std::uint64_t offset,
   checkBufferRange(dst, offset, bytes, "enqueueWriteBuffer");
   checkBufferDevice(dst, "enqueueWriteBuffer");
   std::memcpy(dst.data() + offset, src, bytes);
-  const auto span =
-      context_->platform().system().reserveTransfer(device_->id(), bytes, earliestStart(deps));
-  const Event event(span.start, span.end);
+  auto& system = context_->platform().system();
+  const auto span = system.reserveTransfer(device_->id(), bytes, earliestStart(deps));
+  const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, blocking);
+  reportCommand({CommandInfo::Kind::Write, device_->id(), bytes, 0, nullptr}, event);
   return event;
 }
 
@@ -66,10 +86,11 @@ Event CommandQueue::enqueueReadBuffer(const Buffer& src, std::uint64_t offset,
   checkBufferRange(src, offset, bytes, "enqueueReadBuffer");
   checkBufferDevice(src, "enqueueReadBuffer");
   std::memcpy(dst, src.data() + offset, bytes);
-  const auto span =
-      context_->platform().system().reserveTransfer(device_->id(), bytes, earliestStart(deps));
-  const Event event(span.start, span.end);
+  auto& system = context_->platform().system();
+  const auto span = system.reserveTransfer(device_->id(), bytes, earliestStart(deps));
+  const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, blocking);
+  reportCommand({CommandInfo::Kind::Read, device_->id(), bytes, 0, nullptr}, event);
   return event;
 }
 
@@ -92,8 +113,9 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src, Buffer& dst, std::uint6
   } else {
     span = system.reservePeerTransfer(src.device().id(), dst.device().id(), bytes, earliest);
   }
-  const Event event(span.start, span.end);
+  const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
+  reportCommand({CommandInfo::Kind::Copy, device_->id(), bytes, 0, nullptr}, event);
   return event;
 }
 
@@ -111,8 +133,9 @@ Event CommandQueue::enqueueFillBuffer(Buffer& dst, std::byte value, std::uint64_
   const auto span = system.reserveKernel(
       device_->id(), 0, 1, 1.0, overhead + static_cast<double>(bytes) / (20.0 * 5.2e9),
       earliestStart(deps));
-  const Event event(span.start, span.end);
+  const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
+  reportCommand({CommandInfo::Kind::Fill, device_->id(), bytes, 0, nullptr}, event);
   return event;
 }
 
@@ -179,8 +202,10 @@ Event CommandQueue::enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSiz
                          : device_->spec().launch_overhead_ocl_us) * 1e-6;
   const auto span = system.reserveKernel(device_->id(), instructions.load(), globalSize,
                                          apiEfficiency(api_), overhead, earliestStart(deps));
-  const Event event(span.start, span.end);
+  const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
+  reportCommand({CommandInfo::Kind::Kernel, device_->id(), 0, globalSize, kernel.name().c_str()},
+                event);
   return event;
 }
 

@@ -14,22 +14,44 @@
 namespace skelcl::ocl {
 
 /// Completion marker of an enqueued command, with profiling info
-/// (clGetEventProfilingInfo equivalent).
+/// (clGetEventProfilingInfo equivalent).  `epoch` tags the event with the
+/// simulated-clock generation it was produced under (System::clockEpoch);
+/// events from before a resetClock carry timestamps of a dead clock and are
+/// ignored as dependencies.
 class Event {
  public:
   Event() = default;
-  Event(double start, double end) : start_(start), end_(end), valid_(true) {}
+  Event(double start, double end, std::uint64_t epoch = 0)
+      : start_(start), end_(end), epoch_(epoch), valid_(true) {}
 
   bool valid() const { return valid_; }
   double profilingStart() const { return start_; }
   double profilingEnd() const { return end_; }
   double duration() const { return end_ - start_; }
+  std::uint64_t epoch() const { return epoch_; }
 
  private:
   double start_ = 0.0;
   double end_ = 0.0;
+  std::uint64_t epoch_ = 0;
   bool valid_ = false;
 };
+
+/// One enqueued command, as reported to the observability hook.
+struct CommandInfo {
+  enum class Kind { Write, Read, Copy, Fill, Kernel };
+  Kind kind = Kind::Kernel;
+  int device = 0;                    ///< the queue's device
+  std::uint64_t bytes = 0;           ///< transfer/fill size (0 for kernels)
+  std::uint64_t workItems = 0;       ///< kernel global size (0 for transfers)
+  const char* kernelName = nullptr;  ///< kernel launches only
+};
+
+/// Observability hook, invoked once per enqueued command with its completion
+/// event.  Installed by the trace layer (core/detail/trace.cpp); the default
+/// null hook costs one relaxed atomic load per enqueue.
+using CommandHook = void (*)(const CommandInfo&, const Event&);
+void setCommandHook(CommandHook hook);
 
 class CommandQueue {
  public:

@@ -102,6 +102,7 @@ void System::resetClock() {
   host_memory_.reset();
   host_cpu_.reset();
   host_now_ = 0.0;
+  ++clock_epoch_;
   stats_ = Stats{};
 }
 

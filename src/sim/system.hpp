@@ -67,6 +67,11 @@ class System {
   /// Zero all timelines, the host clock and the statistics.
   void resetClock();
 
+  /// Generation counter of the simulated clock, bumped by resetClock().
+  /// Events carrying an older epoch refer to a dead clock and must not be
+  /// used as dependency times.
+  std::uint64_t clockEpoch() const { return clock_epoch_; }
+
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
@@ -86,6 +91,7 @@ class System {
   Timeline host_memory_;  ///< link stand-in for host-integrated (CPU) devices
   Timeline host_cpu_;     ///< host-side staging/combining work
   double host_now_ = 0.0;
+  std::uint64_t clock_epoch_ = 0;
   Stats stats_;
 };
 

@@ -1,0 +1,245 @@
+// Tests for the command-graph execution engine and its trace observability:
+// device-local skeleton phases must *overlap* across GPUs in simulated time
+// (the old per-device loops serialized them), dependencies must still order
+// producer before consumer, and results must stay correct under weighted
+// block distributions and copy distribution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/detail/trace.hpp"
+#include "core/skelcl.hpp"
+
+using namespace skelcl;
+
+namespace {
+
+std::vector<trace::Record> recordsNamed(const std::vector<trace::Record>& all,
+                                        const std::string& needle) {
+  std::vector<trace::Record> out;
+  for (const trace::Record& r : all) {
+    if (r.name.find(needle) != std::string::npos) out.push_back(r);
+  }
+  return out;
+}
+
+class TracedScan : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    trace::disable();
+    trace::clear();
+    if (initialized_) terminate();
+  }
+
+  /// Run one traced 4-GPU scan over `n` ints and return the trace records.
+  std::vector<trace::Record> tracedScanRecords(std::size_t n) {
+    init(sim::SystemConfig::teslaS1070(4));
+    initialized_ = true;
+    Scan<int> scan("int func(int a, int b) { return a + b; }");
+    Vector<int> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i % 7);
+    scan(v);  // warm-up: compile + upload
+    finish();
+    v.dataOnHostModified();
+    resetSimClock();
+    trace::clear();
+    trace::enable();
+    Vector<int> out = scan(v);
+    finish();
+    trace::disable();
+
+    // correctness alongside the timing claims
+    std::vector<int> expect(n);
+    for (std::size_t i = 0; i < n; ++i) expect[i] = static_cast<int>(i % 7);
+    std::partial_sum(expect.begin(), expect.end(), expect.begin());
+    for (std::size_t i : {std::size_t{0}, n / 3, n - 1}) {
+      EXPECT_EQ(out[i], expect[i]) << "scan result wrong at " << i;
+    }
+    return trace::snapshot();
+  }
+
+  bool initialized_ = false;
+};
+
+TEST_F(TracedScan, Step1KernelsOverlapAcrossDevices) {
+  const auto records = tracedScanRecords(std::size_t{1} << 18);
+  const auto step1 = recordsNamed(records, "scan step1");
+  ASSERT_EQ(step1.size(), 4u) << "expected one step-1 kernel per GPU";
+
+  // The serialized executor ran each device's whole pipeline to completion
+  // before touching the next device, so no two step-1 intervals could
+  // overlap.  On the command graph, devices on different PCIe links upload
+  // and compute concurrently: at least one pair of step-1 kernels on
+  // *different* devices must share simulated time.
+  int overlapping = 0;
+  for (std::size_t a = 0; a < step1.size(); ++a) {
+    for (std::size_t b = a + 1; b < step1.size(); ++b) {
+      ASSERT_NE(step1[a].device, step1[b].device);
+      const double start = std::max(step1[a].start, step1[b].start);
+      const double end = std::min(step1[a].end, step1[b].end);
+      if (start < end) ++overlapping;
+    }
+  }
+  EXPECT_GE(overlapping, 1) << "step-1 kernels are serialized across devices";
+
+  // Devices sharing no link with device 0 start step 1 strictly before
+  // device 0's whole pipeline (step1 + sums + offsets + step2) finished.
+  const auto step2 = recordsNamed(records, "scan step2");
+  ASSERT_EQ(step2.size(), 4u);
+  const auto dev0End =
+      std::max_element(step2.begin(), step2.end(),
+                       [](const auto& x, const auto& y) { return x.end < y.end; });
+  for (const trace::Record& r : step1) {
+    EXPECT_LT(r.start, dev0End->end);
+  }
+}
+
+TEST_F(TracedScan, EveryCommandYieldsOneCompleteRecord) {
+  const auto records = tracedScanRecords(std::size_t{1} << 14);
+  // Per device: upload (re-upload after dataOnHostModified), step-1 kernel,
+  // sums download, offsets upload, step-2 kernel; plus one host stage.  The
+  // correctness check runs after trace::disable(), so its downloads are not
+  // recorded.
+  const auto uploads = recordsNamed(records, "upload dev");
+  const auto hostStages = recordsNamed(records, "scan offsets host");
+  EXPECT_EQ(uploads.size(), 4u);
+  EXPECT_EQ(hostStages.size(), 1u);
+  EXPECT_EQ(recordsNamed(records, "scan step1").size(), 4u);
+  EXPECT_EQ(recordsNamed(records, "scan sums").size(), 4u);
+  EXPECT_EQ(recordsNamed(records, "scan offsets dev").size(), 4u);
+  for (const trace::Record& r : records) {
+    EXPECT_LE(r.start, r.end) << r.name;
+    EXPECT_FALSE(r.name.empty());
+  }
+}
+
+TEST_F(TracedScan, DependenciesOrderProducerBeforeConsumer) {
+  const auto records = tracedScanRecords(std::size_t{1} << 14);
+  const auto step1 = recordsNamed(records, "scan step1");
+  const auto sums = recordsNamed(records, "scan sums");
+  const auto host = recordsNamed(records, "scan offsets host");
+  const auto step2 = recordsNamed(records, "scan step2");
+  ASSERT_EQ(host.size(), 1u);
+  auto onDevice = [](const std::vector<trace::Record>& rs, int device) {
+    for (const trace::Record& r : rs) {
+      if (r.device == device) return r;
+    }
+    ADD_FAILURE() << "no record on device " << device;
+    return trace::Record{};
+  };
+  for (int d = 0; d < 4; ++d) {
+    // kernel -> sums download -> host offsets -> step-2 map
+    EXPECT_GE(onDevice(sums, d).start, onDevice(step1, d).end - 1e-12);
+    EXPECT_GE(host[0].start, onDevice(sums, d).end - 1e-12);
+    EXPECT_GE(onDevice(step2, d).start, host[0].end - 1e-12);
+  }
+}
+
+TEST_F(TracedScan, ChromeTraceExportIsLoadableJson) {
+  tracedScanRecords(std::size_t{1} << 12);
+  const std::string path = ::testing::TempDir() + "skelcl_trace_test.json";
+  ASSERT_TRUE(trace::writeChromeTrace(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, got);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(content.find("scan step1 dev0"), std::string::npos);
+  EXPECT_EQ(content.find("NaN"), std::string::npos);
+}
+
+TEST(TraceDisabled, CollectsNothing) {
+  trace::clear();
+  ASSERT_FALSE(trace::enabled());
+  init(sim::SystemConfig::teslaS1070(2));
+  {
+    Map<float(float)> twice("float func(float x) { return 2.0f * x; }");
+    Vector<float> v(256);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<float>(i);
+    Vector<float> out = twice(v);
+    EXPECT_FLOAT_EQ(out[100], 200.0f);
+  }
+  terminate();
+  EXPECT_TRUE(trace::snapshot().empty());
+}
+
+// --- correctness under weighted block distributions and copy ---------------
+
+class WeightedSkeletons : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    const int gpus = GetParam();
+    init(sim::SystemConfig::teslaS1070(gpus));
+    // deliberately lopsided weights: device d gets weight d+1
+    std::vector<double> weights(static_cast<std::size_t>(gpus));
+    for (int d = 0; d < gpus; ++d) weights[static_cast<std::size_t>(d)] = d + 1.0;
+    setPartitionWeights(weights);
+  }
+  void TearDown() override { terminate(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Gpus, WeightedSkeletons, ::testing::Values(1, 2, 4),
+                         [](const auto& info) {
+                           return "gpus" + std::to_string(info.param);
+                         });
+
+TEST_P(WeightedSkeletons, ScanMatchesSequentialReference) {
+  Scan<int> scan("int func(int a, int b) { return a + b; }");
+  const std::size_t n = 1001;
+  Vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i % 13) - 5;
+  Vector<int> out = scan(v);
+  std::vector<int> expect(n);
+  for (std::size_t i = 0; i < n; ++i) expect[i] = static_cast<int>(i % 13) - 5;
+  std::partial_sum(expect.begin(), expect.end(), expect.begin());
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], expect[i]) << i;
+}
+
+TEST_P(WeightedSkeletons, ReduceMatchesSequentialReference) {
+  Reduce<int(int)> sum("int func(int a, int b) { return a + b; }");
+  const std::size_t n = 1234;
+  Vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i % 9) - 4;
+  const int expected =
+      std::accumulate(v.begin(), v.end(), 0);
+  EXPECT_EQ(sum(v), expected);
+}
+
+TEST_P(WeightedSkeletons, ReduceUnderCopyDistribution) {
+  Reduce<int(int)> sum("int func(int a, int b) { return a + b; }");
+  const std::size_t n = 777;
+  Vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i % 11) - 3;
+  const int expected = std::accumulate(v.begin(), v.end(), 0);
+  v.setDistribution(Distribution::copy());
+  // every device holds the full vector; the result must not be multiplied
+  EXPECT_EQ(sum(v), expected);
+}
+
+TEST_P(WeightedSkeletons, PlannedPartitionCacheTracksWeightChanges) {
+  const int gpus = GetParam();
+  Vector<int> v(1000);
+  v.setDistribution(Distribution::block());
+  const std::size_t before = v.impl().partSizeOn(0);
+  // even split now: the cached plan must be invalidated by the weight change
+  setPartitionWeights(std::vector<double>(static_cast<std::size_t>(gpus), 1.0));
+  const std::size_t after = v.impl().partSizeOn(0);
+  EXPECT_EQ(after, 1000u / static_cast<std::size_t>(gpus));
+  if (gpus > 1) {
+    EXPECT_LT(before, after);  // device 0 had the smallest weight
+  }
+  std::size_t total = 0;
+  for (const auto& p : v.impl().plannedPartition()) total += p.size;
+  EXPECT_EQ(total, 1000u);
+}
+
+}  // namespace
