@@ -1,0 +1,117 @@
+// Graceful degradation under device failure (docs/ROBUSTNESS.md): the cost of
+// losing one of four GPUs in the middle of an OSEM reconstruction.
+//
+// Three runs of the same reconstruction are compared:
+//   4 GPUs        -- fault-free reference
+//   4 GPUs, 1 dies -- SKELCL_FAULTS-style kill of device 3 inside the first
+//                     subset; the runtime blacklists it, redistributes onto
+//                     the survivors and re-executes the interrupted skeleton
+//   3 GPUs        -- the surviving configuration from the start
+//
+// The recovery overhead is the gap between the faulted run and the native
+// 3-GPU run; correctness is checked bitwise (the degraded image must equal
+// the 3-GPU reference exactly, and stay scientifically equivalent to the
+// 4-GPU one).
+//
+//   usage: bench_fault_degradation [--events N] [--volume N] [--subsets N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/detail/trace.hpp"
+#include "core/skelcl.hpp"
+#include "osem/osem.hpp"
+#include "sim/device_spec.hpp"
+
+using namespace skelcl;
+
+namespace {
+
+// Float atomics in the OSEM kernel are order-sensitive under the
+// multi-threaded executor; one VM thread makes the bitwise comparison
+// meaningful.  Must run before the thread pool spins up.
+const int kForceSingleThread = [] {
+  setenv("SKELCL_THREADS", "1", 1);
+  return 0;
+}();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // SKELCL_TRACE=out.json records the fault/retry/redistribute records along
+  // with the ordinary commands (docs/OBSERVABILITY.md).
+  trace::enableFromEnv();
+  osem::OsemConfig cfg;
+  cfg.volume.nx = 32;
+  cfg.volume.ny = 32;
+  cfg.volume.nz = 32;
+  cfg.eventsPerSubset = 5000;
+  cfg.numSubsets = 4;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--events") == 0) {
+      cfg.eventsPerSubset = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--volume") == 0) {
+      cfg.volume.nx = cfg.volume.ny = cfg.volume.nz = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--subsets") == 0) {
+      cfg.numSubsets = std::atoi(argv[i + 1]);
+    }
+  }
+
+  std::printf("generating synthetic PET data (%d^3 volume, %d subsets x %zu events)...\n",
+              cfg.volume.nx, cfg.numSubsets, cfg.eventsPerSubset);
+  const osem::OsemData data = osem::OsemData::generate(cfg);
+
+  // Fault-free 4-GPU reference.
+  const osem::OsemResult full = osem::runOsemSkelCL(data, 4);
+
+  // Device 3 dies on its 4th command: the first subset's step-1 kernel, right
+  // after the events/f/c uploads land.
+  init(sim::SystemConfig::teslaS1070(4));
+  sim::FaultPlan plan(42);
+  plan.killAfterCommands(3, 3);
+  setFaultPlan(std::move(plan));
+  const osem::OsemResult degraded = osem::runOsemSkelCLPreInitialized(data);
+  const int survivors = aliveDeviceCount();
+  terminate();
+
+  // The surviving configuration from the start.
+  init(sim::SystemConfig::teslaS1070(4));
+  blacklistDevice(3);
+  const osem::OsemResult reference3 = osem::runOsemSkelCLPreInitialized(data);
+  terminate();
+
+  std::printf("\ngraceful degradation -- OSEM reconstruction, device 3 dies mid-iteration\n");
+  std::printf("%-24s %14s %16s\n", "configuration", "total sim (s)", "s per subset");
+  std::printf("%-24s %14.6f %16.6f\n", "4 GPUs (fault-free)", full.totalSimSeconds,
+              full.secondsPerSubset);
+  std::printf("%-24s %14.6f %16.6f\n", "4 GPUs, dev3 dies", degraded.totalSimSeconds,
+              degraded.secondsPerSubset);
+  std::printf("%-24s %14.6f %16.6f\n", "3 GPUs (from start)", reference3.totalSimSeconds,
+              reference3.secondsPerSubset);
+
+  const double vsFull = degraded.totalSimSeconds / full.totalSimSeconds - 1.0;
+  const double recovery = degraded.totalSimSeconds / reference3.totalSimSeconds - 1.0;
+  std::printf("\n  degradation vs 4 GPUs:        %+.1f%%\n", vsFull * 100.0);
+  std::printf("  recovery overhead vs 3 GPUs:  %+.1f%% (re-uploads + re-executed subset)\n",
+              recovery * 100.0);
+
+  bool ok = survivors == 3;
+  std::printf("\n  survivors after the fault: %d (expect 3)\n", survivors);
+  const bool bitIdentical =
+      degraded.image.size() == reference3.image.size() &&
+      std::memcmp(degraded.image.data(), reference3.image.data(),
+                  degraded.image.size() * sizeof(float)) == 0;
+  std::printf("  degraded image vs native 3-GPU run: %s\n",
+              bitIdentical ? "bit-identical" : "DIFFERS");
+  ok = ok && bitIdentical;
+  const double nrmse = osem::imageNrmse(degraded.image, full.image);
+  std::printf("  NRMSE vs fault-free 4-GPU image: %.2e (expect < 2e-3)\n", nrmse);
+  ok = ok && nrmse < 2e-3;
+  ok = ok && degraded.totalSimSeconds > reference3.totalSimSeconds;
+
+  std::printf("\ncheck: %s\n", ok ? "PASS" : "FAIL");
+  if (trace::flushToEnvPath()) {
+    std::printf("trace written to $SKELCL_TRACE (open in chrome://tracing)\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -25,6 +25,15 @@ class ResourceError : public Error {
   explicit ResourceError(const std::string& what) : Error(what) {}
 };
 
+/// A permanent device failure destroyed the only valid copy of some data
+/// (e.g. diverged copy-distribution replicas that were never combined).
+/// The runtime recovers automatically whenever a host copy or a surviving
+/// replica exists; this error means it provably could not.
+class DataLossError : public Error {
+ public:
+  explicit DataLossError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throwUsage(const char* cond, const char* file, int line,
                                     const std::string& msg) {

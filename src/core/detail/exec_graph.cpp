@@ -1,6 +1,7 @@
 #include "core/detail/exec_graph.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/detail/runtime.hpp"
 #include "core/detail/trace.hpp"
@@ -14,6 +15,9 @@ ExecGraph::NodeId ExecGraph::add(StageKind kind, int device, std::string label,
   for (const NodeId d : deps) {
     SKELCL_CHECK(d < nodes_.size(), "ExecGraph: dependency on a later node");
   }
+  for (const ocl::Event& e : external) {
+    SKELCL_CHECK(e.valid(), "ExecGraph: invalid (default-constructed) external event");
+  }
   nodes_.push_back(Node{kind, device, std::move(label), std::move(issue),
                         std::move(deps), std::move(external), ocl::Event{}});
   return nodes_.size() - 1;
@@ -22,14 +26,58 @@ ExecGraph::NodeId ExecGraph::add(StageKind kind, int device, std::string label,
 void ExecGraph::run() {
   SKELCL_CHECK(!ran_, "ExecGraph::run called twice");
   ran_ = true;
+  auto& system = Runtime::instance().system();
+  const sim::RetryPolicy policy = system.faults().retryPolicy();
   const bool tracing = trace::enabled();
   std::vector<ocl::Event> deps;
+  std::unique_ptr<ocl::CommandError> failure;
   for (Node& node : nodes_) {
     deps.assign(node.external.begin(), node.external.end());
-    for (const NodeId d : node.deps) deps.push_back(nodes_[d].event);
+    bool depFailed = false;
+    for (const NodeId d : node.deps) {
+      const ocl::Event& e = nodes_[d].event;
+      if (e.failed()) {
+        depFailed = true;
+        break;
+      }
+      deps.push_back(e);
+    }
+    if (depFailed) {
+      // Propagate: this stage's inputs never materialized.  Its own failed
+      // event poisons *its* dependents in turn; independent stages proceed.
+      node.event = ocl::Event(system.hostNow(), system.hostNow(), system.clockEpoch(),
+                              sim::status::ExecStatusError);
+      continue;
+    }
     if (tracing) trace::Tracer::global().setContext(node.label);
-    node.event = node.issue(deps);
-    if (tracing && node.kind == StageKind::Host) {
+    for (int failedAttempts = 0;;) {
+      try {
+        node.event = node.issue(deps);
+        break;
+      } catch (const ocl::CommandError& e) {
+        node.event = ocl::Event(e.failTime(), e.failTime(), system.clockEpoch(), e.status());
+        ++failedAttempts;
+        if (e.permanent() || failedAttempts >= policy.max_attempts) {
+          if (!failure) failure = std::make_unique<ocl::CommandError>(e);
+          break;
+        }
+        // Transient: back off on the simulated clock (the host genuinely
+        // waits before re-issuing — benchmarks see the cost), then retry.
+        const double backoff = policy.backoffAfter(failedAttempts);
+        const double waitStart = std::max(system.hostNow(), e.failTime());
+        system.advanceHost(waitStart + backoff);
+        if (tracing) {
+          trace::Record r;
+          r.kind = trace::Record::Kind::Retry;
+          r.device = node.device;
+          r.start = waitStart;
+          r.end = waitStart + backoff;
+          r.name = node.label + " attempt " + std::to_string(failedAttempts + 1);
+          trace::record(std::move(r));
+        }
+      }
+    }
+    if (tracing && node.kind == StageKind::Host && !node.event.failed()) {
       trace::Record r;
       r.kind = trace::Record::Kind::Host;
       r.device = node.device;
@@ -39,6 +87,7 @@ void ExecGraph::run() {
     }
   }
   if (tracing) trace::Tracer::global().clearContext();
+  if (failure) throw *failure;
 }
 
 const ocl::Event& ExecGraph::event(NodeId id) const {

@@ -51,6 +51,15 @@ class ExecGraph {
 
   /// Issue every recorded stage in dependency order without blocking the
   /// host.  May be called once.
+  ///
+  /// Fault handling: a stage that throws ocl::CommandError with a transient
+  /// status is re-issued under the system's RetryPolicy, each attempt's
+  /// backoff charged to the simulated clock; once a stage fails for good
+  /// (permanent fault or retries exhausted), its event carries the error
+  /// status, every transitive dependent is skipped with ExecStatusError
+  /// (independent stages still issue), and the first failure is rethrown
+  /// after the sweep — the caller (skeleton recovery, see skeleton_exec.cpp)
+  /// decides whether to blacklist and re-execute.
   void run();
 
   /// Completion event of a node (valid after run()).

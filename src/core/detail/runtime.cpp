@@ -12,7 +12,48 @@ Runtime::Runtime(sim::SystemConfig config) {
   for (int d = 0; d < platform_->deviceCount(); ++d) {
     queues_.push_back(
         std::make_unique<ocl::CommandQueue>(*context_, platform_->device(d), ocl::Api::OpenCL));
+    alive_.push_back(d);
   }
+  dead_.assign(static_cast<std::size_t>(platform_->deviceCount()), 0);
+  // SKELCL_FAULTS configures fault injection without touching application
+  // code (mirrors SKELCL_TRACE for observability).
+  sim::FaultPlan envPlan = sim::FaultPlan::fromEnv();
+  if (!envPlan.empty()) system().faults().install(std::move(envPlan));
+}
+
+void Runtime::resetClock() {
+  system().resetClock();
+  for (auto& q : queues_) q->resetClock();
+}
+
+void Runtime::blacklistDevice(int device, const std::string& reason) {
+  SKELCL_CHECK(device >= 0 && device < deviceCount(), "device index out of range");
+  if (dead_[static_cast<std::size_t>(device)]) return;
+  dead_[static_cast<std::size_t>(device)] = 1;
+  alive_.clear();
+  for (int d = 0; d < deviceCount(); ++d) {
+    if (!dead_[static_cast<std::size_t>(d)]) alive_.push_back(d);
+  }
+  if (alive_.empty()) {
+    throw ResourceError("device " + std::to_string(device) +
+                        " failed and no devices survive: " + reason);
+  }
+  ++partition_epoch_;  // every cached partition plan replans over survivors
+  if (trace::enabled()) {
+    trace::Record r;
+    r.kind = trace::Record::Kind::Redistribute;
+    r.device = device;
+    r.start = system().hostNow();
+    r.end = system().hostNow();
+    r.name = "blacklist dev" + std::to_string(device) + " (" + reason + "); " +
+             std::to_string(alive_.size()) + " device(s) remain";
+    trace::record(std::move(r));
+  }
+}
+
+bool Runtime::deviceAlive(int device) const {
+  return device >= 0 && device < deviceCount() &&
+         !dead_[static_cast<std::size_t>(device)];
 }
 
 void Runtime::init(sim::SystemConfig config) {

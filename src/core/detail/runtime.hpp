@@ -28,6 +28,24 @@ class Runtime {
   ocl::Device& device(int id) { return platform_->device(id); }
   ocl::CommandQueue& queue(int device);
 
+  /// Reset the simulated clock *and* every queue's in-order watermark.  The
+  /// two must move together (a queue with a pre-reset watermark would give
+  /// post-reset commands completion times of a dead clock); this is the one
+  /// entry point that keeps them in sync.
+  void resetClock();
+
+  // --- device blacklisting (fault tolerance) -------------------------------
+  /// Permanently remove `device` from skeleton execution: bump the partition
+  /// epoch so every cached partition plan replans over the survivors, and
+  /// record a redistribution trace event.  Idempotent; throws when the last
+  /// device would die.
+  void blacklistDevice(int device, const std::string& reason);
+  /// Devices still accepting work, ascending.  All of them until a
+  /// blacklistDevice call removes one.
+  const std::vector<int>& aliveDevices() const { return alive_; }
+  int aliveDeviceCount() const { return static_cast<int>(alive_.size()); }
+  bool deviceAlive(int device) const;
+
   /// Compile-or-reuse: generated skeleton programs are cached by source so
   /// the runtime-compilation cost is paid once per distinct program (the
   /// paper excludes compilation from measurements for the same reason).
@@ -60,6 +78,8 @@ class Runtime {
   std::unordered_map<std::string, std::shared_ptr<const kc::CompiledProgram>> hostFnCache_;
   std::vector<double> weights_;
   std::uint64_t partition_epoch_ = 0;
+  std::vector<int> alive_;
+  std::vector<char> dead_;
 
   static std::unique_ptr<Runtime> instance_;
 };

@@ -102,6 +102,50 @@ void prepareExtras(std::vector<ExtraArg>& extras) {
   }
 }
 
+/// Re-execute `body` after permanent device failures: blacklist the dead
+/// device, recover every input vector from its host copy (or a surviving
+/// replica; see VectorData::recoverAfterDeviceLoss), discard the pure
+/// output's partial device results, and run the whole skeleton again over
+/// the surviving devices.  Transient errors never reach this level — the
+/// ExecGraph retry loop absorbs them — so anything caught here is final for
+/// its device.  `resetOutput` is null when the output aliases an input (the
+/// aliased input's recovery already restores the pre-skeleton bytes).
+template <typename Body>
+auto withDeviceLossRecovery(std::vector<VectorData*> inputs, VectorData* resetOutput,
+                            Body&& body) -> decltype(body()) {
+  auto& rt = Runtime::instance();
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return body();
+    } catch (const ocl::CommandError& e) {
+      if (!e.permanent()) throw;
+      SKELCL_CHECK(attempt < rt.deviceCount(),
+                   "skeleton failed on more devices than the system has");
+      rt.blacklistDevice(e.device(), e.what());
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        VectorData* v = inputs[i];
+        if (v == nullptr) continue;
+        bool seen = false;
+        for (std::size_t j = 0; j < i; ++j) seen = seen || inputs[j] == v;
+        if (!seen) v->recoverAfterDeviceLoss(e.device());
+      }
+      if (resetOutput != nullptr) resetOutput->resetDeviceDataAfterLoss();
+    }
+  }
+}
+
+/// The input vectors of a skeleton call: the primary inputs plus every
+/// vector additional argument (they all hold device parts a dead device may
+/// have invalidated).
+std::vector<VectorData*> recoveryInputs(VectorData* input1, VectorData* input2,
+                                        const std::vector<ExtraArg>& extras) {
+  std::vector<VectorData*> inputs{input1, input2};
+  for (const ExtraArg& e : extras) {
+    if (e.kind == ExtraArg::Kind::VectorRef) inputs.push_back(e.vector);
+  }
+  return inputs;
+}
+
 void bindExtras(ocl::Kernel& kernel, std::size_t firstIndex,
                 const std::vector<ExtraArg>& extras, int device) {
   for (std::size_t i = 0; i < extras.size(); ++i) {
@@ -187,11 +231,13 @@ void slotToBytes(ElemKind kind, kc::Slot value, std::byte* dst) {
 // Map / Zip
 // ---------------------------------------------------------------------------
 
-void runElementwise(const std::string& userSource, VectorData* input1, VectorData* input2,
-                    std::size_t indexCount, const Distribution& indexDist,
-                    VectorData& output,
-                    const std::string& inType1, const std::string& inType2,
-                    const std::string& outType, std::vector<ExtraArg>& extras) {
+namespace {
+
+void runElementwiseOnce(const std::string& userSource, VectorData* input1, VectorData* input2,
+                        std::size_t indexCount, const Distribution& indexDist,
+                        VectorData& output,
+                        const std::string& inType1, const std::string& inType2,
+                        const std::string& outType, std::vector<ExtraArg>& extras) {
   auto& rt = Runtime::instance();
   const std::size_t n = input1 != nullptr ? input1->count() : indexCount;
 
@@ -269,7 +315,7 @@ void runElementwise(const std::string& userSource, VectorData* input1, VectorDat
   // in-place case `output` aliases an input, so output.partOn is the right
   // part either way.)
   const char* stageName = input2 != nullptr ? "zip" : "map";
-  const auto ranges = effectiveDist(dist).partition(n, rt.deviceCount());
+  const auto ranges = effectiveDist(dist).partition(n, rt.aliveDevices());
   ExecGraph g;
   std::vector<std::pair<int, ExecGraph::NodeId>> launches;
   for (const PartRange& r : ranges) {
@@ -303,12 +349,29 @@ void runElementwise(const std::string& userSource, VectorData* input1, VectorDat
   }
 }
 
+}  // namespace
+
+void runElementwise(const std::string& userSource, VectorData* input1, VectorData* input2,
+                    std::size_t indexCount, const Distribution& indexDist,
+                    VectorData& output,
+                    const std::string& inType1, const std::string& inType2,
+                    const std::string& outType, std::vector<ExtraArg>& extras) {
+  const bool inPlace = (&output == input1) || (&output == input2);
+  withDeviceLossRecovery(recoveryInputs(input1, input2, extras),
+                         inPlace ? nullptr : &output, [&] {
+                           runElementwiseOnce(userSource, input1, input2, indexCount, indexDist,
+                                              output, inType1, inType2, outType, extras);
+                         });
+}
+
 // ---------------------------------------------------------------------------
 // Reduce (paper III-C, three steps)
 // ---------------------------------------------------------------------------
 
-kc::Slot runReduce(const std::string& userSource, VectorData& input,
-                   const std::string& typeName, std::vector<ExtraArg>& extras) {
+namespace {
+
+kc::Slot runReduceOnce(const std::string& userSource, VectorData& input,
+                       const std::string& typeName, std::vector<ExtraArg>& extras) {
   auto& rt = Runtime::instance();
   SKELCL_CHECK(input.count() > 0, "reduce of an empty vector");
 
@@ -445,12 +508,23 @@ kc::Slot runReduce(const std::string& userSource, VectorData& input,
   return acc;
 }
 
+}  // namespace
+
+kc::Slot runReduce(const std::string& userSource, VectorData& input,
+                   const std::string& typeName, std::vector<ExtraArg>& extras) {
+  return withDeviceLossRecovery(recoveryInputs(&input, nullptr, extras), nullptr, [&] {
+    return runReduceOnce(userSource, input, typeName, extras);
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Scan (paper III-C, Figure 2)
 // ---------------------------------------------------------------------------
 
-void runScan(const std::string& userSource, VectorData& input, VectorData& output,
-             const std::string& typeName) {
+namespace {
+
+void runScanOnce(const std::string& userSource, VectorData& input, VectorData& output,
+                 const std::string& typeName) {
   auto& rt = Runtime::instance();
   SKELCL_CHECK(output.count() == input.count(), "scan output size mismatch");
   if (input.count() == 0) return;
@@ -661,6 +735,16 @@ void runScan(const std::string& userSource, VectorData& input, VectorData& outpu
     (inPlace ? input : output).recordDeviceWrite(dev, g.event(node));
   }
   output.markDevicesModified();
+}
+
+}  // namespace
+
+void runScan(const std::string& userSource, VectorData& input, VectorData& output,
+             const std::string& typeName) {
+  const bool inPlace = &output == &input;
+  withDeviceLossRecovery({&input}, inPlace ? nullptr : &output, [&] {
+    runScanOnce(userSource, input, output, typeName);
+  });
 }
 
 }  // namespace skelcl::detail

@@ -21,10 +21,12 @@ Record::Kind kindOf(ocl::CommandInfo::Kind kind) {
   return Record::Kind::Kernel;
 }
 
-/// The queue-layer hook: one Record per enqueued command.
+/// The queue-layer hook: one Record per enqueued command.  Failed commands
+/// (injected faults, device death) become Fault records regardless of what
+/// the command was.
 void queueCommandHook(const ocl::CommandInfo& info, const ocl::Event& event) {
   Record r;
-  r.kind = kindOf(info.kind);
+  r.kind = event.failed() ? Record::Kind::Fault : kindOf(info.kind);
   r.device = info.device;
   r.bytes = info.bytes;
   r.workItems = info.workItems;
@@ -67,6 +69,9 @@ const char* kindName(Record::Kind kind) {
     case Record::Kind::Fill: return "fill";
     case Record::Kind::Kernel: return "kernel";
     case Record::Kind::Host: return "host";
+    case Record::Kind::Fault: return "fault";
+    case Record::Kind::Retry: return "retry";
+    case Record::Kind::Redistribute: return "redistribute";
   }
   return "?";
 }
@@ -103,7 +108,17 @@ void Tracer::clear() {
 void Tracer::record(Record r) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!enabled_) return;
-  if (!context_.empty()) r.name = context_;
+  const bool faultKind = r.kind == Record::Kind::Fault || r.kind == Record::Kind::Retry ||
+                         r.kind == Record::Kind::Redistribute;
+  if (faultKind) {
+    // Fault-path records keep their kind visible in the name and append the
+    // most specific label available (an explicit name beats the context).
+    const std::string label = !r.name.empty() ? r.name : context_;
+    r.name = kindName(r.kind);
+    if (!label.empty()) r.name += " " + label;
+  } else if (!context_.empty()) {
+    r.name = context_;
+  }
   if (r.name.empty()) r.name = kindName(r.kind);
   records_.push_back(std::move(r));
 }

@@ -25,7 +25,12 @@ namespace skelcl::trace {
 /// One simulated command: what ran, where, how big, and its simulated
 /// [start, end) interval (Event::profilingStart/End).
 struct Record {
-  enum class Kind { Upload, Download, Copy, Fill, Kernel, Host };
+  enum class Kind {
+    Upload, Download, Copy, Fill, Kernel, Host,
+    Fault,         ///< a command failed (injected fault or device death)
+    Retry,         ///< the runtime backed off and re-issued a command
+    Redistribute,  ///< a device was blacklisted; partitions moved to survivors
+  };
   Kind kind = Kind::Kernel;
   int device = -1;              ///< device id; -1 = host CPU
   std::uint64_t bytes = 0;      ///< transfer/fill size (0 for kernels)
@@ -35,7 +40,8 @@ struct Record {
   std::string name;             ///< stage label, or the kernel/command name
 };
 
-/// "upload", "download", "copy", "fill", "kernel", "host".
+/// "upload", "download", "copy", "fill", "kernel", "host", "fault",
+/// "retry", "redistribute".
 const char* kindName(Record::Kind kind);
 
 /// The process-wide trace collector.  Lives outside the Runtime so traces

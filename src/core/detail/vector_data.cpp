@@ -29,7 +29,7 @@ const std::vector<PartRange>& VectorData::plannedPartition() {
   SKELCL_CHECK(requested_.isSet(), "vector has no distribution");
   auto& rt = Runtime::instance();
   if (!planned_valid_ || planned_epoch_ != rt.partitionEpoch()) {
-    planned_ = effective(requested_).partition(count_, rt.deviceCount());
+    planned_ = effective(requested_).partition(count_, rt.aliveDevices());
     planned_valid_ = true;
     planned_epoch_ = rt.partitionEpoch();
   }
@@ -279,6 +279,59 @@ void VectorData::markDevicesModified() {
 void VectorData::markHostModified() {
   host_valid_ = true;
   devices_valid_ = false;
+}
+
+void VectorData::recoverAfterDeviceLoss(int deadDevice) {
+  planned_valid_ = false;  // replan over the survivors
+  if (parts_.empty()) return;
+
+  if (host_valid_) {
+    // The host copy is authoritative (markDevicesModified only runs after a
+    // skeleton succeeds, so a failed attempt never invalidated it).  Drop all
+    // parts; the next ensureOnDevices re-uploads the same bytes.
+    parts_.clear();
+    devices_valid_ = false;
+    return;
+  }
+
+  const DevicePart* dead = partOn(deadDevice);
+  if (dead == nullptr || dead->size == 0) {
+    // Nothing of this vector lived on the dead device; surviving parts stay
+    // usable until the stale partition plan forces a host round-trip.
+    return;
+  }
+
+  if (current_.kind() == Distribution::Kind::Copy && !current_.hasCombine()) {
+    // Plain replication: any surviving copy is the data.  Erase the dead
+    // part; combineCopiesToHost / downloads use the remaining replicas.
+    for (auto it = parts_.begin(); it != parts_.end(); ++it) {
+      if (it->device == deadDevice) {
+        parts_.erase(it);
+        break;
+      }
+    }
+    if (!parts_.empty()) return;
+    devices_valid_ = false;
+    throw DataLossError("device " + std::to_string(deadDevice) +
+                        " held the last replica of a copy-distributed vector");
+  }
+
+  // Host stale and the lost part held unique data (a block part, or a
+  // diverged copy that needed combining): the bytes are gone.
+  devices_valid_ = false;
+  host_valid_ = true;  // keep the invariant; contents are the stale host copy
+  parts_.clear();
+  throw DataLossError("device " + std::to_string(deadDevice) +
+                      " held the only current copy of " +
+                      std::to_string(dead->size * elem_size_) + " bytes (" +
+                      current_.describe() + " distribution, host copy stale)");
+}
+
+void VectorData::resetDeviceDataAfterLoss() {
+  planned_valid_ = false;
+  parts_.clear();
+  devices_valid_ = false;
+  host_valid_ = true;  // invariant: never both false; contents are irrelevant
 }
 
 }  // namespace skelcl::detail

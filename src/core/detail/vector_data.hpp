@@ -85,6 +85,20 @@ class VectorData {
   void markDevicesModified();  ///< Vector::dataOnDevicesModified
   void markHostModified();     ///< Vector::dataOnHostModified
 
+  // --- fault recovery (see docs/ROBUSTNESS.md) ---
+  /// Called after `deadDevice` was blacklisted: drop device state that is now
+  /// unreachable so the next ensureOnDevices* replans over the survivors.
+  /// When the host copy is current the device parts are simply discarded and
+  /// re-uploaded on demand; a surviving replica of a plain copy distribution
+  /// also suffices.  Throws DataLossError when the only authoritative data
+  /// lived on the dead device (host stale and the lost part unrecoverable).
+  void recoverAfterDeviceLoss(int deadDevice);
+
+  /// Recovery for pure outputs: the skeleton re-execution rewrites every
+  /// element, so whatever was on the devices (possibly partial results of the
+  /// failed attempt) is discarded without a data-loss check.
+  void resetDeviceDataAfterLoss();
+
   // --- introspection (tests, benches) ---
   bool hostValid() const { return host_valid_; }
   bool devicesValid() const { return devices_valid_; }

@@ -50,26 +50,53 @@ Distribution Distribution::copy(std::string combineSource) {
 
 std::vector<PartRange> Distribution::partition(std::size_t count, int deviceCount) const {
   SKELCL_CHECK(deviceCount > 0, "no devices");
+  if (kind_ == Kind::Single) {
+    SKELCL_CHECK(device_ >= 0 && device_ < deviceCount,
+                 "single distribution names a device the system does not have");
+  }
+  if (kind_ == Kind::Block && !weights_.empty()) {
+    SKELCL_CHECK(static_cast<int>(weights_.size()) == deviceCount,
+                 "block weights must have one entry per device");
+  }
+  std::vector<int> devices(static_cast<std::size_t>(deviceCount));
+  std::iota(devices.begin(), devices.end(), 0);
+  return partition(count, devices);
+}
+
+std::vector<PartRange> Distribution::partition(std::size_t count,
+                                               const std::vector<int>& devices) const {
+  SKELCL_CHECK(!devices.empty(), "no devices");
   std::vector<PartRange> parts;
   switch (kind_) {
     case Kind::None:
       throw UsageError("vector has no distribution; set one or let a skeleton default it");
     case Kind::Single: {
-      SKELCL_CHECK(device_ >= 0 && device_ < deviceCount,
-                   "single distribution names a device the system does not have");
-      parts.push_back(PartRange{device_, 0, count});
+      SKELCL_CHECK(device_ >= 0, "single distribution names a negative device");
+      // Fail over to the first surviving device when the named one is gone.
+      const bool present = std::find(devices.begin(), devices.end(), device_) != devices.end();
+      parts.push_back(PartRange{present ? device_ : devices.front(), 0, count});
       return parts;
     }
     case Kind::Copy: {
-      for (int d = 0; d < deviceCount; ++d) parts.push_back(PartRange{d, 0, count});
+      for (const int d : devices) parts.push_back(PartRange{d, 0, count});
       return parts;
     }
     case Kind::Block: {
-      std::vector<double> w = weights_;
-      if (w.empty()) w.assign(static_cast<std::size_t>(deviceCount), 1.0);
-      SKELCL_CHECK(static_cast<int>(w.size()) == deviceCount,
-                   "block weights must have one entry per device");
+      // Weights are indexed by absolute device id; after a device is
+      // blacklisted its weight entry simply stops being consulted, and the
+      // remaining weights are renormalized over the surviving devices.
+      std::vector<double> w;
+      if (weights_.empty()) {
+        w.assign(devices.size(), 1.0);
+      } else {
+        SKELCL_CHECK(weights_.size() > static_cast<std::size_t>(
+                                           *std::max_element(devices.begin(), devices.end())),
+                     "block weights must have one entry per device");
+        for (const int d : devices) w.push_back(weights_[static_cast<std::size_t>(d)]);
+      }
       const double total = std::accumulate(w.begin(), w.end(), 0.0);
+      SKELCL_CHECK(total > 0.0,
+                   "all remaining devices have zero block weight; nothing can hold the data");
 
       // Largest-remainder apportionment: proportional, sums exactly to count.
       std::vector<std::size_t> sizes(w.size(), 0);
@@ -90,12 +117,12 @@ std::vector<PartRange> Distribution::partition(std::size_t count, int deviceCoun
       }
 
       std::size_t offset = 0;
-      for (int d = 0; d < deviceCount; ++d) {
-        const std::size_t s = sizes[static_cast<std::size_t>(d)];
-        if (s == 0 && weights_.empty() == false && w[static_cast<std::size_t>(d)] == 0.0) {
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        const std::size_t s = sizes[i];
+        if (s == 0 && !weights_.empty() && w[i] == 0.0) {
           continue;  // explicitly excluded device
         }
-        parts.push_back(PartRange{d, offset, s});
+        parts.push_back(PartRange{devices[i], offset, s});
         offset += s;
       }
       return parts;

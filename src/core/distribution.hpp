@@ -54,6 +54,13 @@ class Distribution {
   /// Zero-weight devices receive no part under Block.
   std::vector<PartRange> partition(std::size_t count, int deviceCount) const;
 
+  /// Same, but over an explicit (possibly partial) device list — the alive
+  /// devices after fault-driven blacklisting.  Block weights are indexed by
+  /// device id and renormalized over the listed devices; Single fails over to
+  /// the first listed device when its named device is absent; Copy replicates
+  /// onto every listed device.
+  std::vector<PartRange> partition(std::size_t count, const std::vector<int>& devices) const;
+
   /// Structural equality relevant for skeleton-input compatibility: kind,
   /// single-device id, and block weights.
   friend bool operator==(const Distribution& a, const Distribution& b);

@@ -17,16 +17,22 @@ void finish() {
   for (int d = 0; d < rt.deviceCount(); ++d) rt.queue(d).finish();
 }
 
-void resetSimClock() {
-  auto& rt = detail::Runtime::instance();
-  rt.system().resetClock();
-  for (int d = 0; d < rt.deviceCount(); ++d) rt.queue(d).resetClock();
-}
+void resetSimClock() { detail::Runtime::instance().resetClock(); }
 
 const sim::Stats& simStats() { return detail::Runtime::instance().system().stats(); }
 
 void setPartitionWeights(std::vector<double> weights) {
   detail::Runtime::instance().setPartitionWeights(std::move(weights));
+}
+
+void setFaultPlan(sim::FaultPlan plan) {
+  detail::Runtime::instance().system().faults().install(std::move(plan));
+}
+
+int aliveDeviceCount() { return detail::Runtime::instance().aliveDeviceCount(); }
+
+void blacklistDevice(int device) {
+  detail::Runtime::instance().blacklistDevice(device, "blacklisted by the application");
 }
 
 }  // namespace skelcl

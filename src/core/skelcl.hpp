@@ -16,6 +16,7 @@
 #include "core/type_name.hpp"      // IWYU pragma: export
 #include "core/vector.hpp"         // IWYU pragma: export
 #include "sim/device_spec.hpp"     // IWYU pragma: export
+#include "sim/fault.hpp"           // IWYU pragma: export
 
 namespace skelcl {
 
@@ -43,5 +44,21 @@ const sim::Stats& simStats();
 /// Set proportional block-partition weights for devices (used by the static
 /// scheduler for heterogeneous systems, Section V).  Empty = even split.
 void setPartitionWeights(std::vector<double> weights);
+
+// --- fault tolerance (docs/ROBUSTNESS.md) ----------------------------------
+
+/// Install a fault-injection plan on the running system (replaces any plan
+/// set programmatically or through SKELCL_FAULTS).  Pass a
+/// default-constructed plan to disable injection.
+void setFaultPlan(sim::FaultPlan plan);
+
+/// Devices still accepting work; decreases when a permanent fault gets a
+/// device blacklisted.
+int aliveDeviceCount();
+
+/// Manually blacklist a device (tests, what-if experiments); skeletons
+/// repartition over the survivors exactly as after an injected permanent
+/// fault.
+void blacklistDevice(int device);
 
 }  // namespace skelcl

@@ -39,7 +39,15 @@ void applyNetworkModel(sim::System& system, const DistributedConfig& config) {
 
 void initSkelCL(const DistributedConfig& config) {
   init(flatten(config));
-  applyNetworkModel(detail::Runtime::instance().system(), config);
+  auto& system = detail::Runtime::instance().system();
+  applyNetworkModel(system, config);
+  sim::FaultPlan plan = networkFaultPlan(config);
+  if (!plan.empty()) {
+    // An unreliable network coexists with externally requested faults; the
+    // env spec's seed and retry policy win when present.
+    plan.merge(sim::FaultPlan::fromEnv());
+    system.faults().install(std::move(plan));
+  }
 }
 
 DistributedConfig laboratorySetup() {
@@ -48,6 +56,36 @@ DistributedConfig laboratorySetup() {
   config.servers.push_back(sim::SystemConfig::dualGpuServer());
   config.servers.push_back(sim::SystemConfig::dualGpuServer());
   return config;
+}
+
+sim::FaultPlan networkFaultPlan(const DistributedConfig& config) {
+  sim::FaultPlan plan(config.network.fault_seed);
+  if (config.network.drop_rate <= 0.0) return plan;
+  int device = 0;
+  for (const sim::SystemConfig& server : config.servers) {
+    for (std::size_t d = 0; d < server.devices.size(); ++d) {
+      plan.dropNetworkRandomly(device++, config.network.drop_rate,
+                               config.network.timeout_us * 1e-6);
+    }
+  }
+  return plan;
+}
+
+std::pair<int, int> serverDeviceRange(const DistributedConfig& config, std::size_t node) {
+  SKELCL_CHECK(node < config.servers.size(), "no such server node");
+  int first = 0;
+  for (std::size_t s = 0; s < node; ++s) {
+    first += static_cast<int>(config.servers[s].devices.size());
+  }
+  const int count = static_cast<int>(config.servers[node].devices.size());
+  SKELCL_CHECK(count > 0, "server node has no devices");
+  return {first, first + count - 1};
+}
+
+void killServer(sim::FaultPlan& plan, const DistributedConfig& config, std::size_t node,
+                int afterCommands) {
+  const auto [first, last] = serverDeviceRange(config, node);
+  for (int d = first; d <= last; ++d) plan.killAfterCommands(d, afterCommands);
 }
 
 }  // namespace skelcl::docl

@@ -11,10 +11,14 @@
 // network cost (latency on every command, bandwidth on transfers).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/device_spec.hpp"
+#include "sim/fault.hpp"
 #include "sim/system.hpp"
 
 namespace skelcl::docl {
@@ -22,6 +26,12 @@ namespace skelcl::docl {
 struct NetworkSpec {
   double bandwidth_gbs = 0.117;  ///< Gigabit Ethernet payload rate (GB/s)
   double latency_us = 120.0;     ///< request round-trip cost
+  // Network unreliability (fault model): every remote command is dropped
+  // with `drop_rate` probability and surfaces as a transient IoError after a
+  // `timeout_us` wait; the runtime's retry policy re-issues it.
+  double drop_rate = 0.0;
+  double timeout_us = 500.0;
+  std::uint64_t fault_seed = 1;  ///< seeds the (deterministic) drop stream
 };
 
 struct DistributedConfig {
@@ -47,5 +57,20 @@ void initSkelCL(const DistributedConfig& config);
 /// The paper's laboratory setup: the 4-GPU S1070 machine plus two dual-GPU
 /// servers, aggregated on a client with no local devices (8 GPUs total).
 DistributedConfig laboratorySetup();
+
+/// The fault plan implied by the network spec: a seeded random network-drop
+/// rule per device when drop_rate > 0 (empty plan otherwise).  initSkelCL
+/// installs it automatically, merged with any SKELCL_FAULTS spec.
+sim::FaultPlan networkFaultPlan(const DistributedConfig& config);
+
+/// [first, last] flattened device ids contributed by server `node`.
+std::pair<int, int> serverDeviceRange(const DistributedConfig& config, std::size_t node);
+
+/// Model a whole server node going down: every one of its devices dies
+/// permanently after `afterCommands` further commands.  SkelCL blacklists
+/// them one by one as skeletons touch them and degrades onto the surviving
+/// nodes.
+void killServer(sim::FaultPlan& plan, const DistributedConfig& config, std::size_t node,
+                int afterCommands);
 
 }  // namespace skelcl::docl

@@ -1,5 +1,7 @@
 #include "ocl/platform.hpp"
 
+#include <algorithm>
+
 namespace skelcl::ocl {
 
 Device::Device(Platform& platform, int id) : platform_(platform), id_(id) {}
@@ -7,11 +9,19 @@ Device::Device(Platform& platform, int id) : platform_(platform), id_(id) {}
 const sim::DeviceSpec& Device::spec() const { return platform_.system().device(id_); }
 
 void Device::allocate(std::uint64_t bytes) {
-  if (allocated_ + bytes > memoryCapacity()) {
+  const sim::FaultInjector& faults = platform_.system().faults();
+  if (faults.deviceDead(id_)) {
+    throw CommandError("device '" + name() + "': allocation on a dead device", id_,
+                       sim::status::DeviceNotAvailable,
+                       platform_.system().hostNow(), /*permanent=*/true);
+  }
+  // An injected memory cap models VRAM exhaustion below the spec capacity.
+  const std::uint64_t capacity = std::min(memoryCapacity(), faults.memoryCap(id_));
+  if (allocated_ + bytes > capacity) {
     throw ResourceError("device '" + name() + "': allocation of " + std::to_string(bytes) +
                         " bytes exceeds the remaining " +
-                        std::to_string(memoryCapacity() - allocated_) +
-                        " bytes of device memory");
+                        std::to_string(capacity > allocated_ ? capacity - allocated_ : 0) +
+                        " bytes of device memory (CL_MEM_OBJECT_ALLOCATION_FAILURE)");
   }
   allocated_ += bytes;
 }

@@ -26,6 +26,30 @@ enum class Api { OpenCL, Cuda };
 
 constexpr double apiEfficiency(Api api) { return api == Api::Cuda ? 1.0 : 0.84; }
 
+/// A command (transfer, kernel launch, allocation) failed — the simulated
+/// analogue of a non-CL_SUCCESS return from an enqueue.  `permanent()`
+/// distinguishes device death (blacklist and redistribute) from transient
+/// faults (retry with backoff); `failTime()` is the simulated instant the
+/// failure surfaced, so retry backoff can be charged to the clock.
+class CommandError : public Error {
+ public:
+  CommandError(const std::string& what, int device, int status, double failTime,
+               bool permanent)
+      : Error(what), device_(device), status_(status), fail_time_(failTime),
+        permanent_(permanent) {}
+
+  int device() const { return device_; }
+  int status() const { return status_; }
+  double failTime() const { return fail_time_; }
+  bool permanent() const { return permanent_; }
+
+ private:
+  int device_;
+  int status_;
+  double fail_time_;
+  bool permanent_;
+};
+
 /// One compute device of the platform.  Tracks memory allocation against the
 /// modeled capacity; exceeding it throws ResourceError just like a real
 /// CL_MEM_OBJECT_ALLOCATION_FAILURE.

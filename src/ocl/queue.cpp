@@ -32,21 +32,73 @@ CommandQueue::CommandQueue(Context& context, Device& device, Api api)
 double CommandQueue::earliestStart(std::span<const Event> deps) const {
   // A command can start once (a) the host has reached the enqueue point,
   // (b) all previous commands of this in-order queue are done, and (c) all
-  // explicit event dependencies are done.  Events from a previous clock
-  // epoch (pre-resetClock) are ignored: their timestamps belong to a clock
-  // that no longer exists.
+  // explicit event dependencies are done.  Dependency policy (one rule, no
+  // silent time-0 defaults): an invalid (default-constructed) or failed
+  // event as a dependency is a caller bug and throws; events from a
+  // previous clock epoch (pre-resetClock) are *skipped* — their timestamps
+  // belong to a clock that no longer exists, and the commands they marked
+  // completed before the reset by definition.
   const auto& system = context_->platform().system();
+  SKELCL_CHECK(last_end_ == 0.0 || watermark_epoch_ == system.clockEpoch(),
+               "queue watermark is from a previous clock epoch: "
+               "System::resetClock ran without CommandQueue::resetClock "
+               "(use skelcl::resetSimClock, which resets both)");
   double earliest = std::max(system.hostNow(), last_end_);
   for (const Event& e : deps) {
-    if (e.valid() && e.epoch() == system.clockEpoch()) {
+    SKELCL_CHECK(e.valid(), "invalid (default-constructed) event passed as a dependency");
+    SKELCL_CHECK(!e.failed(), "failed event passed as a dependency; the command "
+                              "producing it never ran to completion");
+    if (e.epoch() == system.clockEpoch()) {
       earliest = std::max(earliest, e.profilingEnd());
     }
   }
   return earliest;
 }
 
+void CommandQueue::admitCommand(sim::CommandClass cls, const CommandInfo& info,
+                                std::span<const Event> deps) {
+  auto& system = context_->platform().system();
+  auto& faults = system.faults();
+  if (!faults.active()) return;
+  const double earliest = earliestStart(deps);
+  const sim::FaultDecision decision = faults.onCommand(device_->id(), cls, earliest);
+  if (decision.kind == sim::FaultDecision::Kind::None) return;
+
+  Event event;
+  if (decision.kind == sim::FaultDecision::Kind::Transient) {
+    // The failed attempt occupies the resource like the real command would
+    // (a dropped transfer still burned the wire; a faulted launch still held
+    // the device); network timeouts extend the event past the reservation.
+    sim::Timeline::Span span{};
+    if (cls == sim::CommandClass::Transfer) {
+      span = system.reserveTransfer(device_->id(), info.bytes, earliest);
+    } else {
+      const double overhead =
+          (api_ == Api::Cuda ? device_->spec().launch_overhead_cuda_us
+                             : device_->spec().launch_overhead_ocl_us) * 1e-6;
+      span = system.reserveKernel(device_->id(), 0,
+                                  info.workItems == 0 ? 1 : info.workItems,
+                                  apiEfficiency(api_), overhead, earliest);
+    }
+    event = Event(span.start, span.end + decision.extra_delay_s, system.clockEpoch(),
+                  decision.status);
+  } else {
+    // Device death: the command never executes; only the timeout (if any)
+    // elapses before the failure surfaces.
+    event = Event(earliest, earliest + decision.extra_delay_s, system.clockEpoch(),
+                  decision.status);
+  }
+  noteCompletion(event, /*blocking=*/false);
+  reportCommand(info, event);
+  throw CommandError("device " + std::to_string(device_->id()) + " ('" + device_->name() +
+                         "'): " + decision.what,
+                     device_->id(), decision.status, event.profilingEnd(),
+                     decision.kind == sim::FaultDecision::Kind::DeviceLost);
+}
+
 void CommandQueue::noteCompletion(const Event& event, bool blocking) {
   last_end_ = std::max(last_end_, event.profilingEnd());
+  watermark_epoch_ = event.epoch();
   if (blocking) context_->platform().system().advanceHost(event.profilingEnd());
 }
 
@@ -71,6 +123,8 @@ Event CommandQueue::enqueueWriteBuffer(Buffer& dst, std::uint64_t offset,
                                        std::span<const Event> deps) {
   checkBufferRange(dst, offset, bytes, "enqueueWriteBuffer");
   checkBufferDevice(dst, "enqueueWriteBuffer");
+  admitCommand(sim::CommandClass::Transfer,
+               {CommandInfo::Kind::Write, device_->id(), bytes, 0, nullptr}, deps);
   std::memcpy(dst.data() + offset, src, bytes);
   auto& system = context_->platform().system();
   const auto span = system.reserveTransfer(device_->id(), bytes, earliestStart(deps));
@@ -85,6 +139,8 @@ Event CommandQueue::enqueueReadBuffer(const Buffer& src, std::uint64_t offset,
                                       std::span<const Event> deps) {
   checkBufferRange(src, offset, bytes, "enqueueReadBuffer");
   checkBufferDevice(src, "enqueueReadBuffer");
+  admitCommand(sim::CommandClass::Transfer,
+               {CommandInfo::Kind::Read, device_->id(), bytes, 0, nullptr}, deps);
   std::memcpy(dst, src.data() + offset, bytes);
   auto& system = context_->platform().system();
   const auto span = system.reserveTransfer(device_->id(), bytes, earliestStart(deps));
@@ -99,6 +155,8 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src, Buffer& dst, std::uint6
                                       std::span<const Event> deps) {
   checkBufferRange(src, srcOffset, bytes, "enqueueCopyBuffer(src)");
   checkBufferRange(dst, dstOffset, bytes, "enqueueCopyBuffer(dst)");
+  admitCommand(sim::CommandClass::Transfer,
+               {CommandInfo::Kind::Copy, device_->id(), bytes, 0, nullptr}, deps);
   std::memcpy(dst.data() + dstOffset, src.data() + srcOffset, bytes);
 
   auto& system = context_->platform().system();
@@ -123,6 +181,8 @@ Event CommandQueue::enqueueFillBuffer(Buffer& dst, std::byte value, std::uint64_
                                       std::uint64_t bytes, std::span<const Event> deps) {
   checkBufferRange(dst, offset, bytes, "enqueueFillBuffer");
   checkBufferDevice(dst, "enqueueFillBuffer");
+  admitCommand(sim::CommandClass::Transfer,
+               {CommandInfo::Kind::Fill, device_->id(), bytes, 0, nullptr}, deps);
   std::memset(dst.data() + offset, std::to_integer<int>(value), bytes);
   // Device-side fill: cheap, bounded by device memory bandwidth (modeled as
   // 20x link rate) plus one launch overhead.
@@ -143,6 +203,10 @@ Event CommandQueue::enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSiz
                                          std::uint64_t globalOffset,
                                          std::span<const Event> deps) {
   SKELCL_CHECK(globalSize > 0, "global work size must be positive");
+  admitCommand(sim::CommandClass::Kernel,
+               {CommandInfo::Kind::Kernel, device_->id(), 0, globalSize,
+                kernel.name().c_str()},
+               deps);
 
   // Marshal arguments: buffers become VM memory regions, scalars pass through.
   const auto& fnArgs = kernel.args();

@@ -17,23 +17,29 @@ namespace skelcl::ocl {
 /// (clGetEventProfilingInfo equivalent).  `epoch` tags the event with the
 /// simulated-clock generation it was produced under (System::clockEpoch);
 /// events from before a resetClock carry timestamps of a dead clock and are
-/// ignored as dependencies.
+/// ignored as dependencies.  `status` is the CL-style execution status
+/// (sim::status): 0 on success, negative when the command failed — failed
+/// events are *valid* (the command happened) but poison dependents.
 class Event {
  public:
   Event() = default;
-  Event(double start, double end, std::uint64_t epoch = 0)
-      : start_(start), end_(end), epoch_(epoch), valid_(true) {}
+  Event(double start, double end, std::uint64_t epoch = 0, int status = 0)
+      : start_(start), end_(end), epoch_(epoch), status_(status), valid_(true) {}
 
   bool valid() const { return valid_; }
   double profilingStart() const { return start_; }
   double profilingEnd() const { return end_; }
   double duration() const { return end_ - start_; }
   std::uint64_t epoch() const { return epoch_; }
+  int status() const { return status_; }
+  /// The command this event marks failed (status < 0).
+  bool failed() const { return status_ < 0; }
 
  private:
   double start_ = 0.0;
   double end_ = 0.0;
   std::uint64_t epoch_ = 0;
+  int status_ = 0;
   bool valid_ = false;
 };
 
@@ -89,11 +95,17 @@ class CommandQueue {
   /// The simulated completion time of the last enqueued command.
   double lastEventEnd() const { return last_end_; }
   /// Zero the in-order watermark; must accompany System::resetClock(),
-  /// otherwise post-reset commands inherit pre-reset completion times.
+  /// otherwise post-reset commands inherit pre-reset completion times
+  /// (detail::Runtime::resetClock does both — prefer skelcl::resetSimClock).
   void resetClock() { last_end_ = 0.0; }
 
  private:
   double earliestStart(std::span<const Event> deps) const;
+  /// Consult the system's fault injector before executing a command; on an
+  /// injected fault, accounts the failed attempt on the timelines, reports
+  /// it to the observability hook, and throws CommandError.
+  void admitCommand(sim::CommandClass cls, const CommandInfo& info,
+                    std::span<const Event> deps);
   void noteCompletion(const Event& event, bool blocking);
   void checkBufferRange(const Buffer& buffer, std::uint64_t offset, std::uint64_t bytes,
                         const char* what) const;
@@ -103,6 +115,9 @@ class CommandQueue {
   Device* device_;
   Api api_;
   double last_end_ = 0.0;
+  /// Clock epoch last_end_ belongs to; a stale value means System::resetClock
+  /// ran without this queue's resetClock (caught by a SKELCL_CHECK).
+  std::uint64_t watermark_epoch_ = 0;
 };
 
 }  // namespace skelcl::ocl

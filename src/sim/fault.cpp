@@ -1,0 +1,367 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "base/error.hpp"
+
+namespace skelcl::sim {
+
+FaultPlan& FaultPlan::retries(int maxAttempts) {
+  SKELCL_CHECK(maxAttempts >= 1, "retry policy needs at least one attempt");
+  policy_.max_attempts = maxAttempts;
+  policy_explicit_ = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::backoff(double baseSeconds, double multiplier) {
+  SKELCL_CHECK(baseSeconds >= 0.0 && multiplier >= 1.0, "invalid backoff parameters");
+  policy_.base_backoff_s = baseSeconds;
+  policy_.multiplier = multiplier;
+  policy_explicit_ = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::failTransfers(int device, int count) {
+  Rule r;
+  r.kind = Rule::Kind::Transient;
+  r.device = device;
+  r.cls = CommandClass::Transfer;
+  r.count = count;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::failKernels(int device, int count) {
+  Rule r;
+  r.kind = Rule::Kind::Transient;
+  r.device = device;
+  r.cls = CommandClass::Kernel;
+  r.count = count;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::failRandomly(int device, CommandClass cls, double probability) {
+  SKELCL_CHECK(probability >= 0.0 && probability <= 1.0, "probability out of range");
+  Rule r;
+  r.kind = Rule::Kind::Random;
+  r.device = device;
+  r.cls = cls;
+  r.probability = probability;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::dropNetwork(int device, int count, double timeoutSeconds) {
+  Rule r;
+  r.kind = Rule::Kind::Network;
+  r.device = device;
+  r.any_class = true;
+  r.count = count;
+  r.time_s = timeoutSeconds;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::dropNetworkRandomly(int device, double probability,
+                                          double timeoutSeconds) {
+  SKELCL_CHECK(probability >= 0.0 && probability <= 1.0, "probability out of range");
+  Rule r;
+  r.kind = Rule::Kind::Network;
+  r.device = device;
+  r.any_class = true;
+  r.count = 0;  // probabilistic
+  r.probability = probability;
+  r.time_s = timeoutSeconds;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::killAfterCommands(int device, int commands) {
+  SKELCL_CHECK(device >= 0, "kill rules need a concrete device");
+  Rule r;
+  r.kind = Rule::Kind::KillAfter;
+  r.device = device;
+  r.count = commands;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::killAtTime(int device, double simSeconds) {
+  SKELCL_CHECK(device >= 0, "kill rules need a concrete device");
+  Rule r;
+  r.kind = Rule::Kind::KillAt;
+  r.device = device;
+  r.time_s = simSeconds;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::limitMemory(int device, std::uint64_t bytes) {
+  SKELCL_CHECK(device >= 0, "memory caps need a concrete device");
+  memory_caps_.emplace_back(device, bytes);
+  return *this;
+}
+
+FaultPlan& FaultPlan::merge(const FaultPlan& other) {
+  rules_.insert(rules_.end(), other.rules_.begin(), other.rules_.end());
+  memory_caps_.insert(memory_caps_.end(), other.memory_caps_.begin(),
+                      other.memory_caps_.end());
+  if (other.policy_explicit_) {
+    policy_ = other.policy_;
+    policy_explicit_ = true;
+  }
+  if (other.seed_ != 0) seed_ = other.seed_;
+  return *this;
+}
+
+namespace {
+
+[[noreturn]] void badSpec(const std::string& clause, const std::string& why) {
+  throw UsageError("SKELCL_FAULTS: bad clause '" + clause + "': " + why);
+}
+
+std::vector<std::string> splitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+/// "dev3" -> 3, "dev*" -> -1.
+int parseDevice(const std::string& clause, const std::string& token) {
+  if (token.rfind("dev", 0) != 0) badSpec(clause, "expected devN or dev*");
+  const std::string rest = token.substr(3);
+  if (rest == "*") return -1;
+  try {
+    return std::stoi(rest);
+  } catch (...) {
+    badSpec(clause, "bad device '" + token + "'");
+  }
+}
+
+/// "200us" / "5ms" / "0.01s" / bare seconds -> seconds.
+double parseTime(const std::string& clause, const std::string& token) {
+  double scale = 1.0;
+  std::string num = token;
+  if (token.size() > 2 && token.compare(token.size() - 2, 2, "us") == 0) {
+    scale = 1e-6;
+    num = token.substr(0, token.size() - 2);
+  } else if (token.size() > 2 && token.compare(token.size() - 2, 2, "ms") == 0) {
+    scale = 1e-3;
+    num = token.substr(0, token.size() - 2);
+  } else if (!token.empty() && token.back() == 's') {
+    num = token.substr(0, token.size() - 1);
+  }
+  try {
+    return std::stod(num) * scale;
+  } catch (...) {
+    badSpec(clause, "bad time '" + token + "'");
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& clause : splitOn(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::vector<std::string> t = splitOn(clause, ':');
+    const std::string& head = t[0];
+    auto need = [&](std::size_t n) {
+      if (t.size() != n) badSpec(clause, "expected " + std::to_string(n) + " tokens");
+    };
+    if (head == "seed") {
+      need(2);
+      plan.seed_ = std::strtoull(t[1].c_str(), nullptr, 10);
+    } else if (head == "retries") {
+      need(2);
+      plan.retries(std::atoi(t[1].c_str()));
+    } else if (head == "backoff") {
+      need(2);
+      plan.backoff(parseTime(clause, t[1]));
+    } else if (head == "transfer" || head == "kernel") {
+      need(3);
+      const int dev = parseDevice(clause, t[1]);
+      const CommandClass cls =
+          head == "transfer" ? CommandClass::Transfer : CommandClass::Kernel;
+      if (t[2].rfind("count", 0) == 0) {
+        const int n = std::atoi(t[2].c_str() + 5);
+        if (n <= 0) badSpec(clause, "count must be positive");
+        if (cls == CommandClass::Transfer) {
+          plan.failTransfers(dev, n);
+        } else {
+          plan.failKernels(dev, n);
+        }
+      } else if (t[2].rfind("p", 0) == 0) {
+        plan.failRandomly(dev, cls, std::atof(t[2].c_str() + 1));
+      } else {
+        badSpec(clause, "expected countN or pF");
+      }
+    } else if (head == "net") {
+      if (t.size() != 3 && t.size() != 4) badSpec(clause, "expected 3 or 4 tokens");
+      const int dev = parseDevice(clause, t[1]);
+      const double timeout =
+          t.size() == 4 ? parseTime(clause, t[3].rfind("timeout", 0) == 0
+                                                ? t[3].substr(7)
+                                                : t[3])
+                        : 500e-6;
+      if (t[2].rfind("count", 0) == 0) {
+        const int n = std::atoi(t[2].c_str() + 5);
+        if (n <= 0) badSpec(clause, "count must be positive");
+        plan.dropNetwork(dev, n, timeout);
+      } else if (t[2].rfind("p", 0) == 0) {
+        plan.dropNetworkRandomly(dev, std::atof(t[2].c_str() + 1), timeout);
+      } else {
+        badSpec(clause, "expected countN or pF");
+      }
+    } else if (head == "kill") {
+      need(3);
+      const int dev = parseDevice(clause, t[1]);
+      if (dev < 0) badSpec(clause, "kill rules need a concrete device");
+      if (t[2].rfind("after", 0) == 0) {
+        plan.killAfterCommands(dev, std::atoi(t[2].c_str() + 5));
+      } else if (t[2].rfind("at", 0) == 0) {
+        plan.killAtTime(dev, parseTime(clause, t[2].substr(2)));
+      } else {
+        badSpec(clause, "expected afterN or atT");
+      }
+    } else if (head == "oom") {
+      need(3);
+      const int dev = parseDevice(clause, t[1]);
+      if (dev < 0) badSpec(clause, "memory caps need a concrete device");
+      if (t[2].rfind("bytes", 0) != 0) badSpec(clause, "expected bytesN");
+      plan.limitMemory(dev, std::strtoull(t[2].c_str() + 5, nullptr, 10));
+    } else {
+      badSpec(clause, "unknown clause kind");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::fromEnv() {
+  const char* spec = std::getenv("SKELCL_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return FaultPlan{};
+  return parse(spec);
+}
+
+// ---------------------------------------------------------------------------
+
+void FaultInjector::install(FaultPlan plan) {
+  plan_ = std::move(plan);
+  active_ = !plan_.empty();
+  rng_ = Rng(plan_.seed_);
+  remaining_.clear();
+  for (const FaultPlan::Rule& r : plan_.rules_) remaining_.push_back(r.count);
+  counts_.clear();
+  dead_.clear();
+}
+
+void FaultInjector::ensureDevice(int device) {
+  const auto need = static_cast<std::size_t>(device) + 1;
+  if (counts_.size() < need) counts_.resize(need, 0);
+  if (dead_.size() < need) dead_.resize(need, 0);
+}
+
+bool FaultInjector::deviceDead(int device) const {
+  return device >= 0 && static_cast<std::size_t>(device) < dead_.size() &&
+         dead_[static_cast<std::size_t>(device)] != 0;
+}
+
+std::uint64_t FaultInjector::memoryCap(int device) const {
+  std::uint64_t cap = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [dev, bytes] : plan_.memory_caps_) {
+    if (dev == device) cap = std::min(cap, bytes);
+  }
+  return cap;
+}
+
+std::uint64_t FaultInjector::commandCount(int device) const {
+  if (device < 0 || static_cast<std::size_t>(device) >= counts_.size()) return 0;
+  return counts_[static_cast<std::size_t>(device)];
+}
+
+FaultDecision FaultInjector::lost(const std::string& why) {
+  FaultDecision d;
+  d.kind = FaultDecision::Kind::DeviceLost;
+  d.status = status::DeviceNotAvailable;
+  d.what = why;
+  return d;
+}
+
+FaultDecision FaultInjector::onCommand(int device, CommandClass cls, double now) {
+  if (!active_ || device < 0) return {};
+  ensureDevice(device);
+  const std::uint64_t n = ++counts_[static_cast<std::size_t>(device)];
+
+  if (dead_[static_cast<std::size_t>(device)]) {
+    return lost("device previously failed (CL_DEVICE_NOT_AVAILABLE)");
+  }
+
+  // Kill rules first: death preempts any transient fault.
+  for (const FaultPlan::Rule& r : plan_.rules_) {
+    if (r.device != device) continue;
+    if (r.kind == FaultPlan::Rule::Kind::KillAfter && n > static_cast<std::uint64_t>(r.count)) {
+      dead_[static_cast<std::size_t>(device)] = 1;
+      return lost("device died after " + std::to_string(r.count) + " commands");
+    }
+    if (r.kind == FaultPlan::Rule::Kind::KillAt && now >= r.time_s) {
+      dead_[static_cast<std::size_t>(device)] = 1;
+      return lost("device died at t=" + std::to_string(r.time_s) + "s");
+    }
+  }
+
+  // Transient rules in declaration order; first match wins.
+  for (std::size_t i = 0; i < plan_.rules_.size(); ++i) {
+    const FaultPlan::Rule& r = plan_.rules_[i];
+    if (r.device != -1 && r.device != device) continue;
+    if (!r.any_class && r.kind != FaultPlan::Rule::Kind::KillAfter &&
+        r.kind != FaultPlan::Rule::Kind::KillAt && r.cls != cls) {
+      continue;
+    }
+    FaultDecision d;
+    switch (r.kind) {
+      case FaultPlan::Rule::Kind::Transient:
+        if (remaining_[i] <= 0) continue;
+        --remaining_[i];
+        d.kind = FaultDecision::Kind::Transient;
+        d.status = cls == CommandClass::Kernel ? status::OutOfResources : status::IoError;
+        d.what = cls == CommandClass::Kernel
+                     ? "injected transient kernel fault (CL_OUT_OF_RESOURCES)"
+                     : "injected transient transfer fault";
+        return d;
+      case FaultPlan::Rule::Kind::Random:
+        if (rng_.nextDouble() >= r.probability) continue;
+        d.kind = FaultDecision::Kind::Transient;
+        d.status = cls == CommandClass::Kernel ? status::OutOfResources : status::IoError;
+        d.what = "injected random fault";
+        return d;
+      case FaultPlan::Rule::Kind::Network:
+        if (r.count > 0) {
+          if (remaining_[i] <= 0) continue;
+          --remaining_[i];
+        } else if (rng_.nextDouble() >= r.probability) {
+          continue;
+        }
+        d.kind = FaultDecision::Kind::Transient;
+        d.status = status::IoError;
+        d.extra_delay_s = r.time_s;
+        d.what = "network drop: remote command timed out after " +
+                 std::to_string(r.time_s) + "s";
+        return d;
+      case FaultPlan::Rule::Kind::KillAfter:
+      case FaultPlan::Rule::Kind::KillAt:
+        continue;  // handled above
+    }
+  }
+  return {};
+}
+
+}  // namespace skelcl::sim

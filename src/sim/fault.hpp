@@ -1,0 +1,182 @@
+// Deterministic, seeded fault injection for the simulated machine.
+//
+// A FaultPlan describes *what* should go wrong (transient transfer/kernel
+// failures, dOpenCL network drops with timeouts, permanent device death,
+// modeled VRAM exhaustion); a FaultInjector, owned by sim::System, applies
+// it to the command stream.  Decisions depend only on the plan's seed and on
+// the (deterministic) order of enqueued commands, so a failing run replays
+// bit-identically — the property every fault-tolerance test relies on.
+//
+// Plans come from code (builder API) or from the SKELCL_FAULTS environment
+// variable; the grammar is documented in docs/ROBUSTNESS.md and FaultPlan::parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace skelcl::sim {
+
+/// Coarse command classification used by fault rules.  Transfers cover
+/// writes, reads, copies and fills; kernels cover NDRange launches.
+enum class CommandClass { Transfer, Kernel };
+
+/// CL-style status codes carried by failed events and CommandErrors.
+namespace status {
+inline constexpr int Success = 0;
+inline constexpr int DeviceNotAvailable = -2;          ///< permanent device death
+inline constexpr int MemObjectAllocationFailure = -4;  ///< modeled VRAM exhaustion
+inline constexpr int OutOfResources = -5;              ///< transient kernel fault
+inline constexpr int ExecStatusError = -14;            ///< dependency failed; command skipped
+inline constexpr int IoError = -2001;                  ///< dOpenCL network drop / transfer fault
+}  // namespace status
+
+/// Bounded exponential backoff for transient faults.  The delay after the
+/// n-th failed attempt is base * multiplier^(n-1); after max_attempts the
+/// failure is surfaced to the caller.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double base_backoff_s = 100e-6;
+  double multiplier = 2.0;
+
+  double backoffAfter(int failedAttempts) const {
+    double d = base_backoff_s;
+    for (int i = 1; i < failedAttempts; ++i) d *= multiplier;
+    return d;
+  }
+};
+
+/// What the injector decided for one command.
+struct FaultDecision {
+  enum class Kind {
+    None,        ///< command proceeds normally
+    Transient,   ///< command fails this time; a retry may succeed
+    DeviceLost,  ///< device is permanently gone
+  };
+  Kind kind = Kind::None;
+  int status = status::Success;
+  double extra_delay_s = 0.0;  ///< time burned before the failure surfaces (timeouts)
+  std::string what;            ///< human-readable cause for the error message
+};
+
+/// A declarative description of the faults to inject.  Rules are evaluated
+/// in declaration order; the first matching rule wins.
+class FaultPlan {
+ public:
+  struct Rule {
+    enum class Kind {
+      Transient,  ///< fail the next `count` matching commands, then succeed
+      Random,     ///< fail each matching command with `probability`
+      Network,    ///< like Transient/Random but with a timeout delay (dOpenCL)
+      KillAfter,  ///< device dies when its command count exceeds `count`
+      KillAt,     ///< device dies at simulated time `time_s`
+    };
+    Kind kind = Kind::Transient;
+    int device = -1;  ///< -1 = any device
+    CommandClass cls = CommandClass::Transfer;
+    bool any_class = false;
+    int count = 0;
+    double probability = 0.0;
+    double time_s = 0.0;  ///< KillAt trigger time, or Network timeout
+  };
+
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  FaultPlan& retries(int maxAttempts);
+  FaultPlan& backoff(double baseSeconds, double multiplier = 2.0);
+  /// Fail the next `count` transfers (writes/reads/copies/fills) on `device`.
+  FaultPlan& failTransfers(int device, int count);
+  /// Fail the next `count` kernel launches on `device`.
+  FaultPlan& failKernels(int device, int count);
+  /// Fail each matching command with `probability` (seeded, deterministic).
+  FaultPlan& failRandomly(int device, CommandClass cls, double probability);
+  /// Drop the next `count` commands aimed at `device` after a network
+  /// timeout of `timeoutSeconds` (dOpenCL remote-command model).
+  FaultPlan& dropNetwork(int device, int count, double timeoutSeconds);
+  /// Drop each command aimed at `device` with `probability`, each costing a
+  /// `timeoutSeconds` wait before the failure surfaces.
+  FaultPlan& dropNetworkRandomly(int device, double probability, double timeoutSeconds);
+  /// `device` dies permanently once more than `commands` commands hit it.
+  FaultPlan& killAfterCommands(int device, int commands);
+  /// `device` dies permanently at simulated time `simSeconds`.
+  FaultPlan& killAtTime(int device, double simSeconds);
+  /// Cap `device`'s usable memory at `bytes` (allocation beyond it fails).
+  FaultPlan& limitMemory(int device, std::uint64_t bytes);
+
+  /// Append the rules of `other`; keeps this plan's seed and retry policy
+  /// unless `other` set them explicitly.
+  FaultPlan& merge(const FaultPlan& other);
+
+  /// Parse a SKELCL_FAULTS spec: ';'-separated clauses of ':'-separated
+  /// tokens, e.g.
+  ///   seed:42;retries:5;backoff:200us
+  ///   transfer:dev0:count2          fail the next 2 transfers on device 0
+  ///   kernel:dev*:p0.01             1% of kernel launches fail, any device
+  ///   net:dev3:count1:timeout500us  one network drop on device 3
+  ///   kill:dev2:after120            device 2 dies after 120 commands
+  ///   kill:dev1:at0.005             device 1 dies at t = 5 ms
+  ///   oom:dev0:bytes1048576         device 0 holds only 1 MiB
+  /// Throws UsageError on malformed specs.
+  static FaultPlan parse(const std::string& spec);
+  /// parse(getenv("SKELCL_FAULTS")), or an empty plan when unset.
+  static FaultPlan fromEnv();
+
+  bool empty() const { return rules_.empty() && memory_caps_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+  const RetryPolicy& retryPolicy() const { return policy_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  /// (device, cap) pairs from limitMemory.
+  const std::vector<std::pair<int, std::uint64_t>>& memoryCaps() const { return memory_caps_; }
+
+ private:
+  std::vector<Rule> rules_;
+  std::vector<std::pair<int, std::uint64_t>> memory_caps_;
+  RetryPolicy policy_;
+  std::uint64_t seed_ = 0;
+  bool policy_explicit_ = false;
+
+  friend class FaultInjector;
+};
+
+/// Applies a FaultPlan to the command stream.  Owned by sim::System; the
+/// queue layer consults it once per enqueued command.  Not thread-safe:
+/// commands are enqueued from the (single) host thread only.
+class FaultInjector {
+ public:
+  /// Install `plan`, resetting all counters and the random stream.
+  void install(FaultPlan plan);
+  /// Remove the plan (equivalent to installing an empty one).
+  void reset() { install(FaultPlan{}); }
+
+  bool active() const { return active_; }
+  const RetryPolicy& retryPolicy() const { return plan_.retryPolicy(); }
+
+  /// Decide the fate of the next command of class `cls` aimed at `device`,
+  /// which would start executing at simulated time `now`.  Counts the
+  /// command and may transition the device to dead.
+  FaultDecision onCommand(int device, CommandClass cls, double now);
+
+  /// True once a kill rule has fired for `device` (every later command on it
+  /// fails permanently).
+  bool deviceDead(int device) const;
+  /// Usable memory of `device` under the plan (UINT64_MAX when uncapped).
+  std::uint64_t memoryCap(int device) const;
+  /// Commands counted against `device` so far.
+  std::uint64_t commandCount(int device) const;
+
+ private:
+  void ensureDevice(int device);
+  FaultDecision lost(const std::string& why);
+
+  FaultPlan plan_;
+  bool active_ = false;
+  Rng rng_{0};
+  std::vector<int> remaining_;          ///< per rule: occurrences left (counted rules)
+  std::vector<std::uint64_t> counts_;   ///< per device: commands seen
+  std::vector<char> dead_;              ///< per device: kill rule fired
+};
+
+}  // namespace skelcl::sim

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/device_spec.hpp"
+#include "sim/fault.hpp"
 #include "sim/timeline.hpp"
 
 namespace skelcl::sim {
@@ -75,6 +76,12 @@ class System {
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
+  /// The fault injector applied to this machine's command stream.  Empty by
+  /// default; install a FaultPlan to make commands fail (the plan survives
+  /// resetClock(): injected hardware state is not simulated time).
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+
  private:
   struct DeviceState {
     Timeline compute;
@@ -93,6 +100,7 @@ class System {
   double host_now_ = 0.0;
   std::uint64_t clock_epoch_ = 0;
   Stats stats_;
+  FaultInjector faults_;
 };
 
 }  // namespace skelcl::sim

@@ -1,0 +1,545 @@
+// Fault injection and fault-tolerant skeleton execution: the SKELCL_FAULTS
+// grammar, seeded determinism, transient retries charged to the simulated
+// clock, permanent device failure with blacklisting + redistribution over
+// the survivors (map/reduce/scan, 2 and 4 GPUs), modeled VRAM exhaustion,
+// dOpenCL server death, and the OSEM degradation acceptance scenario: a
+// 4-GPU reconstruction that loses one GPU mid-iteration must finish on the
+// surviving three with a bit-identical image.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/detail/runtime.hpp"
+#include "core/detail/trace.hpp"
+#include "core/skelcl.hpp"
+#include "docl/docl.hpp"
+#include "osem/osem.hpp"
+
+using namespace skelcl;
+
+namespace {
+
+// Float atomics (OSEM's atomic_add_f) are order-sensitive under the
+// multi-threaded kernel executor; pin the VM to one thread so every run of
+// this binary is bit-deterministic.  Must happen before the thread pool's
+// first use, hence a static initializer.
+const int kForceSingleThread = [] {
+  setenv("SKELCL_THREADS", "1", 1);
+  return 0;
+}();
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    trace::disable();
+    trace::clear();
+    unsetenv("SKELCL_FAULTS");
+    if (detail::Runtime::initialized()) terminate();
+  }
+};
+
+std::vector<int> iotaInts(std::size_t n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+// --- FaultPlan grammar -------------------------------------------------------
+
+TEST(FaultPlanParse, FullGrammarRoundTrip) {
+  const auto plan = sim::FaultPlan::parse(
+      "seed:42;retries:5;backoff:200us;transfer:dev0:count2;kernel:dev*:p0.25;"
+      "net:dev3:count1:timeout500us;net:dev4:p0.1;kill:dev2:after120;"
+      "kill:dev1:at5ms;oom:dev0:bytes1048576");
+  EXPECT_EQ(plan.seed(), 42u);
+  EXPECT_EQ(plan.retryPolicy().max_attempts, 5);
+  EXPECT_DOUBLE_EQ(plan.retryPolicy().base_backoff_s, 200e-6);
+  ASSERT_EQ(plan.rules().size(), 6u);  // oom goes to memoryCaps, not rules
+  EXPECT_EQ(plan.rules()[0].device, 0);
+  EXPECT_EQ(plan.rules()[1].device, -1);
+  EXPECT_DOUBLE_EQ(plan.rules()[2].time_s, 500e-6);  // net timeout
+  EXPECT_DOUBLE_EQ(plan.rules()[4].time_s, 0.0);     // kill after count
+  EXPECT_DOUBLE_EQ(plan.rules()[5].time_s, 5e-3);    // kill at 5ms
+  ASSERT_EQ(plan.memoryCaps().size(), 1u);
+  EXPECT_EQ(plan.memoryCaps()[0].second, std::uint64_t{1048576});
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanParse, MalformedSpecsThrow) {
+  EXPECT_THROW(sim::FaultPlan::parse("bogus:dev0:count1"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("kill:dev*:after3"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("transfer:dev0"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("transfer:gpu0:count1"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("oom:dev0:count3"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("transfer:dev0:count0"), UsageError);
+}
+
+TEST(FaultPlanParse, EmptyAndUnsetSpecsYieldEmptyPlans) {
+  EXPECT_TRUE(sim::FaultPlan::parse("").empty());
+  unsetenv("SKELCL_FAULTS");
+  EXPECT_TRUE(sim::FaultPlan::fromEnv().empty());
+}
+
+// --- seeded determinism ------------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  sim::FaultPlan plan(99);
+  plan.failRandomly(-1, sim::CommandClass::Kernel, 0.5);
+
+  auto decisions = [&plan] {
+    sim::FaultInjector inj;
+    inj.install(plan);
+    std::vector<int> kinds;
+    for (int i = 0; i < 200; ++i) {
+      kinds.push_back(
+          static_cast<int>(inj.onCommand(i % 4, sim::CommandClass::Kernel, 0.0).kind));
+    }
+    return kinds;
+  };
+  const auto a = decisions();
+  const auto b = decisions();
+  EXPECT_EQ(a, b) << "the same plan must replay the same fault sequence";
+
+  sim::FaultPlan other(100);
+  other.failRandomly(-1, sim::CommandClass::Kernel, 0.5);
+  sim::FaultInjector inj;
+  inj.install(other);
+  std::vector<int> c;
+  for (int i = 0; i < 200; ++i) {
+    c.push_back(static_cast<int>(inj.onCommand(i % 4, sim::CommandClass::Kernel, 0.0).kind));
+  }
+  EXPECT_NE(a, c) << "a different seed should produce a different stream";
+}
+
+TEST(FaultInjector, KillAfterCountsPerDevice) {
+  sim::FaultPlan plan;
+  plan.killAfterCommands(1, 2);
+  sim::FaultInjector inj;
+  inj.install(plan);
+  using K = sim::FaultDecision::Kind;
+  EXPECT_EQ(inj.onCommand(1, sim::CommandClass::Transfer, 0.0).kind, K::None);
+  EXPECT_EQ(inj.onCommand(0, sim::CommandClass::Transfer, 0.0).kind, K::None);
+  EXPECT_EQ(inj.onCommand(1, sim::CommandClass::Kernel, 0.0).kind, K::None);
+  EXPECT_EQ(inj.onCommand(1, sim::CommandClass::Kernel, 0.0).kind, K::DeviceLost);
+  EXPECT_TRUE(inj.deviceDead(1));
+  EXPECT_FALSE(inj.deviceDead(0));
+  // every later command on the dead device fails permanently
+  EXPECT_EQ(inj.onCommand(1, sim::CommandClass::Transfer, 0.0).kind, K::DeviceLost);
+}
+
+// --- transient faults + retry ------------------------------------------------
+
+TEST_F(FaultTest, TransientKernelFaultsAreRetriedOnTheSimClock) {
+  init(sim::SystemConfig::teslaS1070(2));
+  sim::FaultPlan plan(1);
+  plan.failKernels(0, 2).backoff(100e-6, 2.0);
+  setFaultPlan(std::move(plan));
+
+  trace::enable();
+  Map<int> twice("int func(int x) { return 2 * x; }");
+  Vector<int> v(1024);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+  Vector<int> out = twice(v);
+  finish();
+  trace::disable();
+
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 2 * static_cast<int>(i));
+  }
+  // Two failed attempts => backoffs of 100us and 200us charged to the
+  // simulated host clock before the third attempt succeeds.
+  EXPECT_GE(simTimeSeconds(), 300e-6);
+  EXPECT_EQ(aliveDeviceCount(), 2) << "transient faults must not blacklist";
+
+  int faults = 0, retries = 0;
+  for (const auto& r : trace::snapshot()) {
+    faults += r.kind == trace::Record::Kind::Fault;
+    retries += r.kind == trace::Record::Kind::Retry;
+    if (r.kind == trace::Record::Kind::Retry) {
+      EXPECT_NE(r.name.find("attempt"), std::string::npos) << r.name;
+    }
+  }
+  EXPECT_EQ(faults, 2);
+  EXPECT_EQ(retries, 2);
+}
+
+TEST_F(FaultTest, ExhaustedRetriesSurfaceTheCommandError) {
+  init(sim::SystemConfig::teslaS1070(2));
+  sim::FaultPlan plan;
+  plan.retries(3).failKernels(0, 50);  // more faults than attempts
+  setFaultPlan(std::move(plan));
+
+  Map<int> twice("int func(int x) { return 2 * x; }");
+  Vector<int> v(64);
+  EXPECT_THROW(twice(v), ocl::CommandError);
+}
+
+// --- permanent failure: blacklist + redistribution ---------------------------
+
+TEST_F(FaultTest, MapSurvivesDeviceDeath) {
+  for (const int gpus : {2, 4}) {
+    init(sim::SystemConfig::teslaS1070(gpus));
+    sim::FaultPlan plan;
+    // on 2 GPUs the kernel dies, on 4 GPUs the very first upload dies
+    plan.killAfterCommands(gpus - 1, gpus == 2 ? 1 : 0);
+    setFaultPlan(std::move(plan));
+
+    Map<int> f("int func(int x) { return 3 * x + 1; }");
+    Vector<int> v(1000);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i);
+    Vector<int> out = f(v);
+    EXPECT_EQ(aliveDeviceCount(), gpus - 1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], 3 * static_cast<int>(i) + 1) << "gpus=" << gpus << " i=" << i;
+    }
+    terminate();
+  }
+}
+
+TEST_F(FaultTest, ReduceSurvivesDeviceDeath) {
+  for (const int gpus : {2, 4}) {
+    init(sim::SystemConfig::teslaS1070(gpus));
+    sim::FaultPlan plan;
+    plan.killAfterCommands(gpus - 1, 1);  // upload succeeds, step-1 kernel dies
+    setFaultPlan(std::move(plan));
+
+    Reduce<int> sum("int func(int a, int b) { return a + b; }");
+    Vector<int> v(iotaInts(5000));
+    const int result = sum(v);
+    EXPECT_EQ(aliveDeviceCount(), gpus - 1);
+    EXPECT_EQ(result, 5000 * 4999 / 2) << "gpus=" << gpus;
+    terminate();
+  }
+}
+
+TEST_F(FaultTest, ScanSurvivesDeviceDeath) {
+  for (const int gpus : {2, 4}) {
+    init(sim::SystemConfig::teslaS1070(gpus));
+    sim::FaultPlan plan;
+    plan.killAfterCommands(gpus - 1, 2);  // dies in the block-sums download
+    setFaultPlan(std::move(plan));
+
+    Scan<int> prefix("int func(int a, int b) { return a + b; }");
+    Vector<int> v(3000);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int>(i % 7);
+    Vector<int> out = prefix(v);
+    EXPECT_EQ(aliveDeviceCount(), gpus - 1);
+    int expect = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      expect += static_cast<int>(i % 7);
+      ASSERT_EQ(out[i], expect) << "gpus=" << gpus << " i=" << i;
+    }
+    terminate();
+  }
+}
+
+TEST_F(FaultTest, InPlaceZipRestoresInputFromHostCopy) {
+  init(sim::SystemConfig::teslaS1070(4));
+  sim::FaultPlan plan;
+  plan.killAfterCommands(2, 2);  // two uploads land, the zip kernel dies
+  setFaultPlan(std::move(plan));
+
+  Zip<int> axpy("int func(int a, int b) { return a + 10 * b; }");
+  Vector<int> a(iotaInts(512)), b(iotaInts(512));
+  axpy(out(a), a, b);  // in place: a = a + 10 * b
+  EXPECT_EQ(aliveDeviceCount(), 3);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], 11 * static_cast<int>(i));
+  }
+  terminate();
+}
+
+TEST_F(FaultTest, SurvivingReplicaOfCopyDistributionIsReused) {
+  init(sim::SystemConfig::teslaS1070(2));
+  Map<int> twice("int func(int x) { return 2 * x; }");
+  Vector<int> v(iotaInts(256));
+  v.setDistribution(Distribution::copy());
+  Vector<int> mid = twice(v);  // copy-distributed result, host copy stale
+  ASSERT_FALSE(mid.impl().hostValid());
+
+  sim::FaultPlan plan;
+  plan.killAfterCommands(1, 0);
+  setFaultPlan(std::move(plan));
+  Map<int> incr("int func(int x) { return x + 1; }");
+  Vector<int> out = incr(mid);  // device 1 dies; device 0's replica survives
+  EXPECT_EQ(aliveDeviceCount(), 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 2 * static_cast<int>(i) + 1);
+  }
+  terminate();
+}
+
+TEST_F(FaultTest, LosingTheOnlyCopyOfBlockDataIsReportedAsDataLoss) {
+  init(sim::SystemConfig::teslaS1070(2));
+  Map<int> twice("int func(int x) { return 2 * x; }");
+  Vector<int> v(iotaInts(256));
+  Vector<int> mid = twice(v);  // block-distributed result, host copy stale
+  ASSERT_FALSE(mid.impl().hostValid());
+
+  sim::FaultPlan plan;
+  plan.killAfterCommands(1, 0);  // device 1 held a unique block part
+  setFaultPlan(std::move(plan));
+  Map<int> incr("int func(int x) { return x + 1; }");
+  EXPECT_THROW(incr(mid), DataLossError);
+  terminate();
+}
+
+TEST_F(FaultTest, BlacklistedDeviceKeepsSchedulerWeightsOfSurvivors) {
+  init(sim::SystemConfig::teslaS1070(4));
+  setPartitionWeights({1.0, 2.0, 3.0, 2.0});
+  blacklistDevice(3);
+  EXPECT_EQ(aliveDeviceCount(), 3);
+
+  Map<int> twice("int func(int x) { return 2 * x; }");
+  Vector<int> out = twice(Vector<int>(iotaInts(600)));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 2 * static_cast<int>(i));
+  }
+  // weights 1:2:3 over the three survivors
+  EXPECT_EQ(out.impl().partSizeOn(0), 100u);
+  EXPECT_EQ(out.impl().partSizeOn(1), 200u);
+  EXPECT_EQ(out.impl().partSizeOn(2), 300u);
+  EXPECT_EQ(out.impl().partSizeOn(3), 0u);
+  terminate();
+}
+
+// --- modeled VRAM exhaustion -------------------------------------------------
+
+TEST_F(FaultTest, MemoryCapMakesAllocationFail) {
+  init(sim::SystemConfig::teslaS1070(1));
+  sim::FaultPlan plan;
+  plan.limitMemory(0, 1024);  // 1 KiB of VRAM
+  setFaultPlan(std::move(plan));
+
+  Map<int> twice("int func(int x) { return 2 * x; }");
+  Vector<int> big(4096);  // 16 KiB > cap
+  try {
+    twice(big);
+    FAIL() << "allocation beyond the cap must throw";
+  } catch (const ResourceError& e) {
+    EXPECT_NE(std::string(e.what()).find("CL_MEM_OBJECT_ALLOCATION_FAILURE"),
+              std::string::npos)
+        << e.what();
+  }
+  terminate();
+
+  // Small data still fits under the same cap.
+  init(sim::SystemConfig::teslaS1070(1));
+  sim::FaultPlan small;
+  small.limitMemory(0, 1024);
+  setFaultPlan(std::move(small));
+  Vector<int> ok(iotaInts(64));  // 256 B
+  Vector<int> out = Map<int>("int func(int x) { return 2 * x; }")(ok);
+  EXPECT_EQ(out[63], 126);
+  terminate();
+}
+
+// --- event/dependency hygiene (satellites 1 & 2) -----------------------------
+
+TEST_F(FaultTest, InvalidAndFailedDependenciesAreRejected) {
+  init(sim::SystemConfig::teslaS1070(1));
+  auto& rt = detail::Runtime::instance();
+  ocl::Buffer buf(rt.context(), rt.device(0), 64);
+  const char data[64] = {};
+
+  const ocl::Event invalid;  // default-constructed
+  EXPECT_THROW(rt.queue(0).enqueueWriteBuffer(buf, 0, 64, data, false,
+                                              std::span<const ocl::Event>(&invalid, 1)),
+               UsageError);
+
+  const ocl::Event failed(0.0, 0.0, rt.system().clockEpoch(), sim::status::IoError);
+  EXPECT_THROW(rt.queue(0).enqueueWriteBuffer(buf, 0, 64, data, false,
+                                              std::span<const ocl::Event>(&failed, 1)),
+               UsageError);
+  terminate();
+}
+
+TEST_F(FaultTest, StaleQueueWatermarkIsDetected) {
+  init(sim::SystemConfig::teslaS1070(2));
+  Map<int> twice("int func(int x) { return 2 * x; }");
+  Vector<int> v(iotaInts(128));
+  (void)twice(v);
+  finish();
+
+  // Resetting only the system clock (not the queues) used to silently give
+  // later commands completion times from the dead clock; now it is caught.
+  detail::Runtime::instance().system().resetClock();
+  Vector<int> w(iotaInts(128));
+  EXPECT_THROW(twice(w), UsageError);
+  terminate();
+
+  // The public entry point resets both sides together.
+  init(sim::SystemConfig::teslaS1070(2));
+  Vector<int> u(iotaInts(128));
+  (void)twice(u);
+  finish();
+  resetSimClock();
+  Vector<int> out = twice(Vector<int>(iotaInts(128)));
+  EXPECT_EQ(out[5], 10);
+  terminate();
+}
+
+// --- dOpenCL: network faults and server death --------------------------------
+
+TEST_F(FaultTest, UnreliableNetworkIsAbsorbedByRetries) {
+  docl::DistributedConfig config = docl::laboratorySetup();
+  config.network.drop_rate = 0.05;
+  config.network.fault_seed = 7;
+
+  auto run = [&config] {
+    docl::initSkelCL(config);
+    Zip<float> saxpy("float func(float x, float y, float a) { return a * x + y; }");
+    const std::size_t n = 4096;
+    Vector<float> x(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<float>(i);
+      y[i] = 1.0f;
+    }
+    Vector<float> out = saxpy(x, y, 3.0f);
+    finish();
+    const double t = simTimeSeconds();
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_FLOAT_EQ(out[i], 3.0f * static_cast<float>(i) + 1.0f);
+    }
+    EXPECT_EQ(aliveDeviceCount(), 8) << "drops are transient, not fatal";
+    terminate();
+    return t;
+  };
+  const double t1 = run();
+  const double t2 = run();
+  EXPECT_DOUBLE_EQ(t1, t2) << "seeded drops must replay identically";
+}
+
+TEST_F(FaultTest, DeadServerNodeDegradesOntoSurvivingNodes) {
+  const docl::DistributedConfig config = docl::laboratorySetup();
+  EXPECT_EQ(docl::serverDeviceRange(config, 0), (std::pair<int, int>{0, 3}));
+  EXPECT_EQ(docl::serverDeviceRange(config, 2), (std::pair<int, int>{6, 7}));
+
+  docl::initSkelCL(config);
+  sim::FaultPlan plan;
+  docl::killServer(plan, config, 2, 0);  // node2 (devices 6,7) is down
+  setFaultPlan(std::move(plan));
+
+  Map<int> twice("int func(int x) { return 2 * x; }");
+  Vector<int> out = twice(Vector<int>(iotaInts(4096)));
+  EXPECT_EQ(aliveDeviceCount(), 6);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 2 * static_cast<int>(i));
+  }
+  terminate();
+}
+
+// --- the acceptance scenario: OSEM losing a GPU mid-iteration ----------------
+
+class OsemDegradation : public FaultTest {
+ protected:
+  static osem::OsemData testData() {
+    osem::OsemConfig config;
+    config.volume.nx = 16;
+    config.volume.ny = 16;
+    config.volume.nz = 16;
+    config.volume.voxel = 2.0f;
+    config.eventsPerSubset = 400;
+    config.numSubsets = 2;
+    return osem::OsemData::generate(config);
+  }
+
+  /// Faulted run: 4 GPUs, device 3 dies on its 4th command — the step-1 map
+  /// kernel of the first subset (after the events/f/c uploads).  Device 0's
+  /// first kernel additionally fails once transiently, exercising the retry
+  /// path in the same run (no data effect: faulted commands never execute).
+  static osem::OsemResult runWithDyingGpu(const osem::OsemData& data) {
+    setenv("SKELCL_FAULTS", "seed:42;kernel:dev0:count1;kill:dev3:after3", 1);
+    init(sim::SystemConfig::teslaS1070(4));
+    unsetenv("SKELCL_FAULTS");
+    auto result = osem::runOsemSkelCLPreInitialized(data);
+    EXPECT_EQ(aliveDeviceCount(), 3);
+    terminate();
+    return result;
+  }
+};
+
+TEST_F(OsemDegradation, CompletesBitIdenticalToThreeGpuReference) {
+  const osem::OsemData data = testData();
+
+  // Reference A: fault-free 4-GPU reconstruction.
+  const osem::OsemResult full = osem::runOsemSkelCL(data, 4);
+
+  // Reference B: the three surviving GPUs from the start.
+  init(sim::SystemConfig::teslaS1070(4));
+  blacklistDevice(3);
+  const osem::OsemResult survivors = osem::runOsemSkelCLPreInitialized(data);
+  terminate();
+
+  // Faulted run C: GPU 3 dies inside the first subset's map.
+  const osem::OsemResult degraded = runWithDyingGpu(data);
+
+  ASSERT_EQ(degraded.image.size(), survivors.image.size());
+  EXPECT_EQ(std::memcmp(degraded.image.data(), survivors.image.data(),
+                        degraded.image.size() * sizeof(float)),
+            0)
+      << "the degraded run must be bit-identical to a native 3-GPU run";
+  // and scientifically equivalent to the fault-free reconstruction
+  EXPECT_LT(osem::imageNrmse(degraded.image, full.image), 2e-3);
+  // recovery costs time: re-uploads + re-execution on fewer devices
+  EXPECT_GT(degraded.totalSimSeconds, full.totalSimSeconds);
+}
+
+TEST_F(OsemDegradation, FaultEventsAreTracedAndReplayDeterministically) {
+  const osem::OsemData data = testData();
+
+  auto tracedRun = [&data] {
+    trace::clear();
+    trace::enable();
+    (void)runWithDyingGpu(data);
+    trace::disable();
+    return trace::snapshot();
+  };
+  const auto records = tracedRun();
+
+  int faults = 0, retries = 0, redistributes = 0;
+  bool blacklistNamed = false;
+  for (const auto& r : records) {
+    faults += r.kind == trace::Record::Kind::Fault;
+    retries += r.kind == trace::Record::Kind::Retry;
+    if (r.kind == trace::Record::Kind::Redistribute) {
+      ++redistributes;
+      EXPECT_EQ(r.device, 3);
+      blacklistNamed = r.name.find("blacklist dev3") != std::string::npos;
+    }
+  }
+  EXPECT_GE(faults, 2) << "the transient fault and the dying kernel";
+  EXPECT_EQ(retries, 1) << "the transient fault is retried exactly once";
+  EXPECT_EQ(redistributes, 1);
+  EXPECT_TRUE(blacklistNamed);
+
+  // Same seed, same program: the event sequence replays identically.
+  const auto replay = tracedRun();
+  auto signature = [](const std::vector<trace::Record>& rs) {
+    std::vector<std::tuple<int, int, std::string>> sig;
+    for (const auto& r : rs) sig.emplace_back(static_cast<int>(r.kind), r.device, r.name);
+    return sig;
+  };
+  EXPECT_EQ(signature(records), signature(replay));
+
+  // The chrome trace (written from the replay's records, which disable()
+  // keeps) carries the fault-path categories.
+  const std::string path = ::testing::TempDir() + "skelcl_fault_trace.json";
+  ASSERT_TRUE(trace::writeChromeTrace(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"cat\":\"fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"redistribute\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"retry\""), std::string::npos);
+}
+
+}  // namespace
