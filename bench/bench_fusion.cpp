@@ -1,0 +1,156 @@
+// Skeleton fusion speedup (docs/FUSION.md): a chain of map/zip skeletons
+// fused into a single kernel vs the same chain run stage by stage.
+//
+// Two chains are timed on 1, 2 and 4 simulated GPUs:
+//   map.map          -- x |> square |> scale-and-shift
+//   map.zip.reduce   -- (x |> square) zip+ y, summed without materializing
+//                       the chain result at all
+//
+// The unfused baseline is the same Pipeline with forceUnfused(), which runs
+// each stage as an ordinary elementwise kernel through a device-resident
+// intermediate.  Both variants are checked bitwise against each other before
+// timing; the table reports simulated seconds (resetSimClock/simTimeSeconds),
+// not wall-clock time of the reproduction.
+//
+//   usage: bench_fusion [--size N] [--iters N] [--smoke]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/detail/trace.hpp"
+#include "core/skelcl.hpp"
+#include "sim/rng.hpp"
+
+using namespace skelcl;
+
+namespace {
+
+constexpr const char* kSquare = "float func(float x) { return x * x + 1.0f; }";
+constexpr const char* kScale = "float func(float x) { return 0.5f * x - 2.0f; }";
+constexpr const char* kCombine = "float func(float a, float b) { return a * 0.25f + b; }";
+constexpr const char* kAdd = "float func(float a, float b) { return a + b; }";
+
+Vector<float> randomVector(std::size_t n, std::uint64_t seed) {
+  Vector<float> v(n);
+  sim::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(rng.uniform(-10.0, 10.0));
+  }
+  return v;
+}
+
+bool bitIdentical(const Vector<float>& a, const Vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(&a[0], &b[0], a.size() * sizeof(float)) == 0;
+}
+
+struct Timing {
+  double unfused = 0.0;
+  double fused = 0.0;
+};
+
+// Average simulated seconds per run of `chain(x)` over `iters` iterations,
+// re-uploading the input each time (dataOnHostModified) so every iteration
+// pays the full transfer + compute pipeline.
+template <typename Run>
+double timeRuns(Vector<float>& x, int iters, Run&& run) {
+  run();  // warm-up: compile + first execution
+  finish();
+  double total = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    x.dataOnHostModified();
+    resetSimClock();
+    run();
+    finish();
+    total += simTimeSeconds();
+  }
+  return total / iters;
+}
+
+Timing benchMapMap(std::size_t n, int iters) {
+  Vector<float> x = randomVector(n, 0xf00d);
+
+  Pipeline<float> fused;
+  fused.map(kSquare).map(kScale);
+  Pipeline<float> unfused;
+  unfused.map(kSquare).map(kScale).forceUnfused();
+
+  Vector<float> rf = fused(x);
+  Vector<float> ru = unfused(x);
+  if (!fused.lastRunFused() || unfused.lastRunFused() || !bitIdentical(rf, ru)) {
+    std::fprintf(stderr, "map.map: fused and unfused runs disagree\n");
+    std::exit(1);
+  }
+
+  Timing t;
+  t.unfused = timeRuns(x, iters, [&] { Vector<float> r = unfused(x); });
+  t.fused = timeRuns(x, iters, [&] { Vector<float> r = fused(x); });
+  return t;
+}
+
+Timing benchMapZipReduce(std::size_t n, int iters) {
+  Vector<float> x = randomVector(n, 0xbeef);
+  Vector<float> y = randomVector(n, 0xcafe);
+
+  Pipeline<float> fused;
+  fused.map(kSquare).zip(y, kCombine);
+  Pipeline<float> unfused;
+  unfused.map(kSquare).zip(y, kCombine).forceUnfused();
+
+  const float rf = fused.reduce(kAdd, x);
+  const float ru = unfused.reduce(kAdd, x);
+  if (!fused.lastRunFused() || unfused.lastRunFused() ||
+      std::memcmp(&rf, &ru, sizeof(float)) != 0) {
+    std::fprintf(stderr, "map.zip.reduce: fused and unfused runs disagree\n");
+    std::exit(1);
+  }
+
+  Timing t;
+  t.unfused = timeRuns(x, iters, [&] { (void)unfused.reduce(kAdd, x); });
+  t.fused = timeRuns(x, iters, [&] { (void)fused.reduce(kAdd, x); });
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // SKELCL_TRACE=out.json shows each chain as one "fused" stage per device
+  // (docs/OBSERVABILITY.md, docs/FUSION.md).
+  trace::enableFromEnv();
+  std::size_t size = 1u << 20;
+  int iters = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      size = 1u << 14;
+      iters = 2;
+    } else if (std::strcmp(argv[i], "--size") == 0 && i + 1 < argc) {
+      size = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    }
+  }
+
+  std::printf("skeleton fusion: %zu elements, %d iterations per cell\n\n", size, iters);
+  std::printf("%-16s %5s %14s %14s %9s\n", "chain", "gpus", "unfused (s)", "fused (s)",
+              "speedup");
+  for (int devices : {1, 2, 4}) {
+    init(sim::SystemConfig::teslaS1070(devices));
+    const Timing t = benchMapMap(size, iters);
+    std::printf("%-16s %5d %14.6f %14.6f %8.2fx\n", "map.map", devices, t.unfused,
+                t.fused, t.unfused / t.fused);
+    terminate();
+  }
+  for (int devices : {1, 2, 4}) {
+    init(sim::SystemConfig::teslaS1070(devices));
+    const Timing t = benchMapZipReduce(size, iters);
+    std::printf("%-16s %5d %14.6f %14.6f %8.2fx\n", "map.zip.reduce", devices,
+                t.unfused, t.fused, t.unfused / t.fused);
+    terminate();
+  }
+  std::printf("\nfused and unfused results are bitwise identical on every configuration.\n");
+  if (trace::flushToEnvPath()) {
+    std::printf("trace written to $SKELCL_TRACE (open in chrome://tracing)\n");
+  }
+  return 0;
+}

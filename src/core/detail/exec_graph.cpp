@@ -49,7 +49,13 @@ void ExecGraph::run() {
                               sim::status::ExecStatusError);
       continue;
     }
-    if (tracing) trace::Tracer::global().setContext(node.label);
+    if (tracing) {
+      if (node.kind == StageKind::Fused) {
+        trace::Tracer::global().setContext(node.label, trace::Record::Kind::Fused);
+      } else {
+        trace::Tracer::global().setContext(node.label);
+      }
+    }
     for (int failedAttempts = 0;;) {
       try {
         node.event = node.issue(deps);

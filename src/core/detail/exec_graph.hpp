@@ -27,8 +27,10 @@
 
 namespace skelcl::detail {
 
-/// What a graph node does; determines the trace record kind.
-enum class StageKind { Upload, Kernel, Download, Copy, Fill, Host };
+/// What a graph node does; determines the trace record kind.  Fused marks a
+/// kernel launch that executes a whole fused skeleton chain (its queue-level
+/// kernel record is rewritten to trace kind "fused").
+enum class StageKind { Upload, Kernel, Download, Copy, Fill, Host, Fused };
 
 class ExecGraph {
  public:

@@ -99,4 +99,14 @@ void Runtime::setPartitionWeights(std::vector<double> weights) {
   ++partition_epoch_;
 }
 
+const std::vector<double>& Runtime::applicablePartitionWeights() const {
+  static const std::vector<double> kNone;
+  if (weights_.empty()) return kNone;
+  if (weights_.size() != static_cast<std::size_t>(deviceCount())) return kNone;
+  double aliveTotal = 0.0;
+  for (int d : alive_) aliveTotal += weights_[static_cast<std::size_t>(d)];
+  if (!(aliveTotal > 0.0)) return kNone;
+  return weights_;
+}
+
 }  // namespace skelcl::detail

@@ -61,6 +61,14 @@ class Runtime {
   /// own (set by the static scheduler of Section V; empty = even split).
   void setPartitionWeights(std::vector<double> weights);
   const std::vector<double>& partitionWeights() const { return weights_; }
+  /// partitionWeights() when they apply to the *current* device set; empty
+  /// otherwise.  Weights are indexed by absolute device id, so the vector
+  /// must have exactly one entry per device of the machine and a positive
+  /// total over aliveDevices().  A stale vector — installed for a different
+  /// device count, or whose weight now rests entirely on blacklisted
+  /// devices — would be misapplied (or crash the partitioner); callers fall
+  /// back to the unweighted block split instead.
+  const std::vector<double>& applicablePartitionWeights() const;
   /// Bumped whenever the weights change; VectorData uses it to invalidate
   /// cached partition plans.
   std::uint64_t partitionEpoch() const { return partition_epoch_; }

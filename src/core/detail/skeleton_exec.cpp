@@ -1,7 +1,8 @@
 #include "core/detail/skeleton_exec.hpp"
 
+#include <cctype>
 #include <cstring>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "base/strings.hpp"
 #include "core/detail/exec_graph.hpp"
@@ -14,7 +15,7 @@ namespace {
 
 Distribution effectiveDist(const Distribution& d) {
   if (d.kind() == Distribution::Kind::Block && d.weights().empty()) {
-    const auto& w = Runtime::instance().partitionWeights();
+    const auto& w = Runtime::instance().applicablePartitionWeights();
     if (!w.empty()) return Distribution::block(w);
   }
   return d;
@@ -42,35 +43,49 @@ std::vector<ocl::Event> inputDeps(int device, const VectorData* input1,
   return deps;
 }
 
-/// Deduplicated struct typedefs needed by the extra arguments.
+/// Deduplicated struct typedefs needed by the extra arguments.  Dedup is by
+/// type *name*: two extras may share one struct type (one emitted typedef),
+/// but two different definitions under the same name would silently shadow
+/// each other in the generated translation unit, so that is an error.
 std::string gatherTypedefs(const std::vector<ExtraArg>& extras) {
   std::string out;
-  std::unordered_set<std::string> seen;
+  std::unordered_map<std::string, std::string> seen;  // type name -> definition
   for (const ExtraArg& e : extras) {
-    if (!e.typeDefinition.empty() && seen.insert(e.typeDefinition).second) {
-      out += e.typeDefinition;
-      out += "\n";
+    if (e.typeDefinition.empty()) continue;
+    const auto [it, inserted] = seen.emplace(e.typeName, e.typeDefinition);
+    if (!inserted) {
+      if (it->second != e.typeDefinition) {
+        throw UsageError("conflicting definitions for kernel type '" + e.typeName +
+                         "': two additional arguments register the same struct name "
+                         "with different layouts");
+      }
+      continue;
     }
+    out += e.typeDefinition;
+    out += "\n";
   }
   return out;
 }
 
 /// ", TYPE skelcl_a0, __global U* skelcl_a1, ..." for the kernel signature.
-std::string extraParams(const std::vector<ExtraArg>& extras) {
+/// Fused chains pass a per-stage prefix ("skelcl_s0_a", ...) so the merged
+/// kernel's extra parameters cannot collide across stages.
+std::string extraParams(const std::vector<ExtraArg>& extras,
+                        const std::string& prefix = "skelcl_a") {
   std::string out;
   for (std::size_t i = 0; i < extras.size(); ++i) {
     const ExtraArg& e = extras[i];
     out += ", ";
     switch (e.kind) {
       case ExtraArg::Kind::Scalar:
-        out += e.typeName + " skelcl_a" + std::to_string(i);
+        out += e.typeName + " " + prefix + std::to_string(i);
         break;
       case ExtraArg::Kind::VectorRef:
-        out += "__global " + e.typeName + "* skelcl_a" + std::to_string(i);
+        out += "__global " + e.typeName + "* " + prefix + std::to_string(i);
         break;
       case ExtraArg::Kind::Sizes:
       case ExtraArg::Kind::Offsets:
-        out += "int skelcl_a" + std::to_string(i);
+        out += "int " + prefix + std::to_string(i);
         break;
     }
   }
@@ -78,10 +93,11 @@ std::string extraParams(const std::vector<ExtraArg>& extras) {
 }
 
 /// ", skelcl_a0, skelcl_a1, ..." for the user-function call.
-std::string extraNames(const std::vector<ExtraArg>& extras) {
+std::string extraNames(const std::vector<ExtraArg>& extras,
+                       const std::string& prefix = "skelcl_a") {
   std::string out;
   for (std::size_t i = 0; i < extras.size(); ++i) {
-    out += ", skelcl_a" + std::to_string(i);
+    out += ", " + prefix + std::to_string(i);
   }
   return out;
 }
@@ -156,7 +172,9 @@ void bindExtras(ocl::Kernel& kernel, std::size_t firstIndex,
         if (e.scalarIsFloat) {
           kernel.setArg(arg, e.scalarF);
         } else {
-          kernel.setArg(arg, static_cast<std::int32_t>(e.scalarI));
+          // Full 64 bits: the kernel narrows to the declared parameter type,
+          // so long/ulong extras keep values beyond 2^31 intact.
+          kernel.setArg(arg, e.scalarI);
         }
         break;
       case ExtraArg::Kind::VectorRef: {
@@ -744,6 +762,490 @@ void runScan(const std::string& userSource, VectorData& input, VectorData& outpu
   const bool inPlace = &output == &input;
   withDeviceLossRecovery({&input}, inPlace ? nullptr : &output, [&] {
     runScanOnce(userSource, input, output, typeName);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fused map/zip chains (and chain + reduce)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool identChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Rename every whole-word occurrence of `names` in `source` to prefix+name.
+/// Keeps the user functions of different fused stages apart in the single
+/// merged translation unit (each stage defines its own `func`, and possibly
+/// helpers with colliding names).
+std::string renameFunctions(const std::string& source,
+                            const std::vector<std::string>& names,
+                            const std::string& prefix) {
+  std::string out = source;
+  for (const std::string& name : names) {
+    std::string next;
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t hit = out.find(name, pos);
+      if (hit == std::string::npos) {
+        next.append(out, pos, std::string::npos);
+        break;
+      }
+      next.append(out, pos, hit - pos);
+      const bool wordStart = hit == 0 || !identChar(out[hit - 1]);
+      const bool wordEnd =
+          hit + name.size() >= out.size() || !identChar(out[hit + name.size()]);
+      if (wordStart && wordEnd) next += prefix;
+      next += name;
+      pos = hit + name.size();
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::string stagePrefix(std::size_t s) { return "skelcl_s" + std::to_string(s) + "_"; }
+
+/// Function names declared by a user source (its extra-argument typedefs are
+/// prepended so sources referencing those structs compile standalone).  Goes
+/// through the host-program cache, so each distinct source compiles once.
+std::vector<std::string> declaredFunctions(const std::string& userSource,
+                                           const std::vector<ExtraArg>& extras) {
+  const auto program = Runtime::instance().hostProgram(gatherTypedefs(extras) + userSource);
+  std::vector<std::string> names;
+  names.reserve(program->functions.size());
+  for (const auto& fn : program->functions) names.push_back(fn.name);
+  return names;
+}
+
+/// The whole chain as one nested call expression evaluated at element `idx`:
+/// skelcl_s1_func(skelcl_s0_func(skelcl_in1[idx], ...), skelcl_zin1[idx], ...)
+std::string chainExprAt(const std::vector<FusedStage>& stages, const std::string& idx) {
+  std::string expr = "skelcl_in1[" + idx + "]";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const FusedStage& st = stages[s];
+    std::string call = stagePrefix(s) + "func(" + expr;
+    if (st.zipInput != nullptr) {
+      call += ", skelcl_zin" + std::to_string(s) + "[" + idx + "]";
+    }
+    call += extraNames(st.extras, stagePrefix(s) + "a");
+    call += ")";
+    expr = std::move(call);
+  }
+  return expr;
+}
+
+/// Merged struct typedefs (deduplicated across stages, conflicting
+/// definitions rejected) followed by every stage's user source renamed apart.
+std::string fusedSourcePrelude(const std::vector<FusedStage>& stages,
+                               const std::vector<ExtraArg>& allExtras) {
+  std::string source = gatherTypedefs(allExtras);
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    source += renameFunctions(stages[s].userSource,
+                              declaredFunctions(stages[s].userSource, stages[s].extras),
+                              stagePrefix(s));
+    source += "\n";
+  }
+  return source;
+}
+
+std::vector<ExtraArg> mergedExtras(const std::vector<FusedStage>& stages,
+                                   const std::vector<ExtraArg>* reduceExtras = nullptr) {
+  std::vector<ExtraArg> all;
+  for (const FusedStage& st : stages) {
+    all.insert(all.end(), st.extras.begin(), st.extras.end());
+  }
+  if (reduceExtras != nullptr) {
+    all.insert(all.end(), reduceExtras->begin(), reduceExtras->end());
+  }
+  return all;
+}
+
+/// Producer events of every chain input on `device`.
+std::vector<ocl::Event> chainDeps(int device, VectorData& input,
+                                  const std::vector<FusedStage>& stages) {
+  std::vector<ocl::Event> deps;
+  addPartDep(deps, &input, device);
+  for (const FusedStage& st : stages) {
+    addPartDep(deps, st.zipInput, device);
+    for (const ExtraArg& e : st.extras) {
+      if (e.kind == ExtraArg::Kind::VectorRef) addPartDep(deps, e.vector, device);
+    }
+  }
+  return deps;
+}
+
+std::vector<VectorData*> chainRecoveryInputs(VectorData& input,
+                                             const std::vector<FusedStage>& stages) {
+  std::vector<VectorData*> inputs{&input};
+  for (const FusedStage& st : stages) {
+    if (st.zipInput != nullptr) inputs.push_back(st.zipInput);
+    for (const ExtraArg& e : st.extras) {
+      if (e.kind == ExtraArg::Kind::VectorRef) inputs.push_back(e.vector);
+    }
+  }
+  return inputs;
+}
+
+/// Fusion eligibility: no intermediate is observed by the host, and every
+/// zip input either has no distribution yet or already matches the chain's.
+/// (An extra argument can only alias an intermediate through an observe
+/// sink, so the observe rule subsumes that case.)
+bool chainEligible(VectorData& input, const std::vector<FusedStage>& stages) {
+  const Distribution dist =
+      input.distribution().isSet() ? input.distribution() : Distribution::block();
+  for (const FusedStage& st : stages) {
+    if (st.observeSink != nullptr) return false;
+    if (st.zipInput != nullptr) {
+      const Distribution& zd = st.zipInput->distribution();
+      if (zd.isSet() && !(zd == dist)) return false;
+    }
+  }
+  return true;
+}
+
+/// Resolve the chain distribution, propagate it to every vector involved,
+/// and materialize device parts.  Only called on eligible chains, where the
+/// chain distribution applies to all zip inputs.
+Distribution materializeChainInputs(VectorData& input, std::vector<FusedStage>& stages) {
+  input.defaultDistribution(Distribution::block());
+  const Distribution dist = input.distribution();
+  input.ensureOnDevices();
+  for (FusedStage& st : stages) {
+    if (st.zipInput != nullptr) {
+      SKELCL_CHECK(st.zipInput->count() == input.count(),
+                   "zip inputs must have the same size");
+      if (st.zipInput != &input) {
+        st.zipInput->setDistribution(dist);
+        st.zipInput->ensureOnDevices();
+      }
+    }
+    prepareExtras(st.extras);
+  }
+  return dist;
+}
+
+bool chainWritesInput(const VectorData& output, const VectorData& input,
+                      const std::vector<FusedStage>& stages) {
+  if (&output == &input) return true;
+  for (const FusedStage& st : stages) {
+    if (st.zipInput == &output) return true;
+  }
+  return false;
+}
+
+/// The fused execution: ONE generated kernel per device evaluates the whole
+/// chain element-wise — no intermediate vectors exist anywhere.
+void runFusedChainOnce(VectorData& input, const std::string& inTypeName,
+                       std::vector<FusedStage>& stages, VectorData& output) {
+  auto& rt = Runtime::instance();
+  const std::size_t n = input.count();
+  const Distribution dist = materializeChainInputs(input, stages);
+
+  const bool inPlace = chainWritesInput(output, input, stages);
+  output.setDistribution(dist);
+  if (!inPlace) output.ensureOnDevicesNoUpload();
+
+  std::string source = fusedSourcePrelude(stages, mergedExtras(stages));
+  source += "__kernel void skelcl_fused(__global " + inTypeName + "* skelcl_in1";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    if (stages[s].zipInput != nullptr) {
+      source += ", __global " + stages[s].zipTypeName + "* skelcl_zin" + std::to_string(s);
+    }
+  }
+  source += ", __global " + stages.back().outTypeName +
+            "* skelcl_out, int skelcl_n, int skelcl_base";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    source += extraParams(stages[s].extras, stagePrefix(s) + "a");
+  }
+  source +=
+      ") {\n"
+      "  int skelcl_i = get_global_id(0);\n"
+      "  if (skelcl_i < skelcl_n) skelcl_out[skelcl_i] = " +
+      chainExprAt(stages, "skelcl_i") + ";\n}\n";
+
+  auto program = rt.programForSource(source);
+  ocl::Kernel kernel(*program, "skelcl_fused");
+
+  const auto ranges = effectiveDist(dist).partition(n, rt.aliveDevices());
+  ExecGraph g;
+  std::vector<std::pair<int, ExecGraph::NodeId>> launches;
+  const std::string label = "fused x" + std::to_string(stages.size());
+  for (const PartRange& r : ranges) {
+    if (r.size == 0) continue;
+    launches.emplace_back(
+        r.device,
+        g.add(StageKind::Fused, r.device, label + " dev" + std::to_string(r.device),
+              [&, r](std::span<const ocl::Event> deps) {
+                std::size_t arg = 0;
+                kernel.setArg(arg++, *input.partOn(r.device)->buffer);
+                for (const FusedStage& st : stages) {
+                  if (st.zipInput != nullptr) {
+                    kernel.setArg(arg++, *st.zipInput->partOn(r.device)->buffer);
+                  }
+                }
+                kernel.setArg(arg++, *output.partOn(r.device)->buffer);
+                kernel.setArg(arg++, static_cast<std::int32_t>(r.size));
+                kernel.setArg(arg++, static_cast<std::int32_t>(r.offset));
+                for (const FusedStage& st : stages) {
+                  bindExtras(kernel, arg, st.extras, r.device);
+                  arg += st.extras.size();
+                }
+                return rt.queue(r.device).enqueueNDRangeKernel(kernel, r.size, 0, deps);
+              },
+              {}, chainDeps(r.device, input, stages)));
+  }
+  g.run();
+  if (!launches.empty()) {
+    for (const auto& [device, node] : launches) {
+      output.recordDeviceWrite(device, g.event(node));
+    }
+    output.markDevicesModified();
+  }
+}
+
+/// The unfused fallback: every stage through the ordinary element-wise
+/// engine, intermediates in heap temporaries — or in the observe sinks whose
+/// presence made the chain ineligible in the first place.
+void runChainUnfused(VectorData& input, const std::string& inTypeName,
+                     std::vector<FusedStage>& stages, VectorData& output) {
+  const std::size_t n = input.count();
+  VectorData* cur = &input;
+  std::string curType = inTypeName;
+  std::vector<std::unique_ptr<VectorData>> temps;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    FusedStage& st = stages[s];
+    const bool last = s + 1 == stages.size();
+    if (st.observeSink != nullptr) {
+      SKELCL_CHECK(st.observeSink->count() == n &&
+                       st.observeSink->elemSize() == st.outElemSize,
+                   "observed intermediate has the wrong size");
+    }
+    VectorData* dst = &output;
+    if (!last) {
+      if (st.observeSink != nullptr) {
+        dst = st.observeSink;
+      } else {
+        temps.push_back(std::make_unique<VectorData>(n, st.outElemSize, st.outElemKind));
+        dst = temps.back().get();
+      }
+    }
+    runElementwise(st.userSource, cur, st.zipInput, 0, Distribution{}, *dst, curType,
+                   st.zipTypeName, st.outTypeName, st.extras);
+    if (last && st.observeSink != nullptr && st.observeSink != &output) {
+      const std::byte* bytes = dst->hostRead();
+      std::memcpy(st.observeSink->hostWrite(), bytes, n * st.outElemSize);
+    }
+    cur = dst;
+    curType = st.outTypeName;
+  }
+}
+
+}  // namespace
+
+bool runFusedChain(VectorData& input, const std::string& inTypeName,
+                   std::vector<FusedStage>& stages, VectorData& output,
+                   bool forceUnfused) {
+  SKELCL_CHECK(!stages.empty(), "skeleton pipeline has no stages");
+  SKELCL_CHECK(output.count() == input.count(), "pipeline output size mismatch");
+  if (forceUnfused || !chainEligible(input, stages)) {
+    runChainUnfused(input, inTypeName, stages, output);
+    return false;
+  }
+  const bool inPlace = chainWritesInput(output, input, stages);
+  withDeviceLossRecovery(chainRecoveryInputs(input, stages), inPlace ? nullptr : &output,
+                         [&] { runFusedChainOnce(input, inTypeName, stages, output); });
+  return true;
+}
+
+namespace {
+
+/// Fused chain + reduce: the chain expression is inlined directly into the
+/// chunked device-local reduction (step 1); gather and host fold are the
+/// same three-step plan as the plain reduce skeleton.
+kc::Slot runFusedReduceOnce(VectorData& input, const std::string& inTypeName,
+                            std::vector<FusedStage>& stages,
+                            const std::string& reduceSource,
+                            std::vector<ExtraArg>& reduceExtras) {
+  auto& rt = Runtime::instance();
+  SKELCL_CHECK(input.count() > 0, "reduce of an empty vector");
+
+  const Distribution dist = materializeChainInputs(input, stages);
+  (void)dist;
+  prepareExtras(reduceExtras);
+
+  const std::string typeName = stages.back().outTypeName;
+  const ElemKind outKind = stages.back().outElemKind;
+  const std::size_t outElem = stages.back().outElemSize;
+
+  std::string source = fusedSourcePrelude(stages, mergedExtras(stages, &reduceExtras));
+  source += renameFunctions(reduceSource, declaredFunctions(reduceSource, reduceExtras),
+                            "skelcl_r_");
+  source += "\n__kernel void skelcl_fused_reduce(__global " + inTypeName + "* skelcl_in1";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    if (stages[s].zipInput != nullptr) {
+      source += ", __global " + stages[s].zipTypeName + "* skelcl_zin" + std::to_string(s);
+    }
+  }
+  source += ", __global " + typeName + "* skelcl_partials, int skelcl_n, int skelcl_chunk";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    source += extraParams(stages[s].extras, stagePrefix(s) + "a");
+  }
+  source += extraParams(reduceExtras, "skelcl_r_a");
+  source +=
+      ") {\n"
+      "  int skelcl_w = get_global_id(0);\n"
+      "  int skelcl_begin = skelcl_w * skelcl_chunk;\n"
+      "  int skelcl_end = min(skelcl_begin + skelcl_chunk, skelcl_n);\n"
+      "  " + typeName + " skelcl_acc = " + chainExprAt(stages, "skelcl_begin") + ";\n"
+      "  for (int skelcl_i = skelcl_begin + 1; skelcl_i < skelcl_end; ++skelcl_i)\n"
+      "    skelcl_acc = skelcl_r_func(skelcl_acc, " + chainExprAt(stages, "skelcl_i") +
+      extraNames(reduceExtras, "skelcl_r_a") + ");\n"
+      "  skelcl_partials[skelcl_w] = skelcl_acc;\n}\n";
+
+  auto program = rt.programForSource(source);
+  ocl::Kernel kernel(*program, "skelcl_fused_reduce");
+
+  std::vector<PartRange> ranges = input.plannedPartition();
+  if (input.distribution().kind() == Distribution::Kind::Copy) {
+    // Every device holds the full data; reduce the first copy only.
+    ranges.resize(1);
+  }
+
+  struct Pending {
+    int device = 0;
+    std::size_t numPartials = 0;
+    std::size_t chunk = 0;
+    std::size_t gatherOffset = 0;
+    std::unique_ptr<ocl::Buffer> partials;
+    ExecGraph::NodeId kernelNode = 0;
+  };
+  std::vector<Pending> pending;
+  std::size_t gatheredBytes = 0;
+  for (const PartRange& r : ranges) {
+    if (r.size == 0) continue;
+    const auto cores = static_cast<std::size_t>(rt.device(r.device).spec().cores);
+    Pending p;
+    p.device = r.device;
+    p.chunk = (r.size + 4 * cores - 1) / (4 * cores);
+    p.numPartials = (r.size + p.chunk - 1) / p.chunk;
+    p.partials = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
+                                               p.numPartials * outElem);
+    p.gatherOffset = gatheredBytes;
+    gatheredBytes += p.numPartials * outElem;
+    pending.push_back(std::move(p));
+  }
+  SKELCL_CHECK(!pending.empty(), "reduce produced no device work");
+
+  ExecGraph g;
+  auto rangeOf = [&ranges](int device) -> const PartRange& {
+    for (const PartRange& r : ranges) {
+      if (r.device == device) return r;
+    }
+    throw UsageError("reduce: no part range for device");
+  };
+  for (Pending& p : pending) {
+    std::vector<ocl::Event> deps = chainDeps(p.device, input, stages);
+    for (const ExtraArg& e : reduceExtras) {
+      if (e.kind == ExtraArg::Kind::VectorRef) addPartDep(deps, e.vector, p.device);
+    }
+    p.kernelNode = g.add(
+        StageKind::Fused, p.device,
+        "fused x" + std::to_string(stages.size()) + " reduce dev" + std::to_string(p.device),
+        [&, &p = p](std::span<const ocl::Event> d) {
+          const PartRange& r = rangeOf(p.device);
+          std::size_t arg = 0;
+          kernel.setArg(arg++, *input.partOn(p.device)->buffer);
+          for (const FusedStage& st : stages) {
+            if (st.zipInput != nullptr) {
+              kernel.setArg(arg++, *st.zipInput->partOn(p.device)->buffer);
+            }
+          }
+          kernel.setArg(arg++, *p.partials);
+          kernel.setArg(arg++, static_cast<std::int32_t>(r.size));
+          kernel.setArg(arg++, static_cast<std::int32_t>(p.chunk));
+          for (const FusedStage& st : stages) {
+            bindExtras(kernel, arg, st.extras, p.device);
+            arg += st.extras.size();
+          }
+          bindExtras(kernel, arg, reduceExtras, p.device);
+          return rt.queue(p.device).enqueueNDRangeKernel(kernel, p.numPartials, 0, d);
+        },
+        {}, std::move(deps));
+  }
+
+  std::vector<std::byte> gathered(gatheredBytes);
+  std::vector<ExecGraph::NodeId> gatherNodes;
+  for (Pending& p : pending) {
+    gatherNodes.push_back(g.add(
+        StageKind::Download, p.device, "reduce gather dev" + std::to_string(p.device),
+        [&, &p = p](std::span<const ocl::Event> deps) {
+          return rt.queue(p.device).enqueueReadBuffer(
+              *p.partials, 0, p.numPartials * outElem,
+              gathered.data() + p.gatherOffset, /*blocking=*/false, deps);
+        },
+        {p.kernelNode}));
+  }
+
+  const auto hostProgram = rt.hostProgram(gatherTypedefs(reduceExtras) + reduceSource);
+  const int fn = hostProgram->findFunction("func");
+  kc::Slot acc{};
+  g.add(StageKind::Host, -1, "reduce host fold",
+        [&](std::span<const ocl::Event> deps) {
+          auto& system = rt.system();
+          system.advanceHost(ExecGraph::latestEnd(deps));
+          kc::Vm vm(*hostProgram, {});
+          const std::size_t total = gathered.size() / outElem;
+          acc = slotFromBytes(outKind, gathered.data());
+          for (std::size_t i = 1; i < total; ++i) {
+            const kc::Slot x = slotFromBytes(outKind, gathered.data() + i * outElem);
+            if (reduceExtras.empty()) {
+              acc = vm.callFunction(fn, std::array<kc::Slot, 2>{acc, x});
+            } else {
+              std::vector<kc::Slot> args = {acc, x};
+              for (const ExtraArg& e : reduceExtras) {
+                SKELCL_CHECK(e.kind == ExtraArg::Kind::Scalar,
+                             "reduce supports only scalar additional arguments");
+                args.push_back(e.scalarIsFloat ? kc::Slot::fromFloat(e.scalarF)
+                                               : kc::Slot::fromInt(e.scalarI));
+              }
+              acc = vm.callFunction(fn, args);
+            }
+          }
+          const auto span = system.reserveHostCompute(gathered.size(), vm.instructionsExecuted());
+          return ocl::Event(span.start, span.end, system.clockEpoch());
+        },
+        gatherNodes);
+  g.run();
+  return acc;
+}
+
+}  // namespace
+
+kc::Slot runFusedReduce(VectorData& input, const std::string& inTypeName,
+                        std::vector<FusedStage>& stages,
+                        const std::string& reduceSource,
+                        std::vector<ExtraArg>& reduceExtras,
+                        bool forceUnfused, bool* ranFused) {
+  if (stages.empty()) {
+    // No chain to fuse; the plain reduce already launches a single kernel.
+    if (ranFused != nullptr) *ranFused = false;
+    return runReduce(reduceSource, input, inTypeName, reduceExtras);
+  }
+  const bool fused = !forceUnfused && chainEligible(input, stages);
+  if (ranFused != nullptr) *ranFused = fused;
+  if (!fused) {
+    VectorData temp(input.count(), stages.back().outElemSize, stages.back().outElemKind);
+    runChainUnfused(input, inTypeName, stages, temp);
+    return runReduce(reduceSource, temp, stages.back().outTypeName, reduceExtras);
+  }
+  std::vector<VectorData*> inputs = chainRecoveryInputs(input, stages);
+  for (const ExtraArg& e : reduceExtras) {
+    if (e.kind == ExtraArg::Kind::VectorRef) inputs.push_back(e.vector);
+  }
+  return withDeviceLossRecovery(std::move(inputs), nullptr, [&] {
+    return runFusedReduceOnce(input, inTypeName, stages, reduceSource, reduceExtras);
   });
 }
 

@@ -51,6 +51,43 @@ kc::Slot runReduce(const std::string& userSource, VectorData& input,
 void runScan(const std::string& userSource, VectorData& input, VectorData& output,
              const std::string& typeName);
 
+/// One stage of a fused map/zip skeleton chain.  The first stage consumes the
+/// chain input; every later stage consumes the previous stage's value.  A zip
+/// stage additionally reads `zipInput` at the same element index.
+struct FusedStage {
+  std::string userSource;             ///< defines `func` (plus any helpers)
+  VectorData* zipInput = nullptr;     ///< null for a map stage
+  std::string zipTypeName;            ///< kernel type of zipInput elements
+  std::string outTypeName;            ///< kernel type of the stage result
+  std::size_t outElemSize = 0;        ///< host size of the stage result
+  ElemKind outElemKind = ElemKind::Other;
+  std::vector<ExtraArg> extras;
+  VectorData* observeSink = nullptr;  ///< host-visible copy of this stage's
+                                      ///< result; its presence forces the
+                                      ///< unfused fallback (the intermediate
+                                      ///< must materialize for the host)
+};
+
+/// Execute a map/zip chain over `input` into `output`.  When the chain is
+/// eligible — no observed intermediates, every zip input's distribution
+/// unset or equal to the chain's — all stages run as ONE generated kernel
+/// per device with no intermediate vectors; otherwise each stage runs
+/// through runElementwise with heap temporaries.  Returns true when the
+/// fused path ran.
+bool runFusedChain(VectorData& input, const std::string& inTypeName,
+                   std::vector<FusedStage>& stages, VectorData& output,
+                   bool forceUnfused);
+
+/// Execute a map/zip chain and immediately reduce the result without
+/// materializing it: the chain expression is inlined into the device-local
+/// reduction kernel.  `stages` may be empty (a plain reduce).  `ranFused`
+/// (optional) reports whether the fused path ran.
+kc::Slot runFusedReduce(VectorData& input, const std::string& inTypeName,
+                        std::vector<FusedStage>& stages,
+                        const std::string& reduceSource,
+                        std::vector<ExtraArg>& reduceExtras,
+                        bool forceUnfused, bool* ranFused = nullptr);
+
 /// Slot <-> raw element conversions for scalar element kinds.
 kc::Slot slotFromBytes(ElemKind kind, const std::byte* src);
 void slotToBytes(ElemKind kind, kc::Slot value, std::byte* dst);

@@ -69,6 +69,7 @@ const char* kindName(Record::Kind kind) {
     case Record::Kind::Fill: return "fill";
     case Record::Kind::Kernel: return "kernel";
     case Record::Kind::Host: return "host";
+    case Record::Kind::Fused: return "fused";
     case Record::Kind::Fault: return "fault";
     case Record::Kind::Retry: return "retry";
     case Record::Kind::Redistribute: return "redistribute";
@@ -119,6 +120,7 @@ void Tracer::record(Record r) {
   } else if (!context_.empty()) {
     r.name = context_;
   }
+  if (context_kind_set_ && r.kind == Record::Kind::Kernel) r.kind = context_kind_;
   if (r.name.empty()) r.name = kindName(r.kind);
   records_.push_back(std::move(r));
 }
@@ -136,11 +138,20 @@ std::size_t Tracer::size() const {
 void Tracer::setContext(std::string label) {
   std::lock_guard<std::mutex> lock(mutex_);
   context_ = std::move(label);
+  context_kind_set_ = false;
+}
+
+void Tracer::setContext(std::string label, Record::Kind kindOverride) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  context_ = std::move(label);
+  context_kind_set_ = true;
+  context_kind_ = kindOverride;
 }
 
 void Tracer::clearContext() {
   std::lock_guard<std::mutex> lock(mutex_);
   context_.clear();
+  context_kind_set_ = false;
 }
 
 bool Tracer::writeChromeTrace(const std::string& path) const {

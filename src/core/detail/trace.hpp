@@ -27,6 +27,7 @@ namespace skelcl::trace {
 struct Record {
   enum class Kind {
     Upload, Download, Copy, Fill, Kernel, Host,
+    Fused,         ///< a fused skeleton-chain kernel (several stages, one launch)
     Fault,         ///< a command failed (injected fault or device death)
     Retry,         ///< the runtime backed off and re-issued a command
     Redistribute,  ///< a device was blacklisted; partitions moved to survivors
@@ -40,8 +41,8 @@ struct Record {
   std::string name;             ///< stage label, or the kernel/command name
 };
 
-/// "upload", "download", "copy", "fill", "kernel", "host", "fault",
-/// "retry", "redistribute".
+/// "upload", "download", "copy", "fill", "kernel", "host", "fused",
+/// "fault", "retry", "redistribute".
 const char* kindName(Record::Kind kind);
 
 /// The process-wide trace collector.  Lives outside the Runtime so traces
@@ -64,8 +65,12 @@ class Tracer {
   std::size_t size() const;
 
   /// Label attached to queue-hook records issued while it is set (the
-  /// ExecGraph engine sets it to the current node's label).
+  /// ExecGraph engine sets it to the current node's label).  The two-argument
+  /// form additionally rewrites plain Kernel records to `kindOverride` — used
+  /// for fused-chain launches, which arrive from the queue hook as ordinary
+  /// kernel commands but should trace as kind "fused".
   void setContext(std::string label);
+  void setContext(std::string label, Record::Kind kindOverride);
   void clearContext();
 
   /// Write every record as a chrome://tracing "traceEvents" JSON file
@@ -77,6 +82,8 @@ class Tracer {
   bool enabled_ = false;
   std::vector<Record> records_;
   std::string context_;
+  bool context_kind_set_ = false;
+  Record::Kind context_kind_ = Record::Kind::Kernel;
 };
 
 // --- convenience free functions over Tracer::global() ----------------------

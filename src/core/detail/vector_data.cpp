@@ -19,7 +19,7 @@ Distribution VectorData::effective(const Distribution& d) const {
   // An unweighted block distribution picks up the scheduler's weights, if any
   // (Section V: proportional workloads on heterogeneous devices).
   if (d.kind() == Distribution::Kind::Block && d.weights().empty()) {
-    const auto& w = Runtime::instance().partitionWeights();
+    const auto& w = Runtime::instance().applicablePartitionWeights();
     if (!w.empty()) return Distribution::block(w);
   }
   return d;

@@ -63,7 +63,13 @@ ExtraArg makeExtra(T value) {
     e.scalarIsFloat = true;
     e.scalarF = static_cast<double>(value);
   } else {
-    e.typeName = std::is_unsigned_v<T> ? "uint" : "int";
+    // 8-byte integrals must stay 8-byte in the kernel: declaring them as
+    // int/uint would truncate values beyond 2^31 (resp. 2^32) at bind time.
+    if constexpr (sizeof(T) == 8) {
+      e.typeName = std::is_unsigned_v<T> ? "ulong" : "long";
+    } else {
+      e.typeName = std::is_unsigned_v<T> ? "uint" : "int";
+    }
     e.scalarIsFloat = false;
     e.scalarI = static_cast<std::int64_t>(value);
   }
@@ -274,6 +280,131 @@ template <typename T>
 class Scan : public Scan<T(T, T)> {
  public:
   using Scan<T(T, T)>::Scan;
+};
+
+// ---------------------------------------------------------------------------
+// Pipeline (fused skeleton chains)
+// ---------------------------------------------------------------------------
+
+/// A lazy chain of map/zip stages over one element type, optionally
+/// terminated by a reduce.  Stages are only *collected* here; operator() (or
+/// reduce()) hands the whole chain to the fusion engine, which emits ONE
+/// generated kernel per device evaluating all stages back to back — no
+/// intermediate vector is ever allocated — whenever the chain is eligible,
+/// and falls back to stage-by-stage execution otherwise (an intermediate is
+/// observed by the host, or a zip input carries a different distribution).
+/// See docs/FUSION.md.
+///
+///   skelcl::Pipeline<float> p;
+///   p.map("float func(float x) { return x * x; }")
+///    .zip(ys, "float func(float x, float y) { return x + y; }");
+///   skelcl::Vector<float> r = p(xs);
+template <typename T>
+class Pipeline {
+  static_assert(detail::isSkeletonElement<T>,
+                "pipeline element types must be float/double/int/uint");
+
+ public:
+  Pipeline() = default;
+
+  /// Append a map stage: `T func(T x, extras...)`.
+  template <typename... Extras>
+  Pipeline& map(std::string userSource, const Extras&... extras) {
+    detail::FusedStage st;
+    st.userSource = std::move(userSource);
+    st.outTypeName = kernelTypeName<T>();
+    st.outElemSize = sizeof(T);
+    st.outElemKind = detail::elemKindOf<T>();
+    st.extras = detail::packExtras(extras...);
+    stages_.push_back(std::move(st));
+    return *this;
+  }
+
+  /// Append a zip stage combining the chain value with `right`:
+  /// `T func(T chainValue, T rightValue, extras...)`.
+  template <typename... Extras>
+  Pipeline& zip(const Vector<T>& right, std::string userSource, const Extras&... extras) {
+    detail::FusedStage st;
+    st.userSource = std::move(userSource);
+    st.zipInput = &right.impl();
+    st.zipTypeName = kernelTypeName<T>();
+    st.outTypeName = kernelTypeName<T>();
+    st.outElemSize = sizeof(T);
+    st.outElemKind = detail::elemKindOf<T>();
+    st.extras = detail::packExtras(extras...);
+    stages_.push_back(std::move(st));
+    retained_.push_back(right);  // keep the zip input's data alive
+    return *this;
+  }
+
+  /// Capture the most recent stage's result into `sink` so the host can read
+  /// the intermediate.  This forces the chain onto the unfused fallback (a
+  /// fused chain has no intermediate to materialize).  `sink` must have the
+  /// chain's element count.
+  Pipeline& observe(Vector<T>& sink) {
+    SKELCL_CHECK(!stages_.empty(), "observe: pipeline has no stages yet");
+    stages_.back().observeSink = &sink.impl();
+    retained_.push_back(sink);
+    return *this;
+  }
+
+  /// Skip fusion even for eligible chains (benchmark baseline).
+  Pipeline& forceUnfused(bool force = true) {
+    force_unfused_ = force;
+    return *this;
+  }
+
+  /// Run the chain over `input` into a fresh vector.
+  Vector<T> operator()(const Vector<T>& input) {
+    Vector<T> output(input.size());
+    last_fused_ = detail::runFusedChain(input.impl(), kernelTypeName<T>(), stages_,
+                                        output.impl(), force_unfused_);
+    return output;
+  }
+
+  /// Run the chain in place into an existing vector (may alias the input).
+  void operator()(Out<T> output, const Vector<T>& input) {
+    SKELCL_CHECK(output.target().size() == input.size(), "output size mismatch");
+    last_fused_ = detail::runFusedChain(input.impl(), kernelTypeName<T>(), stages_,
+                                        output.target().impl(), force_unfused_);
+  }
+
+  /// Run the chain over `input` and reduce the result with the associative
+  /// operator `reduceSource` (`T func(T a, T b, extras...)`) — fused, the
+  /// chain is inlined into the reduction kernel and the chain result never
+  /// materializes either.
+  template <typename... Extras>
+  T reduce(const std::string& reduceSource, const Vector<T>& input,
+           const Extras&... extras) {
+    auto packed = detail::packExtras(extras...);
+    const kc::Slot result =
+        detail::runFusedReduce(input.impl(), kernelTypeName<T>(), stages_, reduceSource,
+                               packed, force_unfused_, &last_fused_);
+    if constexpr (std::is_floating_point_v<T>) {
+      return static_cast<T>(result.f);
+    } else {
+      return static_cast<T>(result.i);
+    }
+  }
+
+  /// Whether the most recent run took the fused path.
+  bool lastRunFused() const { return last_fused_; }
+  std::size_t stageCount() const { return stages_.size(); }
+
+  /// The user sources of every stage, in order (fed to the scheduler's
+  /// pipeline cost model).
+  std::vector<std::string> stageSources() const {
+    std::vector<std::string> out;
+    out.reserve(stages_.size());
+    for (const auto& st : stages_) out.push_back(st.userSource);
+    return out;
+  }
+
+ private:
+  std::vector<detail::FusedStage> stages_;
+  std::vector<Vector<T>> retained_;  ///< shared handles keeping inputs alive
+  bool force_unfused_ = false;
+  bool last_fused_ = false;
 };
 
 }  // namespace skelcl

@@ -55,10 +55,11 @@ struct Expr {
 using ExprPtr = std::unique_ptr<Expr>;
 
 struct IntLit final : Expr {
-  IntLit(SourceLoc l, std::uint64_t v, bool isUnsigned)
-      : Expr(ExprKind::IntLit, l), value(v), isUnsigned(isUnsigned) {}
+  IntLit(SourceLoc l, std::uint64_t v, bool isUnsigned, bool isLong = false)
+      : Expr(ExprKind::IntLit, l), value(v), isUnsigned(isUnsigned), isLong(isLong) {}
   std::uint64_t value;
   bool isUnsigned;
+  bool isLong;  ///< 'l'/'L' suffix
 };
 
 struct FloatLit final : Expr {

@@ -23,7 +23,9 @@ enum class Op : std::uint8_t {
 
   // memory access (pointer operand(s) on the stack)
   LoadI32, LoadU32, LoadF32, LoadF64,      // pop ptr, push value
+  LoadI64,                                 // pop ptr, push 64-bit integer
   StoreI32, StoreF32, StoreF64,            // pop value, pop ptr
+  StoreI64,                                // pop 64-bit value, pop ptr
   MemCopy,                                 // a = bytes; pop src, pop dst
   PtrAdd,                                  // a = element size; pop index, pop ptr
 
@@ -32,6 +34,11 @@ enum class Op : std::uint8_t {
   DivU, RemU,
   AndI, OrI, XorI, ShlI, ShrI, ShrU, NotI,
 
+  // 64-bit integer arithmetic (long/ulong; slots hold full 64 bits)
+  AddL, SubL, MulL, DivL, RemL, NegL,
+  DivUL, RemUL,
+  AndL, OrL, XorL, ShlL, ShrL, ShrUL, NotL,
+
   // floating arithmetic
   AddF32, SubF32, MulF32, DivF32, NegF32,
   AddF64, SubF64, MulF64, DivF64, NegF64,
@@ -39,14 +46,18 @@ enum class Op : std::uint8_t {
   // comparisons (push int 0/1)
   EqI, NeI, LtI, LeI, GtI, GeI,
   LtU, LeU, GtU, GeU,
+  LtUL, LeUL, GtUL, GeUL,  // unsigned 64-bit (ulong); Eq/Ne/signed reuse EqI..GeI
   EqF, NeF, LtF, LeF, GtF, GeF,
   EqP, NeP,
   LNot,
 
   // conversions
   I2F32, I2F64, U2F32, U2F64,
+  UL2F32, UL2F64,  // full 64-bit unsigned -> float/double (long reuses I2F*)
   F2I,   // double slot -> int32 (truncation)
   F2U,   // double slot -> uint32
+  F2L,   // double slot -> int64 (truncation)
+  F2UL,  // double slot -> uint64
   F64toF32,  // round slot to float precision
   I2U, U2I,  // re-normalize 32-bit views
   BoolNorm,  // nonzero -> 1

@@ -68,6 +68,44 @@ std::optional<Folded> foldBinary(const Binary& bin, const TypeTable& types) {
 
   const std::int64_t a = lhs->i;
   const std::int64_t b = rhs->i;
+
+  if (bin.operandType == types::Long || bin.operandType == types::Ulong) {
+    // 64-bit semantics: compute in uint64 (wrap-around) and reinterpret.
+    const bool unsL = bin.operandType == types::Ulong;
+    const auto ua64 = static_cast<std::uint64_t>(a);
+    const auto ub64 = static_cast<std::uint64_t>(b);
+    switch (bin.op) {
+      case BinaryOp::Add: out.i = static_cast<std::int64_t>(ua64 + ub64); break;
+      case BinaryOp::Sub: out.i = static_cast<std::int64_t>(ua64 - ub64); break;
+      case BinaryOp::Mul: out.i = static_cast<std::int64_t>(ua64 * ub64); break;
+      case BinaryOp::Div:
+        if (b == 0) return std::nullopt;  // preserve the runtime fault
+        if (!unsL && b == -1) return std::nullopt;  // INT64_MIN / -1 overflow
+        out.i = unsL ? static_cast<std::int64_t>(ua64 / ub64) : a / b;
+        break;
+      case BinaryOp::Rem:
+        if (b == 0) return std::nullopt;
+        if (!unsL && b == -1) return std::nullopt;
+        out.i = unsL ? static_cast<std::int64_t>(ua64 % ub64) : a % b;
+        break;
+      case BinaryOp::BitAnd: out.i = a & b; break;
+      case BinaryOp::BitOr: out.i = a | b; break;
+      case BinaryOp::BitXor: out.i = a ^ b; break;
+      case BinaryOp::Shl: out.i = static_cast<std::int64_t>(ua64 << (ub64 & 63u)); break;
+      case BinaryOp::Shr:
+        out.i = unsL ? static_cast<std::int64_t>(ua64 >> (ub64 & 63u)) : (a >> (ub64 & 63u));
+        break;
+      case BinaryOp::Eq: out.i = a == b; break;
+      case BinaryOp::Ne: out.i = a != b; break;
+      case BinaryOp::Lt: out.i = unsL ? (ua64 < ub64) : (a < b); break;
+      case BinaryOp::Le: out.i = unsL ? (ua64 <= ub64) : (a <= b); break;
+      case BinaryOp::Gt: out.i = unsL ? (ua64 > ub64) : (a > b); break;
+      case BinaryOp::Ge: out.i = unsL ? (ua64 >= ub64) : (a >= b); break;
+      default: return std::nullopt;
+    }
+    return out;
+  }
+
   const auto ua = static_cast<std::uint32_t>(a);
   const auto ub = static_cast<std::uint32_t>(b);
   switch (bin.op) {
@@ -142,6 +180,8 @@ std::optional<Folded> tryFold(const Expr& expr, const TypeTable& types) {
             out.f = expr.type == types::Float
                         ? static_cast<double>(-static_cast<float>(out.f))
                         : -out.f;
+          } else if (expr.type == types::Long || expr.type == types::Ulong) {
+            out.i = static_cast<std::int64_t>(-static_cast<std::uint64_t>(out.i));
           } else {
             out.i = static_cast<std::int32_t>(-out.i);
           }
@@ -152,7 +192,9 @@ std::optional<Folded> tryFold(const Expr& expr, const TypeTable& types) {
           out.f = 0.0;
           break;
         case UnaryOp::BitNot:
-          out.i = static_cast<std::int32_t>(~out.i);
+          out.i = (expr.type == types::Long || expr.type == types::Ulong)
+                      ? ~out.i
+                      : static_cast<std::int32_t>(~out.i);
           break;
         default: break;
       }
@@ -183,9 +225,15 @@ std::optional<Folded> tryFold(const Expr& expr, const TypeTable& types) {
       } else {
         std::int64_t v;
         if (fromFloat) {
-          v = to == types::Uint
-                  ? static_cast<std::int64_t>(static_cast<std::uint32_t>(inner->f))
-                  : static_cast<std::int64_t>(static_cast<std::int32_t>(inner->f));
+          if (to == types::Uint) {
+            v = static_cast<std::int64_t>(static_cast<std::uint32_t>(inner->f));
+          } else if (to == types::Ulong) {
+            v = static_cast<std::int64_t>(static_cast<std::uint64_t>(inner->f));
+          } else if (to == types::Long) {
+            v = static_cast<std::int64_t>(inner->f);
+          } else {
+            v = static_cast<std::int64_t>(static_cast<std::int32_t>(inner->f));
+          }
         } else {
           v = inner->i;
         }
@@ -193,6 +241,11 @@ std::optional<Folded> tryFold(const Expr& expr, const TypeTable& types) {
           v = static_cast<std::int64_t>(static_cast<std::uint32_t>(v));
         } else if (to == types::Bool) {
           v = v != 0;
+        } else if (to == types::Long || to == types::Ulong) {
+          // full 64-bit slot; from==Uint views the source as unsigned 32
+          if (!fromFloat && from == types::Uint) {
+            v = static_cast<std::int64_t>(static_cast<std::uint32_t>(v));
+          }
         } else {
           v = static_cast<std::int32_t>(v);
         }
@@ -425,13 +478,17 @@ void Compiler::genLoad(TypeId type) {
     emit(Op::LoadF32);
   } else if (type == types::Double) {
     emit(Op::LoadF64);
+  } else if (type == types::Long || type == types::Ulong) {
+    emit(Op::LoadI64);
   } else {
     SKELCL_CHECK(false, "cannot load type " + types_.name(type));
   }
 }
 
 void Compiler::genStore(TypeId type) {
-  if (types_.isInteger(type)) {
+  if (type == types::Long || type == types::Ulong) {
+    emit(Op::StoreI64);
+  } else if (types_.isInteger(type)) {
     emit(Op::StoreI32);
   } else if (type == types::Float) {
     emit(Op::StoreF32);
@@ -453,6 +510,8 @@ void Compiler::genConversion(TypeId from, TypeId to) {
     if (to == types::Float) { emit(Op::I2F32); return; }
     if (to == types::Double) { emit(Op::I2F64); return; }
     if (to == types::Uint) { emit(Op::I2U); return; }
+    if (to == types::Long) return;   // slot already holds the sign-extended value
+    if (to == types::Ulong) return;  // two's-complement reinterpretation
     if (to == types::Int || to == types::Bool) {
       if (to == types::Bool) emit(Op::BoolNorm);
       return;
@@ -462,18 +521,39 @@ void Compiler::genConversion(TypeId from, TypeId to) {
     if (to == types::Float) { emit(Op::U2F32); return; }
     if (to == types::Double) { emit(Op::U2F64); return; }
     if (to == types::Int) { emit(Op::U2I); return; }
+    if (to == types::Long || to == types::Ulong) return;  // slot is zero-extended
+    if (to == types::Bool) { emit(Op::BoolNorm); return; }
+  }
+  if (from == types::Long) {
+    if (to == types::Float) { emit(Op::I2F32); return; }   // full-width int64 source
+    if (to == types::Double) { emit(Op::I2F64); return; }
+    if (to == types::Ulong) return;  // reinterpretation
+    if (to == types::Int) { emit(Op::U2I); return; }   // truncate + sign-extend low 32
+    if (to == types::Uint) { emit(Op::I2U); return; }  // truncate to low 32
+    if (to == types::Bool) { emit(Op::BoolNorm); return; }
+  }
+  if (from == types::Ulong) {
+    if (to == types::Float) { emit(Op::UL2F32); return; }
+    if (to == types::Double) { emit(Op::UL2F64); return; }
+    if (to == types::Long) return;  // reinterpretation
+    if (to == types::Int) { emit(Op::U2I); return; }
+    if (to == types::Uint) { emit(Op::I2U); return; }
     if (to == types::Bool) { emit(Op::BoolNorm); return; }
   }
   if (from == types::Float) {
     if (to == types::Double) return;  // exact widening (already a double slot)
     if (to == types::Int) { emit(Op::F2I); return; }
     if (to == types::Uint) { emit(Op::F2U); return; }
+    if (to == types::Long) { emit(Op::F2L); return; }
+    if (to == types::Ulong) { emit(Op::F2UL); return; }
     if (to == types::Bool) { emit(Op::PushF, 0, 0, 0, 0.0); emit(Op::NeF); return; }
   }
   if (from == types::Double) {
     if (to == types::Float) { emit(Op::F64toF32); return; }
     if (to == types::Int) { emit(Op::F2I); return; }
     if (to == types::Uint) { emit(Op::F2U); return; }
+    if (to == types::Long) { emit(Op::F2L); return; }
+    if (to == types::Ulong) { emit(Op::F2UL); return; }
     if (to == types::Bool) { emit(Op::PushF, 0, 0, 0, 0.0); emit(Op::NeF); return; }
   }
   SKELCL_CHECK(false, "no conversion from " + types_.name(from) + " to " + types_.name(to));
@@ -483,6 +563,33 @@ void Compiler::genBinaryOp(BinaryOp op, TypeId operandType) {
   const bool f32 = isF32(operandType);
   const bool f64 = isF64(operandType);
   const bool uns = operandType == types::Uint;
+  const bool lng = operandType == types::Long;
+  const bool unl = operandType == types::Ulong;
+
+  if (lng || unl) {
+    switch (op) {
+      case BinaryOp::Add: emit(Op::AddL); return;
+      case BinaryOp::Sub: emit(Op::SubL); return;
+      case BinaryOp::Mul: emit(Op::MulL); return;
+      case BinaryOp::Div: emit(unl ? Op::DivUL : Op::DivL); return;
+      case BinaryOp::Rem: emit(unl ? Op::RemUL : Op::RemL); return;
+      case BinaryOp::BitAnd: emit(Op::AndL); return;
+      case BinaryOp::BitOr: emit(Op::OrL); return;
+      case BinaryOp::BitXor: emit(Op::XorL); return;
+      case BinaryOp::Shl: emit(Op::ShlL); return;
+      case BinaryOp::Shr: emit(unl ? Op::ShrUL : Op::ShrL); return;
+      // Eq/Ne and signed ordering work on the full 64-bit slot already.
+      case BinaryOp::Eq: emit(Op::EqI); return;
+      case BinaryOp::Ne: emit(Op::NeI); return;
+      case BinaryOp::Lt: emit(unl ? Op::LtUL : Op::LtI); return;
+      case BinaryOp::Le: emit(unl ? Op::LeUL : Op::LeI); return;
+      case BinaryOp::Gt: emit(unl ? Op::GtUL : Op::GtI); return;
+      case BinaryOp::Ge: emit(unl ? Op::GeUL : Op::GeI); return;
+      case BinaryOp::LAnd:
+      case BinaryOp::LOr:
+        SKELCL_CHECK(false, "logical operators are lowered with jumps, not genBinaryOp");
+    }
+  }
 
   switch (op) {
     case BinaryOp::Add: emit(f32 ? Op::AddF32 : f64 ? Op::AddF64 : Op::AddI); return;
@@ -580,6 +687,9 @@ void Compiler::genIncDec(const Unary& unary) {
     } else if (isFloating(t)) {
       emit(Op::PushF, 0, 0, 0, 1.0);
       emit(isF32(t) ? (isInc ? Op::AddF32 : Op::SubF32) : (isInc ? Op::AddF64 : Op::SubF64));
+    } else if (t == types::Long || t == types::Ulong) {
+      emit(Op::PushI, 0, 0, 1);
+      emit(isInc ? Op::AddL : Op::SubL);
     } else {
       emit(Op::PushI, 0, 0, 1);
       emit(isInc ? Op::AddI : Op::SubI);
@@ -701,7 +811,10 @@ void Compiler::genUnary(const Unary& unary) {
       return;
     case UnaryOp::Minus:
       genValue(*unary.operand);
-      emit(isF32(unary.type) ? Op::NegF32 : isF64(unary.type) ? Op::NegF64 : Op::NegI);
+      emit(isF32(unary.type)   ? Op::NegF32
+           : isF64(unary.type) ? Op::NegF64
+           : (unary.type == types::Long || unary.type == types::Ulong) ? Op::NegL
+                                                                       : Op::NegI);
       return;
     case UnaryOp::Not:
       genCond(*unary.operand);
@@ -709,7 +822,7 @@ void Compiler::genUnary(const Unary& unary) {
       return;
     case UnaryOp::BitNot:
       genValue(*unary.operand);
-      emit(Op::NotI);
+      emit((unary.type == types::Long || unary.type == types::Ulong) ? Op::NotL : Op::NotI);
       return;
     case UnaryOp::Deref:
       genValue(*unary.operand);

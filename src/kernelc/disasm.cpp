@@ -16,7 +16,9 @@ const char* opName(Op op) {
     case Op::LoadU32: return "load.u32";
     case Op::LoadF32: return "load.f32";
     case Op::LoadF64: return "load.f64";
+    case Op::LoadI64: return "load.i64";
     case Op::StoreI32: return "store.i32";
+    case Op::StoreI64: return "store.i64";
     case Op::StoreF32: return "store.f32";
     case Op::StoreF64: return "store.f64";
     case Op::MemCopy: return "memcopy";
@@ -36,6 +38,21 @@ const char* opName(Op op) {
     case Op::ShrI: return "shr.i";
     case Op::ShrU: return "shr.u";
     case Op::NotI: return "not.i";
+    case Op::AddL: return "add.l";
+    case Op::SubL: return "sub.l";
+    case Op::MulL: return "mul.l";
+    case Op::DivL: return "div.l";
+    case Op::RemL: return "rem.l";
+    case Op::NegL: return "neg.l";
+    case Op::DivUL: return "div.ul";
+    case Op::RemUL: return "rem.ul";
+    case Op::AndL: return "and.l";
+    case Op::OrL: return "or.l";
+    case Op::XorL: return "xor.l";
+    case Op::ShlL: return "shl.l";
+    case Op::ShrL: return "shr.l";
+    case Op::ShrUL: return "shr.ul";
+    case Op::NotL: return "not.l";
     case Op::AddF32: return "add.f32";
     case Op::SubF32: return "sub.f32";
     case Op::MulF32: return "mul.f32";
@@ -56,6 +73,10 @@ const char* opName(Op op) {
     case Op::LeU: return "le.u";
     case Op::GtU: return "gt.u";
     case Op::GeU: return "ge.u";
+    case Op::LtUL: return "lt.ul";
+    case Op::LeUL: return "le.ul";
+    case Op::GtUL: return "gt.ul";
+    case Op::GeUL: return "ge.ul";
     case Op::EqF: return "eq.f";
     case Op::NeF: return "ne.f";
     case Op::LtF: return "lt.f";
@@ -69,8 +90,12 @@ const char* opName(Op op) {
     case Op::I2F64: return "cvt.i.f64";
     case Op::U2F32: return "cvt.u.f32";
     case Op::U2F64: return "cvt.u.f64";
+    case Op::UL2F32: return "cvt.ul.f32";
+    case Op::UL2F64: return "cvt.ul.f64";
     case Op::F2I: return "cvt.f.i";
     case Op::F2U: return "cvt.f.u";
+    case Op::F2L: return "cvt.f.l";
+    case Op::F2UL: return "cvt.f.ul";
     case Op::F64toF32: return "cvt.f64.f32";
     case Op::I2U: return "cvt.i.u";
     case Op::U2I: return "cvt.u.i";

@@ -19,6 +19,8 @@ const char* tokName(Tok t) {
     case Tok::KwUint: return "'uint'";
     case Tok::KwFloat: return "'float'";
     case Tok::KwDouble: return "'double'";
+    case Tok::KwLong: return "'long'";
+    case Tok::KwUlong: return "'ulong'";
     case Tok::KwStruct: return "'struct'";
     case Tok::KwTypedef: return "'typedef'";
     case Tok::KwIf: return "'if'";
@@ -92,7 +94,8 @@ const std::unordered_map<std::string_view, Tok>& keywords() {
       {"void", Tok::KwVoid},       {"bool", Tok::KwBool},
       {"int", Tok::KwInt},         {"uint", Tok::KwUint},
       {"unsigned", Tok::KwUint},   {"float", Tok::KwFloat},
-      {"double", Tok::KwDouble},   {"struct", Tok::KwStruct},
+      {"double", Tok::KwDouble},   {"long", Tok::KwLong},
+      {"ulong", Tok::KwUlong},     {"struct", Tok::KwStruct},
       {"typedef", Tok::KwTypedef}, {"if", Tok::KwIf},
       {"else", Tok::KwElse},       {"for", Tok::KwFor},
       {"while", Tok::KwWhile},     {"do", Tok::KwDo},
@@ -201,6 +204,7 @@ Token Lexer::makeNumber() {
   // suffixes
   bool f32suffix = false;
   bool unsignedSuffix = false;
+  bool longSuffix = false;
   while (std::isalpha(static_cast<unsigned char>(peek()))) {
     const char s = peek();
     if ((s == 'f' || s == 'F') && !isHex) {
@@ -211,7 +215,8 @@ Token Lexer::makeNumber() {
       unsignedSuffix = true;
       advance();
     } else if (s == 'l' || s == 'L') {
-      advance();  // accepted and ignored (all ints are 32 bit)
+      longSuffix = true;
+      advance();
     } else {
       fail("unexpected suffix '" + std::string(1, s) + "' on numeric literal");
     }
@@ -226,6 +231,7 @@ Token Lexer::makeNumber() {
     t.intValue = std::strtoull(spelling.c_str(), nullptr, isHex ? 16 : 10);
     t.isFloat32 = false;
     if (unsignedSuffix) t.text += "u";
+    if (longSuffix) t.text += "l";
   }
   return t;
 }

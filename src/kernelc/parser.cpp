@@ -52,6 +52,8 @@ bool Parser::startsType(int ahead) const {
     case Tok::KwUint:
     case Tok::KwFloat:
     case Tok::KwDouble:
+    case Tok::KwLong:
+    case Tok::KwUlong:
     case Tok::KwStruct:
     case Tok::KwGlobal:
     case Tok::KwLocal:
@@ -86,6 +88,8 @@ TypeSpec Parser::parseTypeSpec() {
     case Tok::KwUint: advance(); spec.scalar = Scalar::Uint; break;
     case Tok::KwFloat: advance(); spec.scalar = Scalar::Float; break;
     case Tok::KwDouble: advance(); spec.scalar = Scalar::Double; break;
+    case Tok::KwLong: advance(); spec.scalar = Scalar::Long; break;
+    case Tok::KwUlong: advance(); spec.scalar = Scalar::Ulong; break;
     case Tok::KwStruct: {
       advance();
       const Token& name = expect(Tok::Identifier, "after 'struct'");
@@ -493,7 +497,9 @@ ExprPtr Parser::parsePrimary() {
       advance();
       const bool isUnsigned = t.text.find('u') != std::string::npos ||
                               t.text.find('U') != std::string::npos;
-      return std::make_unique<IntLit>(t.loc, t.intValue, isUnsigned);
+      const bool isLong = t.text.find('l') != std::string::npos ||
+                          t.text.find('L') != std::string::npos;
+      return std::make_unique<IntLit>(t.loc, t.intValue, isUnsigned, isLong);
     }
     case Tok::FloatLiteral:
       advance();

@@ -172,6 +172,8 @@ TypeId Sema::resolve(const TypeSpec& spec, bool allowVoid) {
       case Scalar::Uint: base = types::Uint; break;
       case Scalar::Float: base = types::Float; break;
       case Scalar::Double: base = types::Double; break;
+      case Scalar::Long: base = types::Long; break;
+      case Scalar::Ulong: base = types::Ulong; break;
       default: base = types::Invalid; break;
     }
   }
@@ -481,7 +483,12 @@ TypeId Sema::analyzeExpr(Expr& expr) {
       auto& lit = static_cast<IntLit&>(expr);
       const bool fitsInt = lit.value <= static_cast<std::uint64_t>(
                                             std::numeric_limits<std::int32_t>::max());
-      expr.type = (lit.isUnsigned || !fitsInt) ? types::Uint : types::Int;
+      const bool fitsUint = lit.value <= std::numeric_limits<std::uint32_t>::max();
+      if (lit.isLong || !fitsUint) {
+        expr.type = lit.isUnsigned ? types::Ulong : types::Long;
+      } else {
+        expr.type = (lit.isUnsigned || !fitsInt) ? types::Uint : types::Int;
+      }
       break;
     }
     case ExprKind::FloatLit:

@@ -13,7 +13,7 @@ enum class Tok {
   FloatLiteral,
 
   // keywords
-  KwVoid, KwBool, KwInt, KwUint, KwFloat, KwDouble,
+  KwVoid, KwBool, KwInt, KwUint, KwFloat, KwDouble, KwLong, KwUlong,
   KwStruct, KwTypedef,
   KwIf, KwElse, KwFor, KwWhile, KwDo, KwBreak, KwContinue, KwReturn,
   KwTrue, KwFalse,

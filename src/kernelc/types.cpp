@@ -7,7 +7,7 @@ namespace skelcl::kc {
 TypeTable::TypeTable() {
   // Order must match the constants in namespace types.
   for (Scalar s : {Scalar::Void, Scalar::Bool, Scalar::Int, Scalar::Uint, Scalar::Float,
-                   Scalar::Double}) {
+                   Scalar::Double, Scalar::Long, Scalar::Ulong}) {
     Entry e;
     e.kind = Kind::Scalar;
     e.scalar = s;
@@ -102,7 +102,9 @@ std::uint32_t TypeTable::sizeOf(TypeId t) const {
         case Scalar::Int:
         case Scalar::Uint:
         case Scalar::Float: return 4;
-        case Scalar::Double: return 8;
+        case Scalar::Double:
+        case Scalar::Long:
+        case Scalar::Ulong: return 8;
       }
       return 0;
     case Kind::Pointer: return 8;
@@ -129,6 +131,8 @@ std::string TypeTable::name(TypeId t) const {
         case Scalar::Uint: return "uint";
         case Scalar::Float: return "float";
         case Scalar::Double: return "double";
+        case Scalar::Long: return "long";
+        case Scalar::Ulong: return "ulong";
       }
       return "?";
     case Kind::Pointer: return name(e.pointee) + "*";
@@ -142,6 +146,8 @@ TypeId TypeTable::arithmeticCommonType(TypeId a, TypeId b) const {
   SKELCL_CHECK(isArithmetic(a) && isArithmetic(b), "arithmetic types required");
   if (a == types::Double || b == types::Double) return types::Double;
   if (a == types::Float || b == types::Float) return types::Float;
+  if (a == types::Ulong || b == types::Ulong) return types::Ulong;
+  if (a == types::Long || b == types::Long) return types::Long;
   if (a == types::Uint || b == types::Uint) return types::Uint;
   return types::Int;  // bool promotes to int
 }

@@ -17,7 +17,7 @@ namespace skelcl::kc {
 
 using TypeId = std::int32_t;
 
-enum class Scalar : std::int8_t { Void, Bool, Int, Uint, Float, Double };
+enum class Scalar : std::int8_t { Void, Bool, Int, Uint, Float, Double, Long, Ulong };
 
 /// Well-known TypeIds; the TypeTable constructor guarantees these values.
 namespace types {
@@ -27,6 +27,8 @@ inline constexpr TypeId Int = 2;
 inline constexpr TypeId Uint = 3;
 inline constexpr TypeId Float = 4;
 inline constexpr TypeId Double = 5;
+inline constexpr TypeId Long = 6;
+inline constexpr TypeId Ulong = 7;
 inline constexpr TypeId Invalid = -1;
 }  // namespace types
 
@@ -69,7 +71,10 @@ class TypeTable {
   bool isPointer(TypeId t) const;
   bool isStruct(TypeId t) const;
   bool isVoid(TypeId t) const { return t == types::Void; }
-  bool isInteger(TypeId t) const { return t == types::Int || t == types::Uint || t == types::Bool; }
+  bool isInteger(TypeId t) const {
+    return t == types::Int || t == types::Uint || t == types::Bool || t == types::Long ||
+           t == types::Ulong;
+  }
   bool isFloating(TypeId t) const { return t == types::Float || t == types::Double; }
   bool isArithmetic(TypeId t) const { return isInteger(t) || isFloating(t); }
 

@@ -1,6 +1,7 @@
 #include "kernelc/vm.hpp"
 
 #include <cstring>
+#include <limits>
 
 #include "kernelc/diagnostics.hpp"
 
@@ -188,11 +189,24 @@ void Vm::execute(int functionIndex, std::span<const Slot> args, bool expectResul
         push(Slot::fromFloat(v));
         break;
       }
+      case Op::LoadI64: {
+        const void* addr = resolve(pop().p, 8);
+        std::int64_t v;
+        std::memcpy(&v, addr, 8);
+        push(Slot::fromInt(v));
+        break;
+      }
       case Op::StoreI32: {
         const Slot value = pop();
         void* addr = resolve(pop().p, 4);
         const auto v = static_cast<std::int32_t>(value.i);
         std::memcpy(addr, &v, 4);
+        break;
+      }
+      case Op::StoreI64: {
+        const Slot value = pop();
+        void* addr = resolve(pop().p, 8);
+        std::memcpy(addr, &value.i, 8);
         break;
       }
       case Op::StoreF32: {
@@ -282,6 +296,70 @@ void Vm::execute(int functionIndex, std::span<const Slot> args, bool expectResul
         stack_.back().i = static_cast<std::int32_t>(~stack_.back().i);
         break;
 
+#define SKELCL_BIN_L(OPNAME, EXPR)                                         \
+  case Op::OPNAME: {                                                       \
+    const std::int64_t b = pop().i;                                        \
+    const std::int64_t a = pop().i;                                        \
+    (void)a;                                                               \
+    (void)b;                                                               \
+    push(Slot::fromInt(static_cast<std::int64_t>(EXPR)));                  \
+    break;                                                                 \
+  }
+      SKELCL_BIN_L(AddL, static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b))
+      SKELCL_BIN_L(SubL, static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b))
+      SKELCL_BIN_L(MulL, static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b))
+      SKELCL_BIN_L(AndL, a & b)
+      SKELCL_BIN_L(OrL, a | b)
+      SKELCL_BIN_L(XorL, a ^ b)
+      SKELCL_BIN_L(ShlL, static_cast<std::uint64_t>(a) << (static_cast<std::uint64_t>(b) & 63u))
+      SKELCL_BIN_L(ShrL, a >> (static_cast<std::uint64_t>(b) & 63u))
+      SKELCL_BIN_L(ShrUL, static_cast<std::uint64_t>(a) >> (static_cast<std::uint64_t>(b) & 63u))
+#undef SKELCL_BIN_L
+
+      case Op::DivL: {
+        const std::int64_t b = pop().i;
+        const std::int64_t a = pop().i;
+        if (b == 0) fault("integer division by zero");
+        if (b == -1 && a == std::numeric_limits<std::int64_t>::min()) {
+          push(Slot::fromInt(a));  // wrap, matching 2's-complement overflow
+        } else {
+          push(Slot::fromInt(a / b));
+        }
+        break;
+      }
+      case Op::RemL: {
+        const std::int64_t b = pop().i;
+        const std::int64_t a = pop().i;
+        if (b == 0) fault("integer remainder by zero");
+        if (b == -1) {
+          push(Slot::fromInt(std::int64_t{0}));
+        } else {
+          push(Slot::fromInt(a % b));
+        }
+        break;
+      }
+      case Op::DivUL: {
+        const auto b = static_cast<std::uint64_t>(pop().i);
+        const auto a = static_cast<std::uint64_t>(pop().i);
+        if (b == 0) fault("integer division by zero");
+        push(Slot::fromInt(static_cast<std::int64_t>(a / b)));
+        break;
+      }
+      case Op::RemUL: {
+        const auto b = static_cast<std::uint64_t>(pop().i);
+        const auto a = static_cast<std::uint64_t>(pop().i);
+        if (b == 0) fault("integer remainder by zero");
+        push(Slot::fromInt(static_cast<std::int64_t>(a % b)));
+        break;
+      }
+      case Op::NegL:
+        stack_.back().i =
+            static_cast<std::int64_t>(-static_cast<std::uint64_t>(stack_.back().i));
+        break;
+      case Op::NotL:
+        stack_.back().i = ~stack_.back().i;
+        break;
+
 #define SKELCL_BIN_F32(OPNAME, OPERATOR)                                            \
   case Op::OPNAME: {                                                                \
     const double b = pop().f;                                                       \
@@ -333,6 +411,10 @@ void Vm::execute(int functionIndex, std::span<const Slot> args, bool expectResul
       SKELCL_CMP(LeU, std::uint32_t, i, <=)
       SKELCL_CMP(GtU, std::uint32_t, i, >)
       SKELCL_CMP(GeU, std::uint32_t, i, >=)
+      SKELCL_CMP(LtUL, std::uint64_t, i, <)
+      SKELCL_CMP(LeUL, std::uint64_t, i, <=)
+      SKELCL_CMP(GtUL, std::uint64_t, i, >)
+      SKELCL_CMP(GeUL, std::uint64_t, i, >=)
       SKELCL_CMP(EqF, double, f, ==)
       SKELCL_CMP(NeF, double, f, !=)
       SKELCL_CMP(LtF, double, f, <)
@@ -372,9 +454,28 @@ void Vm::execute(int functionIndex, std::span<const Slot> args, bool expectResul
         stack_.back() = Slot::fromFloat(
             static_cast<double>(static_cast<std::uint32_t>(stack_.back().i)));
         break;
+      case Op::UL2F32:
+        stack_.back() = Slot::fromFloat(
+            static_cast<float>(static_cast<std::uint64_t>(stack_.back().i)));
+        break;
+      case Op::UL2F64:
+        stack_.back() = Slot::fromFloat(
+            static_cast<double>(static_cast<std::uint64_t>(stack_.back().i)));
+        break;
       case Op::F2I: {
         const double v = stack_.back().f;
         stack_.back() = Slot::fromInt(static_cast<std::int32_t>(v));
+        break;
+      }
+      case Op::F2L: {
+        const double v = stack_.back().f;
+        stack_.back() = Slot::fromInt(static_cast<std::int64_t>(v));
+        break;
+      }
+      case Op::F2UL: {
+        const double v = stack_.back().f;
+        stack_.back() =
+            Slot::fromInt(static_cast<std::int64_t>(static_cast<std::uint64_t>(v)));
         break;
       }
       case Op::F2U: {

@@ -51,7 +51,7 @@ bool isPointerParam(const kc::FunctionCode& fn, std::size_t index) {
   // one of the fixed scalar ids is a pointer (structs cannot be kernel
   // parameters by value).
   const kc::TypeId t = fn.paramTypes[index];
-  return t > kc::types::Double;
+  return t > kc::types::Ulong;
 }
 }  // namespace
 
@@ -83,6 +83,8 @@ void Kernel::setScalar(std::size_t index, kc::Slot raw, bool wasFloating) {
     slot = kc::Slot::fromFloat(fval);
   } else if (t == kc::types::Uint) {
     slot = kc::Slot::fromInt(static_cast<std::int64_t>(static_cast<std::uint32_t>(ival)));
+  } else if (t == kc::types::Long || t == kc::types::Ulong) {
+    slot = kc::Slot::fromInt(ival);  // full 64 bits (ulong: two's complement view)
   } else if (t == kc::types::Bool) {
     slot = kc::Slot::fromInt(wasFloating ? (fval != 0.0) : (ival != 0));
   } else {  // Int
@@ -105,6 +107,15 @@ void Kernel::setArg(std::size_t index, std::int32_t value) {
 }
 
 void Kernel::setArg(std::size_t index, std::uint32_t value) {
+  setScalar(index, kc::Slot::fromInt(static_cast<std::int64_t>(value)),
+            /*wasFloating=*/false);
+}
+
+void Kernel::setArg(std::size_t index, std::int64_t value) {
+  setScalar(index, kc::Slot::fromInt(value), /*wasFloating=*/false);
+}
+
+void Kernel::setArg(std::size_t index, std::uint64_t value) {
   setScalar(index, kc::Slot::fromInt(static_cast<std::int64_t>(value)),
             /*wasFloating=*/false);
 }

@@ -78,6 +78,8 @@ class Kernel {
   void setArg(std::size_t index, double value);
   void setArg(std::size_t index, std::int32_t value);
   void setArg(std::size_t index, std::uint32_t value);
+  void setArg(std::size_t index, std::int64_t value);
+  void setArg(std::size_t index, std::uint64_t value);
 
   const std::vector<KernelArg>& args() const { return args_; }
   const kc::FunctionCode& code() const;

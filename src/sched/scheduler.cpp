@@ -92,4 +92,24 @@ void autoSchedule(const std::string& userSource) {
   setPartitionWeights(staticWeights(devices, cost));
 }
 
+KernelCostEstimate measurePipelineCost(const std::vector<std::string>& stageSources,
+                                       std::uint64_t samples) {
+  SKELCL_CHECK(!stageSources.empty(), "pipeline has no stages");
+  KernelCostEstimate total;
+  for (const std::string& source : stageSources) {
+    const KernelCostEstimate stage = measureUserFunction(source, samples);
+    total.instructionsPerElement += stage.instructionsPerElement;
+    total.samples = stage.samples;
+  }
+  return total;
+}
+
+void autoSchedule(const std::vector<std::string>& stageSources) {
+  const KernelCostEstimate cost = measurePipelineCost(stageSources);
+  auto& rt = detail::Runtime::instance();
+  std::vector<sim::DeviceSpec> devices;
+  for (int d = 0; d < rt.deviceCount(); ++d) devices.push_back(rt.device(d).spec());
+  setPartitionWeights(staticWeights(devices, cost));
+}
+
 }  // namespace skelcl::sched

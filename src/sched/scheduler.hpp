@@ -53,4 +53,14 @@ bool hostShouldFinishReduce(const sim::DeviceSpec& gpu, std::uint64_t elements,
 /// runtime's devices and install them via setPartitionWeights.
 void autoSchedule(const std::string& userSource);
 
+/// Cost of one element through a fused skeleton pipeline: the sum of the
+/// per-stage instruction counts (the fused kernel evaluates every stage's
+/// user function back to back on each element).  `stageSources` is
+/// Pipeline::stageSources().
+KernelCostEstimate measurePipelineCost(const std::vector<std::string>& stageSources,
+                                       std::uint64_t samples = 64);
+
+/// autoSchedule for a fused pipeline: weights from the summed per-stage cost.
+void autoSchedule(const std::vector<std::string>& stageSources);
+
 }  // namespace skelcl::sched
