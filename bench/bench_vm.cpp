@@ -1,0 +1,167 @@
+// Interpreter throughput benchmark (docs/VM.md): runs mandelbrot-shaped and
+// OSEM-shaped kernels on the kernelc VM under both pipelines — the default
+// optimized one (peephole superinstructions, packed 16-byte encoding, fast
+// interpreter) and the SKELCL_KC_OPT=0 reference one — and reports wall-clock
+// Minstructions/s plus the speedup.  Outputs must be bit-identical and the
+// retired-instruction counts equal, otherwise the simulated GPU timings would
+// drift; the benchmark exits nonzero on any divergence.
+//
+//   usage: bench_vm [--smoke]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "kernelc/program.hpp"
+#include "kernelc/vm.hpp"
+
+using namespace skelcl::kc;
+
+namespace {
+
+const char* const kMandelSrc = R"(
+  __kernel void mandel(__global float* out, int width, int maxIter) {
+    int gid = get_global_id(0);
+    int px = gid % width;
+    int py = gid / width;
+    float cr = -2.0f + 3.0f * (float)px / (float)width;
+    float ci = -1.5f + 3.0f * (float)py / (float)width;
+    float zr = 0.0f; float zi = 0.0f;
+    int it = 0;
+    while (it < maxIter) {
+      float zr2 = zr * zr; float zi2 = zi * zi;
+      if (zr2 + zi2 > 4.0f) break;
+      zi = 2.0f * zr * zi + ci;
+      zr = zr2 - zi2 + cr;
+      ++it;
+    }
+    out[gid] = (float)it;
+  }
+)";
+
+const char* const kOsemSrc = R"(
+  __kernel void project(__global float* img, __global float* out, int n, int span) {
+    int gid = get_global_id(0);
+    float acc = 0.0f;
+    for (int i = 0; i < span; ++i) {
+      acc = acc + img[(gid + i) % n] * 0.5f;
+    }
+    if (acc != 0.0f) acc = 1.0f / acc;
+    out[gid] = acc;
+  }
+)";
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t instructions = 0;
+};
+
+struct Workload {
+  const char* name;
+  const char* source;
+  const char* kernel;
+  std::int64_t items;
+  std::vector<Slot> extraArgs;   ///< after the buffer pointer args
+  int inputBuffers = 0;          ///< buffers before `out` (filled with data)
+};
+
+RunResult runWorkload(const Workload& w, bool optimize, std::vector<float>& out) {
+  const auto program = compileProgram(w.source, CompileOptions{optimize});
+
+  std::vector<std::vector<float>> inputs;
+  std::vector<MemRegion> regions;
+  std::vector<Slot> args;
+  for (int b = 0; b < w.inputBuffers; ++b) {
+    inputs.emplace_back(static_cast<std::size_t>(w.items));
+    for (std::size_t i = 0; i < inputs.back().size(); ++i) {
+      inputs.back()[i] = 0.25f * static_cast<float>((i * 7 + b) % 100 + 1);
+    }
+    regions.push_back(MemRegion{reinterpret_cast<std::byte*>(inputs.back().data()),
+                                inputs.back().size() * sizeof(float)});
+    Ptr p;
+    p.region = static_cast<std::int32_t>(regions.size());
+    p.offset = 0;
+    args.push_back(Slot::fromPtr(p));
+  }
+  out.assign(static_cast<std::size_t>(w.items), 0.0f);
+  regions.push_back(
+      MemRegion{reinterpret_cast<std::byte*>(out.data()), out.size() * sizeof(float)});
+  Ptr p;
+  p.region = static_cast<std::int32_t>(regions.size());
+  p.offset = 0;
+  args.push_back(Slot::fromPtr(p));
+  args.insert(args.end(), w.extraArgs.begin(), w.extraArgs.end());
+
+  Vm vm(*program, regions);
+  const int k = program->findKernel(w.kernel);
+  if (k < 0) {
+    std::fprintf(stderr, "no kernel '%s'\n", w.kernel);
+    std::exit(1);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t gid = 0; gid < w.items; ++gid) {
+    vm.runKernel(k, args, gid, w.items);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.instructions = vm.instructionsExecuted();
+  return r;
+}
+
+bool benchWorkload(const Workload& w) {
+  std::vector<float> fastOut;
+  std::vector<float> refOut;
+  const RunResult fast = runWorkload(w, /*optimize=*/true, fastOut);
+  const RunResult ref = runWorkload(w, /*optimize=*/false, refOut);
+
+  bool ok = true;
+  if (fast.instructions != ref.instructions) {
+    std::fprintf(stderr,
+                 "%s: retired-instruction mismatch: optimized %llu vs reference %llu\n",
+                 w.name, static_cast<unsigned long long>(fast.instructions),
+                 static_cast<unsigned long long>(ref.instructions));
+    ok = false;
+  }
+  if (std::memcmp(fastOut.data(), refOut.data(), fastOut.size() * sizeof(float)) != 0) {
+    std::fprintf(stderr, "%s: output buffers are not bit-identical\n", w.name);
+    ok = false;
+  }
+
+  const double fastMips = fast.instructions / fast.seconds / 1e6;
+  const double refMips = ref.instructions / ref.seconds / 1e6;
+  std::printf("%-12s %12llu instr   optimized %8.1f Mi/s   reference %8.1f Mi/s   speedup %.2fx\n",
+              w.name, static_cast<unsigned long long>(fast.instructions), fastMips,
+              refMips, fast.seconds > 0 ? ref.seconds / fast.seconds : 0.0);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const int width = smoke ? 32 : 512;
+  const std::int64_t mandelItems = static_cast<std::int64_t>(width) * width;
+  const int maxIter = smoke ? 32 : 512;
+  const std::int64_t osemItems = smoke ? 512 : 16384;
+  const int osemSpan = smoke ? 64 : 512;
+
+  const Workload mandel{"mandelbrot", kMandelSrc, "mandel", mandelItems,
+                        {Slot::fromInt(static_cast<std::int64_t>(width)),
+                         Slot::fromInt(static_cast<std::int64_t>(maxIter))},
+                        /*inputBuffers=*/0};
+  const Workload osem{"osem", kOsemSrc, "project", osemItems,
+                      {Slot::fromInt(osemItems),
+                       Slot::fromInt(static_cast<std::int64_t>(osemSpan))},
+                      /*inputBuffers=*/1};
+
+  bool ok = benchWorkload(mandel);
+  ok = benchWorkload(osem) && ok;
+  return ok ? 0 : 1;
+}

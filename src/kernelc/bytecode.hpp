@@ -76,17 +76,70 @@ enum class Op : std::uint8_t {
 
   // diagnostics
   Trap,  // a = trap message index (e.g. missing return)
+
+  // -------------------------------------------------------------------------
+  // Superinstructions (emitted by the peephole pass, never by the compiler
+  // proper).  Each replaces a fixed window of naive instructions; its `weight`
+  // equals the window length so retired-instruction accounting — and thus
+  // simulated kernel time — is exactly what the unfused program would report.
+  // -------------------------------------------------------------------------
+  PtrAddImm,       // a = element size, imm = constant index; pop ptr, push ptr+imm*a
+  LoadElemI32,     // a = element size; pop index, pop ptr, push typed load
+  LoadElemU32,
+  LoadElemF32,
+  LoadElemF64,
+  LoadElemI64,
+  LoadSlotElemI32,  // a = pointer slot, b = index slot, imm = element size;
+  LoadSlotElemU32,  // push typed load of slot[a][slot[b]]
+  LoadSlotElemF32,
+  LoadSlotElemF64,
+  LoadSlotElemI64,
+  TeeStoreI32,     // a = scratch slot; pop value, pop ptr, typed store,
+  TeeStoreI64,     // slot[a] = value (the scratch the naive sequence wrote)
+  TeeStoreF32,
+  TeeStoreF64,
+  IncSlotI,        // a = slot, imm = delta; slot[a] = int32(slot[a] + delta)
+  LoadSlot2,       // a, b = slots; push slot[a] then slot[b]
+  CmpJz,           // b = comparison Op, a = target; pop rhs, pop lhs, branch if false
+  CmpJnz,          // b = comparison Op, a = target; branch if true
+
+  // Packed-only constant-pool pushes (produced by the encoder, not the
+  // peephole pass): k indexes the function's constant pool.
+  PushCI,          // push pool[k] as int64
+  PushCF,          // push bit_cast<double>(pool[k])
 };
+
+/// Number of opcodes (for tables / exhaustiveness tests).
+inline constexpr int kOpCount = static_cast<int>(Op::PushCF) + 1;
 
 const char* opName(Op op);
 
+/// Compiler IR instruction: roomy, easy to pattern-match and disassemble.
+/// `weight` is the number of source (naive) instructions this one retires;
+/// 1 for everything the compiler emits, >1 for peephole superinstructions.
 struct Insn {
   Op op;
   std::int32_t a = 0;
   std::int32_t b = 0;
   std::int64_t imm = 0;
   double fimm = 0.0;
+  std::uint8_t weight = 1;
 };
+
+/// Execution encoding: 16 bytes per instruction (vs 32 for Insn), halving
+/// I-cache pressure in the dispatch loop.  Cold 64-bit payloads (big integer
+/// immediates, float immediates) move to a side constant pool indexed by `k`;
+/// small integer immediates ride inline in `a`/`b`; `c` carries small
+/// auxiliary payloads (fused comparison opcode, element sizes).
+struct PackedInsn {
+  Op op;
+  std::uint8_t weight;
+  std::uint16_t c;
+  std::int32_t a;
+  std::int32_t b;
+  std::int32_t k;
+};
+static_assert(sizeof(PackedInsn) == 16, "dispatch encoding must stay 16 bytes");
 
 /// One compiled function, ready for execution.
 struct FunctionCode {
@@ -97,6 +150,11 @@ struct FunctionCode {
   int numSlots = 0;           ///< params occupy slots [0, paramTypes.size())
   std::uint32_t frameBytes = 0;  ///< local arrays / addressed locals / structs
   std::vector<Insn> code;
+
+  // Filled by the encoder (kernelc/encode.cpp) for the optimized pipeline.
+  int maxStack = 0;  ///< worst-case operand-stack growth, checked once at entry
+  std::vector<PackedInsn> packed;   ///< compact dispatch form of `code`
+  std::vector<std::uint64_t> pool;  ///< constant pool referenced by `packed`
 };
 
 }  // namespace skelcl::kc

@@ -1,5 +1,6 @@
 #include "kernelc/disasm.hpp"
 
+#include <cstring>
 #include <iomanip>
 #include <sstream>
 
@@ -110,6 +111,27 @@ const char* opName(Op op) {
     case Op::Dup: return "dup";
     case Op::Drop: return "drop";
     case Op::Trap: return "trap";
+    case Op::PtrAddImm: return "ptradd.imm";
+    case Op::LoadElemI32: return "loadelem.i32";
+    case Op::LoadElemU32: return "loadelem.u32";
+    case Op::LoadElemF32: return "loadelem.f32";
+    case Op::LoadElemF64: return "loadelem.f64";
+    case Op::LoadElemI64: return "loadelem.i64";
+    case Op::LoadSlotElemI32: return "loadslotelem.i32";
+    case Op::LoadSlotElemU32: return "loadslotelem.u32";
+    case Op::LoadSlotElemF32: return "loadslotelem.f32";
+    case Op::LoadSlotElemF64: return "loadslotelem.f64";
+    case Op::LoadSlotElemI64: return "loadslotelem.i64";
+    case Op::TeeStoreI32: return "teestore.i32";
+    case Op::TeeStoreI64: return "teestore.i64";
+    case Op::TeeStoreF32: return "teestore.f32";
+    case Op::TeeStoreF64: return "teestore.f64";
+    case Op::IncSlotI: return "incslot.i";
+    case Op::LoadSlot2: return "load.slot2";
+    case Op::CmpJz: return "cmp.jz";
+    case Op::CmpJnz: return "cmp.jnz";
+    case Op::PushCI: return "push.ci";
+    case Op::PushCF: return "push.cf";
   }
   return "?";
 }
@@ -142,9 +164,122 @@ std::string disassemble(const FunctionCode& fn) {
       case Op::CallBuiltin:
         os << " " << insn.a << " argc=" << insn.b;
         break;
+      case Op::PtrAddImm:
+        os << " " << insn.a << " +" << insn.imm;
+        break;
+      case Op::LoadElemI32:
+      case Op::LoadElemU32:
+      case Op::LoadElemF32:
+      case Op::LoadElemF64:
+      case Op::LoadElemI64:
+        os << " sz=" << insn.a;
+        break;
+      case Op::LoadSlotElemI32:
+      case Op::LoadSlotElemU32:
+      case Op::LoadSlotElemF32:
+      case Op::LoadSlotElemF64:
+      case Op::LoadSlotElemI64:
+        os << " ptr=s" << insn.a << " idx=s" << insn.b << " sz=" << insn.imm;
+        break;
+      case Op::TeeStoreI32:
+      case Op::TeeStoreI64:
+      case Op::TeeStoreF32:
+      case Op::TeeStoreF64:
+        os << " s" << insn.a;
+        break;
+      case Op::IncSlotI:
+        os << " s" << insn.a << " +" << insn.imm;
+        break;
+      case Op::LoadSlot2:
+        os << " s" << insn.a << " s" << insn.b;
+        break;
+      case Op::CmpJz:
+      case Op::CmpJnz:
+        os << " " << insn.a << " (" << opName(static_cast<Op>(insn.b)) << ")";
+        break;
       default:
         break;
     }
+    if (insn.weight > 1) os << "  ;w=" << static_cast<int>(insn.weight);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string disassemblePacked(const FunctionCode& fn) {
+  std::ostringstream os;
+  os << (fn.isKernel ? "kernel " : "function ") << fn.name << " (slots=" << fn.numSlots
+     << ", frame=" << fn.frameBytes << "B, maxstack=" << fn.maxStack
+     << ", pool=" << fn.pool.size() << ")\n";
+  for (std::size_t i = 0; i < fn.packed.size(); ++i) {
+    const PackedInsn& insn = fn.packed[i];
+    os << std::setw(5) << i << "  " << opName(insn.op);
+    switch (insn.op) {
+      case Op::PushI:
+        os << " " << insn.a;
+        break;
+      case Op::PushCI: {
+        os << " [" << insn.k << "]="
+           << static_cast<std::int64_t>(fn.pool[static_cast<std::size_t>(insn.k)]);
+        break;
+      }
+      case Op::PushCF: {
+        double v;
+        std::memcpy(&v, &fn.pool[static_cast<std::size_t>(insn.k)], sizeof v);
+        os << " [" << insn.k << "]=" << v;
+        break;
+      }
+      case Op::LoadSlot:
+      case Op::StoreSlot:
+      case Op::LeaFrame:
+      case Op::MemCopy:
+      case Op::PtrAdd:
+      case Op::Jmp:
+      case Op::Jz:
+      case Op::Jnz:
+      case Op::CallFn:
+        os << " " << insn.a;
+        break;
+      case Op::CallBuiltin:
+        os << " " << insn.a << " argc=" << insn.b;
+        break;
+      case Op::PtrAddImm:
+        os << " " << insn.a << " +" << insn.b;
+        break;
+      case Op::LoadElemI32:
+      case Op::LoadElemU32:
+      case Op::LoadElemF32:
+      case Op::LoadElemF64:
+      case Op::LoadElemI64:
+        os << " sz=" << insn.a;
+        break;
+      case Op::LoadSlotElemI32:
+      case Op::LoadSlotElemU32:
+      case Op::LoadSlotElemF32:
+      case Op::LoadSlotElemF64:
+      case Op::LoadSlotElemI64:
+        os << " ptr=s" << insn.a << " idx=s" << insn.b << " sz=" << insn.c;
+        break;
+      case Op::TeeStoreI32:
+      case Op::TeeStoreI64:
+      case Op::TeeStoreF32:
+      case Op::TeeStoreF64:
+        os << " s" << insn.a;
+        break;
+      case Op::IncSlotI:
+        os << " s" << insn.a << " +" << insn.b;
+        break;
+      case Op::LoadSlot2:
+        os << " s" << insn.a << " s" << insn.b;
+        break;
+      case Op::CmpJz:
+      case Op::CmpJnz:
+        os << " " << insn.a << " (" << opName(static_cast<Op>(insn.c)) << ")";
+        break;
+      default:
+        break;
+    }
+    if (insn.weight > 1) os << "  ;w=" << static_cast<int>(insn.weight);
     os << "\n";
   }
   return os.str();

@@ -7,7 +7,11 @@
 
 namespace skelcl::kc {
 
-/// Disassemble one function to text (one instruction per line).
+/// Disassemble one function's Insn IR to text (one instruction per line).
 std::string disassemble(const FunctionCode& fn);
+
+/// Disassemble the packed (16-byte) dispatch encoding, showing the constant
+/// pool and per-function maxStack.  Empty `packed` yields just the header.
+std::string disassemblePacked(const FunctionCode& fn);
 
 }  // namespace skelcl::kc

@@ -1,14 +1,31 @@
 #include "kernelc/program.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "kernelc/compiler.hpp"
+#include "kernelc/encode.hpp"
 #include "kernelc/lexer.hpp"
 #include "kernelc/parser.hpp"
+#include "kernelc/peephole.hpp"
 #include "kernelc/preprocessor.hpp"
 #include "kernelc/sema.hpp"
 
 namespace skelcl::kc {
 
+CompileOptions defaultCompileOptions() {
+  CompileOptions options;
+  const char* env = std::getenv("SKELCL_KC_OPT");
+  if (env != nullptr && std::strcmp(env, "0") == 0) options.optimize = false;
+  return options;
+}
+
 std::shared_ptr<const CompiledProgram> compileProgram(const std::string& source) {
+  return compileProgram(source, defaultCompileOptions());
+}
+
+std::shared_ptr<const CompiledProgram> compileProgram(const std::string& source,
+                                                      const CompileOptions& options) {
   const std::string expanded = preprocess(source);  // Lexer views this string
   Lexer lexer(expanded);
   std::vector<Token> tokens = lexer.run();
@@ -26,6 +43,15 @@ std::shared_ptr<const CompiledProgram> compileProgram(const std::string& source)
   program->functions = compiler.run();
   program->complexity = complexity;
   program->source = source;
+  if (options.optimize) {
+    for (FunctionCode& fn : program->functions) peepholeOptimize(fn);
+    finalizeFunctions(program->functions);
+    program->optimized = true;
+  }
+  // Sema rejects redefinitions, so every name maps to exactly one function.
+  for (std::size_t i = 0; i < program->functions.size(); ++i) {
+    program->functionIndex.emplace(program->functions[i].name, static_cast<int>(i));
+  }
   return program;
 }
 

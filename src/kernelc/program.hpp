@@ -8,9 +8,28 @@
 
 namespace skelcl::kc {
 
+/// Pipeline selection for compileProgram.
+struct CompileOptions {
+  /// Run the optimized pipeline: peephole superinstructions + packed 16-byte
+  /// encoding + fast interpreter.  When false the program keeps the naive
+  /// Insn stream and executes on the reference interpreter — used for
+  /// differential testing (outputs and retired-instruction counts must match
+  /// the optimized pipeline exactly).
+  bool optimize = true;
+};
+
+/// The process-wide default, from the environment: SKELCL_KC_OPT=0 disables
+/// the optimized pipeline for every compile that doesn't pass explicit
+/// options.
+CompileOptions defaultCompileOptions();
+
 /// Compile a kernel-language translation unit.  Throws CompileError with the
 /// full list of diagnostics on failure.  The returned program is immutable
 /// and safe to share across threads (each thread runs its own Vm).
 std::shared_ptr<const CompiledProgram> compileProgram(const std::string& source);
+
+/// As above with explicit pipeline selection (ignores SKELCL_KC_OPT).
+std::shared_ptr<const CompiledProgram> compileProgram(const std::string& source,
+                                                      const CompileOptions& options);
 
 }  // namespace skelcl::kc

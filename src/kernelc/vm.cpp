@@ -8,13 +8,17 @@
 namespace skelcl::kc {
 
 int CompiledProgram::findKernel(const std::string& name) const {
-  for (std::size_t i = 0; i < functions.size(); ++i) {
-    if (functions[i].isKernel && functions[i].name == name) return static_cast<int>(i);
-  }
-  return -1;
+  const int idx = findFunction(name);
+  if (idx < 0 || !functions[static_cast<std::size_t>(idx)].isKernel) return -1;
+  return idx;
 }
 
 int CompiledProgram::findFunction(const std::string& name) const {
+  if (!functionIndex.empty()) {
+    const auto it = functionIndex.find(name);
+    return it == functionIndex.end() ? -1 : it->second;
+  }
+  // Hand-assembled programs (tests) may lack the map; fall back to a scan.
   for (std::size_t i = 0; i < functions.size(); ++i) {
     if (functions[i].name == name) return static_cast<int>(i);
   }
@@ -25,8 +29,14 @@ Vm::Vm(const CompiledProgram& program, std::vector<MemRegion> globalRegions)
     : program_(program) {
   regions_.push_back(MemRegion{});  // region 0: null
   for (const auto& r : globalRegions) regions_.push_back(r);
-  stack_.reserve(1024);
   frameArena_.resize(kFrameArenaBytes);
+  if (program_.optimized) {
+    stackBuf_.resize(kMaxStack);
+    slotArena_.resize(kSlotArenaSlots);
+    sp_ = stackBuf_.data();
+  } else {
+    stack_.reserve(1024);
+  }
 }
 
 void Vm::fault(const std::string& message) const {
@@ -58,10 +68,20 @@ void Vm::runKernel(int functionIndex, std::span<const Slot> args, std::int64_t g
   SKELCL_CHECK(args.size() == fn.paramTypes.size(), "kernel argument count mismatch");
   globalId_ = globalId;
   globalSize_ = globalSize;
-  stack_.clear();
   frameTop_ = 0;
   // Global regions were installed by the constructor and stay put; frame
   // regions pushed beyond them are popped by execute() itself.
+  if (program_.optimized) {
+    slotTop_ = 0;
+    Slot* base = stackBuf_.data();
+    std::copy(args.begin(), args.end(), base);
+    sp_ = base + args.size();
+    execute(functionIndex, std::span<const Slot>(base, args.size()),
+            /*expectResult=*/false);
+    sp_ = base;
+    return;
+  }
+  stack_.clear();
   for (const Slot& s : args) stack_.push_back(s);
   execute(functionIndex, std::span<const Slot>(stack_.data(), args.size()),
           /*expectResult=*/false);
@@ -74,8 +94,19 @@ Slot Vm::callFunction(int functionIndex, std::span<const Slot> args) {
   SKELCL_CHECK(args.size() == fn.paramTypes.size(), "function argument count mismatch");
   globalId_ = 0;
   globalSize_ = 1;
-  stack_.clear();
   frameTop_ = 0;
+  if (program_.optimized) {
+    slotTop_ = 0;
+    Slot* base = stackBuf_.data();
+    std::copy(args.begin(), args.end(), base);
+    sp_ = base + args.size();
+    execute(functionIndex, std::span<const Slot>(base, args.size()),
+            /*expectResult=*/fn.returnType != types::Void);
+    Slot result = fn.returnType != types::Void ? sp_[-1] : Slot{};
+    sp_ = base;
+    return result;
+  }
+  stack_.clear();
   for (const Slot& s : args) stack_.push_back(s);
   execute(functionIndex, std::span<const Slot>(stack_.data(), args.size()),
           /*expectResult=*/fn.returnType != types::Void);
@@ -85,6 +116,657 @@ Slot Vm::callFunction(int functionIndex, std::span<const Slot> args) {
 }
 
 void Vm::execute(int functionIndex, std::span<const Slot> args, bool expectResult) {
+  if (program_.optimized) {
+    executeFast(functionIndex, args, expectResult);
+  } else {
+    executeRef(functionIndex, args, expectResult);
+  }
+}
+
+namespace {
+
+/// Evaluate one fused comparison exactly as the standalone opcode would.
+inline bool cmpHolds(Op op, const Slot& a, const Slot& b) {
+  switch (op) {
+    case Op::EqI: return a.i == b.i;
+    case Op::NeI: return a.i != b.i;
+    case Op::LtI: return a.i < b.i;
+    case Op::LeI: return a.i <= b.i;
+    case Op::GtI: return a.i > b.i;
+    case Op::GeI: return a.i >= b.i;
+    case Op::LtU: return static_cast<std::uint32_t>(a.i) < static_cast<std::uint32_t>(b.i);
+    case Op::LeU: return static_cast<std::uint32_t>(a.i) <= static_cast<std::uint32_t>(b.i);
+    case Op::GtU: return static_cast<std::uint32_t>(a.i) > static_cast<std::uint32_t>(b.i);
+    case Op::GeU: return static_cast<std::uint32_t>(a.i) >= static_cast<std::uint32_t>(b.i);
+    case Op::LtUL: return static_cast<std::uint64_t>(a.i) < static_cast<std::uint64_t>(b.i);
+    case Op::LeUL: return static_cast<std::uint64_t>(a.i) <= static_cast<std::uint64_t>(b.i);
+    case Op::GtUL: return static_cast<std::uint64_t>(a.i) > static_cast<std::uint64_t>(b.i);
+    case Op::GeUL: return static_cast<std::uint64_t>(a.i) >= static_cast<std::uint64_t>(b.i);
+    case Op::EqF: return a.f == b.f;
+    case Op::NeF: return a.f != b.f;
+    case Op::LtF: return a.f < b.f;
+    case Op::LeF: return a.f <= b.f;
+    case Op::GtF: return a.f > b.f;
+    case Op::GeF: return a.f >= b.f;
+    case Op::EqP: return a.p.region == b.p.region && a.p.offset == b.p.offset;
+    case Op::NeP: return a.p.region != b.p.region || a.p.offset != b.p.offset;
+    default: return false;  // peephole only fuses the ops above
+  }
+}
+
+inline Ptr ptrPlus(Ptr p, std::int64_t index, std::int64_t elemSize) {
+  p.offset = static_cast<std::uint32_t>(static_cast<std::int64_t>(p.offset) +
+                                        index * elemSize);
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fast path: PackedInsn dispatch, raw-pointer stack, slot arena.
+// ---------------------------------------------------------------------------
+
+void Vm::executeFast(int functionIndex, std::span<const Slot> args, bool expectResult) {
+  static thread_local std::size_t callDepth = 0;
+  if (++callDepth > kMaxCallDepth) {
+    --callDepth;
+    fault("call stack overflow (recursion too deep)");
+  }
+  struct DepthGuard {
+    std::size_t& d;
+    ~DepthGuard() { --d; }
+  } depthGuard{callDepth};
+
+  const auto& fn = program_.functions[static_cast<std::size_t>(functionIndex)];
+  const int savedFunction = currentFunction_;
+  currentFunction_ = functionIndex;
+
+  // Locals: a frame carved out of the preallocated slot arena (the reference
+  // path heap-allocates a vector here).  Zeroed to match vector<Slot>'s
+  // value-initialization, then parameters copied in.
+  const std::size_t numSlots = static_cast<std::size_t>(fn.numSlots);
+  if (slotTop_ + numSlots > slotArena_.size()) fault("local-slot arena exhausted");
+  Slot* slots = slotArena_.data() + slotTop_;
+  const std::size_t savedSlotTop = slotTop_;
+  slotTop_ += numSlots;
+  for (std::size_t s = args.size(); s < numSlots; ++s) slots[s] = Slot{};
+  std::copy(args.begin(), args.end(), slots);
+
+  // Frame memory region (for arrays / structs / addressed locals).
+  const std::size_t frameRegionId = regions_.size();
+  const std::uint64_t savedFrameTop = frameTop_;
+  if (fn.frameBytes > 0) {
+    const std::uint64_t alignedTop = (frameTop_ + 15) / 16 * 16;
+    if (alignedTop + fn.frameBytes > frameArena_.size()) fault("frame arena exhausted");
+    std::memset(frameArena_.data() + alignedTop, 0, fn.frameBytes);
+    regions_.push_back(MemRegion{frameArena_.data() + alignedTop, fn.frameBytes});
+    frameTop_ = alignedTop + fn.frameBytes;
+  }
+  struct FrameGuard {
+    Vm& vm;
+    std::size_t regionId;
+    std::uint64_t savedFrameTop;
+    std::size_t savedSlotTop;
+    bool popRegion;
+    ~FrameGuard() {
+      if (popRegion) {
+        vm.regions_.resize(regionId);
+        vm.frameTop_ = savedFrameTop;
+      }
+      vm.slotTop_ = savedSlotTop;
+    }
+  } frameGuard{*this, frameRegionId, savedFrameTop, savedSlotTop, fn.frameBytes > 0};
+
+  // One stack-overflow check per frame, against the compiler-computed
+  // worst-case growth; pushes below run unguarded.
+  Slot* const stackLow = stackBuf_.data();
+  Slot* const base = sp_;
+  if (static_cast<std::size_t>(base - stackLow) + static_cast<std::size_t>(fn.maxStack) >
+      kMaxStack) {
+    fault("operand stack overflow");
+  }
+
+  const PackedInsn* const codeBase = fn.packed.data();
+  const std::uint64_t* const pool = fn.pool.data();
+  const PackedInsn* ip = codeBase;
+  const std::uint64_t budget = instructions_ + kMaxInstructionsPerItem;
+  Slot* sp = base;
+
+  // Infinite-loop protection: the retired counter advances per instruction
+  // (weights preserve naive counts), but the budget comparison happens only
+  // on back-edges and calls — straight-line code always terminates.
+  const auto checkBudget = [&] {
+    if (instructions_ > budget) fault("instruction budget exceeded (infinite loop?)");
+  };
+
+  for (;;) {
+    const PackedInsn insn = *ip++;
+    instructions_ += insn.weight;
+
+    switch (insn.op) {
+      case Op::PushI: *sp++ = Slot::fromInt(insn.a); break;
+      case Op::PushCI:
+        *sp++ = Slot::fromInt(static_cast<std::int64_t>(pool[insn.k]));
+        break;
+      case Op::PushCF: {
+        double v;
+        std::memcpy(&v, &pool[insn.k], sizeof v);
+        *sp++ = Slot::fromFloat(v);
+        break;
+      }
+      case Op::PushF:
+        fault("unpacked float immediate in packed code");
+        break;
+
+      case Op::LoadSlot: *sp++ = slots[insn.a]; break;
+      case Op::StoreSlot: slots[insn.a] = *--sp; break;
+
+      case Op::LeaFrame: {
+        Ptr p;
+        p.region = static_cast<std::int32_t>(frameRegionId);
+        p.offset = static_cast<std::uint32_t>(insn.a);
+        *sp++ = Slot::fromPtr(p);
+        break;
+      }
+
+      case Op::LoadI32: {
+        const void* addr = resolve(sp[-1].p, 4);
+        std::int32_t v;
+        std::memcpy(&v, addr, 4);
+        sp[-1] = Slot::fromInt(v);
+        break;
+      }
+      case Op::LoadU32: {
+        const void* addr = resolve(sp[-1].p, 4);
+        std::uint32_t v;
+        std::memcpy(&v, addr, 4);
+        sp[-1] = Slot::fromInt(static_cast<std::int64_t>(v));
+        break;
+      }
+      case Op::LoadF32: {
+        const void* addr = resolve(sp[-1].p, 4);
+        float v;
+        std::memcpy(&v, addr, 4);
+        sp[-1] = Slot::fromFloat(v);
+        break;
+      }
+      case Op::LoadF64: {
+        const void* addr = resolve(sp[-1].p, 8);
+        double v;
+        std::memcpy(&v, addr, 8);
+        sp[-1] = Slot::fromFloat(v);
+        break;
+      }
+      case Op::LoadI64: {
+        const void* addr = resolve(sp[-1].p, 8);
+        std::int64_t v;
+        std::memcpy(&v, addr, 8);
+        sp[-1] = Slot::fromInt(v);
+        break;
+      }
+      case Op::StoreI32: {
+        const Slot value = *--sp;
+        void* addr = resolve((*--sp).p, 4);
+        const auto v = static_cast<std::int32_t>(value.i);
+        std::memcpy(addr, &v, 4);
+        break;
+      }
+      case Op::StoreI64: {
+        const Slot value = *--sp;
+        void* addr = resolve((*--sp).p, 8);
+        std::memcpy(addr, &value.i, 8);
+        break;
+      }
+      case Op::StoreF32: {
+        const Slot value = *--sp;
+        void* addr = resolve((*--sp).p, 4);
+        const auto v = static_cast<float>(value.f);
+        std::memcpy(addr, &v, 4);
+        break;
+      }
+      case Op::StoreF64: {
+        const Slot value = *--sp;
+        void* addr = resolve((*--sp).p, 8);
+        std::memcpy(addr, &value.f, 8);
+        break;
+      }
+      case Op::MemCopy: {
+        const Ptr src = (*--sp).p;
+        const Ptr dst = (*--sp).p;
+        const auto bytes = static_cast<std::uint32_t>(insn.a);
+        void* d = resolve(dst, bytes);
+        const void* s = resolve(src, bytes);
+        std::memmove(d, s, bytes);
+        break;
+      }
+      case Op::PtrAdd: {
+        const std::int64_t index = (*--sp).i;
+        sp[-1] = Slot::fromPtr(ptrPlus(sp[-1].p, index, insn.a));
+        break;
+      }
+
+      // --- superinstructions ------------------------------------------------
+      case Op::PtrAddImm:
+        sp[-1] = Slot::fromPtr(ptrPlus(sp[-1].p, insn.b, insn.a));
+        break;
+
+#define SKELCL_LOAD_ELEM(OPNAME, CTYPE, BYTES, MAKE)                         \
+  case Op::LoadElem##OPNAME: {                                               \
+    const std::int64_t index = (*--sp).i;                                    \
+    const void* addr = resolve(ptrPlus(sp[-1].p, index, insn.a), BYTES);     \
+    CTYPE v;                                                                 \
+    std::memcpy(&v, addr, BYTES);                                            \
+    sp[-1] = Slot::MAKE(v);                                                  \
+    break;                                                                   \
+  }                                                                          \
+  case Op::LoadSlotElem##OPNAME: {                                           \
+    const void* addr =                                                       \
+        resolve(ptrPlus(slots[insn.a].p, slots[insn.b].i, insn.c), BYTES);   \
+    CTYPE v;                                                                 \
+    std::memcpy(&v, addr, BYTES);                                            \
+    *sp++ = Slot::MAKE(v);                                                   \
+    break;                                                                   \
+  }
+      SKELCL_LOAD_ELEM(I32, std::int32_t, 4, fromInt)
+      SKELCL_LOAD_ELEM(U32, std::uint32_t, 4, fromInt)
+      SKELCL_LOAD_ELEM(F32, float, 4, fromFloat)
+      SKELCL_LOAD_ELEM(F64, double, 8, fromFloat)
+      SKELCL_LOAD_ELEM(I64, std::int64_t, 8, fromInt)
+#undef SKELCL_LOAD_ELEM
+
+      case Op::TeeStoreI32: {
+        const Slot value = *--sp;
+        void* addr = resolve((*--sp).p, 4);
+        const auto v = static_cast<std::int32_t>(value.i);
+        std::memcpy(addr, &v, 4);
+        slots[insn.a] = value;
+        break;
+      }
+      case Op::TeeStoreI64: {
+        const Slot value = *--sp;
+        void* addr = resolve((*--sp).p, 8);
+        std::memcpy(addr, &value.i, 8);
+        slots[insn.a] = value;
+        break;
+      }
+      case Op::TeeStoreF32: {
+        const Slot value = *--sp;
+        void* addr = resolve((*--sp).p, 4);
+        const auto v = static_cast<float>(value.f);
+        std::memcpy(addr, &v, 4);
+        slots[insn.a] = value;
+        break;
+      }
+      case Op::TeeStoreF64: {
+        const Slot value = *--sp;
+        void* addr = resolve((*--sp).p, 8);
+        std::memcpy(addr, &value.f, 8);
+        slots[insn.a] = value;
+        break;
+      }
+
+      case Op::IncSlotI:
+        slots[insn.a].i = static_cast<std::int32_t>(slots[insn.a].i + insn.b);
+        break;
+
+      case Op::LoadSlot2:
+        sp[0] = slots[insn.a];
+        sp[1] = slots[insn.b];
+        sp += 2;
+        break;
+
+      case Op::CmpJz: {
+        const Slot b = *--sp;
+        const Slot a = *--sp;
+        if (!cmpHolds(static_cast<Op>(insn.c), a, b)) {
+          if (insn.a <= static_cast<std::int32_t>(ip - codeBase - 1)) checkBudget();
+          ip = codeBase + insn.a;
+        }
+        break;
+      }
+      case Op::CmpJnz: {
+        const Slot b = *--sp;
+        const Slot a = *--sp;
+        if (cmpHolds(static_cast<Op>(insn.c), a, b)) {
+          if (insn.a <= static_cast<std::int32_t>(ip - codeBase - 1)) checkBudget();
+          ip = codeBase + insn.a;
+        }
+        break;
+      }
+      // --- end superinstructions --------------------------------------------
+
+#define SKELCL_BIN_I(OPNAME, EXPR)                                         \
+  case Op::OPNAME: {                                                       \
+    const std::int64_t b = (*--sp).i;                                      \
+    const std::int64_t a = sp[-1].i;                                       \
+    (void)a;                                                               \
+    (void)b;                                                               \
+    sp[-1] = Slot::fromInt(static_cast<std::int32_t>(EXPR));               \
+    break;                                                                 \
+  }
+      SKELCL_BIN_I(AddI, a + b)
+      SKELCL_BIN_I(SubI, a - b)
+      SKELCL_BIN_I(MulI, a * b)
+      SKELCL_BIN_I(AndI, a & b)
+      SKELCL_BIN_I(OrI, a | b)
+      SKELCL_BIN_I(XorI, a ^ b)
+      SKELCL_BIN_I(ShlI, static_cast<std::int64_t>(static_cast<std::uint32_t>(a)
+                                                   << (static_cast<std::uint32_t>(b) & 31u)))
+      SKELCL_BIN_I(ShrI, static_cast<std::int32_t>(a) >> (static_cast<std::uint32_t>(b) & 31u))
+      SKELCL_BIN_I(ShrU, static_cast<std::uint32_t>(a) >> (static_cast<std::uint32_t>(b) & 31u))
+#undef SKELCL_BIN_I
+
+      case Op::DivI: {
+        const std::int64_t b = (*--sp).i;
+        const std::int64_t a = sp[-1].i;
+        if (b == 0) fault("integer division by zero");
+        sp[-1] = Slot::fromInt(static_cast<std::int32_t>(a / b));
+        break;
+      }
+      case Op::RemI: {
+        const std::int64_t b = (*--sp).i;
+        const std::int64_t a = sp[-1].i;
+        if (b == 0) fault("integer remainder by zero");
+        sp[-1] = Slot::fromInt(static_cast<std::int32_t>(a % b));
+        break;
+      }
+      case Op::DivU: {
+        const auto b = static_cast<std::uint32_t>((*--sp).i);
+        const auto a = static_cast<std::uint32_t>(sp[-1].i);
+        if (b == 0) fault("integer division by zero");
+        sp[-1] = Slot::fromInt(static_cast<std::int64_t>(a / b));
+        break;
+      }
+      case Op::RemU: {
+        const auto b = static_cast<std::uint32_t>((*--sp).i);
+        const auto a = static_cast<std::uint32_t>(sp[-1].i);
+        if (b == 0) fault("integer remainder by zero");
+        sp[-1] = Slot::fromInt(static_cast<std::int64_t>(a % b));
+        break;
+      }
+      case Op::NegI:
+        sp[-1].i = static_cast<std::int32_t>(-sp[-1].i);
+        break;
+      case Op::NotI:
+        sp[-1].i = static_cast<std::int32_t>(~sp[-1].i);
+        break;
+
+#define SKELCL_BIN_L(OPNAME, EXPR)                                         \
+  case Op::OPNAME: {                                                       \
+    const std::int64_t b = (*--sp).i;                                      \
+    const std::int64_t a = sp[-1].i;                                       \
+    (void)a;                                                               \
+    (void)b;                                                               \
+    sp[-1] = Slot::fromInt(static_cast<std::int64_t>(EXPR));               \
+    break;                                                                 \
+  }
+      SKELCL_BIN_L(AddL, static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b))
+      SKELCL_BIN_L(SubL, static_cast<std::uint64_t>(a) - static_cast<std::uint64_t>(b))
+      SKELCL_BIN_L(MulL, static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b))
+      SKELCL_BIN_L(AndL, a & b)
+      SKELCL_BIN_L(OrL, a | b)
+      SKELCL_BIN_L(XorL, a ^ b)
+      SKELCL_BIN_L(ShlL, static_cast<std::uint64_t>(a) << (static_cast<std::uint64_t>(b) & 63u))
+      SKELCL_BIN_L(ShrL, a >> (static_cast<std::uint64_t>(b) & 63u))
+      SKELCL_BIN_L(ShrUL, static_cast<std::uint64_t>(a) >> (static_cast<std::uint64_t>(b) & 63u))
+#undef SKELCL_BIN_L
+
+      case Op::DivL: {
+        const std::int64_t b = (*--sp).i;
+        const std::int64_t a = sp[-1].i;
+        if (b == 0) fault("integer division by zero");
+        if (b == -1 && a == std::numeric_limits<std::int64_t>::min()) {
+          sp[-1] = Slot::fromInt(a);  // wrap, matching 2's-complement overflow
+        } else {
+          sp[-1] = Slot::fromInt(a / b);
+        }
+        break;
+      }
+      case Op::RemL: {
+        const std::int64_t b = (*--sp).i;
+        const std::int64_t a = sp[-1].i;
+        if (b == 0) fault("integer remainder by zero");
+        if (b == -1) {
+          sp[-1] = Slot::fromInt(std::int64_t{0});
+        } else {
+          sp[-1] = Slot::fromInt(a % b);
+        }
+        break;
+      }
+      case Op::DivUL: {
+        const auto b = static_cast<std::uint64_t>((*--sp).i);
+        const auto a = static_cast<std::uint64_t>(sp[-1].i);
+        if (b == 0) fault("integer division by zero");
+        sp[-1] = Slot::fromInt(static_cast<std::int64_t>(a / b));
+        break;
+      }
+      case Op::RemUL: {
+        const auto b = static_cast<std::uint64_t>((*--sp).i);
+        const auto a = static_cast<std::uint64_t>(sp[-1].i);
+        if (b == 0) fault("integer remainder by zero");
+        sp[-1] = Slot::fromInt(static_cast<std::int64_t>(a % b));
+        break;
+      }
+      case Op::NegL:
+        sp[-1].i = static_cast<std::int64_t>(-static_cast<std::uint64_t>(sp[-1].i));
+        break;
+      case Op::NotL:
+        sp[-1].i = ~sp[-1].i;
+        break;
+
+#define SKELCL_BIN_F32(OPNAME, OPERATOR)                                            \
+  case Op::OPNAME: {                                                                \
+    const double b = (*--sp).f;                                                     \
+    const double a = sp[-1].f;                                                      \
+    sp[-1] = Slot::fromFloat(static_cast<float>(static_cast<float>(a)               \
+                                                    OPERATOR static_cast<float>(b))); \
+    break;                                                                          \
+  }
+      SKELCL_BIN_F32(AddF32, +)
+      SKELCL_BIN_F32(SubF32, -)
+      SKELCL_BIN_F32(MulF32, *)
+      SKELCL_BIN_F32(DivF32, /)
+#undef SKELCL_BIN_F32
+
+#define SKELCL_BIN_F64(OPNAME, OPERATOR)       \
+  case Op::OPNAME: {                           \
+    const double b = (*--sp).f;                \
+    const double a = sp[-1].f;                 \
+    sp[-1] = Slot::fromFloat(a OPERATOR b);    \
+    break;                                     \
+  }
+      SKELCL_BIN_F64(AddF64, +)
+      SKELCL_BIN_F64(SubF64, -)
+      SKELCL_BIN_F64(MulF64, *)
+      SKELCL_BIN_F64(DivF64, /)
+#undef SKELCL_BIN_F64
+
+      case Op::NegF32:
+        sp[-1].f = -static_cast<float>(sp[-1].f);
+        break;
+      case Op::NegF64:
+        sp[-1].f = -sp[-1].f;
+        break;
+
+#define SKELCL_CMP(OPNAME, TYPE, FIELD, OPERATOR)                  \
+  case Op::OPNAME: {                                               \
+    const auto b = static_cast<TYPE>((*--sp).FIELD);               \
+    const auto a = static_cast<TYPE>(sp[-1].FIELD);                \
+    sp[-1] = Slot::fromInt((a OPERATOR b) ? 1 : 0);                \
+    break;                                                         \
+  }
+      SKELCL_CMP(EqI, std::int64_t, i, ==)
+      SKELCL_CMP(NeI, std::int64_t, i, !=)
+      SKELCL_CMP(LtI, std::int64_t, i, <)
+      SKELCL_CMP(LeI, std::int64_t, i, <=)
+      SKELCL_CMP(GtI, std::int64_t, i, >)
+      SKELCL_CMP(GeI, std::int64_t, i, >=)
+      SKELCL_CMP(LtU, std::uint32_t, i, <)
+      SKELCL_CMP(LeU, std::uint32_t, i, <=)
+      SKELCL_CMP(GtU, std::uint32_t, i, >)
+      SKELCL_CMP(GeU, std::uint32_t, i, >=)
+      SKELCL_CMP(LtUL, std::uint64_t, i, <)
+      SKELCL_CMP(LeUL, std::uint64_t, i, <=)
+      SKELCL_CMP(GtUL, std::uint64_t, i, >)
+      SKELCL_CMP(GeUL, std::uint64_t, i, >=)
+      SKELCL_CMP(EqF, double, f, ==)
+      SKELCL_CMP(NeF, double, f, !=)
+      SKELCL_CMP(LtF, double, f, <)
+      SKELCL_CMP(LeF, double, f, <=)
+      SKELCL_CMP(GtF, double, f, >)
+      SKELCL_CMP(GeF, double, f, >=)
+#undef SKELCL_CMP
+
+      case Op::EqP: {
+        const Ptr b = (*--sp).p;
+        const Ptr a = sp[-1].p;
+        sp[-1] = Slot::fromInt((a.region == b.region && a.offset == b.offset) ? 1 : 0);
+        break;
+      }
+      case Op::NeP: {
+        const Ptr b = (*--sp).p;
+        const Ptr a = sp[-1].p;
+        sp[-1] = Slot::fromInt((a.region != b.region || a.offset != b.offset) ? 1 : 0);
+        break;
+      }
+      case Op::LNot:
+        sp[-1].i = sp[-1].i == 0 ? 1 : 0;
+        break;
+
+      case Op::I2F32:
+        sp[-1] = Slot::fromFloat(
+            static_cast<float>(static_cast<std::int64_t>(sp[-1].i)));
+        break;
+      case Op::I2F64:
+        sp[-1] = Slot::fromFloat(static_cast<double>(sp[-1].i));
+        break;
+      case Op::U2F32:
+        sp[-1] = Slot::fromFloat(
+            static_cast<float>(static_cast<std::uint32_t>(sp[-1].i)));
+        break;
+      case Op::U2F64:
+        sp[-1] = Slot::fromFloat(
+            static_cast<double>(static_cast<std::uint32_t>(sp[-1].i)));
+        break;
+      case Op::UL2F32:
+        sp[-1] = Slot::fromFloat(
+            static_cast<float>(static_cast<std::uint64_t>(sp[-1].i)));
+        break;
+      case Op::UL2F64:
+        sp[-1] = Slot::fromFloat(
+            static_cast<double>(static_cast<std::uint64_t>(sp[-1].i)));
+        break;
+      case Op::F2I: {
+        const double v = sp[-1].f;
+        sp[-1] = Slot::fromInt(static_cast<std::int32_t>(v));
+        break;
+      }
+      case Op::F2L: {
+        const double v = sp[-1].f;
+        sp[-1] = Slot::fromInt(static_cast<std::int64_t>(v));
+        break;
+      }
+      case Op::F2UL: {
+        const double v = sp[-1].f;
+        sp[-1] = Slot::fromInt(static_cast<std::int64_t>(static_cast<std::uint64_t>(v)));
+        break;
+      }
+      case Op::F2U: {
+        const double v = sp[-1].f;
+        sp[-1] = Slot::fromInt(static_cast<std::int64_t>(static_cast<std::uint32_t>(v)));
+        break;
+      }
+      case Op::F64toF32:
+        sp[-1].f = static_cast<float>(sp[-1].f);
+        break;
+      case Op::I2U:
+        sp[-1].i = static_cast<std::int64_t>(static_cast<std::uint32_t>(sp[-1].i));
+        break;
+      case Op::U2I:
+        sp[-1].i = static_cast<std::int32_t>(static_cast<std::uint32_t>(sp[-1].i));
+        break;
+      case Op::BoolNorm:
+        sp[-1].i = sp[-1].i != 0 ? 1 : 0;
+        break;
+
+      case Op::Jmp:
+        if (insn.a <= static_cast<std::int32_t>(ip - codeBase - 1)) checkBudget();
+        ip = codeBase + insn.a;
+        break;
+      case Op::Jz:
+        if ((*--sp).i == 0) {
+          if (insn.a <= static_cast<std::int32_t>(ip - codeBase - 1)) checkBudget();
+          ip = codeBase + insn.a;
+        }
+        break;
+      case Op::Jnz:
+        if ((*--sp).i != 0) {
+          if (insn.a <= static_cast<std::int32_t>(ip - codeBase - 1)) checkBudget();
+          ip = codeBase + insn.a;
+        }
+        break;
+
+      case Op::CallFn: {
+        checkBudget();
+        const auto& callee = program_.functions[static_cast<std::size_t>(insn.a)];
+        const std::size_t argc = callee.paramTypes.size();
+        const bool hasResult = callee.returnType != types::Void;
+        sp_ = sp;
+        // The callee pushes its result (if any) at `sp`, above the args; move
+        // it down over the consumed arguments.
+        executeFast(insn.a, std::span<const Slot>(sp - argc, argc), hasResult);
+        if (hasResult) {
+          const Slot result = sp[0];
+          sp -= argc;
+          *sp++ = result;
+        } else {
+          sp -= argc;
+        }
+        break;
+      }
+      case Op::CallBuiltin: {
+        checkBudget();
+        const BuiltinDef& def = builtinTable()[static_cast<std::size_t>(insn.a)];
+        const std::size_t argc = static_cast<std::size_t>(insn.b);
+        sp -= argc;
+        const Slot result = def.fn(*this, sp);
+        if (def.ret != BType::Void) *sp++ = result;
+        break;
+      }
+
+      case Op::Ret: {
+        const Slot result = *--sp;
+        sp = base;
+        if (expectResult) *sp++ = result;
+        sp_ = sp;
+        currentFunction_ = savedFunction;
+        return;
+      }
+      case Op::RetVoid:
+        sp_ = base;
+        currentFunction_ = savedFunction;
+        return;
+
+      case Op::Dup:
+        sp[0] = sp[-1];
+        ++sp;
+        break;
+      case Op::Drop:
+        --sp;
+        break;
+
+      case Op::Trap:
+        fault("non-void function reached the end without returning a value");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference path: the original guarded interpreter over the Insn IR, kept
+// byte-for-byte as the differential baseline (SKELCL_KC_OPT=0).
+// ---------------------------------------------------------------------------
+
+void Vm::executeRef(int functionIndex, std::span<const Slot> args, bool expectResult) {
   static thread_local std::size_t callDepth = 0;
   if (++callDepth > kMaxCallDepth) {
     --callDepth;
@@ -144,7 +826,9 @@ void Vm::execute(int functionIndex, std::span<const Slot> args, bool expectResul
 
   for (;;) {
     const Insn& insn = code[pc++];
-    if (++instructions_ > budget) fault("instruction budget exceeded (infinite loop?)");
+    if ((instructions_ += insn.weight) > budget) {
+      fault("instruction budget exceeded (infinite loop?)");
+    }
 
     switch (insn.op) {
       case Op::PushI: push(Slot::fromInt(insn.imm)); break;
@@ -513,7 +1197,7 @@ void Vm::execute(int functionIndex, std::span<const Slot> args, bool expectResul
         const std::span<const Slot> callArgs(stack_.data() + stack_.size() - argc, argc);
         // The callee pushes its result (if any) above the args; we then move
         // it down over the consumed arguments.
-        execute(insn.a, callArgs, callee.returnType != types::Void);
+        executeRef(insn.a, callArgs, callee.returnType != types::Void);
         if (callee.returnType != types::Void) {
           const Slot result = stack_.back();
           stack_.resize(stack_.size() - 1 - argc);
@@ -556,6 +1240,22 @@ void Vm::execute(int functionIndex, std::span<const Slot> args, bool expectResul
 
       case Op::Trap:
         fault("non-void function reached the end without returning a value");
+        break;
+
+      // The reference interpreter runs the naive pipeline only; optimized
+      // programs always dispatch through executeFast.
+      case Op::PtrAddImm:
+      case Op::LoadElemI32: case Op::LoadElemU32: case Op::LoadElemF32:
+      case Op::LoadElemF64: case Op::LoadElemI64:
+      case Op::LoadSlotElemI32: case Op::LoadSlotElemU32: case Op::LoadSlotElemF32:
+      case Op::LoadSlotElemF64: case Op::LoadSlotElemI64:
+      case Op::TeeStoreI32: case Op::TeeStoreI64: case Op::TeeStoreF32:
+      case Op::TeeStoreF64:
+      case Op::IncSlotI: case Op::LoadSlot2: case Op::CmpJz: case Op::CmpJnz:
+      case Op::PushCI: case Op::PushCF:
+        fault("superinstruction reached the reference interpreter "
+              "(recompile without the peephole pass)");
+        break;
     }
   }
 }

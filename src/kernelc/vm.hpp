@@ -2,6 +2,17 @@
 // function call) at a time.  All loads and stores are bounds-checked — unlike
 // real OpenCL, which the paper notes "performs no boundary checks" — and the
 // executed-instruction count feeds the device cost model in sim::System.
+//
+// Two interpreter paths share this class (docs/VM.md):
+//  - the *fast* path (default) runs the compact 16-byte PackedInsn encoding
+//    with a preallocated slot arena, a raw-pointer operand stack guarded once
+//    per frame by the compiler-computed maxStack, and infinite-loop budget
+//    checks on back-edges and calls only;
+//  - the *reference* path (SKELCL_KC_OPT=0) interprets the 32-byte Insn IR
+//    with per-push guards and per-call heap-allocated locals, exactly as the
+//    original interpreter did.
+// Both retire identical instruction counts (superinstructions carry the
+// weight of the naive window they replace) and produce bit-identical data.
 #pragma once
 
 #include <cstddef>
@@ -9,6 +20,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "kernelc/builtins.hpp"
@@ -28,6 +40,12 @@ struct CompiledProgram {
   std::vector<FunctionCode> functions;
   std::uint64_t complexity = 0;  ///< token count; drives the compile-cost model
   std::string source;
+  /// True when the optimized pipeline ran (peephole + packed encoding); the
+  /// VM picks its interpreter path from this.
+  bool optimized = false;
+  /// name -> index over `functions`, built once at compile time (names are
+  /// unique; sema rejects redefinitions).  Empty for hand-assembled programs.
+  std::unordered_map<std::string, int> functionIndex;
 
   /// Index of the kernel with the given name, or -1.
   int findKernel(const std::string& name) const;
@@ -51,6 +69,8 @@ class Vm final : public BuiltinCtx {
   Slot callFunction(int functionIndex, std::span<const Slot> args);
 
   /// Executed-instruction counter (accumulates across runs; reset manually).
+  /// Superinstructions count as the number of naive instructions they retire,
+  /// so this is identical between the fast and reference paths.
   std::uint64_t instructionsExecuted() const { return instructions_; }
   void resetInstructionCount() { instructions_ = 0; }
 
@@ -64,14 +84,25 @@ class Vm final : public BuiltinCtx {
 
  private:
   void execute(int functionIndex, std::span<const Slot> args, bool expectResult);
+  void executeRef(int functionIndex, std::span<const Slot> args, bool expectResult);
+  void executeFast(int functionIndex, std::span<const Slot> args, bool expectResult);
 
   [[noreturn]] void fault(const std::string& message) const;
 
   const CompiledProgram& program_;
   std::vector<MemRegion> regions_;  ///< [0] reserved null; then global args; then frames
 
-  // operand stack and frame bookkeeping
+  // reference path: growable operand stack with per-push guards
   std::vector<Slot> stack_;
+
+  // fast path: fixed operand stack (guarded once per frame via maxStack) and
+  // a slot arena replacing per-call heap-allocated locals
+  std::vector<Slot> stackBuf_;
+  Slot* sp_ = nullptr;
+  std::vector<Slot> slotArena_;
+  std::size_t slotTop_ = 0;
+
+  // frame memory (local arrays / structs / addressed locals), both paths
   std::vector<std::byte> frameArena_;
   std::uint64_t frameTop_ = 0;
 
@@ -83,6 +114,7 @@ class Vm final : public BuiltinCtx {
   static constexpr std::size_t kMaxStack = 1 << 16;
   static constexpr std::size_t kMaxCallDepth = 200;
   static constexpr std::size_t kFrameArenaBytes = 1 << 20;
+  static constexpr std::size_t kSlotArenaSlots = 1 << 15;
 };
 
 }  // namespace skelcl::kc

@@ -56,11 +56,10 @@ double CommandQueue::earliestStart(std::span<const Event> deps) const {
 }
 
 void CommandQueue::admitCommand(sim::CommandClass cls, const CommandInfo& info,
-                                std::span<const Event> deps) {
+                                double earliest) {
   auto& system = context_->platform().system();
   auto& faults = system.faults();
   if (!faults.active()) return;
-  const double earliest = earliestStart(deps);
   const sim::FaultDecision decision = faults.onCommand(device_->id(), cls, earliest);
   if (decision.kind == sim::FaultDecision::Kind::None) return;
 
@@ -123,11 +122,12 @@ Event CommandQueue::enqueueWriteBuffer(Buffer& dst, std::uint64_t offset,
                                        std::span<const Event> deps) {
   checkBufferRange(dst, offset, bytes, "enqueueWriteBuffer");
   checkBufferDevice(dst, "enqueueWriteBuffer");
+  const double earliest = earliestStart(deps);
   admitCommand(sim::CommandClass::Transfer,
-               {CommandInfo::Kind::Write, device_->id(), bytes, 0, nullptr}, deps);
+               {CommandInfo::Kind::Write, device_->id(), bytes, 0, nullptr}, earliest);
   std::memcpy(dst.data() + offset, src, bytes);
   auto& system = context_->platform().system();
-  const auto span = system.reserveTransfer(device_->id(), bytes, earliestStart(deps));
+  const auto span = system.reserveTransfer(device_->id(), bytes, earliest);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, blocking);
   reportCommand({CommandInfo::Kind::Write, device_->id(), bytes, 0, nullptr}, event);
@@ -139,11 +139,12 @@ Event CommandQueue::enqueueReadBuffer(const Buffer& src, std::uint64_t offset,
                                       std::span<const Event> deps) {
   checkBufferRange(src, offset, bytes, "enqueueReadBuffer");
   checkBufferDevice(src, "enqueueReadBuffer");
+  const double earliest = earliestStart(deps);
   admitCommand(sim::CommandClass::Transfer,
-               {CommandInfo::Kind::Read, device_->id(), bytes, 0, nullptr}, deps);
+               {CommandInfo::Kind::Read, device_->id(), bytes, 0, nullptr}, earliest);
   std::memcpy(dst, src.data() + offset, bytes);
   auto& system = context_->platform().system();
-  const auto span = system.reserveTransfer(device_->id(), bytes, earliestStart(deps));
+  const auto span = system.reserveTransfer(device_->id(), bytes, earliest);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, blocking);
   reportCommand({CommandInfo::Kind::Read, device_->id(), bytes, 0, nullptr}, event);
@@ -155,12 +156,12 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src, Buffer& dst, std::uint6
                                       std::span<const Event> deps) {
   checkBufferRange(src, srcOffset, bytes, "enqueueCopyBuffer(src)");
   checkBufferRange(dst, dstOffset, bytes, "enqueueCopyBuffer(dst)");
+  const double earliest = earliestStart(deps);
   admitCommand(sim::CommandClass::Transfer,
-               {CommandInfo::Kind::Copy, device_->id(), bytes, 0, nullptr}, deps);
+               {CommandInfo::Kind::Copy, device_->id(), bytes, 0, nullptr}, earliest);
   std::memcpy(dst.data() + dstOffset, src.data() + srcOffset, bytes);
 
   auto& system = context_->platform().system();
-  const double earliest = earliestStart(deps);
   sim::Timeline::Span span{};
   if (&src.device() == &dst.device()) {
     // Intra-device copy: runs at device-memory speed, modeled as 20x the
@@ -181,8 +182,9 @@ Event CommandQueue::enqueueFillBuffer(Buffer& dst, std::byte value, std::uint64_
                                       std::uint64_t bytes, std::span<const Event> deps) {
   checkBufferRange(dst, offset, bytes, "enqueueFillBuffer");
   checkBufferDevice(dst, "enqueueFillBuffer");
+  const double earliest = earliestStart(deps);
   admitCommand(sim::CommandClass::Transfer,
-               {CommandInfo::Kind::Fill, device_->id(), bytes, 0, nullptr}, deps);
+               {CommandInfo::Kind::Fill, device_->id(), bytes, 0, nullptr}, earliest);
   std::memset(dst.data() + offset, std::to_integer<int>(value), bytes);
   // Device-side fill: cheap, bounded by device memory bandwidth (modeled as
   // 20x link rate) plus one launch overhead.
@@ -192,7 +194,7 @@ Event CommandQueue::enqueueFillBuffer(Buffer& dst, std::byte value, std::uint64_
                          : device_->spec().launch_overhead_ocl_us) * 1e-6;
   const auto span = system.reserveKernel(
       device_->id(), 0, 1, 1.0, overhead + static_cast<double>(bytes) / (20.0 * 5.2e9),
-      earliestStart(deps));
+      earliest);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
   reportCommand({CommandInfo::Kind::Fill, device_->id(), bytes, 0, nullptr}, event);
@@ -203,10 +205,14 @@ Event CommandQueue::enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSiz
                                          std::uint64_t globalOffset,
                                          std::span<const Event> deps) {
   SKELCL_CHECK(globalSize > 0, "global work size must be positive");
+  // VM execution below never advances the host clock or this queue's
+  // watermark, so the start bound computed here is still valid for the
+  // timeline reservation afterwards.
+  const double earliest = earliestStart(deps);
   admitCommand(sim::CommandClass::Kernel,
                {CommandInfo::Kind::Kernel, device_->id(), 0, globalSize,
                 kernel.name().c_str()},
-               deps);
+               earliest);
 
   // Marshal arguments: buffers become VM memory regions, scalars pass through.
   const auto& fnArgs = kernel.args();
@@ -265,7 +271,7 @@ Event CommandQueue::enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSiz
       (api_ == Api::Cuda ? device_->spec().launch_overhead_cuda_us
                          : device_->spec().launch_overhead_ocl_us) * 1e-6;
   const auto span = system.reserveKernel(device_->id(), instructions.load(), globalSize,
-                                         apiEfficiency(api_), overhead, earliestStart(deps));
+                                         apiEfficiency(api_), overhead, earliest);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
   reportCommand({CommandInfo::Kind::Kernel, device_->id(), 0, globalSize, kernel.name().c_str()},

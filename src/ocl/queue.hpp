@@ -103,9 +103,10 @@ class CommandQueue {
   double earliestStart(std::span<const Event> deps) const;
   /// Consult the system's fault injector before executing a command; on an
   /// injected fault, accounts the failed attempt on the timelines, reports
-  /// it to the observability hook, and throws CommandError.
-  void admitCommand(sim::CommandClass cls, const CommandInfo& info,
-                    std::span<const Event> deps);
+  /// it to the observability hook, and throws CommandError.  `earliest` is
+  /// the command's earliestStart(deps), computed once by the caller and
+  /// shared with its own timeline reservation.
+  void admitCommand(sim::CommandClass cls, const CommandInfo& info, double earliest);
   void noteCompletion(const Event& event, bool blocking);
   void checkBufferRange(const Buffer& buffer, std::uint64_t offset, std::uint64_t bytes,
                         const char* what) const;

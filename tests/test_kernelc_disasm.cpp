@@ -9,11 +9,21 @@ using namespace skelcl::kc;
 
 namespace {
 
+// The goldens below document the compiler's naive instruction selection, so
+// they compile with the peephole pass off.
 std::string dump(const std::string& source, const std::string& fn) {
-  const auto program = compileProgram(source);
+  const auto program = compileProgram(source, CompileOptions{/*optimize=*/false});
   const int idx = program->findFunction(fn);
   EXPECT_GE(idx, 0);
   return disassemble(program->functions[static_cast<std::size_t>(idx)]);
+}
+
+std::string dumpOptimized(const std::string& source, const std::string& fn, bool packed) {
+  const auto program = compileProgram(source, CompileOptions{/*optimize=*/true});
+  const int idx = program->findFunction(fn);
+  EXPECT_GE(idx, 0);
+  const FunctionCode& code = program->functions[static_cast<std::size_t>(idx)];
+  return packed ? disassemblePacked(code) : disassemble(code);
 }
 
 TEST(KernelcDisasm, SimpleFunctionGolden) {
@@ -54,9 +64,34 @@ TEST(KernelcDisasm, FloatOpsDistinctFromDouble) {
 }
 
 TEST(KernelcDisasm, EveryOpcodeHasAName) {
-  for (int op = 0; op <= static_cast<int>(Op::Trap); ++op) {
+  for (int op = 0; op < kOpCount; ++op) {
     EXPECT_STRNE(opName(static_cast<Op>(op)), "?") << "opcode " << op;
   }
+}
+
+TEST(KernelcDisasm, SuperinstructionsCarryWeights) {
+  // a + b fuses the two operand loads; the weight suffix documents how many
+  // naive instructions the fused one retires.
+  const std::string text =
+      dumpOptimized("int f(int a, int b) { return a + b; }", "f", /*packed=*/false);
+  EXPECT_NE(text.find("load.slot2 s0 s1"), std::string::npos);
+  EXPECT_NE(text.find(";w=2"), std::string::npos);
+}
+
+TEST(KernelcDisasm, PackedDumpShowsHeaderAndPool) {
+  const std::string text = dumpOptimized(
+      "double f(double x) { return x * 3.25; }", "f", /*packed=*/true);
+  EXPECT_NE(text.find("maxstack="), std::string::npos);
+  EXPECT_NE(text.find("pool=1"), std::string::npos);
+  EXPECT_NE(text.find("push.cf [0]=3.25"), std::string::npos);
+}
+
+TEST(KernelcDisasm, PackedDumpFusedBranch) {
+  const std::string text = dumpOptimized(
+      "int f(int n) { int s = 0; for (int i = 0; i < n; ++i) s = s + i; return s; }",
+      "f", /*packed=*/true);
+  EXPECT_NE(text.find("cmp.j"), std::string::npos);  // fused compare-and-branch
+  EXPECT_NE(text.find("incslot.i"), std::string::npos);
 }
 
 }  // namespace

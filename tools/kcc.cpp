@@ -2,6 +2,7 @@
 //
 //   kcc FILE.cl            compile; print diagnostics or "ok"
 //   kcc -d FILE.cl         compile and disassemble every function
+//   kcc -p FILE.cl         dump the packed (16-byte) dispatch encoding
 //   kcc -e 'EXPR' ARGS...  compile `double f(double...)`-style one-liners and
 //                          evaluate: kcc -e 'sqrt(x*x + 1.0f)' 3
 //
@@ -61,9 +62,13 @@ int evalExpression(const std::string& expr, const std::vector<double>& args) {
 
 int main(int argc, char** argv) {
   bool disassemble = false;
+  bool packed = false;
   int argi = 1;
   if (argi < argc && std::strcmp(argv[argi], "-d") == 0) {
     disassemble = true;
+    ++argi;
+  } else if (argi < argc && std::strcmp(argv[argi], "-p") == 0) {
+    packed = true;
     ++argi;
   }
   if (argi < argc && std::strcmp(argv[argi], "-e") == 0) {
@@ -82,7 +87,7 @@ int main(int argc, char** argv) {
   }
   if (argi >= argc) {
     std::fprintf(stderr,
-                 "usage: kcc [-d] FILE.cl | kcc -e 'EXPR' [args...]\n"
+                 "usage: kcc [-d|-p] FILE.cl | kcc -e 'EXPR' [args...]\n"
                  "       (FILE may be '-' for stdin)\n");
     return 2;
   }
@@ -90,9 +95,12 @@ int main(int argc, char** argv) {
   const std::string source = readFile(argv[argi]);
   try {
     const auto program = skelcl::kc::compileProgram(source);
-    if (disassemble) {
+    if (disassemble || packed) {
       for (const auto& fn : program->functions) {
-        std::fputs(skelcl::kc::disassemble(fn).c_str(), stdout);
+        std::fputs((packed ? skelcl::kc::disassemblePacked(fn)
+                           : skelcl::kc::disassemble(fn))
+                       .c_str(),
+                   stdout);
         std::fputs("\n", stdout);
       }
     } else {
