@@ -1,0 +1,147 @@
+#include "check/funcs.hpp"
+
+#include <stdexcept>
+
+namespace skelcl::check {
+
+namespace {
+
+/// Truncate an int64 intermediate to the int32 the VM stores after every
+/// operation (C++20 guarantees two's-complement wraparound).
+std::int32_t t32(std::int64_t v) { return static_cast<std::int32_t>(v); }
+
+const std::vector<FnInfo> kCatalog = {
+    //  id        shape                  int    float  aI     aF     map    zip    red    scan   comb
+    {"neg",     FnShape::Unary,        true,  true,  false, false, true,  false, false, false, false},
+    {"absv",    FnShape::Unary,        true,  true,  false, false, true,  false, false, false, false},
+    {"addc",    FnShape::UnaryScalar,  true,  true,  false, false, true,  false, false, false, false},
+    {"mulc",    FnShape::UnaryScalar,  true,  true,  false, false, true,  false, false, false, false},
+    {"maxc",    FnShape::UnaryScalar,  true,  true,  false, false, true,  false, false, false, false},
+    {"addv",    FnShape::UnaryVec,     true,  true,  false, false, true,  false, false, false, false},
+    // adds takes its second parameter as `int` (the sizes token), so the
+    // float variant would mix int/float arithmetic in the VM; int-only.
+    {"adds",    FnShape::UnarySizes,   true,  false, false, false, true,  false, false, false, false},
+    // Wrap-around int addition is associative mod 2^32; float addition is
+    // not, so `add` reduces/scans ints only but may combine either type
+    // (the combine fold visits parts in the same order on both sides).
+    {"add",     FnShape::Binary,       true,  true,  true,  false, false, true,  true,  true,  true},
+    {"sub",     FnShape::Binary,       true,  true,  false, false, false, true,  false, false, true},
+    {"mul",     FnShape::Binary,       true,  false, true,  false, false, true,  false, false, false},
+    {"bmin",    FnShape::Binary,       true,  true,  true,  true,  false, true,  true,  true,  true},
+    {"bmax",    FnShape::Binary,       true,  true,  true,  true,  false, true,  true,  true,  true},
+    {"bxor",    FnShape::Binary,       true,  false, true,  false, false, true,  true,  true,  true},
+    {"second",  FnShape::Binary,       true,  true,  true,  true,  false, false, false, false, true},
+    {"madd",    FnShape::BinaryScalar, true,  false, false, false, false, true,  false, false, false},
+    {"subadd",  FnShape::BinaryScalar, false, true,  false, false, false, true,  false, false, false},
+    // max-by-offset-key with last-wins ties: selection, so regrouping is
+    // transparent even for floats -- usable as a reduce with a scalar extra.
+    {"maxoff",  FnShape::BinaryScalar, true,  true,  true,  true,  false, false, true,  false, false},
+};
+
+std::string body(const std::string& id, const std::string& T) {
+  if (id == "neg") return T + " func(" + T + " x) { return -x; }";
+  if (id == "absv") return T + " func(" + T + " x) { if (x < 0) return -x; return x; }";
+  if (id == "addc") return T + " func(" + T + " x, " + T + " c) { return x + c; }";
+  if (id == "mulc") return T + " func(" + T + " x, " + T + " c) { return x * c; }";
+  if (id == "maxc")
+    return T + " func(" + T + " x, " + T + " c) { if (x > c) return x; return c; }";
+  if (id == "addv") return T + " func(" + T + " x, __global " + T + "* v) { return x + v[0]; }";
+  if (id == "adds") return T + " func(" + T + " x, int s) { return x + s; }";
+  if (id == "add") return T + " func(" + T + " a, " + T + " b) { return a + b; }";
+  if (id == "sub") return T + " func(" + T + " a, " + T + " b) { return a - b; }";
+  if (id == "mul") return T + " func(" + T + " a, " + T + " b) { return a * b; }";
+  if (id == "bmin")
+    return T + " func(" + T + " a, " + T + " b) { if (a < b) return a; return b; }";
+  if (id == "bmax")
+    return T + " func(" + T + " a, " + T + " b) { if (a > b) return a; return b; }";
+  if (id == "bxor") return T + " func(" + T + " a, " + T + " b) { return a ^ b; }";
+  if (id == "second") return T + " func(" + T + " a, " + T + " b) { return b; }";
+  if (id == "madd")
+    return T + " func(" + T + " a, " + T + " b, " + T + " c) { return a + b * c; }";
+  if (id == "subadd")
+    return T + " func(" + T + " a, " + T + " b, " + T + " c) { " + T +
+           " t = a - b; return t + c; }";
+  if (id == "maxoff")
+    return T + " func(" + T + " a, " + T + " b, " + T +
+           " c) { if (a + c > b + c) return a; return b; }";
+  throw std::runtime_error("skelcheck: unknown function id '" + id + "'");
+}
+
+}  // namespace
+
+const std::vector<FnInfo>& catalog() { return kCatalog; }
+
+const FnInfo* fnInfo(const std::string& id) {
+  for (const FnInfo& f : kCatalog) {
+    if (id == f.id) return &f;
+  }
+  return nullptr;
+}
+
+std::string fnSource(const std::string& id, ElemType t) {
+  return body(id, t == ElemType::I32 ? "int" : "float");
+}
+
+std::string idForSource(const std::string& source) {
+  for (const FnInfo& f : kCatalog) {
+    if (f.forInt && fnSource(f.id, ElemType::I32) == source) return f.id;
+    if (f.forFloat && fnSource(f.id, ElemType::F32) == source) return f.id;
+  }
+  return "";
+}
+
+std::uint32_t evalFn(const std::string& id, ElemType t, std::uint32_t a, std::uint32_t b,
+                     std::int64_t ci, double cf) {
+  if (t == ElemType::I32) {
+    // Slots hold sign-extended int32 values; every op result truncates.
+    const std::int64_t x = asI(a);
+    const std::int64_t y = asI(b);
+    if (id == "neg") return bitsOfI(t32(-x));
+    if (id == "absv") return x < 0 ? bitsOfI(t32(-x)) : a;
+    if (id == "addc" || id == "adds") return bitsOfI(t32(x + ci));
+    if (id == "mulc") return bitsOfI(t32(x * ci));
+    if (id == "maxc") return x > ci ? a : bitsOfI(t32(ci));
+    if (id == "addv" || id == "add") return bitsOfI(t32(x + y));
+    if (id == "sub") return bitsOfI(t32(x - y));
+    if (id == "mul") return bitsOfI(t32(x * y));
+    if (id == "bmin") return x < y ? a : b;
+    if (id == "bmax") return x > y ? a : b;
+    if (id == "bxor") return bitsOfI(t32(x ^ y));
+    if (id == "second") return b;
+    if (id == "madd") return bitsOfI(t32(x + t32(y * ci)));
+    if (id == "maxoff") {
+      // The VM truncates each a+c before the comparison.
+      const std::int64_t xa = t32(x + ci);
+      const std::int64_t ya = t32(y + ci);
+      return xa > ya ? a : b;
+    }
+  } else {
+    const float x = asF(a);
+    const float y = asF(b);
+    const float c = static_cast<float>(cf);
+    if (id == "neg") return bitsOfF(-x);
+    if (id == "absv") return x < 0.0f ? bitsOfF(-x) : a;
+    if (id == "addc") return bitsOfF(x + c);
+    if (id == "adds") return bitsOfF(x + static_cast<float>(static_cast<std::int32_t>(ci)));
+    if (id == "mulc") return bitsOfF(x * c);
+    if (id == "maxc") return x > c ? a : bitsOfF(c);
+    if (id == "addv" || id == "add") return bitsOfF(x + y);
+    if (id == "sub") return bitsOfF(x - y);
+    if (id == "bmin") return x < y ? a : b;
+    if (id == "bmax") return x > y ? a : b;
+    if (id == "second") return b;
+    if (id == "subadd") {
+      const float tmp = x - y;
+      return bitsOfF(tmp + c);
+    }
+    if (id == "maxoff") {
+      const float xa = x + c;
+      const float ya = y + c;
+      return xa > ya ? a : b;
+    }
+  }
+  throw std::runtime_error("skelcheck: evalFn: function '" + id + "' not valid for " +
+                           elemName(t));
+}
+
+}  // namespace skelcl::check

@@ -1,0 +1,59 @@
+// The skelcheck user-function catalog: a fixed set of kernel-language
+// functions with known host-side semantics.
+//
+// Every function exists in an int and/or a float variant, and its host
+// evaluation mirrors the kernelc VM bit-for-bit: integer operations compute
+// in 64 bits and truncate the *result* of every binary/unary op to int32
+// (two's-complement wraparound); float operations round once per op in
+// single precision.  Each float-variant body performs at most one
+// multiply-free arithmetic expression per statement so the compiler cannot
+// contract the reference computation into an FMA the VM would not use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+
+namespace skelcl::check {
+
+/// Call shape of a catalog function (decides how the runner invokes the
+/// skeleton and how many arguments eval consumes).
+enum class FnShape {
+  Unary,        ///< T func(T x)
+  UnaryScalar,  ///< T func(T x, T c)
+  UnaryVec,     ///< T func(T x, __global T* v)   -- reads v[0] per device
+  UnarySizes,   ///< T func(T x, int s)           -- s = sizes() token
+  Binary,       ///< T func(T a, T b)
+  BinaryScalar, ///< T func(T a, T b, T c)
+};
+
+struct FnInfo {
+  const char* id;
+  FnShape shape;
+  bool forInt, forFloat;
+  /// Chunking-transparent under the given element type: safe as a reduce /
+  /// scan operator (reduction trees regroup applications).
+  bool assocInt, assocFloat;
+  // role flags (which grammar slots may use this function)
+  bool mapUse, zipUse, redUse, scanUse, combineUse;
+};
+
+const std::vector<FnInfo>& catalog();
+/// Lookup by id; nullptr for unknown ids.
+const FnInfo* fnInfo(const std::string& id);
+
+/// Kernel-language source of the function for the element type.
+std::string fnSource(const std::string& id, ElemType t);
+/// Reverse lookup: the catalog id whose fnSource equals `source` ("" if
+/// none).  Used by the model to evaluate copy-combine sources.
+std::string idForSource(const std::string& source);
+
+/// Host-side reference evaluation.  `a`/`b` are element bit patterns
+/// (b ignored for unary shapes; for UnaryVec b carries v[0]; for UnarySizes
+/// ci carries the sizes value), `ci`/`cf` the scalar extra.
+std::uint32_t evalFn(const std::string& id, ElemType t, std::uint32_t a, std::uint32_t b,
+                     std::int64_t ci, double cf);
+
+}  // namespace skelcl::check

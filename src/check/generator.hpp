@@ -1,0 +1,17 @@
+// Seeded random program generation for skelcheck.  Everything — device
+// count, element type, VM pipeline, vector length, pool size and the op
+// sequence — derives deterministically from the seed, so a seed alone
+// reproduces a run.
+#pragma once
+
+#include <cstdint>
+
+#include "check/check.hpp"
+
+namespace skelcl::check {
+
+/// Generate a sanitized program of roughly `numOps` operations (initial
+/// fills and trailing per-slot probes come on top).
+Program generate(std::uint64_t seed, int numOps);
+
+}  // namespace skelcl::check

@@ -1,0 +1,1102 @@
+#include "check/model.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "base/error.hpp"
+#include "check/funcs.hpp"
+
+namespace skelcl::check {
+
+MPart* MVec::partOn(int device) {
+  for (MPart& p : parts) {
+    if (p.device == device) return &p;
+  }
+  return nullptr;
+}
+
+Distribution makeDistribution(const DistSpec& spec, ElemType t) {
+  switch (spec.kind) {
+    case DistKind::Single:
+      return Distribution::single(spec.device);
+    case DistKind::Block:
+      return Distribution::block();
+    case DistKind::WBlock:
+      return Distribution::block(spec.weights);
+    case DistKind::Copy:
+      return Distribution::copy();
+    case DistKind::CopyCombine:
+      return Distribution::copy(fnSource(spec.fn, t));
+  }
+  throw UsageError("skelcheck: invalid DistSpec kind");
+}
+
+// ---------------------------------------------------------------------------
+// MGraph: mirror of detail::ExecGraph::run over the model's fault injector.
+//
+// Nodes execute in insertion order.  A node whose dependency failed is
+// poisoned without issuing (no command is counted).  Device nodes loop:
+// bind-check (UsageError escapes immediately, exactly like a setArg/bindExtras
+// throw inside a real issue lambda), then one injector decision per attempt;
+// Lost or max_attempts exhausted records the FIRST failure and continues with
+// the remaining nodes; the saved failure is thrown after the last node.
+// Effects run only on a None decision — a faulted command moves no data.
+// ---------------------------------------------------------------------------
+
+class MGraph {
+ public:
+  using NodeId = std::size_t;
+
+  explicit MGraph(Model& m) : m_(m) {}
+
+  NodeId add(int device, int cls, std::function<void()> bindCheck,
+             std::function<void()> effect, std::vector<NodeId> deps = {}) {
+    nodes_.push_back(Node{device, cls, false, std::move(bindCheck), std::move(effect),
+                          std::move(deps), false});
+    return nodes_.size() - 1;
+  }
+
+  NodeId addHost(std::function<void()> effect, std::vector<NodeId> deps = {}) {
+    nodes_.push_back(Node{-1, 0, true, nullptr, std::move(effect), std::move(deps), false});
+    return nodes_.size() - 1;
+  }
+
+  void run() {
+    std::unique_ptr<ModelCommandError> failure;
+    for (Node& node : nodes_) {
+      bool depFailed = false;
+      for (const NodeId d : node.deps) depFailed = depFailed || nodes_[d].failed;
+      if (depFailed) {
+        node.failed = true;
+        continue;
+      }
+      if (node.host) {
+        node.effect();
+        continue;
+      }
+      for (int failedAttempts = 0;;) {
+        if (node.bindCheck) node.bindCheck();
+        const Model::Decision d = m_.onCommand(node.device, node.cls);
+        if (d == Model::Decision::None) {
+          node.effect();
+          break;
+        }
+        ++failedAttempts;
+        if (d == Model::Decision::Lost || failedAttempts >= m_.maxAttempts()) {
+          if (!failure) {
+            failure = std::make_unique<ModelCommandError>(ModelCommandError{
+                node.device, d == Model::Decision::Lost,
+                d == Model::Decision::Lost ? "model: device lost"
+                                           : "model: transient fault persisted"});
+          }
+          node.failed = true;
+          break;
+        }
+      }
+    }
+    if (failure) throw *failure;
+  }
+
+ private:
+  struct Node {
+    int device;
+    int cls;
+    bool host;
+    std::function<void()> bindCheck;
+    std::function<void()> effect;
+    std::vector<NodeId> deps;
+    bool failed;
+  };
+
+  Model& m_;
+  std::vector<Node> nodes_;
+};
+
+// ---------------------------------------------------------------------------
+// Model: construction, runtime + fault-injector mirrors
+// ---------------------------------------------------------------------------
+
+Model::Model(const Config& cfg, std::vector<int> cores)
+    : cfg_(cfg),
+      cores_(std::move(cores)),
+      dead_(static_cast<std::size_t>(cfg.devices), 0),
+      cmd_counts_(static_cast<std::size_t>(cfg.devices), 0),
+      inj_dead_(static_cast<std::size_t>(cfg.devices), 0) {
+  SKELCL_CHECK(cores_.size() == static_cast<std::size_t>(cfg_.devices),
+               "model: one core count per device required");
+  for (int d = 0; d < cfg_.devices; ++d) alive_.push_back(d);
+}
+
+Model::Decision Model::onCommand(int device, int cls) {
+  if (!faults_active_ || device < 0) return Decision::None;
+  const std::uint64_t n = ++cmd_counts_[static_cast<std::size_t>(device)];
+  if (inj_dead_[static_cast<std::size_t>(device)]) return Decision::Lost;
+  // Kill rules preempt transients (fault.cpp checks them first).
+  if (kill_device_ == device && n > static_cast<std::uint64_t>(kill_after_)) {
+    inj_dead_[static_cast<std::size_t>(device)] = 1;
+    return Decision::Lost;
+  }
+  for (TransRule& r : trans_) {
+    if ((r.device != -1 && r.device != device) || r.cls != cls) continue;
+    if (r.remaining <= 0) continue;
+    --r.remaining;
+    return Decision::Transient;
+  }
+  return Decision::None;
+}
+
+void Model::installFaults(const std::vector<std::array<std::int64_t, 3>>& transients,
+                          int killDevice, std::int64_t killAfter) {
+  trans_.clear();
+  for (const auto& t : transients) {
+    trans_.push_back(TransRule{static_cast<int>(t[0]), static_cast<int>(t[1]),
+                               static_cast<int>(t[2])});
+  }
+  kill_device_ = killDevice;
+  kill_after_ = killAfter;
+  // install() resets command counters AND the injector's dead flags (the
+  // runtime blacklist is a separate, persistent notion).
+  std::fill(cmd_counts_.begin(), cmd_counts_.end(), 0);
+  std::fill(inj_dead_.begin(), inj_dead_.end(), 0);
+  faults_active_ = !trans_.empty() || killDevice >= 0;
+}
+
+void Model::allocCheck(int device) {
+  // ocl::Device::allocate: allocation on an injector-dead device throws a
+  // permanent CommandError before any graph work.
+  if (inj_dead_[static_cast<std::size_t>(device)]) {
+    throw ModelCommandError{device, true, "model: allocation on dead device"};
+  }
+}
+
+const std::vector<double>& Model::applicableWeights() const {
+  static const std::vector<double> kNone;
+  if (weights_.empty()) return kNone;
+  if (weights_.size() != static_cast<std::size_t>(cfg_.devices)) return kNone;
+  double aliveTotal = 0.0;
+  for (int d : alive_) aliveTotal += weights_[static_cast<std::size_t>(d)];
+  if (!(aliveTotal > 0.0)) return kNone;
+  return weights_;
+}
+
+Distribution Model::effective(const Distribution& d) const {
+  if (d.kind() == Distribution::Kind::Block && d.weights().empty()) {
+    const auto& w = applicableWeights();
+    if (!w.empty()) return Distribution::block(w);
+  }
+  return d;
+}
+
+void Model::setWeights(std::vector<double> weights) {
+  weights_ = std::move(weights);
+  ++epoch_;
+}
+
+void Model::blacklist(int device) { blacklistDevice(device); }
+
+void Model::blacklistDevice(int device) {
+  SKELCL_CHECK(device >= 0 && device < cfg_.devices, "device index out of range");
+  if (dead_[static_cast<std::size_t>(device)]) return;
+  dead_[static_cast<std::size_t>(device)] = 1;
+  alive_.clear();
+  for (int d = 0; d < cfg_.devices; ++d) {
+    if (!dead_[static_cast<std::size_t>(d)]) alive_.push_back(d);
+  }
+  if (alive_.empty()) {
+    throw ResourceError("device " + std::to_string(device) +
+                        " failed and no devices survive");
+  }
+  ++epoch_;
+}
+
+// ---------------------------------------------------------------------------
+// VectorData mirror
+// ---------------------------------------------------------------------------
+
+const std::vector<PartRange>& Model::plannedPartition(MVec& v) {
+  SKELCL_CHECK(v.requested.isSet(), "vector has no distribution");
+  if (!v.plannedValid || v.plannedEpoch != epoch_) {
+    v.planned = effective(v.requested).partition(v.n, alive_);
+    v.plannedValid = true;
+    v.plannedEpoch = epoch_;
+  }
+  return v.planned;
+}
+
+std::size_t Model::partSizeOn(MVec& v, int device) {
+  for (const PartRange& p : plannedPartition(v)) {
+    if (p.device == device) return p.size;
+  }
+  return 0;
+}
+
+bool Model::partsMatchRequested(MVec& v) {
+  if (!v.devicesValid) return false;
+  const auto& want = plannedPartition(v);
+  if (want.size() != v.parts.size()) return false;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (want[i].device != v.parts[i].device || want[i].offset != v.parts[i].offset ||
+        want[i].size != v.parts[i].size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Model::setDistribution(MVec& v, const Distribution& d) {
+  SKELCL_CHECK(d.isSet(), "cannot set an empty distribution");
+  v.requested = d;
+  v.plannedValid = false;
+}
+
+void Model::defaultDistribution(MVec& v, const Distribution& d) {
+  if (!v.requested.isSet()) {
+    v.requested = d;
+    v.plannedValid = false;
+  }
+}
+
+void Model::ensureOnDevices(MVec& v) {
+  SKELCL_CHECK(v.requested.isSet(), "vector has no distribution");
+  if (partsMatchRequested(v)) {
+    v.current = v.requested;  // adopt e.g. copy() -> copy(combine)
+    return;
+  }
+  ensureHostValid(v);
+  materializeParts(v, /*upload=*/true);
+}
+
+void Model::ensureOnDevicesNoUpload(MVec& v) {
+  SKELCL_CHECK(v.requested.isSet(), "vector has no distribution");
+  if (partsMatchRequested(v)) {
+    v.current = v.requested;
+    return;
+  }
+  materializeParts(v, /*upload=*/false);
+  v.hostValid = false;  // the kernel will produce the data
+}
+
+void Model::materializeParts(MVec& v, bool upload) {
+  v.parts.clear();
+  for (const PartRange& r : plannedPartition(v)) {
+    MPart part;
+    part.device = r.device;
+    part.offset = r.offset;
+    part.size = r.size;
+    if (r.size > 0) {
+      allocCheck(r.device);
+      part.hasBuf = true;
+      part.data.assign(r.size, 0);  // fresh buffers read as zero bytes
+    }
+    v.parts.push_back(std::move(part));
+  }
+  if (upload) {
+    MGraph g(*this);
+    for (MPart& part : v.parts) {
+      if (part.size == 0) continue;
+      MPart* p = &part;
+      g.add(p->device, /*cls=*/0, nullptr, [&v, p] {
+        std::copy(v.host.begin() + static_cast<std::ptrdiff_t>(p->offset),
+                  v.host.begin() + static_cast<std::ptrdiff_t>(p->offset + p->size),
+                  p->data.begin());
+      });
+    }
+    g.run();
+  }
+  // Flags adopt only after a fully successful upload graph — a failed upload
+  // leaves current/devicesValid stale over freshly rebuilt parts, exactly
+  // like the system.
+  v.current = v.requested;
+  v.devicesValid = true;
+}
+
+void Model::downloadParts(MVec& v) {
+  MGraph g(*this);
+  for (MPart& part : v.parts) {
+    if (part.size == 0) continue;
+    MPart* p = &part;
+    g.add(p->device, /*cls=*/0, nullptr, [&v, p] {
+      std::copy(p->data.begin(), p->data.end(),
+                v.host.begin() + static_cast<std::ptrdiff_t>(p->offset));
+    });
+  }
+  g.run();
+}
+
+void Model::ensureHostValid(MVec& v) {
+  if (v.hostValid) return;
+  SKELCL_CHECK(v.devicesValid, "vector holds no valid data");
+  if (v.requested.isSet() && partsMatchRequested(v)) v.current = v.requested;
+  if (v.current.kind() == Distribution::Kind::Copy) {
+    combineCopiesToHost(v);
+  } else {
+    downloadParts(v);
+  }
+  v.hostValid = true;
+}
+
+void Model::combineCopiesToHost(MVec& v) {
+  SKELCL_CHECK(!v.parts.empty(), "copy distribution without parts");
+  const bool combine = v.current.hasCombine() && v.parts.size() >= 2 && v.n > 0;
+
+  MGraph g(*this);
+  std::vector<MGraph::NodeId> reads;
+  std::vector<std::vector<std::uint32_t>> staged(v.parts.size());
+  for (std::size_t p = 0; p < v.parts.size(); ++p) {
+    MPart& part = v.parts[p];
+    if (part.size == 0 || (p > 0 && !combine)) continue;
+    std::vector<std::uint32_t>* dst = &v.host;
+    if (p > 0) {
+      staged[p].resize(v.n);
+      dst = &staged[p];
+    }
+    MPart* pp = &part;
+    reads.push_back(g.add(pp->device, /*cls=*/0, nullptr, [&v, pp, dst] {
+      // full-vector read from the replica buffer
+      std::copy(pp->data.begin(), pp->data.begin() + static_cast<std::ptrdiff_t>(v.n),
+                dst->begin());
+    }));
+  }
+
+  if (combine) {
+    const std::string fn = idForSource(v.current.combineSource());
+    SKELCL_CHECK(!fn.empty(), "model: combine source not in the skelcheck catalog");
+    g.addHost(
+        [this, &v, &staged, fn] {
+          for (std::size_t p = 1; p < v.parts.size(); ++p) {
+            if (v.parts[p].size == 0) continue;  // download skipped; nothing staged
+            const std::vector<std::uint32_t>& other = staged[p];
+            for (std::size_t i = 0; i < v.n; ++i) {
+              v.host[i] = eval(fn, v.host[i], other[i], 0, 0.0);
+            }
+          }
+        },
+        reads);
+  }
+  g.run();
+
+  if (combine) v.devicesValid = false;
+}
+
+void Model::markDevicesModified(MVec& v) {
+  SKELCL_CHECK(v.devicesValid || v.parts.empty(),
+               "dataOnDevicesModified on a vector without device data");
+  if (!v.parts.empty()) {
+    v.devicesValid = true;
+    v.hostValid = false;
+  }
+}
+
+void Model::markHostModified(MVec& v) {
+  v.hostValid = true;
+  v.devicesValid = false;
+}
+
+void Model::recoverAfterDeviceLoss(MVec& v, int deadDevice) {
+  v.plannedValid = false;
+  if (v.parts.empty()) return;
+
+  if (v.hostValid) {
+    v.parts.clear();
+    v.devicesValid = false;
+    return;
+  }
+
+  MPart* dead = v.partOn(deadDevice);
+  if (dead == nullptr || dead->size == 0) return;
+
+  if (v.current.kind() == Distribution::Kind::Copy && !v.current.hasCombine()) {
+    for (auto it = v.parts.begin(); it != v.parts.end(); ++it) {
+      if (it->device == deadDevice) {
+        v.parts.erase(it);
+        break;
+      }
+    }
+    if (!v.parts.empty()) return;
+    v.devicesValid = false;
+    throw DataLossError("device " + std::to_string(deadDevice) +
+                        " held the last replica of a copy-distributed vector");
+  }
+
+  v.devicesValid = false;
+  v.hostValid = true;
+  v.parts.clear();
+  throw DataLossError("device " + std::to_string(deadDevice) +
+                      " held the only current copy");
+}
+
+void Model::resetDeviceDataAfterLoss(MVec& v) {
+  v.plannedValid = false;
+  v.parts.clear();
+  v.devicesValid = false;
+  v.hostValid = true;
+}
+
+// ---------------------------------------------------------------------------
+// Host-level ops
+// ---------------------------------------------------------------------------
+
+void Model::fill(MVec& v, std::int64_t base, std::int64_t step) {
+  ensureHostValid(v);
+  markHostModified(v);
+  for (std::size_t i = 0; i < v.n; ++i) {
+    v.host[i] = valueAt(cfg_.elem, base + static_cast<std::int64_t>(i) * step);
+  }
+}
+
+void Model::write(MVec& v, std::int64_t index, std::int64_t value) {
+  ensureHostValid(v);
+  markHostModified(v);
+  v.host[static_cast<std::size_t>(index)] = valueAt(cfg_.elem, value);
+}
+
+void Model::poke(MVec& v, int device, std::int64_t base, std::int64_t step) {
+  MPart* part = v.partOn(device);
+  if (part == nullptr || !part->hasBuf) return;  // runner skips identically
+  for (std::size_t i = 0; i < part->size; ++i) {
+    part->data[i] = valueAt(cfg_.elem, base + static_cast<std::int64_t>(i) * step);
+  }
+  markDevicesModified(v);  // may throw UsageError when device data is stale
+}
+
+const std::vector<std::uint32_t>& Model::probe(MVec& v) {
+  ensureHostValid(v);
+  return v.host;
+}
+
+// ---------------------------------------------------------------------------
+// Skeleton mirror
+// ---------------------------------------------------------------------------
+
+std::uint32_t Model::eval(const std::string& fn, std::uint32_t a, std::uint32_t b,
+                          std::int64_t ci, double cf) const {
+  return evalFn(fn, cfg_.elem, a, b, ci, cf);
+}
+
+void Model::prepareExtras(std::vector<MExtra>& extras) {
+  for (MExtra& e : extras) {
+    if (e.kind == MExtra::Kind::Scalar) continue;
+    SKELCL_CHECK(e.vec != nullptr, "extra argument vector missing");
+    if (!e.vec->requested.isSet()) {
+      throw UsageError(
+          "no meaningful default distribution exists for vectors passed as "
+          "additional arguments; set one explicitly (paper Section III-B)");
+    }
+    if (e.kind == MExtra::Kind::VectorRef) ensureOnDevices(*e.vec);
+  }
+}
+
+void Model::bindExtrasCheck(const std::vector<MExtra>& extras, int device) {
+  for (const MExtra& e : extras) {
+    if (e.kind != MExtra::Kind::VectorRef) continue;
+    const MPart* part = e.vec->partOn(device);
+    if (part == nullptr || !part->hasBuf) {
+      throw UsageError("additional-argument vector has no data on device " +
+                       std::to_string(device) +
+                       "; give it copy distribution or a block distribution matching "
+                       "the input");
+    }
+  }
+}
+
+template <typename Body>
+auto Model::withRecovery(std::vector<MVec*> inputs, MVec* resetOutput, Body&& body)
+    -> decltype(body()) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return body();
+    } catch (const ModelCommandError& e) {
+      if (!e.permanent) throw;
+      SKELCL_CHECK(attempt < cfg_.devices,
+                   "skeleton failed on more devices than the system has");
+      blacklistDevice(e.device);
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        MVec* v = inputs[i];
+        if (v == nullptr) continue;
+        bool seen = false;
+        for (std::size_t j = 0; j < i; ++j) seen = seen || inputs[j] == v;
+        if (!seen) recoverAfterDeviceLoss(*v, e.device);
+      }
+      if (resetOutput != nullptr) resetDeviceDataAfterLoss(*resetOutput);
+    }
+  }
+}
+
+void Model::elementwiseOnce(const std::string& fn, MVec* in1, MVec* in2, MVec& output,
+                            std::vector<MExtra>& extras) {
+  const std::size_t n = in1->n;
+
+  Distribution dist;
+  if (in2 != nullptr) {
+    SKELCL_CHECK(in2->n == n, "zip inputs must have the same size");
+    const Distribution& d1 = in1->requested;
+    const Distribution& d2 = in2->requested;
+    if (d1.isSet() && d2.isSet()) {
+      dist = (d1 == d2) ? d1 : Distribution::block();
+    } else if (d1.isSet()) {
+      dist = d1;
+    } else if (d2.isSet()) {
+      dist = d2;
+    } else {
+      dist = Distribution::block();
+    }
+    setDistribution(*in1, dist);
+    setDistribution(*in2, dist);
+  } else {
+    defaultDistribution(*in1, Distribution::block());
+    dist = in1->requested;
+  }
+
+  const bool inPlace = (&output == in1) || (&output == in2);
+  ensureOnDevices(*in1);
+  if (in2 != nullptr) ensureOnDevices(*in2);
+  setDistribution(output, dist);
+  if (!inPlace) ensureOnDevicesNoUpload(output);
+  prepareExtras(extras);
+
+  const FnInfo* info = fnInfo(fn);
+  SKELCL_CHECK(info != nullptr, "model: unknown function id");
+  const FnShape shape = info->shape;
+
+  const auto ranges = effective(dist).partition(n, alive_);
+  MGraph g(*this);
+  bool launched = false;
+  for (const PartRange& r : ranges) {
+    if (r.size == 0) continue;
+    launched = true;
+    const int dev = r.device;
+    g.add(
+        dev, /*cls=*/1, [this, &extras, dev] { bindExtrasCheck(extras, dev); },
+        [this, fn, in1, in2, &output, &extras, shape, dev, r] {
+          MPart* p1 = in1->partOn(dev);
+          MPart* p2 = in2 != nullptr ? in2->partOn(dev) : nullptr;
+          MPart* po = output.partOn(dev);
+          for (std::size_t j = 0; j < r.size; ++j) {
+            const std::uint32_t a = p1->data[j];
+            std::uint32_t b = 0;
+            std::int64_t ci = 0;
+            double cf = 0.0;
+            switch (shape) {
+              case FnShape::Unary:
+                break;
+              case FnShape::UnaryScalar:
+              case FnShape::BinaryScalar:
+                ci = extras[0].ci;
+                cf = extras[0].cf;
+                break;
+              case FnShape::UnaryVec:
+                b = extras[0].vec->partOn(dev)->data[0];
+                break;
+              case FnShape::UnarySizes:
+                ci = static_cast<std::int32_t>(partSizeOn(*extras[0].vec, dev));
+                break;
+              case FnShape::Binary:
+                break;
+            }
+            if (p2 != nullptr) b = p2->data[j];
+            po->data[j] = eval(fn, a, b, ci, cf);
+          }
+        });
+  }
+  g.run();
+  if (launched) markDevicesModified(output);
+}
+
+void Model::runElementwise(const std::string& fn, MVec* in1, MVec* in2, MVec& output,
+                           std::vector<MExtra>& extras) {
+  const bool inPlace = (&output == in1) || (&output == in2);
+  std::vector<MVec*> inputs{in1, in2};
+  for (const MExtra& e : extras) {
+    if (e.kind == MExtra::Kind::VectorRef) inputs.push_back(e.vec);
+  }
+  withRecovery(std::move(inputs), inPlace ? nullptr : &output,
+               [&] { elementwiseOnce(fn, in1, in2, output, extras); });
+}
+
+void Model::map(const std::string& fn, MVec& input, MVec& output,
+                std::vector<MExtra> extras) {
+  runElementwise(fn, &input, nullptr, output, extras);
+}
+
+void Model::zip(const std::string& fn, MVec& left, MVec& right, MVec& output,
+                std::vector<MExtra> extras) {
+  runElementwise(fn, &left, &right, output, extras);
+}
+
+std::uint32_t Model::reduceOnce(const std::string& fn, MVec& input,
+                                std::vector<MExtra>& extras) {
+  SKELCL_CHECK(input.n > 0, "reduce of an empty vector");
+
+  defaultDistribution(input, Distribution::block());
+  ensureOnDevices(input);
+  prepareExtras(extras);
+
+  std::vector<PartRange> ranges = plannedPartition(input);
+  if (input.requested.kind() == Distribution::Kind::Copy) ranges.resize(1);
+
+  std::int64_t ci = 0;
+  double cf = 0.0;
+  for (const MExtra& e : extras) {
+    SKELCL_CHECK(e.kind == MExtra::Kind::Scalar,
+                 "reduce supports only scalar additional arguments");
+    ci = e.ci;
+    cf = e.cf;
+  }
+
+  struct Pending {
+    int device = 0;
+    std::size_t chunk = 0;
+    std::size_t numPartials = 0;
+    PartRange range;
+    std::vector<std::uint32_t> partials;
+    MGraph::NodeId kernelNode = 0;
+  };
+  std::vector<Pending> pending;
+  for (const PartRange& r : ranges) {
+    if (r.size == 0) continue;
+    const auto cores = static_cast<std::size_t>(cores_[static_cast<std::size_t>(r.device)]);
+    Pending p;
+    p.device = r.device;
+    p.chunk = (r.size + 4 * cores - 1) / (4 * cores);
+    p.numPartials = (r.size + p.chunk - 1) / p.chunk;
+    p.range = r;
+    allocCheck(r.device);
+    p.partials.assign(p.numPartials, 0);
+    pending.push_back(std::move(p));
+  }
+  SKELCL_CHECK(!pending.empty(), "reduce produced no device work");
+
+  MGraph g(*this);
+  for (Pending& p : pending) {
+    Pending* pp = &p;
+    const int dev = p.device;
+    p.kernelNode = g.add(
+        dev, /*cls=*/1, [this, &extras, dev] { bindExtrasCheck(extras, dev); },
+        [this, fn, &input, pp, ci, cf, dev] {
+          MPart* in = input.partOn(dev);
+          for (std::size_t w = 0; w < pp->numPartials; ++w) {
+            const std::size_t begin = w * pp->chunk;
+            const std::size_t end = std::min(begin + pp->chunk, pp->range.size);
+            std::uint32_t acc = in->data[begin];
+            for (std::size_t i = begin + 1; i < end; ++i) {
+              acc = eval(fn, acc, in->data[i], ci, cf);
+            }
+            pp->partials[w] = acc;
+          }
+        });
+  }
+
+  std::vector<std::uint32_t> gathered;
+  std::size_t total = 0;
+  for (const Pending& p : pending) total += p.numPartials;
+  gathered.assign(total, 0);
+  std::vector<MGraph::NodeId> gatherNodes;
+  std::size_t off = 0;
+  for (Pending& p : pending) {
+    Pending* pp = &p;
+    const std::size_t at = off;
+    gatherNodes.push_back(g.add(p.device, /*cls=*/0, nullptr, [pp, &gathered, at] {
+      std::copy(pp->partials.begin(), pp->partials.end(),
+                gathered.begin() + static_cast<std::ptrdiff_t>(at));
+    }, {p.kernelNode}));
+    off += p.numPartials;
+  }
+
+  std::uint32_t acc = 0;
+  g.addHost(
+      [this, fn, &gathered, &acc, ci, cf] {
+        acc = gathered[0];
+        for (std::size_t i = 1; i < gathered.size(); ++i) {
+          acc = eval(fn, acc, gathered[i], ci, cf);
+        }
+      },
+      gatherNodes);
+  g.run();
+  return acc;
+}
+
+std::uint32_t Model::reduce(const std::string& fn, MVec& input, std::vector<MExtra> extras) {
+  std::vector<MVec*> inputs{&input, nullptr};
+  for (const MExtra& e : extras) {
+    if (e.kind == MExtra::Kind::VectorRef) inputs.push_back(e.vec);
+  }
+  return withRecovery(std::move(inputs), nullptr,
+                      [&] { return reduceOnce(fn, input, extras); });
+}
+
+void Model::scanOnce(const std::string& fn, MVec& input, MVec& output) {
+  SKELCL_CHECK(output.n == input.n, "scan output size mismatch");
+  if (input.n == 0) return;
+
+  defaultDistribution(input, Distribution::block());
+  const Distribution dist = input.requested;  // raw: weights apply via the plan
+  ensureOnDevices(input);
+  const bool inPlace = &output == &input;
+  setDistribution(output, dist);
+  if (!inPlace) ensureOnDevicesNoUpload(output);
+
+  const std::vector<PartRange> ranges = plannedPartition(input);
+  const bool crossDevice = dist.kind() == Distribution::Kind::Block;
+
+  struct DeviceScan {
+    PartRange range;
+    std::size_t chunk = 0;
+    std::size_t numChunks = 0;
+    std::vector<std::uint32_t> devSums, hostSums, hostOffsets, devOffsets;
+    bool skipFirst = true;
+    MGraph::NodeId step1 = 0;
+  };
+  std::vector<DeviceScan> devs;
+  for (const PartRange& r : ranges) {
+    if (r.size == 0) continue;
+    DeviceScan d;
+    d.range = r;
+    const auto cores = static_cast<std::size_t>(cores_[static_cast<std::size_t>(r.device)]);
+    d.chunk = (r.size + 4 * cores - 1) / (4 * cores);
+    d.numChunks = (r.size + d.chunk - 1) / d.chunk;
+    allocCheck(r.device);  // sums buffer
+    d.devSums.assign(d.numChunks, 0);
+    allocCheck(r.device);  // offsets buffer
+    d.devOffsets.assign(d.numChunks, 0);
+    d.hostSums.assign(d.numChunks, 0);
+    d.hostOffsets.assign(d.numChunks, 0);
+    devs.push_back(std::move(d));
+  }
+
+  MGraph g(*this);
+
+  for (DeviceScan& d : devs) {
+    DeviceScan* dd = &d;
+    const int dev = d.range.device;
+    d.step1 = g.add(dev, /*cls=*/1, nullptr, [this, fn, &input, &output, inPlace, dd, dev] {
+      MPart* in = input.partOn(dev);
+      MPart* out = inPlace ? in : output.partOn(dev);
+      for (std::size_t w = 0; w < dd->numChunks; ++w) {
+        const std::size_t begin = w * dd->chunk;
+        const std::size_t end = std::min(begin + dd->chunk, dd->range.size);
+        std::uint32_t acc = in->data[begin];
+        out->data[begin] = acc;
+        for (std::size_t i = begin + 1; i < end; ++i) {
+          acc = eval(fn, acc, in->data[i], 0, 0.0);
+          out->data[i] = acc;
+        }
+        dd->devSums[w] = acc;
+      }
+    });
+  }
+
+  std::vector<MGraph::NodeId> sumReads;
+  for (DeviceScan& d : devs) {
+    DeviceScan* dd = &d;
+    sumReads.push_back(g.add(d.range.device, /*cls=*/0, nullptr,
+                             [dd] { dd->hostSums = dd->devSums; }, {d.step1}));
+  }
+
+  const MGraph::NodeId offsetsNode = g.addHost(
+      [this, fn, &devs, crossDevice] {
+        bool haveDeviceOffset = false;
+        std::uint32_t deviceOffset = 0;
+        for (DeviceScan& d : devs) {
+          bool haveChunkOffset = false;
+          std::uint32_t chunkOffset = 0;
+          for (std::size_t w = 0; w < d.numChunks; ++w) {
+            std::uint32_t combined = 0;
+            bool haveCombined = false;
+            if (crossDevice && haveDeviceOffset && haveChunkOffset) {
+              combined = eval(fn, deviceOffset, chunkOffset, 0, 0.0);
+              haveCombined = true;
+            } else if (crossDevice && haveDeviceOffset) {
+              combined = deviceOffset;
+              haveCombined = true;
+            } else if (haveChunkOffset) {
+              combined = chunkOffset;
+              haveCombined = true;
+            }
+            d.hostOffsets[w] = haveCombined ? combined : 0;
+            const std::uint32_t sum = d.hostSums[w];
+            chunkOffset = haveChunkOffset ? eval(fn, chunkOffset, sum, 0, 0.0) : sum;
+            haveChunkOffset = true;
+          }
+          d.skipFirst = !(crossDevice && haveDeviceOffset);
+          if (crossDevice) {
+            deviceOffset = haveDeviceOffset ? eval(fn, deviceOffset, chunkOffset, 0, 0.0)
+                                            : chunkOffset;
+            haveDeviceOffset = true;
+          }
+        }
+      },
+      sumReads);
+
+  for (DeviceScan& d : devs) {
+    DeviceScan* dd = &d;
+    const int dev = d.range.device;
+    const MGraph::NodeId up = g.add(dev, /*cls=*/0, nullptr,
+                                    [dd] { dd->devOffsets = dd->hostOffsets; },
+                                    {offsetsNode});
+    g.add(dev, /*cls=*/1, nullptr,
+          [this, fn, &input, &output, inPlace, dd, dev] {
+            MPart* out = inPlace ? input.partOn(dev) : output.partOn(dev);
+            for (std::size_t w = 0; w < dd->numChunks; ++w) {
+              if (dd->skipFirst && w == 0) continue;
+              const std::size_t begin = w * dd->chunk;
+              const std::size_t end = std::min(begin + dd->chunk, dd->range.size);
+              const std::uint32_t offv = dd->devOffsets[w];
+              for (std::size_t i = begin; i < end; ++i) {
+                out->data[i] = eval(fn, offv, out->data[i], 0, 0.0);
+              }
+            }
+          },
+          {up, d.step1});
+  }
+
+  g.run();
+  markDevicesModified(output);
+}
+
+void Model::scan(const std::string& fn, MVec& input, MVec& output) {
+  const bool inPlace = &output == &input;
+  withRecovery({&input}, inPlace ? nullptr : &output,
+               [&] { scanOnce(fn, input, output); });
+}
+
+// ---------------------------------------------------------------------------
+// Fused chains
+// ---------------------------------------------------------------------------
+
+bool Model::chainEligible(MVec& input, const std::vector<MStage>& stages) const {
+  const Distribution dist =
+      input.requested.isSet() ? input.requested : Distribution::block();
+  for (const MStage& st : stages) {
+    if (st.zipVec != nullptr) {
+      const Distribution& zd = st.zipVec->requested;
+      if (zd.isSet() && !(zd == dist)) return false;
+    }
+  }
+  return true;
+}
+
+Distribution Model::materializeChainInputs(MVec& input, std::vector<MStage>& stages) {
+  defaultDistribution(input, Distribution::block());
+  const Distribution dist = input.requested;
+  ensureOnDevices(input);
+  for (MStage& st : stages) {
+    if (st.zipVec != nullptr) {
+      SKELCL_CHECK(st.zipVec->n == input.n, "zip inputs must have the same size");
+      if (st.zipVec != &input) {
+        setDistribution(*st.zipVec, dist);
+        ensureOnDevices(*st.zipVec);
+      }
+    }
+    // stage extras are scalar-only in the skelcheck grammar: prepareExtras
+    // would be a no-op here
+  }
+  return dist;
+}
+
+bool Model::chainWritesInput(const MVec& output, const MVec& input,
+                             const std::vector<MStage>& stages) const {
+  if (&output == &input) return true;
+  for (const MStage& st : stages) {
+    if (st.zipVec == &output) return true;
+  }
+  return false;
+}
+
+std::vector<MVec*> Model::chainRecoveryInputs(MVec& input,
+                                              const std::vector<MStage>& stages) const {
+  std::vector<MVec*> inputs{&input};
+  for (const MStage& st : stages) {
+    if (st.zipVec != nullptr) inputs.push_back(st.zipVec);
+  }
+  return inputs;
+}
+
+std::uint32_t Model::chainEval(const std::vector<MStage>& stages, std::uint32_t v,
+                               int device, std::size_t j) {
+  for (const MStage& st : stages) {
+    const std::uint32_t b = st.zipVec != nullptr ? st.zipVec->partOn(device)->data[j] : 0;
+    v = eval(st.fn, v, b, st.ci, st.cf);
+  }
+  return v;
+}
+
+void Model::fusedChainOnce(MVec& input, std::vector<MStage>& stages, MVec& output) {
+  const Distribution dist = materializeChainInputs(input, stages);
+  const bool inPlace = chainWritesInput(output, input, stages);
+  setDistribution(output, dist);
+  if (!inPlace) ensureOnDevicesNoUpload(output);
+
+  const auto ranges = effective(dist).partition(input.n, alive_);
+  MGraph g(*this);
+  bool launched = false;
+  for (const PartRange& r : ranges) {
+    if (r.size == 0) continue;
+    launched = true;
+    const int dev = r.device;
+    g.add(dev, /*cls=*/1, nullptr, [this, &input, &stages, &output, dev, r] {
+      MPart* in = input.partOn(dev);
+      MPart* out = output.partOn(dev);
+      for (std::size_t j = 0; j < r.size; ++j) {
+        out->data[j] = chainEval(stages, in->data[j], dev, j);
+      }
+    });
+  }
+  g.run();
+  if (launched) markDevicesModified(output);
+}
+
+void Model::chainUnfused(MVec& input, std::vector<MStage>& stages, MVec& output) {
+  MVec* cur = &input;
+  std::vector<std::unique_ptr<MVec>> temps;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    MStage& st = stages[s];
+    const bool last = s + 1 == stages.size();
+    MVec* dst = &output;
+    if (!last) {
+      temps.push_back(std::make_unique<MVec>(input.n));
+      dst = temps.back().get();
+    }
+    std::vector<MExtra> extras;
+    if (st.hasScalar) {
+      MExtra e;
+      e.kind = MExtra::Kind::Scalar;
+      e.ci = st.ci;
+      e.cf = st.cf;
+      extras.push_back(e);
+    }
+    runElementwise(st.fn, cur, st.zipVec, *dst, extras);
+    cur = dst;
+  }
+}
+
+bool Model::pipe(MVec& input, std::vector<MStage>& stages, MVec& output,
+                 bool forceUnfused) {
+  SKELCL_CHECK(!stages.empty(), "skeleton pipeline has no stages");
+  SKELCL_CHECK(output.n == input.n, "pipeline output size mismatch");
+  if (forceUnfused || !chainEligible(input, stages)) {
+    chainUnfused(input, stages, output);
+    return false;
+  }
+  const bool inPlace = chainWritesInput(output, input, stages);
+  withRecovery(chainRecoveryInputs(input, stages), inPlace ? nullptr : &output,
+               [&] { fusedChainOnce(input, stages, output); });
+  return true;
+}
+
+std::uint32_t Model::fusedReduceOnce(MVec& input, std::vector<MStage>& stages,
+                                     const std::string& reduceFn,
+                                     std::vector<MExtra>& reduceExtras) {
+  SKELCL_CHECK(input.n > 0, "reduce of an empty vector");
+
+  materializeChainInputs(input, stages);
+  prepareExtras(reduceExtras);
+
+  std::vector<PartRange> ranges = plannedPartition(input);
+  if (input.requested.kind() == Distribution::Kind::Copy) ranges.resize(1);
+
+  std::int64_t rci = 0;
+  double rcf = 0.0;
+  for (const MExtra& e : reduceExtras) {
+    SKELCL_CHECK(e.kind == MExtra::Kind::Scalar,
+                 "reduce supports only scalar additional arguments");
+    rci = e.ci;
+    rcf = e.cf;
+  }
+
+  struct Pending {
+    int device = 0;
+    std::size_t chunk = 0;
+    std::size_t numPartials = 0;
+    PartRange range;
+    std::vector<std::uint32_t> partials;
+    MGraph::NodeId kernelNode = 0;
+  };
+  std::vector<Pending> pending;
+  for (const PartRange& r : ranges) {
+    if (r.size == 0) continue;
+    const auto cores = static_cast<std::size_t>(cores_[static_cast<std::size_t>(r.device)]);
+    Pending p;
+    p.device = r.device;
+    p.chunk = (r.size + 4 * cores - 1) / (4 * cores);
+    p.numPartials = (r.size + p.chunk - 1) / p.chunk;
+    p.range = r;
+    allocCheck(r.device);
+    p.partials.assign(p.numPartials, 0);
+    pending.push_back(std::move(p));
+  }
+  SKELCL_CHECK(!pending.empty(), "reduce produced no device work");
+
+  MGraph g(*this);
+  for (Pending& p : pending) {
+    Pending* pp = &p;
+    const int dev = p.device;
+    p.kernelNode = g.add(
+        dev, /*cls=*/1, [this, &reduceExtras, dev] { bindExtrasCheck(reduceExtras, dev); },
+        [this, reduceFn, &input, &stages, pp, rci, rcf, dev] {
+          MPart* in = input.partOn(dev);
+          for (std::size_t w = 0; w < pp->numPartials; ++w) {
+            const std::size_t begin = w * pp->chunk;
+            const std::size_t end = std::min(begin + pp->chunk, pp->range.size);
+            std::uint32_t acc = chainEval(stages, in->data[begin], dev, begin);
+            for (std::size_t i = begin + 1; i < end; ++i) {
+              acc = eval(reduceFn, acc, chainEval(stages, in->data[i], dev, i), rci, rcf);
+            }
+            pp->partials[w] = acc;
+          }
+        });
+  }
+
+  std::vector<std::uint32_t> gathered;
+  std::size_t total = 0;
+  for (const Pending& p : pending) total += p.numPartials;
+  gathered.assign(total, 0);
+  std::vector<MGraph::NodeId> gatherNodes;
+  std::size_t off = 0;
+  for (Pending& p : pending) {
+    Pending* pp = &p;
+    const std::size_t at = off;
+    gatherNodes.push_back(g.add(p.device, /*cls=*/0, nullptr, [pp, &gathered, at] {
+      std::copy(pp->partials.begin(), pp->partials.end(),
+                gathered.begin() + static_cast<std::ptrdiff_t>(at));
+    }, {p.kernelNode}));
+    off += p.numPartials;
+  }
+
+  std::uint32_t acc = 0;
+  g.addHost(
+      [this, reduceFn, &gathered, &acc, rci, rcf] {
+        acc = gathered[0];
+        for (std::size_t i = 1; i < gathered.size(); ++i) {
+          acc = eval(reduceFn, acc, gathered[i], rci, rcf);
+        }
+      },
+      gatherNodes);
+  g.run();
+  return acc;
+}
+
+std::uint32_t Model::pipeReduce(MVec& input, std::vector<MStage>& stages,
+                                const std::string& reduceFn,
+                                std::vector<MExtra> reduceExtras, bool forceUnfused,
+                                bool* ranFused) {
+  if (stages.empty()) {
+    if (ranFused != nullptr) *ranFused = false;
+    return reduce(reduceFn, input, std::move(reduceExtras));
+  }
+  const bool fused = !forceUnfused && chainEligible(input, stages);
+  if (ranFused != nullptr) *ranFused = fused;
+  if (!fused) {
+    MVec temp(input.n);
+    chainUnfused(input, stages, temp);
+    return reduce(reduceFn, temp, std::move(reduceExtras));
+  }
+  std::vector<MVec*> inputs = chainRecoveryInputs(input, stages);
+  for (const MExtra& e : reduceExtras) {
+    if (e.kind == MExtra::Kind::VectorRef) inputs.push_back(e.vec);
+  }
+  return withRecovery(std::move(inputs), nullptr,
+                      [&] { return fusedReduceOnce(input, stages, reduceFn, reduceExtras); });
+}
+
+}  // namespace skelcl::check

@@ -1,0 +1,204 @@
+// The skelcheck reference model: a pure host-side re-implementation of the
+// SkelCL semantics the differential tester checks — Vector coherence flags,
+// lazy distribution changes, partition planning (reusing the real
+// skelcl::Distribution), the per-skeleton execution plans of
+// core/detail/skeleton_exec.cpp *including their command order*, the fault
+// injector's per-device command counting, the ExecGraph failure-continue
+// semantics, and the blacklist/recover/retry loop.
+//
+// The model stores every element as a raw 32-bit pattern and evaluates user
+// functions through check::evalFn, which mirrors the kernelc VM bit-for-bit.
+// Where the model needs real library behavior with no device state attached
+// (partitioning, distribution equality) it calls the real code; everything
+// stateful is mirrored so the system under test cannot "check itself".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "core/distribution.hpp"
+
+namespace skelcl::check {
+
+/// Mirror of ocl::CommandError: a device command failed.  `permanent`
+/// distinguishes device death from an exhausted transient retry loop.
+struct ModelCommandError {
+  int device = -1;
+  bool permanent = false;
+  std::string what;
+};
+
+/// One device part of a model vector (mirror of VectorData::DevicePart).
+struct MPart {
+  int device = 0;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+  bool hasBuf = false;               ///< buffer allocated (size > 0)
+  std::vector<std::uint32_t> data;   ///< element bit patterns
+};
+
+/// Mirror of detail::VectorData.
+struct MVec {
+  explicit MVec(std::size_t count) : n(count), host(count, 0) {}
+
+  std::size_t n;
+  std::vector<std::uint32_t> host;
+  bool hostValid = true;
+  bool devicesValid = false;
+  Distribution requested;  ///< latest requested distribution
+  Distribution current;    ///< distribution the parts represent
+  std::vector<MPart> parts;
+
+  // mirror of the cached partition plan (plus the epoch it was built under)
+  std::vector<PartRange> planned;
+  bool plannedValid = false;
+  std::uint64_t plannedEpoch = 0;
+
+  MPart* partOn(int device);
+};
+
+/// Extra (additional) skeleton argument on the model side.
+struct MExtra {
+  enum class Kind { Scalar, VectorRef, Sizes };
+  Kind kind = Kind::Scalar;
+  std::int64_t ci = 0;
+  double cf = 0.0;
+  MVec* vec = nullptr;
+};
+
+/// One pipeline stage on the model side.
+struct MStage {
+  std::string fn;
+  MVec* zipVec = nullptr;  ///< null for map stages
+  bool hasScalar = false;
+  std::int64_t ci = 0;
+  double cf = 0.0;
+};
+
+/// Build the real Distribution described by a DistSpec (combine functions are
+/// materialized from the catalog for the element type).
+Distribution makeDistribution(const DistSpec& spec, ElemType t);
+
+class Model {
+ public:
+  /// `cores[d]` is device d's core count (drives the reduce/scan chunking).
+  Model(const Config& cfg, std::vector<int> cores);
+
+  ElemType elem() const { return cfg_.elem; }
+  int aliveCount() const { return static_cast<int>(alive_.size()); }
+
+  // --- per-op entry points (each throws real skelcl errors or
+  // --- ModelCommandError exactly where the system would) ---
+  void fill(MVec& v, std::int64_t base, std::int64_t step);
+  void write(MVec& v, std::int64_t index, std::int64_t value);
+  void setDist(MVec& v, const Distribution& d) { setDistribution(v, d); }
+  void poke(MVec& v, int device, std::int64_t base, std::int64_t step);
+  /// hostRead: makes the host copy current and returns it.
+  const std::vector<std::uint32_t>& probe(MVec& v);
+
+  void map(const std::string& fn, MVec& input, MVec& output, std::vector<MExtra> extras);
+  void zip(const std::string& fn, MVec& left, MVec& right, MVec& output,
+           std::vector<MExtra> extras);
+  std::uint32_t reduce(const std::string& fn, MVec& input, std::vector<MExtra> extras);
+  void scan(const std::string& fn, MVec& input, MVec& output);
+  /// Returns whether the chain took the fused path (compared against
+  /// Pipeline::lastRunFused()).
+  bool pipe(MVec& input, std::vector<MStage>& stages, MVec& output, bool forceUnfused);
+  std::uint32_t pipeReduce(MVec& input, std::vector<MStage>& stages,
+                           const std::string& reduceFn, std::vector<MExtra> reduceExtras,
+                           bool forceUnfused, bool* ranFused);
+
+  void setWeights(std::vector<double> weights);
+  void blacklist(int device);  ///< mirror of skelcl::blacklistDevice
+  /// Mirror of setFaultPlan + FaultInjector::install: resets counters and the
+  /// dead flags, then arms the new rules.
+  void installFaults(const std::vector<std::array<std::int64_t, 3>>& transients,
+                     int killDevice, std::int64_t killAfter);
+
+  // --- fault-injector mirror (used by MGraph) ---
+  enum class Decision { None, Transient, Lost };
+  Decision onCommand(int device, int cls);  ///< cls: 0 transfer, 1 kernel
+  int maxAttempts() const { return max_attempts_; }
+
+ private:
+  friend class MGraph;
+  friend struct ModelTestAccess;
+
+  // runtime mirror
+  const std::vector<double>& applicableWeights() const;
+  Distribution effective(const Distribution& d) const;
+  void blacklistDevice(int device);
+  // vector-data mirror
+  const std::vector<PartRange>& plannedPartition(MVec& v);
+  std::size_t partSizeOn(MVec& v, int device);
+  bool partsMatchRequested(MVec& v);
+  void setDistribution(MVec& v, const Distribution& d);
+  void defaultDistribution(MVec& v, const Distribution& d);
+  void ensureOnDevices(MVec& v);
+  void ensureOnDevicesNoUpload(MVec& v);
+  void ensureHostValid(MVec& v);
+  void materializeParts(MVec& v, bool upload);
+  void downloadParts(MVec& v);
+  void combineCopiesToHost(MVec& v);
+  void markDevicesModified(MVec& v);
+  void markHostModified(MVec& v);
+  void recoverAfterDeviceLoss(MVec& v, int deadDevice);
+  void resetDeviceDataAfterLoss(MVec& v);
+  void allocCheck(int device);  ///< mirror of ocl::Device::allocate's dead-device gate
+  // skeleton mirror
+  std::uint32_t eval(const std::string& fn, std::uint32_t a, std::uint32_t b,
+                     std::int64_t ci, double cf) const;
+  void prepareExtras(std::vector<MExtra>& extras);
+  void bindExtrasCheck(const std::vector<MExtra>& extras, int device);
+  std::uint32_t extraElem(const MExtra& e, int device);
+  void elementwiseOnce(const std::string& fn, MVec* in1, MVec* in2, MVec& output,
+                       std::vector<MExtra>& extras);
+  void runElementwise(const std::string& fn, MVec* in1, MVec* in2, MVec& output,
+                      std::vector<MExtra>& extras);
+  std::uint32_t reduceOnce(const std::string& fn, MVec& input, std::vector<MExtra>& extras);
+  void scanOnce(const std::string& fn, MVec& input, MVec& output);
+  bool chainEligible(MVec& input, const std::vector<MStage>& stages) const;
+  Distribution materializeChainInputs(MVec& input, std::vector<MStage>& stages);
+  bool chainWritesInput(const MVec& output, const MVec& input,
+                        const std::vector<MStage>& stages) const;
+  std::vector<MVec*> chainRecoveryInputs(MVec& input, const std::vector<MStage>& stages) const;
+  std::uint32_t chainEval(const std::vector<MStage>& stages, std::uint32_t v, int device,
+                          std::size_t j);
+  void fusedChainOnce(MVec& input, std::vector<MStage>& stages, MVec& output);
+  void chainUnfused(MVec& input, std::vector<MStage>& stages, MVec& output);
+  std::uint32_t fusedReduceOnce(MVec& input, std::vector<MStage>& stages,
+                                const std::string& reduceFn,
+                                std::vector<MExtra>& reduceExtras);
+
+  template <typename Body>
+  auto withRecovery(std::vector<MVec*> inputs, MVec* resetOutput, Body&& body)
+      -> decltype(body());
+
+  Config cfg_;
+  std::vector<int> cores_;
+
+  // Runtime mirror: blacklist state, scheduler weights, partition epoch.
+  std::vector<char> dead_;
+  std::vector<int> alive_;
+  std::vector<double> weights_;
+  std::uint64_t epoch_ = 0;
+
+  // FaultInjector mirror.
+  struct TransRule {
+    int device = -1;
+    int cls = 0;  ///< 0 transfer, 1 kernel
+    int remaining = 0;
+  };
+  bool faults_active_ = false;
+  std::vector<TransRule> trans_;
+  int kill_device_ = -1;
+  std::int64_t kill_after_ = 0;
+  std::vector<std::uint64_t> cmd_counts_;
+  std::vector<char> inj_dead_;
+  int max_attempts_ = 4;
+};
+
+}  // namespace skelcl::check

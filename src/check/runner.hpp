@@ -1,0 +1,31 @@
+// The skelcheck lockstep runner: executes one Program twice — once against
+// the live SkelCL runtime, once against the pure host-side model — and
+// compares error classes, coherence flags, distribution state, part layouts,
+// device bytes and, at probe points, full host contents after every op.
+#pragma once
+
+#include <string>
+
+#include "check/check.hpp"
+
+namespace skelcl::check {
+
+struct RunResult {
+  bool ok = true;
+  int step = -1;        ///< index of the diverging op (-1: setup/teardown)
+  std::string message;  ///< human-readable divergence description
+};
+
+/// Clamp and normalize a program in place so every op is well-formed for its
+/// config: slot/device indices wrapped into range, function ids valid for
+/// their role and element type, scalar floats finite.  The generator emits
+/// sanitized programs already; this is the safety net for hand-written and
+/// shrunk replay files — and it keeps shrinking sound (removing ops never
+/// produces an ill-formed program).
+void sanitize(Program& program);
+
+/// Execute `program` in lockstep.  Re-initializes the runtime (init /
+/// terminate) around the run, so callers must not hold live Vectors.
+RunResult runProgram(const Program& program);
+
+}  // namespace skelcl::check

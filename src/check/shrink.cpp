@@ -1,0 +1,94 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "check/runner.hpp"
+
+namespace skelcl::check {
+
+namespace {
+
+/// Upper bound on predicate invocations (each one is a full lockstep run).
+constexpr int kBudget = 400;
+
+}  // namespace
+
+Program shrink(const Program& failing,
+               const std::function<bool(const Program&)>& stillFails) {
+  Program cur = failing;
+  sanitize(cur);
+  int budget = kBudget;
+
+  auto tryAdopt = [&](Program cand) {
+    if (budget <= 0) return false;
+    --budget;
+    sanitize(cand);
+    if (!stillFails(cand)) return false;
+    cur = std::move(cand);
+    return true;
+  };
+
+  // 1. ddmin over the op list: remove chunks, halving the chunk size.
+  std::size_t chunk = std::max<std::size_t>(1, cur.ops.size() / 2);
+  while (budget > 0) {
+    bool removed = false;
+    for (std::size_t i = 0; i < cur.ops.size() && budget > 0;) {
+      Program cand = cur;
+      const std::size_t end = std::min(i + chunk, cand.ops.size());
+      cand.ops.erase(cand.ops.begin() + static_cast<std::ptrdiff_t>(i),
+                     cand.ops.begin() + static_cast<std::ptrdiff_t>(end));
+      if (!cand.ops.empty() && tryAdopt(std::move(cand))) {
+        removed = true;  // same i now points at the next op
+      } else {
+        i += chunk;
+      }
+    }
+    if (chunk == 1 && !removed) break;
+    if (chunk > 1) chunk /= 2;
+  }
+
+  // 2. Shrink the vector length.
+  while (cur.cfg.n > 1 && budget > 0) {
+    Program cand = cur;
+    cand.cfg.n = cur.cfg.n / 2;
+    if (!tryAdopt(std::move(cand))) break;
+  }
+
+  // 3. Per-op simplification: drop pipeline stages, transient fault rules
+  //    and scheduler weights one element at a time.
+  bool simplified = true;
+  while (simplified && budget > 0) {
+    simplified = false;
+    for (std::size_t i = 0; i < cur.ops.size() && budget > 0; ++i) {
+      for (std::size_t j = 0; j < cur.ops[i].stages.size() && budget > 0; ++j) {
+        Program cand = cur;
+        cand.ops[i].stages.erase(cand.ops[i].stages.begin() +
+                                 static_cast<std::ptrdiff_t>(j));
+        if (tryAdopt(std::move(cand))) {
+          simplified = true;
+          break;
+        }
+      }
+      for (std::size_t j = 0; j < cur.ops[i].transients.size() && budget > 0; ++j) {
+        Program cand = cur;
+        cand.ops[i].transients.erase(cand.ops[i].transients.begin() +
+                                     static_cast<std::ptrdiff_t>(j));
+        if (tryAdopt(std::move(cand))) {
+          simplified = true;
+          break;
+        }
+      }
+      if (!cur.ops[i].weights.empty() && budget > 0 &&
+          cur.ops[i].kind == OpKind::Weights) {
+        Program cand = cur;
+        cand.ops[i].weights.clear();
+        if (tryAdopt(std::move(cand))) simplified = true;
+      }
+    }
+  }
+
+  return cur;
+}
+
+}  // namespace skelcl::check

@@ -1,0 +1,18 @@
+// Delta-debugging shrinker for failing skelcheck programs.
+#pragma once
+
+#include <functional>
+
+#include "check/check.hpp"
+
+namespace skelcl::check {
+
+/// Shrink `failing` while `stillFails` keeps returning true: ddmin-style op
+/// chunk removal, then n halving, then per-op simplification (dropping
+/// pipeline stages, transient fault rules and scheduler weights).  Every
+/// candidate is sanitized before the predicate sees it.  The total number of
+/// predicate calls is bounded, so shrinking always terminates quickly.
+Program shrink(const Program& failing,
+               const std::function<bool(const Program&)>& stillFails);
+
+}  // namespace skelcl::check

@@ -1,0 +1,26 @@
+// The white-box peer that VectorData befriends (vector_data.hpp).
+//
+// Shared between the skelcheck runner (read access: the state comparison
+// must inspect parts without triggering the coherence protocol) and
+// tests/test_skelcheck.cpp (mutable access: forging internal states — e.g.
+// a zero-sized copy part — that have no natural construction path).
+#pragma once
+
+#include <vector>
+
+#include "core/detail/vector_data.hpp"
+
+namespace skelcl::detail {
+
+struct VectorDataTestAccess {
+  static const std::vector<VectorData::DevicePart>& parts(const VectorData& v) {
+    return v.parts_;
+  }
+  static std::vector<VectorData::DevicePart>& partsMut(VectorData& v) { return v.parts_; }
+  static const std::vector<std::byte>& host(const VectorData& v) { return v.host_; }
+  static Distribution& currentMut(VectorData& v) { return v.current_; }
+  static bool& hostValidMut(VectorData& v) { return v.host_valid_; }
+  static bool& devicesValidMut(VectorData& v) { return v.devices_valid_; }
+};
+
+}  // namespace skelcl::detail

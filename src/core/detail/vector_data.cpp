@@ -89,7 +89,14 @@ bool VectorData::partsMatchRequested() {
 
 const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevices() {
   SKELCL_CHECK(requested_.isSet(), "vector has no distribution");
-  if (partsMatchRequested()) return parts_;
+  if (partsMatchRequested()) {
+    // The layout already matches, but the requested distribution may still
+    // differ in ways partition() cannot see — copy() vs copy(combine) yield
+    // identical part ranges.  Adopt it so a later host sync applies the right
+    // download semantics (the combine fold keys off current_).
+    current_ = requested_;
+    return parts_;
+  }
   // Redistribution goes through the host (pre-peer-access hardware; this is
   // exactly the download/upload sequence of paper Figure 3).
   ensureHostValid();
@@ -99,7 +106,10 @@ const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevices() {
 
 const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevicesNoUpload() {
   SKELCL_CHECK(requested_.isSet(), "vector has no distribution");
-  if (partsMatchRequested()) return parts_;
+  if (partsMatchRequested()) {
+    current_ = requested_;  // see ensureOnDevices: copy() vs copy(combine)
+    return parts_;
+  }
   materializeParts(/*upload=*/false);
   host_valid_ = false;  // the kernel will produce the data
   return parts_;
@@ -172,6 +182,10 @@ void VectorData::downloadParts() {
 void VectorData::ensureHostValid() {
   if (host_valid_) return;
   SKELCL_CHECK(devices_valid_, "vector holds no valid data");
+  // A pending lazy redistribution whose layout matches the live parts (e.g.
+  // copy() -> copy(combine)) is adopted here too, so a direct host read uses
+  // the newly requested download semantics.
+  if (requested_.isSet() && partsMatchRequested()) current_ = requested_;
   if (current_.kind() == Distribution::Kind::Copy) {
     combineCopiesToHost();
   } else {
@@ -226,6 +240,7 @@ void VectorData::combineCopiesToHost() {
             system.advanceHost(ExecGraph::latestEnd(deps));
             kc::Vm vm(*program, {});
             for (std::size_t p = 1; p < parts_.size(); ++p) {
+              if (parts_[p].size == 0) continue;  // download skipped; nothing staged
               const std::byte* other = staged[p].data();
               for (std::size_t i = 0; i < count_; ++i) {
                 std::byte* out = host_.data() + i * elem_size_;

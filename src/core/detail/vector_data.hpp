@@ -102,8 +102,14 @@ class VectorData {
   // --- introspection (tests, benches) ---
   bool hostValid() const { return host_valid_; }
   bool devicesValid() const { return devices_valid_; }
+  /// Distribution the live parts currently represent (may lag requested_).
+  const Distribution& currentDistribution() const { return current_; }
 
  private:
+  /// White-box test peer (tests/test_skelcheck.cpp): forges internal states —
+  /// e.g. a zero-sized copy part — that have no natural construction path, to
+  /// pin down defensive guards.
+  friend struct VectorDataTestAccess;
   void ensureHostValid();
   void materializeParts(bool upload);
   void downloadParts();

@@ -54,10 +54,8 @@ std::vector<PartRange> Distribution::partition(std::size_t count, int deviceCoun
     SKELCL_CHECK(device_ >= 0 && device_ < deviceCount,
                  "single distribution names a device the system does not have");
   }
-  if (kind_ == Kind::Block && !weights_.empty()) {
-    SKELCL_CHECK(static_cast<int>(weights_.size()) == deviceCount,
-                 "block weights must have one entry per device");
-  }
+  // Weight validation is shared with the device-list overload below: the
+  // weight table must cover every device id that will be consulted.
   std::vector<int> devices(static_cast<std::size_t>(deviceCount));
   std::iota(devices.begin(), devices.end(), 0);
   return partition(count, devices);
@@ -91,7 +89,9 @@ std::vector<PartRange> Distribution::partition(std::size_t count,
       } else {
         SKELCL_CHECK(weights_.size() > static_cast<std::size_t>(
                                            *std::max_element(devices.begin(), devices.end())),
-                     "block weights must have one entry per device");
+                     "block weights must cover every device id (" +
+                         std::to_string(weights_.size()) + " weights, device ids up to " +
+                         std::to_string(*std::max_element(devices.begin(), devices.end())) + ")");
         for (const int d : devices) w.push_back(weights_[static_cast<std::size_t>(d)]);
       }
       const double total = std::accumulate(w.begin(), w.end(), 0.0);
@@ -135,6 +135,7 @@ bool operator==(const Distribution& a, const Distribution& b) {
   if (a.kind_ != b.kind_) return false;
   if (a.kind_ == Distribution::Kind::Single && a.device_ != b.device_) return false;
   if (a.kind_ == Distribution::Kind::Block && a.weights_ != b.weights_) return false;
+  if (a.kind_ == Distribution::Kind::Copy && a.combine_ != b.combine_) return false;
   return true;
 }
 

@@ -62,7 +62,7 @@ class Distribution {
   std::vector<PartRange> partition(std::size_t count, const std::vector<int>& devices) const;
 
   /// Structural equality relevant for skeleton-input compatibility: kind,
-  /// single-device id, and block weights.
+  /// single-device id, block weights, and copy combine source.
   friend bool operator==(const Distribution& a, const Distribution& b);
 
   /// "single(0)", "block", "copy" — for error messages.

@@ -1,0 +1,278 @@
+// Tests for the skelcheck differential checker (src/check/) and regression
+// tests for the Vector/Distribution bugs it caught.  The checker tests drive
+// runProgram(), which executes each program in lockstep against the live
+// runtime and the host-side reference model — a passing run means the two
+// agreed on error classes, coherence flags, layouts and contents after every
+// op.  The regression tests pin the fixed behaviors down directly on the
+// Vector API (each one failed before its fix).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/generator.hpp"
+#include "check/runner.hpp"
+#include "check/vector_access.hpp"
+#include "core/detail/runtime.hpp"
+#include "core/skelcl.hpp"
+
+using namespace skelcl;
+using namespace skelcl::check;
+
+namespace {
+
+// --- checker self-tests (no fixture: runProgram inits/terminates itself) ----
+
+TEST(SkelcheckGenerator, Deterministic) {
+  EXPECT_EQ(serialize(generate(5, 30)), serialize(generate(5, 30)));
+  EXPECT_NE(serialize(generate(5, 30)), serialize(generate(6, 30)));
+}
+
+TEST(SkelcheckReplay, SerializeParseRoundTrip) {
+  for (std::uint64_t seed : {0ull, 7ull, 23ull}) {
+    const Program p = generate(seed, 40);
+    const std::string text = serialize(p);
+    const Program q = parse(text);
+    EXPECT_EQ(serialize(q), text) << "seed " << seed;
+  }
+}
+
+TEST(SkelcheckReplay, ParseRejectsGarbage) {
+  EXPECT_THROW(parse("not a skelcheck file"), std::runtime_error);
+  EXPECT_THROW(parse("skelcheck v1\nop kind=nonsense\n"), std::runtime_error);
+}
+
+TEST(SkelcheckReplay, CopyCombineAdoptionShrunkRepro) {
+  // The shrunk repro for the copy() -> copy(combine) adoption bug, replayed
+  // through the full differential checker: on the pre-fix code the system
+  // kept first-replica-wins downloads while the model folded, so this
+  // program diverged at the probe.
+  const char* repro =
+      "skelcheck v1\n"
+      "config devices=4 elem=i32 n=37 kcopt=1 seed=0 pool=2\n"
+      "fill a=0 base=3 step=2\n"
+      "setdist a=0 dist=copy\n"
+      "map a=0 dst=0 fn=neg inplace=1\n"
+      "poke a=0 device=1 base=11 step=1\n"
+      "setdist a=0 dist=copy+add\n"
+      "probe a=0\n";
+  const RunResult res = runProgram(parse(repro));
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(SkelcheckSmoke, FixedSeedsNoDivergence) {
+  // A slice of the CI smoke gate (`skelcheck --smoke` runs 64 seeds); enough
+  // here to cover 1/2/4 devices, both element types and both VM pipelines,
+  // which generate() derives from the seed alone.
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const RunResult res = runProgram(generate(seed, 30));
+    EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.message;
+  }
+}
+
+// --- exhaustive distribution-transition matrix ------------------------------
+// Every ordered pair of the five distribution kinds, with the data forced
+// onto the devices under the first distribution, optionally dirtied (host
+// write, or a direct device write on a copy of the data), then probed under
+// the second.  runProgram compares contents and every coherence flag against
+// the reference model, so this pins the full transition semantics, including
+// the copy()/copy(combine) download rules.
+
+DistSpec distSpec(DistKind k) {
+  DistSpec d;
+  d.kind = k;
+  switch (k) {
+    case DistKind::Single: d.device = 1; break;
+    case DistKind::WBlock: d.weights = {3.0, 1.0, 0.0, 2.0}; break;
+    case DistKind::CopyCombine: d.fn = "add"; break;
+    default: break;
+  }
+  return d;
+}
+
+Op fillOp(int slot) {
+  Op op;
+  op.kind = OpKind::Fill;
+  op.a = slot;
+  op.base = 3;
+  op.step = 2;
+  return op;
+}
+
+Op setDistOp(int slot, DistKind k) {
+  Op op;
+  op.kind = OpKind::SetDist;
+  op.a = slot;
+  op.dist = distSpec(k);
+  return op;
+}
+
+Op mapInPlaceOp(int slot) {
+  Op op;
+  op.kind = OpKind::Map;
+  op.a = slot;
+  op.dst = slot;
+  op.inPlace = true;
+  op.fn = "neg";
+  return op;
+}
+
+Op writeOp(int slot) {
+  Op op;
+  op.kind = OpKind::Write;
+  op.a = slot;
+  op.index = 5;
+  op.value = 99;
+  return op;
+}
+
+Op pokeOp(int slot, int device) {
+  Op op;
+  op.kind = OpKind::Poke;
+  op.a = slot;
+  op.device = device;
+  op.base = 11;
+  op.step = 1;
+  return op;
+}
+
+Op probeOp(int slot) {
+  Op op;
+  op.kind = OpKind::Probe;
+  op.a = slot;
+  return op;
+}
+
+TEST(SkelcheckDistMatrix, EveryOrderedTransitionMatchesModel) {
+  constexpr DistKind kKinds[] = {DistKind::Single, DistKind::Block, DistKind::WBlock,
+                                 DistKind::Copy, DistKind::CopyCombine};
+  // 0: clean transition; 1: host write between the distributions (devices
+  // stale); 2: device write between them (host stale — the combine path).
+  for (int variant = 0; variant < 3; ++variant) {
+    for (DistKind from : kKinds) {
+      for (DistKind to : kKinds) {
+        Program p;
+        p.cfg.devices = 4;
+        p.cfg.elem = ElemType::I32;
+        p.cfg.n = 37;
+        p.cfg.poolSize = 2;
+        p.ops.push_back(fillOp(0));
+        p.ops.push_back(setDistOp(0, from));
+        p.ops.push_back(mapInPlaceOp(0));  // forces materialization under `from`
+        if (variant == 1) p.ops.push_back(writeOp(0));
+        if (variant == 2) p.ops.push_back(pokeOp(0, 0));
+        p.ops.push_back(setDistOp(0, to));
+        p.ops.push_back(probeOp(0));
+        p.ops.push_back(mapInPlaceOp(0));  // re-materialize under `to`
+        p.ops.push_back(probeOp(0));
+        sanitize(p);
+        const RunResult res = runProgram(p);
+        EXPECT_TRUE(res.ok) << "variant " << variant << " "
+                            << serialize(p) << "\n" << res.message;
+      }
+    }
+  }
+}
+
+// --- regression tests for the bugs the checker caught -----------------------
+
+constexpr const char* kAddI = "int func(int a, int b) { return a + b; }";
+
+class SkelcheckRegression : public ::testing::Test {
+ protected:
+  void SetUp() override { init(sim::SystemConfig::teslaS1070(4)); }
+  void TearDown() override { terminate(); }
+
+  /// Give each device's replica of `v` the value `device + 1` everywhere.
+  static void divergeReplicas(Vector<int>& v) {
+    const auto& parts = v.impl().ensureOnDevices();
+    for (std::size_t d = 0; d < parts.size(); ++d) {
+      const int val = static_cast<int>(d) + 1;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        std::memcpy(parts[d].buffer->data() + i * sizeof(int), &val, sizeof(int));
+      }
+    }
+    v.dataOnDevicesModified();
+  }
+};
+
+// Bug: ensureOnDevices / ensureOnDevicesNoUpload early-returned when the part
+// layout already matched the requested distribution without adopting it, so a
+// copy() -> copy(combine) switch (identical layouts) left current_ at plain
+// copy and the eventual download used first-replica-wins instead of the fold.
+TEST_F(SkelcheckRegression, CopyToCopyCombineAdoptedOnMatchingLayout) {
+  Vector<int> v(8);
+  v.setDistribution(Distribution::copy());
+  divergeReplicas(v);
+  v.setDistribution(Distribution::copy(kAddI));
+  v.impl().ensureOnDevices();  // layout matches: must adopt, not just return
+  EXPECT_EQ(v.impl().currentDistribution().kind(), Distribution::Kind::Copy);
+  EXPECT_TRUE(v.impl().currentDistribution().hasCombine());
+  EXPECT_EQ(v[0], 1 + 2 + 3 + 4);
+  EXPECT_EQ(v[7], 1 + 2 + 3 + 4);
+}
+
+// Same bug, host-read path: a direct read after the lazy setDistribution must
+// adopt the matching layout inside ensureHostValid and fold.
+TEST_F(SkelcheckRegression, HostReadAfterLazyCopyCombineSwitchFolds) {
+  Vector<int> v(8);
+  v.setDistribution(Distribution::copy());
+  divergeReplicas(v);
+  v.setDistribution(Distribution::copy(kAddI));
+  EXPECT_EQ(v[3], 1 + 2 + 3 + 4);  // no explicit ensureOnDevices in between
+}
+
+// And the downgrade direction: copy(combine) -> copy() must stop folding.
+TEST_F(SkelcheckRegression, CopyCombineToPlainCopyStopsFolding) {
+  Vector<int> v(8);
+  v.setDistribution(Distribution::copy(kAddI));
+  divergeReplicas(v);
+  v.setDistribution(Distribution::copy());
+  EXPECT_EQ(v[0], 1);  // first replica wins, no fold
+}
+
+// Bug: the combine fold in combineCopiesToHost read staged[p].data() for
+// every p >= 1, but zero-sized parts never stage a download — the fold read
+// the vector's full byte count through a null pointer.  Zero-sized copy parts
+// have no natural construction path, so forge one through the test peer.
+TEST_F(SkelcheckRegression, ZeroSizedCopyPartSkippedInCombineFold) {
+  Vector<int> v(8);
+  v.setDistribution(Distribution::copy(kAddI));
+  divergeReplicas(v);
+  auto& parts = skelcl::detail::VectorDataTestAccess::partsMut(v.impl());
+  ASSERT_EQ(parts.size(), 4u);
+  parts[1].size = 0;
+  parts[1].buffer.reset();
+  // Fold must cover devices 0, 2, 3 and skip the empty part: 1 + 3 + 4.
+  EXPECT_EQ(v[0], 1 + 3 + 4);
+  EXPECT_EQ(v[7], 1 + 3 + 4);
+}
+
+// Bug: the two Distribution::partition overloads validated block weights
+// differently — the deviceCount overload demanded exactly one weight per
+// device while the device-list overload only required coverage of the ids it
+// consults.  Both now share the coverage rule.
+TEST(DistributionPartition, WeightValidationUnifiedAcrossOverloads) {
+  const Distribution undersized = Distribution::block({1.0, 2.0, 3.0});
+  EXPECT_THROW(undersized.partition(100, 4), UsageError);
+  EXPECT_THROW(undersized.partition(100, std::vector<int>{0, 1, 2, 3}), UsageError);
+
+  // A covering-but-larger table is fine for both, with identical results.
+  const Distribution oversized = Distribution::block({1.0, 1.0, 1.0, 1.0, 5.0});
+  const auto a = oversized.partition(100, 4);
+  const auto b = oversized.partition(100, std::vector<int>{0, 1, 2, 3});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].device, b[i].device);
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+
+  // Undersized tables are fine when the consulted ids stay in range.
+  EXPECT_NO_THROW(undersized.partition(100, 2));
+  EXPECT_NO_THROW(undersized.partition(100, std::vector<int>{0, 2}));
+}
+
+}  // namespace

@@ -228,7 +228,14 @@ TEST_F(VectorTest, DistributionCompareSemantics) {
   EXPECT_FALSE(Distribution::block() == Distribution::copy());
   EXPECT_TRUE(Distribution::single(1) == Distribution::single(1));
   EXPECT_FALSE(Distribution::single(0) == Distribution::single(1));
-  EXPECT_TRUE(Distribution::copy() == Distribution::copy("int func(int a,int b){return a;}"));
+  // Copy-with-combine downloads differently from plain copy (host fold vs
+  // first-replica-wins), so the two must not compare equal.
+  EXPECT_FALSE(Distribution::copy() == Distribution::copy("int func(int a,int b){return a;}"));
+  EXPECT_TRUE(Distribution::copy("int func(int a,int b){return a;}") ==
+              Distribution::copy("int func(int a,int b){return a;}"));
+  EXPECT_FALSE(Distribution::copy("int func(int a,int b){return a;}") ==
+               Distribution::copy("int func(int a,int b){return b;}"));
+  EXPECT_TRUE(Distribution::copy() == Distribution::copy());
 }
 
 TEST_F(VectorTest, UnsetDistributionPartitionThrows) {
