@@ -25,6 +25,15 @@ class ResourceError : public Error {
   explicit ResourceError(const std::string& what) : Error(what) {}
 };
 
+/// A session's VRAM quota would be exceeded (a *policy* limit, distinct from
+/// the device running out of physical memory).  Derives from ResourceError so
+/// quota-unaware code handles it like any exhaustion; the multi-tenant
+/// service catches it specifically to queue the job instead of failing it.
+class QuotaError : public ResourceError {
+ public:
+  explicit QuotaError(const std::string& what) : ResourceError(what) {}
+};
+
 /// A permanent device failure destroyed the only valid copy of some data
 /// (e.g. diverged copy-distribution replicas that were never combined).
 /// The runtime recovers automatically whenever a host copy or a surviving

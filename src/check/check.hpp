@@ -74,11 +74,15 @@ enum class OpKind {
   Scan,        ///< scan pool[a] into pool[dst]
   Pipe,        ///< pipeline of map/zip stages over pool[a] into pool[dst]
   PipeReduce,  ///< pipeline + fused reduce over pool[a]
-  Weights,     ///< skelcl::setPartitionWeights
+  Weights,     ///< setPartitionWeights on the current session
   Blacklist,   ///< skelcl::blacklistDevice(device)
   Fault,       ///< install a FaultPlan (transient rules + optional kill)
   Poke,        ///< write pool[a]'s device part directly + dataOnDevicesModified
   Probe,       ///< host-read pool[a]; full bitwise content comparison
+  Session,     ///< switch the current session to slot `device` (created on
+               ///< first use; slot 0 is the default session), then optionally
+               ///< setPartitionWeights(weights) on it when `weights` is
+               ///< non-empty — partition weights are per-session state
 };
 
 enum class DistKind { Single, Block, WBlock, Copy, CopyCombine };
@@ -113,7 +117,8 @@ struct Op {
   int extraVec = -1;     ///< MapVec / MapSizes extra-argument slot
   DistSpec dist;
   std::vector<double> weights;
-  int device = -1;       ///< Blacklist / Poke device; Fault kill device (-1 none)
+  int device = -1;       ///< Blacklist / Poke device; Fault kill device (-1 none);
+                         ///< Session slot (0..3)
   /// Fault transient rules: {device, class (0 transfer / 1 kernel), count<=3}.
   std::vector<std::array<std::int64_t, 3>> transients;
   std::int64_t base = 0, step = 0;  ///< Fill / Poke pattern

@@ -248,12 +248,20 @@ Program generate(std::uint64_t seed, int numOps) {
       } else {
         op.device = -1;
       }
-    } else if (roll < 96) {  // poke
+    } else if (roll < 94) {  // poke
       op.kind = OpKind::Poke;
       op.a = slot();
       op.device = rng.range(0, cfg.devices - 1);
       op.base = rng.range(-64, 64);
       op.step = rng.range(-3, 3);
+    } else if (roll < 97) {  // session switch (slot 0 = default), maybe with weights
+      op.kind = OpKind::Session;
+      op.device = rng.range(0, 3);
+      if (rng.chance(50)) {
+        const int len = rng.chance(75) ? cfg.devices : rng.range(1, cfg.devices);
+        const double choices[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+        for (int i = 0; i < len; ++i) op.weights.push_back(choices[rng.below(5)]);
+      }
     } else {  // probe
       op.kind = OpKind::Probe;
       op.a = slot();

@@ -172,12 +172,20 @@ void Model::allocCheck(int device) {
 
 const std::vector<double>& Model::applicableWeights() const {
   static const std::vector<double> kNone;
-  if (weights_.empty()) return kNone;
-  if (weights_.size() != static_cast<std::size_t>(cfg_.devices)) return kNone;
+  const auto it = sessions_.find(cur_session_);
+  if (it == sessions_.end()) return kNone;
+  const std::vector<double>& weights = it->second.weights;
+  if (weights.empty()) return kNone;
+  if (weights.size() != static_cast<std::size_t>(cfg_.devices)) return kNone;
   double aliveTotal = 0.0;
-  for (int d : alive_) aliveTotal += weights_[static_cast<std::size_t>(d)];
+  for (int d : alive_) aliveTotal += weights[static_cast<std::size_t>(d)];
   if (!(aliveTotal > 0.0)) return kNone;
-  return weights_;
+  return weights;
+}
+
+std::uint64_t Model::partitionEpoch() const {
+  const auto it = sessions_.find(cur_session_);
+  return device_epoch_ + (it == sessions_.end() ? 0 : it->second.weightEpoch);
 }
 
 Distribution Model::effective(const Distribution& d) const {
@@ -189,9 +197,12 @@ Distribution Model::effective(const Distribution& d) const {
 }
 
 void Model::setWeights(std::vector<double> weights) {
-  weights_ = std::move(weights);
-  ++epoch_;
+  SessState& s = sessions_[cur_session_];
+  s.weights = std::move(weights);
+  ++s.weightEpoch;
 }
+
+void Model::switchSession(int slot) { cur_session_ = slot; }
 
 void Model::blacklist(int device) { blacklistDevice(device); }
 
@@ -207,7 +218,7 @@ void Model::blacklistDevice(int device) {
     throw ResourceError("device " + std::to_string(device) +
                         " failed and no devices survive");
   }
-  ++epoch_;
+  ++device_epoch_;
 }
 
 // ---------------------------------------------------------------------------
@@ -216,10 +227,12 @@ void Model::blacklistDevice(int device) {
 
 const std::vector<PartRange>& Model::plannedPartition(MVec& v) {
   SKELCL_CHECK(v.requested.isSet(), "vector has no distribution");
-  if (!v.plannedValid || v.plannedEpoch != epoch_) {
+  const std::uint64_t epoch = partitionEpoch();
+  if (!v.plannedValid || v.plannedSession != cur_session_ || v.plannedEpoch != epoch) {
     v.planned = effective(v.requested).partition(v.n, alive_);
     v.plannedValid = true;
-    v.plannedEpoch = epoch_;
+    v.plannedSession = cur_session_;
+    v.plannedEpoch = epoch;
   }
   return v.planned;
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,9 +53,11 @@ struct MVec {
   Distribution current;    ///< distribution the parts represent
   std::vector<MPart> parts;
 
-  // mirror of the cached partition plan (plus the epoch it was built under)
+  // mirror of the cached partition plan (plus the session and epoch it was
+  // built under, matching VectorData's {planned_session_, planned_epoch_} key)
   std::vector<PartRange> planned;
   bool plannedValid = false;
+  int plannedSession = 0;
   std::uint64_t plannedEpoch = 0;
 
   MPart* partOn(int device);
@@ -111,7 +114,11 @@ class Model {
                            const std::string& reduceFn, std::vector<MExtra> reduceExtras,
                            bool forceUnfused, bool* ranFused);
 
+  /// Mirror of setPartitionWeights: applies to the *current* session.
   void setWeights(std::vector<double> weights);
+  /// Mirror of activating a SessionScope for session `slot` (created lazily;
+  /// slot 0 is the default session active at init).
+  void switchSession(int slot);
   void blacklist(int device);  ///< mirror of skelcl::blacklistDevice
   /// Mirror of setFaultPlan + FaultInjector::install: resets counters and the
   /// dead flags, then arms the new rules.
@@ -129,6 +136,7 @@ class Model {
 
   // runtime mirror
   const std::vector<double>& applicableWeights() const;
+  std::uint64_t partitionEpoch() const;  ///< weight epoch (current session) + device epoch
   Distribution effective(const Distribution& d) const;
   void blacklistDevice(int device);
   // vector-data mirror
@@ -180,11 +188,18 @@ class Model {
   Config cfg_;
   std::vector<int> cores_;
 
-  // Runtime mirror: blacklist state, scheduler weights, partition epoch.
+  // Runtime mirror: shared blacklist state plus per-session scheduler
+  // weights (mirror of the SharedDeviceState / Session split: the device
+  // epoch is shared, the weight epoch is per session).
   std::vector<char> dead_;
   std::vector<int> alive_;
-  std::vector<double> weights_;
-  std::uint64_t epoch_ = 0;
+  struct SessState {
+    std::vector<double> weights;
+    std::uint64_t weightEpoch = 0;
+  };
+  std::map<int, SessState> sessions_;
+  int cur_session_ = 0;
+  std::uint64_t device_epoch_ = 0;
 
   // FaultInjector mirror.
   struct TransRule {

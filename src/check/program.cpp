@@ -6,6 +6,7 @@
 //   map a=0 dst=1 fn=addc inplace=0 ci=3 cf=0
 //   pipe a=0 dst=1 inplace=0 unfused=0 st=m:addc:i3 st=z:1:madd:i-2
 //   fault kill=1 after=12 t=0:k:2 t=-1:t:1
+//   session slot=1 w=2,1,0,1
 //   probe a=0
 #include <cstdio>
 #include <cstdlib>
@@ -181,6 +182,7 @@ OpKind kindFor(const std::string& name, int line) {
   if (name == "pipe") return OpKind::Pipe;
   if (name == "pipereduce") return OpKind::PipeReduce;
   if (name == "weights") return OpKind::Weights;
+  if (name == "session") return OpKind::Session;
   if (name == "blacklist") return OpKind::Blacklist;
   if (name == "fault") return OpKind::Fault;
   if (name == "poke") return OpKind::Poke;
@@ -244,6 +246,17 @@ std::string serialize(const Program& p) {
         for (std::size_t i = 0; i < op.weights.size(); ++i) {
           if (i) os << ',';
           os << fmtD(op.weights[i]);
+        }
+        break;
+      }
+      case OpKind::Session: {
+        os << "session slot=" << op.device;
+        if (!op.weights.empty()) {
+          os << " w=";
+          for (std::size_t i = 0; i < op.weights.size(); ++i) {
+            if (i) os << ',';
+            os << fmtD(op.weights[i]);
+          }
         }
         break;
       }
@@ -354,6 +367,8 @@ Program parse(const std::string& text) {
       } else if (k == "value") {
         op.value = toI(v, lineNo);
       } else if (k == "device") {
+        op.device = static_cast<int>(toI(v, lineNo));
+      } else if (k == "slot") {
         op.device = static_cast<int>(toI(v, lineNo));
       } else if (k == "kill") {
         op.device = static_cast<int>(toI(v, lineNo));

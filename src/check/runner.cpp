@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <type_traits>
@@ -40,6 +41,17 @@ bool shapeIn(const std::string& id, FnShape a, FnShape b) {
 bool shapeHasScalar(const std::string& id) {
   const FnShape s = fnInfo(id)->shape;
   return s == FnShape::UnaryScalar || s == FnShape::BinaryScalar;
+}
+
+/// Session ops address a small fixed set of tenant slots (0 = default).
+constexpr int kMaxSessions = 4;
+
+void clampWeights(std::vector<double>& weights) {
+  if (weights.size() > 8) weights.resize(8);
+  for (double& w : weights) {
+    if (!std::isfinite(w) || w < 0.0) w = 0.0;
+    if (w > 16.0) w = 16.0;
+  }
 }
 
 }  // namespace
@@ -136,11 +148,11 @@ void sanitize(Program& p) {
         break;
       }
       case OpKind::Weights:
-        if (op.weights.size() > 8) op.weights.resize(8);
-        for (double& w : op.weights) {
-          if (!std::isfinite(w) || w < 0.0) w = 0.0;
-          if (w > 16.0) w = 16.0;
-        }
+        clampWeights(op.weights);
+        break;
+      case OpKind::Session:
+        op.device = wrapIndex(op.device, kMaxSessions);
+        clampWeights(op.weights);
         break;
       case OpKind::Blacklist:
         op.device = wrapIndex(op.device, c.devices);
@@ -200,6 +212,7 @@ const char* opName(OpKind k) {
     case OpKind::Fault: return "fault";
     case OpKind::Poke: return "poke";
     case OpKind::Probe: return "probe";
+    case OpKind::Session: return "session";
   }
   return "?";
 }
@@ -272,6 +285,9 @@ class Driver {
     } catch (const std::exception& e) {
       res = RunResult{false, -1, std::string("harness error: ") + e.what()};
     }
+    // Leave the default session and drop tenant sessions before terminate.
+    scope_.reset();
+    sessions_.clear();
     skelcl::terminate();
     return res;
   }
@@ -375,6 +391,20 @@ class Driver {
   }
 
   // --- system side ----------------------------------------------------------
+
+  /// Switch the driver thread's current session to tenant slot `slot`
+  /// (created lazily; slot 0 is the runtime's default session).  The old
+  /// scope must be torn down *before* the new one is built: SessionScope
+  /// restores its predecessor on destruction.
+  void switchSession(int slot) {
+    scope_.reset();
+    if (slot == 0) return;
+    auto& session = sessions_[slot];
+    if (session == nullptr) {
+      session = skelcl::createSession({"check" + std::to_string(slot), 1.0, 0});
+    }
+    scope_ = std::make_unique<SessionScope>(session);
+  }
 
   template <typename Skel, typename... Extras>
   void applyElementwise(Skel& skel, const Op& op, SysPool& pool, const Extras&... extras) {
@@ -505,6 +535,10 @@ class Driver {
       }
       case OpKind::Weights:
         skelcl::setPartitionWeights(op.weights);
+        break;
+      case OpKind::Session:
+        switchSession(op.device);
+        if (!op.weights.empty()) skelcl::setPartitionWeights(op.weights);
         break;
       case OpKind::Blacklist:
         skelcl::blacklistDevice(op.device);
@@ -656,6 +690,10 @@ class Driver {
       case OpKind::Weights:
         model.setWeights(op.weights);
         break;
+      case OpKind::Session:
+        model.switchSession(op.device);
+        if (!op.weights.empty()) model.setWeights(op.weights);
+        break;
       case OpKind::Blacklist:
         model.blacklist(op.device);
         break;
@@ -767,6 +805,8 @@ class Driver {
   Program prog_;
   ElemType elem_;
   std::size_t n_;
+  std::map<int, std::shared_ptr<Session>> sessions_;  ///< tenant slot -> session
+  std::unique_ptr<SessionScope> scope_;               ///< active non-default slot
 };
 
 }  // namespace

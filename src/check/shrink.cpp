@@ -80,7 +80,7 @@ Program shrink(const Program& failing,
         }
       }
       if (!cur.ops[i].weights.empty() && budget > 0 &&
-          cur.ops[i].kind == OpKind::Weights) {
+          (cur.ops[i].kind == OpKind::Weights || cur.ops[i].kind == OpKind::Session)) {
         Program cand = cur;
         cand.ops[i].weights.clear();
         if (tryAdopt(std::move(cand))) simplified = true;

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 
-#include "core/detail/runtime.hpp"
+#include "core/detail/session.hpp"
 #include "core/detail/trace.hpp"
 
 namespace skelcl::detail {
@@ -26,9 +27,16 @@ ExecGraph::NodeId ExecGraph::add(StageKind kind, int device, std::string label,
 void ExecGraph::run() {
   SKELCL_CHECK(!ran_, "ExecGraph::run called twice");
   ran_ = true;
-  auto& system = Runtime::instance().system();
+  // One tenant issues at a time: queues, timelines and the blacklist are
+  // shared mutable state, serialized on the device-state lock (recursive —
+  // nested graphs on one thread, e.g. the recovery re-execution, are fine).
+  std::lock_guard<std::recursive_mutex> lock(session_->shared().mutex());
+  auto& system = session_->shared().system();
   const sim::RetryPolicy policy = system.faults().retryPolicy();
   const bool tracing = trace::enabled();
+  if (tracing) {
+    trace::Tracer::global().setSessionContext(session_->id(), session_->name());
+  }
   std::vector<ocl::Event> deps;
   std::unique_ptr<ocl::CommandError> failure;
   for (Node& node : nodes_) {
@@ -83,6 +91,10 @@ void ExecGraph::run() {
         }
       }
     }
+    if (node.device >= 0 && node.event.valid() && !node.event.failed()) {
+      // Fair-share accounting: simulated device time this command occupied.
+      session_->chargeDeviceTime(node.event.duration());
+    }
     if (tracing && node.kind == StageKind::Host && !node.event.failed()) {
       trace::Record r;
       r.kind = trace::Record::Kind::Host;
@@ -111,11 +123,11 @@ double ExecGraph::completionTime() const {
 
 void ExecGraph::wait() {
   SKELCL_CHECK(ran_, "ExecGraph::wait before run");
-  Runtime::instance().system().advanceHost(completionTime());
+  std::lock_guard<std::recursive_mutex> lock(session_->shared().mutex());
+  session_->shared().system().advanceHost(completionTime());
 }
 
-double ExecGraph::latestEnd(std::span<const ocl::Event> events) {
-  auto& system = Runtime::instance().system();
+double ExecGraph::latestEnd(sim::System& system, std::span<const ocl::Event> events) {
   double t = system.hostNow();
   for (const ocl::Event& e : events) {
     if (e.valid() && e.epoch() == system.clockEpoch()) {

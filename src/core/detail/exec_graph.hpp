@@ -32,9 +32,16 @@ namespace skelcl::detail {
 /// kernel record is rewritten to trace kind "fused").
 enum class StageKind { Upload, Kernel, Download, Copy, Fill, Host, Fused };
 
+class Session;
+
 class ExecGraph {
  public:
   using NodeId = std::size_t;
+
+  /// A graph executes on behalf of one tenant session: run() issues under
+  /// the session's shared-device lock, charges issued device time to the
+  /// session's fair-share account, and tags trace records with its id.
+  explicit ExecGraph(Session& session) : session_(&session) {}
 
   /// Issues one command: receives the resolved dependency events and returns
   /// the command's completion event.  Device stages forward the events to the
@@ -77,7 +84,7 @@ class ExecGraph {
 
   /// Latest profilingEnd among `events`, ignoring invalid events and events
   /// from a previous clock epoch; at least the current host time.
-  static double latestEnd(std::span<const ocl::Event> events);
+  static double latestEnd(sim::System& system, std::span<const ocl::Event> events);
 
  private:
   struct Node {
@@ -90,6 +97,7 @@ class ExecGraph {
     ocl::Event event;
   };
 
+  Session* session_;
   std::vector<Node> nodes_;
   bool ran_ = false;
 };

@@ -1,64 +1,28 @@
 #include "core/detail/runtime.hpp"
 
-#include "kernelc/program.hpp"
-
 namespace skelcl::detail {
 
 std::unique_ptr<Runtime> Runtime::instance_;
 
 Runtime::Runtime(sim::SystemConfig config) {
-  platform_ = std::make_unique<ocl::Platform>(std::move(config));
-  context_ = std::make_unique<ocl::Context>(platform_->devices());
-  for (int d = 0; d < platform_->deviceCount(); ++d) {
-    queues_.push_back(
-        std::make_unique<ocl::CommandQueue>(*context_, platform_->device(d), ocl::Api::OpenCL));
-    alive_.push_back(d);
-  }
-  dead_.assign(static_cast<std::size_t>(platform_->deviceCount()), 0);
-  // SKELCL_FAULTS configures fault injection without touching application
-  // code (mirrors SKELCL_TRACE for observability).
-  sim::FaultPlan envPlan = sim::FaultPlan::fromEnv();
-  if (!envPlan.empty()) system().faults().install(std::move(envPlan));
+  shared_ = std::make_shared<SharedDeviceState>(std::move(config));
+  SessionOptions opts;
+  opts.name = "default";
+  default_session_ = std::make_shared<Session>(shared_, /*id=*/0, std::move(opts));
 }
 
-void Runtime::resetClock() {
-  system().resetClock();
-  for (auto& q : queues_) q->resetClock();
-}
-
-void Runtime::blacklistDevice(int device, const std::string& reason) {
-  SKELCL_CHECK(device >= 0 && device < deviceCount(), "device index out of range");
-  if (dead_[static_cast<std::size_t>(device)]) return;
-  dead_[static_cast<std::size_t>(device)] = 1;
-  alive_.clear();
-  for (int d = 0; d < deviceCount(); ++d) {
-    if (!dead_[static_cast<std::size_t>(d)]) alive_.push_back(d);
-  }
-  if (alive_.empty()) {
-    throw ResourceError("device " + std::to_string(device) +
-                        " failed and no devices survive: " + reason);
-  }
-  ++partition_epoch_;  // every cached partition plan replans over survivors
-  if (trace::enabled()) {
-    trace::Record r;
-    r.kind = trace::Record::Kind::Redistribute;
-    r.device = device;
-    r.start = system().hostNow();
-    r.end = system().hostNow();
-    r.name = "blacklist dev" + std::to_string(device) + " (" + reason + "); " +
-             std::to_string(alive_.size()) + " device(s) remain";
-    trace::record(std::move(r));
-  }
-}
-
-bool Runtime::deviceAlive(int device) const {
-  return device >= 0 && device < deviceCount() &&
-         !dead_[static_cast<std::size_t>(device)];
+std::shared_ptr<Session> Runtime::createSession(SessionOptions opts) {
+  std::lock_guard<std::recursive_mutex> lock(shared_->mutex());
+  return std::make_shared<Session>(shared_, next_session_id_++, std::move(opts));
 }
 
 void Runtime::init(sim::SystemConfig config) {
   SKELCL_CHECK(instance_ == nullptr, "skelcl::init called twice without terminate");
   instance_.reset(new Runtime(std::move(config)));
+  // A new runtime starts a new trace: records of a previous init/terminate
+  // cycle must not bleed into this run's export (the collector itself is
+  // process-wide so a trace can still be *written* after terminate).
+  trace::Tracer::global().beginRun();
 }
 
 void Runtime::terminate() { instance_.reset(); }
@@ -70,43 +34,27 @@ Runtime& Runtime::instance() {
   return *instance_;
 }
 
-ocl::CommandQueue& Runtime::queue(int device) {
-  SKELCL_CHECK(device >= 0 && device < deviceCount(), "device index out of range");
-  return *queues_[static_cast<std::size_t>(device)];
+// ---------------------------------------------------------------------------
+// thread-current session (defined here, with the facade: the fallback for a
+// thread without an active SessionScope is the facade's default session)
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local Session* t_current_session = nullptr;
+}  // namespace
+
+Session* Session::currentIfAny() {
+  if (t_current_session != nullptr) return t_current_session;
+  if (!Runtime::initialized()) return nullptr;
+  return &Runtime::instance().defaultSession();
 }
 
-std::shared_ptr<ocl::Program> Runtime::programForSource(const std::string& source) {
-  auto it = programCache_.find(source);
-  if (it != programCache_.end()) return it->second;
-  auto program = std::make_shared<ocl::Program>(*context_, source);
-  program->build();
-  programCache_.emplace(source, program);
-  return program;
+SessionScope::SessionScope(std::shared_ptr<Session> session)
+    : session_(std::move(session)), previous_(t_current_session) {
+  SKELCL_CHECK(session_ != nullptr, "SessionScope needs a session");
+  t_current_session = session_.get();
 }
 
-std::shared_ptr<const kc::CompiledProgram> Runtime::hostProgram(const std::string& userSource) {
-  auto it = hostFnCache_.find(userSource);
-  if (it != hostFnCache_.end()) return it->second;
-  auto program = kc::compileProgram(userSource);
-  SKELCL_CHECK(program->findFunction("func") >= 0,
-               "user operation must define a function named 'func'");
-  hostFnCache_.emplace(userSource, program);
-  return program;
-}
-
-void Runtime::setPartitionWeights(std::vector<double> weights) {
-  weights_ = std::move(weights);
-  ++partition_epoch_;
-}
-
-const std::vector<double>& Runtime::applicablePartitionWeights() const {
-  static const std::vector<double> kNone;
-  if (weights_.empty()) return kNone;
-  if (weights_.size() != static_cast<std::size_t>(deviceCount())) return kNone;
-  double aliveTotal = 0.0;
-  for (int d : alive_) aliveTotal += weights_[static_cast<std::size_t>(d)];
-  if (!(aliveTotal > 0.0)) return kNone;
-  return weights_;
-}
+SessionScope::~SessionScope() { t_current_session = previous_; }
 
 }  // namespace skelcl::detail

@@ -1,93 +1,77 @@
-// The SkelCL runtime singleton: device discovery, per-device command queues,
-// the program cache, and the host-side executor for user operations.
+// The old SkelCL runtime singleton, kept as a thin compatibility facade over
+// the Session / SharedDeviceState split (core/detail/session.hpp): it owns
+// the process-wide SharedDeviceState plus a *default session* that legacy
+// call sites (examples, benches, single-tenant tests) implicitly run under.
+// New code — and everything inside core/detail — takes an explicit Session&.
 #pragma once
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "core/detail/session.hpp"
 #include "core/detail/trace.hpp"
-#include "kernelc/value.hpp"
-#include "ocl/ocl.hpp"
 
 namespace skelcl::detail {
 
 class Runtime {
  public:
-  /// Create the singleton over a simulated machine.  Called by skelcl::init.
+  /// Create the shared device state + default session.  Called by skelcl::init.
   static void init(sim::SystemConfig config);
   static void terminate();
   static bool initialized();
   static Runtime& instance();
 
-  ocl::Platform& platform() { return *platform_; }
-  ocl::Context& context() { return *context_; }
-  sim::System& system() { return platform_->system(); }
-  int deviceCount() const { return platform_->deviceCount(); }
-  ocl::Device& device(int id) { return platform_->device(id); }
-  ocl::CommandQueue& queue(int device);
+  // --- the split ------------------------------------------------------------
+  SharedDeviceState& shared() { return *shared_; }
+  const std::shared_ptr<SharedDeviceState>& sharedPtr() const { return shared_; }
+  Session& defaultSession() { return *default_session_; }
+  const std::shared_ptr<Session>& defaultSessionPtr() const { return default_session_; }
 
-  /// Reset the simulated clock *and* every queue's in-order watermark.  The
-  /// two must move together (a queue with a pre-reset watermark would give
-  /// post-reset commands completion times of a dead clock); this is the one
-  /// entry point that keeps them in sync.
-  void resetClock();
+  /// Create an additional tenant session over the shared device state
+  /// (skelcl::createSession / the multi-tenant Service).
+  std::shared_ptr<Session> createSession(SessionOptions opts);
 
-  // --- device blacklisting (fault tolerance) -------------------------------
-  /// Permanently remove `device` from skeleton execution: bump the partition
-  /// epoch so every cached partition plan replans over the survivors, and
-  /// record a redistribution trace event.  Idempotent; throws when the last
-  /// device would die.
-  void blacklistDevice(int device, const std::string& reason);
-  /// Devices still accepting work, ascending.  All of them until a
-  /// blacklistDevice call removes one.
-  const std::vector<int>& aliveDevices() const { return alive_; }
-  int aliveDeviceCount() const { return static_cast<int>(alive_.size()); }
-  bool deviceAlive(int device) const;
+  // --- legacy facade (delegates; kept so existing code compiles) ------------
+  ocl::Platform& platform() { return shared_->platform(); }
+  ocl::Context& context() { return shared_->context(); }
+  sim::System& system() { return shared_->system(); }
+  int deviceCount() const { return shared_->deviceCount(); }
+  ocl::Device& device(int id) { return shared_->device(id); }
+  ocl::CommandQueue& queue(int device) { return shared_->queue(device); }
+  void resetClock() { shared_->resetClock(); }
+  void blacklistDevice(int device, const std::string& reason) {
+    shared_->blacklistDevice(device, reason);
+  }
+  const std::vector<int>& aliveDevices() const { return shared_->aliveDevices(); }
+  int aliveDeviceCount() const { return shared_->aliveDeviceCount(); }
+  bool deviceAlive(int device) const { return shared_->deviceAlive(device); }
+  std::shared_ptr<ocl::Program> programForSource(const std::string& source) {
+    return shared_->programForSource(source);
+  }
+  std::shared_ptr<const kc::CompiledProgram> hostProgram(const std::string& userSource) {
+    return shared_->hostProgram(userSource);
+  }
+  void setPartitionWeights(std::vector<double> weights) {
+    default_session_->setPartitionWeights(std::move(weights));
+  }
+  std::vector<double> partitionWeights() const {
+    return default_session_->partitionWeights();
+  }
+  std::vector<double> applicablePartitionWeights() const {
+    return default_session_->applicablePartitionWeights();
+  }
+  std::uint64_t partitionEpoch() const { return default_session_->partitionEpoch(); }
 
-  /// Compile-or-reuse: generated skeleton programs are cached by source so
-  /// the runtime-compilation cost is paid once per distinct program (the
-  /// paper excludes compilation from measurements for the same reason).
-  std::shared_ptr<ocl::Program> programForSource(const std::string& source);
-
-  /// Compile (and cache) a user operation for host-side execution through
-  /// the kernel VM — the final fold of the reduce skeleton, the offset scan
-  /// between devices in the scan skeleton, and the combine step when leaving
-  /// copy distribution all run the user's `func` on the host.
-  std::shared_ptr<const kc::CompiledProgram> hostProgram(const std::string& userSource);
-
-  /// Default block-partition weights used when a vector does not specify its
-  /// own (set by the static scheduler of Section V; empty = even split).
-  void setPartitionWeights(std::vector<double> weights);
-  const std::vector<double>& partitionWeights() const { return weights_; }
-  /// partitionWeights() when they apply to the *current* device set; empty
-  /// otherwise.  Weights are indexed by absolute device id, so the vector
-  /// must have exactly one entry per device of the machine and a positive
-  /// total over aliveDevices().  A stale vector — installed for a different
-  /// device count, or whose weight now rests entirely on blacklisted
-  /// devices — would be misapplied (or crash the partitioner); callers fall
-  /// back to the unweighted block split instead.
-  const std::vector<double>& applicablePartitionWeights() const;
-  /// Bumped whenever the weights change; VectorData uses it to invalidate
-  /// cached partition plans.
-  std::uint64_t partitionEpoch() const { return partition_epoch_; }
-
-  /// The trace collector (process-wide; survives terminate/init cycles).
+  /// The trace collector (process-wide; reset on every init, see trace.hpp).
   trace::Tracer& tracer() { return trace::Tracer::global(); }
 
  private:
   explicit Runtime(sim::SystemConfig config);
 
-  std::unique_ptr<ocl::Platform> platform_;
-  std::unique_ptr<ocl::Context> context_;
-  std::vector<std::unique_ptr<ocl::CommandQueue>> queues_;
-  std::unordered_map<std::string, std::shared_ptr<ocl::Program>> programCache_;
-  std::unordered_map<std::string, std::shared_ptr<const kc::CompiledProgram>> hostFnCache_;
-  std::vector<double> weights_;
-  std::uint64_t partition_epoch_ = 0;
-  std::vector<int> alive_;
-  std::vector<char> dead_;
+  std::shared_ptr<SharedDeviceState> shared_;
+  std::shared_ptr<Session> default_session_;
+  int next_session_id_ = 1;
 
   static std::unique_ptr<Runtime> instance_;
 };

@@ -1,0 +1,179 @@
+#include "core/detail/session.hpp"
+
+#include "core/detail/trace.hpp"
+#include "kernelc/program.hpp"
+
+namespace skelcl::detail {
+
+// ---------------------------------------------------------------------------
+// SharedDeviceState
+// ---------------------------------------------------------------------------
+
+SharedDeviceState::SharedDeviceState(sim::SystemConfig config) {
+  platform_ = std::make_unique<ocl::Platform>(std::move(config));
+  context_ = std::make_unique<ocl::Context>(platform_->devices());
+  for (int d = 0; d < platform_->deviceCount(); ++d) {
+    queues_.push_back(
+        std::make_unique<ocl::CommandQueue>(*context_, platform_->device(d), ocl::Api::OpenCL));
+    alive_.push_back(d);
+  }
+  dead_.assign(static_cast<std::size_t>(platform_->deviceCount()), 0);
+  // SKELCL_FAULTS configures fault injection without touching application
+  // code (mirrors SKELCL_TRACE for observability).
+  sim::FaultPlan envPlan = sim::FaultPlan::fromEnv();
+  if (!envPlan.empty()) system().faults().install(std::move(envPlan));
+}
+
+ocl::CommandQueue& SharedDeviceState::queue(int device) {
+  SKELCL_CHECK(device >= 0 && device < deviceCount(), "device index out of range");
+  return *queues_[static_cast<std::size_t>(device)];
+}
+
+void SharedDeviceState::resetClock() {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  system().resetClock();
+  for (auto& q : queues_) q->resetClock();
+}
+
+void SharedDeviceState::blacklistDevice(int device, const std::string& reason) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  SKELCL_CHECK(device >= 0 && device < deviceCount(), "device index out of range");
+  if (dead_[static_cast<std::size_t>(device)]) return;
+  dead_[static_cast<std::size_t>(device)] = 1;
+  alive_.clear();
+  for (int d = 0; d < deviceCount(); ++d) {
+    if (!dead_[static_cast<std::size_t>(d)]) alive_.push_back(d);
+  }
+  if (alive_.empty()) {
+    throw ResourceError("device " + std::to_string(device) +
+                        " failed and no devices survive: " + reason);
+  }
+  ++device_epoch_;  // every session's cached partition plans replan over survivors
+  if (trace::enabled()) {
+    trace::Record r;
+    r.kind = trace::Record::Kind::Redistribute;
+    r.device = device;
+    r.start = system().hostNow();
+    r.end = system().hostNow();
+    r.name = "blacklist dev" + std::to_string(device) + " (" + reason + "); " +
+             std::to_string(alive_.size()) + " device(s) remain";
+    trace::record(std::move(r));
+  }
+}
+
+bool SharedDeviceState::deviceAlive(int device) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return device >= 0 && device < deviceCount() &&
+         !dead_[static_cast<std::size_t>(device)];
+}
+
+std::shared_ptr<ocl::Program> SharedDeviceState::programForSource(const std::string& source) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = programCache_.find(source);
+  if (it != programCache_.end()) return it->second;
+  auto program = std::make_shared<ocl::Program>(*context_, source);
+  program->build();
+  programCache_.emplace(source, program);
+  return program;
+}
+
+std::shared_ptr<const kc::CompiledProgram> SharedDeviceState::hostProgram(
+    const std::string& userSource) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  auto it = hostFnCache_.find(userSource);
+  if (it != hostFnCache_.end()) return it->second;
+  auto program = kc::compileProgram(userSource);
+  SKELCL_CHECK(program->findFunction("func") >= 0,
+               "user operation must define a function named 'func'");
+  hostFnCache_.emplace(userSource, program);
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(std::shared_ptr<SharedDeviceState> shared, int id, SessionOptions opts)
+    : shared_(std::move(shared)), id_(id) {
+  SKELCL_CHECK(shared_ != nullptr, "session needs a shared device state");
+  name_ = opts.name.empty() ? "session " + std::to_string(id) : std::move(opts.name);
+  share_weight_ = opts.shareWeight;
+  vram_quota_ = opts.vramQuotaBytes;
+}
+
+void Session::setPartitionWeights(std::vector<double> weights) {
+  std::lock_guard<std::recursive_mutex> lock(shared_->mutex());
+  weights_ = std::move(weights);
+  ++weight_epoch_;
+}
+
+std::vector<double> Session::partitionWeights() const {
+  std::lock_guard<std::recursive_mutex> lock(shared_->mutex());
+  return weights_;
+}
+
+std::vector<double> Session::applicablePartitionWeights() const {
+  std::lock_guard<std::recursive_mutex> lock(shared_->mutex());
+  if (weights_.empty()) return {};
+  if (weights_.size() != static_cast<std::size_t>(shared_->deviceCount())) return {};
+  double aliveTotal = 0.0;
+  for (int d : shared_->aliveDevices()) aliveTotal += weights_[static_cast<std::size_t>(d)];
+  if (!(aliveTotal > 0.0)) return {};
+  return weights_;
+}
+
+std::uint64_t Session::partitionEpoch() const {
+  std::lock_guard<std::recursive_mutex> lock(shared_->mutex());
+  // Both components are monotonic, so the sum strictly increases whenever
+  // either the session's weights change or a device dies anywhere.
+  return weight_epoch_ + shared_->deviceEpoch();
+}
+
+Distribution Session::effectiveDistribution(const Distribution& d) const {
+  // An unweighted block distribution picks up the scheduler's weights, if any
+  // (Section V: proportional workloads on heterogeneous devices).
+  if (d.kind() == Distribution::Kind::Block && d.weights().empty()) {
+    const auto w = applicablePartitionWeights();
+    if (!w.empty()) return Distribution::block(w);
+  }
+  return d;
+}
+
+void Session::chargeDeviceTime(double seconds) {
+  // fetch_add on atomic<double> via CAS: portable across libstdc++ versions.
+  double cur = device_time_.load(std::memory_order_relaxed);
+  while (!device_time_.compare_exchange_weak(cur, cur + seconds,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+void Session::chargeVram(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t used = vram_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (vram_quota_ > 0 && used > vram_quota_) {
+    vram_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw QuotaError("session '" + name_ + "' VRAM quota exceeded: needs " +
+                        std::to_string(bytes) + " bytes on top of " +
+                        std::to_string(used - bytes) + " used, quota " +
+                        std::to_string(vram_quota_));
+  }
+}
+
+void Session::releaseVram(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  std::uint64_t cur = vram_used_.load(std::memory_order_relaxed);
+  std::uint64_t next;
+  do {
+    next = bytes > cur ? 0 : cur - bytes;
+  } while (!vram_used_.compare_exchange_weak(cur, next, std::memory_order_relaxed));
+}
+
+Session& Session::current() {
+  Session* s = currentIfAny();
+  SKELCL_CHECK(s != nullptr, "no current session: call skelcl::init(...) first");
+  return *s;
+}
+
+Session& currentSession() { return Session::current(); }
+
+}  // namespace skelcl::detail

@@ -2,24 +2,20 @@
 
 #include <cctype>
 #include <cstring>
+#include <mutex>
 #include <unordered_map>
 
 #include "base/strings.hpp"
 #include "core/detail/exec_graph.hpp"
-#include "core/detail/runtime.hpp"
+#include "core/detail/session.hpp"
 #include "kernelc/vm.hpp"
 
 namespace skelcl::detail {
 
 namespace {
 
-Distribution effectiveDist(const Distribution& d) {
-  if (d.kind() == Distribution::Kind::Block && d.weights().empty()) {
-    const auto& w = Runtime::instance().applicablePartitionWeights();
-    if (!w.empty()) return Distribution::block(w);
-  }
-  return d;
-}
+// The "unweighted block picks up scheduler weights" rule lives in
+// Session::effectiveDistribution now (it is per-tenant state).
 
 /// lastWrite of `vector`'s part on `device`, appended to `deps` when valid —
 /// consumers depend on producers instead of blocking on them.
@@ -105,7 +101,7 @@ std::string extraNames(const std::vector<ExtraArg>& extras,
 /// Prepare all extra-argument vectors (they must carry an explicit
 /// distribution, paper Section III-B) and bind extras to a kernel starting at
 /// parameter `firstIndex` for `device`.
-void prepareExtras(std::vector<ExtraArg>& extras) {
+void prepareExtras(Session& sess, std::vector<ExtraArg>& extras) {
   for (const ExtraArg& e : extras) {
     if (e.kind == ExtraArg::Kind::Scalar) continue;
     SKELCL_CHECK(e.vector != nullptr, "extra argument vector missing");
@@ -114,7 +110,7 @@ void prepareExtras(std::vector<ExtraArg>& extras) {
           "no meaningful default distribution exists for vectors passed as "
           "additional arguments; set one explicitly (paper Section III-B)");
     }
-    if (e.kind == ExtraArg::Kind::VectorRef) e.vector->ensureOnDevices();
+    if (e.kind == ExtraArg::Kind::VectorRef) e.vector->ensureOnDevices(sess);
   }
 }
 
@@ -127,17 +123,16 @@ void prepareExtras(std::vector<ExtraArg>& extras) {
 /// its device.  `resetOutput` is null when the output aliases an input (the
 /// aliased input's recovery already restores the pre-skeleton bytes).
 template <typename Body>
-auto withDeviceLossRecovery(std::vector<VectorData*> inputs, VectorData* resetOutput,
-                            Body&& body) -> decltype(body()) {
-  auto& rt = Runtime::instance();
+auto withDeviceLossRecovery(Session& sess, std::vector<VectorData*> inputs,
+                            VectorData* resetOutput, Body&& body) -> decltype(body()) {
   for (int attempt = 0;; ++attempt) {
     try {
       return body();
     } catch (const ocl::CommandError& e) {
       if (!e.permanent()) throw;
-      SKELCL_CHECK(attempt < rt.deviceCount(),
+      SKELCL_CHECK(attempt < sess.deviceCount(),
                    "skeleton failed on more devices than the system has");
-      rt.blacklistDevice(e.device(), e.what());
+      sess.blacklistDevice(e.device(), e.what());
       for (std::size_t i = 0; i < inputs.size(); ++i) {
         VectorData* v = inputs[i];
         if (v == nullptr) continue;
@@ -162,7 +157,7 @@ std::vector<VectorData*> recoveryInputs(VectorData* input1, VectorData* input2,
   return inputs;
 }
 
-void bindExtras(ocl::Kernel& kernel, std::size_t firstIndex,
+void bindExtras(Session& sess, ocl::Kernel& kernel, std::size_t firstIndex,
                 const std::vector<ExtraArg>& extras, int device) {
   for (std::size_t i = 0; i < extras.size(); ++i) {
     const std::size_t arg = firstIndex + i;
@@ -188,10 +183,10 @@ void bindExtras(ocl::Kernel& kernel, std::size_t firstIndex,
         break;
       }
       case ExtraArg::Kind::Sizes:
-        kernel.setArg(arg, static_cast<std::int32_t>(e.vector->partSizeOn(device)));
+        kernel.setArg(arg, static_cast<std::int32_t>(e.vector->partSizeOn(sess, device)));
         break;
       case ExtraArg::Kind::Offsets:
-        kernel.setArg(arg, static_cast<std::int32_t>(e.vector->partOffsetOn(device)));
+        kernel.setArg(arg, static_cast<std::int32_t>(e.vector->partOffsetOn(sess, device)));
         break;
     }
   }
@@ -251,12 +246,12 @@ void slotToBytes(ElemKind kind, kc::Slot value, std::byte* dst) {
 
 namespace {
 
-void runElementwiseOnce(const std::string& userSource, VectorData* input1, VectorData* input2,
+void runElementwiseOnce(Session& sess, const std::string& userSource,
+                        VectorData* input1, VectorData* input2,
                         std::size_t indexCount, const Distribution& indexDist,
                         VectorData& output,
                         const std::string& inType1, const std::string& inType2,
                         const std::string& outType, std::vector<ExtraArg>& extras) {
-  auto& rt = Runtime::instance();
   const std::size_t n = input1 != nullptr ? input1->count() : indexCount;
 
   // --- distribution resolution (paper III-C) -------------------------------
@@ -287,11 +282,11 @@ void runElementwiseOnce(const std::string& userSource, VectorData* input1, Vecto
 
   // --- materialize inputs / output -----------------------------------------
   const bool inPlace = (&output == input1) || (&output == input2);
-  if (input1 != nullptr) input1->ensureOnDevices();
-  if (input2 != nullptr) input2->ensureOnDevices();
+  if (input1 != nullptr) input1->ensureOnDevices(sess);
+  if (input2 != nullptr) input2->ensureOnDevices(sess);
   output.setDistribution(dist);
-  if (!inPlace) output.ensureOnDevicesNoUpload();
-  prepareExtras(extras);
+  if (!inPlace) output.ensureOnDevicesNoUpload(sess);
+  prepareExtras(sess, extras);
 
   // --- generate, compile (cached), run --------------------------------------
   const bool indexInput = input1 == nullptr;
@@ -324,7 +319,7 @@ void runElementwiseOnce(const std::string& userSource, VectorData* input1, Vecto
               extraNames(extras) + ");\n}\n";
   }
 
-  auto program = rt.programForSource(source);
+  auto program = sess.programForSource(source);
   ocl::Kernel kernel(*program, "skelcl_kernel");
 
   // One kernel stage per device, recorded breadth-first on the command
@@ -333,8 +328,8 @@ void runElementwiseOnce(const std::string& userSource, VectorData* input1, Vecto
   // in-place case `output` aliases an input, so output.partOn is the right
   // part either way.)
   const char* stageName = input2 != nullptr ? "zip" : "map";
-  const auto ranges = effectiveDist(dist).partition(n, rt.aliveDevices());
-  ExecGraph g;
+  const auto ranges = sess.effectiveDistribution(dist).partition(n, sess.aliveDevices());
+  ExecGraph g(sess);
   std::vector<std::pair<int, ExecGraph::NodeId>> launches;
   for (const PartRange& r : ranges) {
     if (r.size == 0) continue;
@@ -353,8 +348,8 @@ void runElementwiseOnce(const std::string& userSource, VectorData* input1, Vecto
                 kernel.setArg(arg++, *output.partOn(r.device)->buffer);
                 kernel.setArg(arg++, static_cast<std::int32_t>(r.size));
                 kernel.setArg(arg++, static_cast<std::int32_t>(r.offset));
-                bindExtras(kernel, arg, extras, r.device);
-                return rt.queue(r.device).enqueueNDRangeKernel(kernel, r.size, 0, deps);
+                bindExtras(sess, kernel, arg, extras, r.device);
+                return sess.queue(r.device).enqueueNDRangeKernel(kernel, r.size, 0, deps);
               },
               {}, inputDeps(r.device, input1, input2, extras)));
   }
@@ -369,16 +364,19 @@ void runElementwiseOnce(const std::string& userSource, VectorData* input1, Vecto
 
 }  // namespace
 
-void runElementwise(const std::string& userSource, VectorData* input1, VectorData* input2,
+void runElementwise(Session& session, const std::string& userSource,
+                    VectorData* input1, VectorData* input2,
                     std::size_t indexCount, const Distribution& indexDist,
                     VectorData& output,
                     const std::string& inType1, const std::string& inType2,
                     const std::string& outType, std::vector<ExtraArg>& extras) {
+  std::lock_guard<std::recursive_mutex> lock(session.shared().mutex());
   const bool inPlace = (&output == input1) || (&output == input2);
-  withDeviceLossRecovery(recoveryInputs(input1, input2, extras),
+  withDeviceLossRecovery(session, recoveryInputs(input1, input2, extras),
                          inPlace ? nullptr : &output, [&] {
-                           runElementwiseOnce(userSource, input1, input2, indexCount, indexDist,
-                                              output, inType1, inType2, outType, extras);
+                           runElementwiseOnce(session, userSource, input1, input2, indexCount,
+                                              indexDist, output, inType1, inType2, outType,
+                                              extras);
                          });
 }
 
@@ -388,14 +386,13 @@ void runElementwise(const std::string& userSource, VectorData* input1, VectorDat
 
 namespace {
 
-kc::Slot runReduceOnce(const std::string& userSource, VectorData& input,
+kc::Slot runReduceOnce(Session& sess, const std::string& userSource, VectorData& input,
                        const std::string& typeName, std::vector<ExtraArg>& extras) {
-  auto& rt = Runtime::instance();
   SKELCL_CHECK(input.count() > 0, "reduce of an empty vector");
 
   input.defaultDistribution(Distribution::block());
-  input.ensureOnDevices();
-  prepareExtras(extras);
+  input.ensureOnDevices(sess);
+  prepareExtras(sess, extras);
 
   std::string source = gatherTypedefs(extras);
   source += userSource;
@@ -411,10 +408,10 @@ kc::Slot runReduceOnce(const std::string& userSource, VectorData& input,
       "    skelcl_acc = func(skelcl_acc, skelcl_in[skelcl_i]" + extraNames(extras) + ");\n"
       "  skelcl_partials[skelcl_w] = skelcl_acc;\n}\n";
 
-  auto program = rt.programForSource(source);
+  auto program = sess.programForSource(source);
   ocl::Kernel kernel(*program, "skelcl_reduce");
 
-  std::vector<PartRange> ranges = input.plannedPartition();
+  std::vector<PartRange> ranges = input.plannedPartition(sess);
   if (input.distribution().kind() == Distribution::Kind::Copy) {
     // Every device holds the full data; reducing each copy would multiply
     // the result.  Reduce the first copy only.
@@ -436,12 +433,12 @@ kc::Slot runReduceOnce(const std::string& userSource, VectorData& input,
   std::size_t gatheredBytes = 0;
   for (const PartRange& r : ranges) {
     if (r.size == 0) continue;
-    const auto cores = static_cast<std::size_t>(rt.device(r.device).spec().cores);
+    const auto cores = static_cast<std::size_t>(sess.device(r.device).spec().cores);
     Pending p;
     p.device = r.device;
     p.chunk = (r.size + 4 * cores - 1) / (4 * cores);
     p.numPartials = (r.size + p.chunk - 1) / p.chunk;
-    p.partials = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
+    p.partials = std::make_unique<ocl::Buffer>(sess.context(), sess.device(r.device),
                                                p.numPartials * input.elemSize());
     p.gatherOffset = gatheredBytes;
     gatheredBytes += p.numPartials * input.elemSize();
@@ -449,7 +446,7 @@ kc::Slot runReduceOnce(const std::string& userSource, VectorData& input,
   }
   SKELCL_CHECK(!pending.empty(), "reduce produced no device work");
 
-  ExecGraph g;
+  ExecGraph g(sess);
   auto rangeOf = [&ranges](int device) -> const PartRange& {
     for (const PartRange& r : ranges) {
       if (r.device == device) return r;
@@ -465,8 +462,8 @@ kc::Slot runReduceOnce(const std::string& userSource, VectorData& input,
           kernel.setArg(1, *p.partials);
           kernel.setArg(2, static_cast<std::int32_t>(r.size));
           kernel.setArg(3, static_cast<std::int32_t>(p.chunk));
-          bindExtras(kernel, 4, extras, p.device);
-          return rt.queue(p.device).enqueueNDRangeKernel(kernel, p.numPartials, 0, deps);
+          bindExtras(sess, kernel, 4, extras, p.device);
+          return sess.queue(p.device).enqueueNDRangeKernel(kernel, p.numPartials, 0, deps);
         },
         {}, inputDeps(p.device, &input, nullptr, extras));
   }
@@ -480,7 +477,7 @@ kc::Slot runReduceOnce(const std::string& userSource, VectorData& input,
     gatherNodes.push_back(g.add(
         StageKind::Download, p.device, "reduce gather dev" + std::to_string(p.device),
         [&, &p = p](std::span<const ocl::Event> deps) {
-          return rt.queue(p.device).enqueueReadBuffer(
+          return sess.queue(p.device).enqueueReadBuffer(
               *p.partials, 0, p.numPartials * input.elemSize(),
               gathered.data() + p.gatherOffset, /*blocking=*/false, deps);
         },
@@ -490,13 +487,13 @@ kc::Slot runReduceOnce(const std::string& userSource, VectorData& input,
   // Step 3: the CPU folds the intermediate results (order preserved, so a
   // non-commutative but associative operator is fine, paper II-A).  The host
   // stage is the single sync point of the whole plan.
-  const auto hostProgram = rt.hostProgram(userSource);
+  const auto hostProgram = sess.hostProgram(userSource);
   const int fn = hostProgram->findFunction("func");
   kc::Slot acc{};
   g.add(StageKind::Host, -1, "reduce host fold",
         [&](std::span<const ocl::Event> deps) {
-          auto& system = rt.system();
-          system.advanceHost(ExecGraph::latestEnd(deps));
+          auto& system = sess.system();
+          system.advanceHost(ExecGraph::latestEnd(system, deps));
           kc::Vm vm(*hostProgram, {});
           const std::size_t total = gathered.size() / input.elemSize();
           acc = slotFromBytes(input.elemKind(), gathered.data());
@@ -528,11 +525,14 @@ kc::Slot runReduceOnce(const std::string& userSource, VectorData& input,
 
 }  // namespace
 
-kc::Slot runReduce(const std::string& userSource, VectorData& input,
+kc::Slot runReduce(Session& session, const std::string& userSource, VectorData& input,
                    const std::string& typeName, std::vector<ExtraArg>& extras) {
-  return withDeviceLossRecovery(recoveryInputs(&input, nullptr, extras), nullptr, [&] {
-    return runReduceOnce(userSource, input, typeName, extras);
-  });
+  std::lock_guard<std::recursive_mutex> lock(session.shared().mutex());
+  return withDeviceLossRecovery(session, recoveryInputs(&input, nullptr, extras), nullptr,
+                                [&] {
+                                  return runReduceOnce(session, userSource, input, typeName,
+                                                       extras);
+                                });
 }
 
 // ---------------------------------------------------------------------------
@@ -541,18 +541,17 @@ kc::Slot runReduce(const std::string& userSource, VectorData& input,
 
 namespace {
 
-void runScanOnce(const std::string& userSource, VectorData& input, VectorData& output,
-                 const std::string& typeName) {
-  auto& rt = Runtime::instance();
+void runScanOnce(Session& sess, const std::string& userSource, VectorData& input,
+                 VectorData& output, const std::string& typeName) {
   SKELCL_CHECK(output.count() == input.count(), "scan output size mismatch");
   if (input.count() == 0) return;
 
   input.defaultDistribution(Distribution::block());
   const Distribution dist = input.distribution();
-  input.ensureOnDevices();
+  input.ensureOnDevices(sess);
   const bool inPlace = &output == &input;
   output.setDistribution(dist);
-  if (!inPlace) output.ensureOnDevicesNoUpload();
+  if (!inPlace) output.ensureOnDevicesNoUpload(sess);
 
   std::string source = userSource;
   source +=
@@ -580,16 +579,16 @@ void runScanOnce(const std::string& userSource, VectorData& input, VectorData& o
       "  for (int skelcl_i = skelcl_begin; skelcl_i < skelcl_end; ++skelcl_i)\n"
       "    skelcl_data[skelcl_i] = func(skelcl_off, skelcl_data[skelcl_i]);\n}\n";
 
-  auto program = rt.programForSource(source);
+  auto program = sess.programForSource(source);
   ocl::Kernel scanChunks(*program, "skelcl_scan_chunks");
   ocl::Kernel scanAdd(*program, "skelcl_scan_add");
 
-  const auto hostProgram = rt.hostProgram(userSource);
+  const auto hostProgram = sess.hostProgram(userSource);
   const int fn = hostProgram->findFunction("func");
   const ElemKind kind = input.elemKind();
   const std::size_t elem = input.elemSize();
 
-  const auto& ranges = input.plannedPartition();
+  const auto& ranges = input.plannedPartition(sess);
   const bool crossDevice = dist.kind() == Distribution::Kind::Block;
 
   // The Figure 2 pipeline as a command graph (paper III-C): step 1 is
@@ -615,19 +614,19 @@ void runScanOnce(const std::string& userSource, VectorData& input, VectorData& o
     if (r.size == 0) continue;
     DeviceScan d;
     d.range = r;
-    const auto cores = static_cast<std::size_t>(rt.device(r.device).spec().cores);
+    const auto cores = static_cast<std::size_t>(sess.device(r.device).spec().cores);
     d.chunk = (r.size + 4 * cores - 1) / (4 * cores);
     d.numChunks = (r.size + d.chunk - 1) / d.chunk;
-    d.sums = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
+    d.sums = std::make_unique<ocl::Buffer>(sess.context(), sess.device(r.device),
                                            d.numChunks * elem);
-    d.offsets = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
+    d.offsets = std::make_unique<ocl::Buffer>(sess.context(), sess.device(r.device),
                                               d.numChunks * elem);
     d.hostSums.resize(d.numChunks * elem);
     d.hostOffsets.resize(d.numChunks * elem);
     devs.push_back(std::move(d));
   }
 
-  ExecGraph g;
+  ExecGraph g(sess);
   std::uint64_t hostInstructions = 0;
 
   // Step 1: every GPU scans its local part independently.
@@ -643,7 +642,7 @@ void runScanOnce(const std::string& userSource, VectorData& input, VectorData& o
           scanChunks.setArg(2, *d.sums);
           scanChunks.setArg(3, static_cast<std::int32_t>(d.chunk));
           scanChunks.setArg(4, static_cast<std::int32_t>(d.range.size));
-          return rt.queue(dev).enqueueNDRangeKernel(scanChunks, d.numChunks, 0, deps);
+          return sess.queue(dev).enqueueNDRangeKernel(scanChunks, d.numChunks, 0, deps);
         },
         {}, inputDeps(dev, &input, nullptr, {}));
   }
@@ -655,8 +654,9 @@ void runScanOnce(const std::string& userSource, VectorData& input, VectorData& o
     sumReads.push_back(g.add(
         StageKind::Download, dev, "scan sums dev" + std::to_string(dev),
         [&, &d = d, dev](std::span<const ocl::Event> deps) {
-          return rt.queue(dev).enqueueReadBuffer(*d.sums, 0, d.hostSums.size(),
-                                                 d.hostSums.data(), /*blocking=*/false, deps);
+          return sess.queue(dev).enqueueReadBuffer(*d.sums, 0, d.hostSums.size(),
+                                                   d.hostSums.data(), /*blocking=*/false,
+                                                   deps);
         },
         {d.step1}));
   }
@@ -667,8 +667,8 @@ void runScanOnce(const std::string& userSource, VectorData& input, VectorData& o
   const ExecGraph::NodeId offsetsNode = g.add(
       StageKind::Host, -1, "scan offsets host",
       [&](std::span<const ocl::Event> deps) {
-        auto& system = rt.system();
-        system.advanceHost(ExecGraph::latestEnd(deps));
+        auto& system = sess.system();
+        system.advanceHost(ExecGraph::latestEnd(system, deps));
         kc::Vm vm(*hostProgram, {});
         bool haveDeviceOffset = false;
         kc::Slot deviceOffset{};  // fold of the totals of all previous devices
@@ -728,9 +728,9 @@ void runScanOnce(const std::string& userSource, VectorData& input, VectorData& o
     const ExecGraph::NodeId up = g.add(
         StageKind::Upload, dev, "scan offsets dev" + std::to_string(dev),
         [&, &d = d, dev](std::span<const ocl::Event> deps) {
-          return rt.queue(dev).enqueueWriteBuffer(*d.offsets, 0, d.hostOffsets.size(),
-                                                  d.hostOffsets.data(), /*blocking=*/false,
-                                                  deps);
+          return sess.queue(dev).enqueueWriteBuffer(*d.offsets, 0, d.hostOffsets.size(),
+                                                    d.hostOffsets.data(), /*blocking=*/false,
+                                                    deps);
         },
         {offsetsNode});
     step4.emplace_back(dev, g.add(
@@ -743,7 +743,7 @@ void runScanOnce(const std::string& userSource, VectorData& input, VectorData& o
           scanAdd.setArg(2, static_cast<std::int32_t>(d.chunk));
           scanAdd.setArg(3, static_cast<std::int32_t>(d.range.size));
           scanAdd.setArg(4, static_cast<std::int32_t>(d.skipFirst ? 1 : 0));
-          return rt.queue(dev).enqueueNDRangeKernel(scanAdd, d.numChunks, 0, deps);
+          return sess.queue(dev).enqueueNDRangeKernel(scanAdd, d.numChunks, 0, deps);
         },
         {up, d.step1}));
   }
@@ -757,11 +757,12 @@ void runScanOnce(const std::string& userSource, VectorData& input, VectorData& o
 
 }  // namespace
 
-void runScan(const std::string& userSource, VectorData& input, VectorData& output,
-             const std::string& typeName) {
+void runScan(Session& session, const std::string& userSource, VectorData& input,
+             VectorData& output, const std::string& typeName) {
+  std::lock_guard<std::recursive_mutex> lock(session.shared().mutex());
   const bool inPlace = &output == &input;
-  withDeviceLossRecovery({&input}, inPlace ? nullptr : &output, [&] {
-    runScanOnce(userSource, input, output, typeName);
+  withDeviceLossRecovery(session, {&input}, inPlace ? nullptr : &output, [&] {
+    runScanOnce(session, userSource, input, output, typeName);
   });
 }
 
@@ -810,9 +811,9 @@ std::string stagePrefix(std::size_t s) { return "skelcl_s" + std::to_string(s) +
 /// Function names declared by a user source (its extra-argument typedefs are
 /// prepended so sources referencing those structs compile standalone).  Goes
 /// through the host-program cache, so each distinct source compiles once.
-std::vector<std::string> declaredFunctions(const std::string& userSource,
+std::vector<std::string> declaredFunctions(Session& sess, const std::string& userSource,
                                            const std::vector<ExtraArg>& extras) {
-  const auto program = Runtime::instance().hostProgram(gatherTypedefs(extras) + userSource);
+  const auto program = sess.hostProgram(gatherTypedefs(extras) + userSource);
   std::vector<std::string> names;
   names.reserve(program->functions.size());
   for (const auto& fn : program->functions) names.push_back(fn.name);
@@ -838,12 +839,12 @@ std::string chainExprAt(const std::vector<FusedStage>& stages, const std::string
 
 /// Merged struct typedefs (deduplicated across stages, conflicting
 /// definitions rejected) followed by every stage's user source renamed apart.
-std::string fusedSourcePrelude(const std::vector<FusedStage>& stages,
+std::string fusedSourcePrelude(Session& sess, const std::vector<FusedStage>& stages,
                                const std::vector<ExtraArg>& allExtras) {
   std::string source = gatherTypedefs(allExtras);
   for (std::size_t s = 0; s < stages.size(); ++s) {
     source += renameFunctions(stages[s].userSource,
-                              declaredFunctions(stages[s].userSource, stages[s].extras),
+                              declaredFunctions(sess, stages[s].userSource, stages[s].extras),
                               stagePrefix(s));
     source += "\n";
   }
@@ -908,20 +909,21 @@ bool chainEligible(VectorData& input, const std::vector<FusedStage>& stages) {
 /// Resolve the chain distribution, propagate it to every vector involved,
 /// and materialize device parts.  Only called on eligible chains, where the
 /// chain distribution applies to all zip inputs.
-Distribution materializeChainInputs(VectorData& input, std::vector<FusedStage>& stages) {
+Distribution materializeChainInputs(Session& sess, VectorData& input,
+                                    std::vector<FusedStage>& stages) {
   input.defaultDistribution(Distribution::block());
   const Distribution dist = input.distribution();
-  input.ensureOnDevices();
+  input.ensureOnDevices(sess);
   for (FusedStage& st : stages) {
     if (st.zipInput != nullptr) {
       SKELCL_CHECK(st.zipInput->count() == input.count(),
                    "zip inputs must have the same size");
       if (st.zipInput != &input) {
         st.zipInput->setDistribution(dist);
-        st.zipInput->ensureOnDevices();
+        st.zipInput->ensureOnDevices(sess);
       }
     }
-    prepareExtras(st.extras);
+    prepareExtras(sess, st.extras);
   }
   return dist;
 }
@@ -937,17 +939,16 @@ bool chainWritesInput(const VectorData& output, const VectorData& input,
 
 /// The fused execution: ONE generated kernel per device evaluates the whole
 /// chain element-wise — no intermediate vectors exist anywhere.
-void runFusedChainOnce(VectorData& input, const std::string& inTypeName,
+void runFusedChainOnce(Session& sess, VectorData& input, const std::string& inTypeName,
                        std::vector<FusedStage>& stages, VectorData& output) {
-  auto& rt = Runtime::instance();
   const std::size_t n = input.count();
-  const Distribution dist = materializeChainInputs(input, stages);
+  const Distribution dist = materializeChainInputs(sess, input, stages);
 
   const bool inPlace = chainWritesInput(output, input, stages);
   output.setDistribution(dist);
-  if (!inPlace) output.ensureOnDevicesNoUpload();
+  if (!inPlace) output.ensureOnDevicesNoUpload(sess);
 
-  std::string source = fusedSourcePrelude(stages, mergedExtras(stages));
+  std::string source = fusedSourcePrelude(sess, stages, mergedExtras(stages));
   source += "__kernel void skelcl_fused(__global " + inTypeName + "* skelcl_in1";
   for (std::size_t s = 0; s < stages.size(); ++s) {
     if (stages[s].zipInput != nullptr) {
@@ -965,11 +966,11 @@ void runFusedChainOnce(VectorData& input, const std::string& inTypeName,
       "  if (skelcl_i < skelcl_n) skelcl_out[skelcl_i] = " +
       chainExprAt(stages, "skelcl_i") + ";\n}\n";
 
-  auto program = rt.programForSource(source);
+  auto program = sess.programForSource(source);
   ocl::Kernel kernel(*program, "skelcl_fused");
 
-  const auto ranges = effectiveDist(dist).partition(n, rt.aliveDevices());
-  ExecGraph g;
+  const auto ranges = sess.effectiveDistribution(dist).partition(n, sess.aliveDevices());
+  ExecGraph g(sess);
   std::vector<std::pair<int, ExecGraph::NodeId>> launches;
   const std::string label = "fused x" + std::to_string(stages.size());
   for (const PartRange& r : ranges) {
@@ -989,10 +990,10 @@ void runFusedChainOnce(VectorData& input, const std::string& inTypeName,
                 kernel.setArg(arg++, static_cast<std::int32_t>(r.size));
                 kernel.setArg(arg++, static_cast<std::int32_t>(r.offset));
                 for (const FusedStage& st : stages) {
-                  bindExtras(kernel, arg, st.extras, r.device);
+                  bindExtras(sess, kernel, arg, st.extras, r.device);
                   arg += st.extras.size();
                 }
-                return rt.queue(r.device).enqueueNDRangeKernel(kernel, r.size, 0, deps);
+                return sess.queue(r.device).enqueueNDRangeKernel(kernel, r.size, 0, deps);
               },
               {}, chainDeps(r.device, input, stages)));
   }
@@ -1008,7 +1009,7 @@ void runFusedChainOnce(VectorData& input, const std::string& inTypeName,
 /// The unfused fallback: every stage through the ordinary element-wise
 /// engine, intermediates in heap temporaries — or in the observe sinks whose
 /// presence made the chain ineligible in the first place.
-void runChainUnfused(VectorData& input, const std::string& inTypeName,
+void runChainUnfused(Session& sess, VectorData& input, const std::string& inTypeName,
                      std::vector<FusedStage>& stages, VectorData& output) {
   const std::size_t n = input.count();
   VectorData* cur = &input;
@@ -1031,11 +1032,11 @@ void runChainUnfused(VectorData& input, const std::string& inTypeName,
         dst = temps.back().get();
       }
     }
-    runElementwise(st.userSource, cur, st.zipInput, 0, Distribution{}, *dst, curType,
+    runElementwise(sess, st.userSource, cur, st.zipInput, 0, Distribution{}, *dst, curType,
                    st.zipTypeName, st.outTypeName, st.extras);
     if (last && st.observeSink != nullptr && st.observeSink != &output) {
-      const std::byte* bytes = dst->hostRead();
-      std::memcpy(st.observeSink->hostWrite(), bytes, n * st.outElemSize);
+      const std::byte* bytes = dst->hostRead(&sess);
+      std::memcpy(st.observeSink->hostWrite(&sess), bytes, n * st.outElemSize);
     }
     cur = dst;
     curType = st.outTypeName;
@@ -1044,18 +1045,20 @@ void runChainUnfused(VectorData& input, const std::string& inTypeName,
 
 }  // namespace
 
-bool runFusedChain(VectorData& input, const std::string& inTypeName,
+bool runFusedChain(Session& session, VectorData& input, const std::string& inTypeName,
                    std::vector<FusedStage>& stages, VectorData& output,
                    bool forceUnfused) {
   SKELCL_CHECK(!stages.empty(), "skeleton pipeline has no stages");
   SKELCL_CHECK(output.count() == input.count(), "pipeline output size mismatch");
+  std::lock_guard<std::recursive_mutex> lock(session.shared().mutex());
   if (forceUnfused || !chainEligible(input, stages)) {
-    runChainUnfused(input, inTypeName, stages, output);
+    runChainUnfused(session, input, inTypeName, stages, output);
     return false;
   }
   const bool inPlace = chainWritesInput(output, input, stages);
-  withDeviceLossRecovery(chainRecoveryInputs(input, stages), inPlace ? nullptr : &output,
-                         [&] { runFusedChainOnce(input, inTypeName, stages, output); });
+  withDeviceLossRecovery(session, chainRecoveryInputs(input, stages),
+                         inPlace ? nullptr : &output,
+                         [&] { runFusedChainOnce(session, input, inTypeName, stages, output); });
   return true;
 }
 
@@ -1064,23 +1067,22 @@ namespace {
 /// Fused chain + reduce: the chain expression is inlined directly into the
 /// chunked device-local reduction (step 1); gather and host fold are the
 /// same three-step plan as the plain reduce skeleton.
-kc::Slot runFusedReduceOnce(VectorData& input, const std::string& inTypeName,
+kc::Slot runFusedReduceOnce(Session& sess, VectorData& input, const std::string& inTypeName,
                             std::vector<FusedStage>& stages,
                             const std::string& reduceSource,
                             std::vector<ExtraArg>& reduceExtras) {
-  auto& rt = Runtime::instance();
   SKELCL_CHECK(input.count() > 0, "reduce of an empty vector");
 
-  const Distribution dist = materializeChainInputs(input, stages);
+  const Distribution dist = materializeChainInputs(sess, input, stages);
   (void)dist;
-  prepareExtras(reduceExtras);
+  prepareExtras(sess, reduceExtras);
 
   const std::string typeName = stages.back().outTypeName;
   const ElemKind outKind = stages.back().outElemKind;
   const std::size_t outElem = stages.back().outElemSize;
 
-  std::string source = fusedSourcePrelude(stages, mergedExtras(stages, &reduceExtras));
-  source += renameFunctions(reduceSource, declaredFunctions(reduceSource, reduceExtras),
+  std::string source = fusedSourcePrelude(sess, stages, mergedExtras(stages, &reduceExtras));
+  source += renameFunctions(reduceSource, declaredFunctions(sess, reduceSource, reduceExtras),
                             "skelcl_r_");
   source += "\n__kernel void skelcl_fused_reduce(__global " + inTypeName + "* skelcl_in1";
   for (std::size_t s = 0; s < stages.size(); ++s) {
@@ -1104,10 +1106,10 @@ kc::Slot runFusedReduceOnce(VectorData& input, const std::string& inTypeName,
       extraNames(reduceExtras, "skelcl_r_a") + ");\n"
       "  skelcl_partials[skelcl_w] = skelcl_acc;\n}\n";
 
-  auto program = rt.programForSource(source);
+  auto program = sess.programForSource(source);
   ocl::Kernel kernel(*program, "skelcl_fused_reduce");
 
-  std::vector<PartRange> ranges = input.plannedPartition();
+  std::vector<PartRange> ranges = input.plannedPartition(sess);
   if (input.distribution().kind() == Distribution::Kind::Copy) {
     // Every device holds the full data; reduce the first copy only.
     ranges.resize(1);
@@ -1125,12 +1127,12 @@ kc::Slot runFusedReduceOnce(VectorData& input, const std::string& inTypeName,
   std::size_t gatheredBytes = 0;
   for (const PartRange& r : ranges) {
     if (r.size == 0) continue;
-    const auto cores = static_cast<std::size_t>(rt.device(r.device).spec().cores);
+    const auto cores = static_cast<std::size_t>(sess.device(r.device).spec().cores);
     Pending p;
     p.device = r.device;
     p.chunk = (r.size + 4 * cores - 1) / (4 * cores);
     p.numPartials = (r.size + p.chunk - 1) / p.chunk;
-    p.partials = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
+    p.partials = std::make_unique<ocl::Buffer>(sess.context(), sess.device(r.device),
                                                p.numPartials * outElem);
     p.gatherOffset = gatheredBytes;
     gatheredBytes += p.numPartials * outElem;
@@ -1138,7 +1140,7 @@ kc::Slot runFusedReduceOnce(VectorData& input, const std::string& inTypeName,
   }
   SKELCL_CHECK(!pending.empty(), "reduce produced no device work");
 
-  ExecGraph g;
+  ExecGraph g(sess);
   auto rangeOf = [&ranges](int device) -> const PartRange& {
     for (const PartRange& r : ranges) {
       if (r.device == device) return r;
@@ -1166,11 +1168,11 @@ kc::Slot runFusedReduceOnce(VectorData& input, const std::string& inTypeName,
           kernel.setArg(arg++, static_cast<std::int32_t>(r.size));
           kernel.setArg(arg++, static_cast<std::int32_t>(p.chunk));
           for (const FusedStage& st : stages) {
-            bindExtras(kernel, arg, st.extras, p.device);
+            bindExtras(sess, kernel, arg, st.extras, p.device);
             arg += st.extras.size();
           }
-          bindExtras(kernel, arg, reduceExtras, p.device);
-          return rt.queue(p.device).enqueueNDRangeKernel(kernel, p.numPartials, 0, d);
+          bindExtras(sess, kernel, arg, reduceExtras, p.device);
+          return sess.queue(p.device).enqueueNDRangeKernel(kernel, p.numPartials, 0, d);
         },
         {}, std::move(deps));
   }
@@ -1181,20 +1183,20 @@ kc::Slot runFusedReduceOnce(VectorData& input, const std::string& inTypeName,
     gatherNodes.push_back(g.add(
         StageKind::Download, p.device, "reduce gather dev" + std::to_string(p.device),
         [&, &p = p](std::span<const ocl::Event> deps) {
-          return rt.queue(p.device).enqueueReadBuffer(
+          return sess.queue(p.device).enqueueReadBuffer(
               *p.partials, 0, p.numPartials * outElem,
               gathered.data() + p.gatherOffset, /*blocking=*/false, deps);
         },
         {p.kernelNode}));
   }
 
-  const auto hostProgram = rt.hostProgram(gatherTypedefs(reduceExtras) + reduceSource);
+  const auto hostProgram = sess.hostProgram(gatherTypedefs(reduceExtras) + reduceSource);
   const int fn = hostProgram->findFunction("func");
   kc::Slot acc{};
   g.add(StageKind::Host, -1, "reduce host fold",
         [&](std::span<const ocl::Event> deps) {
-          auto& system = rt.system();
-          system.advanceHost(ExecGraph::latestEnd(deps));
+          auto& system = sess.system();
+          system.advanceHost(ExecGraph::latestEnd(system, deps));
           kc::Vm vm(*hostProgram, {});
           const std::size_t total = gathered.size() / outElem;
           acc = slotFromBytes(outKind, gathered.data());
@@ -1223,29 +1225,30 @@ kc::Slot runFusedReduceOnce(VectorData& input, const std::string& inTypeName,
 
 }  // namespace
 
-kc::Slot runFusedReduce(VectorData& input, const std::string& inTypeName,
+kc::Slot runFusedReduce(Session& session, VectorData& input, const std::string& inTypeName,
                         std::vector<FusedStage>& stages,
                         const std::string& reduceSource,
                         std::vector<ExtraArg>& reduceExtras,
                         bool forceUnfused, bool* ranFused) {
+  std::lock_guard<std::recursive_mutex> lock(session.shared().mutex());
   if (stages.empty()) {
     // No chain to fuse; the plain reduce already launches a single kernel.
     if (ranFused != nullptr) *ranFused = false;
-    return runReduce(reduceSource, input, inTypeName, reduceExtras);
+    return runReduce(session, reduceSource, input, inTypeName, reduceExtras);
   }
   const bool fused = !forceUnfused && chainEligible(input, stages);
   if (ranFused != nullptr) *ranFused = fused;
   if (!fused) {
     VectorData temp(input.count(), stages.back().outElemSize, stages.back().outElemKind);
-    runChainUnfused(input, inTypeName, stages, temp);
-    return runReduce(reduceSource, temp, stages.back().outTypeName, reduceExtras);
+    runChainUnfused(session, input, inTypeName, stages, temp);
+    return runReduce(session, reduceSource, temp, stages.back().outTypeName, reduceExtras);
   }
   std::vector<VectorData*> inputs = chainRecoveryInputs(input, stages);
   for (const ExtraArg& e : reduceExtras) {
     if (e.kind == ExtraArg::Kind::VectorRef) inputs.push_back(e.vector);
   }
-  return withDeviceLossRecovery(std::move(inputs), nullptr, [&] {
-    return runFusedReduceOnce(input, inTypeName, stages, reduceSource, reduceExtras);
+  return withDeviceLossRecovery(session, std::move(inputs), nullptr, [&] {
+    return runFusedReduceOnce(session, input, inTypeName, stages, reduceSource, reduceExtras);
   });
 }
 

@@ -29,11 +29,14 @@ struct ExtraArg {
   std::string typeDefinition;  ///< struct typedef to prepend ("" for builtins)
 };
 
-/// Element-wise skeletons (map & zip share one engine).
+/// Element-wise skeletons (map & zip share one engine).  All run* entry
+/// points execute on behalf of `session` (whose weights drive partitioning,
+/// and whose fair-share/VRAM accounts are charged) and hold the shared
+/// device-state lock for the duration of the call.
 /// `input2` is null for map; `input1` is null for an IndexVector input, in
 /// which case `indexCount`/`indexDist` describe the virtual input.
 /// `output` may alias an input (in-place execution via Out<>).
-void runElementwise(const std::string& userSource,
+void runElementwise(Session& session, const std::string& userSource,
                     VectorData* input1, VectorData* input2,
                     std::size_t indexCount, const Distribution& indexDist,
                     VectorData& output,
@@ -43,13 +46,13 @@ void runElementwise(const std::string& userSource,
 
 /// Reduce (paper III-C): device-local reductions into small partial vectors,
 /// gather on the host, final host-side fold.  Returns the result slot.
-kc::Slot runReduce(const std::string& userSource, VectorData& input,
+kc::Slot runReduce(Session& session, const std::string& userSource, VectorData& input,
                    const std::string& typeName, std::vector<ExtraArg>& extras);
 
 /// Scan (paper III-C, Figure 2): device-local scans, download of block sums,
 /// implicit offset-combining maps on every device but the first.
-void runScan(const std::string& userSource, VectorData& input, VectorData& output,
-             const std::string& typeName);
+void runScan(Session& session, const std::string& userSource, VectorData& input,
+             VectorData& output, const std::string& typeName);
 
 /// One stage of a fused map/zip skeleton chain.  The first stage consumes the
 /// chain input; every later stage consumes the previous stage's value.  A zip
@@ -74,7 +77,7 @@ struct FusedStage {
 /// per device with no intermediate vectors; otherwise each stage runs
 /// through runElementwise with heap temporaries.  Returns true when the
 /// fused path ran.
-bool runFusedChain(VectorData& input, const std::string& inTypeName,
+bool runFusedChain(Session& session, VectorData& input, const std::string& inTypeName,
                    std::vector<FusedStage>& stages, VectorData& output,
                    bool forceUnfused);
 
@@ -82,7 +85,7 @@ bool runFusedChain(VectorData& input, const std::string& inTypeName,
 /// materializing it: the chain expression is inlined into the device-local
 /// reduction kernel.  `stages` may be empty (a plain reduce).  `ranFused`
 /// (optional) reports whether the fused path ran.
-kc::Slot runFusedReduce(VectorData& input, const std::string& inTypeName,
+kc::Slot runFusedReduce(Session& session, VectorData& input, const std::string& inTypeName,
                         std::vector<FusedStage>& stages,
                         const std::string& reduceSource,
                         std::vector<ExtraArg>& reduceExtras,

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <set>
+#include <utility>
 
 #include "ocl/queue.hpp"
 
@@ -106,6 +107,15 @@ void Tracer::clear() {
   records_.clear();
 }
 
+void Tracer::beginRun() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+  context_.clear();
+  context_kind_set_ = false;
+  context_session_ = 0;
+  session_names_.clear();
+}
+
 void Tracer::record(Record r) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!enabled_) return;
@@ -122,6 +132,7 @@ void Tracer::record(Record r) {
   }
   if (context_kind_set_ && r.kind == Record::Kind::Kernel) r.kind = context_kind_;
   if (r.name.empty()) r.name = kindName(r.kind);
+  r.session = context_session_;
   records_.push_back(std::move(r));
 }
 
@@ -154,17 +165,52 @@ void Tracer::clearContext() {
   context_kind_set_ = false;
 }
 
+void Tracer::setSessionContext(int id, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  context_session_ = id;
+  if (id != 0 || !name.empty()) session_names_.emplace(id, name);
+}
+
 bool Tracer::writeChromeTrace(const std::string& path) const {
-  const std::vector<Record> records = snapshot();
+  std::vector<Record> records;
+  std::map<int, std::string> sessionNames;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records = records_;
+    sessionNames = session_names_;
+  }
+
+  // One chrome "process" per tenant session (pid = session id) so a
+  // multi-tenant run shows per-tenant lanes; within a session, one "thread"
+  // per device plus the host CPU lane.
+  std::set<int> pids;
+  std::set<std::pair<int, int>> lanes;  // (session, tid)
+  for (const Record& r : records) {
+    pids.insert(r.session);
+    lanes.emplace(r.session, r.device < 0 ? kHostTid : r.device);
+  }
+  if (pids.empty()) pids.insert(0);
 
   std::string json = "{\"traceEvents\":[\n";
-  json +=
-      "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
-      "\"args\":{\"name\":\"SkelCL simulated system\"}}";
-  std::set<int> tids;
-  for (const Record& r : records) tids.insert(r.device < 0 ? kHostTid : r.device);
-  for (const int tid : tids) {
-    json += ",\n{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+  bool first = true;
+  for (const int pid : pids) {
+    if (!first) json += ",\n";
+    first = false;
+    std::string name = "SkelCL simulated system";
+    auto it = sessionNames.find(pid);
+    if (it != sessionNames.end() && !it->second.empty()) {
+      name += " — " + it->second;
+    } else if (pid != 0) {
+      name += " — session " + std::to_string(pid);
+    }
+    json += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+            ",\"name\":\"process_name\",\"args\":{\"name\":";
+    appendJsonString(json, name);
+    json += "}}";
+  }
+  for (const auto& [pid, tid] : lanes) {
+    json += ",\n{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+            ",\"tid\":" + std::to_string(tid) +
             ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
     json += tid == kHostTid ? "host CPU" : ("GPU " + std::to_string(tid));
     json += "\"}}";
@@ -175,7 +221,9 @@ bool Tracer::writeChromeTrace(const std::string& path) const {
     appendJsonString(json, r.name);
     json += ",\"cat\":\"";
     json += kindName(r.kind);
-    json += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+    json += "\",\"ph\":\"X\",\"pid\":";
+    json += std::to_string(r.session);
+    json += ",\"tid\":";
     json += std::to_string(r.device < 0 ? kHostTid : r.device);
     std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f", r.start * 1e6,
                   (r.end - r.start) * 1e6);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -34,6 +35,7 @@ struct Record {
   };
   Kind kind = Kind::Kernel;
   int device = -1;              ///< device id; -1 = host CPU
+  int session = 0;              ///< tenant session id (0 = default session)
   std::uint64_t bytes = 0;      ///< transfer/fill size (0 for kernels)
   std::uint64_t workItems = 0;  ///< kernel global size (0 for transfers)
   double start = 0.0;           ///< simulated seconds
@@ -45,9 +47,11 @@ struct Record {
 /// "fault", "retry", "redistribute".
 const char* kindName(Record::Kind kind);
 
-/// The process-wide trace collector.  Lives outside the Runtime so traces
-/// survive init/terminate cycles (benchmarks re-init per configuration);
-/// reachable as Runtime::tracer() or via the free functions below.
+/// The process-wide trace collector.  Lives outside the Runtime so a trace
+/// collected during a run can still be exported after skelcl::terminate();
+/// skelcl::init calls beginRun() so records never bleed from one
+/// init/terminate cycle into the next export.  Reachable as
+/// Runtime::tracer() or via the free functions below.
 class Tracer {
  public:
   static Tracer& global();
@@ -57,6 +61,11 @@ class Tracer {
   /// Stop collecting and uninstall the hook.  Records are kept.
   void disable();
   bool enabled() const;
+
+  /// A new runtime generation begins (called by skelcl::init): drop records
+  /// and context of the previous run, keep the enabled state and the
+  /// SKELCL_TRACE export path.
+  void beginRun();
 
   void clear();
   /// Append a record (no-op while disabled).
@@ -73,6 +82,11 @@ class Tracer {
   void setContext(std::string label, Record::Kind kindOverride);
   void clearContext();
 
+  /// Session id (and display name) stamped on every record collected while
+  /// set — the ExecGraph engine sets it for the duration of a run() so
+  /// chrome traces show one lane group ("process") per tenant.
+  void setSessionContext(int id, const std::string& name);
+
   /// Write every record as a chrome://tracing "traceEvents" JSON file
   /// (complete "X" events, one per command; ts/dur in microseconds).
   bool writeChromeTrace(const std::string& path) const;
@@ -84,6 +98,8 @@ class Tracer {
   std::string context_;
   bool context_kind_set_ = false;
   Record::Kind context_kind_ = Record::Kind::Kernel;
+  int context_session_ = 0;
+  std::map<int, std::string> session_names_;
 };
 
 // --- convenience free functions over Tracer::global() ----------------------

@@ -4,7 +4,7 @@
 #include <cstring>
 
 #include "core/detail/exec_graph.hpp"
-#include "core/detail/runtime.hpp"
+#include "core/detail/session.hpp"
 #include "core/detail/skeleton_exec.hpp"
 #include "kernelc/vm.hpp"
 
@@ -15,48 +15,59 @@ VectorData::VectorData(std::size_t count, std::size_t elemSize, ElemKind kind)
   SKELCL_CHECK(elemSize > 0, "element size must be positive");
 }
 
-Distribution VectorData::effective(const Distribution& d) const {
-  // An unweighted block distribution picks up the scheduler's weights, if any
-  // (Section V: proportional workloads on heterogeneous devices).
-  if (d.kind() == Distribution::Kind::Block && d.weights().empty()) {
-    const auto& w = Runtime::instance().applicablePartitionWeights();
-    if (!w.empty()) return Distribution::block(w);
-  }
-  return d;
-}
+VectorData::~VectorData() { releaseVramCharge(); }
 
-const std::vector<PartRange>& VectorData::plannedPartition() {
+const std::vector<PartRange>& VectorData::plannedPartition(Session& session) {
   SKELCL_CHECK(requested_.isSet(), "vector has no distribution");
-  auto& rt = Runtime::instance();
-  if (!planned_valid_ || planned_epoch_ != rt.partitionEpoch()) {
-    planned_ = effective(requested_).partition(count_, rt.aliveDevices());
+  // Two sessions can reach numerically equal epochs with different weights,
+  // so the cache is keyed on the session id as well as its epoch.
+  if (!planned_valid_ || planned_session_ != session.id() ||
+      planned_epoch_ != session.partitionEpoch()) {
+    planned_ = session.effectiveDistribution(requested_).partition(count_, session.aliveDevices());
     planned_valid_ = true;
-    planned_epoch_ = rt.partitionEpoch();
+    planned_session_ = session.id();
+    planned_epoch_ = session.partitionEpoch();
   }
   return planned_;
 }
 
-std::size_t VectorData::partSizeOn(int device) {
-  for (const PartRange& p : plannedPartition()) {
+std::size_t VectorData::partSizeOn(Session& session, int device) {
+  for (const PartRange& p : plannedPartition(session)) {
     if (p.device == device) return p.size;
   }
   return 0;
 }
 
-std::size_t VectorData::partOffsetOn(int device) {
-  for (const PartRange& p : plannedPartition()) {
+std::size_t VectorData::partOffsetOn(Session& session, int device) {
+  for (const PartRange& p : plannedPartition(session)) {
     if (p.device == device) return p.offset;
   }
   return 0;
 }
 
-const std::byte* VectorData::hostRead() {
-  ensureHostValid();
+// Convenience overloads: single-tenant call sites operate under the calling
+// thread's current session.
+const std::vector<PartRange>& VectorData::plannedPartition() {
+  return plannedPartition(Session::current());
+}
+std::size_t VectorData::partSizeOn(int device) { return partSizeOn(Session::current(), device); }
+std::size_t VectorData::partOffsetOn(int device) {
+  return partOffsetOn(Session::current(), device);
+}
+const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevices() {
+  return ensureOnDevices(Session::current());
+}
+const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevicesNoUpload() {
+  return ensureOnDevicesNoUpload(Session::current());
+}
+
+const std::byte* VectorData::hostRead(Session* session) {
+  ensureHostValid(session);
   return host_.data();
 }
 
-std::byte* VectorData::hostWrite() {
-  ensureHostValid();
+std::byte* VectorData::hostWrite(Session* session) {
+  ensureHostValid(session);
   markHostModified();
   return host_.data();
 }
@@ -74,9 +85,9 @@ void VectorData::defaultDistribution(const Distribution& dist) {
   }
 }
 
-bool VectorData::partsMatchRequested() {
+bool VectorData::partsMatchRequested(Session& session) {
   if (!devices_valid_) return false;
-  const auto& want = plannedPartition();
+  const auto& want = plannedPartition(session);
   if (want.size() != parts_.size()) return false;
   for (std::size_t i = 0; i < want.size(); ++i) {
     if (want[i].device != parts_[i].device || want[i].offset != parts_[i].offset ||
@@ -87,9 +98,9 @@ bool VectorData::partsMatchRequested() {
   return true;
 }
 
-const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevices() {
+const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevices(Session& session) {
   SKELCL_CHECK(requested_.isSet(), "vector has no distribution");
-  if (partsMatchRequested()) {
+  if (partsMatchRequested(session)) {
     // The layout already matches, but the requested distribution may still
     // differ in ways partition() cannot see — copy() vs copy(combine) yield
     // identical part ranges.  Adopt it so a later host sync applies the right
@@ -99,32 +110,43 @@ const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevices() {
   }
   // Redistribution goes through the host (pre-peer-access hardware; this is
   // exactly the download/upload sequence of paper Figure 3).
-  ensureHostValid();
-  materializeParts(/*upload=*/true);
+  ensureHostValid(&session);
+  materializeParts(session, /*upload=*/true);
   return parts_;
 }
 
-const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevicesNoUpload() {
+const std::vector<VectorData::DevicePart>& VectorData::ensureOnDevicesNoUpload(Session& session) {
   SKELCL_CHECK(requested_.isSet(), "vector has no distribution");
-  if (partsMatchRequested()) {
+  if (partsMatchRequested(session)) {
     current_ = requested_;  // see ensureOnDevices: copy() vs copy(combine)
     return parts_;
   }
-  materializeParts(/*upload=*/false);
+  materializeParts(session, /*upload=*/false);
   host_valid_ = false;  // the kernel will produce the data
   return parts_;
 }
 
-void VectorData::materializeParts(bool upload) {
-  auto& rt = Runtime::instance();
+void VectorData::materializeParts(Session& session, bool upload) {
+  releaseVramCharge();
   parts_.clear();
-  for (const PartRange& r : plannedPartition()) {
+  const auto& plan = plannedPartition(session);
+  // Admission control first: the whole footprint is charged against the
+  // session's VRAM quota before any buffer exists, so a breach raises
+  // ResourceError without leaving half-allocated parts behind.
+  std::uint64_t total = 0;
+  for (const PartRange& r : plan) total += static_cast<std::uint64_t>(r.size) * elem_size_;
+  if (total > 0) {
+    session.chargeVram(total);
+    charged_session_ = session.shared_from_this();
+    charged_bytes_ = total;
+  }
+  for (const PartRange& r : plan) {
     DevicePart part;
     part.device = r.device;
     part.offset = r.offset;
     part.size = r.size;
     if (r.size > 0) {
-      part.buffer = std::make_unique<ocl::Buffer>(rt.context(), rt.device(r.device),
+      part.buffer = std::make_unique<ocl::Buffer>(session.context(), session.device(r.device),
                                                   r.size * elem_size_);
     }
     parts_.push_back(std::move(part));
@@ -134,14 +156,14 @@ void VectorData::materializeParts(bool upload) {
     // different PCIe links overlap in simulated time, and nothing blocks the
     // host.  Consumers order themselves after lastWrite (or, on the same
     // device, after the in-order queue).
-    ExecGraph g;
+    ExecGraph g(session);
     std::vector<std::pair<DevicePart*, ExecGraph::NodeId>> uploads;
     for (DevicePart& part : parts_) {
       if (part.size == 0) continue;
       const ExecGraph::NodeId id = g.add(
           StageKind::Upload, part.device, "upload dev" + std::to_string(part.device),
-          [this, &rt, &part](std::span<const ocl::Event> deps) {
-            return rt.queue(part.device)
+          [this, &session, &part](std::span<const ocl::Event> deps) {
+            return session.queue(part.device)
                 .enqueueWriteBuffer(*part.buffer, 0, part.size * elem_size_,
                                     host_.data() + part.offset * elem_size_,
                                     /*blocking=*/false, deps);
@@ -155,20 +177,19 @@ void VectorData::materializeParts(bool upload) {
   devices_valid_ = true;
 }
 
-void VectorData::downloadParts() {
-  auto& rt = Runtime::instance();
+void VectorData::downloadParts(Session& session) {
   // One download per part, all issued before the single host sync: reads
   // from devices on different links overlap instead of serializing on the
   // host as per-part blocking reads did.
-  ExecGraph g;
+  ExecGraph g(session);
   for (DevicePart& part : parts_) {
     if (part.size == 0) continue;
     std::vector<ocl::Event> deps;
     if (part.lastWrite.valid()) deps.push_back(part.lastWrite);
     g.add(
         StageKind::Download, part.device, "download dev" + std::to_string(part.device),
-        [this, &rt, &part](std::span<const ocl::Event> d) {
-          return rt.queue(part.device)
+        [this, &session, &part](std::span<const ocl::Event> d) {
+          return session.queue(part.device)
               .enqueueReadBuffer(*part.buffer, 0, part.size * elem_size_,
                                  host_.data() + part.offset * elem_size_,
                                  /*blocking=*/false, d);
@@ -179,23 +200,24 @@ void VectorData::downloadParts() {
   g.wait();
 }
 
-void VectorData::ensureHostValid() {
+void VectorData::ensureHostValid(Session* session) {
   if (host_valid_) return;
   SKELCL_CHECK(devices_valid_, "vector holds no valid data");
+  SKELCL_CHECK(session != nullptr,
+               "host access to device-resident data requires an active session");
   // A pending lazy redistribution whose layout matches the live parts (e.g.
   // copy() -> copy(combine)) is adopted here too, so a direct host read uses
   // the newly requested download semantics.
-  if (requested_.isSet() && partsMatchRequested()) current_ = requested_;
+  if (requested_.isSet() && partsMatchRequested(*session)) current_ = requested_;
   if (current_.kind() == Distribution::Kind::Copy) {
-    combineCopiesToHost();
+    combineCopiesToHost(*session);
   } else {
-    downloadParts();
+    downloadParts(*session);
   }
   host_valid_ = true;
 }
 
-void VectorData::combineCopiesToHost() {
-  auto& rt = Runtime::instance();
+void VectorData::combineCopiesToHost(Session& session) {
   SKELCL_CHECK(!parts_.empty(), "copy distribution without parts");
 
   const bool combine = current_.hasCombine() && parts_.size() >= 2 && count_ > 0;
@@ -207,7 +229,7 @@ void VectorData::combineCopiesToHost() {
   // Download the first device's copy into host memory and — when a combine
   // function exists — every other copy into a staging buffer, all overlapped
   // before the host fold (the only stage that needs them together).
-  ExecGraph g;
+  ExecGraph g(session);
   std::vector<ExecGraph::NodeId> reads;
   std::vector<std::vector<std::byte>> staged(parts_.size());
   for (std::size_t p = 0; p < parts_.size(); ++p) {
@@ -222,8 +244,8 @@ void VectorData::combineCopiesToHost() {
     if (part.lastWrite.valid()) deps.push_back(part.lastWrite);
     reads.push_back(g.add(
         StageKind::Download, part.device, "combine download dev" + std::to_string(part.device),
-        [this, &rt, &part, dst](std::span<const ocl::Event> d) {
-          return rt.queue(part.device)
+        [this, &session, &part, dst](std::span<const ocl::Event> d) {
+          return session.queue(part.device)
               .enqueueReadBuffer(*part.buffer, 0, bytes(), dst, /*blocking=*/false, d);
         },
         {}, std::move(deps)));
@@ -232,12 +254,12 @@ void VectorData::combineCopiesToHost() {
   if (combine) {
     // Fold the remaining copies element-wise with the user's binary function
     // on the host (paper III-A).
-    const auto program = rt.hostProgram(current_.combineSource());
+    const auto program = session.hostProgram(current_.combineSource());
     const int fn = program->findFunction("func");
     g.add(StageKind::Host, -1, "combine copies host fold",
-          [this, &rt, &staged, program, fn](std::span<const ocl::Event> deps) {
-            auto& system = rt.system();
-            system.advanceHost(ExecGraph::latestEnd(deps));
+          [this, &session, &staged, program, fn](std::span<const ocl::Event> deps) {
+            auto& system = session.system();
+            system.advanceHost(ExecGraph::latestEnd(system, deps));
             kc::Vm vm(*program, {});
             for (std::size_t p = 1; p < parts_.size(); ++p) {
               if (parts_[p].size == 0) continue;  // download skipped; nothing staged
@@ -305,6 +327,7 @@ void VectorData::recoverAfterDeviceLoss(int deadDevice) {
     // skeleton succeeds, so a failed attempt never invalidated it).  Drop all
     // parts; the next ensureOnDevices re-uploads the same bytes.
     parts_.clear();
+    releaseVramCharge();
     devices_valid_ = false;
     return;
   }
@@ -319,34 +342,52 @@ void VectorData::recoverAfterDeviceLoss(int deadDevice) {
   if (current_.kind() == Distribution::Kind::Copy && !current_.hasCombine()) {
     // Plain replication: any surviving copy is the data.  Erase the dead
     // part; combineCopiesToHost / downloads use the remaining replicas.
+    const std::uint64_t deadBytes = static_cast<std::uint64_t>(dead->size) * elem_size_;
     for (auto it = parts_.begin(); it != parts_.end(); ++it) {
       if (it->device == deadDevice) {
         parts_.erase(it);
         break;
       }
     }
+    if (charged_session_ && deadBytes > 0) {
+      // The replica's footprint is gone; stop charging the tenant for it.
+      charged_session_->releaseVram(std::min(deadBytes, charged_bytes_));
+      charged_bytes_ -= std::min(deadBytes, charged_bytes_);
+    }
     if (!parts_.empty()) return;
     devices_valid_ = false;
+    releaseVramCharge();
     throw DataLossError("device " + std::to_string(deadDevice) +
                         " held the last replica of a copy-distributed vector");
   }
 
   // Host stale and the lost part held unique data (a block part, or a
   // diverged copy that needed combining): the bytes are gone.
+  const std::size_t lostBytes = dead->size * elem_size_;  // before clear() kills `dead`
   devices_valid_ = false;
   host_valid_ = true;  // keep the invariant; contents are the stale host copy
   parts_.clear();
+  releaseVramCharge();
   throw DataLossError("device " + std::to_string(deadDevice) +
                       " held the only current copy of " +
-                      std::to_string(dead->size * elem_size_) + " bytes (" +
+                      std::to_string(lostBytes) + " bytes (" +
                       current_.describe() + " distribution, host copy stale)");
 }
 
 void VectorData::resetDeviceDataAfterLoss() {
   planned_valid_ = false;
   parts_.clear();
+  releaseVramCharge();
   devices_valid_ = false;
   host_valid_ = true;  // invariant: never both false; contents are irrelevant
+}
+
+void VectorData::releaseVramCharge() {
+  if (charged_session_ && charged_bytes_ > 0) {
+    charged_session_->releaseVram(charged_bytes_);
+  }
+  charged_session_.reset();
+  charged_bytes_ = 0;
 }
 
 }  // namespace skelcl::detail

@@ -6,6 +6,12 @@
 //  * devicesValid_ implies parts_ matches currentDist_ and holds the data.
 //  * Distribution changes are lazy: setDistribution records the request;
 //    data moves when a skeleton or host access actually needs it.
+//
+// A VectorData holds no session of its own: every device-touching operation
+// takes the Session& it runs under (the session current at operation time),
+// so one vector can move between tenants and partition planning always uses
+// the *operating* session's weights.  Device memory the vector materializes
+// is charged against that session's VRAM quota until the parts are dropped.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +24,8 @@
 
 namespace skelcl::detail {
 
+class Session;
+
 /// Scalar kind of the element type, needed when user operations (reduce
 /// fold, copy-combine) run on the host through the VM.
 enum class ElemKind { F32, F64, I32, U32, Other };
@@ -25,6 +33,7 @@ enum class ElemKind { F32, F64, I32, U32, Other };
 class VectorData {
  public:
   VectorData(std::size_t count, std::size_t elemSize, ElemKind kind);
+  ~VectorData();
 
   VectorData(const VectorData&) = delete;
   VectorData& operator=(const VectorData&) = delete;
@@ -35,8 +44,10 @@ class VectorData {
   ElemKind elemKind() const { return elem_kind_; }
 
   // --- host access (implicit download, paper II-B) ---
-  const std::byte* hostRead();  ///< ensure host copy is current
-  std::byte* hostWrite();       ///< hostRead + invalidate device copies
+  /// Ensure the host copy is current.  `session` may be null only while the
+  /// host copy is already valid (pure host-side use before skelcl::init).
+  const std::byte* hostRead(Session* session);
+  std::byte* hostWrite(Session* session);  ///< hostRead + invalidate device copies
 
   // --- distribution (paper III-A) ---
   void setDistribution(Distribution dist);  ///< lazy; combining happens on demand
@@ -44,15 +55,15 @@ class VectorData {
   void defaultDistribution(const Distribution& dist);
   const Distribution& distribution() const { return requested_; }
 
-  /// The partition the vector will use (respecting runtime scheduler
-  /// weights).  Cached: recomputed only when the distribution or the
-  /// runtime's partition weights change (partSizeOn/partOffsetOn are called
-  /// on every kernel-argument bind).
-  const std::vector<PartRange>& plannedPartition();
+  /// The partition the vector will use under `session` (respecting that
+  /// session's scheduler weights).  Cached: recomputed only when the
+  /// distribution, the operating session, or its partition epoch change
+  /// (partSizeOn/partOffsetOn are called on every kernel-argument bind).
+  const std::vector<PartRange>& plannedPartition(Session& session);
   /// Per-device part size under the planned partition (0 if none).
-  std::size_t partSizeOn(int device);
+  std::size_t partSizeOn(Session& session, int device);
   /// Per-device part element offset under the planned partition (0 if none).
-  std::size_t partOffsetOn(int device);
+  std::size_t partOffsetOn(Session& session, int device);
 
   // --- device materialization (used by skeletons) ---
   struct DevicePart {
@@ -68,10 +79,18 @@ class VectorData {
 
   /// Apply the requested distribution, uploading data lazily (only what is
   /// stale moves).  Returns the parts.
-  const std::vector<DevicePart>& ensureOnDevices();
+  const std::vector<DevicePart>& ensureOnDevices(Session& session);
 
   /// Materialize parts for the requested distribution *without* uploading —
   /// for skeleton outputs that will be fully overwritten by a kernel.
+  const std::vector<DevicePart>& ensureOnDevicesNoUpload(Session& session);
+
+  // Convenience overloads against the calling thread's current session, so
+  // single-tenant code (tests, benches) reads as before the Session split.
+  const std::vector<PartRange>& plannedPartition();
+  std::size_t partSizeOn(int device);
+  std::size_t partOffsetOn(int device);
+  const std::vector<DevicePart>& ensureOnDevices();
   const std::vector<DevicePart>& ensureOnDevicesNoUpload();
 
   /// The part residing on `device`, or nullptr (valid after ensureOnDevices*).
@@ -110,14 +129,16 @@ class VectorData {
   /// e.g. a zero-sized copy part — that have no natural construction path, to
   /// pin down defensive guards.
   friend struct VectorDataTestAccess;
-  void ensureHostValid();
-  void materializeParts(bool upload);
-  void downloadParts();
+  void ensureHostValid(Session* session);
+  void materializeParts(Session& session, bool upload);
+  void downloadParts(Session& session);
   /// Fold divergent copy-distribution versions into host memory using the
   /// distribution's combine function (or keep device 0's version).
-  void combineCopiesToHost();
-  bool partsMatchRequested();
-  Distribution effective(const Distribution& d) const;
+  void combineCopiesToHost(Session& session);
+  bool partsMatchRequested(Session& session);
+  /// Return the VRAM charged for the current parts to the session that paid
+  /// for it (buffers may already be gone; accounting is separate).
+  void releaseVramCharge();
 
   std::size_t count_;
   std::size_t elem_size_;
@@ -133,7 +154,11 @@ class VectorData {
 
   std::vector<PartRange> planned_;      ///< cached plannedPartition()
   bool planned_valid_ = false;
-  std::uint64_t planned_epoch_ = 0;     ///< Runtime::partitionEpoch it was built under
+  std::uint64_t planned_epoch_ = 0;  ///< Session::partitionEpoch it was built under
+  int planned_session_ = -1;         ///< session id it was built for
+
+  std::shared_ptr<Session> charged_session_;  ///< paid for the live parts
+  std::uint64_t charged_bytes_ = 0;
 };
 
 }  // namespace skelcl::detail

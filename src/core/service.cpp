@@ -1,0 +1,300 @@
+#include "core/service.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "core/detail/runtime.hpp"
+#include "core/skeletons.hpp"
+#include "core/vector.hpp"
+
+namespace skelcl {
+
+// One queued unit of work.  Completion state is guarded by the job's own
+// mutex so a client can wait() without touching the service's queue lock.
+struct Service::Job {
+  std::shared_ptr<detail::Session> session;
+
+  // Generic jobs carry a closure; map jobs carry (source, input) and are
+  // eligible for same-session batching.
+  std::function<void()> work;
+  std::string source;
+  std::vector<float> input;
+  std::vector<float> result;
+  bool isMap = false;
+  bool noBatch = false;  ///< requeued after a batched failure: retry alone
+
+  // Quota queueing: VRAM usage of the session at the last QuotaError.  A
+  // retry is pointless unless usage dropped below this in the meantime.
+  bool quotaFailed = false;
+  std::uint64_t quotaFailedUsed = 0;
+
+  double submitSimTime = 0.0;
+  double doneSimTime = 0.0;
+
+  mutable std::mutex m;
+  mutable std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+void Service::Handle::wait() const {
+  SKELCL_CHECK(job_ != nullptr, "empty service handle");
+  std::unique_lock<std::mutex> lock(job_->m);
+  job_->cv.wait(lock, [&] { return job_->done; });
+  if (job_->error) std::rethrow_exception(job_->error);
+}
+
+const std::vector<float>& Service::Handle::output() const {
+  SKELCL_CHECK(job_ != nullptr, "empty service handle");
+  return job_->result;
+}
+
+double Service::Handle::latencySeconds() const {
+  SKELCL_CHECK(job_ != nullptr, "empty service handle");
+  return job_->doneSimTime - job_->submitSimTime;
+}
+
+Service::Service(Options options) : options_(std::move(options)) {
+  SKELCL_CHECK(detail::Runtime::initialized(), "call skelcl::init before starting a Service");
+  executor_ = std::thread([this] { executorLoop(); });
+}
+
+Service::~Service() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  executor_.join();
+}
+
+std::shared_ptr<detail::Session> Service::createSession(detail::SessionOptions options) {
+  auto session = detail::Runtime::instance().createSession(std::move(options));
+  std::lock_guard<std::mutex> lock(mutex_);
+  queues_[session->id()].session = session;
+  return session;
+}
+
+double Service::simNow(detail::Session& session) {
+  // The sim clock is device state: read it under the shared lock (client
+  // threads call this while the executor advances time).
+  std::lock_guard<std::recursive_mutex> lock(session.shared().mutex());
+  return session.system().hostNow();
+}
+
+Service::Handle Service::submit(std::shared_ptr<detail::Session> session,
+                                std::function<void()> work) {
+  SKELCL_CHECK(session != nullptr, "submit needs a session");
+  auto job = std::make_shared<Job>();
+  job->session = session;
+  job->work = std::move(work);
+  job->submitSimTime = simNow(*session);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SKELCL_CHECK(!stop_, "service is shutting down");
+    auto& q = queues_[session->id()];
+    q.session = session;
+    q.jobs.push_back(job);
+  }
+  work_cv_.notify_one();
+  return Handle(job);
+}
+
+Service::Handle Service::submitMap(std::shared_ptr<detail::Session> session,
+                                   std::string userSource, std::vector<float> input) {
+  SKELCL_CHECK(session != nullptr, "submitMap needs a session");
+  auto job = std::make_shared<Job>();
+  job->session = session;
+  job->isMap = true;
+  job->source = std::move(userSource);
+  job->input = std::move(input);
+  job->submitSimTime = simNow(*session);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SKELCL_CHECK(!stop_, "service is shutting down");
+    auto& q = queues_[session->id()];
+    q.session = session;
+    q.jobs.push_back(job);
+  }
+  work_cv_.notify_one();
+  return Handle(job);
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] {
+    if (in_flight_ > 0) return false;
+    for (const auto& [id, q] : queues_) {
+      if (!q.jobs.empty()) return false;
+    }
+    return true;
+  });
+}
+
+Service::TenantStats Service::stats(const detail::Session& session) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = queues_.find(session.id());
+  return it == queues_.end() ? TenantStats{} : it->second.stats;
+}
+
+// --- executor ---------------------------------------------------------------
+
+Service::TenantQueue* Service::pickTenantLocked() {
+  // Stride scheduling: smallest virtual device time goes first.  Deferred
+  // (quota-blocked) tenants only run when nobody else can.
+  TenantQueue* best = nullptr;
+  double bestVt = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < 2 && best == nullptr; ++pass) {
+    const bool allowDeferred = pass == 1;
+    for (auto& [id, q] : queues_) {
+      if (q.jobs.empty()) continue;
+      if (q.deferred && !allowDeferred) continue;
+      const double w = std::max(q.session->shareWeight(), 1e-9);
+      const double vt = q.session->deviceTimeUsed() / w;
+      if (vt < bestVt) {
+        bestVt = vt;
+        best = &q;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::shared_ptr<Service::Job>> Service::popBatchLocked(TenantQueue& q) {
+  std::vector<std::shared_ptr<Job>> batch;
+  batch.push_back(q.jobs.front());
+  q.jobs.pop_front();
+  const Job& head = *batch.front();
+  if (!head.isMap || head.noBatch) return batch;
+  std::size_t elements = head.input.size();
+  while (!q.jobs.empty() && batch.size() < options_.batchMaxJobs) {
+    const Job& next = *q.jobs.front();
+    if (!next.isMap || next.noBatch || next.source != head.source) break;
+    if (elements + next.input.size() > options_.batchMaxElements) break;
+    elements += next.input.size();
+    batch.push_back(q.jobs.front());
+    q.jobs.pop_front();
+  }
+  return batch;
+}
+
+void Service::executorLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_cv_.wait(lock, [&] { return stop_ || pickTenantLocked() != nullptr; });
+    TenantQueue* q = pickTenantLocked();
+    if (q == nullptr) {
+      if (stop_) return;
+      continue;
+    }
+    auto batch = popBatchLocked(*q);
+    in_flight_ += batch.size();
+    lock.unlock();
+
+    runBatch(batch);
+
+    lock.lock();
+    // A batch completing may have released VRAM: quota-blocked tenants get
+    // another chance.
+    for (auto& [id, tq] : queues_) tq.deferred = false;
+    std::size_t completed = 0;
+    for (auto& job : batch) {
+      if (job == nullptr) continue;  // requeued, still pending
+      ++completed;
+      auto& tq = queues_[job->session->id()];
+      ++tq.stats.jobsCompleted;
+      tq.stats.latencySeconds.push_back(job->doneSimTime - job->submitSimTime);
+    }
+    if (completed > 0) ++queues_[q->session->id()].stats.batchesRun;
+    in_flight_ -= batch.size();
+    lock.unlock();
+    idle_cv_.notify_all();
+    work_cv_.notify_one();
+  }
+}
+
+void Service::completeJob(Job& job, std::exception_ptr error) {
+  job.doneSimTime = simNow(*job.session);
+  {
+    std::lock_guard<std::mutex> lock(job.m);
+    job.error = std::move(error);
+    job.done = true;
+  }
+  job.cv.notify_all();
+}
+
+// Runs one batch outside the queue lock.  Entries that get requeued (quota
+// queueing) are nulled out so the caller does not count them as completed.
+void Service::runBatch(std::vector<std::shared_ptr<Job>>& batch) {
+  auto session = batch.front()->session;
+  detail::SessionScope scope(session);
+  try {
+    if (batch.front()->isMap) {
+      runMapBatch(*session, batch);
+    } else {
+      batch.front()->work();
+    }
+  } catch (const QuotaError&) {
+    // Queue-on-quota: park the jobs at the head of their queue and let other
+    // tenants run; fail only when the session's VRAM usage has not dropped
+    // since the last attempt (waiting cannot help).
+    const std::uint64_t usedNow = session->vramUsed();
+    std::exception_ptr error = std::current_exception();
+    std::vector<std::shared_ptr<Job>> requeue;
+    for (auto& job : batch) {
+      const bool canWait = options_.queueOnQuota &&
+                           (!job->quotaFailed || usedNow < job->quotaFailedUsed);
+      if (canWait) {
+        job->quotaFailed = true;
+        job->quotaFailedUsed = usedNow;
+        job->noBatch = true;  // retry one at a time: a smaller footprint may fit
+        requeue.push_back(job);
+        job = nullptr;
+      } else {
+        completeJob(*job, error);
+      }
+    }
+    if (!requeue.empty()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& q = queues_[session->id()];
+      q.deferred = true;
+      for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+        q.jobs.push_front(*it);
+      }
+    }
+    return;
+  } catch (...) {
+    std::exception_ptr error = std::current_exception();
+    for (auto& job : batch) completeJob(*job, error);
+    return;
+  }
+  for (auto& job : batch) completeJob(*job, nullptr);
+}
+
+void Service::runMapBatch(detail::Session&, std::vector<std::shared_ptr<Job>>& batch) {
+  // Concatenate the batch into one vector and launch the user function once:
+  // map is elementwise, so the fused run is bit-identical to running each
+  // job alone — only the launch/transfer overhead is amortized.
+  std::size_t total = 0;
+  for (const auto& job : batch) total += job->input.size();
+  Vector<float> input(total);
+  float* in = input.begin();
+  for (const auto& job : batch) {
+    std::memcpy(in, job->input.data(), job->input.size() * sizeof(float));
+    in += job->input.size();
+  }
+  Map<float(float)> map(batch.front()->source);
+  Vector<float> output = map(input);
+  const float* out = output.hostData();
+  for (auto& job : batch) {
+    job->result.assign(out, out + job->input.size());
+    out += job->input.size();
+  }
+  // The batch's vectors die here, releasing their VRAM charge before the
+  // next admission decision.
+}
+
+}  // namespace skelcl

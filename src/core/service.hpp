@@ -1,0 +1,127 @@
+// Multi-tenant skeleton service (docs/SERVICE.md).
+//
+// N client threads (tenants) submit skeleton jobs concurrently; one executor
+// thread issues them against the shared device pool.  Serializing issue on a
+// single thread is what makes concurrent runs bit-identical to serial ones —
+// the scheduling freedom is *which tenant goes next*, decided by weighted
+// fair sharing of simulated device time:
+//
+//  * admission order: among sessions with queued work, run the one with the
+//    smallest virtual device time `deviceTimeUsed() / shareWeight()` (stride
+//    scheduling).  Under sustained load, device time converges to the ratio
+//    of the share weights.
+//  * batching: consecutive queued map jobs of the same session over the same
+//    user source are concatenated into ONE kernel enqueue, amortizing the
+//    per-launch overhead that dominates small jobs.
+//  * VRAM quotas: a job that would breach its session's quota is put back at
+//    the head of its queue and other tenants run first (queueing); it fails
+//    with QuotaError only when waiting provably cannot help (the session's
+//    VRAM usage did not drop since the last attempt).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detail/session.hpp"
+
+namespace skelcl {
+
+class Service {
+ public:
+  struct Options {
+    /// Max queued map jobs fused into one enqueue.
+    std::size_t batchMaxJobs = 16;
+    /// Jobs whose combined element count exceeds this are not fused further.
+    std::size_t batchMaxElements = std::size_t{1} << 16;
+    /// Queue quota-breaching jobs (default) instead of failing them outright.
+    bool queueOnQuota = true;
+  };
+
+  struct Job;  // internal; defined in service.cpp's view of the world
+
+  /// Completion handle of a submitted job.
+  class Handle {
+   public:
+    Handle() = default;
+
+    /// Block until the job ran; rethrows the job's error, if any.
+    void wait() const;
+    /// Map-job result (valid after wait(); empty for generic jobs).
+    const std::vector<float>& output() const;
+    /// Simulated seconds from submission to completion (valid after wait()).
+    double latencySeconds() const;
+
+   private:
+    friend class Service;
+    explicit Handle(std::shared_ptr<Job> job) : job_(std::move(job)) {}
+    std::shared_ptr<Job> job_;
+  };
+
+  /// Per-tenant accounting, exposed for benches and tests.
+  struct TenantStats {
+    std::uint64_t jobsCompleted = 0;
+    std::uint64_t batchesRun = 0;       ///< enqueues (≤ jobsCompleted when batching)
+    std::vector<double> latencySeconds; ///< one entry per completed job
+  };
+
+  /// The runtime must be initialized (skelcl::init) before constructing.
+  Service() : Service(Options()) {}
+  explicit Service(Options options);
+  ~Service();  ///< drains queued jobs, then stops the executor
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Create a tenant session registered with this service.
+  std::shared_ptr<detail::Session> createSession(detail::SessionOptions options = {});
+
+  /// Submit an arbitrary job: `work` runs on the executor thread with
+  /// `session` current (skeletons inside it execute under that session).
+  Handle submit(std::shared_ptr<detail::Session> session, std::function<void()> work);
+
+  /// Submit a small map job `output[i] = func(input[i])`; eligible for
+  /// same-session batching.
+  Handle submitMap(std::shared_ptr<detail::Session> session, std::string userSource,
+                   std::vector<float> input);
+
+  /// Block until every job submitted so far has completed.
+  void drain();
+
+  TenantStats stats(const detail::Session& session) const;
+
+ private:
+  struct TenantQueue {
+    std::shared_ptr<detail::Session> session;
+    std::deque<std::shared_ptr<Job>> jobs;
+    bool deferred = false;  ///< quota-blocked; other tenants go first
+    TenantStats stats;
+  };
+
+  void executorLoop();
+  TenantQueue* pickTenantLocked();
+  std::vector<std::shared_ptr<Job>> popBatchLocked(TenantQueue& q);
+  void runBatch(std::vector<std::shared_ptr<Job>>& batch);
+  void runMapBatch(detail::Session& session, std::vector<std::shared_ptr<Job>>& batch);
+  void completeJob(Job& job, std::exception_ptr error);
+  double simNow(detail::Session& session);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< executor: work arrived / stopping
+  std::condition_variable idle_cv_;   ///< drain(): a batch finished
+  std::map<int, TenantQueue> queues_; ///< keyed by session id
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::thread executor_;
+};
+
+}  // namespace skelcl

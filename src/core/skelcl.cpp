@@ -1,8 +1,16 @@
 #include "core/skelcl.hpp"
 
+#include <mutex>
+
 #include "core/detail/runtime.hpp"
 
 namespace skelcl {
+
+namespace {
+std::unique_lock<std::recursive_mutex> sharedLock() {
+  return std::unique_lock<std::recursive_mutex>(detail::Runtime::instance().shared().mutex());
+}
+}  // namespace
 
 void init(sim::SystemConfig config) { detail::Runtime::init(std::move(config)); }
 
@@ -10,28 +18,49 @@ void terminate() { detail::Runtime::terminate(); }
 
 int deviceCount() { return detail::Runtime::instance().deviceCount(); }
 
-double simTimeSeconds() { return detail::Runtime::instance().system().hostNow(); }
+double simTimeSeconds() {
+  auto lock = sharedLock();
+  return detail::Runtime::instance().system().hostNow();
+}
 
 void finish() {
+  auto lock = sharedLock();
   auto& rt = detail::Runtime::instance();
   for (int d = 0; d < rt.deviceCount(); ++d) rt.queue(d).finish();
 }
 
-void resetSimClock() { detail::Runtime::instance().resetClock(); }
-
-const sim::Stats& simStats() { return detail::Runtime::instance().system().stats(); }
-
-void setPartitionWeights(std::vector<double> weights) {
-  detail::Runtime::instance().setPartitionWeights(std::move(weights));
+void resetSimClock() {
+  auto lock = sharedLock();
+  detail::Runtime::instance().resetClock();
 }
 
+const sim::Stats& simStats() {
+  auto lock = sharedLock();
+  return detail::Runtime::instance().system().stats();
+}
+
+void setPartitionWeights(std::vector<double> weights) {
+  detail::currentSession().setPartitionWeights(std::move(weights));
+}
+
+std::shared_ptr<Session> createSession(SessionOptions options) {
+  return detail::Runtime::instance().createSession(std::move(options));
+}
+
+Session& currentSession() { return detail::Session::current(); }
+
 void setFaultPlan(sim::FaultPlan plan) {
+  auto lock = sharedLock();
   detail::Runtime::instance().system().faults().install(std::move(plan));
 }
 
-int aliveDeviceCount() { return detail::Runtime::instance().aliveDeviceCount(); }
+int aliveDeviceCount() {
+  auto lock = sharedLock();
+  return detail::Runtime::instance().aliveDeviceCount();
+}
 
 void blacklistDevice(int device) {
+  auto lock = sharedLock();
   detail::Runtime::instance().blacklistDevice(device, "blacklisted by the application");
 }
 

@@ -11,6 +11,9 @@
 //   skelcl::terminate();
 #pragma once
 
+#include <memory>
+
+#include "core/detail/session.hpp"  // IWYU pragma: export
 #include "core/distribution.hpp"   // IWYU pragma: export
 #include "core/skeletons.hpp"      // IWYU pragma: export
 #include "core/type_name.hpp"      // IWYU pragma: export
@@ -43,7 +46,24 @@ const sim::Stats& simStats();
 
 /// Set proportional block-partition weights for devices (used by the static
 /// scheduler for heterogeneous systems, Section V).  Empty = even split.
+/// Weights are per tenant: this affects the thread's *current* session (the
+/// default session unless a SessionScope is active).
 void setPartitionWeights(std::vector<double> weights);
+
+// --- multi-tenant sessions (docs/SERVICE.md) --------------------------------
+
+using Session = detail::Session;
+using SessionOptions = detail::SessionOptions;
+using SessionScope = detail::SessionScope;
+
+/// Create a new tenant session over the already-initialized runtime.  The
+/// session shares devices, compile caches and the blacklist with every other
+/// session but carries its own partition weights, fair-share weight and VRAM
+/// quota.  Activate it on a thread with SessionScope.
+std::shared_ptr<Session> createSession(SessionOptions options = {});
+
+/// The session skeleton calls on this thread currently run under.
+Session& currentSession();
 
 // --- fault tolerance (docs/ROBUSTNESS.md) ----------------------------------
 

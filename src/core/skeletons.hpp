@@ -119,8 +119,9 @@ class Map<Tout(Tin)> {
   template <typename... Extras>
   void run(Vector<Tout>& output, const Vector<Tin>& input, const Extras&... extras) {
     auto packed = detail::packExtras(extras...);
-    detail::runElementwise(source_, &input.impl(), nullptr, 0, Distribution{}, output.impl(),
-                           kernelTypeName<Tin>(), "", kernelTypeName<Tout>(), packed);
+    detail::runElementwise(detail::Session::current(), source_, &input.impl(), nullptr, 0,
+                           Distribution{}, output.impl(), kernelTypeName<Tin>(), "",
+                           kernelTypeName<Tout>(), packed);
   }
 
   std::string source_;
@@ -138,8 +139,9 @@ class Map<Tout(Index)> {
   Vector<Tout> operator()(const IndexVector& input, const Extras&... extras) {
     Vector<Tout> output(input.size());
     auto packed = detail::packExtras(extras...);
-    detail::runElementwise(source_, nullptr, nullptr, input.size(), input.distribution(),
-                           output.impl(), "", "", kernelTypeName<Tout>(), packed);
+    detail::runElementwise(detail::Session::current(), source_, nullptr, nullptr, input.size(),
+                           input.distribution(), output.impl(), "", "",
+                           kernelTypeName<Tout>(), packed);
     return output;
   }
 
@@ -191,9 +193,9 @@ class Zip<Tout(Tl, Tr)> {
   void run(Vector<Tout>& output, const Vector<Tl>& left, const Vector<Tr>& right,
            const Extras&... extras) {
     auto packed = detail::packExtras(extras...);
-    detail::runElementwise(source_, &left.impl(), &right.impl(), 0, Distribution{},
-                           output.impl(), kernelTypeName<Tl>(), kernelTypeName<Tr>(),
-                           kernelTypeName<Tout>(), packed);
+    detail::runElementwise(detail::Session::current(), source_, &left.impl(), &right.impl(), 0,
+                           Distribution{}, output.impl(), kernelTypeName<Tl>(),
+                           kernelTypeName<Tr>(), kernelTypeName<Tout>(), packed);
   }
 
   std::string source_;
@@ -225,8 +227,8 @@ class Reduce<T(T)> {
   template <typename... Extras>
   T operator()(const Vector<T>& input, const Extras&... extras) {
     auto packed = detail::packExtras(extras...);
-    const kc::Slot result =
-        detail::runReduce(source_, input.impl(), kernelTypeName<T>(), packed);
+    const kc::Slot result = detail::runReduce(detail::Session::current(), source_,
+                                              input.impl(), kernelTypeName<T>(), packed);
     if constexpr (std::is_floating_point_v<T>) {
       return static_cast<T>(result.f);
     } else {
@@ -262,13 +264,15 @@ class Scan<T(T, T)> {
 
   Vector<T> operator()(const Vector<T>& input) {
     Vector<T> output(input.size());
-    detail::runScan(source_, input.impl(), output.impl(), kernelTypeName<T>());
+    detail::runScan(detail::Session::current(), source_, input.impl(), output.impl(),
+                    kernelTypeName<T>());
     return output;
   }
 
   void operator()(Out<T> output, const Vector<T>& input) {
     SKELCL_CHECK(output.target().size() == input.size(), "output size mismatch");
-    detail::runScan(source_, input.impl(), output.target().impl(), kernelTypeName<T>());
+    detail::runScan(detail::Session::current(), source_, input.impl(),
+                    output.target().impl(), kernelTypeName<T>());
   }
 
  private:
@@ -357,15 +361,17 @@ class Pipeline {
   /// Run the chain over `input` into a fresh vector.
   Vector<T> operator()(const Vector<T>& input) {
     Vector<T> output(input.size());
-    last_fused_ = detail::runFusedChain(input.impl(), kernelTypeName<T>(), stages_,
-                                        output.impl(), force_unfused_);
+    last_fused_ = detail::runFusedChain(detail::Session::current(), input.impl(),
+                                        kernelTypeName<T>(), stages_, output.impl(),
+                                        force_unfused_);
     return output;
   }
 
   /// Run the chain in place into an existing vector (may alias the input).
   void operator()(Out<T> output, const Vector<T>& input) {
     SKELCL_CHECK(output.target().size() == input.size(), "output size mismatch");
-    last_fused_ = detail::runFusedChain(input.impl(), kernelTypeName<T>(), stages_,
+    last_fused_ = detail::runFusedChain(detail::Session::current(), input.impl(),
+                                        kernelTypeName<T>(), stages_,
                                         output.target().impl(), force_unfused_);
   }
 
@@ -378,8 +384,8 @@ class Pipeline {
            const Extras&... extras) {
     auto packed = detail::packExtras(extras...);
     const kc::Slot result =
-        detail::runFusedReduce(input.impl(), kernelTypeName<T>(), stages_, reduceSource,
-                               packed, force_unfused_, &last_fused_);
+        detail::runFusedReduce(detail::Session::current(), input.impl(), kernelTypeName<T>(),
+                               stages_, reduceSource, packed, force_unfused_, &last_fused_);
     if constexpr (std::is_floating_point_v<T>) {
       return static_cast<T>(result.f);
     } else {

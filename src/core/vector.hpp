@@ -9,6 +9,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/detail/session.hpp"
 #include "core/detail/vector_data.hpp"
 #include "core/type_name.hpp"
 
@@ -53,7 +54,9 @@ class Vector {
   /// A vector initialized from host data.
   Vector(std::initializer_list<T> init) : Vector(std::vector<T>(init)) {}
   explicit Vector(const std::vector<T>& init) : Vector(init.size()) {
-    T* dst = reinterpret_cast<T*>(data_->hostWrite());
+    // A fresh vector's host copy is valid, so no session is needed here —
+    // construction works before skelcl::init.
+    T* dst = reinterpret_cast<T*>(data_->hostWrite(detail::Session::currentIfAny()));
     std::copy(init.begin(), init.end(), dst);
   }
 
@@ -69,14 +72,19 @@ class Vector {
 
   // --- host access: triggers implicit (lazy) downloads -----------------------
 
-  /// Read-only access; device copies stay valid.
-  const T* hostData() const { return reinterpret_cast<const T*>(data_->hostRead()); }
+  /// Read-only access; device copies stay valid.  The implicit download (if
+  /// one is needed) runs under the thread's current session.
+  const T* hostData() const {
+    return reinterpret_cast<const T*>(data_->hostRead(detail::Session::currentIfAny()));
+  }
   const T& operator[](std::size_t i) const { return hostData()[i]; }
   const T* begin() const { return hostData(); }
   const T* end() const { return hostData() + size(); }
 
   /// Mutable access; marks device copies stale.
-  T* hostDataWrite() { return reinterpret_cast<T*>(data_->hostWrite()); }
+  T* hostDataWrite() {
+    return reinterpret_cast<T*>(data_->hostWrite(detail::Session::currentIfAny()));
+  }
   T& operator[](std::size_t i) { return hostDataWrite()[i]; }
   T* begin() { return hostDataWrite(); }
   T* end() { return hostDataWrite() + size(); }

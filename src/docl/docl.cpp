@@ -1,7 +1,7 @@
 #include "docl/docl.hpp"
 
 #include "base/error.hpp"
-#include "core/detail/runtime.hpp"
+#include "core/detail/session.hpp"
 #include "core/skelcl.hpp"
 
 namespace skelcl::docl {
@@ -39,7 +39,7 @@ void applyNetworkModel(sim::System& system, const DistributedConfig& config) {
 
 void initSkelCL(const DistributedConfig& config) {
   init(flatten(config));
-  auto& system = detail::Runtime::instance().system();
+  auto& system = detail::currentSession().system();
   applyNetworkModel(system, config);
   sim::FaultPlan plan = networkFaultPlan(config);
   if (!plan.empty()) {

@@ -17,17 +17,23 @@ void Device::allocate(std::uint64_t bytes) {
   }
   // An injected memory cap models VRAM exhaustion below the spec capacity.
   const std::uint64_t capacity = std::min(memoryCapacity(), faults.memoryCap(id_));
-  if (allocated_ + bytes > capacity) {
-    throw ResourceError("device '" + name() + "': allocation of " + std::to_string(bytes) +
-                        " bytes exceeds the remaining " +
-                        std::to_string(capacity > allocated_ ? capacity - allocated_ : 0) +
-                        " bytes of device memory (CL_MEM_OBJECT_ALLOCATION_FAILURE)");
-  }
-  allocated_ += bytes;
+  std::uint64_t cur = allocated_.load(std::memory_order_relaxed);
+  do {
+    if (cur + bytes > capacity) {
+      throw ResourceError("device '" + name() + "': allocation of " + std::to_string(bytes) +
+                          " bytes exceeds the remaining " +
+                          std::to_string(capacity > cur ? capacity - cur : 0) +
+                          " bytes of device memory (CL_MEM_OBJECT_ALLOCATION_FAILURE)");
+    }
+  } while (!allocated_.compare_exchange_weak(cur, cur + bytes, std::memory_order_relaxed));
 }
 
 void Device::release(std::uint64_t bytes) {
-  allocated_ = bytes > allocated_ ? 0 : allocated_ - bytes;
+  std::uint64_t cur = allocated_.load(std::memory_order_relaxed);
+  std::uint64_t next;
+  do {
+    next = bytes > cur ? 0 : cur - bytes;
+  } while (!allocated_.compare_exchange_weak(cur, next, std::memory_order_relaxed));
 }
 
 Platform::Platform(sim::SystemConfig config) : system_(std::move(config)) {

@@ -7,6 +7,7 @@
 // simulated time on the device/link timelines.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -71,7 +72,7 @@ class Device : public std::enable_shared_from_this<Device> {
   sim::DeviceType type() const { return spec().type; }
 
   std::uint64_t memoryCapacity() const { return spec().mem_bytes; }
-  std::uint64_t memoryAllocated() const { return allocated_; }
+  std::uint64_t memoryAllocated() const { return allocated_.load(std::memory_order_relaxed); }
 
   Platform& platform() { return platform_; }
 
@@ -82,7 +83,9 @@ class Device : public std::enable_shared_from_this<Device> {
 
   Platform& platform_;
   int id_;
-  std::uint64_t allocated_ = 0;
+  // Atomic: Buffer destruction (release) may run off the shared device lock,
+  // e.g. a Vector destroyed on a multi-tenant service's client thread.
+  std::atomic<std::uint64_t> allocated_{0};
 };
 
 /// The (single) OpenCL platform of a simulated machine.

@@ -5,7 +5,7 @@
 #include <numeric>
 
 #include "base/error.hpp"
-#include "core/detail/runtime.hpp"
+#include "core/detail/session.hpp"
 #include "core/skelcl.hpp"
 #include "kernelc/program.hpp"
 #include "ocl/platform.hpp"
@@ -84,12 +84,15 @@ bool hostShouldFinishReduce(const sim::DeviceSpec& gpu, std::uint64_t elements,
   return hostTime <= gpuTime;
 }
 
-void autoSchedule(const std::string& userSource) {
+void autoSchedule(detail::Session& session, const std::string& userSource) {
   const KernelCostEstimate cost = measureUserFunction(userSource);
-  auto& rt = detail::Runtime::instance();
   std::vector<sim::DeviceSpec> devices;
-  for (int d = 0; d < rt.deviceCount(); ++d) devices.push_back(rt.device(d).spec());
-  setPartitionWeights(staticWeights(devices, cost));
+  for (int d = 0; d < session.deviceCount(); ++d) devices.push_back(session.device(d).spec());
+  session.setPartitionWeights(staticWeights(devices, cost));
+}
+
+void autoSchedule(const std::string& userSource) {
+  autoSchedule(detail::currentSession(), userSource);
 }
 
 KernelCostEstimate measurePipelineCost(const std::vector<std::string>& stageSources,
@@ -104,12 +107,15 @@ KernelCostEstimate measurePipelineCost(const std::vector<std::string>& stageSour
   return total;
 }
 
-void autoSchedule(const std::vector<std::string>& stageSources) {
+void autoSchedule(detail::Session& session, const std::vector<std::string>& stageSources) {
   const KernelCostEstimate cost = measurePipelineCost(stageSources);
-  auto& rt = detail::Runtime::instance();
   std::vector<sim::DeviceSpec> devices;
-  for (int d = 0; d < rt.deviceCount(); ++d) devices.push_back(rt.device(d).spec());
-  setPartitionWeights(staticWeights(devices, cost));
+  for (int d = 0; d < session.deviceCount(); ++d) devices.push_back(session.device(d).spec());
+  session.setPartitionWeights(staticWeights(devices, cost));
+}
+
+void autoSchedule(const std::vector<std::string>& stageSources) {
+  autoSchedule(detail::currentSession(), stageSources);
 }
 
 }  // namespace skelcl::sched

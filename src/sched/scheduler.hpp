@@ -15,6 +15,10 @@
 
 #include "sim/device_spec.hpp"
 
+namespace skelcl::detail {
+class Session;
+}  // namespace skelcl::detail
+
 namespace skelcl::sched {
 
 /// Measured cost of one user-function application, in VM instructions.
@@ -50,8 +54,12 @@ bool hostShouldFinishReduce(const sim::DeviceSpec& gpu, std::uint64_t elements,
                             const KernelCostEstimate& cost, double hostInstrPerSec);
 
 /// Convenience: measure `userSource`, compute weights for the running SkelCL
-/// runtime's devices and install them via setPartitionWeights.
+/// runtime's devices and install them on the calling thread's current
+/// session (each tenant schedules independently).
 void autoSchedule(const std::string& userSource);
+
+/// Same, but install the weights on an explicit session.
+void autoSchedule(detail::Session& session, const std::string& userSource);
 
 /// Cost of one element through a fused skeleton pipeline: the sum of the
 /// per-stage instruction counts (the fused kernel evaluates every stage's
@@ -62,5 +70,8 @@ KernelCostEstimate measurePipelineCost(const std::vector<std::string>& stageSour
 
 /// autoSchedule for a fused pipeline: weights from the summed per-stage cost.
 void autoSchedule(const std::vector<std::string>& stageSources);
+
+/// Same, but install the weights on an explicit session.
+void autoSchedule(detail::Session& session, const std::vector<std::string>& stageSources);
 
 }  // namespace skelcl::sched

@@ -227,18 +227,19 @@ TEST_P(WeightedSkeletons, ReduceUnderCopyDistribution) {
 
 TEST_P(WeightedSkeletons, PlannedPartitionCacheTracksWeightChanges) {
   const int gpus = GetParam();
+  detail::Session& session = currentSession();
   Vector<int> v(1000);
   v.setDistribution(Distribution::block());
-  const std::size_t before = v.impl().partSizeOn(0);
+  const std::size_t before = v.impl().partSizeOn(session, 0);
   // even split now: the cached plan must be invalidated by the weight change
   setPartitionWeights(std::vector<double>(static_cast<std::size_t>(gpus), 1.0));
-  const std::size_t after = v.impl().partSizeOn(0);
+  const std::size_t after = v.impl().partSizeOn(session, 0);
   EXPECT_EQ(after, 1000u / static_cast<std::size_t>(gpus));
   if (gpus > 1) {
     EXPECT_LT(before, after);  // device 0 had the smallest weight
   }
   std::size_t total = 0;
-  for (const auto& p : v.impl().plannedPartition()) total += p.size;
+  for (const auto& p : v.impl().plannedPartition(session)) total += p.size;
   EXPECT_EQ(total, 1000u);
 }
 

@@ -1,0 +1,302 @@
+// Tests for the Session/SharedDeviceState split and the multi-tenant
+// service (docs/SERVICE.md): concurrent sessions must be bit-identical to
+// serial execution, per-session scheduler state must not leak between
+// tenants, device death must blacklist for *all* sessions, VRAM quotas must
+// hit only the offending session, and the trace collector must reset between
+// init/terminate cycles.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/detail/trace.hpp"
+#include "core/service.hpp"
+#include "core/skelcl.hpp"
+
+using namespace skelcl;
+
+namespace {
+
+/// init/terminate guard so a failing assertion cannot leak a runtime into
+/// the next test.
+struct RuntimeGuard {
+  explicit RuntimeGuard(sim::SystemConfig config) { init(std::move(config)); }
+  ~RuntimeGuard() { terminate(); }
+};
+
+constexpr const char* kMapSrc = "float func(float x) { return x * 1.5f + 0.25f; }";
+constexpr const char* kAddSrc = "int func(int a, int b) { return a + b; }";
+
+std::vector<float> mapInput(std::size_t n, int salt) {
+  std::vector<float> in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<float>((i * 13 + static_cast<std::size_t>(salt)) % 101) * 0.5f;
+  }
+  return in;
+}
+
+std::vector<int> scanInput(std::size_t n, int salt) {
+  std::vector<int> in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<int>((i + static_cast<std::size_t>(salt)) % 17) - 8;
+  }
+  return in;
+}
+
+}  // namespace
+
+// --- concurrent sessions are bit-identical to serial runs -------------------
+
+TEST(SessionConcurrency, MapReduceScanMatchSerialBitIdentically) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  const std::size_t n = 4096;
+  const int rounds = 8;
+
+  // Serial reference, on the default session.
+  std::vector<std::vector<float>> mapRef;
+  std::vector<int> reduceRef;
+  std::vector<std::vector<int>> scanRef;
+  {
+    Map<float(float)> map(kMapSrc);
+    Reduce<int(int)> reduce(kAddSrc);
+    Scan<int> scan(kAddSrc);
+    for (int r = 0; r < rounds; ++r) {
+      Vector<float> mv(mapInput(n, r));
+      mapRef.push_back(map(mv).toStdVector());
+      Vector<int> rv(scanInput(n, r));
+      reduceRef.push_back(reduce(rv));
+      Vector<int> sv(scanInput(n, r));
+      scanRef.push_back(scan(sv).toStdVector());
+    }
+  }
+
+  // Three tenant threads run the same workloads concurrently.
+  std::vector<std::vector<float>> mapGot(static_cast<std::size_t>(rounds));
+  std::vector<int> reduceGot(static_cast<std::size_t>(rounds));
+  std::vector<std::vector<int>> scanGot(static_cast<std::size_t>(rounds));
+  auto mapClient = std::thread([&] {
+    SessionScope scope(createSession({"map-tenant", 1.0, 0}));
+    Map<float(float)> map(kMapSrc);
+    for (int r = 0; r < rounds; ++r) {
+      Vector<float> v(mapInput(n, r));
+      mapGot[static_cast<std::size_t>(r)] = map(v).toStdVector();
+    }
+  });
+  auto reduceClient = std::thread([&] {
+    SessionScope scope(createSession({"reduce-tenant", 1.0, 0}));
+    Reduce<int(int)> reduce(kAddSrc);
+    for (int r = 0; r < rounds; ++r) {
+      Vector<int> v(scanInput(n, r));
+      reduceGot[static_cast<std::size_t>(r)] = reduce(v);
+    }
+  });
+  auto scanClient = std::thread([&] {
+    SessionScope scope(createSession({"scan-tenant", 1.0, 0}));
+    Scan<int> scan(kAddSrc);
+    for (int r = 0; r < rounds; ++r) {
+      Vector<int> v(scanInput(n, r));
+      scanGot[static_cast<std::size_t>(r)] = scan(v).toStdVector();
+    }
+  });
+  mapClient.join();
+  reduceClient.join();
+  scanClient.join();
+
+  for (int r = 0; r < rounds; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    ASSERT_EQ(mapGot[i].size(), mapRef[i].size());
+    EXPECT_EQ(0, std::memcmp(mapGot[i].data(), mapRef[i].data(),
+                             mapRef[i].size() * sizeof(float)))
+        << "map round " << r << " not bit-identical";
+    EXPECT_EQ(reduceGot[i], reduceRef[i]) << "reduce round " << r;
+    EXPECT_EQ(scanGot[i], scanRef[i]) << "scan round " << r;
+  }
+}
+
+TEST(SessionConcurrency, ServiceMapJobsMatchSerialBitIdentically) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  const std::size_t n = 512;
+  const int jobs = 24;
+
+  std::vector<std::vector<float>> ref;
+  {
+    Map<float(float)> map(kMapSrc);
+    for (int j = 0; j < jobs; ++j) {
+      Vector<float> v(mapInput(n, j));
+      ref.push_back(map(v).toStdVector());
+    }
+  }
+
+  Service service;
+  auto a = service.createSession({"a", 1.0, 0});
+  auto b = service.createSession({"b", 2.0, 0});
+  std::vector<Service::Handle> handles;
+  for (int j = 0; j < jobs; ++j) {
+    handles.push_back(service.submitMap(j % 2 == 0 ? a : b, kMapSrc, mapInput(n, j)));
+  }
+  for (int j = 0; j < jobs; ++j) {
+    handles[static_cast<std::size_t>(j)].wait();
+    const auto& got = handles[static_cast<std::size_t>(j)].output();
+    ASSERT_EQ(got.size(), ref[static_cast<std::size_t>(j)].size());
+    EXPECT_EQ(0, std::memcmp(got.data(), ref[static_cast<std::size_t>(j)].data(),
+                             got.size() * sizeof(float)))
+        << "service job " << j << " not bit-identical (batched vs alone)";
+  }
+  service.drain();  // stats are recorded when a batch retires, after handles fire
+  const auto statsA = service.stats(*a);
+  const auto statsB = service.stats(*b);
+  EXPECT_EQ(statsA.jobsCompleted + statsB.jobsCompleted, static_cast<std::uint64_t>(jobs));
+  EXPECT_GT(a->deviceTimeUsed(), 0.0);
+  EXPECT_GT(b->deviceTimeUsed(), 0.0);
+}
+
+// --- per-session scheduler state does not leak ------------------------------
+
+TEST(SessionIsolation, PartitionWeightsDoNotLeakAcrossSessions) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  auto a = createSession({"a", 1.0, 0});
+  auto b = createSession({"b", 1.0, 0});
+  a->setPartitionWeights({1.0, 3.0});
+
+  EXPECT_TRUE(b->partitionWeights().empty());
+  EXPECT_TRUE(b->applicablePartitionWeights().empty());
+  EXPECT_EQ(a->applicablePartitionWeights(), (std::vector<double>{1.0, 3.0}));
+
+  // The same vector plans differently under each session: lopsided under a,
+  // even under b — and the plan cache must not serve a's plan to b.
+  Vector<float> v(1000);
+  v.setDistribution(Distribution::block());
+  EXPECT_EQ(v.impl().partSizeOn(*a, 0), 250u);
+  EXPECT_EQ(v.impl().partSizeOn(*a, 1), 750u);
+  EXPECT_EQ(v.impl().partSizeOn(*b, 0), 500u);
+  EXPECT_EQ(v.impl().partSizeOn(*b, 1), 500u);
+  EXPECT_EQ(v.impl().partSizeOn(*a, 1), 750u);  // and back
+
+  // The thread-current session routes skelcl::setPartitionWeights.
+  {
+    SessionScope scope(b);
+    setPartitionWeights({1.0, 1.0});
+  }
+  EXPECT_EQ(b->partitionWeights(), (std::vector<double>{1.0, 1.0}));
+  EXPECT_EQ(a->partitionWeights(), (std::vector<double>{1.0, 3.0}));
+}
+
+// --- device death is shared; every session recovers -------------------------
+
+TEST(SessionFaults, DeviceDeathBlacklistsForAllSessionsAndBothRecover) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  sim::FaultPlan plan;
+  plan.killAfterCommands(1, 6);  // dies mid-run, during one tenant's job
+  setFaultPlan(std::move(plan));
+
+  auto a = createSession({"a", 1.0, 0});
+  auto b = createSession({"b", 1.0, 0});
+  const std::size_t n = 2048;
+  const std::vector<int> in = scanInput(n, 3);
+  const int expect = std::accumulate(in.begin(), in.end(), 0);
+
+  // Reduce keeps upload, kernel and the partials download inside the
+  // recovery-wrapped skeleton entry, so the injected death can land on any
+  // command and still be survivable (the inputs' host copies are valid).
+  auto runRounds = [&](std::shared_ptr<Session> session, int rounds) {
+    SessionScope scope(std::move(session));
+    Reduce<int(int)> sum(kAddSrc);
+    for (int r = 0; r < rounds; ++r) {
+      Vector<int> v(in);
+      const int got = sum(v);
+      ASSERT_EQ(got, expect) << "round " << r;
+    }
+  };
+
+  std::thread ta([&] { runRounds(a, 4); });
+  std::thread tb([&] { runRounds(b, 4); });
+  ta.join();
+  tb.join();
+
+  // The blacklist is shared device state: both tenants see one survivor.
+  EXPECT_EQ(aliveDeviceCount(), 1);
+  EXPECT_EQ(a->aliveDevices(), (std::vector<int>{0}));
+  EXPECT_EQ(b->aliveDevices(), (std::vector<int>{0}));
+
+  // And both keep working after the loss.
+  runRounds(a, 1);
+  runRounds(b, 1);
+}
+
+// --- VRAM quotas hit only the offending session -----------------------------
+
+TEST(SessionQuota, BreachRaisesForOffendingSessionOnly) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  auto small = createSession({"small", 1.0, 64 * 1024});
+  auto big = createSession({"big", 1.0, 0});
+
+  const std::size_t n = 1 << 16;  // 256 KiB of floats: over small's quota
+  {
+    SessionScope scope(small);
+    Map<float(float)> map(kMapSrc);
+    Vector<float> v(mapInput(n, 0));
+    EXPECT_THROW(map(v), ResourceError);  // QuotaError is a ResourceError
+    EXPECT_THROW(map(v), QuotaError);
+  }
+  // The failed charge was rolled back and nothing was left half-allocated.
+  EXPECT_EQ(small->vramUsed(), 0u);
+
+  {
+    // A job within the quota still works for the same session...
+    SessionScope scope(small);
+    Map<float(float)> map(kMapSrc);
+    Vector<float> v(mapInput(128, 1));
+    EXPECT_EQ(map(v).toStdVector().size(), 128u);
+  }
+  {
+    // ...and the unlimited session is unaffected by the breach.
+    SessionScope scope(big);
+    Map<float(float)> map(kMapSrc);
+    Vector<float> v(mapInput(n, 2));
+    Vector<float> out = map(v);
+    EXPECT_EQ(out.toStdVector().size(), n);
+    EXPECT_GT(big->vramUsed(), 0u);  // its vectors are resident, charged to it
+  }
+  EXPECT_EQ(big->vramUsed(), 0u);  // dropping the vectors released the charge
+}
+
+TEST(SessionQuota, ServicePropagatesUnserviceableQuotaBreach) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  Service service;
+  auto small = service.createSession({"small", 1.0, 16 * 1024});
+  auto big = service.createSession({"big", 1.0, 0});
+
+  // This job alone can never fit: after queueing it once, the service must
+  // fail it with QuotaError — and only it.
+  auto doomed = service.submitMap(small, kMapSrc, mapInput(1 << 14, 0));
+  auto fine = service.submitMap(big, kMapSrc, mapInput(1 << 14, 1));
+  EXPECT_THROW(doomed.wait(), QuotaError);
+  EXPECT_NO_THROW(fine.wait());
+  EXPECT_EQ(fine.output().size(), std::size_t{1} << 14);
+}
+
+// --- the trace collector resets between init/terminate cycles ---------------
+
+TEST(TraceLifecycle, RecordsDoNotSurviveTerminateInitCycle) {
+  trace::clear();
+  trace::enable();
+  {
+    RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+    Map<float(float)> map(kMapSrc);
+    Vector<float> v(mapInput(256, 0));
+    map(v).toStdVector();
+    EXPECT_FALSE(trace::snapshot().empty());
+  }
+  // Records survive terminate (a trace can still be written afterwards)...
+  EXPECT_FALSE(trace::snapshot().empty());
+  {
+    // ...but a new init starts a new run: stale records must not bleed in.
+    RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+    EXPECT_TRUE(trace::snapshot().empty());
+    EXPECT_TRUE(trace::enabled()) << "init resets records, not the enable switch";
+  }
+  trace::disable();
+  trace::clear();
+}

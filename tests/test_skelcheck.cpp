@@ -62,6 +62,33 @@ TEST(SkelcheckReplay, CopyCombineAdoptionShrunkRepro) {
   EXPECT_TRUE(res.ok) << res.message;
 }
 
+TEST(SkelcheckReplay, SessionOpSwitchesPerSessionWeights) {
+  // Partition weights are per-session state: session 1 partitions 100
+  // elements as 50/17/0/33 while the default session stays at even blocks.
+  // The lockstep run compares part layouts after every op, so this diverges
+  // if either side leaks weights across sessions or fails to re-plan the
+  // cached partition on a session switch.
+  const char* repro =
+      "skelcheck v1\n"
+      "config devices=4 elem=i32 n=100 kcopt=1 seed=0 pool=2\n"
+      "fill a=0 base=3 step=2\n"
+      "session slot=1 w=3,1,0,2\n"
+      "map a=0 dst=1 fn=neg inplace=0\n"
+      "probe a=1\n"
+      "session slot=0\n"
+      "map a=0 dst=1 fn=neg inplace=0\n"
+      "probe a=1\n"
+      "weights w=0,1,1,0\n"
+      "map a=0 dst=1 fn=neg inplace=0\n"
+      "session slot=1\n"
+      "map a=0 dst=1 fn=neg inplace=0\n"
+      "probe a=1\n";
+  const Program parsed = parse(repro);
+  EXPECT_EQ(serialize(parse(serialize(parsed))), serialize(parsed));
+  const RunResult res = runProgram(parsed);
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
 TEST(SkelcheckSmoke, FixedSeedsNoDivergence) {
   // A slice of the CI smoke gate (`skelcheck --smoke` runs 64 seeds); enough
   // here to cover 1/2/4 devices, both element types and both VM pipelines,
