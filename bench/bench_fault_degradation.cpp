@@ -47,13 +47,19 @@ int main(int argc, char** argv) {
   cfg.volume.nz = 32;
   cfg.eventsPerSubset = 5000;
   cfg.numSubsets = 4;
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--events") == 0) {
-      cfg.eventsPerSubset = static_cast<std::size_t>(std::atoll(argv[i + 1]));
-    } else if (std::strcmp(argv[i], "--volume") == 0) {
-      cfg.volume.nx = cfg.volume.ny = cfg.volume.nz = std::atoi(argv[i + 1]);
-    } else if (std::strcmp(argv[i], "--subsets") == 0) {
-      cfg.numSubsets = std::atoi(argv[i + 1]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      // CI-sized run: small volume, few events, still enough commands for
+      // device 3 to die mid-subset and the recovery path to fire.
+      cfg.volume.nx = cfg.volume.ny = cfg.volume.nz = 16;
+      cfg.eventsPerSubset = 800;
+      cfg.numSubsets = 2;
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--events") == 0) {
+      cfg.eventsPerSubset = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--volume") == 0) {
+      cfg.volume.nx = cfg.volume.ny = cfg.volume.nz = std::atoi(argv[++i]);
+    } else if (i + 1 < argc && std::strcmp(argv[i], "--subsets") == 0) {
+      cfg.numSubsets = std::atoi(argv[++i]);
     }
   }
 

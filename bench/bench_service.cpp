@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -141,6 +142,71 @@ RunResult runSerialized(int tenants, int jobsPerTenant, std::size_t jobSize) {
   return result;
 }
 
+/// Straggler (gray-failure) scenario: device 0 turns into a persistent 8x
+/// straggler while the tenants keep submitting.  With the watchdog the
+/// runtime aborts the slow commands at their deadline, degrades device 0 and
+/// blacklists it after three strikes, so only the first job pays; without the
+/// watchdog every job's device-0 half just runs 8x slower.  Runs in its own
+/// init/terminate bracket so degrade state cannot leak between variants.
+struct StragglerRun {
+  double p99 = 0.0;
+  double seconds = 0.0;
+  std::vector<std::vector<float>> outputs;  ///< tenant-major, job-minor
+};
+
+StragglerRun runStraggler(bool watchdog, int tenants, int jobsPerTenant,
+                          std::size_t jobSize) {
+  init(sim::SystemConfig::teslaS1070(2));
+  setWatchdogEnabled(watchdog);
+  StragglerRun r;
+  {
+    // Warm the program cache before the fault so both variants pay it equally.
+    Map<float(float)> warm(kSource);
+    Vector<float> v(jobInput(jobSize, 0, 0));
+    warm(v).hostData();
+    finish();
+
+    sim::FaultPlan plan;
+    plan.slowDevice(0, 8.0);  // every command, until the plan is replaced
+    setFaultPlan(std::move(plan));
+
+    resetSimClock();
+    Service service;
+    std::vector<std::shared_ptr<Session>> sessions;
+    for (int t = 0; t < tenants; ++t) {
+      sessions.push_back(service.createSession({"slow" + std::to_string(t), 1.0, 0}));
+    }
+    const double start = simTimeSeconds();
+    r.outputs.resize(static_cast<std::size_t>(tenants * jobsPerTenant));
+    std::vector<double> latencies;
+    std::mutex collect;
+    std::vector<std::thread> clients;
+    for (int t = 0; t < tenants; ++t) {
+      clients.emplace_back([&, t] {
+        std::vector<Service::Handle> handles;
+        handles.reserve(static_cast<std::size_t>(jobsPerTenant));
+        for (int j = 0; j < jobsPerTenant; ++j) {
+          handles.push_back(service.submitMap(sessions[static_cast<std::size_t>(t)],
+                                              kSource, jobInput(jobSize, t, j)));
+        }
+        for (int j = 0; j < jobsPerTenant; ++j) {
+          handles[static_cast<std::size_t>(j)].wait();
+          std::lock_guard<std::mutex> lock(collect);
+          r.outputs[static_cast<std::size_t>(t * jobsPerTenant + j)] =
+              handles[static_cast<std::size_t>(j)].output();
+          latencies.push_back(handles[static_cast<std::size_t>(j)].latencySeconds());
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    service.drain();
+    r.seconds = simTimeSeconds() - start;
+    r.p99 = percentile(latencies, 0.99);
+  }
+  terminate();
+  return r;
+}
+
 void printRun(const char* title, const RunResult& r, int jobs) {
   std::printf("%s: %d jobs in %.3f simulated ms -> %.0f jobs/s\n", title, jobs,
               r.seconds * 1e3, static_cast<double>(jobs) / r.seconds);
@@ -207,5 +273,33 @@ int main(int argc, char** argv) {
     std::printf("trace written to $SKELCL_TRACE (open in chrome://tracing)\n");
   }
   terminate();
+
+  // Gray-failure scenario: persistent 8x straggler on device 0.
+  const int stragglerJobs = smoke ? 20 : 100;
+  std::printf("\nstraggler scenario: dev0 a persistent 8x straggler, %d tenants x %d jobs\n",
+              tenants, stragglerJobs);
+  const StragglerRun guarded = runStraggler(true, tenants, stragglerJobs, jobSize);
+  const StragglerRun unguarded = runStraggler(false, tenants, stragglerJobs, jobSize);
+  std::printf("  %-28s %12s %14s\n", "variant", "p99 (us)", "total (ms)");
+  std::printf("  %-28s %12.1f %14.3f\n", "watchdog on (degrade)", guarded.p99 * 1e6,
+              guarded.seconds * 1e3);
+  std::printf("  %-28s %12.1f %14.3f\n", "watchdog off (ride it out)",
+              unguarded.p99 * 1e6, unguarded.seconds * 1e3);
+  const double p99Ratio = unguarded.p99 / guarded.p99;
+  std::printf("  p99 improvement with watchdog: %.2fx\n", p99Ratio);
+  if (p99Ratio < 3.0) {
+    std::printf("FAIL: expected the watchdog to improve straggler p99 >= 3x\n");
+    ++failures;
+  }
+  bool identical = guarded.outputs.size() == unguarded.outputs.size();
+  for (std::size_t i = 0; identical && i < guarded.outputs.size(); ++i) {
+    identical = guarded.outputs[i].size() == unguarded.outputs[i].size() &&
+                std::memcmp(guarded.outputs[i].data(), unguarded.outputs[i].data(),
+                            guarded.outputs[i].size() * sizeof(float)) == 0;
+  }
+  std::printf("  job results with vs without watchdog: %s\n",
+              identical ? "bit-identical" : "DIFFER");
+  if (!identical) ++failures;
+
   return failures == 0 ? 0 : 1;
 }

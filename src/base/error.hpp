@@ -34,6 +34,34 @@ class QuotaError : public ResourceError {
   explicit QuotaError(const std::string& what) : ResourceError(what) {}
 };
 
+/// The job was cancelled through Service::Handle::cancel before it ran.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
+/// The job's per-submission deadline (simulated seconds) expired before the
+/// service executor got to it.
+class DeadlineError : public Error {
+ public:
+  explicit DeadlineError(const std::string& what) : Error(what) {}
+};
+
+/// Submit was called on a Service whose executor already stopped (or the job
+/// was still queued when the service shut down).
+class ServiceStoppedError : public Error {
+ public:
+  explicit ServiceStoppedError(const std::string& what) : Error(what) {}
+};
+
+/// The circuit breaker for this (session, kernel source) is open: the same
+/// work failed deterministically too many times, so the service fails fast
+/// instead of burning device time on it again.
+class CircuitOpenError : public Error {
+ public:
+  explicit CircuitOpenError(const std::string& what) : Error(what) {}
+};
+
 /// A permanent device failure destroyed the only valid copy of some data
 /// (e.g. diverged copy-distribution replicas that were never combined).
 /// The runtime recovers automatically whenever a host copy or a surviving

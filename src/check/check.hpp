@@ -83,6 +83,10 @@ enum class OpKind {
                ///< first use; slot 0 is the default session), then optionally
                ///< setPartitionWeights(weights) on it when `weights` is
                ///< non-empty — partition weights are per-session state
+  Cancel,      ///< pause the lazily-created Service, submit pool[a] through a
+               ///< map job: run=0 cancels it before it runs (state no-op),
+               ///< run=1 resumes and stores the result into pool[dst].
+               ///< F32-only (the service job interface is float).
 };
 
 enum class DistKind { Single, Block, WBlock, Copy, CopyCombine };
@@ -121,6 +125,13 @@ struct Op {
                          ///< Session slot (0..3)
   /// Fault transient rules: {device, class (0 transfer / 1 kernel), count<=3}.
   std::vector<std::array<std::int64_t, 3>> transients;
+  /// Fault slowdown rules: {device, factor (2 tolerated / 8 watchdog-aborted),
+  /// count (0 = every command)}.  Any command class.
+  std::vector<std::array<std::int64_t, 3>> slows;
+  /// Fault hang rules: {device, count>=1}.  Any command class; the watchdog
+  /// aborts each hung command and the recovery layer degrades the device.
+  std::vector<std::array<std::int64_t, 2>> hangs;
+  bool run = false;  ///< Cancel: true = run to completion, false = cancel
   std::int64_t base = 0, step = 0;  ///< Fill / Poke pattern
   std::int64_t index = 0, value = 0;  ///< Write
   std::vector<StageSpec> stages;

@@ -71,6 +71,7 @@ Program generate(std::uint64_t seed, int numOps) {
 
   const auto mapFns = fnsFor(t, &FnInfo::mapUse);
   const auto mapStageFns = filterShapes(mapFns, FnShape::Unary, FnShape::UnaryScalar);
+  const auto unaryFns = filterShapes(mapFns, FnShape::Unary, FnShape::Unary);
   const auto zipFns = fnsFor(t, &FnInfo::zipUse);
   const auto zipStageFns = filterShapes(zipFns, FnShape::Binary, FnShape::BinaryScalar);
   const auto redFns = fnsFor(t, &FnInfo::redUse);
@@ -241,6 +242,21 @@ Program generate(std::uint64_t seed, int numOps) {
                                  static_cast<std::int64_t>(rng.below(2)),
                                  static_cast<std::int64_t>(rng.range(1, 3))});
       }
+      if (rng.chance(40)) {  // straggler rule (slow device)
+        // Watchdog-aborting stragglers (factor 8) rack up degrade strikes
+        // that eventually blacklist the device, so they draw on the same
+        // budget as explicit blacklists; tolerated ones (factor 2) are free.
+        const bool aborted = rng.chance(50) && blacklistsLeft > 0;
+        if (aborted) --blacklistsLeft;
+        op.slows.push_back({static_cast<std::int64_t>(rng.range(0, cfg.devices - 1)),
+                            static_cast<std::int64_t>(aborted ? 8 : 2),
+                            static_cast<std::int64_t>(rng.range(0, 3))});
+      }
+      if (rng.chance(20) && blacklistsLeft > 0) {  // hang rule
+        --blacklistsLeft;  // hangs are always watchdog-aborted
+        op.hangs.push_back({static_cast<std::int64_t>(rng.range(0, cfg.devices - 1)),
+                            static_cast<std::int64_t>(rng.range(1, 2))});
+      }
       if (rng.chance(25) && blacklistsLeft > 0) {
         op.device = rng.range(0, cfg.devices - 1);
         op.value = rng.range(5, 60);
@@ -254,7 +270,7 @@ Program generate(std::uint64_t seed, int numOps) {
       op.device = rng.range(0, cfg.devices - 1);
       op.base = rng.range(-64, 64);
       op.step = rng.range(-3, 3);
-    } else if (roll < 97) {  // session switch (slot 0 = default), maybe with weights
+    } else if (roll < 96) {  // session switch (slot 0 = default), maybe with weights
       op.kind = OpKind::Session;
       op.device = rng.range(0, 3);
       if (rng.chance(50)) {
@@ -262,6 +278,12 @@ Program generate(std::uint64_t seed, int numOps) {
         const double choices[] = {0.0, 0.5, 1.0, 2.0, 4.0};
         for (int i = 0; i < len; ++i) op.weights.push_back(choices[rng.below(5)]);
       }
+    } else if (roll < 98 && t == ElemType::F32) {  // service map job: run or cancel
+      op.kind = OpKind::Cancel;
+      op.a = slot();
+      op.dst = slot();
+      op.fn = pick(rng, unaryFns);
+      op.run = rng.chance(50);
     } else {  // probe
       op.kind = OpKind::Probe;
       op.a = slot();

@@ -82,11 +82,21 @@ class MGraph {
           node.effect();
           break;
         }
+        if (d == Model::Decision::Timeout) {
+          // Watchdog abort: escalates immediately, no retry attempts (the
+          // real ExecGraph re-issuing would just burn another deadline).
+          if (!failure) {
+            failure = std::make_unique<ModelCommandError>(ModelCommandError{
+                node.device, false, true, "model: watchdog timeout"});
+          }
+          node.failed = true;
+          break;
+        }
         ++failedAttempts;
         if (d == Model::Decision::Lost || failedAttempts >= m_.maxAttempts()) {
           if (!failure) {
             failure = std::make_unique<ModelCommandError>(ModelCommandError{
-                node.device, d == Model::Decision::Lost,
+                node.device, d == Model::Decision::Lost, false,
                 d == Model::Decision::Lost ? "model: device lost"
                                            : "model: transient fault persisted"});
           }
@@ -121,6 +131,8 @@ Model::Model(const Config& cfg, std::vector<int> cores)
     : cfg_(cfg),
       cores_(std::move(cores)),
       dead_(static_cast<std::size_t>(cfg.devices), 0),
+      health_(static_cast<std::size_t>(cfg.devices), 1.0),
+      degrade_counts_(static_cast<std::size_t>(cfg.devices), 0),
       cmd_counts_(static_cast<std::size_t>(cfg.devices), 0),
       inj_dead_(static_cast<std::size_t>(cfg.devices), 0) {
   SKELCL_CHECK(cores_.size() == static_cast<std::size_t>(cfg_.devices),
@@ -143,30 +155,59 @@ Model::Decision Model::onCommand(int device, int cls) {
     --r.remaining;
     return Decision::Transient;
   }
+  // Slow/hang rules apply to any command class.  The real injector returns
+  // the first matching rule's decision, so stop scanning either way; a
+  // counted rule is consumed whether the slowdown is tolerated or aborted.
+  for (SlowRule& r : slows_) {
+    if (r.device != -1 && r.device != device) continue;
+    if (r.remaining == 0) continue;
+    if (r.remaining > 0) --r.remaining;
+    return r.factor > kWatchdogSlack ? Decision::Timeout : Decision::None;
+  }
+  for (HangRule& r : hangs_) {
+    if (r.device != -1 && r.device != device) continue;
+    if (r.remaining <= 0) continue;
+    --r.remaining;
+    return Decision::Timeout;
+  }
   return Decision::None;
 }
 
 void Model::installFaults(const std::vector<std::array<std::int64_t, 3>>& transients,
+                          const std::vector<std::array<std::int64_t, 3>>& slows,
+                          const std::vector<std::array<std::int64_t, 2>>& hangs,
                           int killDevice, std::int64_t killAfter) {
   trans_.clear();
   for (const auto& t : transients) {
     trans_.push_back(TransRule{static_cast<int>(t[0]), static_cast<int>(t[1]),
                                static_cast<int>(t[2])});
   }
+  slows_.clear();
+  for (const auto& s : slows) {
+    // count 0 means "every command" (a persistent straggler).
+    slows_.push_back(SlowRule{static_cast<int>(s[0]), static_cast<double>(s[1]),
+                              s[2] == 0 ? -1 : static_cast<int>(s[2])});
+  }
+  hangs_.clear();
+  for (const auto& h : hangs) {
+    hangs_.push_back(HangRule{static_cast<int>(h[0]), static_cast<int>(h[1])});
+  }
   kill_device_ = killDevice;
   kill_after_ = killAfter;
   // install() resets command counters AND the injector's dead flags (the
-  // runtime blacklist is a separate, persistent notion).
+  // runtime blacklist is a separate, persistent notion).  Degrade state
+  // (health_, degrade_counts_) is runtime state and survives installs.
   std::fill(cmd_counts_.begin(), cmd_counts_.end(), 0);
   std::fill(inj_dead_.begin(), inj_dead_.end(), 0);
-  faults_active_ = !trans_.empty() || killDevice >= 0;
+  faults_active_ =
+      !trans_.empty() || !slows_.empty() || !hangs_.empty() || killDevice >= 0;
 }
 
 void Model::allocCheck(int device) {
   // ocl::Device::allocate: allocation on an injector-dead device throws a
   // permanent CommandError before any graph work.
   if (inj_dead_[static_cast<std::size_t>(device)]) {
-    throw ModelCommandError{device, true, "model: allocation on dead device"};
+    throw ModelCommandError{device, true, false, "model: allocation on dead device"};
   }
 }
 
@@ -190,8 +231,20 @@ std::uint64_t Model::partitionEpoch() const {
 
 Distribution Model::effective(const Distribution& d) const {
   if (d.kind() == Distribution::Kind::Block && d.weights().empty()) {
-    const auto& w = applicableWeights();
-    if (!w.empty()) return Distribution::block(w);
+    std::vector<double> w = applicableWeights();
+    // Mirror of Session::effectiveDistribution's health folding: degraded
+    // devices shrink an unweighted block (or scale the session weights).
+    bool anyDegraded = false;
+    for (const double h : health_) anyDegraded = anyDegraded || h != 1.0;
+    if (!w.empty()) {
+      if (anyDegraded) {
+        for (std::size_t i = 0; i < w.size() && i < health_.size(); ++i) {
+          w[i] *= health_[i];
+        }
+      }
+      return Distribution::block(w);
+    }
+    if (anyDegraded) return Distribution::block(health_);
   }
   return d;
 }
@@ -218,6 +271,20 @@ void Model::blacklistDevice(int device) {
     throw ResourceError("device " + std::to_string(device) +
                         " failed and no devices survive");
   }
+  ++device_epoch_;
+}
+
+void Model::degradeDevice(int device) {
+  // Mirror of SharedDeviceState::degradeDevice: idempotent on dead devices,
+  // strike counting, escalation to the blacklist at kDegradeStrikes.
+  SKELCL_CHECK(device >= 0 && device < cfg_.devices, "device index out of range");
+  if (dead_[static_cast<std::size_t>(device)]) return;
+  const int strikes = ++degrade_counts_[static_cast<std::size_t>(device)];
+  if (strikes >= kDegradeStrikes) {
+    blacklistDevice(device);
+    return;
+  }
+  health_[static_cast<std::size_t>(device)] = kDegradedHealth;
   ++device_epoch_;
 }
 
@@ -520,10 +587,17 @@ auto Model::withRecovery(std::vector<MVec*> inputs, MVec* resetOutput, Body&& bo
     try {
       return body();
     } catch (const ModelCommandError& e) {
-      if (!e.permanent) throw;
-      SKELCL_CHECK(attempt < cfg_.devices,
+      if (!e.permanent && !e.timedOut) throw;
+      // Watchdog strikes degrade before blacklisting, so a device can fail
+      // kDegradeStrikes + 1 times (strikes, then the post-blacklist retry
+      // runs elsewhere) before it stops appearing in plans.
+      SKELCL_CHECK(attempt < cfg_.devices * (kDegradeStrikes + 1),
                    "skeleton failed on more devices than the system has");
-      blacklistDevice(e.device);
+      if (e.timedOut) {
+        degradeDevice(e.device);
+      } else {
+        blacklistDevice(e.device);
+      }
       for (std::size_t i = 0; i < inputs.size(); ++i) {
         MVec* v = inputs[i];
         if (v == nullptr) continue;
@@ -630,6 +704,31 @@ void Model::runElementwise(const std::string& fn, MVec* in1, MVec* in2, MVec& ou
 void Model::map(const std::string& fn, MVec& input, MVec& output,
                 std::vector<MExtra> extras) {
   runElementwise(fn, &input, nullptr, output, extras);
+}
+
+void Model::serviceMap(const std::string& fn, MVec& src, MVec& dst) {
+  // The driver host-reads the source slot to build the job's input copy.
+  probe(src);
+  // The executor runs the job under the service's own session (no weights),
+  // on fresh host-only vectors: a Vector<float> built from the copied input
+  // and the skeleton's fresh output vector, which it then host-reads.
+  const int saved = cur_session_;
+  cur_session_ = kServiceSessionSlot;
+  MVec in(src.n);
+  in.host = src.host;
+  MVec out(src.n);
+  try {
+    map(fn, in, out, {});
+    probe(out);
+  } catch (...) {
+    cur_session_ = saved;
+    throw;
+  }
+  cur_session_ = saved;
+  // The driver writes handle.output() into the destination slot's host copy.
+  ensureHostValid(dst);
+  markHostModified(dst);
+  dst.host = out.host;
 }
 
 void Model::zip(const std::string& fn, MVec& left, MVec& right, MVec& output,

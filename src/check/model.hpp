@@ -25,10 +25,14 @@
 namespace skelcl::check {
 
 /// Mirror of ocl::CommandError: a device command failed.  `permanent`
-/// distinguishes device death from an exhausted transient retry loop.
+/// distinguishes device death from an exhausted transient retry loop;
+/// `timedOut` mirrors status WatchdogTimeout (straggler/hang aborted by the
+/// watchdog: not permanent, but escalates without retries and the recovery
+/// layer *degrades* the device instead of blacklisting it).
 struct ModelCommandError {
   int device = -1;
   bool permanent = false;
+  bool timedOut = false;
   std::string what;
 };
 
@@ -121,12 +125,21 @@ class Model {
   void switchSession(int slot);
   void blacklist(int device);  ///< mirror of skelcl::blacklistDevice
   /// Mirror of setFaultPlan + FaultInjector::install: resets counters and the
-  /// dead flags, then arms the new rules.
+  /// dead flags, then arms the new rules.  Degrade state (health, strikes) is
+  /// runtime state, not injector state, and survives installs — exactly like
+  /// the blacklist.
   void installFaults(const std::vector<std::array<std::int64_t, 3>>& transients,
+                     const std::vector<std::array<std::int64_t, 3>>& slows,
+                     const std::vector<std::array<std::int64_t, 2>>& hangs,
                      int killDevice, std::int64_t killAfter);
 
+  /// Mirror of the service map job the Cancel op runs (run=1): host-read the
+  /// source slot, map it through a fresh vector pair under the dedicated
+  /// service session, host-read the output, then overwrite `dst`'s host copy.
+  void serviceMap(const std::string& fn, MVec& src, MVec& dst);
+
   // --- fault-injector mirror (used by MGraph) ---
-  enum class Decision { None, Transient, Lost };
+  enum class Decision { None, Transient, Lost, Timeout };
   Decision onCommand(int device, int cls);  ///< cls: 0 transfer, 1 kernel
   int maxAttempts() const { return max_attempts_; }
 
@@ -139,6 +152,7 @@ class Model {
   std::uint64_t partitionEpoch() const;  ///< weight epoch (current session) + device epoch
   Distribution effective(const Distribution& d) const;
   void blacklistDevice(int device);
+  void degradeDevice(int device);  ///< mirror of SharedDeviceState::degradeDevice
   // vector-data mirror
   const std::vector<PartRange>& plannedPartition(MVec& v);
   std::size_t partSizeOn(MVec& v, int device);
@@ -188,11 +202,25 @@ class Model {
   Config cfg_;
   std::vector<int> cores_;
 
+  // Mirror of SharedDeviceState's watchdog constants: the abort decision is
+  // time-free (slow factor vs slack; hangs always abort) so the clockless
+  // model can take it, and must match sim::WatchdogConfig defaults plus
+  // SharedDeviceState::{kDegradedHealth, kDegradeStrikes}.
+  static constexpr double kWatchdogSlack = 4.0;
+  static constexpr double kDegradedHealth = 0.25;
+  static constexpr int kDegradeStrikes = 3;
+  /// Session slot serviceMap runs under -- any slot the generator never emits
+  /// (Session ops use 0..3), mirroring the Service's dedicated session, which
+  /// carries no partition weights.
+  static constexpr int kServiceSessionSlot = 100;
+
   // Runtime mirror: shared blacklist state plus per-session scheduler
   // weights (mirror of the SharedDeviceState / Session split: the device
   // epoch is shared, the weight epoch is per session).
   std::vector<char> dead_;
   std::vector<int> alive_;
+  std::vector<double> health_;     ///< 1.0 healthy, kDegradedHealth degraded
+  std::vector<int> degrade_counts_;
   struct SessState {
     std::vector<double> weights;
     std::uint64_t weightEpoch = 0;
@@ -207,8 +235,19 @@ class Model {
     int cls = 0;  ///< 0 transfer, 1 kernel
     int remaining = 0;
   };
+  struct SlowRule {
+    int device = -1;
+    double factor = 1.0;
+    int remaining = 0;   ///< -1 = persistent (no count)
+  };
+  struct HangRule {
+    int device = -1;
+    int remaining = 0;
+  };
   bool faults_active_ = false;
   std::vector<TransRule> trans_;
+  std::vector<SlowRule> slows_;
+  std::vector<HangRule> hangs_;
   int kill_device_ = -1;
   std::int64_t kill_after_ = 0;
   std::vector<std::uint64_t> cmd_counts_;

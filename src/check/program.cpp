@@ -5,8 +5,9 @@
 //   fill a=0 base=3 step=1
 //   map a=0 dst=1 fn=addc inplace=0 ci=3 cf=0
 //   pipe a=0 dst=1 inplace=0 unfused=0 st=m:addc:i3 st=z:1:madd:i-2
-//   fault kill=1 after=12 t=0:k:2 t=-1:t:1
+//   fault kill=1 after=12 t=0:k:2 t=-1:t:1 s=2:8:1 h=1:1
 //   session slot=1 w=2,1,0,1
+//   cancel a=0 dst=1 fn=neg run=0
 //   probe a=0
 #include <cstdio>
 #include <cstdlib>
@@ -170,6 +171,18 @@ std::array<std::int64_t, 3> parseTransient(const std::string& v, int line) {
   return {toI(parts[0], line), cls, toI(parts[2], line)};
 }
 
+std::array<std::int64_t, 3> parseSlow(const std::string& v, int line) {
+  const auto parts = splitChar(v, ':');
+  if (parts.size() != 3) bad(line, "slow rule must be dev:factor:count");
+  return {toI(parts[0], line), toI(parts[1], line), toI(parts[2], line)};
+}
+
+std::array<std::int64_t, 2> parseHang(const std::string& v, int line) {
+  const auto parts = splitChar(v, ':');
+  if (parts.size() != 2) bad(line, "hang rule must be dev:count");
+  return {toI(parts[0], line), toI(parts[1], line)};
+}
+
 OpKind kindFor(const std::string& name, int line) {
   if (name == "fill") return OpKind::Fill;
   if (name == "write") return OpKind::Write;
@@ -187,6 +200,7 @@ OpKind kindFor(const std::string& name, int line) {
   if (name == "fault") return OpKind::Fault;
   if (name == "poke") return OpKind::Poke;
   if (name == "probe") return OpKind::Probe;
+  if (name == "cancel") return OpKind::Cancel;
   bad(line, "unknown op '" + name + "'");
 }
 
@@ -268,6 +282,12 @@ std::string serialize(const Program& p) {
         for (const auto& tr : op.transients) {
           os << " t=" << tr[0] << (tr[1] ? ":k:" : ":t:") << tr[2];
         }
+        for (const auto& s : op.slows) {
+          os << " s=" << s[0] << ':' << s[1] << ':' << s[2];
+        }
+        for (const auto& h : op.hangs) {
+          os << " h=" << h[0] << ':' << h[1];
+        }
         break;
       case OpKind::Poke:
         os << "poke a=" << op.a << " device=" << op.device << " base=" << op.base
@@ -275,6 +295,10 @@ std::string serialize(const Program& p) {
         break;
       case OpKind::Probe:
         os << "probe a=" << op.a;
+        break;
+      case OpKind::Cancel:
+        os << "cancel a=" << op.a << " dst=" << op.dst << " fn=" << op.fn
+           << " run=" << op.run;
         break;
     }
     os << "\n";
@@ -382,6 +406,12 @@ Program parse(const std::string& text) {
         op.stages.push_back(parseStage(v, lineNo));
       } else if (k == "t") {
         op.transients.push_back(parseTransient(v, lineNo));
+      } else if (k == "s") {
+        op.slows.push_back(parseSlow(v, lineNo));
+      } else if (k == "h") {
+        op.hangs.push_back(parseHang(v, lineNo));
+      } else if (k == "run") {
+        op.run = toI(v, lineNo) != 0;
       } else {
         bad(lineNo, "unknown field '" + k + "'");
       }

@@ -14,6 +14,7 @@
 #include "check/funcs.hpp"
 #include "check/model.hpp"
 #include "check/vector_access.hpp"
+#include "core/service.hpp"
 #include "core/skelcl.hpp"
 #include "ocl/buffer.hpp"
 
@@ -165,11 +166,38 @@ void sanitize(Program& p) {
           if (tr[2] < 1) tr[2] = 1;
           if (tr[2] > 3) tr[2] = 3;
         }
+        if (op.slows.size() > 2) op.slows.resize(2);
+        for (auto& s : op.slows) {
+          s[0] = wrapIndex(static_cast<int>(s[0]), c.devices);
+          // Two canonical factors: 2 (tolerated by the 4x slack) and 8
+          // (watchdog-aborted).
+          s[1] = s[1] < 5 ? 2 : 8;
+          if (s[2] < 0) s[2] = 0;
+          if (s[2] > 3) s[2] = 3;
+        }
+        if (op.hangs.size() > 1) op.hangs.resize(1);
+        for (auto& h : op.hangs) {
+          h[0] = wrapIndex(static_cast<int>(h[0]), c.devices);
+          if (h[1] < 1) h[1] = 1;
+          if (h[1] > 2) h[1] = 2;
+        }
         op.device = op.device < 0 ? -1 : wrapIndex(op.device, c.devices);
         if (op.value < 0) op.value = 0;
         if (op.value > 500) op.value = 500;
         break;
       }
+      case OpKind::Cancel:
+        // The service map-job interface is float; for i32 programs the op
+        // degrades to a plain probe of its input slot.
+        if (t == ElemType::I32) {
+          op.kind = OpKind::Probe;
+          break;
+        }
+        if (!fnValid(op.fn, t, &FnInfo::mapUse) ||
+            fnInfo(op.fn)->shape != FnShape::Unary) {
+          op.fn = "neg";
+        }
+        break;
       case OpKind::Poke:
         op.device = wrapIndex(op.device, c.devices);
         break;
@@ -213,6 +241,7 @@ const char* opName(OpKind k) {
     case OpKind::Poke: return "poke";
     case OpKind::Probe: return "probe";
     case OpKind::Session: return "session";
+    case OpKind::Cancel: return "cancel";
   }
   return "?";
 }
@@ -274,7 +303,8 @@ class Driver {
 
   RunResult run() {
     ::setenv("SKELCL_KC_OPT", prog_.cfg.kcopt ? "1" : "0", 1);
-    ::unsetenv("SKELCL_FAULTS");  // the program installs its own plans
+    ::unsetenv("SKELCL_FAULTS");    // the program installs its own plans
+    ::unsetenv("SKELCL_WATCHDOG");  // model mirrors the default watchdog config
     auto system = sim::SystemConfig::teslaS1070(prog_.cfg.devices);
     std::vector<int> cores;
     for (const auto& d : system.devices) cores.push_back(d.cores);
@@ -285,7 +315,10 @@ class Driver {
     } catch (const std::exception& e) {
       res = RunResult{false, -1, std::string("harness error: ") + e.what()};
     }
-    // Leave the default session and drop tenant sessions before terminate.
+    // Stop the service executor, leave the default session and drop tenant
+    // sessions before terminate.
+    service_.reset();
+    svcSession_.reset();
     scope_.reset();
     sessions_.clear();
     skelcl::terminate();
@@ -552,8 +585,45 @@ class Driver {
             plan.failKernels(static_cast<int>(tr[0]), static_cast<int>(tr[2]));
           }
         }
+        for (const auto& s : op.slows) {
+          plan.slowDevice(static_cast<int>(s[0]), static_cast<double>(s[1]),
+                          static_cast<int>(s[2]));
+        }
+        for (const auto& h : op.hangs) {
+          plan.hangCommands(static_cast<int>(h[0]), static_cast<int>(h[1]));
+        }
         if (op.device >= 0) plan.killAfterCommands(op.device, static_cast<int>(op.value));
         skelcl::setFaultPlan(std::move(plan));
+        break;
+      }
+      case OpKind::Cancel: {
+        ensureService();
+        // Pausing first makes the submit/cancel race deterministic: the
+        // executor cannot pick the job up until resume().
+        service_->pause();
+        if (op.run) {
+          const T* hd = pool[op.a].hostData();
+          std::vector<float> in(hd, hd + n_);
+          auto h = service_->submitMap(svcSession_, fnSource(op.fn, elem_), std::move(in));
+          service_->resume();
+          h.wait();  // rethrows job errors (injected faults, exhaustion)
+          const std::vector<float>& res = h.output();
+          T* dst = pool[op.dst].hostDataWrite();
+          for (std::size_t i = 0; i < n_; ++i) dst[i] = static_cast<T>(res[i]);
+        } else {
+          // Dummy input: a cancelled job must leave no trace, so do not even
+          // host-read the source slot (that would issue download commands).
+          auto h = service_->submitMap(svcSession_, fnSource(op.fn, elem_),
+                                       std::vector<float>(n_, 0.0f));
+          const bool cancelled = h.cancel();
+          service_->resume();
+          SKELCL_CHECK(cancelled, "cancel raced a paused executor");
+          try {
+            h.wait();
+          } catch (const CancelledError&) {
+            // expected: cancellation is the op's success path
+          }
+        }
         break;
       }
       case OpKind::Poke: {
@@ -698,7 +768,14 @@ class Driver {
         model.blacklist(op.device);
         break;
       case OpKind::Fault:
-        model.installFaults(op.transients, op.device, op.value);
+        model.installFaults(op.transients, op.slows, op.hangs, op.device, op.value);
+        break;
+      case OpKind::Cancel:
+        if (op.run) {
+          model.serviceMap(op.fn, *mpool[op.a], *mpool[op.dst]);
+        }
+        // run=0: the system cancels the job before it runs on a dummy input;
+        // no model state changes.
         break;
       case OpKind::Poke:
         model.poke(*mpool[op.a], op.device, op.base, op.step);
@@ -802,11 +879,22 @@ class Driver {
     return "";
   }
 
+  /// Lazily start the multi-tenant Service the Cancel op exercises (its own
+  /// executor thread and a dedicated tenant session, like a real client).
+  void ensureService() {
+    if (service_ == nullptr) {
+      service_ = std::make_unique<Service>();
+      svcSession_ = service_->createSession({"svccheck", 1.0, 0});
+    }
+  }
+
   Program prog_;
   ElemType elem_;
   std::size_t n_;
   std::map<int, std::shared_ptr<Session>> sessions_;  ///< tenant slot -> session
   std::unique_ptr<SessionScope> scope_;               ///< active non-default slot
+  std::unique_ptr<Service> service_;                  ///< Cancel-op service
+  std::shared_ptr<detail::Session> svcSession_;
 };
 
 }  // namespace

@@ -71,7 +71,11 @@ void ExecGraph::run() {
       } catch (const ocl::CommandError& e) {
         node.event = ocl::Event(e.failTime(), e.failTime(), system.clockEpoch(), e.status());
         ++failedAttempts;
-        if (e.permanent() || failedAttempts >= policy.max_attempts) {
+        // Watchdog timeouts escalate immediately: a straggler/hang already
+        // burned its deadline once; re-issuing on the same device would just
+        // burn another (the recovery layer degrades the device instead).
+        if (e.permanent() || e.status() == sim::status::WatchdogTimeout ||
+            failedAttempts >= policy.max_attempts) {
           if (!failure) failure = std::make_unique<ocl::CommandError>(e);
           break;
         }

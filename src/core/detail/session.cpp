@@ -1,5 +1,7 @@
 #include "core/detail/session.hpp"
 
+#include <cstdlib>
+
 #include "core/detail/trace.hpp"
 #include "kernelc/program.hpp"
 
@@ -18,10 +20,27 @@ SharedDeviceState::SharedDeviceState(sim::SystemConfig config) {
     alive_.push_back(d);
   }
   dead_.assign(static_cast<std::size_t>(platform_->deviceCount()), 0);
+  health_.assign(static_cast<std::size_t>(platform_->deviceCount()), 1.0);
+  degrade_counts_.assign(static_cast<std::size_t>(platform_->deviceCount()), 0);
   // SKELCL_FAULTS configures fault injection without touching application
   // code (mirrors SKELCL_TRACE for observability).
   sim::FaultPlan envPlan = sim::FaultPlan::fromEnv();
   if (!envPlan.empty()) system().faults().install(std::move(envPlan));
+  // SKELCL_WATCHDOG=0 disables the straggler/hang watchdog (docs/ROBUSTNESS.md).
+  if (const char* wd = std::getenv("SKELCL_WATCHDOG")) {
+    const std::string v = wd;
+    if (v == "0" || v == "off" || v == "false") {
+      sim::WatchdogConfig config = system().watchdog();
+      config.enabled = false;
+      system().setWatchdog(config);
+    } else if (v == "1" || v == "on" || v == "true" || v.empty()) {
+      sim::WatchdogConfig config = system().watchdog();
+      config.enabled = true;
+      system().setWatchdog(config);
+    } else {
+      throw UsageError("SKELCL_WATCHDOG: expected 0/1/on/off, got '" + v + "'");
+    }
+  }
 }
 
 ocl::CommandQueue& SharedDeviceState::queue(int device) {
@@ -59,6 +78,42 @@ void SharedDeviceState::blacklistDevice(int device, const std::string& reason) {
              std::to_string(alive_.size()) + " device(s) remain";
     trace::record(std::move(r));
   }
+}
+
+void SharedDeviceState::degradeDevice(int device, const std::string& reason) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  SKELCL_CHECK(device >= 0 && device < deviceCount(), "device index out of range");
+  if (dead_[static_cast<std::size_t>(device)]) return;
+  const int strikes = ++degrade_counts_[static_cast<std::size_t>(device)];
+  if (strikes >= kDegradeStrikes) {
+    blacklistDevice(device, "repeatedly timed out (" + std::to_string(strikes) +
+                                " watchdog strikes): " + reason);
+    return;
+  }
+  health_[static_cast<std::size_t>(device)] = kDegradedHealth;
+  ++device_epoch_;  // cached partition plans replan with the reduced weight
+  if (trace::enabled()) {
+    trace::Record r;
+    r.kind = trace::Record::Kind::Degrade;
+    r.device = device;
+    r.start = system().hostNow();
+    r.end = system().hostNow();
+    r.name = "degrade dev" + std::to_string(device) + " to weight x" +
+             std::to_string(kDegradedHealth) + " (strike " + std::to_string(strikes) +
+             "/" + std::to_string(kDegradeStrikes) + "): " + reason;
+    trace::record(std::move(r));
+  }
+}
+
+std::vector<double> SharedDeviceState::deviceHealth() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return health_;
+}
+
+int SharedDeviceState::degradeCount(int device) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  if (device < 0 || device >= deviceCount()) return 0;
+  return degrade_counts_[static_cast<std::size_t>(device)];
 }
 
 bool SharedDeviceState::deviceAlive(int device) const {
@@ -131,10 +186,23 @@ std::uint64_t Session::partitionEpoch() const {
 
 Distribution Session::effectiveDistribution(const Distribution& d) const {
   // An unweighted block distribution picks up the scheduler's weights, if any
-  // (Section V: proportional workloads on heterogeneous devices).
+  // (Section V: proportional workloads on heterogeneous devices), scaled by
+  // the shared device-health factors so degraded stragglers receive less
+  // work.  Explicitly weighted distributions are the caller's exact request
+  // and stay untouched.
   if (d.kind() == Distribution::Kind::Block && d.weights().empty()) {
-    const auto w = applicablePartitionWeights();
-    if (!w.empty()) return Distribution::block(w);
+    std::lock_guard<std::recursive_mutex> lock(shared_->mutex());
+    auto w = applicablePartitionWeights();
+    const auto health = shared_->deviceHealth();
+    bool anyDegraded = false;
+    for (const double h : health) anyDegraded = anyDegraded || h != 1.0;
+    if (!w.empty()) {
+      if (anyDegraded) {
+        for (std::size_t i = 0; i < w.size() && i < health.size(); ++i) w[i] *= health[i];
+      }
+      return Distribution::block(w);
+    }
+    if (anyDegraded) return Distribution::block(health);
   }
   return d;
 }

@@ -71,6 +71,23 @@ class SharedDeviceState {
   /// epoch, so one device death invalidates all tenants' partition plans.
   std::uint64_t deviceEpoch() const { return device_epoch_; }
 
+  // --- degraded devices (gray failures, docs/ROBUSTNESS.md) -----------------
+  /// Demote `device` after a watchdog timeout: its partition-plan health
+  /// drops to kDegradedHealth (every session's unweighted block split shifts
+  /// work away from it), the device epoch bumps so cached plans replan, and
+  /// a Degrade trace record is emitted.  The kDegradeStrikes-th demotion
+  /// escalates to blacklistDevice — a device that keeps timing out is dead
+  /// for scheduling purposes.  The middle state between healthy and
+  /// blacklisted: unlike death, data on the device stays valid.
+  void degradeDevice(int device, const std::string& reason);
+  /// Per-device health factor applied to partition weights (1 = healthy).
+  std::vector<double> deviceHealth() const;
+  /// Watchdog timeouts charged against `device` so far.
+  int degradeCount(int device) const;
+
+  static constexpr double kDegradedHealth = 0.25;
+  static constexpr int kDegradeStrikes = 3;
+
   /// Compile-or-reuse: generated skeleton programs are cached by source so
   /// the runtime-compilation cost is paid once per distinct program — and
   /// once across *all* sessions (the paper excludes compilation from
@@ -90,6 +107,8 @@ class SharedDeviceState {
   std::uint64_t device_epoch_ = 0;
   std::vector<int> alive_;
   std::vector<char> dead_;
+  std::vector<double> health_;       ///< partition-weight factor; 1 = healthy
+  std::vector<int> degrade_counts_;  ///< watchdog strikes per device
   mutable std::recursive_mutex mutex_;
 };
 

@@ -114,14 +114,19 @@ void prepareExtras(Session& sess, std::vector<ExtraArg>& extras) {
   }
 }
 
-/// Re-execute `body` after permanent device failures: blacklist the dead
-/// device, recover every input vector from its host copy (or a surviving
-/// replica; see VectorData::recoverAfterDeviceLoss), discard the pure
-/// output's partial device results, and run the whole skeleton again over
-/// the surviving devices.  Transient errors never reach this level — the
-/// ExecGraph retry loop absorbs them — so anything caught here is final for
-/// its device.  `resetOutput` is null when the output aliases an input (the
-/// aliased input's recovery already restores the pre-skeleton bytes).
+/// Re-execute `body` after permanent device failures *and* watchdog
+/// timeouts.  Device death blacklists the dead device; a timeout only
+/// *degrades* the straggler (reduced partition weight, escalating to a
+/// blacklist after SharedDeviceState::kDegradeStrikes).  Either way the
+/// recovery is identical: recover every input vector from its host copy (or
+/// a surviving replica; see VectorData::recoverAfterDeviceLoss), discard the
+/// pure output's partial device results, and run the whole skeleton again —
+/// other graph stages may have executed (in-place kernels on other devices
+/// already wrote f(x)), so inputs must be restored even when the failed
+/// device's own data is intact.  Transient errors never reach this level —
+/// the ExecGraph retry loop absorbs them — so anything caught here is final
+/// for its device.  `resetOutput` is null when the output aliases an input
+/// (the aliased input's recovery already restores the pre-skeleton bytes).
 template <typename Body>
 auto withDeviceLossRecovery(Session& sess, std::vector<VectorData*> inputs,
                             VectorData* resetOutput, Body&& body) -> decltype(body()) {
@@ -129,10 +134,17 @@ auto withDeviceLossRecovery(Session& sess, std::vector<VectorData*> inputs,
     try {
       return body();
     } catch (const ocl::CommandError& e) {
-      if (!e.permanent()) throw;
-      SKELCL_CHECK(attempt < sess.deviceCount(),
+      const bool timedOut = e.status() == sim::status::WatchdogTimeout;
+      if (!e.permanent() && !timedOut) throw;
+      // Each device can contribute at most kDegradeStrikes timeouts plus one
+      // loss before it is blacklisted, so the re-execution loop is bounded.
+      SKELCL_CHECK(attempt < sess.deviceCount() * (SharedDeviceState::kDegradeStrikes + 1),
                    "skeleton failed on more devices than the system has");
-      sess.blacklistDevice(e.device(), e.what());
+      if (timedOut) {
+        sess.shared().degradeDevice(e.device(), e.what());
+      } else {
+        sess.blacklistDevice(e.device(), e.what());
+      }
       for (std::size_t i = 0; i < inputs.size(); ++i) {
         VectorData* v = inputs[i];
         if (v == nullptr) continue;

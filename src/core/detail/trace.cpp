@@ -74,6 +74,7 @@ const char* kindName(Record::Kind kind) {
     case Record::Kind::Fault: return "fault";
     case Record::Kind::Retry: return "retry";
     case Record::Kind::Redistribute: return "redistribute";
+    case Record::Kind::Degrade: return "degrade";
   }
   return "?";
 }
@@ -120,7 +121,8 @@ void Tracer::record(Record r) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!enabled_) return;
   const bool faultKind = r.kind == Record::Kind::Fault || r.kind == Record::Kind::Retry ||
-                         r.kind == Record::Kind::Redistribute;
+                         r.kind == Record::Kind::Redistribute ||
+                         r.kind == Record::Kind::Degrade;
   if (faultKind) {
     // Fault-path records keep their kind visible in the name and append the
     // most specific label available (an explicit name beats the context).

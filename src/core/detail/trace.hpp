@@ -32,6 +32,7 @@ struct Record {
     Fault,         ///< a command failed (injected fault or device death)
     Retry,         ///< the runtime backed off and re-issued a command
     Redistribute,  ///< a device was blacklisted; partitions moved to survivors
+    Degrade,       ///< watchdog timeout: device demoted to reduced weight
   };
   Kind kind = Kind::Kernel;
   int device = -1;              ///< device id; -1 = host CPU
@@ -44,7 +45,7 @@ struct Record {
 };
 
 /// "upload", "download", "copy", "fill", "kernel", "host", "fused",
-/// "fault", "retry", "redistribute".
+/// "fault", "retry", "redistribute", "degrade".
 const char* kindName(Record::Kind kind);
 
 /// The process-wide trace collector.  Lives outside the Runtime so a trace

@@ -64,4 +64,30 @@ void blacklistDevice(int device) {
   detail::Runtime::instance().blacklistDevice(device, "blacklisted by the application");
 }
 
+void setWatchdog(sim::WatchdogConfig config) {
+  auto lock = sharedLock();
+  detail::Runtime::instance().system().setWatchdog(config);
+}
+
+void setWatchdogEnabled(bool enabled) {
+  auto lock = sharedLock();
+  auto& system = detail::Runtime::instance().system();
+  sim::WatchdogConfig config = system.watchdog();
+  config.enabled = enabled;
+  system.setWatchdog(config);
+}
+
+double deviceHealth(int device) {
+  auto lock = sharedLock();
+  const auto health = detail::Runtime::instance().shared().deviceHealth();
+  SKELCL_CHECK(device >= 0 && static_cast<std::size_t>(device) < health.size(),
+               "device index out of range");
+  return health[static_cast<std::size_t>(device)];
+}
+
+int degradeCount(int device) {
+  auto lock = sharedLock();
+  return detail::Runtime::instance().shared().degradeCount(device);
+}
+
 }  // namespace skelcl

@@ -81,4 +81,19 @@ int aliveDeviceCount();
 /// fault.
 void blacklistDevice(int device);
 
+/// Configure the straggler/hang watchdog (sim::WatchdogConfig; enabled by
+/// default, SKELCL_WATCHDOG=0 disables it at init).  Survives resetSimClock.
+void setWatchdog(sim::WatchdogConfig config);
+
+/// Toggle the watchdog, keeping its other parameters.
+void setWatchdogEnabled(bool enabled);
+
+/// Health factor of `device` used in unweighted block partitioning: 1 when
+/// healthy, SharedDeviceState::kDegradedHealth once the watchdog demoted it.
+double deviceHealth(int device);
+
+/// Watchdog timeouts charged against `device`; at the kDegradeStrikes-th the
+/// device is blacklisted.
+int degradeCount(int device);
+
 }  // namespace skelcl

@@ -55,13 +55,56 @@ double CommandQueue::earliestStart(std::span<const Event> deps) const {
   return earliest;
 }
 
-void CommandQueue::admitCommand(sim::CommandClass cls, const CommandInfo& info,
-                                double earliest) {
+CommandQueue::Admission CommandQueue::admitCommand(sim::CommandClass cls,
+                                                   const CommandInfo& info,
+                                                   double earliest) {
   auto& system = context_->platform().system();
   auto& faults = system.faults();
-  if (!faults.active()) return;
+  if (!faults.active()) return {};
   const sim::FaultDecision decision = faults.onCommand(device_->id(), cls, earliest);
-  if (decision.kind == sim::FaultDecision::Kind::None) return;
+  if (decision.kind == sim::FaultDecision::Kind::None) return {};
+
+  const double launchOverhead =
+      (api_ == Api::Cuda ? device_->spec().launch_overhead_cuda_us
+                         : device_->spec().launch_overhead_ocl_us) * 1e-6;
+
+  if (decision.kind == sim::FaultDecision::Kind::Slow ||
+      decision.kind == sim::FaultDecision::Kind::Hang) {
+    const sim::WatchdogConfig& wd = system.watchdog();
+    // Whether to abort is decided from the slack comparison alone (never
+    // from clock values), so the clock-free reference model can mirror it.
+    const bool abort =
+        wd.enabled && (decision.kind == sim::FaultDecision::Kind::Hang ||
+                       decision.slow_factor > wd.slackFactor);
+    if (!abort) {
+      if (decision.kind == sim::FaultDecision::Kind::Slow) {
+        return {decision.slow_factor};  // tolerated straggler: just slower
+      }
+      // Unwatched hang: the device dangles for the full stall, then the
+      // command runs.  Booking the stall first makes the real reservation
+      // (and everything queued behind it) land after it.
+      system.reserveStall(device_->id(), cls, wd.hangStallSeconds, earliest);
+      return {};
+    }
+    // Watchdog abort: the deadline is the slack multiple of the command's
+    // *nominal* (fault-free) duration, floored for very short commands.  The
+    // resource is held until the deadline — the straggler burned real time —
+    // and the command's data effect never runs.
+    const double nominal = cls == sim::CommandClass::Transfer
+                               ? system.nominalTransferSeconds(device_->id(), info.bytes)
+                               : launchOverhead;
+    const double deadline = std::max(wd.minDeadlineSeconds, wd.slackFactor * nominal);
+    const auto span = system.reserveStall(device_->id(), cls, deadline, earliest);
+    const Event event(span.start, span.end, system.clockEpoch(),
+                      sim::status::WatchdogTimeout);
+    noteCompletion(event, /*blocking=*/false);
+    reportCommand(info, event);
+    throw CommandError("device " + std::to_string(device_->id()) + " ('" +
+                           device_->name() + "'): " + decision.what +
+                           "; watchdog fired after " + std::to_string(deadline) + "s",
+                       device_->id(), sim::status::WatchdogTimeout, event.profilingEnd(),
+                       /*permanent=*/false);
+  }
 
   Event event;
   if (decision.kind == sim::FaultDecision::Kind::Transient) {
@@ -123,11 +166,12 @@ Event CommandQueue::enqueueWriteBuffer(Buffer& dst, std::uint64_t offset,
   checkBufferRange(dst, offset, bytes, "enqueueWriteBuffer");
   checkBufferDevice(dst, "enqueueWriteBuffer");
   const double earliest = earliestStart(deps);
-  admitCommand(sim::CommandClass::Transfer,
-               {CommandInfo::Kind::Write, device_->id(), bytes, 0, nullptr}, earliest);
+  const Admission adm = admitCommand(
+      sim::CommandClass::Transfer,
+      {CommandInfo::Kind::Write, device_->id(), bytes, 0, nullptr}, earliest);
   std::memcpy(dst.data() + offset, src, bytes);
   auto& system = context_->platform().system();
-  const auto span = system.reserveTransfer(device_->id(), bytes, earliest);
+  const auto span = system.reserveTransfer(device_->id(), bytes, earliest, adm.timeScale);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, blocking);
   reportCommand({CommandInfo::Kind::Write, device_->id(), bytes, 0, nullptr}, event);
@@ -140,11 +184,12 @@ Event CommandQueue::enqueueReadBuffer(const Buffer& src, std::uint64_t offset,
   checkBufferRange(src, offset, bytes, "enqueueReadBuffer");
   checkBufferDevice(src, "enqueueReadBuffer");
   const double earliest = earliestStart(deps);
-  admitCommand(sim::CommandClass::Transfer,
-               {CommandInfo::Kind::Read, device_->id(), bytes, 0, nullptr}, earliest);
+  const Admission adm = admitCommand(
+      sim::CommandClass::Transfer,
+      {CommandInfo::Kind::Read, device_->id(), bytes, 0, nullptr}, earliest);
   std::memcpy(dst, src.data() + offset, bytes);
   auto& system = context_->platform().system();
-  const auto span = system.reserveTransfer(device_->id(), bytes, earliest);
+  const auto span = system.reserveTransfer(device_->id(), bytes, earliest, adm.timeScale);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, blocking);
   reportCommand({CommandInfo::Kind::Read, device_->id(), bytes, 0, nullptr}, event);
@@ -157,8 +202,9 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src, Buffer& dst, std::uint6
   checkBufferRange(src, srcOffset, bytes, "enqueueCopyBuffer(src)");
   checkBufferRange(dst, dstOffset, bytes, "enqueueCopyBuffer(dst)");
   const double earliest = earliestStart(deps);
-  admitCommand(sim::CommandClass::Transfer,
-               {CommandInfo::Kind::Copy, device_->id(), bytes, 0, nullptr}, earliest);
+  const Admission adm = admitCommand(
+      sim::CommandClass::Transfer,
+      {CommandInfo::Kind::Copy, device_->id(), bytes, 0, nullptr}, earliest);
   std::memcpy(dst.data() + dstOffset, src.data() + srcOffset, bytes);
 
   auto& system = context_->platform().system();
@@ -168,9 +214,11 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src, Buffer& dst, std::uint6
     // host-link bandwidth.
     const double linkRate = 5.2e9;
     span = system.reserveKernel(src.device().id(), 0, 1, 1.0,
-                                static_cast<double>(bytes) / (20.0 * linkRate), earliest);
+                                static_cast<double>(bytes) / (20.0 * linkRate), earliest,
+                                adm.timeScale);
   } else {
-    span = system.reservePeerTransfer(src.device().id(), dst.device().id(), bytes, earliest);
+    span = system.reservePeerTransfer(src.device().id(), dst.device().id(), bytes, earliest,
+                                      adm.timeScale);
   }
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
@@ -183,8 +231,9 @@ Event CommandQueue::enqueueFillBuffer(Buffer& dst, std::byte value, std::uint64_
   checkBufferRange(dst, offset, bytes, "enqueueFillBuffer");
   checkBufferDevice(dst, "enqueueFillBuffer");
   const double earliest = earliestStart(deps);
-  admitCommand(sim::CommandClass::Transfer,
-               {CommandInfo::Kind::Fill, device_->id(), bytes, 0, nullptr}, earliest);
+  const Admission adm = admitCommand(
+      sim::CommandClass::Transfer,
+      {CommandInfo::Kind::Fill, device_->id(), bytes, 0, nullptr}, earliest);
   std::memset(dst.data() + offset, std::to_integer<int>(value), bytes);
   // Device-side fill: cheap, bounded by device memory bandwidth (modeled as
   // 20x link rate) plus one launch overhead.
@@ -194,7 +243,7 @@ Event CommandQueue::enqueueFillBuffer(Buffer& dst, std::byte value, std::uint64_
                          : device_->spec().launch_overhead_ocl_us) * 1e-6;
   const auto span = system.reserveKernel(
       device_->id(), 0, 1, 1.0, overhead + static_cast<double>(bytes) / (20.0 * 5.2e9),
-      earliest);
+      earliest, adm.timeScale);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
   reportCommand({CommandInfo::Kind::Fill, device_->id(), bytes, 0, nullptr}, event);
@@ -209,10 +258,10 @@ Event CommandQueue::enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSiz
   // watermark, so the start bound computed here is still valid for the
   // timeline reservation afterwards.
   const double earliest = earliestStart(deps);
-  admitCommand(sim::CommandClass::Kernel,
-               {CommandInfo::Kind::Kernel, device_->id(), 0, globalSize,
-                kernel.name().c_str()},
-               earliest);
+  const Admission adm = admitCommand(
+      sim::CommandClass::Kernel,
+      {CommandInfo::Kind::Kernel, device_->id(), 0, globalSize, kernel.name().c_str()},
+      earliest);
 
   // Marshal arguments: buffers become VM memory regions, scalars pass through.
   const auto& fnArgs = kernel.args();
@@ -271,7 +320,8 @@ Event CommandQueue::enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSiz
       (api_ == Api::Cuda ? device_->spec().launch_overhead_cuda_us
                          : device_->spec().launch_overhead_ocl_us) * 1e-6;
   const auto span = system.reserveKernel(device_->id(), instructions.load(), globalSize,
-                                         apiEfficiency(api_), overhead, earliest);
+                                         apiEfficiency(api_), overhead, earliest,
+                                         adm.timeScale);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
   reportCommand({CommandInfo::Kind::Kernel, device_->id(), 0, globalSize, kernel.name().c_str()},

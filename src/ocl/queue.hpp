@@ -101,12 +101,19 @@ class CommandQueue {
 
  private:
   double earliestStart(std::span<const Event> deps) const;
+  /// How an admitted command must be executed: injected slowdowns the
+  /// watchdog tolerates stretch the timeline reservation by `timeScale`.
+  struct Admission {
+    double timeScale = 1.0;
+  };
   /// Consult the system's fault injector before executing a command; on an
   /// injected fault, accounts the failed attempt on the timelines, reports
-  /// it to the observability hook, and throws CommandError.  `earliest` is
-  /// the command's earliestStart(deps), computed once by the caller and
-  /// shared with its own timeline reservation.
-  void admitCommand(sim::CommandClass cls, const CommandInfo& info, double earliest);
+  /// it to the observability hook, and throws CommandError.  Slowdowns past
+  /// the watchdog slack and hangs are aborted here, *before* the command's
+  /// data effect runs (the buffers stay untouched, like a real aborted
+  /// command).  `earliest` is the command's earliestStart(deps), computed
+  /// once by the caller and shared with its own timeline reservation.
+  Admission admitCommand(sim::CommandClass cls, const CommandInfo& info, double earliest);
   void noteCompletion(const Event& event, bool blocking);
   void checkBufferRange(const Buffer& buffer, std::uint64_t offset, std::uint64_t bytes,
                         const char* what) const;

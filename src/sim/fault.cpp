@@ -1,6 +1,7 @@
 #include "sim/fault.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <limits>
 
@@ -79,6 +80,30 @@ FaultPlan& FaultPlan::dropNetworkRandomly(int device, double probability,
   return *this;
 }
 
+FaultPlan& FaultPlan::slowDevice(int device, double factor, int count) {
+  SKELCL_CHECK(factor >= 1.0, "slowdown factor must be >= 1");
+  SKELCL_CHECK(count >= 0, "slowdown count must be >= 0");
+  Rule r;
+  r.kind = Rule::Kind::Slowdown;
+  r.device = device;
+  r.any_class = true;
+  r.count = count;  // 0 = persistent
+  r.factor = factor;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::hangCommands(int device, int count) {
+  SKELCL_CHECK(count >= 1, "hang rules need a positive count");
+  Rule r;
+  r.kind = Rule::Kind::Hang;
+  r.device = device;
+  r.any_class = true;
+  r.count = count;
+  rules_.push_back(r);
+  return *this;
+}
+
 FaultPlan& FaultPlan::killAfterCommands(int device, int commands) {
   SKELCL_CHECK(device >= 0, "kill rules need a concrete device");
   Rule r;
@@ -135,16 +160,61 @@ std::vector<std::string> splitOn(const std::string& s, char sep) {
   return out;
 }
 
+/// Strict integer parse: the whole of `digits` must be a base-10 number.
+/// Rejects empty strings, signs, and trailing garbage — "abc", "3x" and ""
+/// all throw, naming the offending token, instead of silently becoming 0/3.
+long long parseInt(const std::string& clause, const std::string& token,
+                   const std::string& digits) {
+  if (digits.empty()) badSpec(clause, "missing number in '" + token + "'");
+  for (const char c : digits) {
+    if (c < '0' || c > '9') badSpec(clause, "bad number '" + token + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(digits.c_str(), &end, 10);
+  if (errno == ERANGE || end != digits.c_str() + digits.size()) {
+    badSpec(clause, "bad number '" + token + "'");
+  }
+  return v;
+}
+
+/// Strict unsigned parse (seed, byte counts).
+std::uint64_t parseU64(const std::string& clause, const std::string& token,
+                       const std::string& digits) {
+  if (digits.empty()) badSpec(clause, "missing number in '" + token + "'");
+  for (const char c : digits) {
+    if (c < '0' || c > '9') badSpec(clause, "bad number '" + token + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(digits.c_str(), &end, 10);
+  if (errno == ERANGE || end != digits.c_str() + digits.size()) {
+    badSpec(clause, "bad number '" + token + "'");
+  }
+  return v;
+}
+
+/// Strict floating-point parse: the whole of `digits` must be a number.
+double parseFloat(const std::string& clause, const std::string& token,
+                  const std::string& digits) {
+  if (digits.empty()) badSpec(clause, "missing number in '" + token + "'");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(digits.c_str(), &end);
+  if (errno == ERANGE || end != digits.c_str() + digits.size()) {
+    badSpec(clause, "bad number '" + token + "'");
+  }
+  return v;
+}
+
 /// "dev3" -> 3, "dev*" -> -1.
 int parseDevice(const std::string& clause, const std::string& token) {
   if (token.rfind("dev", 0) != 0) badSpec(clause, "expected devN or dev*");
   const std::string rest = token.substr(3);
   if (rest == "*") return -1;
-  try {
-    return std::stoi(rest);
-  } catch (...) {
-    badSpec(clause, "bad device '" + token + "'");
-  }
+  const long long dev = parseInt(clause, token, rest);
+  if (dev > 1 << 20) badSpec(clause, "bad device '" + token + "'");
+  return static_cast<int>(dev);
 }
 
 /// "200us" / "5ms" / "0.01s" / bare seconds -> seconds.
@@ -160,11 +230,7 @@ double parseTime(const std::string& clause, const std::string& token) {
   } else if (!token.empty() && token.back() == 's') {
     num = token.substr(0, token.size() - 1);
   }
-  try {
-    return std::stod(num) * scale;
-  } catch (...) {
-    badSpec(clause, "bad time '" + token + "'");
-  }
+  return parseFloat(clause, token, num) * scale;
 }
 
 }  // namespace
@@ -180,10 +246,10 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     };
     if (head == "seed") {
       need(2);
-      plan.seed_ = std::strtoull(t[1].c_str(), nullptr, 10);
+      plan.seed_ = parseU64(clause, t[1], t[1]);
     } else if (head == "retries") {
       need(2);
-      plan.retries(std::atoi(t[1].c_str()));
+      plan.retries(static_cast<int>(parseInt(clause, t[1], t[1])));
     } else if (head == "backoff") {
       need(2);
       plan.backoff(parseTime(clause, t[1]));
@@ -193,7 +259,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       const CommandClass cls =
           head == "transfer" ? CommandClass::Transfer : CommandClass::Kernel;
       if (t[2].rfind("count", 0) == 0) {
-        const int n = std::atoi(t[2].c_str() + 5);
+        const int n = static_cast<int>(parseInt(clause, t[2], t[2].substr(5)));
         if (n <= 0) badSpec(clause, "count must be positive");
         if (cls == CommandClass::Transfer) {
           plan.failTransfers(dev, n);
@@ -201,7 +267,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
           plan.failKernels(dev, n);
         }
       } else if (t[2].rfind("p", 0) == 0) {
-        plan.failRandomly(dev, cls, std::atof(t[2].c_str() + 1));
+        plan.failRandomly(dev, cls, parseFloat(clause, t[2], t[2].substr(1)));
       } else {
         badSpec(clause, "expected countN or pF");
       }
@@ -214,11 +280,11 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
                                                 : t[3])
                         : 500e-6;
       if (t[2].rfind("count", 0) == 0) {
-        const int n = std::atoi(t[2].c_str() + 5);
+        const int n = static_cast<int>(parseInt(clause, t[2], t[2].substr(5)));
         if (n <= 0) badSpec(clause, "count must be positive");
         plan.dropNetwork(dev, n, timeout);
       } else if (t[2].rfind("p", 0) == 0) {
-        plan.dropNetworkRandomly(dev, std::atof(t[2].c_str() + 1), timeout);
+        plan.dropNetworkRandomly(dev, parseFloat(clause, t[2], t[2].substr(1)), timeout);
       } else {
         badSpec(clause, "expected countN or pF");
       }
@@ -227,18 +293,41 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       const int dev = parseDevice(clause, t[1]);
       if (dev < 0) badSpec(clause, "kill rules need a concrete device");
       if (t[2].rfind("after", 0) == 0) {
-        plan.killAfterCommands(dev, std::atoi(t[2].c_str() + 5));
+        plan.killAfterCommands(dev, static_cast<int>(parseInt(clause, t[2], t[2].substr(5))));
       } else if (t[2].rfind("at", 0) == 0) {
         plan.killAtTime(dev, parseTime(clause, t[2].substr(2)));
       } else {
         badSpec(clause, "expected afterN or atT");
       }
+    } else if (head == "slow") {
+      if (t.size() != 3 && t.size() != 4) badSpec(clause, "expected 3 or 4 tokens");
+      const int dev = parseDevice(clause, t[1]);
+      if (t[2].rfind("x", 0) != 0) badSpec(clause, "expected xF (slowdown factor)");
+      const double factor = parseFloat(clause, t[2], t[2].substr(1));
+      if (factor < 1.0) badSpec(clause, "slowdown factor must be >= 1");
+      int count = 0;  // persistent
+      if (t.size() == 4) {
+        if (t[3].rfind("count", 0) != 0) badSpec(clause, "expected countN");
+        count = static_cast<int>(parseInt(clause, t[3], t[3].substr(5)));
+        if (count <= 0) badSpec(clause, "count must be positive");
+      }
+      plan.slowDevice(dev, factor, count);
+    } else if (head == "hang") {
+      if (t.size() != 2 && t.size() != 3) badSpec(clause, "expected 2 or 3 tokens");
+      const int dev = parseDevice(clause, t[1]);
+      int count = 1;
+      if (t.size() == 3) {
+        if (t[2].rfind("count", 0) != 0) badSpec(clause, "expected countN");
+        count = static_cast<int>(parseInt(clause, t[2], t[2].substr(5)));
+        if (count <= 0) badSpec(clause, "count must be positive");
+      }
+      plan.hangCommands(dev, count);
     } else if (head == "oom") {
       need(3);
       const int dev = parseDevice(clause, t[1]);
       if (dev < 0) badSpec(clause, "memory caps need a concrete device");
       if (t[2].rfind("bytes", 0) != 0) badSpec(clause, "expected bytesN");
-      plan.limitMemory(dev, std::strtoull(t[2].c_str() + 5, nullptr, 10));
+      plan.limitMemory(dev, parseU64(clause, t[2], t[2].substr(5)));
     } else {
       badSpec(clause, "unknown clause kind");
     }
@@ -355,6 +444,22 @@ FaultDecision FaultInjector::onCommand(int device, CommandClass cls, double now)
         d.extra_delay_s = r.time_s;
         d.what = "network drop: remote command timed out after " +
                  std::to_string(r.time_s) + "s";
+        return d;
+      case FaultPlan::Rule::Kind::Slowdown:
+        if (r.count > 0) {  // windowed; count 0 = persistent
+          if (remaining_[i] <= 0) continue;
+          --remaining_[i];
+        }
+        d.kind = FaultDecision::Kind::Slow;
+        d.slow_factor = r.factor;
+        d.what = "injected slowdown (x" + std::to_string(r.factor) + ")";
+        return d;
+      case FaultPlan::Rule::Kind::Hang:
+        if (remaining_[i] <= 0) continue;
+        --remaining_[i];
+        d.kind = FaultDecision::Kind::Hang;
+        d.status = status::WatchdogTimeout;
+        d.what = "injected hang: command never completed";
         return d;
       case FaultPlan::Rule::Kind::KillAfter:
       case FaultPlan::Rule::Kind::KillAt:

@@ -31,6 +31,7 @@ inline constexpr int MemObjectAllocationFailure = -4;  ///< modeled VRAM exhaust
 inline constexpr int OutOfResources = -5;              ///< transient kernel fault
 inline constexpr int ExecStatusError = -14;            ///< dependency failed; command skipped
 inline constexpr int IoError = -2001;                  ///< dOpenCL network drop / transfer fault
+inline constexpr int WatchdogTimeout = -2002;          ///< command exceeded its watchdog deadline
 }  // namespace status
 
 /// Bounded exponential backoff for transient faults.  The delay after the
@@ -54,11 +55,14 @@ struct FaultDecision {
     None,        ///< command proceeds normally
     Transient,   ///< command fails this time; a retry may succeed
     DeviceLost,  ///< device is permanently gone
+    Slow,        ///< command completes, but takes `slow_factor` times longer
+    Hang,        ///< command never completes on its own (watchdog territory)
   };
   Kind kind = Kind::None;
   int status = status::Success;
-  double extra_delay_s = 0.0;  ///< time burned before the failure surfaces (timeouts)
-  std::string what;            ///< human-readable cause for the error message
+  double extra_delay_s = 0.0;   ///< time burned before the failure surfaces (timeouts)
+  double slow_factor = 1.0;     ///< duration multiplier for Kind::Slow
+  std::string what;             ///< human-readable cause for the error message
 };
 
 /// A declarative description of the faults to inject.  Rules are evaluated
@@ -72,6 +76,8 @@ class FaultPlan {
       Network,    ///< like Transient/Random but with a timeout delay (dOpenCL)
       KillAfter,  ///< device dies when its command count exceeds `count`
       KillAt,     ///< device dies at simulated time `time_s`
+      Slowdown,   ///< commands take `factor` times longer (count 0 = forever)
+      Hang,       ///< the next `count` matching commands never complete
     };
     Kind kind = Kind::Transient;
     int device = -1;  ///< -1 = any device
@@ -79,7 +85,8 @@ class FaultPlan {
     bool any_class = false;
     int count = 0;
     double probability = 0.0;
-    double time_s = 0.0;  ///< KillAt trigger time, or Network timeout
+    double time_s = 0.0;   ///< KillAt trigger time, or Network timeout
+    double factor = 1.0;   ///< Slowdown duration multiplier
   };
 
   FaultPlan() = default;
@@ -99,6 +106,16 @@ class FaultPlan {
   /// Drop each command aimed at `device` with `probability`, each costing a
   /// `timeoutSeconds` wait before the failure surfaces.
   FaultPlan& dropNetworkRandomly(int device, double probability, double timeoutSeconds);
+  /// Every command on `device` takes `factor` times longer — persistently
+  /// when `count` is 0, else only for the next `count` matching commands.
+  /// The straggler model: a degraded link/SM, thermal throttling, a noisy
+  /// PCIe neighbour.  The watchdog aborts such commands when the factor
+  /// exceeds its slack (docs/ROBUSTNESS.md).
+  FaultPlan& slowDevice(int device, double factor, int count = 0);
+  /// The next `count` commands aimed at `device` never complete on their own;
+  /// with the watchdog enabled they are aborted at the deadline, without it
+  /// they stall the device for WatchdogConfig::hangStallSeconds.
+  FaultPlan& hangCommands(int device, int count = 1);
   /// `device` dies permanently once more than `commands` commands hit it.
   FaultPlan& killAfterCommands(int device, int commands);
   /// `device` dies permanently at simulated time `simSeconds`.
@@ -118,6 +135,9 @@ class FaultPlan {
   ///   net:dev3:count1:timeout500us  one network drop on device 3
   ///   kill:dev2:after120            device 2 dies after 120 commands
   ///   kill:dev1:at0.005             device 1 dies at t = 5 ms
+  ///   slow:dev2:x8                  device 2 runs 8x slower, forever
+  ///   slow:dev2:x8:count3           ... only for the next 3 commands
+  ///   hang:dev1:count1              the next command on device 1 hangs
   ///   oom:dev0:bytes1048576         device 0 holds only 1 MiB
   /// Throws UsageError on malformed specs.
   static FaultPlan parse(const std::string& spec);

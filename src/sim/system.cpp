@@ -44,8 +44,9 @@ double System::transferDuration(int device, std::uint64_t bytes) const {
   return latency_s + static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
 }
 
-Timeline::Span System::reserveTransfer(int device, std::uint64_t bytes, double earliest) {
-  const double duration = transferDuration(device, bytes);
+Timeline::Span System::reserveTransfer(int device, std::uint64_t bytes, double earliest,
+                                       double scale) {
+  const double duration = transferDuration(device, bytes) * scale;
   const Timeline::Span span = linkOf(device).reserve(earliest, duration);
   stats_.transfers += 1;
   stats_.bytes_transferred += bytes;
@@ -53,28 +54,39 @@ Timeline::Span System::reserveTransfer(int device, std::uint64_t bytes, double e
 }
 
 Timeline::Span System::reservePeerTransfer(int src, int dst, std::uint64_t bytes,
-                                           double earliest) {
-  const Timeline::Span down = reserveTransfer(src, bytes, earliest);
-  const Timeline::Span up = reserveTransfer(dst, bytes, down.end);
+                                           double earliest, double scale) {
+  const Timeline::Span down = reserveTransfer(src, bytes, earliest, scale);
+  const Timeline::Span up = reserveTransfer(dst, bytes, down.end, scale);
   return Timeline::Span{down.start, up.end};
 }
 
 Timeline::Span System::reserveKernel(int device, std::uint64_t instructions,
                                      std::uint64_t workItems, double apiEfficiency,
-                                     double launchOverheadSec, double earliest) {
+                                     double launchOverheadSec, double earliest,
+                                     double scale) {
   const DeviceSpec& spec = this->device(device);
   const DeviceState& state = *device_state_[static_cast<std::size_t>(device)];
   const int lanes = static_cast<int>(
       std::min<std::uint64_t>(workItems == 0 ? 1 : workItems,
                               static_cast<std::uint64_t>(spec.cores)));
   const double rate = spec.instrPerSec(apiEfficiency, lanes);
-  const double duration = launchOverheadSec + state.extra_latency_s +
-                          static_cast<double>(instructions) / rate;
+  const double duration = (launchOverheadSec + state.extra_latency_s +
+                           static_cast<double>(instructions) / rate) *
+                          scale;
   const Timeline::Span span =
       device_state_[static_cast<std::size_t>(device)]->compute.reserve(earliest, duration);
   stats_.kernel_launches += 1;
   stats_.instructions_executed += instructions;
   return span;
+}
+
+Timeline::Span System::reserveStall(int device, CommandClass cls, double seconds,
+                                    double earliest) {
+  Timeline& resource =
+      cls == CommandClass::Kernel
+          ? device_state_[static_cast<std::size_t>(device)]->compute
+          : linkOf(device);
+  return resource.reserve(earliest, seconds);
 }
 
 Timeline::Span System::reserveHostCompute(std::uint64_t bytesTouched, std::uint64_t flops) {

@@ -26,6 +26,20 @@ struct Stats {
   std::uint64_t host_compute_ops = 0;
 };
 
+/// Watchdog over straggling and hung commands (docs/ROBUSTNESS.md).  A
+/// command whose injected slowdown exceeds `slackFactor` — or that hangs
+/// outright — is aborted at its deadline: `max(minDeadlineSeconds,
+/// slackFactor * nominal duration)` past its start.  The decision uses only
+/// the slack comparison, never wall/sim time, so it is deterministic and
+/// mirrorable by the clock-free reference model.  With the watchdog disabled
+/// a hang stalls its device for `hangStallSeconds` and then completes.
+struct WatchdogConfig {
+  bool enabled = true;
+  double slackFactor = 4.0;          ///< tolerated duration multiplier
+  double minDeadlineSeconds = 200e-6;  ///< floor for very short commands
+  double hangStallSeconds = 3600.0;  ///< watchdog-off cost of a hang
+};
+
 class System {
  public:
   explicit System(SystemConfig config);
@@ -35,21 +49,42 @@ class System {
   const DeviceSpec& device(int index) const;
 
   /// Host<->device transfer of `bytes` over the device's link, starting no
-  /// earlier than `earliest`.
-  Timeline::Span reserveTransfer(int device, std::uint64_t bytes, double earliest);
+  /// earlier than `earliest`.  `scale` stretches the duration (injected
+  /// slowdowns the watchdog tolerates).
+  Timeline::Span reserveTransfer(int device, std::uint64_t bytes, double earliest,
+                                 double scale = 1.0);
 
   /// Device-to-device copy, host-mediated as on pre-peer-access hardware:
   /// a download over the source link followed by an upload over the
   /// destination link.  If both devices share one link the two halves
   /// serialize on it automatically.
-  Timeline::Span reservePeerTransfer(int src, int dst, std::uint64_t bytes, double earliest);
+  Timeline::Span reservePeerTransfer(int src, int dst, std::uint64_t bytes, double earliest,
+                                     double scale = 1.0);
 
   /// Kernel execution of `instructions` total VM instructions spread over
   /// `workItems` items, launched through an API with efficiency
   /// `apiEfficiency` and fixed overhead `launchOverheadSec`.
   Timeline::Span reserveKernel(int device, std::uint64_t instructions,
                                std::uint64_t workItems, double apiEfficiency,
-                               double launchOverheadSec, double earliest);
+                               double launchOverheadSec, double earliest,
+                               double scale = 1.0);
+
+  /// Book `seconds` of dead time on the resource a command of class `cls`
+  /// would have occupied: a watchdog deadline wait, or the full stall of an
+  /// unwatched hang.  The device (or its link) is genuinely busy while the
+  /// command dangles — other work queued behind it is delayed, which is what
+  /// makes stragglers expensive.
+  Timeline::Span reserveStall(int device, CommandClass cls, double seconds, double earliest);
+
+  /// The modeled duration of a fault-free transfer of `bytes` to `device`
+  /// (no reservation).  The watchdog derives transfer deadlines from it.
+  double nominalTransferSeconds(int device, std::uint64_t bytes) const {
+    return transferDuration(device, bytes);
+  }
+
+  /// Watchdog configuration (process-wide, survives resetClock()).
+  const WatchdogConfig& watchdog() const { return watchdog_; }
+  void setWatchdog(const WatchdogConfig& config) { watchdog_ = config; }
 
   /// Host-side computation touching `bytesTouched` of memory and performing
   /// `flops` scalar operations (whichever bound is larger wins).  Advances
@@ -101,6 +136,7 @@ class System {
   std::uint64_t clock_epoch_ = 0;
   Stats stats_;
   FaultInjector faults_;
+  WatchdogConfig watchdog_;
 };
 
 }  // namespace skelcl::sim

@@ -81,6 +81,54 @@ TEST(FaultPlanParse, MalformedSpecsThrow) {
   EXPECT_THROW(sim::FaultPlan::parse("transfer:dev0:count0"), UsageError);
 }
 
+TEST(FaultPlanParse, SlowAndHangClauses) {
+  const auto plan = sim::FaultPlan::parse(
+      "slow:dev2:x8;slow:dev0:x2.5:count3;hang:dev1;hang:dev*:count2");
+  ASSERT_EQ(plan.rules().size(), 4u);
+
+  EXPECT_EQ(plan.rules()[0].kind, sim::FaultPlan::Rule::Kind::Slowdown);
+  EXPECT_EQ(plan.rules()[0].device, 2);
+  EXPECT_DOUBLE_EQ(plan.rules()[0].factor, 8.0);
+  EXPECT_EQ(plan.rules()[0].count, 0);  // persistent
+
+  EXPECT_EQ(plan.rules()[1].kind, sim::FaultPlan::Rule::Kind::Slowdown);
+  EXPECT_EQ(plan.rules()[1].device, 0);
+  EXPECT_DOUBLE_EQ(plan.rules()[1].factor, 2.5);
+  EXPECT_EQ(plan.rules()[1].count, 3);
+
+  EXPECT_EQ(plan.rules()[2].kind, sim::FaultPlan::Rule::Kind::Hang);
+  EXPECT_EQ(plan.rules()[2].device, 1);
+  EXPECT_EQ(plan.rules()[2].count, 1);  // hang defaults to one command
+
+  EXPECT_EQ(plan.rules()[3].kind, sim::FaultPlan::Rule::Kind::Hang);
+  EXPECT_EQ(plan.rules()[3].device, -1);  // dev* wildcard
+  EXPECT_EQ(plan.rules()[3].count, 2);
+
+  // Slowdowns and hangs stall whatever command is in flight.
+  for (const auto& rule : plan.rules()) EXPECT_TRUE(rule.any_class);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanParse, MalformedSlowAndHangClausesThrow) {
+  EXPECT_THROW(sim::FaultPlan::parse("slow:dev0"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("slow:dev0:8"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("slow:dev0:x0.5"), UsageError);  // < 1 speeds up
+  EXPECT_THROW(sim::FaultPlan::parse("slow:dev0:x8:count0"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("slow:dev0:x8:times2"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("hang:dev0:count0"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("hang:dev0:0"), UsageError);
+  EXPECT_THROW(sim::FaultPlan::parse("hang:dev0:count1:extra"), UsageError);
+
+  // The error names the clause that failed, not just "bad spec".
+  try {
+    sim::FaultPlan::parse("kill:dev1:after3;slow:dev0:x0.5");
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("slow:dev0:x0.5"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(FaultPlanParse, EmptyAndUnsetSpecsYieldEmptyPlans) {
   EXPECT_TRUE(sim::FaultPlan::parse("").empty());
   unsetenv("SKELCL_FAULTS");

@@ -277,6 +277,199 @@ TEST(SessionQuota, ServicePropagatesUnserviceableQuotaBreach) {
   EXPECT_EQ(fine.output().size(), std::size_t{1} << 14);
 }
 
+// --- lifecycle: shutdown, stopped submits, wait-twice ------------------------
+
+TEST(ServiceLifecycle, SubmitAfterShutdownThrowsServiceStoppedError) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  Service service;
+  auto s = service.createSession({"tenant", 1.0, 0});
+
+  auto before = service.submitMap(s, kMapSrc, mapInput(256, 0));
+  service.shutdown();
+  EXPECT_NO_THROW(before.wait()) << "shutdown drains queued jobs first";
+  EXPECT_EQ(before.output().size(), 256u);
+
+  EXPECT_THROW(service.submitMap(s, kMapSrc, mapInput(256, 1)), ServiceStoppedError);
+  EXPECT_THROW(service.submit(s, [] {}), ServiceStoppedError);
+  EXPECT_NO_THROW(service.shutdown()) << "shutdown is idempotent";
+}
+
+TEST(ServiceLifecycle, WaitTwiceRethrowsTheSameError) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  Service service;
+  auto small = service.createSession({"small", 1.0, 16 * 1024});
+
+  // Unserviceable quota breach: the error must come back on *every* wait,
+  // not just the first.
+  auto doomed = service.submitMap(small, kMapSrc, mapInput(1 << 14, 0));
+  EXPECT_THROW(doomed.wait(), QuotaError);
+  EXPECT_THROW(doomed.wait(), QuotaError);
+  EXPECT_THROW(doomed.output(), QuotaError);
+}
+
+// --- cancellation ------------------------------------------------------------
+
+TEST(ServiceCancel, CancelBeforeIssueCompletesWithCancelledError) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  Service service;
+  auto s = service.createSession({"tenant", 1.0, 0});
+
+  // Paused, the executor cannot pick the job up: cancel must win the race.
+  service.pause();
+  auto h = service.submitMap(s, kMapSrc, mapInput(512, 0));
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.cancel()) << "second cancel finds the job already done";
+  service.resume();
+  EXPECT_THROW(h.wait(), CancelledError);
+  EXPECT_THROW(h.wait(), CancelledError) << "wait-twice rethrows the cancellation";
+
+  // The session keeps working after a cancellation.
+  auto ok = service.submitMap(s, kMapSrc, mapInput(512, 1));
+  EXPECT_NO_THROW(ok.wait());
+  EXPECT_EQ(ok.output().size(), 512u);
+}
+
+TEST(ServiceCancel, CancelAfterCompletionReturnsFalse) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  Service service;
+  auto s = service.createSession({"tenant", 1.0, 0});
+  auto h = service.submitMap(s, kMapSrc, mapInput(256, 0));
+  h.wait();
+  EXPECT_FALSE(h.cancel());
+  EXPECT_EQ(h.output().size(), 256u) << "a late cancel must not clobber the result";
+}
+
+TEST(ServiceCancel, WaitForTimesOutWhilePausedThenDelivers) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  Service service;
+  auto s = service.createSession({"tenant", 1.0, 0});
+  service.pause();
+  auto h = service.submitMap(s, kMapSrc, mapInput(256, 0));
+  EXPECT_FALSE(h.waitFor(0.01)) << "paused service: the job cannot finish";
+  service.resume();
+  EXPECT_TRUE(h.waitFor(30.0));
+  EXPECT_EQ(h.output().size(), 256u);
+}
+
+// --- deadlines ---------------------------------------------------------------
+
+TEST(ServiceDeadline, ExpiredDeadlineFailsTheJobBeforeItRuns) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  Service service;
+  auto s = service.createSession({"tenant", 1.0, 0});
+
+  service.pause();
+  // The burner advances the simulated clock; FIFO order guarantees it runs
+  // first (a non-map job is never batched with the map job behind it).
+  auto burner = service.submit(s, [] {
+    Map<float(float)> map(kMapSrc);
+    Vector<float> v(mapInput(4096, 7));
+    map(v).hostData();
+    finish();
+  });
+  Service::SubmitOptions opts;
+  opts.deadlineSeconds = 1e-9;  // expired by the time the burner finishes
+  auto late = service.submitMap(s, kMapSrc, mapInput(256, 0), opts);
+  service.resume();
+
+  EXPECT_NO_THROW(burner.wait());
+  EXPECT_THROW(late.wait(), DeadlineError);
+
+  // A generous deadline passes untouched.
+  Service::SubmitOptions roomy;
+  roomy.deadlineSeconds = 1e6;
+  auto fine = service.submitMap(s, kMapSrc, mapInput(256, 1), roomy);
+  EXPECT_NO_THROW(fine.wait());
+}
+
+// --- circuit breaker: poison jobs stay isolated ------------------------------
+
+TEST(ServiceBreaker, PoisonJobFailsAloneWhileOtherTenantsComplete) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  constexpr const char* kPoison = "float func(float x) { return undefined_symbol; }";
+  Service service;
+  auto bad = service.createSession({"bad", 1.0, 0});
+  auto good = service.createSession({"good", 1.0, 0});
+
+  auto poison = service.submitMap(bad, kPoison, mapInput(256, 0));
+  std::vector<Service::Handle> fine;
+  for (int j = 0; j < 6; ++j) {
+    fine.push_back(service.submitMap(good, kMapSrc, mapInput(256, j)));
+  }
+
+  // The poison job surfaces its *real* error (after the breaker's retry
+  // budget), not a breaker artifact.
+  try {
+    poison.wait();
+    FAIL() << "a job with a non-compiling kernel must fail";
+  } catch (const CircuitOpenError&) {
+    FAIL() << "the first failure must surface the compile error itself";
+  } catch (const Error&) {
+  }
+
+  // Everyone else is untouched.
+  for (auto& h : fine) {
+    EXPECT_NO_THROW(h.wait());
+    EXPECT_EQ(h.output().size(), 256u);
+  }
+
+  // The same source on the same session now fails fast.
+  EXPECT_THROW(service.submitMap(bad, kPoison, mapInput(256, 9)).wait(),
+               CircuitOpenError);
+  // A different source on the same session, and the same source on another
+  // session, are separate breaker keys.
+  EXPECT_NO_THROW(service.submitMap(bad, kMapSrc, mapInput(256, 10)).wait());
+  try {
+    service.submitMap(good, kPoison, mapInput(256, 11)).wait();
+    FAIL() << "good's first poison attempt should surface the compile error";
+  } catch (const CircuitOpenError&) {
+    FAIL() << "breaker state must be per (session, source)";
+  } catch (const Error&) {
+  }
+}
+
+// --- quantum preemption: oversized jobs are sliced ---------------------------
+
+TEST(ServicePreemption, OversizedMapJobIsSlicedIntoQuanta) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  Service::Options options;
+  options.quantumElements = 1024;
+  Service service(options);
+  auto heavy = service.createSession({"heavy", 1.0, 0});
+  auto light = service.createSession({"light", 1.0, 0});
+
+  const std::size_t big = 5000;  // 5 quanta of 1024
+  std::vector<float> in = mapInput(big, 0);
+  trace::enable();
+  auto bigJob = service.submitMap(heavy, kMapSrc, in);
+  auto smallJob = service.submitMap(light, kMapSrc, mapInput(256, 1));
+
+  bigJob.wait();
+  smallJob.wait();
+  service.drain();
+  trace::disable();
+
+  // Each quantum is its own skeleton launch: the oversized job must show up
+  // as several kernel records under the heavy session, not one.
+  int heavyKernels = 0;
+  for (const auto& r : trace::snapshot()) {
+    const bool kernel = r.kind == trace::Record::Kind::Kernel ||
+                        r.kind == trace::Record::Kind::Fused;
+    heavyKernels += kernel && r.session == heavy->id();
+  }
+  trace::clear();
+  EXPECT_GE(heavyKernels, 5) << "the oversized job must run as multiple quanta";
+
+  // Slicing must not change the result: compare against a direct Map run.
+  Map<float(float)> map(kMapSrc);
+  Vector<float> v(in);
+  const std::vector<float> ref = map(v).toStdVector();
+  const auto& got = bigJob.output();
+  ASSERT_EQ(got.size(), ref.size());
+  EXPECT_EQ(0, std::memcmp(got.data(), ref.data(), ref.size() * sizeof(float)))
+      << "sliced execution must be bit-identical to a single run";
+}
+
 // --- the trace collector resets between init/terminate cycles ---------------
 
 TEST(TraceLifecycle, RecordsDoNotSurviveTerminateInitCycle) {

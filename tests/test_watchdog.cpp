@@ -1,0 +1,172 @@
+// The straggler/hang watchdog (docs/ROBUSTNESS.md): commands that exceed
+// their deadline are aborted with status WatchdogTimeout and the recovery
+// layer *degrades* the device — reduced partition share, escalating to the
+// blacklist after kDegradeStrikes — instead of declaring it dead outright.
+// Covers: hangs aborted and re-executed with degrade-only trace records, a
+// persistent straggler escalating to the blacklist, tolerated slowdowns
+// (inside the slack factor) costing only simulated time, the reduced share a
+// degraded device receives, and the watchdog-off baseline that just rides
+// the slowdown out.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/detail/trace.hpp"
+#include "core/skelcl.hpp"
+
+using namespace skelcl;
+
+namespace {
+
+struct RuntimeGuard {
+  explicit RuntimeGuard(sim::SystemConfig config) { init(std::move(config)); }
+  ~RuntimeGuard() {
+    trace::disable();
+    trace::clear();
+    terminate();
+  }
+};
+
+constexpr const char* kTwice = "int func(int x) { return 2 * x; }";
+
+Vector<int> iota(std::size_t n) {
+  Vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i);
+  return v;
+}
+
+void expectDoubled(const Vector<int>& out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 2 * static_cast<int>(i)) << "i=" << i;
+  }
+}
+
+}  // namespace
+
+TEST(Watchdog, HangIsAbortedAndDeviceDegradedNotBlacklisted) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  sim::FaultPlan plan;
+  plan.hangCommands(1, 1);
+  setFaultPlan(std::move(plan));
+
+  trace::enable();
+  Map<int> twice(kTwice);
+  Vector<int> out = twice(iota(1000));
+  trace::disable();
+  expectDoubled(out);
+
+  // One strike: degraded, not dead.
+  EXPECT_EQ(aliveDeviceCount(), 2);
+  EXPECT_EQ(degradeCount(1), 1);
+  EXPECT_DOUBLE_EQ(deviceHealth(1), 0.25);
+  EXPECT_DOUBLE_EQ(deviceHealth(0), 1.0);
+
+  // The trace shows the degrade and nothing blacklist-shaped.
+  int degrades = 0, redistributes = 0;
+  for (const auto& r : trace::snapshot()) {
+    if (r.kind == trace::Record::Kind::Degrade) {
+      ++degrades;
+      EXPECT_EQ(r.device, 1);
+    }
+    redistributes += r.kind == trace::Record::Kind::Redistribute;
+  }
+  EXPECT_EQ(degrades, 1);
+  EXPECT_EQ(redistributes, 0) << "a hang must degrade, not blacklist";
+}
+
+TEST(Watchdog, DegradedDeviceGetsReducedPartitionShare) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  sim::FaultPlan plan;
+  plan.hangCommands(1, 1);
+  setFaultPlan(std::move(plan));
+
+  Map<int> twice(kTwice);
+  expectDoubled(twice(iota(1000)));  // takes the strike on device 1
+  ASSERT_DOUBLE_EQ(deviceHealth(1), 0.25);
+
+  // Health folds into unweighted block partitions: 1.0 : 0.25 = 800 : 200.
+  Vector<int> out = twice(iota(1000));
+  expectDoubled(out);
+  EXPECT_EQ(out.impl().partSizeOn(0), 800u);
+  EXPECT_EQ(out.impl().partSizeOn(1), 200u);
+}
+
+TEST(Watchdog, PersistentStragglerEscalatesToBlacklistAfterThreeStrikes) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  sim::FaultPlan plan;
+  plan.slowDevice(0, 8.0);  // 8x > the default 4x slack: every command aborts
+  setFaultPlan(std::move(plan));
+
+  trace::enable();
+  Map<int> twice(kTwice);
+  // Re-execution inside one skeleton call is enough to accumulate all three
+  // strikes: each replan keeps the degraded device until it is blacklisted.
+  expectDoubled(twice(iota(1000)));
+  trace::disable();
+
+  EXPECT_EQ(aliveDeviceCount(), 1);
+  EXPECT_EQ(degradeCount(0), 3);
+
+  int degrades = 0;
+  bool blacklisted = false;
+  for (const auto& r : trace::snapshot()) {
+    degrades += r.kind == trace::Record::Kind::Degrade && r.device == 0;
+    if (r.kind == trace::Record::Kind::Redistribute && r.device == 0) blacklisted = true;
+  }
+  EXPECT_EQ(degrades, 2) << "the third strike escalates instead of degrading";
+  EXPECT_TRUE(blacklisted);
+
+  // Later work no longer touches the straggler.
+  expectDoubled(twice(iota(512)));
+  EXPECT_EQ(aliveDeviceCount(), 1);
+}
+
+TEST(Watchdog, ToleratedSlowdownOnlyCostsSimulatedTime) {
+  double baseline = 0.0;
+  {
+    RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+    Map<int> twice(kTwice);
+    expectDoubled(twice(iota(2000)));
+    finish();
+    baseline = simTimeSeconds();
+  }
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  sim::FaultPlan plan;
+  plan.slowDevice(0, 2.0);  // within the 4x slack: no aborts
+  setFaultPlan(std::move(plan));
+
+  Map<int> twice(kTwice);
+  expectDoubled(twice(iota(2000)));
+  finish();
+  EXPECT_GT(simTimeSeconds(), baseline) << "the slowdown must cost simulated time";
+  EXPECT_EQ(aliveDeviceCount(), 2);
+  EXPECT_EQ(degradeCount(0), 0);
+  EXPECT_DOUBLE_EQ(deviceHealth(0), 1.0);
+}
+
+TEST(Watchdog, DisabledWatchdogRidesOutTheStraggler) {
+  RuntimeGuard rt(sim::SystemConfig::teslaS1070(2));
+  setWatchdogEnabled(false);
+  sim::FaultPlan plan;
+  plan.slowDevice(0, 8.0);
+  setFaultPlan(std::move(plan));
+
+  Map<int> twice(kTwice);
+  expectDoubled(twice(iota(1000)));
+  finish();
+  const double slowTime = simTimeSeconds();
+
+  // No aborts, no degrades — the straggler is simply waited for.
+  EXPECT_EQ(aliveDeviceCount(), 2);
+  EXPECT_EQ(degradeCount(0), 0);
+  EXPECT_DOUBLE_EQ(deviceHealth(0), 1.0);
+  EXPECT_GT(slowTime, 0.0);
+
+  // Re-enabling takes effect for later plans within the same runtime.
+  setWatchdogEnabled(true);
+  sim::FaultPlan again;
+  again.hangCommands(1, 1);
+  setFaultPlan(std::move(again));
+  expectDoubled(twice(iota(1000)));
+  EXPECT_EQ(degradeCount(1), 1);
+}
