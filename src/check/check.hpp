@@ -87,6 +87,14 @@ enum class OpKind {
                ///< map job: run=0 cancels it before it runs (state no-op),
                ///< run=1 resumes and stores the result into pool[dst].
                ///< F32-only (the service job interface is float).
+  MapOverlap,  ///< 1D stencil over pool[a] into pool[dst] (fresh or in-place)
+               ///< with halo exchange between row blocks: fn is a Stencil1
+               ///< catalog function, `radius` the overlap, `pad` the boundary
+               ///< policy (0 neutral ci/cf, 1 clamp)
+  MatStencil,  ///< 2D stencil: reinterpret the first rows*cols elements of
+               ///< pool[a] (rows = n / cols) as a Matrix, run a Stencil2
+               ///< MapOverlap over it, and write the result back into the
+               ///< first rows*cols elements of pool[dst]
 };
 
 enum class DistKind { Single, Block, WBlock, Copy, CopyCombine };
@@ -136,6 +144,9 @@ struct Op {
   std::int64_t index = 0, value = 0;  ///< Write
   std::vector<StageSpec> stages;
   bool unfused = false;
+  int radius = 1;  ///< MapOverlap / MatStencil overlap radius (>= 1)
+  int pad = 0;     ///< MapOverlap / MatStencil boundary: 0 neutral, 1 clamp
+  int cols = 1;    ///< MatStencil matrix width (>= 1)
 };
 
 struct Config {

@@ -36,6 +36,11 @@ const std::vector<FnInfo> kCatalog = {
     // max-by-offset-key with last-wins ties: selection, so regrouping is
     // transparent even for floats -- usable as a reduce with a scalar extra.
     {"maxoff",  FnShape::BinaryScalar, true,  true,  true,  true,  false, false, true,  false, false},
+    // Stencil shapes are only reachable through the mapoverlap/matstencil
+    // ops, so every grammar-slot role flag stays false.
+    {"s1sum",   FnShape::Stencil1,     true,  true,  false, false, false, false, false, false, false},
+    {"s1diff",  FnShape::Stencil1,     true,  true,  false, false, false, false, false, false, false},
+    {"s2sum",   FnShape::Stencil2,     true,  true,  false, false, false, false, false, false, false},
 };
 
 std::string body(const std::string& id, const std::string& T) {
@@ -64,6 +69,13 @@ std::string body(const std::string& id, const std::string& T) {
   if (id == "maxoff")
     return T + " func(" + T + " a, " + T + " b, " + T +
            " c) { if (a + c > b + c) return a; return b; }";
+  if (id == "s1sum")
+    return T + " func(__global " + T + "* p, int i) { " + T + " t = p[i - 1] + p[i]; return t + p[i + 1]; }";
+  if (id == "s1diff")
+    return T + " func(__global " + T + "* p, int i) { return p[i + 1] - p[i - 1]; }";
+  if (id == "s2sum")
+    return T + " func(__global " + T + "* p, int i, int s) { " + T +
+           " t = p[i - s] + p[i - 1]; t = t + p[i]; t = t + p[i + 1]; return t + p[i + s]; }";
   throw std::runtime_error("skelcheck: unknown function id '" + id + "'");
 }
 

@@ -27,6 +27,8 @@ enum class FnShape {
   UnarySizes,   ///< T func(T x, int s)           -- s = sizes() token
   Binary,       ///< T func(T a, T b)
   BinaryScalar, ///< T func(T a, T b, T c)
+  Stencil1,     ///< T func(__global T* p, int i)         -- 1D map-overlap
+  Stencil2,     ///< T func(__global T* p, int i, int s)  -- 2D map-overlap (s = row stride)
 };
 
 struct FnInfo {

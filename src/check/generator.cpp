@@ -40,6 +40,18 @@ std::vector<std::string> fnsFor(ElemType t, bool FnInfo::*role) {
   return out;
 }
 
+/// Stencil functions carry no role flags (they are only reachable through
+/// the mapoverlap/matstencil ops), so they are collected by shape instead.
+std::vector<std::string> fnsOfShape(ElemType t, FnShape shape) {
+  std::vector<std::string> out;
+  for (const FnInfo& f : catalog()) {
+    if (f.shape == shape && (t == ElemType::I32 ? f.forInt : f.forFloat)) {
+      out.push_back(f.id);
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> filterShapes(std::vector<std::string> fns, FnShape a, FnShape b) {
   std::vector<std::string> out;
   for (auto& id : fns) {
@@ -64,7 +76,7 @@ Program generate(std::uint64_t seed, int numOps) {
   cfg.devices = devChoices[seed % 3];
   cfg.elem = ((seed / 3) % 2) ? ElemType::F32 : ElemType::I32;
   cfg.kcopt = static_cast<int>((seed / 6) % 2);
-  const std::size_t sizes[] = {1, 2, 3, 4, 7, 17, 33, 64, 100, 137, 200};
+  const std::size_t sizes[] = {0, 1, 2, 3, 4, 7, 17, 33, 64, 100, 137, 200};
   cfg.n = sizes[rng.below(std::size(sizes))];
   cfg.poolSize = rng.range(3, 6);
   const ElemType t = cfg.elem;
@@ -79,6 +91,8 @@ Program generate(std::uint64_t seed, int numOps) {
                                     FnShape::Binary);
   const auto combFns = filterShapes(fnsFor(t, &FnInfo::combineUse), FnShape::Binary,
                                     FnShape::Binary);
+  const auto sten1Fns = fnsOfShape(t, FnShape::Stencil1);
+  const auto sten2Fns = fnsOfShape(t, FnShape::Stencil2);
 
   auto slot = [&] { return rng.range(0, cfg.poolSize - 1); };
   auto smallI = [&] { return static_cast<std::int64_t>(rng.range(-4, 4)); };
@@ -164,7 +178,8 @@ Program generate(std::uint64_t seed, int numOps) {
     } else if (roll < 17) {  // write
       op.kind = OpKind::Write;
       op.a = slot();
-      op.index = static_cast<std::int64_t>(rng.below(cfg.n));
+      // sanitize() turns writes into probes when n == 0.
+      op.index = cfg.n > 0 ? static_cast<std::int64_t>(rng.below(cfg.n)) : 0;
       op.value = rng.range(-256, 256);
     } else if (roll < 31) {  // setdist
       op.kind = OpKind::SetDist;
@@ -174,7 +189,7 @@ Program generate(std::uint64_t seed, int numOps) {
       op.kind = OpKind::Alias;
       op.a = slot();
       op.dst = slot();
-    } else if (roll < 46) {  // map
+    } else if (roll < 44) {  // map
       op.kind = OpKind::Map;
       op.a = slot();
       op.dst = slot();
@@ -194,7 +209,7 @@ Program generate(std::uint64_t seed, int numOps) {
           p.ops.push_back(std::move(sd));
         }
       }
-    } else if (roll < 56) {  // zip
+    } else if (roll < 53) {  // zip
       op.kind = OpKind::Zip;
       op.a = slot();
       op.b = slot();
@@ -202,39 +217,39 @@ Program generate(std::uint64_t seed, int numOps) {
       op.inPlace = rng.chance(40);
       op.fn = pick(rng, zipFns);
       fillScalar(op, op.fn);
-    } else if (roll < 63) {  // reduce
+    } else if (roll < 60) {  // reduce
       op.kind = OpKind::Reduce;
       op.a = slot();
       op.fn = pick(rng, redFns);
       fillScalar(op, op.fn);
-    } else if (roll < 69) {  // scan
+    } else if (roll < 65) {  // scan
       op.kind = OpKind::Scan;
       op.a = slot();
       op.dst = slot();
       op.inPlace = rng.chance(40);
       op.fn = pick(rng, scanFns);
-    } else if (roll < 77) {  // pipe
+    } else if (roll < 72) {  // pipe
       op.kind = OpKind::Pipe;
       op.a = slot();
       op.dst = slot();
       op.inPlace = rng.chance(40);
       makeStages(op);
-    } else if (roll < 82) {  // pipereduce
+    } else if (roll < 77) {  // pipereduce
       op.kind = OpKind::PipeReduce;
       op.a = slot();
       op.fn = pick(rng, redFns);
       fillScalar(op, op.fn);
       makeStages(op);
-    } else if (roll < 86) {  // weights
+    } else if (roll < 81) {  // weights
       op.kind = OpKind::Weights;
       const int len = rng.chance(75) ? cfg.devices : rng.range(0, cfg.devices);
       const double choices[] = {0.0, 0.5, 1.0, 2.0, 4.0};
       for (int i = 0; i < len; ++i) op.weights.push_back(choices[rng.below(5)]);
-    } else if (roll < 88 && blacklistsLeft > 0) {  // blacklist
+    } else if (roll < 83 && blacklistsLeft > 0) {  // blacklist
       op.kind = OpKind::Blacklist;
       op.device = rng.range(0, cfg.devices - 1);
       --blacklistsLeft;
-    } else if (roll < 92) {  // fault
+    } else if (roll < 87) {  // fault
       op.kind = OpKind::Fault;
       const int rules = rng.range(0, 2);
       for (int i = 0; i < rules; ++i) {
@@ -264,13 +279,13 @@ Program generate(std::uint64_t seed, int numOps) {
       } else {
         op.device = -1;
       }
-    } else if (roll < 94) {  // poke
+    } else if (roll < 89) {  // poke
       op.kind = OpKind::Poke;
       op.a = slot();
       op.device = rng.range(0, cfg.devices - 1);
       op.base = rng.range(-64, 64);
       op.step = rng.range(-3, 3);
-    } else if (roll < 96) {  // session switch (slot 0 = default), maybe with weights
+    } else if (roll < 91) {  // session switch (slot 0 = default), maybe with weights
       op.kind = OpKind::Session;
       op.device = rng.range(0, 3);
       if (rng.chance(50)) {
@@ -278,12 +293,33 @@ Program generate(std::uint64_t seed, int numOps) {
         const double choices[] = {0.0, 0.5, 1.0, 2.0, 4.0};
         for (int i = 0; i < len; ++i) op.weights.push_back(choices[rng.below(5)]);
       }
-    } else if (roll < 98 && t == ElemType::F32) {  // service map job: run or cancel
+    } else if (roll < 93 && t == ElemType::F32) {  // service map job: run or cancel
       op.kind = OpKind::Cancel;
       op.a = slot();
       op.dst = slot();
       op.fn = pick(rng, unaryFns);
       op.run = rng.chance(50);
+    } else if (roll < 97) {  // mapoverlap (1D stencil)
+      op.kind = OpKind::MapOverlap;
+      op.a = slot();
+      op.dst = slot();
+      op.inPlace = rng.chance(25);
+      op.fn = pick(rng, sten1Fns);
+      op.radius = rng.range(1, 3);
+      op.pad = rng.chance(50) ? 1 : 0;
+      op.ci = smallI();
+      op.cf = smallF();
+    } else if (roll < 99) {  // matstencil (2D stencil over a matrix view)
+      op.kind = OpKind::MatStencil;
+      op.a = slot();
+      op.dst = slot();
+      op.fn = pick(rng, sten2Fns);
+      op.radius = rng.range(1, 2);
+      const int colChoices[] = {1, 2, 3, 5, 8, 13};
+      op.cols = colChoices[rng.below(std::size(colChoices))];
+      op.pad = rng.chance(50) ? 1 : 0;
+      op.ci = smallI();
+      op.cf = smallF();
     } else {  // probe
       op.kind = OpKind::Probe;
       op.a = slot();

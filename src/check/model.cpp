@@ -238,7 +238,9 @@ Distribution Model::effective(const Distribution& d) const {
     for (const double h : health_) anyDegraded = anyDegraded || h != 1.0;
     if (!w.empty()) {
       if (anyDegraded) {
-        for (std::size_t i = 0; i < w.size() && i < health_.size(); ++i) {
+        SKELCL_CHECK(w.size() == health_.size(),
+                     "partition weights and device health must both cover every device");
+        for (std::size_t i = 0; i < w.size(); ++i) {
           w[i] *= health_[i];
         }
       }
@@ -680,6 +682,9 @@ void Model::elementwiseOnce(const std::string& fn, MVec* in1, MVec* in2, MVec& o
                 break;
               case FnShape::Binary:
                 break;
+              case FnShape::Stencil1:
+              case FnShape::Stencil2:
+                throw UsageError("model: stencil function used elementwise");
             }
             if (p2 != nullptr) b = p2->data[j];
             po->data[j] = eval(fn, a, b, ci, cf);
@@ -734,6 +739,489 @@ void Model::serviceMap(const std::string& fn, MVec& src, MVec& dst) {
 void Model::zip(const std::string& fn, MVec& left, MVec& right, MVec& output,
                 std::vector<MExtra> extras) {
   runElementwise(fn, &left, &right, output, extras);
+}
+
+// ---------------------------------------------------------------------------
+// MapOverlap mirror (runMapOverlap1DOnce / runMapOverlap2DOnce)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Truncation the VM applies after every int32 operation.
+std::int32_t trunc32(std::int64_t v) { return static_cast<std::int32_t>(v); }
+
+/// Mirror of skeleton_exec.cpp's HaloSegment decomposition: the in-range
+/// portion of [lo, hi) split into per-owner contiguous segments, ascending.
+struct MSeg {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t ownerIndex = 0;
+};
+
+std::vector<MSeg> haloSegs(const std::vector<PartRange>& ranges, std::size_t self,
+                           std::ptrdiff_t lo, std::ptrdiff_t hi, std::size_t count) {
+  std::vector<MSeg> segs;
+  const std::size_t begin = lo < 0 ? 0 : static_cast<std::size_t>(lo);
+  const std::size_t end =
+      hi > static_cast<std::ptrdiff_t>(count) ? count : static_cast<std::size_t>(hi);
+  if (begin >= end) return segs;
+  for (std::size_t q = 0; q < ranges.size(); ++q) {
+    if (q == self) continue;
+    const std::size_t s = std::max(begin, ranges[q].offset);
+    const std::size_t e = std::min(end, ranges[q].offset + ranges[q].size);
+    if (s < e) segs.push_back(MSeg{s, e, q});
+  }
+  std::sort(segs.begin(), segs.end(),
+            [](const MSeg& a, const MSeg& b) { return a.begin < b.begin; });
+  return segs;
+}
+
+}  // namespace
+
+std::uint32_t Model::stencilEval(const std::string& fn, const std::vector<std::uint32_t>& pad,
+                                 std::size_t center, std::size_t stride) const {
+  const std::size_t c = center;
+  if (cfg_.elem == ElemType::I32) {
+    const auto I = [&](std::size_t k) { return static_cast<std::int64_t>(asI(pad[k])); };
+    if (fn == "s1sum") return bitsOfI(trunc32(trunc32(I(c - 1) + I(c)) + I(c + 1)));
+    if (fn == "s1diff") return bitsOfI(trunc32(I(c + 1) - I(c - 1)));
+    if (fn == "s2sum") {
+      std::int64_t t = trunc32(I(c - stride) + I(c - 1));
+      t = trunc32(t + I(c));
+      t = trunc32(t + I(c + 1));
+      return bitsOfI(trunc32(t + I(c + stride)));
+    }
+  } else {
+    const auto F = [&](std::size_t k) { return asF(pad[k]); };
+    if (fn == "s1sum") {
+      const float t = F(c - 1) + F(c);
+      return bitsOfF(t + F(c + 1));
+    }
+    if (fn == "s1diff") return bitsOfF(F(c + 1) - F(c - 1));
+    if (fn == "s2sum") {
+      float t = F(c - stride) + F(c - 1);
+      t = t + F(c);
+      t = t + F(c + 1);
+      return bitsOfF(t + F(c + stride));
+    }
+  }
+  throw UsageError("model: unknown stencil function '" + fn + "'");
+}
+
+void Model::mapOverlapOnce(const std::string& fn, std::size_t radius, bool clampPad,
+                           std::uint32_t neutral, MVec& input, MVec& output) {
+  const std::size_t n = input.n;
+  if (n == 0) return;  // empty in, empty out
+
+  if (input.requested.kind() != Distribution::Kind::Block) {
+    setDistribution(input, Distribution::block());
+  }
+  ensureOnDevices(input);
+  setDistribution(output, input.requested);
+  ensureOnDevicesNoUpload(output);
+
+  const std::ptrdiff_t R = static_cast<std::ptrdiff_t>(radius);
+  const std::vector<PartRange> ranges = plannedPartition(input);
+
+  struct Plan {
+    PartRange range;
+    std::vector<MSeg> segs;
+    std::vector<std::vector<std::uint32_t>> staging;  ///< one per segment
+    std::vector<std::uint32_t> padded;                ///< [haloL | interior | haloR]
+    std::size_t missLeft = 0, missRight = 0;
+    std::vector<MGraph::NodeId> segUploads;
+    std::vector<MGraph::NodeId> padWrites;
+    MGraph::NodeId interior = 0;
+  };
+  std::vector<Plan> plans;
+  for (std::size_t pi = 0; pi < ranges.size(); ++pi) {
+    const PartRange& r = ranges[pi];
+    Plan p;
+    p.range = r;
+    const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(r.offset);
+    const std::ptrdiff_t hiEnd = off + static_cast<std::ptrdiff_t>(r.size) + R;
+    allocCheck(r.device);  // the padded buffer's allocation gate
+    p.padded.assign(r.size + 2 * radius, 0);
+    p.segs = haloSegs(ranges, pi, off - R, hiEnd, n);
+    p.staging.resize(p.segs.size());
+    for (std::size_t si = 0; si < p.segs.size(); ++si) {
+      p.staging[si].assign(p.segs[si].end - p.segs[si].begin, 0);
+    }
+    p.missLeft = off < R ? static_cast<std::size_t>(R - off) : 0;
+    p.missRight = hiEnd > static_cast<std::ptrdiff_t>(n)
+                      ? static_cast<std::size_t>(hiEnd - static_cast<std::ptrdiff_t>(n))
+                      : 0;
+    plans.push_back(std::move(p));
+  }
+
+  // Stage-outer / part-inner, matching the engine's recorded order.
+  MGraph g(*this);
+  MVec* in = &input;
+  // Halo exchange, step 1: read each segment from its owner.
+  for (Plan& p : plans) {
+    p.segUploads.assign(p.segs.size(), 0);
+    for (std::size_t si = 0; si < p.segs.size(); ++si) {
+      const MSeg s = p.segs[si];
+      const PartRange owner = ranges[s.ownerIndex];
+      std::vector<std::uint32_t>* stage = &p.staging[si];
+      p.segUploads[si] = g.add(owner.device, /*cls=*/0, nullptr, [in, owner, s, stage] {
+        MPart* po = in->partOn(owner.device);
+        const auto srcOff = static_cast<std::ptrdiff_t>(s.begin - owner.offset);
+        std::copy(po->data.begin() + srcOff,
+                  po->data.begin() + srcOff + static_cast<std::ptrdiff_t>(s.end - s.begin),
+                  stage->begin());
+      });
+    }
+  }
+  // Interior: one device-local copy of the part's own elements.
+  for (Plan& p : plans) {
+    const PartRange r = p.range;
+    Plan* pp = &p;
+    p.interior = g.add(r.device, /*cls=*/0, nullptr, [in, pp, r, radius] {
+      MPart* ip = in->partOn(r.device);
+      std::copy(ip->data.begin(), ip->data.begin() + static_cast<std::ptrdiff_t>(r.size),
+                pp->padded.begin() + static_cast<std::ptrdiff_t>(radius));
+    });
+    p.padWrites.push_back(p.interior);
+  }
+  // Halo exchange, step 2: staged segments into the padded buffer.
+  for (Plan& p : plans) {
+    const PartRange r = p.range;
+    Plan* pp = &p;
+    for (std::size_t si = 0; si < p.segs.size(); ++si) {
+      const MSeg s = p.segs[si];
+      const MGraph::NodeId download = p.segUploads[si];
+      const std::size_t dstOff = s.begin + radius - r.offset;
+      p.segUploads[si] = g.add(
+          r.device, /*cls=*/0, nullptr,
+          [pp, si, dstOff] {
+            std::copy(pp->staging[si].begin(), pp->staging[si].end(),
+                      pp->padded.begin() + static_cast<std::ptrdiff_t>(dstOff));
+          },
+          {download});
+      p.padWrites.push_back(p.segUploads[si]);
+    }
+  }
+  // Boundary policy.
+  for (Plan& p : plans) {
+    const PartRange r = p.range;
+    Plan* pp = &p;
+    if (!clampPad) {
+      if (p.missLeft > 0) {
+        const std::size_t count = p.missLeft;
+        p.padWrites.push_back(g.add(r.device, /*cls=*/0, nullptr, [pp, neutral, count] {
+          std::fill(pp->padded.begin(), pp->padded.begin() + static_cast<std::ptrdiff_t>(count),
+                    neutral);
+        }));
+      }
+      if (p.missRight > 0) {
+        const std::size_t dstOff = r.size + 2 * radius - p.missRight;
+        const std::size_t count = p.missRight;
+        p.padWrites.push_back(g.add(r.device, /*cls=*/0, nullptr, [pp, neutral, dstOff, count] {
+          std::fill(pp->padded.begin() + static_cast<std::ptrdiff_t>(dstOff),
+                    pp->padded.begin() + static_cast<std::ptrdiff_t>(dstOff + count), neutral);
+        }));
+      }
+    } else {
+      auto writerOf = [&](std::size_t global) -> MGraph::NodeId {
+        if (global >= r.offset && global < r.offset + r.size) return pp->interior;
+        for (std::size_t si = 0; si < pp->segs.size(); ++si) {
+          if (global >= pp->segs[si].begin && global < pp->segs[si].end) {
+            return pp->segUploads[si];
+          }
+        }
+        throw UsageError("map-overlap: clamp source element not staged");
+      };
+      auto clampCopies = [&](std::size_t global, std::size_t firstDst, std::size_t count) {
+        const std::size_t srcOff = global + radius - r.offset;
+        const MGraph::NodeId dep = writerOf(global);
+        for (std::size_t k = 0; k < count; ++k) {
+          const std::size_t dstOff = firstDst + k;
+          pp->padWrites.push_back(g.add(
+              r.device, /*cls=*/0, nullptr,
+              [pp, srcOff, dstOff] { pp->padded[dstOff] = pp->padded[srcOff]; }, {dep}));
+        }
+      };
+      if (p.missLeft > 0) clampCopies(0, 0, p.missLeft);
+      if (p.missRight > 0) clampCopies(n - 1, r.size + 2 * radius - p.missRight, p.missRight);
+    }
+  }
+  // Stencil kernels, one per part.
+  bool launched = false;
+  for (Plan& p : plans) {
+    const PartRange r = p.range;
+    Plan* pp = &p;
+    MVec* outp = &output;
+    g.add(
+        r.device, /*cls=*/1, nullptr,
+        [this, fn, pp, outp, r, radius] {
+          MPart* po = outp->partOn(r.device);
+          for (std::size_t j = 0; j < r.size; ++j) {
+            po->data[j] = stencilEval(fn, pp->padded, j + radius, 0);
+          }
+        },
+        p.padWrites);
+    launched = true;
+  }
+  g.run();
+  if (launched) markDevicesModified(output);
+}
+
+void Model::mapOverlap(const std::string& fn, int radius, bool clampPad, std::uint32_t neutral,
+                       MVec& input, MVec& output) {
+  SKELCL_CHECK(output.n == input.n, "map-overlap output size mismatch");
+  SKELCL_CHECK(&output != &input,
+               "map-overlap cannot run in place: the stencil reads neighbours of every element");
+  withRecovery({&input}, &output, [&] {
+    mapOverlapOnce(fn, static_cast<std::size_t>(radius), clampPad, neutral, input, output);
+  });
+}
+
+// Matrix mirrors of the VectorData helpers: a matrix MVec counts rows in `n`
+// and carries `cols` words per row in host/part data, exactly like the real
+// MatrixData's row vector (one element = one row of cols*4 bytes).
+
+void Model::matrixMaterializeParts(MVec& v, std::size_t cols, bool upload) {
+  v.parts.clear();
+  for (const PartRange& r : plannedPartition(v)) {
+    MPart part;
+    part.device = r.device;
+    part.offset = r.offset;
+    part.size = r.size;
+    if (r.size > 0) {
+      allocCheck(r.device);
+      part.hasBuf = true;
+      part.data.assign(r.size * cols, 0);
+    }
+    v.parts.push_back(std::move(part));
+  }
+  if (upload) {
+    MGraph g(*this);
+    for (MPart& part : v.parts) {
+      if (part.size == 0) continue;
+      MPart* p = &part;
+      g.add(p->device, /*cls=*/0, nullptr, [&v, p, cols] {
+        std::copy(v.host.begin() + static_cast<std::ptrdiff_t>(p->offset * cols),
+                  v.host.begin() + static_cast<std::ptrdiff_t>((p->offset + p->size) * cols),
+                  p->data.begin());
+      });
+    }
+    g.run();
+  }
+  v.current = v.requested;
+  v.devicesValid = true;
+}
+
+void Model::matrixEnsureOnDevices(MVec& v, std::size_t cols) {
+  SKELCL_CHECK(v.requested.isSet(), "vector has no distribution");
+  if (partsMatchRequested(v)) {
+    v.current = v.requested;
+    return;
+  }
+  matrixEnsureHostValid(v, cols);
+  matrixMaterializeParts(v, cols, /*upload=*/true);
+}
+
+void Model::matrixEnsureOnDevicesNoUpload(MVec& v, std::size_t cols) {
+  SKELCL_CHECK(v.requested.isSet(), "vector has no distribution");
+  if (partsMatchRequested(v)) {
+    v.current = v.requested;
+    return;
+  }
+  matrixMaterializeParts(v, cols, /*upload=*/false);
+  v.hostValid = false;
+}
+
+void Model::matrixEnsureHostValid(MVec& v, std::size_t cols) {
+  if (v.hostValid) return;
+  SKELCL_CHECK(v.devicesValid, "vector holds no valid data");
+  if (v.requested.isSet() && partsMatchRequested(v)) v.current = v.requested;
+  // The transient stencil matrix is always block-distributed: plain part
+  // downloads, no copy-combine path.
+  MGraph g(*this);
+  for (MPart& part : v.parts) {
+    if (part.size == 0) continue;
+    MPart* p = &part;
+    g.add(p->device, /*cls=*/0, nullptr, [&v, p, cols] {
+      std::copy(p->data.begin(), p->data.end(),
+                v.host.begin() + static_cast<std::ptrdiff_t>(p->offset * cols));
+    });
+  }
+  g.run();
+  v.hostValid = true;
+}
+
+void Model::matStencilOnce(const std::string& fn, std::size_t radius, bool clampPad,
+                           std::uint32_t neutral, std::size_t rows, std::size_t cols,
+                           MVec& input, MVec& output) {
+  if (rows == 0) return;  // empty in, empty out
+
+  if (input.requested.kind() != Distribution::Kind::Block) {
+    setDistribution(input, Distribution::block());
+  }
+  matrixEnsureOnDevices(input, cols);
+  setDistribution(output, input.requested);
+  matrixEnsureOnDevicesNoUpload(output, cols);
+
+  const std::size_t stride = cols + 2 * radius;
+  const std::ptrdiff_t R = static_cast<std::ptrdiff_t>(radius);
+  const std::vector<PartRange> ranges = plannedPartition(input);
+
+  struct Plan {
+    PartRange range;                                  ///< row range
+    std::vector<MSeg> segs;                           ///< halo *row* segments
+    std::vector<std::vector<std::uint32_t>> staging;  ///< one per segment
+    std::vector<std::uint32_t> padded;                ///< (rows + 2r) x stride words
+    std::vector<MGraph::NodeId> padWrites;
+    MGraph::NodeId packNode = 0;
+  };
+  std::vector<Plan> plans;
+  for (std::size_t pi = 0; pi < ranges.size(); ++pi) {
+    const PartRange& r = ranges[pi];
+    Plan p;
+    p.range = r;
+    const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(r.offset);
+    allocCheck(r.device);
+    p.padded.assign((r.size + 2 * radius) * stride, 0);
+    p.segs =
+        haloSegs(ranges, pi, off - R, off + static_cast<std::ptrdiff_t>(r.size) + R, rows);
+    p.staging.resize(p.segs.size());
+    for (std::size_t si = 0; si < p.segs.size(); ++si) {
+      p.staging[si].assign((p.segs[si].end - p.segs[si].begin) * cols, 0);
+    }
+    plans.push_back(std::move(p));
+  }
+
+  MGraph g(*this);
+  MVec* in = &input;
+  // Halo rows out of their owners.
+  std::vector<std::vector<MGraph::NodeId>> downloads(plans.size());
+  for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+    Plan& p = plans[pi];
+    for (std::size_t si = 0; si < p.segs.size(); ++si) {
+      const MSeg s = p.segs[si];
+      const PartRange owner = ranges[s.ownerIndex];
+      std::vector<std::uint32_t>* stage = &p.staging[si];
+      downloads[pi].push_back(g.add(owner.device, /*cls=*/0, nullptr, [in, owner, s, stage, cols] {
+        MPart* po = in->partOn(owner.device);
+        const auto srcOff = static_cast<std::ptrdiff_t>((s.begin - owner.offset) * cols);
+        std::copy(po->data.begin() + srcOff,
+                  po->data.begin() + srcOff +
+                      static_cast<std::ptrdiff_t>((s.end - s.begin) * cols),
+                  stage->begin());
+      }));
+    }
+  }
+  // Halo rows into the padded buffers: one upload per row.
+  for (std::size_t pi = 0; pi < plans.size(); ++pi) {
+    Plan& p = plans[pi];
+    const PartRange r = p.range;
+    Plan* pp = &p;
+    for (std::size_t si = 0; si < p.segs.size(); ++si) {
+      const MSeg s = p.segs[si];
+      const MGraph::NodeId download = downloads[pi][si];
+      for (std::size_t row = s.begin; row < s.end; ++row) {
+        const std::size_t srcOff = (row - s.begin) * cols;
+        const std::size_t dstOff = (row + radius - r.offset) * stride + radius;
+        p.padWrites.push_back(g.add(
+            r.device, /*cls=*/0, nullptr,
+            [pp, si, srcOff, dstOff, cols] {
+              std::copy(pp->staging[si].begin() + static_cast<std::ptrdiff_t>(srcOff),
+                        pp->staging[si].begin() + static_cast<std::ptrdiff_t>(srcOff + cols),
+                        pp->padded.begin() + static_cast<std::ptrdiff_t>(dstOff));
+            },
+            {download}));
+      }
+    }
+  }
+  // Pack kernels: interior rows + boundary policy (mirror of skelcl_mo_pack;
+  // in-matrix halo rows were uploaded above and are left untouched).
+  for (Plan& p : plans) {
+    const PartRange r = p.range;
+    Plan* pp = &p;
+    const std::size_t total = (r.size + 2 * radius) * stride;
+    p.packNode = g.add(
+        r.device, /*cls=*/1, nullptr,
+        [in, pp, r, rows, cols, stride, radius, neutral, clampPad, total] {
+          MPart* ip = in->partOn(r.device);
+          const auto row0 = static_cast<std::ptrdiff_t>(r.offset);
+          const auto prows = static_cast<std::ptrdiff_t>(r.size);
+          for (std::size_t i = 0; i < total; ++i) {
+            const auto prow = static_cast<std::ptrdiff_t>(i / stride);
+            const std::ptrdiff_t col =
+                static_cast<std::ptrdiff_t>(i % stride) - static_cast<std::ptrdiff_t>(radius);
+            const std::ptrdiff_t arow = row0 - static_cast<std::ptrdiff_t>(radius) + prow;
+            if (col < 0 || col >= static_cast<std::ptrdiff_t>(cols) || arow < 0 ||
+                arow >= static_cast<std::ptrdiff_t>(rows)) {
+              if (!clampPad) {
+                pp->padded[i] = neutral;
+              } else {
+                const std::ptrdiff_t crow =
+                    std::clamp<std::ptrdiff_t>(arow, 0, static_cast<std::ptrdiff_t>(rows) - 1);
+                const std::ptrdiff_t ccol =
+                    std::clamp<std::ptrdiff_t>(col, 0, static_cast<std::ptrdiff_t>(cols) - 1);
+                if (crow >= row0 && crow < row0 + prows) {
+                  pp->padded[i] = ip->data[static_cast<std::size_t>(
+                      (crow - row0) * static_cast<std::ptrdiff_t>(cols) + ccol)];
+                } else {
+                  pp->padded[i] = pp->padded[static_cast<std::size_t>(
+                      (crow - row0 + static_cast<std::ptrdiff_t>(radius)) *
+                          static_cast<std::ptrdiff_t>(stride) +
+                      static_cast<std::ptrdiff_t>(radius) + ccol)];
+                }
+              }
+            } else if (arow >= row0 && arow < row0 + prows) {
+              pp->padded[i] = ip->data[static_cast<std::size_t>(
+                  (arow - row0) * static_cast<std::ptrdiff_t>(cols) + col)];
+            }
+          }
+        },
+        p.padWrites);
+  }
+  // Stencil kernels.
+  bool launched = false;
+  for (Plan& p : plans) {
+    const PartRange r = p.range;
+    Plan* pp = &p;
+    MVec* outp = &output;
+    const std::size_t nOut = r.size * cols;
+    g.add(
+        r.device, /*cls=*/1, nullptr,
+        [this, fn, pp, outp, r, cols, stride, radius, nOut] {
+          MPart* po = outp->partOn(r.device);
+          for (std::size_t i = 0; i < nOut; ++i) {
+            const std::size_t row = i / cols;
+            const std::size_t col = i % cols;
+            po->data[i] =
+                stencilEval(fn, pp->padded, (row + radius) * stride + col + radius, stride);
+          }
+        },
+        {p.packNode});
+    launched = true;
+  }
+  g.run();
+  if (launched) markDevicesModified(output);
+}
+
+void Model::matStencil(const std::string& fn, int radius, bool clampPad, std::uint32_t neutral,
+                       std::size_t cols, MVec& src, MVec& dst) {
+  // The driver host-reads the source slot to build the matrix.
+  ensureHostValid(src);
+  const std::size_t rows = src.n / cols;
+  MVec min(rows), mout(rows);
+  min.host.assign(src.host.begin(),
+                  src.host.begin() + static_cast<std::ptrdiff_t>(rows * cols));
+  mout.host.assign(rows * cols, 0);
+  withRecovery({&min}, &mout, [&] {
+    matStencilOnce(fn, static_cast<std::size_t>(radius), clampPad, neutral, rows, cols, min,
+                   mout);
+  });
+  // toStdVector(): the matrix host-read downloads the row parts.
+  matrixEnsureHostValid(mout, cols);
+  // The driver writes the flattened result into the destination's host copy.
+  ensureHostValid(dst);
+  markHostModified(dst);
+  std::copy(mout.host.begin(), mout.host.end(), dst.host.begin());
 }
 
 std::uint32_t Model::reduceOnce(const std::string& fn, MVec& input,

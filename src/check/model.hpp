@@ -111,6 +111,15 @@ class Model {
            std::vector<MExtra> extras);
   std::uint32_t reduce(const std::string& fn, MVec& input, std::vector<MExtra> extras);
   void scan(const std::string& fn, MVec& input, MVec& output);
+  /// Mirror of the 1D MapOverlap skeleton (Stencil1 catalog fn, block halo
+  /// exchange, neutral/clamp boundary).  `neutral` is the element bit pattern.
+  void mapOverlap(const std::string& fn, int radius, bool clampPad, std::uint32_t neutral,
+                  MVec& input, MVec& output);
+  /// Mirror of the MatStencil op: host-read `src`, run the 2D MapOverlap over
+  /// the first (src.n / cols) * cols elements viewed as a matrix, download the
+  /// result and write it into `dst`'s host copy.
+  void matStencil(const std::string& fn, int radius, bool clampPad, std::uint32_t neutral,
+                  std::size_t cols, MVec& src, MVec& dst);
   /// Returns whether the chain took the fused path (compared against
   /// Pipeline::lastRunFused()).
   bool pipe(MVec& input, std::vector<MStage>& stages, MVec& output, bool forceUnfused);
@@ -194,6 +203,20 @@ class Model {
   std::uint32_t fusedReduceOnce(MVec& input, std::vector<MStage>& stages,
                                 const std::string& reduceFn,
                                 std::vector<MExtra>& reduceExtras);
+  // map-overlap mirror (skeleton_exec.cpp's runMapOverlap{1D,2D}Once command
+  // order).  The matrix variants mirror MatrixData's row vector: n counts
+  // rows, each part/host word run is `cols` wide.
+  std::uint32_t stencilEval(const std::string& fn, const std::vector<std::uint32_t>& pad,
+                            std::size_t center, std::size_t stride) const;
+  void mapOverlapOnce(const std::string& fn, std::size_t radius, bool clampPad,
+                      std::uint32_t neutral, MVec& input, MVec& output);
+  void matStencilOnce(const std::string& fn, std::size_t radius, bool clampPad,
+                      std::uint32_t neutral, std::size_t rows, std::size_t cols, MVec& input,
+                      MVec& output);
+  void matrixMaterializeParts(MVec& v, std::size_t cols, bool upload);
+  void matrixEnsureOnDevices(MVec& v, std::size_t cols);
+  void matrixEnsureOnDevicesNoUpload(MVec& v, std::size_t cols);
+  void matrixEnsureHostValid(MVec& v, std::size_t cols);
 
   template <typename Body>
   auto withRecovery(std::vector<MVec*> inputs, MVec* resetOutput, Body&& body)

@@ -201,6 +201,8 @@ OpKind kindFor(const std::string& name, int line) {
   if (name == "poke") return OpKind::Poke;
   if (name == "probe") return OpKind::Probe;
   if (name == "cancel") return OpKind::Cancel;
+  if (name == "mapoverlap") return OpKind::MapOverlap;
+  if (name == "matstencil") return OpKind::MatStencil;
   bad(line, "unknown op '" + name + "'");
 }
 
@@ -299,6 +301,16 @@ std::string serialize(const Program& p) {
       case OpKind::Cancel:
         os << "cancel a=" << op.a << " dst=" << op.dst << " fn=" << op.fn
            << " run=" << op.run;
+        break;
+      case OpKind::MapOverlap:
+        os << "mapoverlap a=" << op.a << " dst=" << op.dst << " fn=" << op.fn
+           << " inplace=" << op.inPlace << " r=" << op.radius << " pad=" << op.pad
+           << " ci=" << op.ci << " cf=" << fmtD(op.cf);
+        break;
+      case OpKind::MatStencil:
+        os << "matstencil a=" << op.a << " dst=" << op.dst << " fn=" << op.fn
+           << " r=" << op.radius << " pad=" << op.pad << " cols=" << op.cols
+           << " ci=" << op.ci << " cf=" << fmtD(op.cf);
         break;
     }
     os << "\n";
@@ -412,6 +424,12 @@ Program parse(const std::string& text) {
         op.hangs.push_back(parseHang(v, lineNo));
       } else if (k == "run") {
         op.run = toI(v, lineNo) != 0;
+      } else if (k == "r") {
+        op.radius = static_cast<int>(toI(v, lineNo));
+      } else if (k == "pad") {
+        op.pad = static_cast<int>(toI(v, lineNo));
+      } else if (k == "cols") {
+        op.cols = static_cast<int>(toI(v, lineNo));
       } else {
         bad(lineNo, "unknown field '" + k + "'");
       }

@@ -61,7 +61,8 @@ void sanitize(Program& p) {
   Config& c = p.cfg;
   // teslaS1070 models 1, 2 or 4 GPUs.
   c.devices = c.devices >= 4 ? 4 : (c.devices >= 2 ? 2 : 1);
-  if (c.n < 1) c.n = 1;
+  // n = 0 is a legal configuration: empty vectors flow through every
+  // skeleton (reduce raises UsageError on both sides, which still compares).
   if (c.n > 4096) c.n = 4096;
   if (c.poolSize < 1) c.poolSize = 1;
   if (c.poolSize > 12) c.poolSize = 12;
@@ -83,6 +84,11 @@ void sanitize(Program& p) {
       case OpKind::Probe:
         break;
       case OpKind::Write:
+        if (n == 0) {
+          // No element to write; degrade to a probe of the slot.
+          op.kind = OpKind::Probe;
+          break;
+        }
         op.index = ((op.index % n) + n) % n;
         break;
       case OpKind::SetDist: {
@@ -201,6 +207,23 @@ void sanitize(Program& p) {
       case OpKind::Poke:
         op.device = wrapIndex(op.device, c.devices);
         break;
+      case OpKind::MapOverlap:
+        if (fnInfo(op.fn) == nullptr || fnInfo(op.fn)->shape != FnShape::Stencil1) {
+          op.fn = "s1sum";
+        }
+        op.radius = 1 + wrapIndex(op.radius - 1, 3);
+        op.pad = op.pad ? 1 : 0;
+        op.hasScalar = false;
+        break;
+      case OpKind::MatStencil:
+        if (fnInfo(op.fn) == nullptr || fnInfo(op.fn)->shape != FnShape::Stencil2) {
+          op.fn = "s2sum";
+        }
+        op.radius = 1 + wrapIndex(op.radius - 1, 2);
+        op.pad = op.pad ? 1 : 0;
+        op.cols = 1 + wrapIndex(op.cols - 1, 64);
+        op.hasScalar = false;
+        break;
     }
   }
 }
@@ -242,6 +265,8 @@ const char* opName(OpKind k) {
     case OpKind::Probe: return "probe";
     case OpKind::Session: return "session";
     case OpKind::Cancel: return "cancel";
+    case OpKind::MapOverlap: return "mapoverlap";
+    case OpKind::MatStencil: return "matstencil";
   }
   return "?";
 }
@@ -645,6 +670,33 @@ class Driver {
         for (std::size_t i = 0; i < n_; ++i) contents[i] = toBits(hd[i]);
         break;
       }
+      case OpKind::MapOverlap: {
+        MapOverlap<T(T)> skel(fnSource(op.fn, elem_), static_cast<std::size_t>(op.radius),
+                              op.pad ? Padding::Clamp : Padding::Neutral,
+                              scalarValue(op.ci, op.cf));
+        if (op.inPlace) {
+          skel(out(pool[op.dst]), pool[op.a]);
+        } else {
+          pool[op.dst] = skel(pool[op.a]);
+        }
+        break;
+      }
+      case OpKind::MatStencil: {
+        const auto cols = static_cast<std::size_t>(op.cols);
+        const std::size_t rows = n_ / cols;
+        const T* hd = pool[op.a].hostData();
+        std::vector<T> init(rows * cols);
+        for (std::size_t i = 0; i < init.size(); ++i) init[i] = hd[i];
+        const Matrix<T> m(rows, cols, init);
+        MapOverlap<T(T)> skel(fnSource(op.fn, elem_), static_cast<std::size_t>(op.radius),
+                              op.pad ? Padding::Clamp : Padding::Neutral,
+                              scalarValue(op.ci, op.cf));
+        const Matrix<T> res = skel(m);
+        const std::vector<T> flat = res.toStdVector();
+        T* dst = pool[op.dst].hostDataWrite();
+        for (std::size_t i = 0; i < flat.size(); ++i) dst[i] = flat[i];
+        break;
+      }
     }
   }
 
@@ -783,7 +835,29 @@ class Driver {
       case OpKind::Probe:
         contents = model.probe(*mpool[op.a]);
         break;
+      case OpKind::MapOverlap: {
+        const std::uint32_t neutral = neutralBits(op);
+        if (op.inPlace) {
+          model.mapOverlap(op.fn, op.radius, op.pad != 0, neutral, *mpool[op.a],
+                           *mpool[op.dst]);
+        } else {
+          auto tmp = std::make_shared<MVec>(n_);
+          model.mapOverlap(op.fn, op.radius, op.pad != 0, neutral, *mpool[op.a], *tmp);
+          mpool[op.dst] = tmp;
+        }
+        break;
+      }
+      case OpKind::MatStencil:
+        model.matStencil(op.fn, op.radius, op.pad != 0, neutralBits(op),
+                         static_cast<std::size_t>(op.cols), *mpool[op.a], *mpool[op.dst]);
+        break;
     }
+  }
+
+  /// The neutral element's bit pattern: the system builds it through
+  /// scalarValue, so truncate/convert identically.
+  std::uint32_t neutralBits(const Op& op) const {
+    return toBits(scalarValue(op.ci, op.cf));
   }
 
   // --- state comparison -------------------------------------------------------

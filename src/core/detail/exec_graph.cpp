@@ -60,6 +60,8 @@ void ExecGraph::run() {
     if (tracing) {
       if (node.kind == StageKind::Fused) {
         trace::Tracer::global().setContext(node.label, trace::Record::Kind::Fused);
+      } else if (node.kind == StageKind::Halo) {
+        trace::Tracer::global().setContext(node.label, trace::Record::Kind::Halo);
       } else {
         trace::Tracer::global().setContext(node.label);
       }

@@ -29,8 +29,9 @@ namespace skelcl::detail {
 
 /// What a graph node does; determines the trace record kind.  Fused marks a
 /// kernel launch that executes a whole fused skeleton chain (its queue-level
-/// kernel record is rewritten to trace kind "fused").
-enum class StageKind { Upload, Kernel, Download, Copy, Fill, Host, Fused };
+/// kernel record is rewritten to trace kind "fused"); Halo marks a transfer
+/// belonging to a stencil halo exchange (rewritten to trace kind "halo").
+enum class StageKind { Upload, Kernel, Download, Copy, Fill, Host, Fused, Halo };
 
 class Session;
 

@@ -1,0 +1,18 @@
+#include "core/detail/matrix_data.hpp"
+
+#include "base/error.hpp"
+
+namespace skelcl::detail {
+
+MatrixData::MatrixData(std::size_t rows, std::size_t columns, std::size_t scalarSize,
+                       ElemKind scalarKind)
+    : rows_(rows),
+      cols_(columns),
+      scalar_size_(scalarSize),
+      scalar_kind_(scalarKind),
+      rows_data_(rows, columns * scalarSize, ElemKind::Other) {
+  SKELCL_CHECK(columns > 0, "a matrix needs at least one column");
+  SKELCL_CHECK(scalarSize > 0, "matrix scalar size must be positive");
+}
+
+}  // namespace skelcl::detail

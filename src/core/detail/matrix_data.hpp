@@ -1,0 +1,56 @@
+// The untyped core of skelcl::Matrix<T>: a dense row-major matrix stored as
+// a VectorData whose *elements are whole rows* (count = rows, elemSize =
+// columns * scalar size).
+//
+// Row granularity buys the whole vector machinery row-aligned for free:
+// block partitions split exactly between rows (never through one), the lazy
+// coherence protocol moves whole rows, and VRAM accounting plus device-loss
+// recovery are inherited unchanged.  Skeletons that address individual
+// scalars (MapOverlap's stencil kernels) do their own column arithmetic on
+// top of the row-block layout; see docs/MATRIX.md.
+#pragma once
+
+#include "core/detail/vector_data.hpp"
+
+namespace skelcl::detail {
+
+class MatrixData {
+ public:
+  /// `rows` may be zero (an empty matrix); `columns` may not — a zero-byte
+  /// row element would break the underlying vector's size arithmetic.
+  MatrixData(std::size_t rows, std::size_t columns, std::size_t scalarSize,
+             ElemKind scalarKind);
+
+  MatrixData(const MatrixData&) = delete;
+  MatrixData& operator=(const MatrixData&) = delete;
+
+  std::size_t rowCount() const { return rows_; }
+  std::size_t columnCount() const { return cols_; }
+  std::size_t elementCount() const { return rows_ * cols_; }
+  std::size_t scalarSize() const { return scalar_size_; }
+  ElemKind scalarKind() const { return scalar_kind_; }
+
+  // --- host access (implicit download, row-major contiguous) ---
+  const std::byte* hostRead(Session* session) { return rows_data_.hostRead(session); }
+  std::byte* hostWrite(Session* session) { return rows_data_.hostWrite(session); }
+
+  // --- distribution over row blocks ---
+  void setDistribution(Distribution dist) { rows_data_.setDistribution(std::move(dist)); }
+  void defaultDistribution(const Distribution& dist) { rows_data_.defaultDistribution(dist); }
+  const Distribution& distribution() const { return rows_data_.distribution(); }
+
+  /// The row vector every device-level mechanism operates on.  A PartRange of
+  /// this vector is a *row* range; buffer byte offsets scale by the row size
+  /// (columnCount() * scalarSize()).
+  VectorData& rowVector() { return rows_data_; }
+  const VectorData& rowVector() const { return rows_data_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t scalar_size_;
+  ElemKind scalar_kind_;
+  VectorData rows_data_;
+};
+
+}  // namespace skelcl::detail

@@ -198,7 +198,13 @@ Distribution Session::effectiveDistribution(const Distribution& d) const {
     for (const double h : health) anyDegraded = anyDegraded || h != 1.0;
     if (!w.empty()) {
       if (anyDegraded) {
-        for (std::size_t i = 0; i < w.size() && i < health.size(); ++i) w[i] *= health[i];
+        // Both tables are indexed by absolute device id and sized to the
+        // device count (applicablePartitionWeights guarantees it for the
+        // weights).  A length mismatch would silently skip the health factor
+        // for the tail devices — fail loudly instead of truncating.
+        SKELCL_CHECK(w.size() == health.size(),
+                     "partition weights and device health must both cover every device");
+        for (std::size_t i = 0; i < w.size(); ++i) w[i] *= health[i];
       }
       return Distribution::block(w);
     }

@@ -7,8 +7,19 @@
 #include <string>
 #include <vector>
 
+#include "core/detail/matrix_data.hpp"
 #include "core/detail/vector_data.hpp"
 #include "kernelc/value.hpp"
+
+namespace skelcl {
+
+/// MapOverlap boundary handling: what a stencil reads outside the input.
+enum class Padding {
+  Neutral,  ///< out-of-range accesses yield a user-supplied neutral element
+  Clamp,    ///< out-of-range accesses clamp to the nearest edge element
+};
+
+}  // namespace skelcl
 
 namespace skelcl::detail {
 
@@ -90,6 +101,36 @@ kc::Slot runFusedReduce(Session& session, VectorData& input, const std::string& 
                         const std::string& reduceSource,
                         std::vector<ExtraArg>& reduceExtras,
                         bool forceUnfused, bool* ranFused = nullptr);
+
+/// MapOverlap over a vector (1D stencil): each output element is computed by
+/// `T func(__global T* pad, int center, extras...)` reading pad[center - r]
+/// .. pad[center + r] of a per-device buffer padded with `radius` halo
+/// elements on both sides.  In-range halo elements are exchanged between
+/// neighbouring device parts through host staging (traced as kind "halo");
+/// out-of-range accesses follow the `padding` policy (`neutral` supplies the
+/// neutral element, ignored for clamp).  Empty input -> empty output.
+void runMapOverlap1D(Session& session, const std::string& userSource, VectorData& input,
+                     VectorData& output, const std::string& typeName, std::size_t radius,
+                     Padding padding, const ExtraArg& neutral, std::vector<ExtraArg>& extras);
+
+/// MapOverlap over a row-block matrix (2D stencil): per device part one
+/// padded buffer of (partRows + 2r) x (columns + 2r) scalars, halo *rows*
+/// exchanged between parts (kind "halo"), column padding and out-of-matrix
+/// rows filled by a generated pack kernel according to `padding`.  The user
+/// function is `T func(__global T* pad, int center, int stride, extras...)`;
+/// neighbours live at center +- 1 and center +- stride.
+void runMapOverlap2D(Session& session, const std::string& userSource, MatrixData& input,
+                     MatrixData& output, const std::string& typeName, std::size_t radius,
+                     Padding padding, const ExtraArg& neutral, std::vector<ExtraArg>& extras);
+
+/// MapPairs: output(i, j) = func(left[i], right[j]).  The output matrix is
+/// row-block distributed; `left` is switched to the matching block
+/// distribution and `right` is replicated (copy) so every device holds the
+/// columns it combines with its row block.
+void runMapPairs(Session& session, const std::string& userSource, VectorData& left,
+                 VectorData& right, MatrixData& output, const std::string& leftType,
+                 const std::string& rightType, const std::string& outType,
+                 std::vector<ExtraArg>& extras);
 
 /// Slot <-> raw element conversions for scalar element kinds.
 kc::Slot slotFromBytes(ElemKind kind, const std::byte* src);

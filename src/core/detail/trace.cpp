@@ -71,6 +71,7 @@ const char* kindName(Record::Kind kind) {
     case Record::Kind::Kernel: return "kernel";
     case Record::Kind::Host: return "host";
     case Record::Kind::Fused: return "fused";
+    case Record::Kind::Halo: return "halo";
     case Record::Kind::Fault: return "fault";
     case Record::Kind::Retry: return "retry";
     case Record::Kind::Redistribute: return "redistribute";
@@ -132,7 +133,13 @@ void Tracer::record(Record r) {
   } else if (!context_.empty()) {
     r.name = context_;
   }
-  if (context_kind_set_ && r.kind == Record::Kind::Kernel) r.kind = context_kind_;
+  // The override applies to every successful queue-level command kind: a
+  // fused context only ever sees kernels, a halo context only transfers.
+  const bool overridable =
+      r.kind == Record::Kind::Kernel || r.kind == Record::Kind::Upload ||
+      r.kind == Record::Kind::Download || r.kind == Record::Kind::Copy ||
+      r.kind == Record::Kind::Fill;
+  if (context_kind_set_ && overridable) r.kind = context_kind_;
   if (r.name.empty()) r.name = kindName(r.kind);
   r.session = context_session_;
   records_.push_back(std::move(r));

@@ -29,6 +29,7 @@ struct Record {
   enum class Kind {
     Upload, Download, Copy, Fill, Kernel, Host,
     Fused,         ///< a fused skeleton-chain kernel (several stages, one launch)
+    Halo,          ///< stencil halo exchange between neighbouring device parts
     Fault,         ///< a command failed (injected fault or device death)
     Retry,         ///< the runtime backed off and re-issued a command
     Redistribute,  ///< a device was blacklisted; partitions moved to survivors
@@ -44,7 +45,7 @@ struct Record {
   std::string name;             ///< stage label, or the kernel/command name
 };
 
-/// "upload", "download", "copy", "fill", "kernel", "host", "fused",
+/// "upload", "download", "copy", "fill", "kernel", "host", "fused", "halo",
 /// "fault", "retry", "redistribute", "degrade".
 const char* kindName(Record::Kind kind);
 
@@ -76,9 +77,11 @@ class Tracer {
 
   /// Label attached to queue-hook records issued while it is set (the
   /// ExecGraph engine sets it to the current node's label).  The two-argument
-  /// form additionally rewrites plain Kernel records to `kindOverride` — used
-  /// for fused-chain launches, which arrive from the queue hook as ordinary
-  /// kernel commands but should trace as kind "fused".
+  /// form additionally rewrites successful command records to `kindOverride`:
+  /// fused-chain launches arrive from the queue hook as ordinary kernel
+  /// commands but should trace as kind "fused", and halo-exchange transfers
+  /// arrive as plain uploads/downloads/copies/fills but should trace as kind
+  /// "halo" (fault-path records always keep their own kind).
   void setContext(std::string label);
   void setContext(std::string label, Record::Kind kindOverride);
   void clearContext();

@@ -98,7 +98,11 @@ std::vector<PartRange> Distribution::partition(std::size_t count,
       SKELCL_CHECK(total > 0.0,
                    "all remaining devices have zero block weight; nothing can hold the data");
 
-      // Largest-remainder apportionment: proportional, sums exactly to count.
+      // Largest-remainder apportionment.  The remainder rule, explicitly:
+      // every device starts from floor(count * w/total); the elements left
+      // over (always < deviceCount) go one each to the devices with the
+      // largest fractional remainder, ties broken by lower device position.
+      // The result is proportional, deterministic, and sums exactly to count.
       std::vector<std::size_t> sizes(w.size(), 0);
       std::vector<std::pair<double, std::size_t>> remainders;
       std::size_t assigned = 0;
@@ -112,18 +116,40 @@ std::vector<PartRange> Distribution::partition(std::size_t count,
         if (a.first != b.first) return a.first > b.first;
         return a.second < b.second;
       });
+      // count*w/total can round *up* past the true share, so the floor sum
+      // may exceed count for extreme counts/weights; take the excess back
+      // from the smallest-remainder devices (the ones rounded up furthest).
+      for (std::size_t i = remainders.size(); assigned > count;) {
+        i = i == 0 ? remainders.size() - 1 : i - 1;
+        std::size_t& s = sizes[remainders[i].second];
+        if (s > 0) {
+          --s;
+          --assigned;
+        }
+      }
       for (std::size_t i = 0; assigned < count; ++i, ++assigned) {
         sizes[remainders[i % remainders.size()].second] += 1;
       }
 
+      // A device whose share rounds to zero gets *no* part — uniformly, not
+      // just for explicit zero weights.  With count < deviceCount (tiny
+      // inputs, or row-block matrices with rows < devices) the tail devices
+      // previously received degenerate zero-size parts at offset == count,
+      // which cost empty buffers/uploads and made the layout rules
+      // inconsistent between weighted and unweighted blocks.
       std::size_t offset = 0;
       for (std::size_t i = 0; i < devices.size(); ++i) {
         const std::size_t s = sizes[i];
-        if (s == 0 && !weights_.empty() && w[i] == 0.0) {
-          continue;  // explicitly excluded device
-        }
+        if (s == 0) continue;
         parts.push_back(PartRange{devices[i], offset, s});
         offset += s;
+      }
+      // Postconditions (cheap, load-bearing for halo exchange): parts are
+      // consecutive, disjoint, and exactly cover [0, count).
+      SKELCL_CHECK(offset == count, "block partition does not cover the vector");
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        SKELCL_CHECK(parts[i].offset == parts[i - 1].offset + parts[i - 1].size,
+                     "block partition produced non-contiguous parts");
       }
       return parts;
     }

@@ -51,7 +51,11 @@ class Distribution {
 
   /// Compute the device parts for a vector of `count` elements over
   /// `deviceCount` devices.  For Copy, returns one full-size part per device.
-  /// Zero-weight devices receive no part under Block.
+  /// Block apportions by largest remainder (floor of the proportional share,
+  /// leftovers to the largest fractional remainders, ties to lower device
+  /// position); devices whose share rounds to zero — zero-weight devices,
+  /// or any device when count < deviceCount — receive no part, and the
+  /// returned parts are contiguous, disjoint, and exactly cover the vector.
   std::vector<PartRange> partition(std::size_t count, int deviceCount) const;
 
   /// Same, but over an explicit (possibly partial) device list — the alive

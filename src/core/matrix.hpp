@@ -1,0 +1,90 @@
+// skelcl::Matrix<T> — a dense two-dimensional container for stencil and
+// all-pairs skeletons (MapOverlap, MapPairs).
+//
+// Storage is row-major and contiguous on the host.  Across devices a matrix
+// is distributed in *row blocks*: a block distribution assigns each GPU a
+// contiguous range of whole rows, so a partition boundary never cuts through
+// a row and neighbouring devices exchange entire rows during stencil halo
+// exchange (see docs/MATRIX.md).
+#pragma once
+
+#include <type_traits>
+#include <vector>
+
+#include "core/detail/matrix_data.hpp"
+#include "core/detail/session.hpp"
+#include "core/vector.hpp"
+
+namespace skelcl {
+
+template <typename T>
+class Matrix {
+  static_assert(std::is_trivially_copyable_v<T>, "matrix elements must be trivially copyable");
+
+ public:
+  using value_type = T;
+
+  /// A rows x columns matrix of default (zero) elements.
+  Matrix(std::size_t rows, std::size_t columns)
+      : data_(std::make_shared<detail::MatrixData>(rows, columns, sizeof(T),
+                                                   detail::elemKindOf<T>())) {}
+
+  /// A matrix initialized from row-major host data (`init.size()` must be
+  /// rows * columns).
+  Matrix(std::size_t rows, std::size_t columns, const std::vector<T>& init)
+      : Matrix(rows, columns) {
+    SKELCL_CHECK(init.size() == rows * columns,
+                 "matrix init data must have rows * columns elements");
+    T* dst = reinterpret_cast<T*>(data_->hostWrite(detail::Session::currentIfAny()));
+    std::copy(init.begin(), init.end(), dst);
+  }
+
+  // Matrices share their payload when copied (cheap handle semantics, like
+  // Vector).
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  std::size_t rowCount() const { return data_->rowCount(); }
+  std::size_t columnCount() const { return data_->columnCount(); }
+  std::size_t size() const { return data_->elementCount(); }
+  bool empty() const { return size() == 0; }
+
+  // --- host access: triggers implicit (lazy) downloads -----------------------
+
+  /// Row-major contiguous host data; device copies stay valid.
+  const T* hostData() const {
+    return reinterpret_cast<const T*>(data_->hostRead(detail::Session::currentIfAny()));
+  }
+  /// Mutable host access; marks device copies stale.
+  T* hostDataWrite() {
+    return reinterpret_cast<T*>(data_->hostWrite(detail::Session::currentIfAny()));
+  }
+  const T& operator()(std::size_t row, std::size_t column) const {
+    return hostData()[row * columnCount() + column];
+  }
+  T& operator()(std::size_t row, std::size_t column) {
+    return hostDataWrite()[row * columnCount() + column];
+  }
+
+  std::vector<T> toStdVector() const {
+    return std::vector<T>(hostData(), hostData() + size());
+  }
+
+  // --- distribution (over row blocks) ----------------------------------------
+
+  /// Block weights apportion *rows*; single places all rows on one device.
+  /// Copy distribution is not meaningful for stencil inputs and is rejected
+  /// by the skeletons that consume matrices.
+  void setDistribution(Distribution dist) { data_->setDistribution(std::move(dist)); }
+  const Distribution& distribution() const { return data_->distribution(); }
+
+  // --- internals (skeleton implementation) ------------------------------------
+  detail::MatrixData& impl() const { return *data_; }
+
+ private:
+  std::shared_ptr<detail::MatrixData> data_;
+};
+
+}  // namespace skelcl

@@ -1,4 +1,6 @@
-// The four SkelCL skeletons (paper Section II-A): map, zip, reduce, scan.
+// The SkelCL skeletons (paper Section II-A): map, zip, reduce, scan, plus
+// the stencil (MapOverlap) and all-pairs (MapPairs) skeletons over
+// Vector<T> and Matrix<T>.
 //
 // A skeleton is constructed from the *source code* of a user-defined function
 // (named `func`), passed as a plain string; SkelCL merges it with
@@ -14,6 +16,7 @@
 #include <utility>
 
 #include "core/detail/skeleton_exec.hpp"
+#include "core/matrix.hpp"
 #include "core/vector.hpp"
 
 namespace skelcl {
@@ -284,6 +287,160 @@ template <typename T>
 class Scan : public Scan<T(T, T)> {
  public:
   using Scan<T(T, T)>::Scan;
+};
+
+// ---------------------------------------------------------------------------
+// MapOverlap (stencil)
+// ---------------------------------------------------------------------------
+
+template <typename>
+class MapOverlap;
+
+/// Stencil skeleton: every output element is a function of its input element
+/// and the neighbourhood within `radius`.  The user function receives a
+/// pointer into a *padded* copy of (its device's part of) the input plus the
+/// index of its centre element:
+///
+///   1D over Vector<T>:  `T func(__global T* in, int i, extras...)`
+///       neighbours at in[i - radius] .. in[i + radius]
+///   2D over Matrix<T>:  `T func(__global T* in, int i, int stride, extras...)`
+///       neighbours at in[i +- k] (same row) and in[i +- k * stride] (columns)
+///
+/// Out-of-range accesses follow the Padding policy: Neutral yields the
+/// user-supplied neutral element, Clamp the nearest edge element.  Across
+/// devices the halo regions are exchanged through host staging and traced as
+/// kind "halo" (docs/MATRIX.md).
+template <typename Tout, typename Tin>
+class MapOverlap<Tout(Tin)> {
+  static_assert(detail::isSkeletonElement<Tin> && detail::isSkeletonElement<Tout>,
+                "skeleton element types must be float/double/int/uint");
+  static_assert(std::is_same_v<Tout, Tin>,
+                "map-overlap reads its own output type's neighbourhood; "
+                "input and output element types must match");
+
+ public:
+  /// `neutral` is read for Padding::Neutral only.
+  MapOverlap(std::string userSource, std::size_t radius, Padding padding = Padding::Neutral,
+             Tin neutral = Tin{})
+      : source_(std::move(userSource)),
+        radius_(radius),
+        padding_(padding),
+        neutral_(detail::makeExtra(neutral)) {
+    SKELCL_CHECK(radius > 0, "map-overlap needs a positive radius");
+  }
+
+  // --- 1D (vector) ---
+
+  template <typename... Extras>
+  Vector<Tout> operator()(const Vector<Tin>& input, const Extras&... extras) {
+    Vector<Tout> output(input.size());
+    run(output, input, extras...);
+    return output;
+  }
+
+  template <typename... Extras>
+  void operator()(Out<Tout> output, const Vector<Tin>& input, const Extras&... extras) {
+    SKELCL_CHECK(output.target().size() == input.size(), "output size mismatch");
+    run(output.target(), input, extras...);
+  }
+
+  // --- 2D (matrix) ---
+
+  template <typename... Extras>
+  Matrix<Tout> operator()(const Matrix<Tin>& input, const Extras&... extras) {
+    Matrix<Tout> output(input.rowCount(), input.columnCount());
+    run(output, input, extras...);
+    return output;
+  }
+
+  /// In-place-shaped overload for iterative stencils (Jacobi): writes into an
+  /// existing matrix.  `output` must not share data with `input` — the
+  /// stencil reads every neighbourhood of `input`.
+  template <typename... Extras>
+  void operator()(Matrix<Tout>& output, const Matrix<Tin>& input, const Extras&... extras) {
+    SKELCL_CHECK(output.rowCount() == input.rowCount() &&
+                     output.columnCount() == input.columnCount(),
+                 "output shape mismatch");
+    run(output, input, extras...);
+  }
+
+ private:
+  template <typename... Extras>
+  void run(Vector<Tout>& output, const Vector<Tin>& input, const Extras&... extras) {
+    auto packed = detail::packExtras(extras...);
+    detail::runMapOverlap1D(detail::Session::current(), source_, input.impl(), output.impl(),
+                            kernelTypeName<Tin>(), radius_, padding_, neutral_, packed);
+  }
+
+  template <typename... Extras>
+  void run(Matrix<Tout>& output, const Matrix<Tin>& input, const Extras&... extras) {
+    auto packed = detail::packExtras(extras...);
+    detail::runMapOverlap2D(detail::Session::current(), source_, input.impl(), output.impl(),
+                            kernelTypeName<Tin>(), radius_, padding_, neutral_, packed);
+  }
+
+  std::string source_;
+  std::size_t radius_;
+  Padding padding_;
+  detail::ExtraArg neutral_;
+};
+
+/// MapOverlap<T> is shorthand for MapOverlap<T(T)>.
+template <typename T>
+class MapOverlap : public MapOverlap<T(T)> {
+ public:
+  using MapOverlap<T(T)>::MapOverlap;
+};
+
+// ---------------------------------------------------------------------------
+// MapPairs (all-pairs)
+// ---------------------------------------------------------------------------
+
+template <typename>
+class MapPairs;
+
+/// All-pairs skeleton: out(i, j) = func(left[i], right[j]) over every pair,
+/// producing a left.size() x right.size() matrix.  The output (and left) are
+/// row-block distributed; right is replicated on every device.  The user
+/// function is `Tout func(Tl l, Tr r, extras...)`.
+template <typename Tout, typename Tl, typename Tr>
+class MapPairs<Tout(Tl, Tr)> {
+  static_assert(detail::isSkeletonElement<Tl> && detail::isSkeletonElement<Tr> &&
+                    detail::isSkeletonElement<Tout>,
+                "skeleton element types must be float/double/int/uint");
+
+ public:
+  explicit MapPairs(std::string userSource) : source_(std::move(userSource)) {}
+
+  template <typename... Extras>
+  Matrix<Tout> operator()(const Vector<Tl>& left, const Vector<Tr>& right,
+                          const Extras&... extras) {
+    SKELCL_CHECK(right.size() > 0, "map-pairs needs a non-empty right vector "
+                                   "(a matrix has at least one column)");
+    Matrix<Tout> output(left.size(), right.size());
+    run(output, left, right, extras...);
+    return output;
+  }
+
+  template <typename... Extras>
+  void operator()(Matrix<Tout>& output, const Vector<Tl>& left, const Vector<Tr>& right,
+                  const Extras&... extras) {
+    SKELCL_CHECK(output.rowCount() == left.size() && output.columnCount() == right.size(),
+                 "output shape mismatch");
+    run(output, left, right, extras...);
+  }
+
+ private:
+  template <typename... Extras>
+  void run(Matrix<Tout>& output, const Vector<Tl>& left, const Vector<Tr>& right,
+           const Extras&... extras) {
+    auto packed = detail::packExtras(extras...);
+    detail::runMapPairs(detail::Session::current(), source_, left.impl(), right.impl(),
+                        output.impl(), kernelTypeName<Tl>(), kernelTypeName<Tr>(),
+                        kernelTypeName<Tout>(), packed);
+  }
+
+  std::string source_;
 };
 
 // ---------------------------------------------------------------------------

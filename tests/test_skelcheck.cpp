@@ -89,6 +89,52 @@ TEST(SkelcheckReplay, SessionOpSwitchesPerSessionWeights) {
   EXPECT_TRUE(res.ok) << res.message;
 }
 
+TEST(SkelcheckReplay, StencilOpsWithKillRecovery) {
+  // Hand-written stencil program: a 1D map-overlap with clamp padding, a
+  // matrix stencil, and a device kill injected between them — the lockstep
+  // run pins the halo-exchange command order and the repartition-and-retry
+  // recovery bit-identically against the model.  The in-place map-overlap
+  // raises UsageError on both sides (compared, not fatal).
+  const char* repro =
+      "skelcheck v1\n"
+      "config devices=4 elem=i32 n=64 kcopt=1 seed=0 pool=3\n"
+      "fill a=0 base=-7 step=3\n"
+      "mapoverlap a=0 dst=1 fn=s1sum inplace=0 r=2 pad=1 ci=0 cf=0\n"
+      "probe a=1\n"
+      "mapoverlap a=1 dst=1 fn=s1diff inplace=1 r=1 pad=0 ci=5 cf=0\n"
+      "fault kill=1 after=6\n"
+      "matstencil a=0 dst=2 fn=s2sum r=1 pad=0 cols=8 ci=-3 cf=0\n"
+      "probe a=2\n"
+      "mapoverlap a=2 dst=0 fn=s1sum inplace=0 r=3 pad=0 ci=9 cf=0\n"
+      "probe a=0\n"
+      "probe a=1\n";
+  const Program parsed = parse(repro);
+  EXPECT_EQ(serialize(parse(serialize(parsed))), serialize(parsed));
+  const RunResult res = runProgram(parsed);
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
+TEST(SkelcheckReplay, EmptyVectorsFlowThroughEverySkeleton) {
+  // n = 0 is a legal configuration: empty vectors flow through map, zip,
+  // scan and both stencils as no-ops, and reduce raises UsageError on both
+  // sides — every outcome is compared in lockstep.
+  const char* repro =
+      "skelcheck v1\n"
+      "config devices=4 elem=i32 n=0 kcopt=1 seed=0 pool=2\n"
+      "fill a=0 base=1 step=1\n"
+      "setdist a=0 dist=block\n"
+      "map a=0 dst=1 fn=neg inplace=0\n"
+      "zip a=0 b=1 dst=1 fn=add inplace=0\n"
+      "scan a=1 dst=0 fn=add inplace=0\n"
+      "reduce a=0 fn=add\n"
+      "mapoverlap a=0 dst=1 fn=s1sum inplace=0 r=1 pad=0 ci=0 cf=0\n"
+      "matstencil a=0 dst=1 fn=s2sum r=1 pad=1 cols=3 ci=0 cf=0\n"
+      "probe a=0\n"
+      "probe a=1\n";
+  const RunResult res = runProgram(parse(repro));
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
 TEST(SkelcheckSmoke, FixedSeedsNoDivergence) {
   // A slice of the CI smoke gate (`skelcheck --smoke` runs 64 seeds); enough
   // here to cover 1/2/4 devices, both element types and both VM pipelines,
