@@ -1,12 +1,20 @@
-// Interpreter throughput benchmark (docs/VM.md): runs mandelbrot-shaped and
-// OSEM-shaped kernels on the kernelc VM under both pipelines — the default
-// optimized one (peephole superinstructions, packed 16-byte encoding, fast
-// interpreter) and the SKELCL_KC_OPT=0 reference one — and reports wall-clock
-// Minstructions/s plus the speedup.  Outputs must be bit-identical and the
-// retired-instruction counts equal, otherwise the simulated GPU timings would
+// Interpreter throughput benchmark (docs/VM.md): runs mandelbrot-shaped,
+// OSEM-shaped and Gaussian-blur-stencil kernels on the kernelc VM across the
+// whole tier ladder —
+//   ref    tier 0, the guarded reference interpreter (SKELCL_KC_OPT=0)
+//   fast   tier 1, peephole superinstructions + packed encoding
+//   tier2  tier 2 pipeline (rewrite pass) on the sequential interpreter
+//   batch  tier 2 pipeline on the work-group-batched interpreter
+//          (Vm::runKernelBatch, 256-lane groups)
+// and reports wall-clock Minstructions/s plus speedups over the tiers below.
+// Outputs must be bit-identical and the retired-instruction counts equal
+// across every configuration, otherwise the simulated GPU timings would
 // drift; the benchmark exits nonzero on any divergence.
 //
-//   usage: bench_vm [--smoke]
+//   usage: bench_vm [--smoke] [--gate]
+//     --smoke   small sizes (CI): divergence checks only
+//     --gate    additionally require batch >= 3x fast on mandelbrot and osem
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -52,6 +60,21 @@ const char* const kOsemSrc = R"(
   }
 )";
 
+// Vertical 5-tap Gaussian over a column-pitched image: each work-item reads
+// its own column's taps at gid + t*512 from a halo-padded input.  Exercises
+// the strength-reduction rule (t*512 becomes a tracked increment) and the
+// LoadSlotElem superinstructions on the weight lookups.
+const char* const kBlurSrc = R"(
+  __kernel void blur(__global float* in, __global float* w, __global float* out) {
+    int gid = get_global_id(0);
+    float acc = 0.0f;
+    for (int t = 0; t < 5; t = t + 1) {
+      acc = acc + w[t] * in[gid + t * 512];
+    }
+    out[gid] = acc;
+  }
+)";
+
 struct RunResult {
   double seconds = 0.0;
   std::uint64_t instructions = 0;
@@ -62,20 +85,27 @@ struct Workload {
   const char* source;
   const char* kernel;
   std::int64_t items;
-  std::vector<Slot> extraArgs;   ///< after the buffer pointer args
-  int inputBuffers = 0;          ///< buffers before `out` (filled with data)
+  std::vector<Slot> extraArgs;           ///< after the buffer pointer args
+  std::vector<std::int64_t> inputSizes;  ///< element counts of buffers before `out`
 };
 
-RunResult runWorkload(const Workload& w, bool optimize, std::vector<float>& out) {
-  const auto program = compileProgram(w.source, CompileOptions{optimize});
+struct Config {
+  const char* name;
+  int tier;
+  bool batch;
+};
+
+RunResult runWorkload(const Workload& w, const Config& cfg, std::vector<float>& out) {
+  const auto program = compileProgram(w.source, CompileOptions{cfg.tier});
 
   std::vector<std::vector<float>> inputs;
   std::vector<MemRegion> regions;
   std::vector<Slot> args;
-  for (int b = 0; b < w.inputBuffers; ++b) {
-    inputs.emplace_back(static_cast<std::size_t>(w.items));
+  int b = 0;
+  for (const std::int64_t size : w.inputSizes) {
+    inputs.emplace_back(static_cast<std::size_t>(size));
     for (std::size_t i = 0; i < inputs.back().size(); ++i) {
-      inputs.back()[i] = 0.25f * static_cast<float>((i * 7 + b) % 100 + 1);
+      inputs.back()[i] = 0.25f * static_cast<float>((i * 7 + static_cast<std::size_t>(b)) % 100 + 1);
     }
     regions.push_back(MemRegion{reinterpret_cast<std::byte*>(inputs.back().data()),
                                 inputs.back().size() * sizeof(float)});
@@ -83,6 +113,7 @@ RunResult runWorkload(const Workload& w, bool optimize, std::vector<float>& out)
     p.region = static_cast<std::int32_t>(regions.size());
     p.offset = 0;
     args.push_back(Slot::fromPtr(p));
+    ++b;
   }
   out.assign(static_cast<std::size_t>(w.items), 0.0f);
   regions.push_back(
@@ -100,8 +131,16 @@ RunResult runWorkload(const Workload& w, bool optimize, std::vector<float>& out)
     std::exit(1);
   }
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::int64_t gid = 0; gid < w.items; ++gid) {
-    vm.runKernel(k, args, gid, w.items);
+  if (cfg.batch) {
+    for (std::int64_t gid = 0; gid < w.items;) {
+      const std::int64_t lanes = std::min<std::int64_t>(w.items - gid, Vm::kBatchLanes);
+      vm.runKernelBatch(k, args, gid, lanes, w.items);
+      gid += lanes;
+    }
+  } else {
+    for (std::int64_t gid = 0; gid < w.items; ++gid) {
+      vm.runKernel(k, args, gid, w.items);
+    }
   }
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -111,39 +150,65 @@ RunResult runWorkload(const Workload& w, bool optimize, std::vector<float>& out)
   return r;
 }
 
-bool benchWorkload(const Workload& w) {
-  std::vector<float> fastOut;
-  std::vector<float> refOut;
-  const RunResult fast = runWorkload(w, /*optimize=*/true, fastOut);
-  const RunResult ref = runWorkload(w, /*optimize=*/false, refOut);
+constexpr Config kConfigs[] = {
+    {"ref", 0, false},
+    {"fast", 1, false},
+    {"tier2", 2, false},
+    {"batch", 2, true},
+};
+constexpr int kNumConfigs = static_cast<int>(sizeof(kConfigs) / sizeof(kConfigs[0]));
 
-  bool ok = true;
-  if (fast.instructions != ref.instructions) {
-    std::fprintf(stderr,
-                 "%s: retired-instruction mismatch: optimized %llu vs reference %llu\n",
-                 w.name, static_cast<unsigned long long>(fast.instructions),
-                 static_cast<unsigned long long>(ref.instructions));
-    ok = false;
-  }
-  if (std::memcmp(fastOut.data(), refOut.data(), fastOut.size() * sizeof(float)) != 0) {
-    std::fprintf(stderr, "%s: output buffers are not bit-identical\n", w.name);
-    ok = false;
+struct BenchOutcome {
+  bool identical = true;
+  double speedupBatchOverFast = 0.0;
+};
+
+BenchOutcome benchWorkload(const Workload& w) {
+  RunResult results[kNumConfigs];
+  std::vector<float> outs[kNumConfigs];
+  for (int c = 0; c < kNumConfigs; ++c) {
+    results[c] = runWorkload(w, kConfigs[c], outs[c]);
   }
 
-  const double fastMips = fast.instructions / fast.seconds / 1e6;
-  const double refMips = ref.instructions / ref.seconds / 1e6;
-  std::printf("%-12s %12llu instr   optimized %8.1f Mi/s   reference %8.1f Mi/s   speedup %.2fx\n",
-              w.name, static_cast<unsigned long long>(fast.instructions), fastMips,
-              refMips, fast.seconds > 0 ? ref.seconds / fast.seconds : 0.0);
-  return ok;
+  BenchOutcome outcome;
+  for (int c = 1; c < kNumConfigs; ++c) {
+    if (results[c].instructions != results[0].instructions) {
+      std::fprintf(stderr, "%s: retired-instruction mismatch: %s %llu vs ref %llu\n",
+                   w.name, kConfigs[c].name,
+                   static_cast<unsigned long long>(results[c].instructions),
+                   static_cast<unsigned long long>(results[0].instructions));
+      outcome.identical = false;
+    }
+    if (std::memcmp(outs[c].data(), outs[0].data(), outs[0].size() * sizeof(float)) != 0) {
+      std::fprintf(stderr, "%s: %s output is not bit-identical to ref\n", w.name,
+                   kConfigs[c].name);
+      outcome.identical = false;
+    }
+  }
+
+  std::printf("%-12s %12llu instr  ", w.name,
+              static_cast<unsigned long long>(results[0].instructions));
+  for (int c = 0; c < kNumConfigs; ++c) {
+    const double mips =
+        results[c].seconds > 0 ? results[c].instructions / results[c].seconds / 1e6 : 0.0;
+    std::printf(" %s %8.1f Mi/s", kConfigs[c].name, mips);
+  }
+  const double fastSec = results[1].seconds;
+  const double batchSec = results[3].seconds;
+  outcome.speedupBatchOverFast = batchSec > 0 ? fastSec / batchSec : 0.0;
+  std::printf("   batch/fast %.2fx  batch/ref %.2fx\n", outcome.speedupBatchOverFast,
+              batchSec > 0 ? results[0].seconds / batchSec : 0.0);
+  return outcome;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
   }
 
   const int width = smoke ? 32 : 512;
@@ -151,17 +216,35 @@ int main(int argc, char** argv) {
   const int maxIter = smoke ? 32 : 512;
   const std::int64_t osemItems = smoke ? 512 : 16384;
   const int osemSpan = smoke ? 64 : 512;
+  const std::int64_t blurItems = smoke ? 1024 : 65536;
 
   const Workload mandel{"mandelbrot", kMandelSrc, "mandel", mandelItems,
                         {Slot::fromInt(static_cast<std::int64_t>(width)),
                          Slot::fromInt(static_cast<std::int64_t>(maxIter))},
-                        /*inputBuffers=*/0};
+                        /*inputSizes=*/{}};
   const Workload osem{"osem", kOsemSrc, "project", osemItems,
                       {Slot::fromInt(osemItems),
                        Slot::fromInt(static_cast<std::int64_t>(osemSpan))},
-                      /*inputBuffers=*/1};
+                      /*inputSizes=*/{osemItems}};
+  // Input is halo-padded: taps reach up to gid + 4*512 past the last item.
+  const Workload blur{"blur", kBlurSrc, "blur", blurItems,
+                      {},
+                      /*inputSizes=*/{blurItems + 5 * 512, 5}};
 
-  bool ok = benchWorkload(mandel);
-  ok = benchWorkload(osem) && ok;
+  const BenchOutcome m = benchWorkload(mandel);
+  const BenchOutcome o = benchWorkload(osem);
+  const BenchOutcome bl = benchWorkload(blur);
+  bool ok = m.identical && o.identical && bl.identical;
+  if (gate && !smoke) {
+    if (m.speedupBatchOverFast < 3.0) {
+      std::fprintf(stderr, "gate: mandelbrot batch/fast %.2fx < 3x\n",
+                   m.speedupBatchOverFast);
+      ok = false;
+    }
+    if (o.speedupBatchOverFast < 3.0) {
+      std::fprintf(stderr, "gate: osem batch/fast %.2fx < 3x\n", o.speedupBatchOverFast);
+      ok = false;
+    }
+  }
   return ok ? 0 : 1;
 }

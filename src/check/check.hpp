@@ -153,7 +153,7 @@ struct Config {
   int devices = 4;
   ElemType elem = ElemType::I32;
   std::size_t n = 64;
-  int kcopt = 1;          ///< SKELCL_KC_OPT pipeline selection
+  int kcopt = 2;          ///< SKELCL_KC_OPT tier: 0 ref, 1 fast, 2 rewrite+batch
   std::uint64_t seed = 0; ///< generator seed (0 for hand-written programs)
   int poolSize = 5;
 };

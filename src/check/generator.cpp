@@ -75,7 +75,7 @@ Program generate(std::uint64_t seed, int numOps) {
   const int devChoices[3] = {1, 2, 4};
   cfg.devices = devChoices[seed % 3];
   cfg.elem = ((seed / 3) % 2) ? ElemType::F32 : ElemType::I32;
-  cfg.kcopt = static_cast<int>((seed / 6) % 2);
+  cfg.kcopt = static_cast<int>((seed / 6) % 3);
   const std::size_t sizes[] = {0, 1, 2, 3, 4, 7, 17, 33, 64, 100, 137, 200};
   cfg.n = sizes[rng.below(std::size(sizes))];
   cfg.poolSize = rng.range(3, 6);

@@ -66,7 +66,7 @@ void sanitize(Program& p) {
   if (c.n > 4096) c.n = 4096;
   if (c.poolSize < 1) c.poolSize = 1;
   if (c.poolSize > 12) c.poolSize = 12;
-  c.kcopt = c.kcopt ? 1 : 0;
+  c.kcopt = c.kcopt < 0 ? 0 : (c.kcopt > 2 ? 2 : c.kcopt);
   const int pool = c.poolSize;
   const auto n = static_cast<std::int64_t>(c.n);
   const ElemType t = c.elem;
@@ -327,7 +327,7 @@ class Driver {
   explicit Driver(const Program& p) : prog_(p), elem_(p.cfg.elem), n_(p.cfg.n) {}
 
   RunResult run() {
-    ::setenv("SKELCL_KC_OPT", prog_.cfg.kcopt ? "1" : "0", 1);
+    ::setenv("SKELCL_KC_OPT", std::to_string(prog_.cfg.kcopt).c_str(), 1);
     ::unsetenv("SKELCL_FAULTS");    // the program installs its own plans
     ::unsetenv("SKELCL_WATCHDOG");  // model mirrors the default watchdog config
     auto system = sim::SystemConfig::teslaS1070(prog_.cfg.devices);

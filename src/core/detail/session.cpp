@@ -122,25 +122,39 @@ bool SharedDeviceState::deviceAlive(int device) const {
          !dead_[static_cast<std::size_t>(device)];
 }
 
+namespace {
+
+// Cache key: the compile pipeline is part of a compiled program's identity.
+// SKELCL_KC_OPT can change between calls (skelcheck toggles it per program),
+// so a cache keyed by source alone would serve a program compiled at a stale
+// tier.
+std::string cacheKey(const std::string& source) {
+  return std::to_string(kc::defaultCompileOptions().tier) + '\n' + source;
+}
+
+}  // namespace
+
 std::shared_ptr<ocl::Program> SharedDeviceState::programForSource(const std::string& source) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
-  auto it = programCache_.find(source);
+  const std::string key = cacheKey(source);
+  auto it = programCache_.find(key);
   if (it != programCache_.end()) return it->second;
   auto program = std::make_shared<ocl::Program>(*context_, source);
   program->build();
-  programCache_.emplace(source, program);
+  programCache_.emplace(key, program);
   return program;
 }
 
 std::shared_ptr<const kc::CompiledProgram> SharedDeviceState::hostProgram(
     const std::string& userSource) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
-  auto it = hostFnCache_.find(userSource);
+  const std::string key = cacheKey(userSource);
+  auto it = hostFnCache_.find(key);
   if (it != hostFnCache_.end()) return it->second;
   auto program = kc::compileProgram(userSource);
   SKELCL_CHECK(program->findFunction("func") >= 0,
                "user operation must define a function named 'func'");
-  hostFnCache_.emplace(userSource, program);
+  hostFnCache_.emplace(key, program);
   return program;
 }
 

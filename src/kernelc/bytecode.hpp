@@ -116,7 +116,10 @@ const char* opName(Op op);
 
 /// Compiler IR instruction: roomy, easy to pattern-match and disassemble.
 /// `weight` is the number of source (naive) instructions this one retires;
-/// 1 for everything the compiler emits, >1 for peephole superinstructions.
+/// 1 for everything the compiler emits, >1 for peephole superinstructions,
+/// and 0 for code the rewrite pass hoisted out of a loop (the hoisted
+/// computation's weight is charged by the in-loop replacement instruction at
+/// its original frequency, keeping retired counts pipeline-independent).
 struct Insn {
   Op op;
   std::int32_t a = 0;
@@ -155,6 +158,11 @@ struct FunctionCode {
   int maxStack = 0;  ///< worst-case operand-stack growth, checked once at entry
   std::vector<PackedInsn> packed;   ///< compact dispatch form of `code`
   std::vector<std::uint64_t> pool;  ///< constant pool referenced by `packed`
+  /// True when the kernel can run on the work-group-batched interpreter
+  /// (Vm::runKernelBatch): no calls into other functions, no frame memory,
+  /// and no builtins whose cross-item ordering is observable (atomics,
+  /// barrier).  Computed by the encoder.
+  bool batchable = false;
 };
 
 }  // namespace skelcl::kc

@@ -188,12 +188,41 @@ void packFunction(FunctionCode& fn) {
   }
 }
 
+/// Work-group-batched execution interleaves the work-items of a group
+/// instruction-by-instruction, reordering their memory accesses relative to
+/// sequential per-item execution.  Restrict it to kernels where that
+/// reordering is unobservable: no calls into other functions (whose bodies
+/// we'd have to analyze transitively), no frame memory (per-lane frames
+/// don't fit the strided arena), and no ordering-sensitive builtins.
+bool computeBatchable(const FunctionCode& fn) {
+  if (!fn.isKernel || fn.frameBytes != 0) return false;
+  for (const Insn& insn : fn.code) {
+    switch (insn.op) {
+      case Op::CallFn:
+      case Op::LeaFrame:
+      case Op::MemCopy:
+      case Op::Ret:
+        return false;
+      case Op::CallBuiltin: {
+        const BuiltinDef& def = builtinTable().at(static_cast<std::size_t>(insn.a));
+        if (std::strcmp(def.name, "barrier") == 0) return false;
+        if (std::strncmp(def.name, "atomic_", 7) == 0) return false;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 void finalizeFunctions(std::vector<FunctionCode>& fns) {
   for (FunctionCode& fn : fns) {
     fn.maxStack = computeMaxStack(fn, fns);
     packFunction(fn);
+    fn.batchable = computeBatchable(fn);
   }
 }
 

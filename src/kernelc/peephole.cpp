@@ -104,13 +104,26 @@ void peepholeOptimize(FunctionCode& fn) {
 
   std::size_t i = 0;
   while (i < n) {
-    // No branch target strictly inside a window of `len` instructions at i.
+    // No branch target strictly inside a window of `len` instructions at i,
+    // and the members' summed retired weight must fit the superinstruction's
+    // weight field.  (The sum is the window length for compiler-fresh code,
+    // but the rewrite pass leaves instructions carrying 0 or >1 weights.)
     auto clear = [&](std::size_t len) {
       if (i + len > n) return false;
-      for (std::size_t j = i + 1; j < i + len; ++j) {
-        if (isTarget[j]) return false;
+      int wsum = 0;
+      for (std::size_t j = 0; j < len; ++j) {
+        if (j > 0 && isTarget[i + j]) return false;
+        wsum += code[i + j].weight;
       }
-      return true;
+      return wsum <= 255;
+    };
+    // Retired weight of the window [i, i+len): summing members (instead of
+    // hardcoding the window length) keeps counts exact when fusing rewritten
+    // instructions.
+    const auto wsum = [&](std::size_t len) {
+      int w = 0;
+      for (std::size_t j = 0; j < len; ++j) w += code[i + j].weight;
+      return static_cast<std::uint8_t>(w);
     };
     const auto op = [&](std::size_t j) { return code[i + j].op; };
     const auto at = [&](std::size_t j) -> const Insn& { return code[i + j]; };
@@ -123,14 +136,14 @@ void peepholeOptimize(FunctionCode& fn) {
     if (clear(6) && op(0) == Op::LoadSlot && op(1) == Op::Dup && op(2) == Op::PushI &&
         op(3) == Op::AddI && op(4) == Op::StoreSlot && at(4).a == at(0).a &&
         op(5) == Op::Drop && fitsI32(at(2).imm)) {
-      out.push_back(make(Op::IncSlotI, at(0).a, 0, at(2).imm, 6));
+      out.push_back(make(Op::IncSlotI, at(0).a, 0, at(2).imm, wsum(6)));
       consumed = 6;
     }
     // pre-inc / i = i + k statement: LoadSlot s; PushI k; AddI; Dup; StoreSlot s; Drop
     else if (clear(6) && op(0) == Op::LoadSlot && op(1) == Op::PushI && op(2) == Op::AddI &&
              op(3) == Op::Dup && op(4) == Op::StoreSlot && at(4).a == at(0).a &&
              op(5) == Op::Drop && fitsI32(at(1).imm)) {
-      out.push_back(make(Op::IncSlotI, at(0).a, 0, at(1).imm, 6));
+      out.push_back(make(Op::IncSlotI, at(0).a, 0, at(1).imm, wsum(6)));
       consumed = 6;
     }
     // --- length 5: store-through-scratch, result dropped --------------------
@@ -138,7 +151,7 @@ void peepholeOptimize(FunctionCode& fn) {
     else if (clear(5) && op(0) == Op::StoreSlot && op(1) == Op::LoadSlot &&
              at(1).a == at(0).a && isTypedStore(op(2)) && op(3) == Op::LoadSlot &&
              at(3).a == at(0).a && op(4) == Op::Drop) {
-      out.push_back(make(teeStoreFor(op(2)), at(0).a, 0, 0, 5));
+      out.push_back(make(teeStoreFor(op(2)), at(0).a, 0, 0, wsum(5)));
       consumed = 5;
     }
     // --- length 4: whole array read from slots ------------------------------
@@ -146,47 +159,47 @@ void peepholeOptimize(FunctionCode& fn) {
     else if (clear(4) && op(0) == Op::LoadSlot && op(1) == Op::LoadSlot &&
              op(2) == Op::PtrAdd && isTypedLoad(op(3)) && at(2).a >= 0 &&
              at(2).a <= 0xFFFF) {
-      out.push_back(make(loadSlotElemFor(op(3)), at(0).a, at(1).a, at(2).a, 4));
+      out.push_back(make(loadSlotElemFor(op(3)), at(0).a, at(1).a, at(2).a, wsum(4)));
       consumed = 4;
     }
     // bare slot increment: LoadSlot s; PushI k; AddI; StoreSlot s
     else if (clear(4) && op(0) == Op::LoadSlot && op(1) == Op::PushI && op(2) == Op::AddI &&
              op(3) == Op::StoreSlot && at(3).a == at(0).a && fitsI32(at(1).imm)) {
-      out.push_back(make(Op::IncSlotI, at(0).a, 0, at(1).imm, 4));
+      out.push_back(make(Op::IncSlotI, at(0).a, 0, at(1).imm, wsum(4)));
       consumed = 4;
     }
     // --- length 3 -----------------------------------------------------------
     // store-through-scratch, result used: StoreSlot sc; LoadSlot sc; Store<T>
     else if (clear(3) && op(0) == Op::StoreSlot && op(1) == Op::LoadSlot &&
              at(1).a == at(0).a && isTypedStore(op(2))) {
-      out.push_back(make(teeStoreFor(op(2)), at(0).a, 0, 0, 3));
+      out.push_back(make(teeStoreFor(op(2)), at(0).a, 0, 0, wsum(3)));
       consumed = 3;
     }
     // assignment statement: Dup; StoreSlot s; Drop == plain StoreSlot (w=3)
     else if (clear(3) && op(0) == Op::Dup && op(1) == Op::StoreSlot && op(2) == Op::Drop) {
-      out.push_back(make(Op::StoreSlot, at(1).a, 0, 0, 3));
+      out.push_back(make(Op::StoreSlot, at(1).a, 0, 0, wsum(3)));
       consumed = 3;
     }
     // --- length 2 -----------------------------------------------------------
     // PtrAdd sz; Load<T>  (index already on the stack)
     else if (clear(2) && op(0) == Op::PtrAdd && isTypedLoad(op(1)) && at(0).a >= 0) {
-      out.push_back(make(loadElemFor(op(1)), at(0).a, 0, 0, 2));
+      out.push_back(make(loadElemFor(op(1)), at(0).a, 0, 0, wsum(2)));
       consumed = 2;
     }
     // PushI k; PtrAdd sz  (constant index, e.g. struct field offsets)
     else if (clear(2) && op(0) == Op::PushI && op(1) == Op::PtrAdd && fitsI32(at(0).imm)) {
-      out.push_back(make(Op::PtrAddImm, at(1).a, 0, at(0).imm, 2));
+      out.push_back(make(Op::PtrAddImm, at(1).a, 0, at(0).imm, wsum(2)));
       consumed = 2;
     }
     // compare; Jz / Jnz  ->  fused conditional branch
     else if (clear(2) && isFusableCompare(op(0)) && (op(1) == Op::Jz || op(1) == Op::Jnz)) {
       out.push_back(make(op(1) == Op::Jz ? Op::CmpJz : Op::CmpJnz, at(1).a,
-                         static_cast<std::int32_t>(op(0)), 0, 2));
+                         static_cast<std::int32_t>(op(0)), 0, wsum(2)));
       consumed = 2;
     }
     // LoadSlot a; LoadSlot b  (binary-operator operands)
     else if (clear(2) && op(0) == Op::LoadSlot && op(1) == Op::LoadSlot) {
-      out.push_back(make(Op::LoadSlot2, at(0).a, at(1).a, 0, 2));
+      out.push_back(make(Op::LoadSlot2, at(0).a, at(1).a, 0, wsum(2)));
       consumed = 2;
     } else {
       out.push_back(code[i]);

@@ -9,6 +9,7 @@
 #include "kernelc/parser.hpp"
 #include "kernelc/peephole.hpp"
 #include "kernelc/preprocessor.hpp"
+#include "kernelc/rewrite.hpp"
 #include "kernelc/sema.hpp"
 
 namespace skelcl::kc {
@@ -16,7 +17,10 @@ namespace skelcl::kc {
 CompileOptions defaultCompileOptions() {
   CompileOptions options;
   const char* env = std::getenv("SKELCL_KC_OPT");
-  if (env != nullptr && std::strcmp(env, "0") == 0) options.optimize = false;
+  if (env != nullptr) {
+    if (std::strcmp(env, "0") == 0) options.tier = 0;
+    else if (std::strcmp(env, "1") == 0) options.tier = 1;
+  }
   return options;
 }
 
@@ -43,7 +47,13 @@ std::shared_ptr<const CompiledProgram> compileProgram(const std::string& source,
   program->functions = compiler.run();
   program->complexity = complexity;
   program->source = source;
-  if (options.optimize) {
+  program->tier = options.tier;
+  if (options.tier >= 2) {
+    // Rewrite rules run on the naive IR so the peephole pass can fuse the
+    // rewritten index arithmetic into its superinstructions.
+    for (FunctionCode& fn : program->functions) rewriteOptimize(fn);
+  }
+  if (options.tier >= 1) {
     for (FunctionCode& fn : program->functions) peepholeOptimize(fn);
     finalizeFunctions(program->functions);
     program->optimized = true;

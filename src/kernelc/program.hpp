@@ -10,17 +10,23 @@ namespace skelcl::kc {
 
 /// Pipeline selection for compileProgram.
 struct CompileOptions {
-  /// Run the optimized pipeline: peephole superinstructions + packed 16-byte
-  /// encoding + fast interpreter.  When false the program keeps the naive
-  /// Insn stream and executes on the reference interpreter — used for
-  /// differential testing (outputs and retired-instruction counts must match
-  /// the optimized pipeline exactly).
-  bool optimize = true;
+  /// Optimization tier (the ladder in docs/VM.md):
+  ///   0 — reference: naive Insn stream on the guarded reference interpreter.
+  ///       The differential-testing oracle.
+  ///   1 — fast: peephole superinstructions + packed 16-byte encoding + fast
+  ///       interpreter (PR 4).
+  ///   2 — fast + the rewrite pass (kernelc/rewrite.hpp: loop-invariant
+  ///       hoisting, strength reduction, pointer-bias fusion) before the
+  ///       peephole pass, and eligibility for work-group-batched execution
+  ///       (Vm::runKernelBatch).
+  /// Every tier produces bit-identical outputs and identical
+  /// retired-instruction counts; higher tiers only run faster.
+  int tier = 2;
 };
 
-/// The process-wide default, from the environment: SKELCL_KC_OPT=0 disables
-/// the optimized pipeline for every compile that doesn't pass explicit
-/// options.
+/// The process-wide default, from the environment: SKELCL_KC_OPT=0 selects
+/// the reference pipeline, =1 the fast pipeline without rewrites; anything
+/// else (including unset) selects the full tier-2 pipeline.
 CompileOptions defaultCompileOptions();
 
 /// Compile a kernel-language translation unit.  Throws CompileError with the

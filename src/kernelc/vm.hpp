@@ -43,6 +43,10 @@ struct CompiledProgram {
   /// True when the optimized pipeline ran (peephole + packed encoding); the
   /// VM picks its interpreter path from this.
   bool optimized = false;
+  /// Optimization tier this program was compiled at (CompileOptions::tier):
+  /// 0 reference, 1 fast, 2 fast + rewrite pass + batch eligibility.
+  /// Hand-assembled programs default to 0 regardless of `optimized`.
+  int tier = 0;
   /// name -> index over `functions`, built once at compile time (names are
   /// unique; sema rejects redefinitions).  Empty for hand-assembled programs.
   std::unordered_map<std::string, int> functionIndex;
@@ -63,6 +67,23 @@ class Vm final : public BuiltinCtx {
   /// value.
   void runKernel(int functionIndex, std::span<const Slot> args, std::int64_t globalId,
                  std::int64_t globalSize);
+
+  /// Execute `count` consecutive work-items [gidBase, gidBase + count) of a
+  /// kernel in work-group-batched mode: the dispatch loop is inverted so one
+  /// opcode decode is amortized over every live work-item ("lane"), operating
+  /// on a lane-strided slot arena.  Divergent control flow splits the group
+  /// into lane subsets; there is no reconvergence, but straight-line and
+  /// uniformly-looping bodies stay dense.  Falls back to per-item runKernel
+  /// when the function is not batchable (FunctionCode::batchable) or the
+  /// program is not optimized.  Outputs and retired-instruction counts are
+  /// bit-identical to `count` sequential runKernel calls; only the order in
+  /// which work-items touch memory changes (which batchability guarantees is
+  /// unobservable).  `count` is capped at kBatchLanes per call.
+  void runKernelBatch(int functionIndex, std::span<const Slot> args, std::int64_t gidBase,
+                      std::int64_t count, std::int64_t globalSize);
+
+  /// Maximum lanes per runKernelBatch call (one simulated work-group).
+  static constexpr std::int64_t kBatchLanes = 256;
 
   /// Call a (non-kernel) function, e.g. for host-side folding in the reduce
   /// skeleton.  Returns its value.
@@ -86,6 +107,8 @@ class Vm final : public BuiltinCtx {
   void execute(int functionIndex, std::span<const Slot> args, bool expectResult);
   void executeRef(int functionIndex, std::span<const Slot> args, bool expectResult);
   void executeFast(int functionIndex, std::span<const Slot> args, bool expectResult);
+  void executeBatch(int functionIndex, std::span<const Slot> args, std::int64_t gidBase,
+                    std::int64_t count);
 
   [[noreturn]] void fault(const std::string& message) const;
 
@@ -105,6 +128,12 @@ class Vm final : public BuiltinCtx {
   // frame memory (local arrays / structs / addressed locals), both paths
   std::vector<std::byte> frameArena_;
   std::uint64_t frameTop_ = 0;
+
+  // batched path: lane-strided slot and operand-stack arenas, allocated on
+  // first runKernelBatch use.  Slot s of lane l lives at batchSlots_[s*n + l];
+  // stack depth d of lane l at batchStack_[d*n + l] (n = lanes this batch).
+  std::vector<Slot> batchSlots_;
+  std::vector<Slot> batchStack_;
 
   std::int64_t globalId_ = 0;
   std::int64_t globalSize_ = 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 
@@ -298,13 +299,34 @@ Event CommandQueue::enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSiz
   std::exception_ptr firstError;
   std::mutex errorMutex;
 
+  // Work-group-batched execution (tier 2): amortize instruction dispatch over
+  // up to kBatchLanes consecutive work-items per runKernelBatch call.
+  // runKernelBatch itself falls back to per-item execution when the kernel is
+  // not batchable; SKELCL_KC_BATCH=0 forces the sequential loop for
+  // debugging/benchmarking.
+  const char* batchEnv = std::getenv("SKELCL_KC_BATCH");
+  const bool useBatch = program->tier >= 2 &&
+                        (batchEnv == nullptr || std::strcmp(batchEnv, "0") != 0);
+
   sim::ThreadPool::global().parallelFor(globalSize, [&](std::uint64_t begin, std::uint64_t end) {
     kc::Vm vm(*program, regions);
     try {
-      for (std::uint64_t gid = begin; gid < end; ++gid) {
-        vm.runKernel(fnIndex, slots,
-                     static_cast<std::int64_t>(globalOffset + gid),
-                     static_cast<std::int64_t>(globalSize));
+      if (useBatch) {
+        for (std::uint64_t gid = begin; gid < end;) {
+          const auto lanes = std::min<std::uint64_t>(
+              end - gid, static_cast<std::uint64_t>(kc::Vm::kBatchLanes));
+          vm.runKernelBatch(fnIndex, slots,
+                            static_cast<std::int64_t>(globalOffset + gid),
+                            static_cast<std::int64_t>(lanes),
+                            static_cast<std::int64_t>(globalSize));
+          gid += lanes;
+        }
+      } else {
+        for (std::uint64_t gid = begin; gid < end; ++gid) {
+          vm.runKernel(fnIndex, slots,
+                       static_cast<std::int64_t>(globalOffset + gid),
+                       static_cast<std::int64_t>(globalSize));
+        }
       }
     } catch (...) {
       std::lock_guard<std::mutex> lock(errorMutex);

@@ -1,11 +1,13 @@
-// Differential tests for the two interpreter pipelines (docs/VM.md): the same
-// source compiled with the optimized pipeline (peephole superinstructions +
-// packed encoding + fast interpreter) and the reference pipeline must produce
-// bit-identical buffer contents, identical scalar results, and — because
-// superinstructions carry the weight of the naive window they replace —
+// Differential tests across the interpreter tier ladder (docs/VM.md): the
+// same source compiled at tier 0 (reference), tier 1 (peephole + packed +
+// fast interpreter) and tier 2 (rewrite pass), plus tier 2 run on the
+// work-group-batched interpreter, must produce bit-identical buffer
+// contents, identical scalar results, and — because superinstructions and
+// rewrite replacements carry the weight of the naive windows they replace —
 // identical retired-instruction counts (which drive simulated kernel time).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -17,23 +19,21 @@ using namespace skelcl::kc;
 
 namespace {
 
-/// Run `kernel` from `source` over `n` work-items under both pipelines, each
-/// on its own copy of `data`, and require bitwise-equal buffers and equal
-/// instruction counts.
+/// Run `kernel` from `source` over `n` work-items under every tier (plus the
+/// batched interpreter at tier 2), each on its own copy of `data`, and
+/// require bitwise-equal buffers and equal instruction counts throughout.
 void expectIdentical(const std::string& source, const std::string& kernel,
                      std::vector<float> data, std::int64_t n,
                      std::vector<Slot> extraArgs = {}) {
-  const auto fast = compileProgram(source, CompileOptions{/*optimize=*/true});
-  const auto ref = compileProgram(source, CompileOptions{/*optimize=*/false});
-  ASSERT_TRUE(fast->optimized);
+  const auto ref = compileProgram(source, CompileOptions{0});
+  const auto fast = compileProgram(source, CompileOptions{1});
+  const auto tier2 = compileProgram(source, CompileOptions{2});
   ASSERT_FALSE(ref->optimized);
-
-  std::vector<float> fastData = data;
-  std::vector<float> refData = std::move(data);
-  std::uint64_t counts[2] = {0, 0};
+  ASSERT_TRUE(fast->optimized);
+  ASSERT_TRUE(tier2->optimized);
 
   const auto run = [&](const CompiledProgram& program, std::vector<float>& buf,
-                       std::uint64_t& count) {
+                       std::uint64_t& count, bool batch) {
     std::vector<MemRegion> regions{
         MemRegion{reinterpret_cast<std::byte*>(buf.data()), buf.size() * sizeof(float)}};
     Ptr p;
@@ -44,31 +44,62 @@ void expectIdentical(const std::string& source, const std::string& kernel,
     Vm vm(program, regions);
     const int k = program.findKernel(kernel);
     ASSERT_GE(k, 0);
-    for (std::int64_t gid = 0; gid < n; ++gid) vm.runKernel(k, args, gid, n);
+    if (batch) {
+      for (std::int64_t gid = 0; gid < n;) {
+        const std::int64_t lanes = std::min<std::int64_t>(n - gid, Vm::kBatchLanes);
+        vm.runKernelBatch(k, args, gid, lanes, n);
+        gid += lanes;
+      }
+    } else {
+      for (std::int64_t gid = 0; gid < n; ++gid) vm.runKernel(k, args, gid, n);
+    }
     count = vm.instructionsExecuted();
   };
-  run(*fast, fastData, counts[0]);
-  run(*ref, refData, counts[1]);
 
-  EXPECT_EQ(counts[0], counts[1]) << "retired-instruction counts diverged — "
-                                     "simulated kernel time would change";
-  ASSERT_EQ(fastData.size(), refData.size());
-  EXPECT_EQ(0, std::memcmp(fastData.data(), refData.data(),
-                           fastData.size() * sizeof(float)))
-      << "buffer contents diverged between pipelines";
+  struct Leg {
+    const char* name;
+    const CompiledProgram* program;
+    bool batch;
+  };
+  const Leg legs[] = {
+      {"ref", ref.get(), false},
+      {"fast", fast.get(), false},
+      {"tier2", tier2.get(), false},
+      {"batch", tier2.get(), true},
+  };
+  std::vector<float> bufs[4];
+  std::uint64_t counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    bufs[i] = data;
+    run(*legs[i].program, bufs[i], counts[i], legs[i].batch);
+  }
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(counts[i], counts[0])
+        << legs[i].name << ": retired-instruction counts diverged — "
+                           "simulated kernel time would change";
+    ASSERT_EQ(bufs[i].size(), bufs[0].size());
+    EXPECT_EQ(0, std::memcmp(bufs[i].data(), bufs[0].data(),
+                             bufs[0].size() * sizeof(float)))
+        << legs[i].name << ": buffer contents diverged between pipelines";
+  }
 }
 
 std::int64_t callBoth(const std::string& source, const std::string& fn,
                       std::vector<Slot> args, std::uint64_t* counts) {
-  const auto fast = compileProgram(source, CompileOptions{/*optimize=*/true});
-  const auto ref = compileProgram(source, CompileOptions{/*optimize=*/false});
+  const auto fast = compileProgram(source, CompileOptions{1});
+  const auto ref = compileProgram(source, CompileOptions{0});
+  const auto tier2 = compileProgram(source, CompileOptions{2});
   Vm vmFast(*fast, {});
   Vm vmRef(*ref, {});
+  Vm vmT2(*tier2, {});
   const Slot a = vmFast.callFunction(fast->findFunction(fn), args);
   const Slot b = vmRef.callFunction(ref->findFunction(fn), args);
+  const Slot c = vmT2.callFunction(tier2->findFunction(fn), args);
   counts[0] = vmFast.instructionsExecuted();
   counts[1] = vmRef.instructionsExecuted();
   EXPECT_EQ(a.i, b.i);  // full 64-bit slot compare covers int and float bits
+  EXPECT_EQ(c.i, b.i);
+  EXPECT_EQ(vmT2.instructionsExecuted(), counts[1]);
   return a.i;
 }
 
@@ -100,19 +131,22 @@ TEST(KernelcDifferential, MandelbrotShapedKernel) {
 
 TEST(KernelcDifferential, OsemShapedKernel) {
   // The OSEM workload shape: indexed gather over a buffer with an inner
-  // accumulation loop and a guarded division.
+  // accumulation loop and a guarded division.  Reads come from the upper
+  // half of the buffer and writes go to the lower half — work-items must not
+  // race on shared data, or execution order (sequential vs batched) would
+  // legitimately change the result.
   const std::string src = R"(
     __kernel void project(__global float* data, int n) {
       int gid = get_global_id(0);
       float acc = 0.0f;
       for (int i = 0; i < n; ++i) {
-        acc = acc + data[(gid + i) % n] * 0.5f;
+        acc = acc + data[n + (gid + i) % n] * 0.5f;
       }
       if (acc != 0.0f) acc = 1.0f / acc;
       data[gid] = acc;
     }
   )";
-  std::vector<float> data(32);
+  std::vector<float> data(64);
   for (std::size_t i = 0; i < data.size(); ++i) data[i] = 0.25f * static_cast<float>(i + 1);
   expectIdentical(src, "project", data, 32, {Slot::fromInt(std::int64_t{32})});
 }

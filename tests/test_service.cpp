@@ -6,11 +6,13 @@
 // init/terminate cycles.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <numeric>
 #include <thread>
 #include <vector>
 
+#include "core/detail/session.hpp"
 #include "core/detail/trace.hpp"
 #include "core/service.hpp"
 #include "core/skelcl.hpp"
@@ -468,6 +470,51 @@ TEST(ServicePreemption, OversizedMapJobIsSlicedIntoQuanta) {
   ASSERT_EQ(got.size(), ref.size());
   EXPECT_EQ(0, std::memcmp(got.data(), ref.data(), ref.size() * sizeof(float)))
       << "sliced execution must be bit-identical to a single run";
+}
+
+// --- the compile cache keys on (tier, source), not source alone -------------
+
+TEST(SessionProgramCache, TierIsPartOfTheCacheKey) {
+  // skelcheck flips SKELCL_KC_OPT between programs; a cache keyed by source
+  // alone would hand a tier-1 program to a tier-0 request (regression test
+  // for exactly that staleness bug).
+  struct EnvGuard {
+    std::string saved;
+    bool had;
+    EnvGuard() {
+      const char* v = std::getenv("SKELCL_KC_OPT");
+      had = v != nullptr;
+      if (had) saved = v;
+    }
+    ~EnvGuard() {
+      if (had) ::setenv("SKELCL_KC_OPT", saved.c_str(), 1);
+      else ::unsetenv("SKELCL_KC_OPT");
+    }
+  } guard;
+
+  detail::SharedDeviceState state(sim::SystemConfig::teslaS1070(1));
+  ::setenv("SKELCL_KC_OPT", "1", 1);
+  const auto fast = state.hostProgram(kAddSrc);
+  EXPECT_TRUE(fast->optimized);
+  EXPECT_EQ(fast->tier, 1);
+
+  ::setenv("SKELCL_KC_OPT", "0", 1);
+  const auto ref = state.hostProgram(kAddSrc);
+  EXPECT_FALSE(ref->optimized) << "stale tier-1 program served for a tier-0 request";
+  EXPECT_EQ(ref->tier, 0);
+  EXPECT_NE(fast.get(), ref.get());
+
+  // Same tier again: the cache must still hit.
+  const auto refAgain = state.hostProgram(kAddSrc);
+  EXPECT_EQ(ref.get(), refAgain.get());
+
+  // The device-program cache distinguishes tiers the same way.
+  const char* kernelSrc = "__kernel void k(__global float* p) { p[get_global_id(0)] = 1.0f; }";
+  const auto devRef = state.programForSource(kernelSrc);
+  ::setenv("SKELCL_KC_OPT", "2", 1);
+  const auto devT2 = state.programForSource(kernelSrc);
+  EXPECT_NE(devRef.get(), devT2.get());
+  EXPECT_EQ(devT2.get(), state.programForSource(kernelSrc).get());
 }
 
 // --- the trace collector resets between init/terminate cycles ---------------
