@@ -151,6 +151,7 @@ struct Op {
 
 struct Config {
   int devices = 4;
+  int nodes = 1;          ///< docl cluster nodes (devices spread evenly); 1 = local
   ElemType elem = ElemType::I32;
   std::size_t n = 64;
   int kcopt = 2;          ///< SKELCL_KC_OPT tier: 0 ref, 1 fast, 2 rewrite+batch

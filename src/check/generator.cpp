@@ -76,6 +76,12 @@ Program generate(std::uint64_t seed, int numOps) {
   cfg.devices = devChoices[seed % 3];
   cfg.elem = ((seed / 3) % 2) ? ElemType::F32 : ElemType::I32;
   cfg.kcopt = static_cast<int>((seed / 6) % 3);
+  // About a third of the programs run on a docl cluster (devices spread
+  // evenly across nodes, node-aware partitions + tree collectives); the
+  // node count always divides the device count since both are powers of 2.
+  const int nodeChoices[3] = {1, 1, 2};
+  cfg.nodes = std::min(nodeChoices[(seed / 18) % 3], cfg.devices);
+  if (cfg.nodes == 2 && cfg.devices == 4 && rng.chance(50)) cfg.nodes = 4;
   const std::size_t sizes[] = {0, 1, 2, 3, 4, 7, 17, 33, 64, 100, 137, 200};
   cfg.n = sizes[rng.below(std::size(sizes))];
   cfg.poolSize = rng.range(3, 6);

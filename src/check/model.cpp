@@ -138,6 +138,18 @@ Model::Model(const Config& cfg, std::vector<int> cores)
   SKELCL_CHECK(cores_.size() == static_cast<std::size_t>(cfg_.devices),
                "model: one core count per device required");
   for (int d = 0; d < cfg_.devices; ++d) alive_.push_back(d);
+  // Mirror of docl::flatten's device->node map: devices spread evenly, in
+  // order, across the nodes (the runner builds exactly that cluster config).
+  SKELCL_CHECK(cfg_.nodes >= 1 && cfg_.devices % cfg_.nodes == 0,
+               "model: node count must divide device count");
+  const int perNode = cfg_.devices / cfg_.nodes;
+  for (int d = 0; d < cfg_.devices; ++d) node_of_.push_back(d / perNode);
+}
+
+std::vector<PartRange> Model::partitionFor(const Distribution& d, std::size_t n) const {
+  const Distribution eff = effective(d);
+  if (multiNode()) return eff.partition(n, alive_, node_of_);
+  return eff.partition(n, alive_);
 }
 
 Model::Decision Model::onCommand(int device, int cls) {
@@ -298,7 +310,7 @@ const std::vector<PartRange>& Model::plannedPartition(MVec& v) {
   SKELCL_CHECK(v.requested.isSet(), "vector has no distribution");
   const std::uint64_t epoch = partitionEpoch();
   if (!v.plannedValid || v.plannedSession != cur_session_ || v.plannedEpoch != epoch) {
-    v.planned = effective(v.requested).partition(v.n, alive_);
+    v.planned = partitionFor(v.requested, v.n);
     v.plannedValid = true;
     v.plannedSession = cur_session_;
     v.plannedEpoch = epoch;
@@ -374,15 +386,35 @@ void Model::materializeParts(MVec& v, bool upload) {
     v.parts.push_back(std::move(part));
   }
   if (upload) {
+    // Mirror of VectorData::materializeParts' upload graph, including the
+    // cluster copy-broadcast: one upload per node to the node's first part
+    // (the leader), siblings filled by peer copies that depend on it (and
+    // are counted against the *destination* device, like the real enqueue).
+    const bool treeBroadcast =
+        multiNode() && v.requested.kind() == Distribution::Kind::Copy && v.n > 0;
     MGraph g(*this);
+    MPart* leader = nullptr;
+    MGraph::NodeId leaderId = 0;
+    int leaderNode = -1;
     for (MPart& part : v.parts) {
       if (part.size == 0) continue;
       MPart* p = &part;
-      g.add(p->device, /*cls=*/0, nullptr, [&v, p] {
+      const int node = node_of_[static_cast<std::size_t>(p->device)];
+      if (treeBroadcast && leader != nullptr && node == leaderNode) {
+        MPart* src = leader;
+        g.add(p->device, /*cls=*/0, nullptr,
+              [src, p] { std::copy(src->data.begin(), src->data.end(), p->data.begin()); },
+              {leaderId});
+        continue;
+      }
+      const MGraph::NodeId id = g.add(p->device, /*cls=*/0, nullptr, [&v, p] {
         std::copy(v.host.begin() + static_cast<std::ptrdiff_t>(p->offset),
                   v.host.begin() + static_cast<std::ptrdiff_t>(p->offset + p->size),
                   p->data.begin());
       });
+      leader = p;
+      leaderId = id;
+      leaderNode = node;
     }
     g.run();
   }
@@ -648,7 +680,7 @@ void Model::elementwiseOnce(const std::string& fn, MVec* in1, MVec* in2, MVec& o
   SKELCL_CHECK(info != nullptr, "model: unknown function id");
   const FnShape shape = info->shape;
 
-  const auto ranges = effective(dist).partition(n, alive_);
+  const auto ranges = partitionFor(dist, n);
   MGraph g(*this);
   bool launched = false;
   for (const PartRange& r : ranges) {
@@ -1287,20 +1319,112 @@ std::uint32_t Model::reduceOnce(const std::string& fn, MVec& input,
         });
   }
 
+  // Mirror of the step-2 gather, including the cluster tree shape: partials
+  // are copied to a per-node leader (commands on the leader), combined there
+  // with a two-pass kernel (wide chunked pass, then a single-work-item fold
+  // of the pass-1 partials), and one value per node reaches the host fold.
+  // Command devices, classes, order and dependencies all match runReduceOnce.
+  struct NodeGroup {
+    int node = 0;
+    std::size_t firstPending = 0;
+    std::size_t memberCount = 0;
+    std::size_t totalPartials = 0;
+    std::size_t combineChunk = 0;
+    std::size_t combineWidth = 0;
+    int leader = 0;
+    std::vector<std::uint32_t> nodeBuf;
+    std::vector<std::uint32_t> nodeScratch;
+    std::uint32_t nodeResult = 0;
+  };
+  std::vector<NodeGroup> groups;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const int node = node_of_[static_cast<std::size_t>(pending[i].device)];
+    if (groups.empty() || groups.back().node != node) {
+      NodeGroup ng;
+      ng.node = node;
+      ng.firstPending = i;
+      ng.leader = pending[i].device;
+      groups.push_back(std::move(ng));
+    }
+    groups.back().memberCount++;
+    groups.back().totalPartials += pending[i].numPartials;
+  }
+  const bool tree = multiNode() && groups.size() > 1;
+
   std::vector<std::uint32_t> gathered;
-  std::size_t total = 0;
-  for (const Pending& p : pending) total += p.numPartials;
-  gathered.assign(total, 0);
   std::vector<MGraph::NodeId> gatherNodes;
-  std::size_t off = 0;
-  for (Pending& p : pending) {
-    Pending* pp = &p;
-    const std::size_t at = off;
-    gatherNodes.push_back(g.add(p.device, /*cls=*/0, nullptr, [pp, &gathered, at] {
-      std::copy(pp->partials.begin(), pp->partials.end(),
-                gathered.begin() + static_cast<std::ptrdiff_t>(at));
-    }, {p.kernelNode}));
-    off += p.numPartials;
+  if (tree) {
+    gathered.assign(groups.size(), 0);
+    for (NodeGroup& ng : groups) {
+      const auto cores = static_cast<std::size_t>(cores_[static_cast<std::size_t>(ng.leader)]);
+      ng.combineWidth = std::min(cores, ng.totalPartials);
+      ng.combineChunk = (ng.totalPartials + ng.combineWidth - 1) / ng.combineWidth;
+      ng.combineWidth = (ng.totalPartials + ng.combineChunk - 1) / ng.combineChunk;
+      allocCheck(ng.leader);  // nodeBuf
+      allocCheck(ng.leader);  // nodeScratch
+      allocCheck(ng.leader);  // nodeResult
+      ng.nodeBuf.assign(ng.totalPartials, 0);
+      ng.nodeScratch.assign(ng.combineWidth, 0);
+    }
+    std::size_t groupIdx = 0;
+    for (NodeGroup& ng : groups) {
+      NodeGroup* gp = &ng;
+      std::vector<MGraph::NodeId> copies;
+      std::size_t dstOff = 0;
+      for (std::size_t m = ng.firstPending; m < ng.firstPending + ng.memberCount; ++m) {
+        Pending* pp = &pending[m];
+        const std::size_t at = dstOff;
+        copies.push_back(g.add(ng.leader, /*cls=*/0, nullptr, [pp, gp, at] {
+          std::copy(pp->partials.begin(), pp->partials.end(),
+                    gp->nodeBuf.begin() + static_cast<std::ptrdiff_t>(at));
+        }, {pp->kernelNode}));
+        dstOff += pp->numPartials;
+      }
+      const int leader = ng.leader;
+      const MGraph::NodeId combine1 = g.add(
+          leader, /*cls=*/1, [this, &extras, leader] { bindExtrasCheck(extras, leader); },
+          [this, fn, gp, ci, cf] {
+            for (std::size_t w = 0; w < gp->combineWidth; ++w) {
+              const std::size_t begin = w * gp->combineChunk;
+              const std::size_t end =
+                  std::min(begin + gp->combineChunk, gp->totalPartials);
+              std::uint32_t nacc = gp->nodeBuf[begin];
+              for (std::size_t i = begin + 1; i < end; ++i) {
+                nacc = eval(fn, nacc, gp->nodeBuf[i], ci, cf);
+              }
+              gp->nodeScratch[w] = nacc;
+            }
+          },
+          copies);
+      const MGraph::NodeId combine = g.add(
+          leader, /*cls=*/1, [this, &extras, leader] { bindExtrasCheck(extras, leader); },
+          [this, fn, gp, ci, cf] {
+            std::uint32_t nacc = gp->nodeScratch[0];
+            for (std::size_t i = 1; i < gp->nodeScratch.size(); ++i) {
+              nacc = eval(fn, nacc, gp->nodeScratch[i], ci, cf);
+            }
+            gp->nodeResult = nacc;
+          },
+          {combine1});
+      const std::size_t at = groupIdx++;
+      gatherNodes.push_back(g.add(leader, /*cls=*/0, nullptr,
+                                  [gp, &gathered, at] { gathered[at] = gp->nodeResult; },
+                                  {combine}));
+    }
+  } else {
+    std::size_t total = 0;
+    for (const Pending& p : pending) total += p.numPartials;
+    gathered.assign(total, 0);
+    std::size_t off = 0;
+    for (Pending& p : pending) {
+      Pending* pp = &p;
+      const std::size_t at = off;
+      gatherNodes.push_back(g.add(p.device, /*cls=*/0, nullptr, [pp, &gathered, at] {
+        std::copy(pp->partials.begin(), pp->partials.end(),
+                  gathered.begin() + static_cast<std::ptrdiff_t>(at));
+      }, {p.kernelNode}));
+      off += p.numPartials;
+    }
   }
 
   std::uint32_t acc = 0;
@@ -1386,11 +1510,82 @@ void Model::scanOnce(const std::string& fn, MVec& input, MVec& output) {
     });
   }
 
+  // Mirror of the step-2 sum downloads, including the cluster tree shape:
+  // member sums are copied to a per-node leader and cross to the host as one
+  // download per node; the offsets later cross back once per node and fan
+  // out by per-member copies.  Command devices/classes/order match
+  // runScanOnce.
+  struct ScanNode {
+    int node = 0;
+    std::size_t firstDev = 0;
+    std::size_t devCount = 0;
+    int leader = 0;
+    std::vector<std::uint32_t> nodeSums, nodeOffsets;
+  };
+  std::vector<ScanNode> scanNodes;
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    const int node = node_of_[static_cast<std::size_t>(devs[i].range.device)];
+    if (scanNodes.empty() || scanNodes.back().node != node) {
+      ScanNode sn;
+      sn.node = node;
+      sn.firstDev = i;
+      sn.leader = devs[i].range.device;
+      scanNodes.push_back(std::move(sn));
+    }
+    scanNodes.back().devCount++;
+  }
+  const bool tree = multiNode() && scanNodes.size() > 1;
+  if (tree) {
+    for (ScanNode& sn : scanNodes) {
+      std::size_t totalChunks = 0;
+      for (std::size_t m = sn.firstDev; m < sn.firstDev + sn.devCount; ++m) {
+        totalChunks += devs[m].numChunks;
+      }
+      allocCheck(sn.leader);  // nodeSums
+      allocCheck(sn.leader);  // nodeOffsets
+      sn.nodeSums.assign(totalChunks, 0);
+      sn.nodeOffsets.assign(totalChunks, 0);
+    }
+  }
+
   std::vector<MGraph::NodeId> sumReads;
-  for (DeviceScan& d : devs) {
-    DeviceScan* dd = &d;
-    sumReads.push_back(g.add(d.range.device, /*cls=*/0, nullptr,
-                             [dd] { dd->hostSums = dd->devSums; }, {d.step1}));
+  if (tree) {
+    for (ScanNode& sn : scanNodes) {
+      ScanNode* sp = &sn;
+      std::vector<MGraph::NodeId> copies;
+      std::size_t dstOff = 0;
+      for (std::size_t m = sn.firstDev; m < sn.firstDev + sn.devCount; ++m) {
+        DeviceScan* dd = &devs[m];
+        const std::size_t at = dstOff;
+        copies.push_back(g.add(sn.leader, /*cls=*/0, nullptr, [dd, sp, at] {
+          std::copy(dd->devSums.begin(), dd->devSums.end(),
+                    sp->nodeSums.begin() + static_cast<std::ptrdiff_t>(at));
+        }, {dd->step1}));
+        dstOff += dd->numChunks;
+      }
+      sumReads.push_back(g.add(sn.leader, /*cls=*/0, nullptr,
+                               [sp, &devs] {
+                                 std::size_t off = 0;
+                                 for (std::size_t m = sp->firstDev;
+                                      m < sp->firstDev + sp->devCount; ++m) {
+                                   DeviceScan& d = devs[m];
+                                   std::copy(sp->nodeSums.begin() +
+                                                 static_cast<std::ptrdiff_t>(off),
+                                             sp->nodeSums.begin() +
+                                                 static_cast<std::ptrdiff_t>(off +
+                                                                             d.numChunks),
+                                             d.hostSums.begin());
+                                   off += d.numChunks;
+                                 }
+                               },
+                               copies));
+    }
+  } else {
+    for (DeviceScan& d : devs) {
+      DeviceScan* dd = &d;
+      sumReads.push_back(g.add(d.range.device, /*cls=*/0, nullptr,
+                               [dd] { dd->hostSums = dd->devSums; }, {d.step1}));
+    }
   }
 
   const MGraph::NodeId offsetsNode = g.addHost(
@@ -1428,12 +1623,7 @@ void Model::scanOnce(const std::string& fn, MVec& input, MVec& output) {
       },
       sumReads);
 
-  for (DeviceScan& d : devs) {
-    DeviceScan* dd = &d;
-    const int dev = d.range.device;
-    const MGraph::NodeId up = g.add(dev, /*cls=*/0, nullptr,
-                                    [dd] { dd->devOffsets = dd->hostOffsets; },
-                                    {offsetsNode});
+  auto addStep2 = [&](DeviceScan* dd, int dev, MGraph::NodeId offsetsReady) {
     g.add(dev, /*cls=*/1, nullptr,
           [this, fn, &input, &output, inPlace, dd, dev] {
             MPart* out = inPlace ? input.partOn(dev) : output.partOn(dev);
@@ -1447,7 +1637,49 @@ void Model::scanOnce(const std::string& fn, MVec& input, MVec& output) {
               }
             }
           },
-          {up, d.step1});
+          {offsetsReady, dd->step1});
+  };
+  if (tree) {
+    for (ScanNode& sn : scanNodes) {
+      ScanNode* sp = &sn;
+      const MGraph::NodeId up = g.add(sn.leader, /*cls=*/0, nullptr,
+                                      [sp, &devs] {
+                                        std::size_t off = 0;
+                                        for (std::size_t m = sp->firstDev;
+                                             m < sp->firstDev + sp->devCount; ++m) {
+                                          DeviceScan& d = devs[m];
+                                          std::copy(d.hostOffsets.begin(),
+                                                    d.hostOffsets.end(),
+                                                    sp->nodeOffsets.begin() +
+                                                        static_cast<std::ptrdiff_t>(off));
+                                          off += d.numChunks;
+                                        }
+                                      },
+                                      {offsetsNode});
+      std::size_t srcOff = 0;
+      for (std::size_t m = sn.firstDev; m < sn.firstDev + sn.devCount; ++m) {
+        DeviceScan* dd = &devs[m];
+        const int dev = dd->range.device;
+        const std::size_t at = srcOff;
+        const MGraph::NodeId scatter = g.add(dev, /*cls=*/0, nullptr, [dd, sp, at] {
+          std::copy(sp->nodeOffsets.begin() + static_cast<std::ptrdiff_t>(at),
+                    sp->nodeOffsets.begin() +
+                        static_cast<std::ptrdiff_t>(at + dd->numChunks),
+                    dd->devOffsets.begin());
+        }, {up});
+        srcOff += dd->numChunks;
+        addStep2(dd, dev, scatter);
+      }
+    }
+  } else {
+    for (DeviceScan& d : devs) {
+      DeviceScan* dd = &d;
+      const int dev = d.range.device;
+      const MGraph::NodeId up = g.add(dev, /*cls=*/0, nullptr,
+                                      [dd] { dd->devOffsets = dd->hostOffsets; },
+                                      {offsetsNode});
+      addStep2(dd, dev, up);
+    }
   }
 
   g.run();
@@ -1527,7 +1759,7 @@ void Model::fusedChainOnce(MVec& input, std::vector<MStage>& stages, MVec& outpu
   setDistribution(output, dist);
   if (!inPlace) ensureOnDevicesNoUpload(output);
 
-  const auto ranges = effective(dist).partition(input.n, alive_);
+  const auto ranges = partitionFor(dist, input.n);
   MGraph g(*this);
   bool launched = false;
   for (const PartRange& r : ranges) {

@@ -160,6 +160,10 @@ class Model {
   const std::vector<double>& applicableWeights() const;
   std::uint64_t partitionEpoch() const;  ///< weight epoch (current session) + device epoch
   Distribution effective(const Distribution& d) const;
+  /// Mirror of Session::partition: node-aware two-level apportionment on a
+  /// cluster config (cfg.nodes > 1), flat otherwise.
+  std::vector<PartRange> partitionFor(const Distribution& d, std::size_t n) const;
+  bool multiNode() const { return cfg_.nodes > 1; }
   void blacklistDevice(int device);
   void degradeDevice(int device);  ///< mirror of SharedDeviceState::degradeDevice
   // vector-data mirror
@@ -224,6 +228,7 @@ class Model {
 
   Config cfg_;
   std::vector<int> cores_;
+  std::vector<int> node_of_;  ///< device id -> cluster node (all zero when local)
 
   // Mirror of SharedDeviceState's watchdog constants: the abort decision is
   // time-free (slow factor vs slack; hangs always abort) so the clockless

@@ -211,7 +211,11 @@ OpKind kindFor(const std::string& name, int line) {
 std::string serialize(const Program& p) {
   std::ostringstream os;
   os << "skelcheck v1\n";
-  os << "config devices=" << p.cfg.devices << " elem=" << elemName(p.cfg.elem)
+  os << "config devices=" << p.cfg.devices;
+  // Emitted only for cluster programs so single-node replay files stay
+  // byte-identical to the pre-cluster format.
+  if (p.cfg.nodes > 1) os << " nodes=" << p.cfg.nodes;
+  os << " elem=" << elemName(p.cfg.elem)
      << " n=" << p.cfg.n << " kcopt=" << p.cfg.kcopt << " seed=" << p.cfg.seed
      << " pool=" << p.cfg.poolSize << "\n";
   for (const Op& op : p.ops) {
@@ -342,6 +346,9 @@ Program parse(const std::string& text) {
         const std::string& v = kv[1];
         if (k == "devices") {
           p.cfg.devices = static_cast<int>(toI(v, lineNo));
+        } else if (k == "nodes") {
+          p.cfg.nodes = static_cast<int>(toI(v, lineNo));
+          if (p.cfg.nodes < 1) bad(lineNo, "nodes must be >= 1");
         } else if (k == "elem") {
           if (v == "i32") {
             p.cfg.elem = ElemType::I32;

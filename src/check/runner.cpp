@@ -16,6 +16,7 @@
 #include "check/vector_access.hpp"
 #include "core/service.hpp"
 #include "core/skelcl.hpp"
+#include "docl/docl.hpp"
 #include "ocl/buffer.hpp"
 
 namespace skelcl::check {
@@ -61,6 +62,10 @@ void sanitize(Program& p) {
   Config& c = p.cfg;
   // teslaS1070 models 1, 2 or 4 GPUs.
   c.devices = c.devices >= 4 ? 4 : (c.devices >= 2 ? 2 : 1);
+  // Cluster runs spread the devices evenly across nodes, so the node count
+  // must divide the device count (both are powers of 2 after clamping).
+  c.nodes = c.nodes >= 4 ? 4 : (c.nodes >= 2 ? 2 : 1);
+  if (c.nodes > c.devices) c.nodes = c.devices;
   // n = 0 is a legal configuration: empty vectors flow through every
   // skeleton (reduce raises UsageError on both sides, which still compares).
   if (c.n > 4096) c.n = 4096;
@@ -330,7 +335,20 @@ class Driver {
     ::setenv("SKELCL_KC_OPT", std::to_string(prog_.cfg.kcopt).c_str(), 1);
     ::unsetenv("SKELCL_FAULTS");    // the program installs its own plans
     ::unsetenv("SKELCL_WATCHDOG");  // model mirrors the default watchdog config
-    auto system = sim::SystemConfig::teslaS1070(prog_.cfg.devices);
+    // Cluster programs rely on the default tree-collective shape, which the
+    // model mirrors; keep a user's env override out of the comparison.
+    ::unsetenv("SKELCL_TREE_COLLECTIVES");
+    sim::SystemConfig system;
+    if (prog_.cfg.nodes > 1) {
+      docl::DistributedConfig cluster;
+      for (int s = 0; s < prog_.cfg.nodes; ++s) {
+        cluster.servers.push_back(
+            sim::SystemConfig::teslaS1070(prog_.cfg.devices / prog_.cfg.nodes));
+      }
+      system = docl::flatten(cluster);
+    } else {
+      system = sim::SystemConfig::teslaS1070(prog_.cfg.devices);
+    }
     std::vector<int> cores;
     for (const auto& d : system.devices) cores.push_back(d.cores);
     skelcl::init(std::move(system));

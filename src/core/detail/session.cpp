@@ -22,6 +22,8 @@ SharedDeviceState::SharedDeviceState(sim::SystemConfig config) {
   dead_.assign(static_cast<std::size_t>(platform_->deviceCount()), 0);
   health_.assign(static_cast<std::size_t>(platform_->deviceCount()), 1.0);
   degrade_counts_.assign(static_cast<std::size_t>(platform_->deviceCount()), 0);
+  for (const auto& dev : system().config().devices) device_nodes_.push_back(dev.node);
+  multi_node_ = system().config().multiNode();
   // SKELCL_FAULTS configures fault injection without touching application
   // code (mirrors SKELCL_TRACE for observability).
   sim::FaultPlan envPlan = sim::FaultPlan::fromEnv();
@@ -225,6 +227,15 @@ Distribution Session::effectiveDistribution(const Distribution& d) const {
     if (anyDegraded) return Distribution::block(health);
   }
   return d;
+}
+
+std::vector<PartRange> Session::partition(const Distribution& d, std::size_t count) const {
+  std::lock_guard<std::recursive_mutex> lock(shared_->mutex());
+  const Distribution eff = effectiveDistribution(d);
+  if (shared_->multiNode()) {
+    return eff.partition(count, shared_->aliveDevices(), shared_->deviceNodes());
+  }
+  return eff.partition(count, shared_->aliveDevices());
 }
 
 void Session::chargeDeviceTime(double seconds) {

@@ -71,6 +71,14 @@ class SharedDeviceState {
   /// epoch, so one device death invalidates all tenants' partition plans.
   std::uint64_t deviceEpoch() const { return device_epoch_; }
 
+  // --- cluster topology (docl, docs/CLUSTER.md) -----------------------------
+  /// device id -> cluster node id, from the system config (all zeros on a
+  /// single machine).  Immutable over the state's lifetime.
+  const std::vector<int>& deviceNodes() const { return device_nodes_; }
+  /// True when devices span more than one cluster node: node-aware
+  /// partitioning and tree collectives apply.
+  bool multiNode() const { return multi_node_; }
+
   // --- degraded devices (gray failures, docs/ROBUSTNESS.md) -----------------
   /// Demote `device` after a watchdog timeout: its partition-plan health
   /// drops to kDegradedHealth (every session's unweighted block split shifts
@@ -106,6 +114,8 @@ class SharedDeviceState {
   std::unordered_map<std::string, std::shared_ptr<const kc::CompiledProgram>> hostFnCache_;
   std::uint64_t device_epoch_ = 0;
   std::vector<int> alive_;
+  std::vector<int> device_nodes_;  ///< device id -> cluster node id
+  bool multi_node_ = false;
   std::vector<char> dead_;
   std::vector<double> health_;       ///< partition-weight factor; 1 = healthy
   std::vector<int> degrade_counts_;  ///< watchdog strikes per device
@@ -170,6 +180,15 @@ class Session : public std::enable_shared_from_this<Session> {
   /// lives (previously copy-pasted into vector_data.cpp and
   /// skeleton_exec.cpp): resolve `d` against this session's weights.
   Distribution effectiveDistribution(const Distribution& d) const;
+
+  /// effectiveDistribution(d) partitioned over the alive devices — the one
+  /// entry point skeletons and VectorData use.  On multi-node (docl)
+  /// systems the block split is node-aware: part boundaries align with node
+  /// boundaries so halo/combine traffic prefers intra-node paths.
+  std::vector<PartRange> partition(const Distribution& d, std::size_t count) const;
+
+  bool multiNode() const { return shared_->multiNode(); }
+  const std::vector<int>& deviceNodes() const { return shared_->deviceNodes(); }
 
   // --- fair share (core/service.hpp) ---------------------------------------
   double shareWeight() const { return share_weight_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <unordered_map>
@@ -17,6 +18,17 @@ namespace {
 
 // The "unweighted block picks up scheduler weights" rule lives in
 // Session::effectiveDistribution now (it is per-tenant state).
+
+/// Two-level (node-aware) reduce/scan collectives are used on multi-node
+/// (docl cluster) systems unless SKELCL_TREE_COLLECTIVES=0 forces the flat
+/// single-level paths.  The env var exists so flat and tree shapes can be
+/// compared on the same system (bench_docl --smoke runs both legs and
+/// checks bit-identical results); read per call so a test can flip it.
+bool treeCollectivesEnabled(const Session& sess) {
+  if (!sess.multiNode()) return false;
+  const char* env = std::getenv("SKELCL_TREE_COLLECTIVES");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
 
 /// lastWrite of `vector`'s part on `device`, appended to `deps` when valid —
 /// consumers depend on producers instead of blocking on them.
@@ -341,7 +353,7 @@ void runElementwiseOnce(Session& sess, const std::string& userSource,
   // in-place case `output` aliases an input, so output.partOn is the right
   // part either way.)
   const char* stageName = input2 != nullptr ? "zip" : "map";
-  const auto ranges = sess.effectiveDistribution(dist).partition(n, sess.aliveDevices());
+  const auto ranges = sess.partition(dist, n);
   ExecGraph g(sess);
   std::vector<std::pair<int, ExecGraph::NodeId>> launches;
   for (const PartRange& r : ranges) {
@@ -481,20 +493,139 @@ kc::Slot runReduceOnce(Session& sess, const std::string& userSource, VectorData&
         {}, inputDeps(p.device, &input, nullptr, extras));
   }
 
-  // Step 2: gather the intermediate results on the CPU — one non-blocking
-  // read per device, dependent on that device's step-1 kernel, overlapping
-  // across PCIe links instead of serializing on the host.
-  std::vector<std::byte> gathered(gatheredBytes);
+  // Step 2: gather the intermediate results on the CPU.
+  //
+  // Flat path: one non-blocking read per device, dependent on that device's
+  // step-1 kernel, overlapping across PCIe links instead of serializing on
+  // the host.  On a cluster every one of those reads crosses the network, so
+  // the client NIC serializes deviceCount downloads.
+  //
+  // Tree path (multi-node): combine node-locally first.  Each node elects a
+  // leader (its first pending device), the members' partials are copied to a
+  // buffer on the leader over the node-internal PCIe links, the leader folds
+  // them with the same generated skelcl_reduce kernel in two passes (a wide
+  // chunked pass, then one work-item folding the pass-1 partials — a serial
+  // single-work-item fold of thousands of partials would dominate the tree
+  // critical path), and only ONE value per node crosses the network.  The
+  // host then folds the node values in node order — the same regrouping an
+  // associative operator allows.
+  const std::size_t elemSize = input.elemSize();
+  struct NodeGroup {
+    int node = 0;
+    std::size_t firstPending = 0;    ///< index into `pending`
+    std::size_t memberCount = 0;
+    std::size_t totalPartials = 0;
+    std::size_t combineChunk = 0;    ///< pass-1 elements per work-item
+    std::size_t combineWidth = 0;    ///< pass-1 work-items
+    int leader = 0;                  ///< first pending device of the node
+    std::size_t gatherOffset = 0;    ///< byte offset into `gathered`
+    std::unique_ptr<ocl::Buffer> nodeBuf;     ///< concatenated member partials
+    std::unique_ptr<ocl::Buffer> nodeScratch; ///< pass-1 partials on the leader
+    std::unique_ptr<ocl::Buffer> nodeResult;  ///< one combined element
+  };
+  std::vector<NodeGroup> groups;
+  {
+    const std::vector<int>& nodeOf = sess.deviceNodes();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const int node = nodeOf[(std::size_t)pending[i].device];
+      if (groups.empty() || groups.back().node != node) {
+        NodeGroup ng;
+        ng.node = node;
+        ng.firstPending = i;
+        ng.leader = pending[i].device;
+        ng.gatherOffset = groups.size() * elemSize;
+        groups.push_back(std::move(ng));
+      }
+      groups.back().memberCount++;
+      groups.back().totalPartials += pending[i].numPartials;
+    }
+  }
+  const bool tree = treeCollectivesEnabled(sess) && groups.size() > 1;
+
+  std::vector<std::byte> gathered(tree ? groups.size() * elemSize : gatheredBytes);
   std::vector<ExecGraph::NodeId> gatherNodes;
-  for (Pending& p : pending) {
-    gatherNodes.push_back(g.add(
-        StageKind::Download, p.device, "reduce gather dev" + std::to_string(p.device),
-        [&, &p = p](std::span<const ocl::Event> deps) {
-          return sess.queue(p.device).enqueueReadBuffer(
-              *p.partials, 0, p.numPartials * input.elemSize(),
-              gathered.data() + p.gatherOffset, /*blocking=*/false, deps);
-        },
-        {p.kernelNode}));
+  if (tree) {
+    for (NodeGroup& ng : groups) {
+      const auto cores = static_cast<std::size_t>(sess.device(ng.leader).spec().cores);
+      ng.combineWidth = std::min(cores, ng.totalPartials);
+      ng.combineChunk = (ng.totalPartials + ng.combineWidth - 1) / ng.combineWidth;
+      ng.combineWidth = (ng.totalPartials + ng.combineChunk - 1) / ng.combineChunk;
+      ng.nodeBuf = std::make_unique<ocl::Buffer>(sess.context(), sess.device(ng.leader),
+                                                 ng.totalPartials * elemSize);
+      ng.nodeScratch = std::make_unique<ocl::Buffer>(sess.context(), sess.device(ng.leader),
+                                                     ng.combineWidth * elemSize);
+      ng.nodeResult =
+          std::make_unique<ocl::Buffer>(sess.context(), sess.device(ng.leader), elemSize);
+    }
+    for (NodeGroup& ng : groups) {
+      // Node-local combine: member partials -> leader (PCIe only, no NIC).
+      std::vector<ExecGraph::NodeId> copies;
+      std::size_t dstOffset = 0;
+      for (std::size_t m = ng.firstPending; m < ng.firstPending + ng.memberCount; ++m) {
+        Pending& p = pending[m];
+        const std::size_t bytes = p.numPartials * elemSize;
+        copies.push_back(g.add(
+            StageKind::Copy, ng.leader,
+            "reduce node" + std::to_string(ng.node) + " gather dev" +
+                std::to_string(p.device),
+            [&, &p = p, &ng = ng, dstOffset](std::span<const ocl::Event> deps) {
+              return sess.queue(ng.leader).enqueueCopyBuffer(
+                  *p.partials, *ng.nodeBuf, 0, dstOffset, p.numPartials * elemSize, deps);
+            },
+            {p.kernelNode}));
+        dstOffset += bytes;
+      }
+      const ExecGraph::NodeId combine1 = g.add(
+          StageKind::Kernel, ng.leader,
+          "reduce node" + std::to_string(ng.node) + " combine1",
+          [&, &ng = ng](std::span<const ocl::Event> deps) {
+            // Wide pass: each work-item folds a contiguous chunk of the
+            // node's partials (global device order preserved within chunks).
+            kernel.setArg(0, *ng.nodeBuf);
+            kernel.setArg(1, *ng.nodeScratch);
+            kernel.setArg(2, static_cast<std::int32_t>(ng.totalPartials));
+            kernel.setArg(3, static_cast<std::int32_t>(ng.combineChunk));
+            bindExtras(sess, kernel, 4, extras, ng.leader);
+            return sess.queue(ng.leader).enqueueNDRangeKernel(kernel, ng.combineWidth, 0,
+                                                              deps);
+          },
+          copies);
+      const ExecGraph::NodeId combine = g.add(
+          StageKind::Kernel, ng.leader,
+          "reduce node" + std::to_string(ng.node) + " combine2",
+          [&, &ng = ng](std::span<const ocl::Event> deps) {
+            // Serial pass: one work-item folds the pass-1 partials in order,
+            // so the node result is a left fold of chunked left folds — the
+            // grouping any associative operator allows.
+            kernel.setArg(0, *ng.nodeScratch);
+            kernel.setArg(1, *ng.nodeResult);
+            kernel.setArg(2, static_cast<std::int32_t>(ng.combineWidth));
+            kernel.setArg(3, static_cast<std::int32_t>(ng.combineWidth));
+            bindExtras(sess, kernel, 4, extras, ng.leader);
+            return sess.queue(ng.leader).enqueueNDRangeKernel(kernel, 1, 0, deps);
+          },
+          {combine1});
+      gatherNodes.push_back(g.add(
+          StageKind::Download, ng.leader,
+          "reduce node" + std::to_string(ng.node) + " download",
+          [&, &ng = ng](std::span<const ocl::Event> deps) {
+            return sess.queue(ng.leader).enqueueReadBuffer(
+                *ng.nodeResult, 0, elemSize, gathered.data() + ng.gatherOffset,
+                /*blocking=*/false, deps);
+          },
+          {combine}));
+    }
+  } else {
+    for (Pending& p : pending) {
+      gatherNodes.push_back(g.add(
+          StageKind::Download, p.device, "reduce gather dev" + std::to_string(p.device),
+          [&, &p = p](std::span<const ocl::Event> deps) {
+            return sess.queue(p.device).enqueueReadBuffer(
+                *p.partials, 0, p.numPartials * input.elemSize(),
+                gathered.data() + p.gatherOffset, /*blocking=*/false, deps);
+          },
+          {p.kernelNode}));
+    }
   }
 
   // Step 3: the CPU folds the intermediate results (order preserved, so a
@@ -660,18 +791,100 @@ void runScanOnce(Session& sess, const std::string& userSource, VectorData& input
         {}, inputDeps(dev, &input, nullptr, {}));
   }
 
-  // Step 2: download every device's block sums (overlapping reads).
+  // Two-level (cluster) shape: block sums are concatenated on a per-node
+  // leader device and cross the network as ONE download per node; offsets
+  // come back as ONE upload per node and fan out to the members over the
+  // node-internal PCIe links.  The host-side offset computation reads and
+  // writes the same per-device arrays in the same order either way, so the
+  // scan result is bit-identical to the flat shape for every operator.
+  struct ScanNode {
+    int node = 0;
+    std::size_t firstDev = 0;     ///< index into `devs`
+    std::size_t devCount = 0;
+    std::size_t totalChunks = 0;
+    int leader = 0;
+    std::unique_ptr<ocl::Buffer> nodeSums;     ///< concatenated member sums
+    std::unique_ptr<ocl::Buffer> nodeOffsets;  ///< concatenated member offsets
+    std::vector<std::byte> staging;            ///< host copy of the concatenation
+  };
+  std::vector<ScanNode> scanNodes;
+  {
+    const std::vector<int>& nodeOf = sess.deviceNodes();
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+      const int node = nodeOf[(std::size_t)devs[i].range.device];
+      if (scanNodes.empty() || scanNodes.back().node != node) {
+        ScanNode sn;
+        sn.node = node;
+        sn.firstDev = i;
+        sn.leader = devs[i].range.device;
+        scanNodes.push_back(std::move(sn));
+      }
+      scanNodes.back().devCount++;
+      scanNodes.back().totalChunks += devs[i].numChunks;
+    }
+  }
+  const bool tree = treeCollectivesEnabled(sess) && scanNodes.size() > 1;
+  if (tree) {
+    for (ScanNode& sn : scanNodes) {
+      sn.nodeSums = std::make_unique<ocl::Buffer>(sess.context(), sess.device(sn.leader),
+                                                  sn.totalChunks * elem);
+      sn.nodeOffsets = std::make_unique<ocl::Buffer>(
+          sess.context(), sess.device(sn.leader), sn.totalChunks * elem);
+      sn.staging.resize(sn.totalChunks * elem);
+    }
+  }
+
+  // Step 2: download every device's block sums (overlapping reads), or — on
+  // a cluster — gather them node-locally and download once per node.
   std::vector<ExecGraph::NodeId> sumReads;
-  for (DeviceScan& d : devs) {
-    const int dev = d.range.device;
-    sumReads.push_back(g.add(
-        StageKind::Download, dev, "scan sums dev" + std::to_string(dev),
-        [&, &d = d, dev](std::span<const ocl::Event> deps) {
-          return sess.queue(dev).enqueueReadBuffer(*d.sums, 0, d.hostSums.size(),
-                                                   d.hostSums.data(), /*blocking=*/false,
-                                                   deps);
-        },
-        {d.step1}));
+  if (tree) {
+    for (ScanNode& sn : scanNodes) {
+      std::vector<ExecGraph::NodeId> copies;
+      std::size_t dstOffset = 0;
+      for (std::size_t m = sn.firstDev; m < sn.firstDev + sn.devCount; ++m) {
+        DeviceScan& d = devs[m];
+        copies.push_back(g.add(
+            StageKind::Copy, sn.leader,
+            "scan node" + std::to_string(sn.node) + " sums dev" +
+                std::to_string(d.range.device),
+            [&, &d = d, &sn = sn, dstOffset](std::span<const ocl::Event> deps) {
+              return sess.queue(sn.leader).enqueueCopyBuffer(
+                  *d.sums, *sn.nodeSums, 0, dstOffset, d.hostSums.size(), deps);
+            },
+            {d.step1}));
+        dstOffset += d.hostSums.size();
+      }
+      sumReads.push_back(g.add(
+          StageKind::Download, sn.leader,
+          "scan node" + std::to_string(sn.node) + " sums download",
+          [&, &sn = sn](std::span<const ocl::Event> deps) {
+            const ocl::Event ev = sess.queue(sn.leader).enqueueReadBuffer(
+                *sn.nodeSums, 0, sn.staging.size(), sn.staging.data(),
+                /*blocking=*/false, deps);
+            // Split the concatenation back into the per-device arrays the
+            // host offsets stage reads (data effects are eager).
+            std::size_t off = 0;
+            for (std::size_t m = sn.firstDev; m < sn.firstDev + sn.devCount; ++m) {
+              std::memcpy(devs[m].hostSums.data(), sn.staging.data() + off,
+                          devs[m].hostSums.size());
+              off += devs[m].hostSums.size();
+            }
+            return ev;
+          },
+          copies));
+    }
+  } else {
+    for (DeviceScan& d : devs) {
+      const int dev = d.range.device;
+      sumReads.push_back(g.add(
+          StageKind::Download, dev, "scan sums dev" + std::to_string(dev),
+          [&, &d = d, dev](std::span<const ocl::Event> deps) {
+            return sess.queue(dev).enqueueReadBuffer(*d.sums, 0, d.hostSums.size(),
+                                                     d.hostSums.data(), /*blocking=*/false,
+                                                     deps);
+          },
+          {d.step1}));
+    }
   }
 
   // Step 3: one host stage computes the combined offsets of every device:
@@ -734,31 +947,80 @@ void runScanOnce(Session& sess, const std::string& userSource, VectorData& input
       sumReads);
 
   // Step 4: upload the offsets and run the implicitly created map on every
-  // device (paper Figure 2, bottom).
+  // device (paper Figure 2, bottom).  On a cluster the offsets cross the
+  // network once per node (to the leader) and fan out over PCIe.
   std::vector<std::pair<int, ExecGraph::NodeId>> step4;
-  for (DeviceScan& d : devs) {
-    const int dev = d.range.device;
-    const ExecGraph::NodeId up = g.add(
-        StageKind::Upload, dev, "scan offsets dev" + std::to_string(dev),
-        [&, &d = d, dev](std::span<const ocl::Event> deps) {
-          return sess.queue(dev).enqueueWriteBuffer(*d.offsets, 0, d.hostOffsets.size(),
-                                                    d.hostOffsets.data(), /*blocking=*/false,
-                                                    deps);
-        },
-        {offsetsNode});
-    step4.emplace_back(dev, g.add(
-        StageKind::Kernel, dev, "scan step2 dev" + std::to_string(dev),
-        [&, &d = d, dev](std::span<const ocl::Event> deps) {
-          const VectorData::DevicePart* outPart =
-              inPlace ? input.partOn(dev) : output.partOn(dev);
-          scanAdd.setArg(0, *outPart->buffer);
-          scanAdd.setArg(1, *d.offsets);
-          scanAdd.setArg(2, static_cast<std::int32_t>(d.chunk));
-          scanAdd.setArg(3, static_cast<std::int32_t>(d.range.size));
-          scanAdd.setArg(4, static_cast<std::int32_t>(d.skipFirst ? 1 : 0));
-          return sess.queue(dev).enqueueNDRangeKernel(scanAdd, d.numChunks, 0, deps);
-        },
-        {up, d.step1}));
+  if (tree) {
+    for (ScanNode& sn : scanNodes) {
+      const ExecGraph::NodeId up = g.add(
+          StageKind::Upload, sn.leader,
+          "scan node" + std::to_string(sn.node) + " offsets upload",
+          [&, &sn = sn](std::span<const ocl::Event> deps) {
+            std::size_t off = 0;
+            for (std::size_t m = sn.firstDev; m < sn.firstDev + sn.devCount; ++m) {
+              std::memcpy(sn.staging.data() + off, devs[m].hostOffsets.data(),
+                          devs[m].hostOffsets.size());
+              off += devs[m].hostOffsets.size();
+            }
+            return sess.queue(sn.leader).enqueueWriteBuffer(
+                *sn.nodeOffsets, 0, sn.staging.size(), sn.staging.data(),
+                /*blocking=*/false, deps);
+          },
+          {offsetsNode});
+      std::size_t srcOffset = 0;
+      for (std::size_t m = sn.firstDev; m < sn.firstDev + sn.devCount; ++m) {
+        DeviceScan& d = devs[m];
+        const int dev = d.range.device;
+        const ExecGraph::NodeId scatter = g.add(
+            StageKind::Copy, dev,
+            "scan node" + std::to_string(sn.node) + " offsets dev" + std::to_string(dev),
+            [&, &d = d, &sn = sn, dev, srcOffset](std::span<const ocl::Event> deps) {
+              return sess.queue(dev).enqueueCopyBuffer(*sn.nodeOffsets, *d.offsets,
+                                                       srcOffset, 0, d.hostOffsets.size(),
+                                                       deps);
+            },
+            {up});
+        srcOffset += d.hostOffsets.size();
+        step4.emplace_back(dev, g.add(
+            StageKind::Kernel, dev, "scan step2 dev" + std::to_string(dev),
+            [&, &d = d, dev](std::span<const ocl::Event> deps) {
+              const VectorData::DevicePart* outPart =
+                  inPlace ? input.partOn(dev) : output.partOn(dev);
+              scanAdd.setArg(0, *outPart->buffer);
+              scanAdd.setArg(1, *d.offsets);
+              scanAdd.setArg(2, static_cast<std::int32_t>(d.chunk));
+              scanAdd.setArg(3, static_cast<std::int32_t>(d.range.size));
+              scanAdd.setArg(4, static_cast<std::int32_t>(d.skipFirst ? 1 : 0));
+              return sess.queue(dev).enqueueNDRangeKernel(scanAdd, d.numChunks, 0, deps);
+            },
+            {scatter, d.step1}));
+      }
+    }
+  } else {
+    for (DeviceScan& d : devs) {
+      const int dev = d.range.device;
+      const ExecGraph::NodeId up = g.add(
+          StageKind::Upload, dev, "scan offsets dev" + std::to_string(dev),
+          [&, &d = d, dev](std::span<const ocl::Event> deps) {
+            return sess.queue(dev).enqueueWriteBuffer(*d.offsets, 0, d.hostOffsets.size(),
+                                                      d.hostOffsets.data(), /*blocking=*/false,
+                                                      deps);
+          },
+          {offsetsNode});
+      step4.emplace_back(dev, g.add(
+          StageKind::Kernel, dev, "scan step2 dev" + std::to_string(dev),
+          [&, &d = d, dev](std::span<const ocl::Event> deps) {
+            const VectorData::DevicePart* outPart =
+                inPlace ? input.partOn(dev) : output.partOn(dev);
+            scanAdd.setArg(0, *outPart->buffer);
+            scanAdd.setArg(1, *d.offsets);
+            scanAdd.setArg(2, static_cast<std::int32_t>(d.chunk));
+            scanAdd.setArg(3, static_cast<std::int32_t>(d.range.size));
+            scanAdd.setArg(4, static_cast<std::int32_t>(d.skipFirst ? 1 : 0));
+            return sess.queue(dev).enqueueNDRangeKernel(scanAdd, d.numChunks, 0, deps);
+          },
+          {up, d.step1}));
+    }
   }
 
   g.run();
@@ -982,7 +1244,7 @@ void runFusedChainOnce(Session& sess, VectorData& input, const std::string& inTy
   auto program = sess.programForSource(source);
   ocl::Kernel kernel(*program, "skelcl_fused");
 
-  const auto ranges = sess.effectiveDistribution(dist).partition(n, sess.aliveDevices());
+  const auto ranges = sess.partition(dist, n);
   ExecGraph g(sess);
   std::vector<std::pair<int, ExecGraph::NodeId>> launches;
   const std::string label = "fused x" + std::to_string(stages.size());

@@ -29,6 +29,7 @@ void queueCommandHook(const ocl::CommandInfo& info, const ocl::Event& event) {
   Record r;
   r.kind = event.failed() ? Record::Kind::Fault : kindOf(info.kind);
   r.device = info.device;
+  r.node = info.node;
   r.bytes = info.bytes;
   r.workItems = info.workItems;
   r.start = event.profilingStart();
@@ -194,11 +195,15 @@ bool Tracer::writeChromeTrace(const std::string& path) const {
   // per device plus the host CPU lane.
   std::set<int> pids;
   std::set<std::pair<int, int>> lanes;  // (session, tid)
+  std::map<int, int> nodeOf;            // device -> cluster node (from records)
   for (const Record& r : records) {
     pids.insert(r.session);
     lanes.emplace(r.session, r.device < 0 ? kHostTid : r.device);
+    if (r.device >= 0) nodeOf[r.device] = r.node;
   }
   if (pids.empty()) pids.insert(0);
+  bool clustered = false;
+  for (const auto& [dev, node] : nodeOf) clustered = clustered || node != 0;
 
   std::string json = "{\"traceEvents\":[\n";
   bool first = true;
@@ -221,7 +226,17 @@ bool Tracer::writeChromeTrace(const std::string& path) const {
     json += ",\n{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
             ",\"tid\":" + std::to_string(tid) +
             ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
-    json += tid == kHostTid ? "host CPU" : ("GPU " + std::to_string(tid));
+    if (tid == kHostTid) {
+      json += "host CPU";
+    } else {
+      json += "GPU " + std::to_string(tid);
+      // Node-tagged lane names make the tree shape of cluster collectives
+      // visible at a glance (which lanes share a NIC).
+      if (clustered) {
+        auto nit = nodeOf.find(tid);
+        json += " (node " + std::to_string(nit != nodeOf.end() ? nit->second : 0) + ")";
+      }
+    }
     json += "\"}}";
   }
   char buf[64];
@@ -238,7 +253,8 @@ bool Tracer::writeChromeTrace(const std::string& path) const {
                   (r.end - r.start) * 1e6);
     json += buf;
     json += ",\"args\":{\"bytes\":" + std::to_string(r.bytes) +
-            ",\"workItems\":" + std::to_string(r.workItems) + "}}";
+            ",\"workItems\":" + std::to_string(r.workItems) +
+            ",\"node\":" + std::to_string(r.node) + "}}";
   }
   json += "\n]}\n";
 

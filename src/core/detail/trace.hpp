@@ -37,6 +37,7 @@ struct Record {
   };
   Kind kind = Kind::Kernel;
   int device = -1;              ///< device id; -1 = host CPU
+  int node = 0;                 ///< cluster node of the device (docl); 0 = client/local
   int session = 0;              ///< tenant session id (0 = default session)
   std::uint64_t bytes = 0;      ///< transfer/fill size (0 for kernels)
   std::uint64_t workItems = 0;  ///< kernel global size (0 for transfers)

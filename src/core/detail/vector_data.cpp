@@ -23,7 +23,7 @@ const std::vector<PartRange>& VectorData::plannedPartition(Session& session) {
   // so the cache is keyed on the session id as well as its epoch.
   if (!planned_valid_ || planned_session_ != session.id() ||
       planned_epoch_ != session.partitionEpoch()) {
-    planned_ = session.effectiveDistribution(requested_).partition(count_, session.aliveDevices());
+    planned_ = session.partition(requested_, count_);
     planned_valid_ = true;
     planned_session_ = session.id();
     planned_epoch_ = session.partitionEpoch();
@@ -156,10 +156,38 @@ void VectorData::materializeParts(Session& session, bool upload) {
     // different PCIe links overlap in simulated time, and nothing blocks the
     // host.  Consumers order themselves after lastWrite (or, on the same
     // device, after the in-order queue).
+    //
+    // Copy distributions on a multi-node (docl) system broadcast as a tree:
+    // the full vector crosses the network once per node — to the node's
+    // first part device — and the node's remaining replicas are filled by
+    // server-local peer copies instead of per-device client uploads.
+    const bool treeBroadcast = session.multiNode() &&
+                               requested_.kind() == Distribution::Kind::Copy &&
+                               count_ > 0;
+    const std::vector<int>& nodeOf = session.deviceNodes();
     ExecGraph g(session);
     std::vector<std::pair<DevicePart*, ExecGraph::NodeId>> uploads;
+    DevicePart* leader = nullptr;         // current node's first part
+    ExecGraph::NodeId leaderId{};
+    int leaderNode = -1;
     for (DevicePart& part : parts_) {
       if (part.size == 0) continue;
+      const int node = nodeOf[static_cast<std::size_t>(part.device)];
+      if (treeBroadcast && leader != nullptr && node == leaderNode) {
+        DevicePart* src = leader;
+        const ExecGraph::NodeId id = g.add(
+            StageKind::Copy, part.device,
+            "broadcast dev" + std::to_string(src->device) + "->dev" +
+                std::to_string(part.device),
+            [this, &session, src, &part](std::span<const ocl::Event> deps) {
+              return session.queue(part.device)
+                  .enqueueCopyBuffer(*src->buffer, *part.buffer, 0, 0,
+                                     part.size * elem_size_, deps);
+            },
+            {leaderId});
+        uploads.emplace_back(&part, id);
+        continue;
+      }
       const ExecGraph::NodeId id = g.add(
           StageKind::Upload, part.device, "upload dev" + std::to_string(part.device),
           [this, &session, &part](std::span<const ocl::Event> deps) {
@@ -169,6 +197,9 @@ void VectorData::materializeParts(Session& session, bool upload) {
                                     /*blocking=*/false, deps);
           });
       uploads.emplace_back(&part, id);
+      leader = &part;
+      leaderId = id;
+      leaderNode = node;
     }
     g.run();
     for (const auto& [part, id] : uploads) part->lastWrite = g.event(id);

@@ -8,6 +8,50 @@
 
 namespace skelcl {
 
+namespace {
+
+// Largest-remainder apportionment.  The remainder rule, explicitly: every
+// share starts from floor(count * w/total); the elements left over (always
+// < shares) go one each to the largest fractional remainders, ties broken by
+// lower position.  The result is proportional, deterministic, and sums
+// exactly to count.  Shared by the flat per-device split and both levels of
+// the node-aware split, so the two agree on rounding by construction.
+std::vector<std::size_t> apportion(std::size_t count, const std::vector<double>& w) {
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  SKELCL_CHECK(total > 0.0,
+               "all remaining devices have zero block weight; nothing can hold the data");
+  std::vector<std::size_t> sizes(w.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t d = 0; d < w.size(); ++d) {
+    const double exact = static_cast<double>(count) * w[d] / total;
+    sizes[d] = static_cast<std::size_t>(exact);
+    assigned += sizes[d];
+    remainders.emplace_back(exact - std::floor(exact), d);
+  }
+  std::sort(remainders.begin(), remainders.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  // count*w/total can round *up* past the true share, so the floor sum may
+  // exceed count for extreme counts/weights; take the excess back from the
+  // smallest-remainder entries (the ones rounded up furthest).
+  for (std::size_t i = remainders.size(); assigned > count;) {
+    i = i == 0 ? remainders.size() - 1 : i - 1;
+    std::size_t& s = sizes[remainders[i].second];
+    if (s > 0) {
+      --s;
+      --assigned;
+    }
+  }
+  for (std::size_t i = 0; assigned < count; ++i, ++assigned) {
+    sizes[remainders[i % remainders.size()].second] += 1;
+  }
+  return sizes;
+}
+
+}  // namespace
+
 Distribution Distribution::single(int device) {
   Distribution d;
   d.kind_ = Kind::Single;
@@ -94,42 +138,7 @@ std::vector<PartRange> Distribution::partition(std::size_t count,
                          std::to_string(*std::max_element(devices.begin(), devices.end())) + ")");
         for (const int d : devices) w.push_back(weights_[static_cast<std::size_t>(d)]);
       }
-      const double total = std::accumulate(w.begin(), w.end(), 0.0);
-      SKELCL_CHECK(total > 0.0,
-                   "all remaining devices have zero block weight; nothing can hold the data");
-
-      // Largest-remainder apportionment.  The remainder rule, explicitly:
-      // every device starts from floor(count * w/total); the elements left
-      // over (always < deviceCount) go one each to the devices with the
-      // largest fractional remainder, ties broken by lower device position.
-      // The result is proportional, deterministic, and sums exactly to count.
-      std::vector<std::size_t> sizes(w.size(), 0);
-      std::vector<std::pair<double, std::size_t>> remainders;
-      std::size_t assigned = 0;
-      for (std::size_t d = 0; d < w.size(); ++d) {
-        const double exact = static_cast<double>(count) * w[d] / total;
-        sizes[d] = static_cast<std::size_t>(exact);
-        assigned += sizes[d];
-        remainders.emplace_back(exact - std::floor(exact), d);
-      }
-      std::sort(remainders.begin(), remainders.end(), [](const auto& a, const auto& b) {
-        if (a.first != b.first) return a.first > b.first;
-        return a.second < b.second;
-      });
-      // count*w/total can round *up* past the true share, so the floor sum
-      // may exceed count for extreme counts/weights; take the excess back
-      // from the smallest-remainder devices (the ones rounded up furthest).
-      for (std::size_t i = remainders.size(); assigned > count;) {
-        i = i == 0 ? remainders.size() - 1 : i - 1;
-        std::size_t& s = sizes[remainders[i].second];
-        if (s > 0) {
-          --s;
-          --assigned;
-        }
-      }
-      for (std::size_t i = 0; assigned < count; ++i, ++assigned) {
-        sizes[remainders[i % remainders.size()].second] += 1;
-      }
+      const std::vector<std::size_t> sizes = apportion(count, w);
 
       // A device whose share rounds to zero gets *no* part — uniformly, not
       // just for explicit zero weights.  With count < deviceCount (tiny
@@ -153,6 +162,75 @@ std::vector<PartRange> Distribution::partition(std::size_t count,
       }
       return parts;
     }
+  }
+  return parts;
+}
+
+std::vector<PartRange> Distribution::partition(std::size_t count,
+                                               const std::vector<int>& devices,
+                                               const std::vector<int>& nodeOf) const {
+  SKELCL_CHECK(!devices.empty(), "no devices");
+  if (kind_ != Kind::Block) return partition(count, devices);
+
+  // Per-device weights, exactly as in the flat overload.
+  std::vector<double> w;
+  if (weights_.empty()) {
+    w.assign(devices.size(), 1.0);
+  } else {
+    SKELCL_CHECK(weights_.size() > static_cast<std::size_t>(
+                                       *std::max_element(devices.begin(), devices.end())),
+                 "block weights must cover every device id (" +
+                     std::to_string(weights_.size()) + " weights, device ids up to " +
+                     std::to_string(*std::max_element(devices.begin(), devices.end())) + ")");
+    for (const int d : devices) w.push_back(weights_[static_cast<std::size_t>(d)]);
+  }
+
+  // Group the (ordered) devices into runs of one node each.  Flattened docl
+  // configs list each node's devices consecutively; the alive subset keeps
+  // that order, so runs are exactly the surviving per-node groups.
+  struct Group {
+    std::size_t first = 0;  ///< index into `devices`
+    std::size_t size = 0;
+    double weight = 0.0;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const int d = devices[i];
+    SKELCL_CHECK(static_cast<std::size_t>(d) < nodeOf.size(),
+                 "node map must cover every device id");
+    const bool newGroup =
+        groups.empty() ||
+        nodeOf[static_cast<std::size_t>(d)] !=
+            nodeOf[static_cast<std::size_t>(devices[groups.back().first])];
+    if (newGroup) groups.push_back(Group{i, 0, 0.0});
+    groups.back().size += 1;
+    groups.back().weight += w[i];
+  }
+
+  // Level 1: apportion the vector across nodes; level 2: each node's share
+  // across its member devices.  Same rounding rule at both levels.
+  std::vector<double> nodeWeights;
+  for (const Group& g : groups) nodeWeights.push_back(g.weight);
+  const std::vector<std::size_t> nodeShares = apportion(count, nodeWeights);
+
+  std::vector<PartRange> parts;
+  std::size_t offset = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (nodeShares[g] == 0) continue;
+    std::vector<double> memberW(w.begin() + static_cast<std::ptrdiff_t>(groups[g].first),
+                                w.begin() + static_cast<std::ptrdiff_t>(groups[g].first +
+                                                                        groups[g].size));
+    const std::vector<std::size_t> memberSizes = apportion(nodeShares[g], memberW);
+    for (std::size_t i = 0; i < memberSizes.size(); ++i) {
+      if (memberSizes[i] == 0) continue;
+      parts.push_back(PartRange{devices[groups[g].first + i], offset, memberSizes[i]});
+      offset += memberSizes[i];
+    }
+  }
+  SKELCL_CHECK(offset == count, "node-aware partition does not cover the vector");
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    SKELCL_CHECK(parts[i].offset == parts[i - 1].offset + parts[i - 1].size,
+                 "node-aware partition produced non-contiguous parts");
   }
   return parts;
 }

@@ -65,6 +65,17 @@ class Distribution {
   /// onto every listed device.
   std::vector<PartRange> partition(std::size_t count, const std::vector<int>& devices) const;
 
+  /// Node-aware block partition for clustered (docl) systems: apportion
+  /// `count` first across nodes — a node's share is the sum of its member
+  /// devices' weights — then within each node across its members, both by
+  /// largest remainder.  Part boundaries then align with node boundaries, so
+  /// halo/combine traffic between neighbouring parts prefers intra-node
+  /// paths.  `nodeOf` maps absolute device id -> node id; each node's
+  /// devices must be consecutive in `devices` (true for flattened docl
+  /// configs).  Single and Copy delegate to the flat overload.
+  std::vector<PartRange> partition(std::size_t count, const std::vector<int>& devices,
+                                   const std::vector<int>& nodeOf) const;
+
   /// Structural equality relevant for skeleton-input compatibility: kind,
   /// single-device id, block weights, and copy combine source.
   friend bool operator==(const Distribution& a, const Distribution& b);

@@ -16,6 +16,11 @@ sim::SystemConfig flatten(const DistributedConfig& config) {
     for (sim::DeviceSpec device : server.devices) {
       device.name = "node" + std::to_string(node) + "/" + device.name;
       if (device.pcie_link >= 0) device.pcie_link += linkBase;
+      // Topology survives the flattening: the node id and the server's NIC
+      // let the runtime route intra-node traffic locally and make collectives
+      // cross the network once per node instead of once per device.
+      device.node = static_cast<int>(node);
+      device.nic_link = static_cast<int>(node);
       flat.devices.push_back(std::move(device));
     }
     for (sim::LinkSpec link : server.links) {
@@ -23,6 +28,11 @@ sim::SystemConfig flatten(const DistributedConfig& config) {
       flat.links.push_back(std::move(link));
     }
     linkBase += static_cast<int>(server.links.size());
+    sim::LinkSpec nic;
+    nic.name = "node" + std::to_string(node) + "/nic";
+    nic.bandwidth_gbs = config.network.bandwidth_gbs;
+    nic.latency_us = config.network.latency_us;
+    flat.nics.push_back(std::move(nic));
   }
   // The client's own memory system: a plain desktop.
   flat.host_mem_bandwidth_gbs = 8.0;
@@ -38,9 +48,11 @@ void applyNetworkModel(sim::System& system, const DistributedConfig& config) {
 }
 
 void initSkelCL(const DistributedConfig& config) {
+  // flatten() carries the network topology (per-node NICs) into the system
+  // config, so the legacy flat applyNetworkModel() pass is no longer needed —
+  // calling both would charge the network twice.
   init(flatten(config));
   auto& system = detail::currentSession().system();
-  applyNetworkModel(system, config);
   sim::FaultPlan plan = networkFaultPlan(config);
   if (!plan.empty()) {
     // An unreliable network coexists with externally requested faults; the
@@ -64,8 +76,14 @@ sim::FaultPlan networkFaultPlan(const DistributedConfig& config) {
   int device = 0;
   for (const sim::SystemConfig& server : config.servers) {
     for (std::size_t d = 0; d < server.devices.size(); ++d) {
+      // Each device's drop stream gets its own seed (splitmix-style mix of
+      // the plan seed and the device id): a shared stream would correlate
+      // "independent" drops across devices through command interleaving.
+      const std::uint64_t seed =
+          config.network.fault_seed ^
+          (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(device + 1));
       plan.dropNetworkRandomly(device++, config.network.drop_rate,
-                               config.network.timeout_us * 1e-6);
+                               config.network.timeout_us * 1e-6, seed);
     }
   }
   return plan;
@@ -82,10 +100,26 @@ std::pair<int, int> serverDeviceRange(const DistributedConfig& config, std::size
   return {first, first + count - 1};
 }
 
+std::vector<int> serverDevices(const DistributedConfig& config, std::size_t node) {
+  const auto [first, last] = serverDeviceRange(config, node);
+  std::vector<int> out;
+  for (int d = first; d <= last; ++d) out.push_back(d);
+  return out;
+}
+
+std::vector<int> aliveServerDevices(const DistributedConfig& config, std::size_t node,
+                                    const std::vector<int>& alive) {
+  const auto [first, last] = serverDeviceRange(config, node);
+  std::vector<int> out;
+  for (int d : alive) {
+    if (d >= first && d <= last) out.push_back(d);
+  }
+  return out;
+}
+
 void killServer(sim::FaultPlan& plan, const DistributedConfig& config, std::size_t node,
                 int afterCommands) {
-  const auto [first, last] = serverDeviceRange(config, node);
-  for (int d = first; d <= last; ++d) plan.killAfterCommands(d, afterCommands);
+  for (int d : serverDevices(config, node)) plan.killAfterCommands(d, afterCommands);
 }
 
 }  // namespace skelcl::docl

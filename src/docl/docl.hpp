@@ -43,11 +43,16 @@ struct DistributedConfig {
 
 /// Flatten all server devices into one platform configuration, as dOpenCL
 /// presents them to the application.  Device names are prefixed with their
-/// node ("node0/Tesla T10 #1"); PCIe link indices are remapped.
+/// node ("node0/Tesla T10 #1"); PCIe link indices are remapped.  Topology
+/// survives the flattening: every device keeps its node id and a per-node
+/// NIC link (from `network`), so remote transfers contend on the shared
+/// client NIC and intra-node traffic stays off the network entirely
+/// (docs/CLUSTER.md).
 sim::SystemConfig flatten(const DistributedConfig& config);
 
-/// Charge the network model on every device of `system` (call right after
-/// constructing the platform/runtime over flatten()'s result).
+/// Legacy flat network model: charge every device the same client<->server
+/// cost via setDeviceExtraLatency.  Superseded by the NIC topology flatten()
+/// now embeds — do not combine the two on one system (double charge).
 void applyNetworkModel(sim::System& system, const DistributedConfig& config);
 
 /// Convenience: initialize the SkelCL runtime over the distributed system.
@@ -63,8 +68,19 @@ DistributedConfig laboratorySetup();
 /// installs it automatically, merged with any SKELCL_FAULTS spec.
 sim::FaultPlan networkFaultPlan(const DistributedConfig& config);
 
-/// [first, last] flattened device ids contributed by server `node`.
+/// [first, last] flattened device ids contributed by server `node`.  A
+/// static property of the config: ids of blacklisted devices stay inside
+/// the range.  Use aliveServerDevices() for the current membership.
 std::pair<int, int> serverDeviceRange(const DistributedConfig& config, std::size_t node);
+
+/// All flattened device ids contributed by server `node`.
+std::vector<int> serverDevices(const DistributedConfig& config, std::size_t node);
+
+/// The subset of `alive` (e.g. Session::aliveDevices()) contributed by
+/// server `node`.  Blacklisting makes the static range stale for scheduling
+/// decisions; this is the helper that stays fresh.
+std::vector<int> aliveServerDevices(const DistributedConfig& config, std::size_t node,
+                                    const std::vector<int>& alive);
 
 /// Model a whole server node going down: every one of its devices dies
 /// permanently after `afterCommands` further commands.  SkelCL blacklists

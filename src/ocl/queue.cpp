@@ -30,6 +30,11 @@ CommandQueue::CommandQueue(Context& context, Device& device, Api api)
   SKELCL_CHECK(context.contains(device), "queue device is not part of the context");
 }
 
+CommandInfo CommandQueue::info(CommandInfo::Kind kind, std::uint64_t bytes,
+                               std::uint64_t workItems, const char* kernelName) const {
+  return {kind, device_->id(), bytes, workItems, kernelName, device_->spec().node};
+}
+
 double CommandQueue::earliestStart(std::span<const Event> deps) const {
   // A command can start once (a) the host has reached the enqueue point,
   // (b) all previous commands of this in-order queue are done, and (c) all
@@ -169,13 +174,13 @@ Event CommandQueue::enqueueWriteBuffer(Buffer& dst, std::uint64_t offset,
   const double earliest = earliestStart(deps);
   const Admission adm = admitCommand(
       sim::CommandClass::Transfer,
-      {CommandInfo::Kind::Write, device_->id(), bytes, 0, nullptr}, earliest);
+      info(CommandInfo::Kind::Write, bytes, 0, nullptr), earliest);
   std::memcpy(dst.data() + offset, src, bytes);
   auto& system = context_->platform().system();
   const auto span = system.reserveTransfer(device_->id(), bytes, earliest, adm.timeScale);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, blocking);
-  reportCommand({CommandInfo::Kind::Write, device_->id(), bytes, 0, nullptr}, event);
+  reportCommand(info(CommandInfo::Kind::Write, bytes, 0, nullptr), event);
   return event;
 }
 
@@ -187,13 +192,13 @@ Event CommandQueue::enqueueReadBuffer(const Buffer& src, std::uint64_t offset,
   const double earliest = earliestStart(deps);
   const Admission adm = admitCommand(
       sim::CommandClass::Transfer,
-      {CommandInfo::Kind::Read, device_->id(), bytes, 0, nullptr}, earliest);
+      info(CommandInfo::Kind::Read, bytes, 0, nullptr), earliest);
   std::memcpy(dst, src.data() + offset, bytes);
   auto& system = context_->platform().system();
   const auto span = system.reserveTransfer(device_->id(), bytes, earliest, adm.timeScale);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, blocking);
-  reportCommand({CommandInfo::Kind::Read, device_->id(), bytes, 0, nullptr}, event);
+  reportCommand(info(CommandInfo::Kind::Read, bytes, 0, nullptr), event);
   return event;
 }
 
@@ -205,7 +210,7 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src, Buffer& dst, std::uint6
   const double earliest = earliestStart(deps);
   const Admission adm = admitCommand(
       sim::CommandClass::Transfer,
-      {CommandInfo::Kind::Copy, device_->id(), bytes, 0, nullptr}, earliest);
+      info(CommandInfo::Kind::Copy, bytes, 0, nullptr), earliest);
   std::memcpy(dst.data() + dstOffset, src.data() + srcOffset, bytes);
 
   auto& system = context_->platform().system();
@@ -223,7 +228,7 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src, Buffer& dst, std::uint6
   }
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
-  reportCommand({CommandInfo::Kind::Copy, device_->id(), bytes, 0, nullptr}, event);
+  reportCommand(info(CommandInfo::Kind::Copy, bytes, 0, nullptr), event);
   return event;
 }
 
@@ -234,7 +239,7 @@ Event CommandQueue::enqueueFillBuffer(Buffer& dst, std::byte value, std::uint64_
   const double earliest = earliestStart(deps);
   const Admission adm = admitCommand(
       sim::CommandClass::Transfer,
-      {CommandInfo::Kind::Fill, device_->id(), bytes, 0, nullptr}, earliest);
+      info(CommandInfo::Kind::Fill, bytes, 0, nullptr), earliest);
   std::memset(dst.data() + offset, std::to_integer<int>(value), bytes);
   // Device-side fill: cheap, bounded by device memory bandwidth (modeled as
   // 20x link rate) plus one launch overhead.
@@ -247,7 +252,7 @@ Event CommandQueue::enqueueFillBuffer(Buffer& dst, std::byte value, std::uint64_
       earliest, adm.timeScale);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
-  reportCommand({CommandInfo::Kind::Fill, device_->id(), bytes, 0, nullptr}, event);
+  reportCommand(info(CommandInfo::Kind::Fill, bytes, 0, nullptr), event);
   return event;
 }
 
@@ -261,7 +266,7 @@ Event CommandQueue::enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSiz
   const double earliest = earliestStart(deps);
   const Admission adm = admitCommand(
       sim::CommandClass::Kernel,
-      {CommandInfo::Kind::Kernel, device_->id(), 0, globalSize, kernel.name().c_str()},
+      info(CommandInfo::Kind::Kernel, 0, globalSize, kernel.name().c_str()),
       earliest);
 
   // Marshal arguments: buffers become VM memory regions, scalars pass through.
@@ -346,7 +351,7 @@ Event CommandQueue::enqueueNDRangeKernel(Kernel& kernel, std::uint64_t globalSiz
                                          adm.timeScale);
   const Event event(span.start, span.end, system.clockEpoch());
   noteCompletion(event, /*blocking=*/false);
-  reportCommand({CommandInfo::Kind::Kernel, device_->id(), 0, globalSize, kernel.name().c_str()},
+  reportCommand(info(CommandInfo::Kind::Kernel, 0, globalSize, kernel.name().c_str()),
                 event);
   return event;
 }

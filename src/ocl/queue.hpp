@@ -51,6 +51,7 @@ struct CommandInfo {
   std::uint64_t bytes = 0;           ///< transfer/fill size (0 for kernels)
   std::uint64_t workItems = 0;       ///< kernel global size (0 for transfers)
   const char* kernelName = nullptr;  ///< kernel launches only
+  int node = 0;                      ///< cluster node of the device (docl)
 };
 
 /// Observability hook, invoked once per enqueued command with its completion
@@ -101,6 +102,9 @@ class CommandQueue {
 
  private:
   double earliestStart(std::span<const Event> deps) const;
+  /// CommandInfo for this queue's device, node id included.
+  CommandInfo info(CommandInfo::Kind kind, std::uint64_t bytes, std::uint64_t workItems,
+                   const char* kernelName) const;
   /// How an admitted command must be executed: injected slowdowns the
   /// watchdog tolerates stretch the timeline reservation by `timeScale`.
   struct Admission {

@@ -20,6 +20,12 @@ double DeviceSpec::instrPerSec(double apiEfficiency, int activeLanes) const {
   return static_cast<double>(lanes) * clock_ghz * 1e9 * ipc * apiEfficiency;
 }
 
+int SystemConfig::nodeCount() const {
+  int maxNode = 0;
+  for (const auto& dev : devices) maxNode = std::max(maxNode, dev.node);
+  return maxNode + 1;
+}
+
 namespace {
 
 DeviceSpec teslaT10(int index) {

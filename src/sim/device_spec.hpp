@@ -33,6 +33,8 @@ struct DeviceSpec {
   double ipc = 1.0;            ///< sustained VM-instructions / cycle / core
   std::uint64_t mem_bytes = 0; ///< dedicated memory capacity
   int pcie_link = -1;          ///< index into SystemConfig::links; -1 = host-integrated
+  int node = 0;                ///< cluster node hosting the device (0 = client machine)
+  int nic_link = -1;           ///< index into SystemConfig::nics; -1 = local device
   double launch_overhead_ocl_us = 12.0;  ///< kernel launch cost via the OpenCL-style API
   double launch_overhead_cuda_us = 8.0;  ///< kernel launch cost via the CUDA-style API
 
@@ -54,8 +56,17 @@ struct SystemConfig {
   std::string name;
   std::vector<DeviceSpec> devices;
   std::vector<LinkSpec> links;
+  /// Per-server-node network interfaces (docl clusters).  A device with
+  /// `nic_link >= 0` sits behind `nics[nic_link]`; all remote traffic
+  /// additionally funnels through the client machine's single NIC.
+  std::vector<LinkSpec> nics;
   double host_mem_bandwidth_gbs = 12.0;  ///< for host-side data staging work
   double host_flops_gps = 9.0;           ///< host scalar compute rate (Gflop/s)
+
+  /// Number of distinct cluster nodes (max device node id + 1; 1 when every
+  /// device is local).
+  int nodeCount() const;
+  bool multiNode() const { return nodeCount() > 1; }
 
   /// The paper's Tesla S1070 testbed restricted to `numGpus` in {1,2,4} GPUs.
   /// Two GPUs share each PCIe link, as on the real S1070.

@@ -67,7 +67,7 @@ FaultPlan& FaultPlan::dropNetwork(int device, int count, double timeoutSeconds) 
 }
 
 FaultPlan& FaultPlan::dropNetworkRandomly(int device, double probability,
-                                          double timeoutSeconds) {
+                                          double timeoutSeconds, std::uint64_t seed) {
   SKELCL_CHECK(probability >= 0.0 && probability <= 1.0, "probability out of range");
   Rule r;
   r.kind = Rule::Kind::Network;
@@ -76,6 +76,7 @@ FaultPlan& FaultPlan::dropNetworkRandomly(int device, double probability,
   r.count = 0;  // probabilistic
   r.probability = probability;
   r.time_s = timeoutSeconds;
+  r.seed = seed;
   rules_.push_back(r);
   return *this;
 }
@@ -346,9 +347,18 @@ FaultPlan FaultPlan::fromEnv() {
 void FaultInjector::install(FaultPlan plan) {
   plan_ = std::move(plan);
   active_ = !plan_.empty();
-  rng_ = Rng(plan_.seed_);
   remaining_.clear();
-  for (const FaultPlan::Rule& r : plan_.rules_) remaining_.push_back(r.count);
+  rule_rngs_.clear();
+  for (std::size_t i = 0; i < plan_.rules_.size(); ++i) {
+    const FaultPlan::Rule& r = plan_.rules_[i];
+    remaining_.push_back(r.count);
+    // Every probabilistic rule draws from its own stream: a shared stream
+    // would make "independent" drops on different devices correlated through
+    // the interleaving of their command streams.
+    rule_rngs_.emplace_back(r.seed != 0
+                                ? r.seed
+                                : plan_.seed_ ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+  }
   counts_.clear();
   dead_.clear();
 }
@@ -427,7 +437,7 @@ FaultDecision FaultInjector::onCommand(int device, CommandClass cls, double now)
                      : "injected transient transfer fault";
         return d;
       case FaultPlan::Rule::Kind::Random:
-        if (rng_.nextDouble() >= r.probability) continue;
+        if (rule_rngs_[i].nextDouble() >= r.probability) continue;
         d.kind = FaultDecision::Kind::Transient;
         d.status = cls == CommandClass::Kernel ? status::OutOfResources : status::IoError;
         d.what = "injected random fault";
@@ -436,7 +446,7 @@ FaultDecision FaultInjector::onCommand(int device, CommandClass cls, double now)
         if (r.count > 0) {
           if (remaining_[i] <= 0) continue;
           --remaining_[i];
-        } else if (rng_.nextDouble() >= r.probability) {
+        } else if (rule_rngs_[i].nextDouble() >= r.probability) {
           continue;
         }
         d.kind = FaultDecision::Kind::Transient;

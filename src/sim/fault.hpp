@@ -87,6 +87,11 @@ class FaultPlan {
     double probability = 0.0;
     double time_s = 0.0;   ///< KillAt trigger time, or Network timeout
     double factor = 1.0;   ///< Slowdown duration multiplier
+    /// Seed of this rule's private random stream (probabilistic rules).
+    /// 0 = derive from the plan seed and the rule's position.  Rules with
+    /// distinct seeds draw independently: two devices with the same drop
+    /// probability must not drop on correlated command indices.
+    std::uint64_t seed = 0;
   };
 
   FaultPlan() = default;
@@ -104,8 +109,10 @@ class FaultPlan {
   /// timeout of `timeoutSeconds` (dOpenCL remote-command model).
   FaultPlan& dropNetwork(int device, int count, double timeoutSeconds);
   /// Drop each command aimed at `device` with `probability`, each costing a
-  /// `timeoutSeconds` wait before the failure surfaces.
-  FaultPlan& dropNetworkRandomly(int device, double probability, double timeoutSeconds);
+  /// `timeoutSeconds` wait before the failure surfaces.  `seed` picks the
+  /// rule's private random stream (0 = derive from plan seed + position).
+  FaultPlan& dropNetworkRandomly(int device, double probability, double timeoutSeconds,
+                                 std::uint64_t seed = 0);
   /// Every command on `device` takes `factor` times longer — persistently
   /// when `count` is 0, else only for the next `count` matching commands.
   /// The straggler model: a degraded link/SM, thermal throttling, a noisy
@@ -193,7 +200,7 @@ class FaultInjector {
 
   FaultPlan plan_;
   bool active_ = false;
-  Rng rng_{0};
+  std::vector<Rng> rule_rngs_;          ///< per rule: private random stream
   std::vector<int> remaining_;          ///< per rule: occurrences left (counted rules)
   std::vector<std::uint64_t> counts_;   ///< per device: commands seen
   std::vector<char> dead_;              ///< per device: kill rule fired

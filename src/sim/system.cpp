@@ -10,10 +10,15 @@ System::System(SystemConfig config) : config_(std::move(config)) {
   for (const auto& dev : config_.devices) {
     SKELCL_CHECK(dev.pcie_link < static_cast<int>(config_.links.size()),
                  "device references a link the system does not have");
+    SKELCL_CHECK(dev.nic_link < static_cast<int>(config_.nics.size()),
+                 "device references a NIC the system does not have");
     device_state_.push_back(std::make_unique<DeviceState>());
   }
   for (std::size_t i = 0; i < config_.links.size(); ++i) {
     links_.push_back(std::make_unique<Timeline>());
+  }
+  for (std::size_t i = 0; i < config_.nics.size(); ++i) {
+    nics_.push_back(std::make_unique<Timeline>());
   }
 }
 
@@ -28,7 +33,7 @@ Timeline& System::linkOf(int device) {
   return *links_[static_cast<std::size_t>(link)];
 }
 
-double System::transferDuration(int device, std::uint64_t bytes) const {
+double System::linkDuration(int device, std::uint64_t bytes) const {
   const DeviceSpec& spec = this->device(device);
   const DeviceState& state = *device_state_[static_cast<std::size_t>(device)];
   double bandwidth_gbs = spec.pcie_link < 0
@@ -44,17 +49,55 @@ double System::transferDuration(int device, std::uint64_t bytes) const {
   return latency_s + static_cast<double>(bytes) / (bandwidth_gbs * 1e9);
 }
 
+double System::nicDuration(int device, std::uint64_t bytes) const {
+  const DeviceSpec& spec = this->device(device);
+  if (spec.nic_link < 0) return 0.0;
+  const LinkSpec& nic = config_.nics[static_cast<std::size_t>(spec.nic_link)];
+  return nic.latency_us * 1e-6 + static_cast<double>(bytes) / (nic.bandwidth_gbs * 1e9);
+}
+
+double System::transferDuration(int device, std::uint64_t bytes) const {
+  return linkDuration(device, bytes) + nicDuration(device, bytes);
+}
+
 Timeline::Span System::reserveTransfer(int device, std::uint64_t bytes, double earliest,
                                        double scale) {
-  const double duration = transferDuration(device, bytes) * scale;
-  const Timeline::Span span = linkOf(device).reserve(earliest, duration);
   stats_.transfers += 1;
   stats_.bytes_transferred += bytes;
-  return span;
+  if (bytes == 0) {
+    // An empty part still costs a command round-trip (latency) but moves no
+    // data: it must not occupy the link or NIC timelines and queue behind
+    // bulk transfers.
+    const double start = std::max(earliest, 0.0);
+    return Timeline::Span{start, start + transferDuration(device, 0) * scale};
+  }
+  const DeviceSpec& spec = this->device(device);
+  if (spec.nic_link < 0) {
+    return linkOf(device).reserve(earliest, linkDuration(device, bytes) * scale);
+  }
+  // Remote device: the network leg holds the client NIC and the server NIC
+  // together (cut-through), then the server-local PCIe leg forwards the data.
+  const double net = nicDuration(device, bytes) * scale;
+  const Timeline::Span client = client_nic_.reserve(earliest, net);
+  const Timeline::Span server =
+      nics_[static_cast<std::size_t>(spec.nic_link)]->reserve(client.start, net);
+  const Timeline::Span pcie =
+      linkOf(device).reserve(server.end, linkDuration(device, bytes) * scale);
+  return Timeline::Span{client.start, pcie.end};
 }
 
 Timeline::Span System::reservePeerTransfer(int src, int dst, std::uint64_t bytes,
                                            double earliest, double scale) {
+  const DeviceSpec& s = this->device(src);
+  const DeviceSpec& d = this->device(dst);
+  if (bytes > 0 && s.nic_link >= 0 && d.nic_link >= 0 && s.node == d.node) {
+    // Server-local copy: both PCIe legs, no client round-trip.
+    stats_.transfers += 2;
+    stats_.bytes_transferred += 2 * bytes;
+    const Timeline::Span down = linkOf(src).reserve(earliest, linkDuration(src, bytes) * scale);
+    const Timeline::Span up = linkOf(dst).reserve(down.end, linkDuration(dst, bytes) * scale);
+    return Timeline::Span{down.start, up.end};
+  }
   const Timeline::Span down = reserveTransfer(src, bytes, earliest, scale);
   const Timeline::Span up = reserveTransfer(dst, bytes, down.end, scale);
   return Timeline::Span{down.start, up.end};
@@ -70,7 +113,15 @@ Timeline::Span System::reserveKernel(int device, std::uint64_t instructions,
       std::min<std::uint64_t>(workItems == 0 ? 1 : workItems,
                               static_cast<std::uint64_t>(spec.cores)));
   const double rate = spec.instrPerSec(apiEfficiency, lanes);
-  const double duration = (launchOverheadSec + state.extra_latency_s +
+  // Remote kernels pay the network command latency in their duration (the
+  // launch message crossing to the server) without occupying the NICs: a
+  // launch request is a few bytes, not a bulk transfer.
+  const double network_latency_s =
+      state.extra_latency_s +
+      (spec.nic_link >= 0
+           ? config_.nics[static_cast<std::size_t>(spec.nic_link)].latency_us * 1e-6
+           : 0.0);
+  const double duration = (launchOverheadSec + network_latency_s +
                            static_cast<double>(instructions) / rate) *
                           scale;
   const Timeline::Span span =
@@ -111,6 +162,8 @@ void System::advanceHost(double t) { host_now_ = std::max(host_now_, t); }
 void System::resetClock() {
   for (auto& state : device_state_) state->compute.reset();
   for (auto& link : links_) link->reset();
+  for (auto& nic : nics_) nic->reset();
+  client_nic_.reset();
   host_memory_.reset();
   host_cpu_.reset();
   host_now_ = 0.0;

@@ -50,14 +50,22 @@ class System {
 
   /// Host<->device transfer of `bytes` over the device's link, starting no
   /// earlier than `earliest`.  `scale` stretches the duration (injected
-  /// slowdowns the watchdog tolerates).
+  /// slowdowns the watchdog tolerates).  For a remote device (nic_link >= 0)
+  /// the network leg occupies both the client NIC and the server's NIC
+  /// (cut-through: the server starts receiving as the client sends), then
+  /// the server-local PCIe leg forwards to the device.  Zero-byte transfers
+  /// pay command latency only and occupy no timeline — an empty part must
+  /// not queue behind bulk traffic.
   Timeline::Span reserveTransfer(int device, std::uint64_t bytes, double earliest,
                                  double scale = 1.0);
 
   /// Device-to-device copy, host-mediated as on pre-peer-access hardware:
   /// a download over the source link followed by an upload over the
   /// destination link.  If both devices share one link the two halves
-  /// serialize on it automatically.
+  /// serialize on it automatically.  When both devices sit on the *same
+  /// cluster node* the copy is server-local: it uses the two PCIe legs only
+  /// and never touches the NICs (the payoff of node-aware distributions,
+  /// docs/CLUSTER.md).
   Timeline::Span reservePeerTransfer(int src, int dst, std::uint64_t bytes, double earliest,
                                      double scale = 1.0);
 
@@ -125,11 +133,17 @@ class System {
   };
 
   double transferDuration(int device, std::uint64_t bytes) const;
+  double linkDuration(int device, std::uint64_t bytes) const;
+  double nicDuration(int device, std::uint64_t bytes) const;
   Timeline& linkOf(int device);
 
   SystemConfig config_;
   std::vector<std::unique_ptr<DeviceState>> device_state_;
   std::vector<std::unique_ptr<Timeline>> links_;
+  std::vector<std::unique_ptr<Timeline>> nics_;  ///< per-server-node NICs
+  Timeline client_nic_;   ///< the client machine's single NIC: every remote
+                          ///< command funnels through it (the paper's
+                          ///< Section V serialization point)
   Timeline host_memory_;  ///< link stand-in for host-integrated (CPU) devices
   Timeline host_cpu_;     ///< host-side staging/combining work
   double host_now_ = 0.0;

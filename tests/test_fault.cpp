@@ -465,6 +465,115 @@ TEST_F(FaultTest, UnreliableNetworkIsAbsorbedByRetries) {
   EXPECT_DOUBLE_EQ(t1, t2) << "seeded drops must replay identically";
 }
 
+TEST(DoclNetworkFaults, PerDeviceSeedsDecorrelateDropStreams) {
+  docl::DistributedConfig cfg;
+  cfg.servers.push_back(sim::SystemConfig::teslaS1070(1));
+  cfg.servers.push_back(sim::SystemConfig::teslaS1070(1));
+  cfg.network.drop_rate = 0.2;
+  cfg.network.fault_seed = 9;
+  const sim::FaultPlan plan = docl::networkFaultPlan(cfg);
+  ASSERT_EQ(plan.rules().size(), 2u);
+  EXPECT_NE(plan.rules()[0].seed, plan.rules()[1].seed)
+      << "each device needs its own drop stream";
+
+  auto dropsOf = [&plan](int device) {
+    sim::FaultInjector injector;
+    injector.install(plan);
+    std::vector<int> drops;
+    for (int i = 0; i < 200; ++i) {
+      const auto d = injector.onCommand(device, sim::CommandClass::Transfer, 0.0);
+      if (d.kind != sim::FaultDecision::Kind::None) drops.push_back(i);
+    }
+    return drops;
+  };
+  const auto dev0 = dropsOf(0);
+  const auto dev1 = dropsOf(1);
+  EXPECT_FALSE(dev0.empty());
+  EXPECT_FALSE(dev1.empty());
+  EXPECT_NE(dev0, dev1) << "same-seed rule streams would drop on identical indices";
+  EXPECT_EQ(dev0, dropsOf(0)) << "seeded streams must replay identically";
+
+  // The regression that motivated per-rule seeds: commands aimed at another
+  // device must not perturb this device's drop stream through interleaving.
+  sim::FaultInjector injector;
+  injector.install(plan);
+  std::vector<int> interleaved;
+  for (int i = 0; i < 200; ++i) {
+    const auto d = injector.onCommand(0, sim::CommandClass::Transfer, 0.0);
+    if (d.kind != sim::FaultDecision::Kind::None) interleaved.push_back(i);
+    injector.onCommand(1, sim::CommandClass::Transfer, 0.0);
+  }
+  EXPECT_EQ(interleaved, dev0);
+}
+
+TEST_F(FaultTest, AliveServerDevicesTracksGpuLossAndNodeLoss) {
+  const docl::DistributedConfig config = docl::laboratorySetup();
+  docl::initSkelCL(config);
+  const auto& alive = detail::Runtime::instance().aliveDevices();
+  EXPECT_EQ(docl::aliveServerDevices(config, 0, alive), (std::vector<int>{0, 1, 2, 3}));
+
+  // One GPU of node0 dies, then all of node2.
+  sim::FaultPlan plan;
+  plan.killAfterCommands(1, 0);
+  docl::killServer(plan, config, 2, 0);
+  setFaultPlan(std::move(plan));
+  Map<int> twice("int func(int x) { return 2 * x; }");
+  Vector<int> out = twice(Vector<int>(iotaInts(4096)));
+  EXPECT_EQ(aliveDeviceCount(), 5);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 2 * static_cast<int>(i));
+  }
+
+  // The static range is now stale for nodes 0 and 2; the alive-subset helper
+  // reflects the loss of a single GPU as well as a whole node.
+  EXPECT_EQ(docl::aliveServerDevices(config, 0, alive), (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(docl::aliveServerDevices(config, 1, alive), (std::vector<int>{4, 5}));
+  EXPECT_TRUE(docl::aliveServerDevices(config, 2, alive).empty());
+  EXPECT_EQ(docl::serverDeviceRange(config, 2), (std::pair<int, int>{6, 7}));
+  terminate();
+}
+
+TEST_F(FaultTest, KillServerMidReduceMatchesNativeSmallerCluster) {
+  // Acceptance scenario: a whole server node dies while a tree reduce is in
+  // flight.  The runtime blacklists its devices and re-executes over the
+  // survivors; because the dead node was the LAST one, the surviving device
+  // ids (and hence partition, fold order, and tree shape) are exactly those
+  // of a cluster that never had the node — the results must match bitwise.
+  auto clusterOf = [](int servers) {
+    docl::DistributedConfig cfg;
+    for (int s = 0; s < servers; ++s) {
+      cfg.servers.push_back(sim::SystemConfig::teslaS1070(2));
+    }
+    return cfg;
+  };
+  auto runReduce = [] {
+    Reduce<float> sum("float func(float a, float b) { return a + b; }");
+    Vector<float> v(16384);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = 0.5f * static_cast<float>(i % 11);  // exact in fp32
+    }
+    return sum(v);
+  };
+
+  docl::initSkelCL(clusterOf(3));
+  const float native = runReduce();
+  terminate();
+
+  const docl::DistributedConfig four = clusterOf(4);
+  docl::initSkelCL(four);
+  sim::FaultPlan plan;
+  // Each node-3 device survives one command (the input upload) and dies on
+  // the next — its reduce step-1 kernel.
+  docl::killServer(plan, four, 3, 1);
+  setFaultPlan(std::move(plan));
+  const float degraded = runReduce();
+  EXPECT_EQ(aliveDeviceCount(), 6);
+  terminate();
+
+  EXPECT_EQ(std::memcmp(&native, &degraded, sizeof(float)), 0)
+      << "native " << native << " vs degraded " << degraded;
+}
+
 TEST_F(FaultTest, DeadServerNodeDegradesOntoSurvivingNodes) {
   const docl::DistributedConfig config = docl::laboratorySetup();
   EXPECT_EQ(docl::serverDeviceRange(config, 0), (std::pair<int, int>{0, 3}));
